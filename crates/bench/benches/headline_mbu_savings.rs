@@ -1,0 +1,120 @@
+//! Criterion bench for the headline claim: MBU's effect on *simulated
+//! wall-clock per modular addition*, complementing the gate-count tables.
+//!
+//! Because MBU skips the uncomputation comparator half the time, the
+//! average simulated run is measurably cheaper — the same effect a fault-
+//! tolerant machine would see in expected T-gate consumption. Also includes
+//! the ablation across architecture choices (the Thm 3.6 trade) and the
+//! two-sided comparator (Thm 4.13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbu_arith::modular::ModAddSpec;
+use mbu_arith::resources::Table1Row;
+use mbu_arith::{modular, two_sided, AdderKind, Uncompute};
+use mbu_bench::{benchmark_modulus, spec_for_row};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn mbu_on_off(c: &mut Criterion) {
+    let mut group = c.benchmark_group("headline/modadd_sim");
+    let n = 48usize;
+    let p = benchmark_modulus(n);
+    for row in [Table1Row::Cdkpm, Table1Row::Gidney, Table1Row::CdkpmGidney] {
+        for (unc, tag) in [(Uncompute::Unitary, "unitary"), (Uncompute::Mbu, "mbu")] {
+            let spec = spec_for_row(row, unc).unwrap();
+            let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+            let mut seed = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(row.label(), tag),
+                &layout,
+                |b, layout| {
+                    b.iter(|| {
+                        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                        sim.set_value(layout.x.qubits(), p - 2);
+                        sim.set_value(layout.y.qubits(), p / 3);
+                        seed = seed.wrapping_add(1);
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        black_box(sim.run(&layout.circuit, &mut rng).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn architecture_ablation(c: &mut Criterion) {
+    // Theorem 3.6's space-time trade, as a synthesis ablation: swap each
+    // slot of the hybrid back to Gidney and observe the cost move.
+    let mut group = c.benchmark_group("headline/slot_ablation");
+    let n = 32usize;
+    let p = benchmark_modulus(n);
+    let hybrid = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+    let variants: [(&str, ModAddSpec); 4] = [
+        ("hybrid(thm3.6)", hybrid),
+        (
+            "comp_p->gidney",
+            ModAddSpec {
+                comp_p: AdderKind::Gidney,
+                ..hybrid
+            },
+        ),
+        (
+            "sub_p->gidney",
+            ModAddSpec {
+                sub_p: AdderKind::Gidney,
+                ..hybrid
+            },
+        ),
+        (
+            "comp_back->cdkpm",
+            ModAddSpec {
+                comp_back: AdderKind::Cdkpm,
+                ..hybrid
+            },
+        ),
+    ];
+    for (tag, spec) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(tag), &spec, |b, spec| {
+            b.iter(|| black_box(modular::modadd_circuit(spec, n, p).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn two_sided_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("headline/two_sided");
+    let n = 32usize;
+    for (unc, tag) in [(Uncompute::Unitary, "unitary"), (Uncompute::Mbu, "mbu")] {
+        let layout = two_sided::in_range_circuit(AdderKind::Cdkpm, unc, n).unwrap();
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(tag), &layout, |b, layout| {
+            b.iter(|| {
+                let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                sim.set_value(layout.x.qubits(), 1_000_000);
+                sim.set_value(layout.y.qubits(), 500);
+                sim.set_value(layout.z.qubits(), 2_000_000_000);
+                seed = seed.wrapping_add(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(sim.run(&layout.circuit, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = mbu_on_off, architecture_ablation, two_sided_comparison
+}
+criterion_main!(benches);

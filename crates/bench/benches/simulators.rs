@@ -1,0 +1,84 @@
+//! Criterion bench for the two simulation backends: the O(1)-per-gate
+//! phase-tracking basis tracker vs the exact state vector, on the same
+//! circuits — quantifying why the tracker is what makes n = 256
+//! verification possible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbu_arith::modular::{self, ModAddSpec};
+use mbu_arith::Uncompute;
+use mbu_bench::benchmark_modulus;
+use mbu_sim::{BasisTracker, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn tracker_vs_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulators/same_circuit");
+    let n = 6usize; // CDKPM modadd at n=6 uses ~21 qubits: near SV limit
+    let p = benchmark_modulus(n);
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+
+    let mut seed = 0u64;
+    group.bench_function("basis_tracker", |b| {
+        b.iter(|| {
+            let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+            sim.set_value(layout.x.qubits(), p - 1);
+            sim.set_value(layout.y.qubits(), p - 2);
+            seed = seed.wrapping_add(1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(sim.run(&layout.circuit, &mut rng).unwrap())
+        })
+    });
+
+    let mut seed2 = 0u64;
+    group.bench_function("state_vector", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::zeros(layout.circuit.num_qubits()).unwrap();
+            sv.prepare_basis(StateVector::index_with(&[
+                (layout.x.qubits(), (p - 1) as u64),
+                (layout.y.qubits(), (p - 2) as u64),
+            ]))
+            .unwrap();
+            seed2 = seed2.wrapping_add(1);
+            let mut rng = StdRng::seed_from_u64(seed2);
+            black_box(sv.run(&layout.circuit, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn tracker_width_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulators/tracker_scaling");
+    let spec = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+    for n in [16usize, 32, 64] {
+        let p = benchmark_modulus(n);
+        let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &layout, |b, layout| {
+            b.iter(|| {
+                let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                sim.set_value(layout.x.qubits(), p - 1);
+                sim.set_value(layout.y.qubits(), 1);
+                seed = seed.wrapping_add(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(sim.run(&layout.circuit, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = tracker_vs_statevector, tracker_width_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion bench for Table 1: synthesis and simulation cost of every
+//! modular-adder architecture, with and without MBU.
+//!
+//! The resource-count reproduction itself lives in
+//! `cargo run -p mbu-bench --bin tables -- table1`; this bench measures the
+//! *library's* performance on the same workload: how fast each architecture
+//! synthesises and simulates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbu_arith::resources::Table1Row;
+use mbu_arith::Uncompute;
+use mbu_bench::{benchmark_modulus, build_row_circuit};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const ROWS: [Table1Row; 5] = [
+    Table1Row::Vbe5,
+    Table1Row::Vbe4,
+    Table1Row::Cdkpm,
+    Table1Row::Gidney,
+    Table1Row::CdkpmGidney,
+];
+
+fn synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/synthesis");
+    let n = 32usize;
+    let p = benchmark_modulus(n);
+    for row in ROWS {
+        for (unc, tag) in [(Uncompute::Unitary, "unitary"), (Uncompute::Mbu, "mbu")] {
+            group.bench_with_input(
+                BenchmarkId::new(row.label(), tag),
+                &(row, unc),
+                |b, &(row, unc)| {
+                    b.iter(|| black_box(build_row_circuit(row, unc, n, p).unwrap()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/simulation");
+    let n = 32usize;
+    let p = benchmark_modulus(n);
+    for row in ROWS {
+        for (unc, tag) in [(Uncompute::Unitary, "unitary"), (Uncompute::Mbu, "mbu")] {
+            let layout = build_row_circuit(row, unc, n, p).unwrap();
+            let mut seed = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(row.label(), tag),
+                &layout,
+                |b, layout| {
+                    b.iter(|| {
+                        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                        sim.set_value(layout.x.qubits(), (p - 1) % p);
+                        sim.set_value(layout.y.qubits(), (p / 2) % p);
+                        seed = seed.wrapping_add(1);
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        black_box(sim.run(&layout.circuit, &mut rng).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn width_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/width_scaling_cdkpm_mbu");
+    for n in [8usize, 16, 32, 64] {
+        let p = benchmark_modulus(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    build_row_circuit(Table1Row::Cdkpm, Uncompute::Mbu, n, p).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = synthesis, simulation, width_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for Table 2: plain adders of all four families —
+//! synthesis time and basis-tracker simulation throughput across widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbu_arith::{adders, AdderKind};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/synthesis");
+    for kind in [
+        AdderKind::Vbe,
+        AdderKind::Cdkpm,
+        AdderKind::Gidney,
+        AdderKind::Draper,
+    ] {
+        for n in [16usize, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), n),
+                &(kind, n),
+                |b, &(kind, n)| b.iter(|| black_box(adders::plain_adder(kind, n).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/simulation");
+    let n = 64usize;
+    let x = 0xDEAD_BEEF_CAFE_F00Du128 % (1 << 63);
+    let y = 0x1234_5678_9ABC_DEF0u128;
+    for kind in [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney] {
+        let adder = adders::plain_adder(kind, n).unwrap();
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &adder, |b, adder| {
+            b.iter(|| {
+                let mut sim = BasisTracker::zeros(adder.circuit.num_qubits());
+                sim.set_value(adder.x.qubits(), x % (1 << n));
+                sim.set_value(adder.y.qubits(), y);
+                seed = seed.wrapping_add(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(sim.run(&adder.circuit, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = synthesis, simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for Table 3: controlled adders (Thm 2.12, Prop 2.11,
+//! Thm 2.14, Cor 2.10) — synthesis and simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbu_arith::{adders, AdderKind};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/synthesis");
+    let n = 32usize;
+    for kind in [
+        AdderKind::Vbe,
+        AdderKind::Cdkpm,
+        AdderKind::Gidney,
+        AdderKind::Draper,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(adders::controlled_adder(kind, n).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/simulation");
+    let n = 32usize;
+    for kind in [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney] {
+        let ca = adders::controlled_adder(kind, n).unwrap();
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &ca, |b, ca| {
+            b.iter(|| {
+                let mut sim = BasisTracker::zeros(ca.circuit.num_qubits());
+                sim.set_bit(ca.control, true);
+                sim.set_value(ca.x.qubits(), 0xFFFF_FFFF);
+                sim.set_value(ca.y.qubits(), 0xF0F0_F0F0);
+                seed = seed.wrapping_add(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(sim.run(&ca.circuit, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = synthesis, simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for Table 4: addition by a classical constant — the
+//! LOAD-based construction (Prop 2.16) vs Draper's ancilla-free merged
+//! rotations (Prop 2.17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbu_arith::{adders, AdderKind};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/synthesis");
+    let n = 32usize;
+    let a = 0xDEAD_BEEFu128;
+    for kind in [
+        AdderKind::Vbe,
+        AdderKind::Cdkpm,
+        AdderKind::Gidney,
+        AdderKind::Draper,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(adders::const_adder(kind, n, a).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn hamming_weight_sweep(c: &mut Criterion) {
+    // The CNOT/X costs scale with |a|; sweep sparse → dense constants.
+    let mut group = c.benchmark_group("table4/hamming_weight");
+    let n = 32usize;
+    for (tag, a) in [
+        ("sparse|a|=2", 0x8000_0001u128),
+        ("medium|a|=16", 0x5555_5555u128 & 0xFFFF_FFFF),
+        ("dense|a|=31", 0xFFFF_FFFEu128),
+    ] {
+        let ca = adders::const_adder(AdderKind::Cdkpm, n, a).unwrap();
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(tag), &ca, |b, ca| {
+            b.iter(|| {
+                let mut sim = BasisTracker::zeros(ca.circuit.num_qubits());
+                sim.set_value(ca.y.qubits(), 0x0F0F_0F0F);
+                seed = seed.wrapping_add(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(sim.run(&ca.circuit, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = synthesis, hamming_weight_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench for Table 5: controlled addition by a constant
+//! (Props 2.19–2.20), the workhorse of modular multiplication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbu_arith::{adders, AdderKind};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5/synthesis");
+    let n = 32usize;
+    let a = 0xDEAD_BEEFu128;
+    for kind in [
+        AdderKind::Vbe,
+        AdderKind::Cdkpm,
+        AdderKind::Gidney,
+        AdderKind::Draper,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(adders::controlled_const_adder(kind, n, a).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn simulation_both_branches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5/simulation");
+    let n = 32usize;
+    let a = 0xDEAD_BEEFu128;
+    for kind in [AdderKind::Cdkpm, AdderKind::Gidney] {
+        let ca = adders::controlled_const_adder(kind, n, a).unwrap();
+        for (tag, ctrl) in [("off", false), ("on", true)] {
+            let mut seed = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), tag),
+                &(ca.clone(), ctrl),
+                |b, (ca, ctrl)| {
+                    b.iter(|| {
+                        let mut sim = BasisTracker::zeros(ca.circuit.num_qubits());
+                        sim.set_bit(ca.control, *ctrl);
+                        sim.set_value(ca.y.qubits(), 0x0BAD_F00D);
+                        seed = seed.wrapping_add(1);
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        black_box(sim.run(&ca.circuit, &mut rng).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = synthesis, simulation_both_branches
+}
+criterion_main!(benches);

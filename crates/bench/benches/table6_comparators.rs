@@ -1,0 +1,71 @@
+//! Criterion bench for Table 6: comparators, including the constant and
+//! controlled variants used inside the modular adders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbu_arith::{compare, AdderKind};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6/synthesis");
+    let n = 32usize;
+    for kind in [
+        AdderKind::Vbe,
+        AdderKind::Cdkpm,
+        AdderKind::Gidney,
+        AdderKind::Draper,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(compare::comparator(kind, n).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6/simulation");
+    let n = 32usize;
+    for kind in [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney] {
+        let cmp = compare::comparator(kind, n).unwrap();
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &cmp, |b, cmp| {
+            b.iter(|| {
+                let mut sim = BasisTracker::zeros(cmp.circuit.num_qubits());
+                sim.set_value(cmp.x.qubits(), 0xF0F0_F0F0);
+                sim.set_value(cmp.y.qubits(), 0x0F0F_0F0F);
+                seed = seed.wrapping_add(1);
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(sim.run(&cmp.circuit, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn const_comparator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6/const_comparator");
+    let n = 32usize;
+    let a = 0xCAFE_BABEu128;
+    for kind in [AdderKind::Cdkpm, AdderKind::Gidney] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(compare::const_comparator(kind, n, a).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = synthesis, simulation, const_comparator
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Regenerates the paper's circuit figures as ASCII diagrams.
+//!
+//! ```text
+//! cargo run -p mbu-bench --bin figures
+//! ```
+//!
+//! Covers Figures 4–5 (VBE CARRY/SUM and adder), 6–9 (CDKPM MAJ/UMA and
+//! adder), 10–13 (Gidney logical-AND adder), 14 (Draper ΦADD), 16–17
+//! (controlled UMA), 21 (CDKPM comparator), 23 (Beauregard doubly
+//! controlled constant modular adder), 24 (the MBU protocol) and 25
+//! (the MBU modular adder).
+
+use mbu_arith::modular::{self, beauregard};
+use mbu_arith::{adders, compare, mbu, AdderKind, Uncompute};
+use mbu_circuit::diagram::render;
+use mbu_circuit::CircuitBuilder;
+
+fn heading(title: &str) {
+    println!("──────────────────────────────────────────────────────");
+    println!("{title}");
+    println!("──────────────────────────────────────────────────────");
+}
+
+fn adder_labels(n: usize, total: usize) -> Vec<String> {
+    let mut labels = Vec::new();
+    for i in 0..n {
+        labels.push(format!("x{i}"));
+    }
+    for i in 0..=n {
+        labels.push(format!("y{i}"));
+    }
+    let named = labels.len();
+    for i in named..total {
+        labels.push(format!("a{}", i - named + 1));
+    }
+    labels
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 2usize;
+
+    heading("Figures 4–5: VBE plain adder (CARRY / SUM chains), n = 2");
+    let adder = adders::plain_adder(AdderKind::Vbe, n)?;
+    println!(
+        "{}",
+        render(&adder.circuit, &adder_labels(n, adder.circuit.num_qubits()))
+    );
+
+    heading("Figures 6–9: CDKPM ripple-carry adder (MAJ / UMA), n = 2");
+    let adder = adders::plain_adder(AdderKind::Cdkpm, n)?;
+    println!(
+        "{}",
+        render(&adder.circuit, &adder_labels(n, adder.circuit.num_qubits()))
+    );
+
+    heading("Figures 10–13: Gidney logical-AND adder (measure + CZ uncompute), n = 2");
+    let adder = adders::plain_adder(AdderKind::Gidney, n)?;
+    println!(
+        "{}",
+        render(&adder.circuit, &adder_labels(n, adder.circuit.num_qubits()))
+    );
+
+    heading("Figure 14: Draper ΦADD inside QFT/IQFT, n = 2");
+    let adder = adders::plain_adder(AdderKind::Draper, n)?;
+    println!(
+        "{}",
+        render(&adder.circuit, &adder_labels(n, adder.circuit.num_qubits()))
+    );
+
+    heading("Figures 16–17: controlled CDKPM adder (C-UMA), n = 2");
+    let ca = adders::controlled_adder(AdderKind::Cdkpm, n)?;
+    let mut labels = vec!["c".to_string()];
+    labels.extend(adder_labels(n, ca.circuit.num_qubits() - 1));
+    println!("{}", render(&ca.circuit, &labels));
+
+    heading("Figure 21: CDKPM half-subtractor comparator, n = 2");
+    let cmp = compare::comparator(AdderKind::Cdkpm, n)?;
+    println!(
+        "{}",
+        render(&cmp.circuit, &["x0", "x1", "y0", "y1", "t", "c0"])
+    );
+
+    heading("Figure 23: Beauregard doubly-controlled constant modular adder, n = 2");
+    let bl = beauregard::modadd_const_circuit(Uncompute::Unitary, 2, n, 2, 3)?;
+    let mut labels = vec!["c1".to_string(), "c2".to_string()];
+    for i in 0..=n {
+        labels.push(format!("x{i}"));
+    }
+    labels.push("t".to_string());
+    println!("{}", render(&bl.circuit, &labels));
+
+    heading("Figure 24: the MBU protocol (Lemma 4.1), Ug = Toffoli");
+    let mut b = CircuitBuilder::new();
+    let q = b.qreg("q", 3);
+    let (_, ug) = b.record(|b| b.ccx(q[0], q[1], q[2]));
+    b.emit(&ug);
+    mbu::uncompute_bit(&mut b, q[2], &ug);
+    println!("{}", render(&b.finish(), &["x0", "x1", "g"]));
+
+    heading("Figure 25: MBU modular adder (CDKPM architecture), n = 2, p = 3");
+    let spec = modular::ModAddSpec::cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, 3)?;
+    let mut labels = Vec::new();
+    for i in 0..n {
+        labels.push(format!("x{i}"));
+    }
+    for i in 0..=n {
+        labels.push(format!("y{i}"));
+    }
+    labels.push("t".to_string());
+    for i in labels.len()..layout.circuit.num_qubits() {
+        labels.push(format!("a{}", i - labels.len() + 1));
+    }
+    println!("{}", render(&layout.circuit, &labels));
+
+    Ok(())
+}

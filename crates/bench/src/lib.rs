@@ -1,0 +1,183 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The binaries (`tables`, `figures`) and the Criterion benches all build
+//! circuits through [`mbu_arith`] and measure them three ways:
+//!
+//! * **static** — exact [`GateCounts`] of the constructed circuit
+//!   (conditional blocks at full weight);
+//! * **analytic expectation** — [`ExpectedCounts`](mbu_circuit::ExpectedCounts) with conditional blocks
+//!   at weight ½, the paper's "in expectation" accounting;
+//! * **Monte-Carlo** — mean executed counts over seeded simulator runs,
+//!   which validates the analytic expectation empirically.
+
+use mbu_arith::modular::ModAddSpec;
+use mbu_arith::{modular, resources, Uncompute};
+use mbu_circuit::{Circuit, GateCounts, QubitId};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean executed gate counts over `trials` seeded runs of `circuit`.
+///
+/// # Panics
+///
+/// Panics if the circuit leaves the basis tracker's supported fragment.
+#[must_use]
+pub fn monte_carlo_counts(
+    circuit: &Circuit,
+    inputs: &[(&[QubitId], u128)],
+    trials: u64,
+) -> MeanCounts {
+    let mut sum = MeanCounts::default();
+    for seed in 0..trials {
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        for (reg, v) in inputs {
+            sim.set_value(reg, *v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = sim
+            .run(circuit, &mut rng)
+            .expect("circuit must be tracker-supported");
+        sum.accumulate(&ex.counts);
+    }
+    sum.divide(trials as f64);
+    sum
+}
+
+/// Averaged executed counts from Monte-Carlo runs.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MeanCounts {
+    /// Mean Toffolis executed.
+    pub toffoli: f64,
+    /// Mean CNOTs executed.
+    pub cx: f64,
+    /// Mean CZs executed.
+    pub cz: f64,
+    /// Mean X gates executed.
+    pub x: f64,
+    /// Mean H gates executed.
+    pub h: f64,
+    /// Mean measurements executed.
+    pub measurements: f64,
+}
+
+impl MeanCounts {
+    fn accumulate(&mut self, c: &GateCounts) {
+        self.toffoli += c.toffoli as f64;
+        self.cx += c.cx as f64;
+        self.cz += c.cz as f64;
+        self.x += c.x as f64;
+        self.h += c.h as f64;
+        self.measurements += c.measurements() as f64;
+    }
+
+    fn divide(&mut self, by: f64) {
+        self.toffoli /= by;
+        self.cx /= by;
+        self.cz /= by;
+        self.x /= by;
+        self.h /= by;
+        self.measurements /= by;
+    }
+}
+
+/// The Table-1 architecture rows that map onto [`ModAddSpec`] presets
+/// (everything except the Draper rows, which are handled separately).
+#[must_use]
+pub fn spec_for_row(row: resources::Table1Row, unc: Uncompute) -> Option<ModAddSpec> {
+    match row {
+        resources::Table1Row::Vbe5 => Some(ModAddSpec::vbe5(unc)),
+        resources::Table1Row::Vbe4 => Some(ModAddSpec::vbe4(unc)),
+        resources::Table1Row::Cdkpm => Some(ModAddSpec::cdkpm(unc)),
+        resources::Table1Row::Gidney => Some(ModAddSpec::gidney(unc)),
+        resources::Table1Row::CdkpmGidney => Some(ModAddSpec::gidney_cdkpm(unc)),
+        resources::Table1Row::Draper | resources::Table1Row::DraperExpect => None,
+    }
+}
+
+/// A prime modulus close to `2^n − 1` for each benchmark width.
+///
+/// # Panics
+///
+/// Panics for unsupported widths (the harness uses 4–64).
+#[must_use]
+pub fn benchmark_modulus(n: usize) -> u128 {
+    match n {
+        4 => 13,
+        6 => 61,
+        8 => 251,
+        10 => 1021,
+        12 => 4093,
+        16 => 65_521,
+        24 => 16_777_213,
+        32 => 4_294_967_291,
+        48 => 281_474_976_710_597,
+        61 => (1 << 61) - 1,
+        64 => 18_446_744_073_709_551_557,
+        _ => panic!("no benchmark modulus tabulated for n = {n}"),
+    }
+}
+
+/// Builds a modular adder for a Table-1 architecture row; `None` for the
+/// Draper rows.
+///
+/// # Panics
+///
+/// Panics if circuit construction fails (invalid `n`/`p` combinations).
+#[must_use]
+pub fn build_row_circuit(
+    row: resources::Table1Row,
+    unc: Uncompute,
+    n: usize,
+    p: u128,
+) -> Option<modular::ModAdd> {
+    let spec = spec_for_row(row, unc)?;
+    Some(modular::modadd_circuit(&spec, n, p).expect("valid parameters"))
+}
+
+/// Formats `value` with one decimal when fractional, none otherwise.
+#[must_use]
+pub fn fmt_count(value: f64) -> String {
+    if (value - value.round()).abs() < 1e-9 {
+        format!("{}", value.round() as i64)
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_arith::resources::Table1Row;
+
+    #[test]
+    fn moduli_fit_their_widths() {
+        for n in [4usize, 8, 16, 32, 48, 61, 64] {
+            let p = benchmark_modulus(n);
+            assert!(p > 1);
+            assert!(n >= 128 || p < (1u128 << n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic_on_a_small_circuit() {
+        let layout = build_row_circuit(Table1Row::Cdkpm, Uncompute::Mbu, 6, 61).unwrap();
+        let analytic = layout.circuit.expected_counts().toffoli;
+        let mean = monte_carlo_counts(
+            &layout.circuit,
+            &[(layout.x.qubits(), 30), (layout.y.qubits(), 45)],
+            400,
+        );
+        assert!(
+            (mean.toffoli - analytic).abs() < analytic * 0.1 + 1.0,
+            "{} vs {analytic}",
+            mean.toffoli
+        );
+    }
+
+    #[test]
+    fn fmt_count_renders_integers_plainly() {
+        assert_eq!(fmt_count(12.0), "12");
+        assert_eq!(fmt_count(3.5), "3.50");
+    }
+}

@@ -1,0 +1,100 @@
+//! Classical bit-string arithmetic.
+//!
+//! This crate is the *reference model* for the quantum arithmetic circuits in
+//! [`mbu-arith`]: every circuit is tested against the operations defined
+//! here. It implements the bit-string operations of §1.3 and Appendix A of
+//! *"Measurement-based uncomputation of quantum circuits for modular
+//! arithmetic"* (Luongo, Miti, Narasimhachar, Sireesh, DAC 2025):
+//!
+//! * bit-string addition with its carry sequence (Definition 1.2),
+//! * 1's and 2's complement (Definitions 1.3, 1.4),
+//! * bit-string subtraction with its borrow sequence (Definition 1.5),
+//! * the majority function `maj`,
+//! * unsigned and 2's-complement signed integer encodings (Remarks A.2, A.4),
+//! * Hamming weight `|a|` (used throughout the paper's resource formulas).
+//!
+//! Bit strings are little-endian: bit `0` is the least significant bit, the
+//! same convention the paper uses for `x = x_{n-1} … x_0`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbu_bitstring::BitString;
+//!
+//! let x = BitString::from_u128(11, 4);
+//! let y = BitString::from_u128(7, 4);
+//! let s = x.add(&y); // 5-bit result, carries the overflow
+//! assert_eq!(s.to_u128(), 18);
+//! assert_eq!(s.width(), 5);
+//! ```
+//!
+//! [`mbu-arith`]: https://docs.rs/mbu-arith
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod string;
+
+pub use string::{BitString, ParseBitStringError};
+
+/// The majority function of three bits (Equation (5) of the paper).
+///
+/// Returns `true` whenever at least two of the three inputs are `true`:
+/// `maj(a, b, c) = ab ⊕ ac ⊕ bc`.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_bitstring::maj;
+///
+/// assert!(!maj(false, false, true));
+/// assert!(maj(true, false, true));
+/// assert!(maj(true, true, true));
+/// ```
+#[inline]
+#[must_use]
+pub fn maj(a: bool, b: bool, c: bool) -> bool {
+    (a & b) ^ (a & c) ^ (b & c)
+}
+
+/// Hamming weight of `a`'s binary representation, written `|a|` in the paper.
+///
+/// The paper's resource formulas (e.g. Table 1's `2|p| + 1` X-gate counts)
+/// are parameterised on the Hamming weight of the classical constants.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_bitstring::hamming_weight;
+///
+/// assert_eq!(hamming_weight(0b1011), 3);
+/// assert_eq!(hamming_weight(0), 0);
+/// ```
+#[inline]
+#[must_use]
+pub fn hamming_weight(a: u128) -> u32 {
+    a.count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maj_truth_table() {
+        // Exhaustive truth table: true iff at least two inputs are true.
+        for bits in 0u8..8 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let expected = (u8::from(a) + u8::from(b) + u8::from(c)) >= 2;
+            assert_eq!(maj(a, b, c), expected, "maj({a}, {b}, {c})");
+        }
+    }
+
+    #[test]
+    fn hamming_weight_matches_count_ones() {
+        assert_eq!(hamming_weight(u128::MAX), 128);
+        assert_eq!(hamming_weight(1 << 100), 1);
+    }
+}

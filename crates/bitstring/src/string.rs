@@ -1,0 +1,700 @@
+//! The [`BitString`] type: a fixed-width little-endian string of bits.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::maj;
+
+/// A fixed-width bit string `x = x_{n-1} … x_1 x_0` (bit 0 least significant).
+///
+/// `BitString` is the classical reference model for the quantum registers of
+/// the paper: a width-`n` string simultaneously encodes an unsigned integer
+/// in `{0, …, 2^n − 1}` (Remark A.2) and a signed integer in
+/// `{−2^{n−1}, …, 2^{n−1} − 1}` via 2's complement (Remark A.4).
+///
+/// Widths are arbitrary (not limited to 128 bits), so the same type backs
+/// resource-count sweeps at cryptographic sizes (`n = 256`) and exhaustive
+/// correctness tests at small `n`.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_bitstring::BitString;
+///
+/// let x = BitString::from_u128(0b1010, 4);
+/// assert_eq!(x.bit(1), true);
+/// assert_eq!(x.bit(0), false);
+/// assert_eq!(x.to_string(), "1010");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitString {
+    /// Little-endian: `bits[i]` is the coefficient of 2^i.
+    bits: Vec<bool>,
+}
+
+impl BitString {
+    /// Creates the all-zero string of the given width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// assert_eq!(BitString::zeros(3).to_u128(), 0);
+    /// ```
+    #[must_use]
+    pub fn zeros(width: usize) -> Self {
+        Self {
+            bits: vec![false; width],
+        }
+    }
+
+    /// Creates the all-one string of the given width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// assert_eq!(BitString::ones(4).to_u128(), 15);
+    /// ```
+    #[must_use]
+    pub fn ones(width: usize) -> Self {
+        Self {
+            bits: vec![true; width],
+        }
+    }
+
+    /// Encodes `value` as a width-`width` bit string (Remark A.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// let x = BitString::from_u128(5, 4);
+    /// assert_eq!(x.to_u128(), 5);
+    /// ```
+    #[must_use]
+    pub fn from_u128(value: u128, width: usize) -> Self {
+        assert!(
+            width >= 128 || value < (1u128 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        let bits = (0..width).map(|i| i < 128 && (value >> i) & 1 == 1).collect();
+        Self { bits }
+    }
+
+    /// Encodes the signed integer `value` in 2's complement (Remark A.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[−2^{width−1}, 2^{width−1})`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// let x = BitString::from_i128(-3, 4);
+    /// assert_eq!(x.to_string(), "1101");
+    /// assert_eq!(x.to_i128(), -3);
+    /// ```
+    #[must_use]
+    pub fn from_i128(value: i128, width: usize) -> Self {
+        assert!((1..=128).contains(&width), "signed width must be in 1..=128");
+        let lo = -(1i128 << (width - 1));
+        let hi = 1i128 << (width - 1);
+        assert!(
+            value >= lo && value < hi,
+            "value {value} does not fit in {width} signed bits"
+        );
+        let unsigned = (value as u128) & mask(width);
+        Self::from_u128(unsigned, width)
+    }
+
+    /// Builds a bit string from little-endian bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// let x = BitString::from_bits(vec![true, false, true]); // 0b101
+    /// assert_eq!(x.to_u128(), 5);
+    /// ```
+    #[must_use]
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// The number of bits `n` in the string.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns bit `i` (coefficient of 2^i).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        self.bits[i] = value;
+    }
+
+    /// Iterates over the bits, least significant first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// The bits as a little-endian slice.
+    #[must_use]
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Decodes the string as an unsigned integer (Remark A.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set bit lies at position 128 or above.
+    #[must_use]
+    pub fn to_u128(&self) -> u128 {
+        let mut value = 0u128;
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b {
+                assert!(i < 128, "bit string value does not fit in u128");
+                value |= 1 << i;
+            }
+        }
+        value
+    }
+
+    /// Decodes the string as a 2's-complement signed integer (Remark A.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 128 bits or is zero.
+    #[must_use]
+    pub fn to_i128(&self) -> i128 {
+        let n = self.width();
+        assert!((1..=128).contains(&n), "signed width must be in 1..=128");
+        let unsigned = self.to_u128();
+        if self.bits[n - 1] && n < 128 {
+            (unsigned as i128) - (1i128 << n)
+        } else {
+            unsigned as i128
+        }
+    }
+
+    /// Hamming weight of the string, written `|x|` in the paper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// assert_eq!(BitString::from_u128(0b1011, 4).hamming_weight(), 3);
+    /// ```
+    #[must_use]
+    pub fn hamming_weight(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Returns a copy truncated or zero-extended to `width` bits.
+    #[must_use]
+    pub fn resized(&self, width: usize) -> Self {
+        let mut bits = self.bits.clone();
+        bits.resize(width, false);
+        Self { bits }
+    }
+
+    /// The carry sequence `c_0, …, c_n` of `self + other` (Definition 1.2).
+    ///
+    /// `c_0 = 0` and `c_{i+1} = maj(x_i, y_i, c_i)`; the returned vector has
+    /// `n + 1` entries where `n` is the common width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn carry_bits(&self, other: &Self) -> Vec<bool> {
+        assert_eq!(self.width(), other.width(), "carry_bits: width mismatch");
+        let n = self.width();
+        let mut carries = Vec::with_capacity(n + 1);
+        carries.push(false);
+        for i in 0..n {
+            let c = *carries.last().expect("seeded with c_0");
+            carries.push(maj(self.bits[i], other.bits[i], c));
+        }
+        carries
+    }
+
+    /// Bit-string addition (Definition 1.2): returns the `(n+1)`-bit sum.
+    ///
+    /// The extra most-significant bit holds the final carry, so the result
+    /// encodes `x + y` exactly as an unsigned integer. Interpreted in 2's
+    /// complement the same circuit adds signed integers (Proposition A.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// let x = BitString::from_u128(13, 4);
+    /// let y = BitString::from_u128(9, 4);
+    /// assert_eq!(x.add(&y).to_u128(), 22);
+    /// ```
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.width();
+        let carries = self.carry_bits(other);
+        let mut bits = Vec::with_capacity(n + 1);
+        for (i, &c) in carries.iter().take(n).enumerate() {
+            bits.push(self.bits[i] ^ other.bits[i] ^ c);
+        }
+        bits.push(carries[n]);
+        Self { bits }
+    }
+
+    /// Addition modulo 2^n: the `n`-bit sum, discarding the final carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn wrapping_add(&self, other: &Self) -> Self {
+        let mut sum = self.add(other);
+        sum.bits.truncate(self.width());
+        sum
+    }
+
+    /// 1's complement: flips every bit (Definition 1.3).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// assert_eq!(BitString::from_u128(0b1010, 4).ones_complement().to_u128(), 0b0101);
+    /// ```
+    #[must_use]
+    pub fn ones_complement(&self) -> Self {
+        Self {
+            bits: self.bits.iter().map(|&b| !b).collect(),
+        }
+    }
+
+    /// 2's complement: `x̄ + 1` modulo 2^n (Definition 1.4).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// // −5 mod 16 = 11
+    /// assert_eq!(BitString::from_u128(5, 4).twos_complement().to_u128(), 11);
+    /// ```
+    #[must_use]
+    pub fn twos_complement(&self) -> Self {
+        let mut one = Self::zeros(self.width());
+        if self.width() > 0 {
+            one.set_bit(0, true);
+        }
+        self.ones_complement().wrapping_add(&one)
+    }
+
+    /// The borrow sequence `b_0, …, b_n` of `self − other` (Definition 1.5).
+    ///
+    /// `b_0 = 0` and `b_{i+1} = maj(x_i ⊕ 1, y_i, b_i)`; the final borrow
+    /// `b_n` is 1 exactly when `x < y` (Proposition A.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn borrow_bits(&self, other: &Self) -> Vec<bool> {
+        assert_eq!(self.width(), other.width(), "borrow_bits: width mismatch");
+        let n = self.width();
+        let mut borrows = Vec::with_capacity(n + 1);
+        borrows.push(false);
+        for i in 0..n {
+            let b = *borrows.last().expect("seeded with b_0");
+            borrows.push(maj(!self.bits[i], other.bits[i], b));
+        }
+        borrows
+    }
+
+    /// Bit-string subtraction (Definition 1.5): the `(n+1)`-bit difference.
+    ///
+    /// Bit `i < n` is `x_i ⊕ y_i ⊕ b_i`; the most significant bit is the
+    /// final borrow, i.e. the comparison `1[x < y]`. The result equals the
+    /// signed integer `x − y` in 2's complement on `n + 1` bits
+    /// (Proposition A.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// let x = BitString::from_u128(3, 4);
+    /// let y = BitString::from_u128(9, 4);
+    /// let d = x.sub(&y);
+    /// assert!(d.bit(4), "final borrow set because 3 < 9");
+    /// assert_eq!(d.to_i128(), -6);
+    /// ```
+    #[must_use]
+    pub fn sub(&self, other: &Self) -> Self {
+        let n = self.width();
+        let borrows = self.borrow_bits(other);
+        let mut bits = Vec::with_capacity(n + 1);
+        for (i, &bw) in borrows.iter().take(n).enumerate() {
+            bits.push(self.bits[i] ^ other.bits[i] ^ bw);
+        }
+        bits.push(borrows[n]);
+        Self { bits }
+    }
+
+    /// Subtraction modulo 2^n: the `n`-bit difference, discarding the borrow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn wrapping_sub(&self, other: &Self) -> Self {
+        let mut diff = self.sub(other);
+        diff.bits.truncate(self.width());
+        diff
+    }
+
+    /// Compares the unsigned integer values of two strings of any widths.
+    #[must_use]
+    pub fn cmp_value(&self, other: &Self) -> Ordering {
+        let width = self.width().max(other.width());
+        for i in (0..width).rev() {
+            let a = i < self.width() && self.bits[i];
+            let b = i < other.width() && other.bits[i];
+            match (a, b) {
+                (true, false) => return Ordering::Greater,
+                (false, true) => return Ordering::Less,
+                _ => {}
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Reference modular addition: `(x + y) mod p` as an `n`-bit string.
+    ///
+    /// This is the semantics of the paper's `MODADD_p` gate (Definition 3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or the precondition `x, y < p` is violated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_bitstring::BitString;
+    ///
+    /// let x = BitString::from_u128(5, 3);
+    /// let y = BitString::from_u128(6, 3);
+    /// let p = BitString::from_u128(7, 3);
+    /// assert_eq!(x.add_mod(&y, &p).to_u128(), 4);
+    /// ```
+    #[must_use]
+    pub fn add_mod(&self, other: &Self, modulus: &Self) -> Self {
+        let n = self.width();
+        assert_eq!(other.width(), n, "add_mod: width mismatch");
+        assert_eq!(modulus.width(), n, "add_mod: modulus width mismatch");
+        assert!(
+            self.cmp_value(modulus) == Ordering::Less
+                && other.cmp_value(modulus) == Ordering::Less,
+            "add_mod requires x, y < p"
+        );
+        let sum = self.add(other); // n + 1 bits, exact
+        let p_ext = modulus.resized(n + 1);
+        if sum.cmp_value(&p_ext) == Ordering::Less {
+            sum.resized(n)
+        } else {
+            sum.sub(&p_ext).resized(n)
+        }
+    }
+}
+
+fn mask(width: usize) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString({self})")
+    }
+}
+
+impl fmt::Display for BitString {
+    /// Formats most-significant bit first, matching the paper's
+    /// `x_{n-1} … x_0` convention. The empty string renders as `ε`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits.is_empty() {
+            return write!(f, "ε");
+        }
+        for &b in self.bits.iter().rev() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a [`BitString`] from text fails.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_bitstring::BitString;
+///
+/// let err = "10x1".parse::<BitString>().unwrap_err();
+/// assert!(err.to_string().contains("invalid character"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitStringError {
+    offending: char,
+}
+
+impl fmt::Display for ParseBitStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid character {:?} in bit string (expected '0' or '1')",
+            self.offending
+        )
+    }
+}
+
+impl Error for ParseBitStringError {}
+
+impl FromStr for BitString {
+    type Err = ParseBitStringError;
+
+    /// Parses a most-significant-bit-first string of `0`s and `1`s.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bits = Vec::with_capacity(s.len());
+        for ch in s.chars().rev() {
+            match ch {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                offending => return Err(ParseBitStringError { offending }),
+            }
+        }
+        Ok(Self { bits })
+    }
+}
+
+impl From<BitString> for Vec<bool> {
+    fn from(value: BitString) -> Self {
+        value.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u128() {
+        for v in [0u128, 1, 5, 255, 256, (1 << 40) - 1] {
+            let width = 41;
+            assert_eq!(BitString::from_u128(v, width).to_u128(), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_u128_overflow_panics() {
+        let _ = BitString::from_u128(16, 4);
+    }
+
+    #[test]
+    fn roundtrip_signed() {
+        for v in -8i128..8 {
+            assert_eq!(BitString::from_i128(v, 4).to_i128(), v);
+        }
+    }
+
+    #[test]
+    fn add_matches_integer_addition_exhaustive() {
+        let n = 5;
+        for x in 0u128..(1 << n) {
+            for y in 0u128..(1 << n) {
+                let bx = BitString::from_u128(x, n as usize);
+                let by = BitString::from_u128(y, n as usize);
+                let sum = bx.add(&by);
+                assert_eq!(sum.width(), n as usize + 1);
+                assert_eq!(sum.to_u128(), x + y, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_matches_signed_subtraction_exhaustive() {
+        // Proposition A.5: x − y equals the signed value (x − y) in 2's
+        // complement on n+1 bits.
+        let n = 5;
+        for x in 0i128..(1 << n) {
+            for y in 0i128..(1 << n) {
+                let bx = BitString::from_u128(x as u128, n as usize);
+                let by = BitString::from_u128(y as u128, n as usize);
+                let diff = bx.sub(&by);
+                assert_eq!(diff.to_i128(), x - y, "{x} - {y}");
+                // Proposition A.3: top bit is the comparison x < y.
+                assert_eq!(diff.bit(n as usize), x < y);
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_via_twos_complement() {
+        // Proposition A.1 (mod 2^n form): x − y ≡ x + ȳ + 1.
+        let n = 6usize;
+        for x in 0u128..(1 << n) {
+            for y in [0u128, 1, 17, 63, 32] {
+                let bx = BitString::from_u128(x, n);
+                let by = BitString::from_u128(y, n);
+                let direct = bx.wrapping_sub(&by);
+                let via_complement = bx.wrapping_add(&by.twos_complement());
+                assert_eq!(direct, via_complement, "{x} - {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_addition_exhaustive() {
+        // Proposition A.6: signed integers add correctly in 2's complement.
+        let n = 4usize;
+        for x in -8i128..8 {
+            for y in -8i128..8 {
+                let bx = BitString::from_i128(x, n);
+                let by = BitString::from_i128(y, n);
+                let sum = bx.wrapping_add(&by);
+                let expected = (x + y).rem_euclid(16);
+                assert_eq!(sum.to_u128() as i128, expected, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn carries_satisfy_recursion() {
+        let x = BitString::from_u128(0b1011, 4);
+        let y = BitString::from_u128(0b0110, 4);
+        let c = x.carry_bits(&y);
+        assert_eq!(c.len(), 5);
+        assert!(!c[0]);
+        for i in 0..4 {
+            assert_eq!(c[i + 1], maj(x.bit(i), y.bit(i), c[i]));
+        }
+    }
+
+    #[test]
+    fn borrows_detect_comparison() {
+        for (x, y) in [(3u128, 9u128), (9, 3), (7, 7), (0, 15), (15, 0)] {
+            let bx = BitString::from_u128(x, 4);
+            let by = BitString::from_u128(y, 4);
+            assert_eq!(bx.borrow_bits(&by)[4], x < y, "{x} < {y}");
+        }
+    }
+
+    #[test]
+    fn add_mod_exhaustive_small() {
+        for n in 1usize..=4 {
+            for p in 1u128..(1 << n) {
+                for x in 0..p {
+                    for y in 0..p {
+                        let bx = BitString::from_u128(x, n);
+                        let by = BitString::from_u128(y, n);
+                        let bp = BitString::from_u128(p, n);
+                        assert_eq!(
+                            bx.add_mod(&by, &bp).to_u128(),
+                            (x + y) % p,
+                            "({x} + {y}) mod {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_mod_wide_values() {
+        // 200-bit arithmetic exercises the beyond-u128 path.
+        let n = 200usize;
+        let p = BitString::from_bits((0..n).map(|i| i % 3 != 0).collect());
+        let mut x = p.clone();
+        x.set_bit(n - 1, false); // ensure x < p
+        let y = BitString::zeros(n);
+        assert_eq!(x.add_mod(&y, &p), x);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let x = BitString::from_u128(0b10110, 5);
+        assert_eq!(x.to_string(), "10110");
+        let parsed: BitString = "10110".parse().unwrap();
+        assert_eq!(parsed, x);
+        assert_eq!(format!("{x:b}"), "10110");
+    }
+
+    #[test]
+    fn complement_identities() {
+        // x + x̄ = 2^n − 1 (Remark A.2).
+        let n = 7usize;
+        for x in [0u128, 1, 63, 100, 127] {
+            let bx = BitString::from_u128(x, n);
+            let sum = bx.wrapping_add(&bx.ones_complement());
+            assert_eq!(sum.to_u128(), (1 << n) - 1);
+        }
+    }
+
+    #[test]
+    fn cmp_value_across_widths() {
+        let a = BitString::from_u128(5, 3);
+        let b = BitString::from_u128(5, 8);
+        assert_eq!(a.cmp_value(&b), Ordering::Equal);
+        let c = BitString::from_u128(9, 8);
+        assert_eq!(a.cmp_value(&c), Ordering::Less);
+        assert_eq!(c.cmp_value(&a), Ordering::Greater);
+    }
+}

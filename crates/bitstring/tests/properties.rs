@@ -1,0 +1,113 @@
+//! Property-based tests for the classical bit-string arithmetic, checking
+//! the algebraic identities of Appendix A of the paper against `u128`/`i128`
+//! integer arithmetic.
+
+use std::cmp::Ordering;
+
+use mbu_bitstring::{maj, BitString};
+use proptest::prelude::*;
+
+/// A width in a range where u128 reference arithmetic is exact for sums.
+fn widths() -> impl Strategy<Value = usize> {
+    1usize..=100
+}
+
+fn value_pair() -> impl Strategy<Value = (usize, u128, u128)> {
+    widths().prop_flat_map(|n| {
+        let max = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+        (Just(n), 0..=max, 0..=max)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128((n, x, y) in value_pair()) {
+        let bx = BitString::from_u128(x, n);
+        let by = BitString::from_u128(y, n);
+        prop_assert_eq!(bx.add(&by).to_u128(), x + y);
+    }
+
+    #[test]
+    fn add_is_commutative((n, x, y) in value_pair()) {
+        let bx = BitString::from_u128(x, n);
+        let by = BitString::from_u128(y, n);
+        prop_assert_eq!(bx.add(&by), by.add(&bx));
+    }
+
+    #[test]
+    fn sub_top_bit_is_comparison((n, x, y) in value_pair()) {
+        // Proposition A.3.
+        let bx = BitString::from_u128(x, n);
+        let by = BitString::from_u128(y, n);
+        prop_assert_eq!(bx.sub(&by).bit(n), x < y);
+    }
+
+    #[test]
+    fn sub_equals_twos_complement_add((n, x, y) in value_pair()) {
+        // Proposition A.1: x − y = x + (2's complement of y), mod 2^n.
+        let bx = BitString::from_u128(x, n);
+        let by = BitString::from_u128(y, n);
+        prop_assert_eq!(bx.wrapping_sub(&by), bx.wrapping_add(&by.twos_complement()));
+    }
+
+    #[test]
+    fn twos_complement_is_involutive((n, x, _) in value_pair()) {
+        let bx = BitString::from_u128(x, n);
+        prop_assert_eq!(bx.twos_complement().twos_complement(), bx);
+    }
+
+    #[test]
+    fn carries_follow_majority_recursion((n, x, y) in value_pair()) {
+        let bx = BitString::from_u128(x, n);
+        let by = BitString::from_u128(y, n);
+        let c = bx.carry_bits(&by);
+        prop_assert!(!c[0]);
+        for i in 0..n {
+            prop_assert_eq!(c[i + 1], maj(bx.bit(i), by.bit(i), c[i]));
+        }
+    }
+
+    #[test]
+    fn cmp_value_matches_integers((n, x, y) in value_pair()) {
+        let bx = BitString::from_u128(x, n);
+        let by = BitString::from_u128(y, n);
+        prop_assert_eq!(bx.cmp_value(&by), x.cmp(&y));
+    }
+
+    #[test]
+    fn add_mod_matches_integers((n, x, y) in value_pair()) {
+        let p = x.max(y) + 1; // guarantees x, y < p
+        if n >= 128 || p < (1u128 << n) {
+            let bx = BitString::from_u128(x, n);
+            let by = BitString::from_u128(y, n);
+            let bp = BitString::from_u128(p, n);
+            prop_assert_eq!(bx.add_mod(&by, &bp).to_u128(), (x + y) % p);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip(v in -(1i128 << 62)..(1i128 << 62)) {
+        prop_assert_eq!(BitString::from_i128(v, 64).to_i128(), v);
+    }
+
+    #[test]
+    fn display_parse_roundtrip((n, x, _) in value_pair()) {
+        let bx = BitString::from_u128(x, n);
+        let parsed: BitString = bx.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, bx);
+    }
+
+    #[test]
+    fn hamming_weight_matches_count_ones((n, x, _) in value_pair()) {
+        let bx = BitString::from_u128(x, n);
+        prop_assert_eq!(bx.hamming_weight(), x.count_ones() as usize);
+    }
+
+    #[test]
+    fn resized_preserves_value_when_growing((n, x, _) in value_pair()) {
+        let bx = BitString::from_u128(x, n);
+        let grown = bx.resized(n + 13);
+        prop_assert_eq!(grown.to_u128(), x);
+        prop_assert_eq!(grown.cmp_value(&bx), Ordering::Equal);
+    }
+}

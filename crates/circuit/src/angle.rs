@@ -1,0 +1,249 @@
+//! Exact dyadic rotation angles.
+
+use std::fmt;
+
+/// A rotation angle that is an exact dyadic fraction of a full turn:
+/// `θ = 2π · numerator / 2^{log2_denom}`.
+///
+/// Every rotation in the paper's circuits is dyadic: the QFT and Draper's
+/// `ΦADD` use `θ_k = 2π/2^k` (Figure 3), and the merged constant-addition
+/// rotations `U_{a,i}` (Equation (7)) are sums of those, which stay dyadic.
+/// Storing angles exactly keeps gate counting exact (rotations with equal
+/// angles compare equal) and lets the state-vector simulator cancel
+/// rotations without floating-point drift.
+///
+/// Angles are kept in a canonical form: reduced (odd numerator unless zero)
+/// and normalised to `[0, 2π)`.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::Angle;
+///
+/// let eighth = Angle::turn_over_power_of_two(3); // 2π/8 = π/4 (a T gate)
+/// let quarter = eighth + eighth;
+/// assert_eq!(quarter, Angle::turn_over_power_of_two(2));
+/// assert_eq!((-quarter) + quarter, Angle::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Angle {
+    /// Numerator of the fraction of a full turn; odd unless the angle is 0.
+    numerator: u128,
+    /// `log2` of the denominator.
+    log2_denom: u32,
+}
+
+impl Angle {
+    /// The zero angle.
+    pub const ZERO: Self = Self {
+        numerator: 0,
+        log2_denom: 0,
+    };
+
+    /// A half turn, `π` — the angle of a `Z` gate.
+    pub const HALF_TURN: Self = Self {
+        numerator: 1,
+        log2_denom: 1,
+    };
+
+    /// Creates the paper's `θ_k = 2π / 2^k` (Figure 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 127` (denominator would overflow `u128` arithmetic).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_circuit::Angle;
+    ///
+    /// assert_eq!(Angle::turn_over_power_of_two(1), Angle::HALF_TURN);
+    /// ```
+    #[must_use]
+    pub fn turn_over_power_of_two(k: u32) -> Self {
+        assert!(k <= 127, "angle denominator 2^{k} out of range");
+        if k == 0 {
+            return Self::ZERO; // a full turn is the identity
+        }
+        Self {
+            numerator: 1,
+            log2_denom: k,
+        }
+    }
+
+    /// Creates `2π · numerator / 2^{log2_denom}`, normalising to canonical
+    /// form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_denom > 127`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_circuit::Angle;
+    ///
+    /// // 6/8 of a turn reduces to 3/4.
+    /// let a = Angle::from_fraction(6, 3);
+    /// assert_eq!(a, Angle::from_fraction(3, 2));
+    /// ```
+    #[must_use]
+    pub fn from_fraction(numerator: u128, log2_denom: u32) -> Self {
+        assert!(log2_denom <= 127, "angle denominator 2^{log2_denom} out of range");
+        let mask = if log2_denom == 0 {
+            0
+        } else {
+            (1u128 << log2_denom) - 1
+        };
+        let mut num = numerator & mask;
+        let mut denom = log2_denom;
+        while num != 0 && num.is_multiple_of(2) {
+            num /= 2;
+            denom -= 1;
+        }
+        if num == 0 {
+            return Self::ZERO;
+        }
+        Self {
+            numerator: num,
+            log2_denom: denom,
+        }
+    }
+
+    /// The numerator of the canonical fraction of a full turn.
+    #[must_use]
+    pub fn numerator(&self) -> u128 {
+        self.numerator
+    }
+
+    /// `log2` of the canonical denominator.
+    #[must_use]
+    pub fn log2_denom(&self) -> u32 {
+        self.log2_denom
+    }
+
+    /// Whether this is the zero angle (identity rotation).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.numerator == 0
+    }
+
+    /// The angle in radians, for simulation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mbu_circuit::Angle;
+    ///
+    /// assert!((Angle::HALF_TURN.radians() - std::f64::consts::PI).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn radians(&self) -> f64 {
+        2.0 * std::f64::consts::PI * (self.numerator as f64)
+            / 2f64.powi(self.log2_denom as i32)
+    }
+}
+
+impl std::ops::Add for Angle {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        let denom = self.log2_denom.max(rhs.log2_denom);
+        if denom == 0 {
+            return Self::ZERO;
+        }
+        let a = self.numerator << (denom - self.log2_denom);
+        let b = rhs.numerator << (denom - rhs.log2_denom);
+        // Sum may exceed one turn by less than one turn; wrap it.
+        let modulus = 1u128 << denom;
+        Self::from_fraction((a + b) % modulus, denom)
+    }
+}
+
+impl std::ops::Neg for Angle {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        if self.numerator == 0 {
+            return Self::ZERO;
+        }
+        let modulus = 1u128 << self.log2_denom;
+        Self::from_fraction(modulus - self.numerator, self.log2_denom)
+    }
+}
+
+impl fmt::Debug for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Angle({self})")
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.numerator == 0 {
+            write!(f, "0")
+        } else if self.numerator == 1 {
+            write!(f, "2π/2^{}", self.log2_denom)
+        } else {
+            write!(f, "2π·{}/2^{}", self.numerator, self.log2_denom)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_reduces() {
+        assert_eq!(Angle::from_fraction(4, 4), Angle::from_fraction(1, 2));
+        assert_eq!(Angle::from_fraction(0, 10), Angle::ZERO);
+        assert_eq!(Angle::from_fraction(8, 3), Angle::ZERO); // full turn wraps
+    }
+
+    #[test]
+    fn addition_wraps_a_full_turn() {
+        let three_quarters = Angle::from_fraction(3, 2);
+        let half = Angle::HALF_TURN;
+        // 3/4 + 1/2 = 5/4 ≡ 1/4.
+        assert_eq!(three_quarters + half, Angle::from_fraction(1, 2));
+    }
+
+    #[test]
+    fn negation_is_additive_inverse() {
+        for (num, denom) in [(1u128, 1u32), (3, 3), (5, 4), (0, 0), (7, 5)] {
+            let a = Angle::from_fraction(num, denom);
+            assert_eq!(a + (-a), Angle::ZERO, "{a}");
+        }
+    }
+
+    #[test]
+    fn radians_of_known_angles() {
+        use std::f64::consts::PI;
+        assert_eq!(Angle::ZERO.radians(), 0.0);
+        assert!((Angle::turn_over_power_of_two(2).radians() - PI / 2.0).abs() < 1e-12);
+        assert!((Angle::turn_over_power_of_two(3).radians() - PI / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation_7_merged_rotation_is_dyadic() {
+        // U_{a,i} = R(Σ_k a_k θ_{i-k+1}) stays dyadic for any constant a.
+        let a_bits = [true, false, true, true];
+        let i = 3u32;
+        let mut theta = Angle::ZERO;
+        for (k, &bit) in a_bits.iter().enumerate() {
+            if bit {
+                theta = theta + Angle::turn_over_power_of_two(i - k as u32 + 1);
+            }
+        }
+        // Σ = 2π(2^0 + 2^2 + 2^3)/2^4 = 2π·13/16.
+        assert_eq!(theta, Angle::from_fraction(13, 4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Angle::ZERO.to_string(), "0");
+        assert_eq!(Angle::HALF_TURN.to_string(), "2π/2^1");
+        assert_eq!(Angle::from_fraction(3, 3).to_string(), "2π·3/2^3");
+    }
+}

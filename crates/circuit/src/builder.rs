@@ -1,0 +1,508 @@
+//! The [`CircuitBuilder`]: registers, ancilla pooling, and scoped recording.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::angle::Angle;
+use crate::circuit::Circuit;
+use crate::counts::{ExpectedCounts, GateCounts};
+use crate::error::CircuitError;
+use crate::gate::{Basis, Gate};
+use crate::op::{ClbitId, Op, QubitId};
+
+/// A named group of qubits, e.g. the paper's registers `X`, `Y`, `C`.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::CircuitBuilder;
+///
+/// let mut b = CircuitBuilder::new();
+/// let x = b.qreg("x", 4);
+/// assert_eq!(x.len(), 4);
+/// assert_eq!(x.name(), "x");
+/// b.x(x[0]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Register {
+    name: String,
+    qubits: Vec<QubitId>,
+}
+
+impl Register {
+    pub(crate) fn new(name: impl Into<String>, qubits: Vec<QubitId>) -> Self {
+        Self {
+            name: name.into(),
+            qubits,
+        }
+    }
+
+    /// The register's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of qubits in the register.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Whether the register is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.qubits.is_empty()
+    }
+
+    /// The qubits, least-significant first.
+    #[must_use]
+    pub fn qubits(&self) -> &[QubitId] {
+        &self.qubits
+    }
+
+    /// Iterates over the qubits, least-significant first.
+    pub fn iter(&self) -> impl Iterator<Item = QubitId> + '_ {
+        self.qubits.iter().copied()
+    }
+
+    /// A sub-register view of the first `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    #[must_use]
+    pub fn take(&self, n: usize) -> Register {
+        Register::new(format!("{}[0..{n}]", self.name), self.qubits[..n].to_vec())
+    }
+}
+
+impl Index<usize> for Register {
+    type Output = QubitId;
+
+    fn index(&self, i: usize) -> &QubitId {
+        &self.qubits[i]
+    }
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.qubits.len())
+    }
+}
+
+/// A recorded block of operations, produced by [`CircuitBuilder::record`].
+///
+/// Blocks are how this workspace composes the paper's propositions: record a
+/// subroutine once, then [`emit`](CircuitBuilder::emit) it,
+/// [`emit_adjoint`](CircuitBuilder::emit_adjoint) it (e.g. using `Q†_ADD` as
+/// a subtractor, Theorem 2.22), or attach it to a classical control
+/// ([`emit_conditional`](CircuitBuilder::emit_conditional), the MBU
+/// correction of Lemma 4.1).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct OpBlock {
+    ops: Vec<Op>,
+}
+
+impl OpBlock {
+    /// The recorded operations.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Consumes the block, returning the operations.
+    #[must_use]
+    pub fn into_ops(self) -> Vec<Op> {
+        self.ops
+    }
+
+    /// Exact gate counts of the block.
+    #[must_use]
+    pub fn counts(&self) -> GateCounts {
+        GateCounts::from_ops(&self.ops)
+    }
+
+    /// Expected gate counts of the block.
+    #[must_use]
+    pub fn expected_counts(&self) -> ExpectedCounts {
+        ExpectedCounts::from_ops(&self.ops)
+    }
+
+    /// The block's adjoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::AdjointOfMeasurement`] if the block measures.
+    pub fn adjoint(&self) -> Result<OpBlock, CircuitError> {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for op in self.ops.iter().rev() {
+            ops.push(op.adjoint()?);
+        }
+        Ok(OpBlock { ops })
+    }
+}
+
+/// Incrementally builds a [`Circuit`], managing qubit registers, a reusable
+/// ancilla pool, classical bits, and scoped op recording.
+///
+/// # Examples
+///
+/// Compose a block and its adjoint around a middle section — the paper's
+/// compute/act/uncompute pattern:
+///
+/// ```
+/// use mbu_circuit::CircuitBuilder;
+///
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 3);
+/// let (_, compute) = b.record(|b| {
+///     b.ccx(q[0], q[1], q[2]);
+/// });
+/// b.emit(&compute);
+/// b.z(q[2]); // act on the computed bit
+/// b.emit_adjoint(&compute).unwrap();
+/// let circuit = b.finish();
+/// assert_eq!(circuit.counts().toffoli, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    num_qubits: usize,
+    num_clbits: usize,
+    /// Recording frames; index 0 is the main circuit body.
+    frames: Vec<Vec<Op>>,
+    /// Ancillas currently free for reuse.
+    free_ancillas: Vec<QubitId>,
+    /// Total distinct ancilla qubits ever created.
+    ancillas_created: usize,
+    /// Ancillas currently checked out.
+    ancillas_in_use: usize,
+    /// Maximum simultaneous ancillas checked out.
+    ancilla_peak: usize,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            frames: vec![Vec::new()],
+            ..Self::default()
+        }
+    }
+
+    /// Allocates a named register of `n` fresh qubits (initially `|0⟩` by
+    /// the simulators' convention, unless a test writes inputs into them).
+    pub fn qreg(&mut self, name: impl Into<String>, n: usize) -> Register {
+        let start = self.num_qubits as u32;
+        self.num_qubits += n;
+        Register::new(name, (start..start + n as u32).map(QubitId).collect())
+    }
+
+    /// Allocates a single fresh qubit.
+    pub fn qubit(&mut self) -> QubitId {
+        let id = QubitId(self.num_qubits as u32);
+        self.num_qubits += 1;
+        id
+    }
+
+    /// Checks out an ancilla qubit, reusing a previously released one when
+    /// available.
+    ///
+    /// Ancillas are assumed to be `|0⟩` when checked out; callers must
+    /// restore `|0⟩` before [`release_ancilla`](Self::release_ancilla) — the
+    /// uncomputation obligation the whole paper is about.
+    pub fn ancilla(&mut self) -> QubitId {
+        self.ancillas_in_use += 1;
+        self.ancilla_peak = self.ancilla_peak.max(self.ancillas_in_use);
+        if let Some(q) = self.free_ancillas.pop() {
+            q
+        } else {
+            self.ancillas_created += 1;
+            self.qubit()
+        }
+    }
+
+    /// Checks out `n` ancillas as an anonymous register.
+    pub fn ancilla_reg(&mut self, n: usize) -> Register {
+        let qubits = (0..n).map(|_| self.ancilla()).collect();
+        Register::new("anc", qubits)
+    }
+
+    /// Returns an ancilla (restored to `|0⟩`) to the pool.
+    pub fn release_ancilla(&mut self, q: QubitId) {
+        self.ancillas_in_use = self.ancillas_in_use.saturating_sub(1);
+        self.free_ancillas.push(q);
+    }
+
+    /// Releases every qubit of an ancilla register back to the pool.
+    pub fn release_ancilla_reg(&mut self, reg: Register) {
+        for q in reg.iter() {
+            self.release_ancilla(q);
+        }
+    }
+
+    /// Allocates a fresh classical bit.
+    pub fn clbit(&mut self) -> ClbitId {
+        let id = ClbitId(self.num_clbits as u32);
+        self.num_clbits += 1;
+        id
+    }
+
+    /// Total qubits allocated so far.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Maximum number of ancillas simultaneously checked out.
+    #[must_use]
+    pub fn ancilla_peak(&self) -> usize {
+        self.ancilla_peak
+    }
+
+    /// Total distinct ancilla qubits created (pool size).
+    #[must_use]
+    pub fn ancillas_created(&self) -> usize {
+        self.ancillas_created
+    }
+
+    /// Pushes a raw operation into the current frame.
+    pub fn push_op(&mut self, op: Op) {
+        self.frames
+            .last_mut()
+            .expect("builder always has a frame")
+            .push(op);
+    }
+
+    /// Emits an X (NOT) gate.
+    pub fn x(&mut self, q: QubitId) {
+        self.push_op(Op::Gate(Gate::X(q)));
+    }
+
+    /// Emits a Z gate.
+    pub fn z(&mut self, q: QubitId) {
+        self.push_op(Op::Gate(Gate::Z(q)));
+    }
+
+    /// Emits a Hadamard gate.
+    pub fn h(&mut self, q: QubitId) {
+        self.push_op(Op::Gate(Gate::H(q)));
+    }
+
+    /// Emits a phase rotation `R(θ)`; zero angles are dropped.
+    pub fn phase(&mut self, q: QubitId, theta: Angle) {
+        if !theta.is_zero() {
+            self.push_op(Op::Gate(Gate::Phase(q, theta)));
+        }
+    }
+
+    /// Emits a CNOT.
+    pub fn cx(&mut self, control: QubitId, target: QubitId) {
+        self.push_op(Op::Gate(Gate::Cx(control, target)));
+    }
+
+    /// Emits a CZ.
+    pub fn cz(&mut self, a: QubitId, b: QubitId) {
+        self.push_op(Op::Gate(Gate::Cz(a, b)));
+    }
+
+    /// Emits a Toffoli.
+    pub fn ccx(&mut self, c1: QubitId, c2: QubitId, target: QubitId) {
+        self.push_op(Op::Gate(Gate::Ccx(c1, c2, target)));
+    }
+
+    /// Emits a doubly-controlled Z.
+    pub fn ccz(&mut self, a: QubitId, b: QubitId, c: QubitId) {
+        self.push_op(Op::Gate(Gate::Ccz(a, b, c)));
+    }
+
+    /// Emits a controlled rotation `C-R(θ)`; zero angles are dropped.
+    pub fn cphase(&mut self, control: QubitId, target: QubitId, theta: Angle) {
+        if !theta.is_zero() {
+            self.push_op(Op::Gate(Gate::CPhase(control, target, theta)));
+        }
+    }
+
+    /// Emits a doubly-controlled rotation `CC-R(θ)`; zero angles dropped.
+    pub fn ccphase(&mut self, c1: QubitId, c2: QubitId, target: QubitId, theta: Angle) {
+        if !theta.is_zero() {
+            self.push_op(Op::Gate(Gate::CcPhase(c1, c2, target, theta)));
+        }
+    }
+
+    /// Emits a swap.
+    pub fn swap(&mut self, a: QubitId, b: QubitId) {
+        self.push_op(Op::Gate(Gate::Swap(a, b)));
+    }
+
+    /// Resets `q` to `|0⟩` via classical feed-forward (free in the paper's
+    /// gate counting; see [`Op::Reset`]).
+    pub fn reset(&mut self, q: QubitId) {
+        self.push_op(Op::Reset(q));
+    }
+
+    /// Measures `q` in `basis`, storing the outcome in a fresh classical
+    /// bit which is returned.
+    pub fn measure(&mut self, q: QubitId, basis: Basis) -> ClbitId {
+        let clbit = self.clbit();
+        self.push_op(Op::Measure {
+            qubit: q,
+            basis,
+            clbit,
+        });
+        clbit
+    }
+
+    /// Records the operations emitted by `f` into a block instead of the
+    /// circuit, returning `f`'s result alongside the block.
+    ///
+    /// Recording nests: a `record` inside `f` captures into its own block.
+    pub fn record<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> (T, OpBlock) {
+        self.frames.push(Vec::new());
+        let result = f(self);
+        let ops = self.frames.pop().expect("frame pushed above");
+        (result, OpBlock { ops })
+    }
+
+    /// Emits a previously recorded block.
+    pub fn emit(&mut self, block: &OpBlock) {
+        for op in &block.ops {
+            self.push_op(op.clone());
+        }
+    }
+
+    /// Emits the adjoint of a recorded block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::AdjointOfMeasurement`] if the block measures.
+    pub fn emit_adjoint(&mut self, block: &OpBlock) -> Result<(), CircuitError> {
+        let adj = block.adjoint()?;
+        self.emit(&adj);
+        Ok(())
+    }
+
+    /// Emits `block` under classical control: it executes only when `clbit`
+    /// reads 1.
+    pub fn emit_conditional(&mut self, clbit: ClbitId, block: &OpBlock) {
+        self.push_op(Op::Conditional {
+            clbit,
+            ops: block.ops.clone(),
+        });
+    }
+
+    /// Finishes building, returning the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a [`record`](Self::record) frame is still
+    /// open (impossible through the public API).
+    #[must_use]
+    pub fn finish(mut self) -> Circuit {
+        assert_eq!(self.frames.len(), 1, "unbalanced recording frames");
+        let ops = self.frames.pop().expect("main frame");
+        Circuit::from_ops(self.num_qubits, self.num_clbits, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_number_qubits_sequentially() {
+        let mut b = CircuitBuilder::new();
+        let x = b.qreg("x", 3);
+        let y = b.qreg("y", 2);
+        assert_eq!(x[2], QubitId(2));
+        assert_eq!(y[0], QubitId(3));
+        assert_eq!(b.num_qubits(), 5);
+    }
+
+    #[test]
+    fn ancilla_pool_reuses_released_qubits() {
+        let mut b = CircuitBuilder::new();
+        let a1 = b.ancilla();
+        b.release_ancilla(a1);
+        let a2 = b.ancilla();
+        assert_eq!(a1, a2, "released ancilla should be reused");
+        assert_eq!(b.ancillas_created(), 1);
+        assert_eq!(b.ancilla_peak(), 1);
+    }
+
+    #[test]
+    fn ancilla_peak_tracks_simultaneous_use() {
+        let mut b = CircuitBuilder::new();
+        let a = b.ancilla();
+        let c = b.ancilla();
+        b.release_ancilla(a);
+        b.release_ancilla(c);
+        let _ = b.ancilla();
+        assert_eq!(b.ancilla_peak(), 2);
+        assert_eq!(b.ancillas_created(), 2);
+    }
+
+    #[test]
+    fn record_and_emit_adjoint_round_trip() {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 2);
+        let (_, block) = b.record(|b| {
+            b.h(q[0]);
+            b.cx(q[0], q[1]);
+        });
+        b.emit(&block);
+        b.emit_adjoint(&block).unwrap();
+        let c = b.finish();
+        // H CX CX H — adjoint reverses order.
+        assert_eq!(c.ops().len(), 4);
+        assert_eq!(c.ops()[2], Op::Gate(Gate::Cx(q[0], q[1])));
+        assert_eq!(c.ops()[3], Op::Gate(Gate::H(q[0])));
+    }
+
+    #[test]
+    fn nested_recording_keeps_frames_separate() {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 1);
+        let (_, outer) = b.record(|b| {
+            b.x(q[0]);
+            let (_, inner) = b.record(|b| b.z(q[0]));
+            assert_eq!(inner.counts().z, 1);
+            b.emit(&inner);
+        });
+        assert_eq!(outer.counts().x, 1);
+        assert_eq!(outer.counts().z, 1);
+        assert_eq!(b.finish().ops().len(), 0);
+    }
+
+    #[test]
+    fn zero_angle_rotations_are_dropped() {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 2);
+        b.phase(q[0], Angle::ZERO);
+        b.cphase(q[0], q[1], Angle::ZERO);
+        assert_eq!(b.finish().ops().len(), 0);
+    }
+
+    #[test]
+    fn conditional_emission() {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 2);
+        let (_, fixup) = b.record(|b| b.cz(q[0], q[1]));
+        let m = b.measure(q[1], Basis::X);
+        b.emit_conditional(m, &fixup);
+        let c = b.finish();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.expected_counts().cz, 0.5);
+        assert_eq!(c.counts().measure_x, 1);
+    }
+
+    #[test]
+    fn register_take_prefix() {
+        let mut b = CircuitBuilder::new();
+        let x = b.qreg("x", 4);
+        let lo = x.take(2);
+        assert_eq!(lo.len(), 2);
+        assert_eq!(lo[1], x[1]);
+    }
+}

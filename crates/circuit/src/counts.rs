@@ -1,0 +1,430 @@
+//! Resource accounting: exact and expected gate counts.
+
+use std::fmt;
+use std::ops::Add;
+
+use crate::gate::{Basis, Gate};
+use crate::op::Op;
+
+/// Exact gate counts of a circuit, one field per gate family.
+///
+/// Operations inside [`Op::Conditional`] blocks are counted at full weight —
+/// this is the *worst-case* count. For the paper's "in expectation" columns
+/// (where classically-controlled corrections execute with probability ½) use
+/// [`ExpectedCounts`].
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::CircuitBuilder;
+///
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 3);
+/// b.ccx(q[0], q[1], q[2]);
+/// b.cx(q[0], q[1]);
+/// let counts = b.finish().counts();
+/// assert_eq!(counts.toffoli, 1);
+/// assert_eq!(counts.cx, 1);
+/// assert_eq!(counts.total_gates(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct GateCounts {
+    /// Pauli X (NOT) gates.
+    pub x: u64,
+    /// Pauli Z gates.
+    pub z: u64,
+    /// Hadamard gates.
+    pub h: u64,
+    /// Single-qubit phase rotations `R(θ)`.
+    pub phase: u64,
+    /// CNOT gates.
+    pub cx: u64,
+    /// CZ gates.
+    pub cz: u64,
+    /// Toffoli (CCX) gates.
+    pub toffoli: u64,
+    /// Doubly-controlled Z gates.
+    pub ccz: u64,
+    /// Controlled rotations `C-R(θ)`.
+    pub cphase: u64,
+    /// Doubly-controlled rotations `CC-R(θ)`.
+    pub ccphase: u64,
+    /// Swap gates.
+    pub swap: u64,
+    /// Computational-basis measurements.
+    pub measure_z: u64,
+    /// X-basis measurements (the MBU primitive).
+    pub measure_x: u64,
+    /// Qubit resets (classical feed-forward; free in the paper's counting).
+    pub reset: u64,
+}
+
+impl GateCounts {
+    /// Counts every operation in `ops`, weighting conditional bodies fully.
+    #[must_use]
+    pub fn from_ops(ops: &[Op]) -> Self {
+        let mut counts = Self::default();
+        counts.record_ops(ops);
+        counts
+    }
+
+    fn record_ops(&mut self, ops: &[Op]) {
+        for op in ops {
+            match op {
+                Op::Gate(g) => self.record_gate(g),
+                Op::Measure { basis, .. } => self.record_measurement(*basis),
+                Op::Conditional { ops, .. } => self.record_ops(ops),
+                Op::Reset(_) => self.reset += 1,
+            }
+        }
+    }
+
+    /// Adds one gate to the tally.
+    pub fn record_gate(&mut self, gate: &Gate) {
+        match gate {
+            Gate::X(_) => self.x += 1,
+            Gate::Z(_) => self.z += 1,
+            Gate::H(_) => self.h += 1,
+            Gate::Phase(..) => self.phase += 1,
+            Gate::Cx(..) => self.cx += 1,
+            Gate::Cz(..) => self.cz += 1,
+            Gate::Ccx(..) => self.toffoli += 1,
+            Gate::Ccz(..) => self.ccz += 1,
+            Gate::CPhase(..) => self.cphase += 1,
+            Gate::CcPhase(..) => self.ccphase += 1,
+            Gate::Swap(..) => self.swap += 1,
+        }
+    }
+
+    /// Adds one measurement to the tally.
+    pub fn record_measurement(&mut self, basis: Basis) {
+        match basis {
+            Basis::Z => self.measure_z += 1,
+            Basis::X => self.measure_x += 1,
+        }
+    }
+
+    /// The paper's "CNOT, CZ" column: CNOT plus (classically controlled or
+    /// not) CZ gates.
+    #[must_use]
+    pub fn cnot_cz(&self) -> u64 {
+        self.cx + self.cz
+    }
+
+    /// Total unitary gates (measurements excluded).
+    #[must_use]
+    pub fn total_gates(&self) -> u64 {
+        self.x
+            + self.z
+            + self.h
+            + self.phase
+            + self.cx
+            + self.cz
+            + self.toffoli
+            + self.ccz
+            + self.cphase
+            + self.ccphase
+            + self.swap
+    }
+
+    /// Total measurements, either basis.
+    #[must_use]
+    pub fn measurements(&self) -> u64 {
+        self.measure_z + self.measure_x
+    }
+}
+
+impl Add for GateCounts {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            x: self.x + rhs.x,
+            z: self.z + rhs.z,
+            h: self.h + rhs.h,
+            phase: self.phase + rhs.phase,
+            cx: self.cx + rhs.cx,
+            cz: self.cz + rhs.cz,
+            toffoli: self.toffoli + rhs.toffoli,
+            ccz: self.ccz + rhs.ccz,
+            cphase: self.cphase + rhs.cphase,
+            ccphase: self.ccphase + rhs.ccphase,
+            swap: self.swap + rhs.swap,
+            measure_z: self.measure_z + rhs.measure_z,
+            measure_x: self.measure_x + rhs.measure_x,
+            reset: self.reset + rhs.reset,
+        }
+    }
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tof={} CX={} CZ={} X={} H={} Z={} R={} CR={} CCR={} CCZ={} SWAP={} Mz={} Mx={}",
+            self.toffoli,
+            self.cx,
+            self.cz,
+            self.x,
+            self.h,
+            self.z,
+            self.phase,
+            self.cphase,
+            self.ccphase,
+            self.ccz,
+            self.swap,
+            self.measure_z,
+            self.measure_x,
+        )
+    }
+}
+
+/// Expected gate counts over the circuit's measurement randomness.
+///
+/// Each [`Op::Conditional`] block is weighted by ½ per nesting level,
+/// matching the paper's convention: MBU corrections (Lemma 4.1) and Gidney's
+/// AND-uncompute CZ both fire on a uniformly random X-measurement outcome,
+/// so their gates cost half "in expectation".
+///
+/// This weighting is exact precisely when every conditioning bit is the
+/// outcome of an X-basis measurement of a `{|0⟩,|1⟩}`-valued garbage qubit,
+/// which holds for every construction in this workspace.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::{Basis, CircuitBuilder, ExpectedCounts};
+///
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 2);
+/// let (_, cz_block) = b.record(|b| b.cz(q[0], q[1]));
+/// let outcome = b.measure(q[1], Basis::X);
+/// b.emit_conditional(outcome, &cz_block);
+/// let expected = b.finish().expected_counts();
+/// assert_eq!(expected.cz, 0.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+pub struct ExpectedCounts {
+    /// Expected Pauli X gates.
+    pub x: f64,
+    /// Expected Pauli Z gates.
+    pub z: f64,
+    /// Expected Hadamard gates.
+    pub h: f64,
+    /// Expected phase rotations.
+    pub phase: f64,
+    /// Expected CNOT gates.
+    pub cx: f64,
+    /// Expected CZ gates.
+    pub cz: f64,
+    /// Expected Toffoli gates.
+    pub toffoli: f64,
+    /// Expected CCZ gates.
+    pub ccz: f64,
+    /// Expected controlled rotations.
+    pub cphase: f64,
+    /// Expected doubly-controlled rotations.
+    pub ccphase: f64,
+    /// Expected swaps.
+    pub swap: f64,
+    /// Expected Z-basis measurements.
+    pub measure_z: f64,
+    /// Expected X-basis measurements.
+    pub measure_x: f64,
+    /// Expected resets.
+    pub reset: f64,
+}
+
+impl ExpectedCounts {
+    /// Counts `ops` weighting each conditional nesting level by ½.
+    #[must_use]
+    pub fn from_ops(ops: &[Op]) -> Self {
+        let mut counts = Self::default();
+        counts.record_ops(ops, 1.0);
+        counts
+    }
+
+    fn record_ops(&mut self, ops: &[Op], weight: f64) {
+        for op in ops {
+            match op {
+                Op::Gate(g) => self.record_gate(g, weight),
+                Op::Measure { basis, .. } => match basis {
+                    Basis::Z => self.measure_z += weight,
+                    Basis::X => self.measure_x += weight,
+                },
+                Op::Conditional { ops, .. } => self.record_ops(ops, weight / 2.0),
+                Op::Reset(_) => self.reset += weight,
+            }
+        }
+    }
+
+    fn record_gate(&mut self, gate: &Gate, weight: f64) {
+        match gate {
+            Gate::X(_) => self.x += weight,
+            Gate::Z(_) => self.z += weight,
+            Gate::H(_) => self.h += weight,
+            Gate::Phase(..) => self.phase += weight,
+            Gate::Cx(..) => self.cx += weight,
+            Gate::Cz(..) => self.cz += weight,
+            Gate::Ccx(..) => self.toffoli += weight,
+            Gate::Ccz(..) => self.ccz += weight,
+            Gate::CPhase(..) => self.cphase += weight,
+            Gate::CcPhase(..) => self.ccphase += weight,
+            Gate::Swap(..) => self.swap += weight,
+        }
+    }
+
+    /// The paper's "CNOT, CZ" column in expectation.
+    #[must_use]
+    pub fn cnot_cz(&self) -> f64 {
+        self.cx + self.cz
+    }
+
+    /// Total expected unitary gates.
+    #[must_use]
+    pub fn total_gates(&self) -> f64 {
+        self.x
+            + self.z
+            + self.h
+            + self.phase
+            + self.cx
+            + self.cz
+            + self.toffoli
+            + self.ccz
+            + self.cphase
+            + self.ccphase
+            + self.swap
+    }
+}
+
+impl From<GateCounts> for ExpectedCounts {
+    fn from(c: GateCounts) -> Self {
+        Self {
+            x: c.x as f64,
+            z: c.z as f64,
+            h: c.h as f64,
+            phase: c.phase as f64,
+            cx: c.cx as f64,
+            cz: c.cz as f64,
+            toffoli: c.toffoli as f64,
+            ccz: c.ccz as f64,
+            cphase: c.cphase as f64,
+            ccphase: c.ccphase as f64,
+            swap: c.swap as f64,
+            measure_z: c.measure_z as f64,
+            measure_x: c.measure_x as f64,
+            reset: c.reset as f64,
+        }
+    }
+}
+
+impl Add for ExpectedCounts {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            x: self.x + rhs.x,
+            z: self.z + rhs.z,
+            h: self.h + rhs.h,
+            phase: self.phase + rhs.phase,
+            cx: self.cx + rhs.cx,
+            cz: self.cz + rhs.cz,
+            toffoli: self.toffoli + rhs.toffoli,
+            ccz: self.ccz + rhs.ccz,
+            cphase: self.cphase + rhs.cphase,
+            ccphase: self.ccphase + rhs.ccphase,
+            swap: self.swap + rhs.swap,
+            measure_z: self.measure_z + rhs.measure_z,
+            measure_x: self.measure_x + rhs.measure_x,
+            reset: self.reset + rhs.reset,
+        }
+    }
+}
+
+impl fmt::Display for ExpectedCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tof={:.2} CX={:.2} CZ={:.2} X={:.2} H={:.2} R={:.2} CR={:.2}",
+            self.toffoli, self.cx, self.cz, self.x, self.h, self.phase, self.cphase,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ClbitId, QubitId};
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    #[test]
+    fn worst_case_counts_conditionals_fully() {
+        let ops = vec![
+            Op::Gate(Gate::Ccx(q(0), q(1), q(2))),
+            Op::Conditional {
+                clbit: ClbitId(0),
+                ops: vec![Op::Gate(Gate::Cz(q(0), q(1)))],
+            },
+        ];
+        let counts = GateCounts::from_ops(&ops);
+        assert_eq!(counts.toffoli, 1);
+        assert_eq!(counts.cz, 1);
+        assert_eq!(counts.cnot_cz(), 1);
+    }
+
+    #[test]
+    fn expected_counts_halve_per_nesting_level() {
+        let inner = Op::Conditional {
+            clbit: ClbitId(1),
+            ops: vec![Op::Gate(Gate::X(q(0)))],
+        };
+        let ops = vec![
+            Op::Gate(Gate::X(q(0))),
+            Op::Conditional {
+                clbit: ClbitId(0),
+                ops: vec![Op::Gate(Gate::X(q(0))), inner],
+            },
+        ];
+        let expected = ExpectedCounts::from_ops(&ops);
+        assert_eq!(expected.x, 1.0 + 0.5 + 0.25);
+    }
+
+    #[test]
+    fn adding_counts_is_fieldwise() {
+        let a = GateCounts {
+            toffoli: 2,
+            cx: 3,
+            ..GateCounts::default()
+        };
+        let b = GateCounts {
+            toffoli: 5,
+            measure_x: 1,
+            ..GateCounts::default()
+        };
+        let sum = a + b;
+        assert_eq!(sum.toffoli, 7);
+        assert_eq!(sum.cx, 3);
+        assert_eq!(sum.measure_x, 1);
+    }
+
+    #[test]
+    fn conversion_from_exact_counts() {
+        let c = GateCounts {
+            h: 4,
+            measure_x: 2,
+            ..GateCounts::default()
+        };
+        let e = ExpectedCounts::from(c);
+        assert_eq!(e.h, 4.0);
+        assert_eq!(e.measure_x, 2.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!GateCounts::default().to_string().is_empty());
+        assert!(!ExpectedCounts::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Circuit depth via ASAP (as-soon-as-possible) scheduling.
+//!
+//! Depth is computed over the dependency graph induced by shared qubits and
+//! by classical bits (a measurement writes a bit; a conditional block reads
+//! it). Two weighting schemes are exposed through
+//! [`Circuit`](crate::Circuit):
+//!
+//! * full depth — every operation occupies one layer;
+//! * Toffoli depth — only Toffoli-family gates (CCX, CCZ, CC-R) occupy a
+//!   layer, the metric the paper's headline "Toffoli count and depth"
+//!   improvements are stated in.
+
+use crate::gate::Gate;
+use crate::op::Op;
+
+/// Scheduling weights: how many layers each kind of operation occupies.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DepthWeights {
+    pub gate: fn(&Gate) -> u64,
+    pub measure: u64,
+}
+
+pub(crate) const FULL: DepthWeights = DepthWeights {
+    gate: |_| 1,
+    measure: 1,
+};
+
+pub(crate) const TOFFOLI: DepthWeights = DepthWeights {
+    gate: |g| match g {
+        Gate::Ccx(..) | Gate::Ccz(..) | Gate::CcPhase(..) => 1,
+        _ => 0,
+    },
+    measure: 0,
+};
+
+/// Computes the ASAP depth of `ops` under the given weights.
+///
+/// Conditional bodies are scheduled at full weight (worst case) and cannot
+/// start before the conditioning classical bit has been written.
+pub(crate) fn depth(
+    ops: &[Op],
+    num_qubits: usize,
+    num_clbits: usize,
+    weights: DepthWeights,
+) -> u64 {
+    let mut qubit_time = vec![0u64; num_qubits];
+    let mut clbit_time = vec![0u64; num_clbits];
+    walk(ops, &mut qubit_time, &mut clbit_time, weights, 0);
+    qubit_time
+        .iter()
+        .chain(clbit_time.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+fn walk(
+    ops: &[Op],
+    qubit_time: &mut [u64],
+    clbit_time: &mut [u64],
+    weights: DepthWeights,
+    floor: u64,
+) {
+    for op in ops {
+        match op {
+            Op::Gate(g) => {
+                let mut start = floor;
+                g.for_each_qubit(&mut |q| start = start.max(qubit_time[q.index()]));
+                let end = start + (weights.gate)(g);
+                g.for_each_qubit(&mut |q| qubit_time[q.index()] = end);
+            }
+            Op::Measure { qubit, clbit, .. } => {
+                let start = floor.max(qubit_time[qubit.index()]);
+                let end = start + weights.measure;
+                qubit_time[qubit.index()] = end;
+                clbit_time[clbit.index()] = end;
+            }
+            Op::Conditional { clbit, ops } => {
+                let inner_floor = floor.max(clbit_time[clbit.index()]);
+                walk(ops, qubit_time, clbit_time, weights, inner_floor);
+            }
+            Op::Reset(qubit) => {
+                let start = floor.max(qubit_time[qubit.index()]);
+                qubit_time[qubit.index()] = start + weights.measure;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Basis;
+    use crate::op::{ClbitId, QubitId};
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    #[test]
+    fn parallel_gates_share_a_layer() {
+        let ops = vec![
+            Op::Gate(Gate::H(q(0))),
+            Op::Gate(Gate::H(q(1))),
+            Op::Gate(Gate::Cx(q(0), q(1))),
+        ];
+        assert_eq!(depth(&ops, 2, 0, FULL), 2);
+    }
+
+    #[test]
+    fn toffoli_depth_ignores_clifford_layers() {
+        let ops = vec![
+            Op::Gate(Gate::H(q(0))),
+            Op::Gate(Gate::Ccx(q(0), q(1), q(2))),
+            Op::Gate(Gate::Cx(q(2), q(3))),
+            Op::Gate(Gate::Ccx(q(0), q(1), q(2))),
+        ];
+        assert_eq!(depth(&ops, 4, 0, TOFFOLI), 2);
+        assert_eq!(depth(&ops, 4, 0, FULL), 4);
+    }
+
+    #[test]
+    fn independent_toffolis_are_one_layer_deep() {
+        let ops = vec![
+            Op::Gate(Gate::Ccx(q(0), q(1), q(2))),
+            Op::Gate(Gate::Ccx(q(3), q(4), q(5))),
+        ];
+        assert_eq!(depth(&ops, 6, 0, TOFFOLI), 1);
+    }
+
+    #[test]
+    fn conditional_waits_for_its_classical_bit() {
+        let ops = vec![
+            Op::Measure {
+                qubit: q(0),
+                basis: Basis::X,
+                clbit: ClbitId(0),
+            },
+            Op::Conditional {
+                clbit: ClbitId(0),
+                // Touches a fresh qubit, yet must still start after the
+                // measurement that produced the classical bit.
+                ops: vec![Op::Gate(Gate::X(q(1)))],
+            },
+        ];
+        assert_eq!(depth(&ops, 2, 1, FULL), 2);
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_depth() {
+        assert_eq!(depth(&[], 3, 1, FULL), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! ASCII circuit diagrams.
+//!
+//! Renders circuits in the style of the paper's figures: one row per qubit,
+//! time flowing left to right, controls drawn as `●`, X-targets as `⊕`,
+//! with vertical connectors between operands. Classically-controlled gates
+//! are annotated with `?cN`, and measurements as `Mz→cN` / `Mx→cN`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mbu_circuit::CircuitBuilder;
+//! use mbu_circuit::diagram::render;
+//!
+//! let mut b = CircuitBuilder::new();
+//! let q = b.qreg("q", 3);
+//! b.ccx(q[0], q[1], q[2]);
+//! let art = render(&b.finish(), &["c", "x", "y"]);
+//! assert!(art.contains("⊕"));
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::{Basis, Gate};
+use crate::op::{ClbitId, Op};
+
+/// One drawable item: symbols on operand rows, connectors between them.
+struct Item {
+    /// `(row, symbol)` for operand rows.
+    cells: Vec<(usize, String)>,
+    /// Full vertical extent `[lo, hi]` the item occupies.
+    lo: usize,
+    hi: usize,
+}
+
+fn gate_item(gate: &Gate, cond: Option<ClbitId>) -> Item {
+    let sym = |s: &str| s.to_string();
+    let mut cells: Vec<(usize, String)> = match *gate {
+        Gate::X(q) => vec![(q.index(), sym("X"))],
+        Gate::Z(q) => vec![(q.index(), sym("Z"))],
+        Gate::H(q) => vec![(q.index(), sym("H"))],
+        Gate::Phase(q, _) => vec![(q.index(), sym("R"))],
+        Gate::Cx(c, t) => vec![(c.index(), sym("●")), (t.index(), sym("⊕"))],
+        Gate::Cz(a, b) => vec![(a.index(), sym("●")), (b.index(), sym("●"))],
+        Gate::Ccx(c1, c2, t) => vec![
+            (c1.index(), sym("●")),
+            (c2.index(), sym("●")),
+            (t.index(), sym("⊕")),
+        ],
+        Gate::Ccz(a, b, c) => vec![
+            (a.index(), sym("●")),
+            (b.index(), sym("●")),
+            (c.index(), sym("●")),
+        ],
+        Gate::CPhase(c, t, _) => vec![(c.index(), sym("●")), (t.index(), sym("R"))],
+        Gate::CcPhase(c1, c2, t, _) => vec![
+            (c1.index(), sym("●")),
+            (c2.index(), sym("●")),
+            (t.index(), sym("R")),
+        ],
+        Gate::Swap(a, b) => vec![(a.index(), sym("✕")), (b.index(), sym("✕"))],
+    };
+    if let Some(c) = cond {
+        // Annotate the first operand row with the classical condition.
+        let (_, s) = &mut cells[0];
+        s.push_str(&format!("?c{}", c.0));
+    }
+    let lo = cells.iter().map(|(r, _)| *r).min().unwrap_or(0);
+    let hi = cells.iter().map(|(r, _)| *r).max().unwrap_or(0);
+    Item { cells, lo, hi }
+}
+
+fn flatten(ops: &[Op], cond: Option<ClbitId>, items: &mut Vec<Item>) {
+    for op in ops {
+        match op {
+            Op::Gate(g) => items.push(gate_item(g, cond)),
+            Op::Measure { qubit, basis, clbit } => {
+                let label = match basis {
+                    Basis::Z => format!("Mz→c{}", clbit.0),
+                    Basis::X => format!("Mx→c{}", clbit.0),
+                };
+                items.push(Item {
+                    cells: vec![(qubit.index(), label)],
+                    lo: qubit.index(),
+                    hi: qubit.index(),
+                });
+            }
+            Op::Conditional { clbit, ops } => flatten(ops, Some(*clbit), items),
+            Op::Reset(qubit) => items.push(Item {
+                cells: vec![(qubit.index(), "|0⟩".to_string())],
+                lo: qubit.index(),
+                hi: qubit.index(),
+            }),
+        }
+    }
+}
+
+/// Renders `circuit` as ASCII art with the given per-qubit row labels.
+///
+/// Missing labels default to `q{i}`; extra labels are ignored.
+#[must_use]
+pub fn render<S: AsRef<str>>(circuit: &Circuit, labels: &[S]) -> String {
+    render_ops(circuit.ops(), circuit.num_qubits(), labels)
+}
+
+/// Renders a raw op list over `num_qubits` rows.
+#[must_use]
+pub fn render_ops<S: AsRef<str>>(ops: &[Op], num_qubits: usize, labels: &[S]) -> String {
+    let mut items = Vec::new();
+    flatten(ops, None, &mut items);
+
+    // ASAP layering: each item lands in the first column where its whole
+    // vertical span is free.
+    let mut row_time = vec![0usize; num_qubits];
+    let mut placed: Vec<(usize, Item)> = Vec::new(); // (column, item)
+    let mut num_cols = 0;
+    for item in items {
+        let col = row_time[item.lo..=item.hi]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        for t in &mut row_time[item.lo..=item.hi] {
+            *t = col + 1;
+        }
+        num_cols = num_cols.max(col + 1);
+        placed.push((col, item));
+    }
+
+    // Cell contents: grid[row][col] = Some(symbol) or None (wire).
+    let mut grid: Vec<Vec<Option<String>>> = vec![vec![None; num_cols]; num_qubits];
+    for (col, item) in &placed {
+        for row in &mut grid[item.lo..=item.hi] {
+            row[*col] = Some("│".to_string());
+        }
+        for (r, s) in &item.cells {
+            grid[*r][*col] = Some(s.clone());
+        }
+    }
+
+    let col_width: Vec<usize> = (0..num_cols)
+        .map(|c| {
+            grid.iter()
+                .filter_map(|row| row[c].as_ref())
+                .map(|s| s.chars().count())
+                .max()
+                .unwrap_or(1)
+        })
+        .collect();
+
+    let label_of = |i: usize| -> String {
+        labels
+            .get(i)
+            .map(|s| s.as_ref().to_string())
+            .unwrap_or_else(|| format!("q{i}"))
+    };
+    let label_width = (0..num_qubits)
+        .map(|i| label_of(i).chars().count())
+        .max()
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = label_of(r);
+        let pad = label_width - label.chars().count();
+        out.push_str(&label);
+        out.push_str(&" ".repeat(pad));
+        out.push_str(": ");
+        for c in 0..num_cols {
+            out.push('─');
+            let w = col_width[c];
+            match &row[c] {
+                Some(s) => {
+                    let len = s.chars().count();
+                    let left = (w - len) / 2;
+                    let right = w - len - left;
+                    out.push_str(&"─".repeat(left));
+                    out.push_str(s);
+                    out.push_str(&"─".repeat(right));
+                }
+                None => out.push_str(&"─".repeat(w)),
+            }
+            out.push('─');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn renders_toffoli_with_connectors() {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 4);
+        b.ccx(q[0], q[2], q[3]);
+        let art = render(&b.finish(), &["a", "b", "c", "d"]);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('●'));
+        assert!(lines[1].contains('│'), "pass-through row gets a connector");
+        assert!(lines[2].contains('●'));
+        assert!(lines[3].contains('⊕'));
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 2);
+        b.h(q[0]);
+        b.h(q[1]);
+        let art = render(&b.finish(), &["x", "y"]);
+        let width0 = art.lines().next().unwrap().chars().count();
+        let mut b2 = CircuitBuilder::new();
+        let q2 = b2.qreg("q", 2);
+        b2.h(q2[0]);
+        b2.cx(q2[0], q2[1]);
+        let art2 = render(&b2.finish(), &["x", "y"]);
+        let width2 = art2.lines().next().unwrap().chars().count();
+        assert!(width0 < width2, "independent gates pack into one column");
+    }
+
+    #[test]
+    fn conditional_gates_are_annotated() {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 2);
+        let (_, fix) = b.record(|b| b.cz(q[0], q[1]));
+        let m = b.measure(q[1], crate::Basis::X);
+        b.emit_conditional(m, &fix);
+        let art = render(&b.finish(), &["x", "g"]);
+        assert!(art.contains("Mx→c0"));
+        assert!(art.contains("?c0"));
+    }
+
+    #[test]
+    fn default_labels_when_none_given() {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 1);
+        b.x(q[0]);
+        let art = render(&b.finish(), &[] as &[&str]);
+        assert!(art.starts_with("q0"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Errors for circuit construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or transforming circuits.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::{Basis, CircuitBuilder, CircuitError};
+///
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 1);
+/// b.measure(q[0], Basis::X);
+/// let circuit = b.finish();
+/// assert!(matches!(circuit.adjoint(), Err(CircuitError::AdjointOfMeasurement)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// Tried to take the adjoint of an operation containing a measurement.
+    ///
+    /// Measurement is irreversible; as the paper observes (Remark 2.23),
+    /// circuits with measurement-based uncomputation must be inverted by
+    /// swapping the roles of computation and uncomputation instead.
+    AdjointOfMeasurement,
+    /// An operation references a qubit index outside the circuit.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// Number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// An operation references a classical bit index outside the circuit.
+    ClbitOutOfRange {
+        /// The offending classical bit index.
+        clbit: u32,
+        /// Number of classical bits in the circuit.
+        num_clbits: usize,
+    },
+    /// A gate uses the same qubit for two different operands.
+    DuplicateOperand {
+        /// The duplicated qubit index.
+        qubit: u32,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::AdjointOfMeasurement => {
+                write!(f, "cannot take the adjoint of a measurement")
+            }
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit q{qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::ClbitOutOfRange { clbit, num_clbits } => write!(
+                f,
+                "classical bit c{clbit} out of range for {num_clbits} classical bits"
+            ),
+            CircuitError::DuplicateOperand { qubit } => {
+                write!(f, "gate uses qubit q{qubit} for more than one operand")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CircuitError::AdjointOfMeasurement.to_string(),
+            "cannot take the adjoint of a measurement"
+        );
+        assert!(CircuitError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 3
+        }
+        .to_string()
+        .contains("q9"));
+        assert!(CircuitError::DuplicateOperand { qubit: 2 }
+            .to_string()
+            .contains("q2"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Operations: gates, measurements and classically-controlled blocks.
+
+use std::fmt;
+
+use crate::error::CircuitError;
+use crate::gate::{Basis, Gate};
+
+/// Identifier of a qubit within a [`Circuit`](crate::Circuit).
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::QubitId;
+///
+/// let q = QubitId(3);
+/// assert_eq!(q.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct QubitId(pub u32);
+
+impl QubitId {
+    /// The qubit's index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identifier of a classical bit (a measurement record slot).
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::ClbitId;
+///
+/// assert_eq!(ClbitId(0).index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClbitId(pub u32);
+
+impl ClbitId {
+    /// The classical bit's index as a `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClbitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One step of an adaptive quantum circuit.
+///
+/// Besides unitary [`Gate`]s, circuits may measure qubits mid-circuit
+/// (writing the outcome to a classical bit) and execute blocks of operations
+/// conditioned on a classical bit being 1. These two non-unitary operations
+/// are exactly what the MBU lemma (Lemma 4.1) and Gidney's logical-AND
+/// uncomputation (Figure 11) require.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::{Basis, Gate, Op, ClbitId, QubitId};
+///
+/// // Gidney's AND uncompute: measure in X, then CZ under classical control.
+/// let ops = vec![
+///     Op::Measure { qubit: QubitId(2), basis: Basis::X, clbit: ClbitId(0) },
+///     Op::Conditional {
+///         clbit: ClbitId(0),
+///         ops: vec![Op::Gate(Gate::Cz(QubitId(0), QubitId(1)))],
+///     },
+/// ];
+/// assert_eq!(ops.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// A unitary gate.
+    Gate(Gate),
+    /// Measure `qubit` in `basis`; store the outcome in `clbit` and leave
+    /// the qubit in the corresponding post-measurement basis state.
+    Measure {
+        /// The measured qubit.
+        qubit: QubitId,
+        /// Measurement basis (`Z` computational, `X` Hadamard).
+        basis: Basis,
+        /// Classical record slot receiving the outcome.
+        clbit: ClbitId,
+    },
+    /// Execute `ops` if the classical bit `clbit` holds 1, else skip.
+    Conditional {
+        /// The controlling classical bit.
+        clbit: ClbitId,
+        /// The conditioned block.
+        ops: Vec<Op>,
+    },
+    /// Return `qubit` to `|0⟩` (measure and classically flip).
+    ///
+    /// Used after measurement-based uncomputation to recycle the measured
+    /// ancilla — the qubit is already in a known computational state, so
+    /// hardware performs this with classical feed-forward rather than
+    /// quantum gates, and the paper's gate counts exclude it.
+    Reset(QubitId),
+}
+
+impl Op {
+    /// The adjoint of this operation.
+    ///
+    /// Conditional blocks invert to conditional blocks over the adjoint body
+    /// (conditioning on an already-written classical bit commutes with
+    /// unitaries on other qubits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::AdjointOfMeasurement`] if the operation is or
+    /// contains a measurement: measurement is irreversible, as the paper
+    /// notes for the logical-AND adder (Remark 2.23).
+    pub fn adjoint(&self) -> Result<Op, CircuitError> {
+        match self {
+            Op::Gate(g) => Ok(Op::Gate(g.adjoint())),
+            Op::Measure { .. } | Op::Reset(_) => Err(CircuitError::AdjointOfMeasurement),
+            Op::Conditional { clbit, ops } => {
+                let mut inverted = Vec::with_capacity(ops.len());
+                for op in ops.iter().rev() {
+                    inverted.push(op.adjoint()?);
+                }
+                Ok(Op::Conditional {
+                    clbit: *clbit,
+                    ops: inverted,
+                })
+            }
+        }
+    }
+
+    /// Whether the operation (recursively) contains a measurement.
+    #[must_use]
+    pub fn contains_measurement(&self) -> bool {
+        match self {
+            Op::Gate(_) => false,
+            Op::Measure { .. } | Op::Reset(_) => true,
+            Op::Conditional { ops, .. } => ops.iter().any(Op::contains_measurement),
+        }
+    }
+
+    /// Calls `visit` for every qubit the operation touches (recursively).
+    pub fn for_each_qubit(&self, visit: &mut impl FnMut(QubitId)) {
+        match self {
+            Op::Gate(g) => g.for_each_qubit(visit),
+            Op::Measure { qubit, .. } => visit(*qubit),
+            Op::Reset(qubit) => visit(*qubit),
+            Op::Conditional { ops, .. } => {
+                for op in ops {
+                    op.for_each_qubit(visit);
+                }
+            }
+        }
+    }
+
+    /// The largest classical-bit index referenced, if any.
+    #[must_use]
+    pub fn max_clbit(&self) -> Option<u32> {
+        match self {
+            Op::Gate(_) | Op::Reset(_) => None,
+            Op::Measure { clbit, .. } => Some(clbit.0),
+            Op::Conditional { clbit, ops } => {
+                let inner = ops.iter().filter_map(Op::max_clbit).max();
+                Some(inner.map_or(clbit.0, |m| m.max(clbit.0)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Angle;
+
+    #[test]
+    fn adjoint_of_gate_op() {
+        let op = Op::Gate(Gate::Phase(QubitId(0), Angle::turn_over_power_of_two(3)));
+        let adj = op.adjoint().unwrap();
+        let Op::Gate(Gate::Phase(_, theta)) = adj else {
+            panic!("expected phase gate");
+        };
+        assert_eq!(theta, -Angle::turn_over_power_of_two(3));
+    }
+
+    #[test]
+    fn adjoint_of_measurement_is_an_error() {
+        let op = Op::Measure {
+            qubit: QubitId(0),
+            basis: Basis::X,
+            clbit: ClbitId(0),
+        };
+        assert!(matches!(
+            op.adjoint(),
+            Err(CircuitError::AdjointOfMeasurement)
+        ));
+    }
+
+    #[test]
+    fn adjoint_of_conditional_reverses_body() {
+        let body = vec![
+            Op::Gate(Gate::X(QubitId(0))),
+            Op::Gate(Gate::Cx(QubitId(0), QubitId(1))),
+        ];
+        let op = Op::Conditional {
+            clbit: ClbitId(1),
+            ops: body,
+        };
+        let Op::Conditional { clbit, ops } = op.adjoint().unwrap() else {
+            panic!("expected conditional");
+        };
+        assert_eq!(clbit, ClbitId(1));
+        assert_eq!(ops[0], Op::Gate(Gate::Cx(QubitId(0), QubitId(1))));
+        assert_eq!(ops[1], Op::Gate(Gate::X(QubitId(0))));
+    }
+
+    #[test]
+    fn contains_measurement_recurses() {
+        let op = Op::Conditional {
+            clbit: ClbitId(0),
+            ops: vec![Op::Measure {
+                qubit: QubitId(1),
+                basis: Basis::Z,
+                clbit: ClbitId(1),
+            }],
+        };
+        assert!(op.contains_measurement());
+        assert_eq!(op.max_clbit(), Some(1));
+    }
+}

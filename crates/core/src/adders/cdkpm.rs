@@ -1,0 +1,466 @@
+//! The Cuccaro–Draper–Kutin–Petrie-Moulton (CDKPM) ripple-carry adder
+//! (Prop 2.3, Figures 6–9), its single-ancilla controlled variant
+//! (Theorem 2.12) and its half-subtractor comparator (Prop 2.27).
+//!
+//! The CDKPM adder rides the carry on the `x` wires via the in-place
+//! majority gate `MAJ` and undoes it with `UMA` ("UnMajority and Add"),
+//! needing only a single ancilla — 2n Toffolis and 4n+1 CNOTs.
+
+use mbu_circuit::{CircuitBuilder, QubitId};
+
+use crate::util::{expect_width, nonempty};
+use crate::ArithError;
+
+/// The MAJ gate (Figure 6):
+/// `|c, y, x⟩ ↦ |c⊕x, y⊕x, maj(x, y, c)⟩`.
+fn maj(b: &mut CircuitBuilder, c: QubitId, y: QubitId, x: QubitId) {
+    b.cx(x, y);
+    b.cx(x, c);
+    b.ccx(c, y, x);
+}
+
+/// The adjoint of [`maj`].
+fn maj_dag(b: &mut CircuitBuilder, c: QubitId, y: QubitId, x: QubitId) {
+    b.ccx(c, y, x);
+    b.cx(x, c);
+    b.cx(x, y);
+}
+
+/// The 2-CNOT UMA gate (Figure 7):
+/// `|c⊕x, y⊕x, maj(x,y,c)⟩ ↦ |c, x⊕y⊕c, x⟩`.
+fn uma(b: &mut CircuitBuilder, c: QubitId, y: QubitId, x: QubitId) {
+    b.ccx(c, y, x);
+    b.cx(x, c);
+    b.cx(c, y);
+}
+
+/// The controlled UMA gate (Figure 16 / Theorem 2.12): restores `c` and `x`
+/// unconditionally and writes the sum only when `control` is set:
+/// `y ↦ y ⊕ control·(x ⊕ c)`.
+fn cuma(b: &mut CircuitBuilder, control: QubitId, c: QubitId, y: QubitId, x: QubitId) {
+    b.ccx(c, y, x); // restore x
+    b.ccx(control, c, y); // y ⊕= control·(c ⊕ x)  [c wire holds c⊕x]
+    b.cx(x, c); // restore c
+    b.cx(x, y); // y ⊕= x, cancelling MAJ's unconditional y ⊕= x
+}
+
+/// The carry wire feeding position `k`: the ancilla for `k = 0`, otherwise
+/// `x_{k−1}`.
+fn carry_wire(anc: QubitId, x: &[QubitId], k: usize) -> QubitId {
+    if k == 0 {
+        anc
+    } else {
+        x[k - 1]
+    }
+}
+
+/// Emits the CDKPM plain adder (Prop 2.3, Figure 8):
+/// `|x⟩_n |y⟩_{n+1} ↦ |x⟩_n |(y + x) mod 2^{n+1}⟩_{n+1}`.
+///
+/// Uses one ancilla (2n Toffolis, 4n+1 CNOTs).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn add(b: &mut CircuitBuilder, x: &[QubitId], y: &[QubitId]) -> Result<(), ArithError> {
+    let n = nonempty("CDKPM adder", x)?;
+    expect_width("CDKPM adder target", y, n + 1)?;
+    let anc = b.ancilla();
+    for k in 0..n {
+        maj(b, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    b.cx(x[n - 1], y[n]);
+    for k in (0..n).rev() {
+        uma(b, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    b.release_ancilla(anc);
+    Ok(())
+}
+
+/// Emits the CDKPM adder without a carry-out:
+/// `|x⟩_n |y⟩_n ↦ |x⟩_n |(y + x) mod 2^n⟩_n`.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len()`.
+pub fn wrapping_add(
+    b: &mut CircuitBuilder,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("CDKPM wrapping adder", x)?;
+    expect_width("CDKPM wrapping adder target", y, n)?;
+    let anc = b.ancilla();
+    for k in 0..n {
+        maj(b, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    for k in (0..n).rev() {
+        uma(b, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    b.release_ancilla(anc);
+    Ok(())
+}
+
+/// Emits the controlled CDKPM adder with a single ancilla (Theorem 2.12):
+/// `|c⟩ |x⟩_n |y⟩_{n+1} ↦ |c⟩ |x⟩_n |(y + c·x) mod 2^{n+1}⟩_{n+1}`.
+///
+/// Costs 3n+1 Toffolis (the paper states 3n; the +1 is the controlled
+/// carry-out copy, see DESIGN.md).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn controlled_add(
+    b: &mut CircuitBuilder,
+    control: QubitId,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("controlled CDKPM adder", x)?;
+    expect_width("controlled CDKPM adder target", y, n + 1)?;
+    let anc = b.ancilla();
+    for k in 0..n {
+        maj(b, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    b.ccx(control, x[n - 1], y[n]);
+    for k in (0..n).rev() {
+        cuma(b, control, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    b.release_ancilla(anc);
+    Ok(())
+}
+
+/// Emits the controlled CDKPM adder without a carry-out:
+/// `|c⟩ |x⟩_n |y⟩_n ↦ |c⟩ |x⟩_n |(y + c·x) mod 2^n⟩_n`.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len()`.
+pub fn controlled_wrapping_add(
+    b: &mut CircuitBuilder,
+    control: QubitId,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("controlled CDKPM wrapping adder", x)?;
+    expect_width("controlled CDKPM wrapping adder target", y, n)?;
+    let anc = b.ancilla();
+    for k in 0..n {
+        maj(b, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    for k in (0..n).rev() {
+        cuma(b, control, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    b.release_ancilla(anc);
+    Ok(())
+}
+
+/// Emits the CDKPM half-subtractor comparator (Prop 2.27, Figure 21):
+/// `t ⊕= 1[x > y]`, or `t ⊕= control·1[x > y]` when a control is given
+/// (Prop 2.30); `x` and `y` are unchanged.
+///
+/// Implementation: `1[x > y]` is the carry out of `x + ȳ`, computed with a
+/// MAJ chain over the complemented `y`, copied to `t`, then unwound — half
+/// the work of a full subtract-compare-add.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `x.len() == y.len()`.
+pub fn compare_gt(
+    b: &mut CircuitBuilder,
+    control: Option<QubitId>,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = nonempty("CDKPM comparator", x)?;
+    expect_width("CDKPM comparator second operand", y, n)?;
+    for &q in y {
+        b.x(q);
+    }
+    let anc = b.ancilla();
+    for k in 0..n {
+        maj(b, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    match control {
+        None => b.cx(x[n - 1], t),
+        Some(c) => b.ccx(c, x[n - 1], t),
+    }
+    for k in (0..n).rev() {
+        maj_dag(b, carry_wire(anc, x, k), y[k], x[k]);
+    }
+    b.release_ancilla(anc);
+    for &q in y {
+        b.x(q);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::CircuitBuilder;
+    use mbu_sim::BasisTracker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simulate(
+        build: impl FnOnce(&mut CircuitBuilder) -> (Vec<(Vec<QubitId>, u128)>, Vec<QubitId>),
+    ) -> (u128, mbu_circuit::Angle) {
+        let mut b = CircuitBuilder::new();
+        let (inputs, out) = build(&mut b);
+        let circuit = b.finish();
+        circuit.validate().unwrap();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        for (reg, v) in &inputs {
+            sim.set_value(reg, *v);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        sim.run(&circuit, &mut rng).unwrap();
+        (sim.value(&out).unwrap(), sim.global_phase())
+    }
+
+    #[test]
+    fn adds_exhaustively_for_small_n() {
+        for n in 1..=4usize {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << (n + 1)) {
+                    let (got, phase) = simulate(|b| {
+                        let xr = b.qreg("x", n);
+                        let yr = b.qreg("y", n + 1);
+                        add(b, xr.qubits(), yr.qubits()).unwrap();
+                        (
+                            vec![
+                                (xr.qubits().to_vec(), x),
+                                (yr.qubits().to_vec(), y),
+                            ],
+                            yr.qubits().to_vec(),
+                        )
+                    });
+                    assert_eq!(got, (x + y) % (1 << (n + 1)), "{x}+{y} n={n}");
+                    assert!(phase.is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toffoli_count_is_2n_and_cnot_4n_plus_1() {
+        for n in [1usize, 4, 11, 32] {
+            let mut b = CircuitBuilder::new();
+            let xr = b.qreg("x", n);
+            let yr = b.qreg("y", n + 1);
+            add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+            assert_eq!(b.ancilla_peak(), 1);
+            let counts = b.finish().counts();
+            assert_eq!(counts.toffoli, 2 * n as u64, "n={n}");
+            assert_eq!(counts.cx, 4 * n as u64 + 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn controlled_add_respects_control() {
+        let n = 4usize;
+        for x in [0u128, 5, 9, 15] {
+            for y in [0u128, 7, 21, 31] {
+                for ctrl in [false, true] {
+                    let (got, phase) = simulate(|b| {
+                        let c = b.qubit();
+                        let xr = b.qreg("x", n);
+                        let yr = b.qreg("y", n + 1);
+                        controlled_add(b, c, xr.qubits(), yr.qubits()).unwrap();
+                        (
+                            vec![
+                                (vec![c], u128::from(ctrl)),
+                                (xr.qubits().to_vec(), x),
+                                (yr.qubits().to_vec(), y),
+                            ],
+                            yr.qubits().to_vec(),
+                        )
+                    });
+                    let expected = if ctrl { (x + y) % 32 } else { y };
+                    assert_eq!(got, expected, "c={ctrl} {x}+{y}");
+                    assert!(phase.is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_add_exhaustive_small() {
+        let n = 2usize;
+        for x in 0..4u128 {
+            for y in 0..8u128 {
+                for ctrl in [false, true] {
+                    let (got, _) = simulate(|b| {
+                        let c = b.qubit();
+                        let xr = b.qreg("x", n);
+                        let yr = b.qreg("y", n + 1);
+                        controlled_add(b, c, xr.qubits(), yr.qubits()).unwrap();
+                        (
+                            vec![
+                                (vec![c], u128::from(ctrl)),
+                                (xr.qubits().to_vec(), x),
+                                (yr.qubits().to_vec(), y),
+                            ],
+                            yr.qubits().to_vec(),
+                        )
+                    });
+                    let expected = if ctrl { (x + y) % 8 } else { y };
+                    assert_eq!(got, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_add_uses_3n_plus_1_toffolis_and_1_ancilla() {
+        let n = 9usize;
+        let mut b = CircuitBuilder::new();
+        let c = b.qubit();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        controlled_add(&mut b, c, xr.qubits(), yr.qubits()).unwrap();
+        assert_eq!(b.ancilla_peak(), 1);
+        assert_eq!(b.finish().counts().toffoli, 3 * n as u64 + 1);
+    }
+
+    #[test]
+    fn comparator_matches_reference_exhaustively() {
+        let n = 3usize;
+        for x in 0..(1u128 << n) {
+            for y in 0..(1u128 << n) {
+                let (got, phase) = simulate(|b| {
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    let t = b.qubit();
+                    compare_gt(b, None, xr.qubits(), yr.qubits(), t).unwrap();
+                    (
+                        vec![(xr.qubits().to_vec(), x), (yr.qubits().to_vec(), y)],
+                        vec![t],
+                    )
+                });
+                assert_eq!(got, u128::from(x > y), "{x}>{y}");
+                assert!(phase.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_restores_operands() {
+        let n = 5usize;
+        let (x, y) = (19u128, 27u128);
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n);
+        let t = b.qubit();
+        compare_gt(&mut b, None, xr.qubits(), yr.qubits(), t).unwrap();
+        let circuit = b.finish();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        sim.set_value(xr.qubits(), x);
+        sim.set_value(yr.qubits(), y);
+        let mut rng = StdRng::seed_from_u64(0);
+        sim.run(&circuit, &mut rng).unwrap();
+        assert_eq!(sim.value(xr.qubits()).unwrap(), x);
+        assert_eq!(sim.value(yr.qubits()).unwrap(), y);
+    }
+
+    #[test]
+    fn comparator_toffoli_count_is_2n_uncontrolled() {
+        let n = 6usize;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n);
+        let t = b.qubit();
+        compare_gt(&mut b, None, xr.qubits(), yr.qubits(), t).unwrap();
+        let counts = b.finish().counts();
+        assert_eq!(counts.toffoli, 2 * n as u64);
+        assert_eq!(counts.cx, 4 * n as u64 + 1);
+    }
+
+    #[test]
+    fn controlled_comparator_adds_one_toffoli() {
+        let n = 6usize;
+        let mut b = CircuitBuilder::new();
+        let c = b.qubit();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n);
+        let t = b.qubit();
+        compare_gt(&mut b, Some(c), xr.qubits(), yr.qubits(), t).unwrap();
+        assert_eq!(b.finish().counts().toffoli, 2 * n as u64 + 1);
+    }
+
+    #[test]
+    fn controlled_comparator_truth_table() {
+        let n = 3usize;
+        for x in 0..(1u128 << n) {
+            for y in [0u128, 3, 7] {
+                for ctrl in [false, true] {
+                    let (got, _) = simulate(|b| {
+                        let c = b.qubit();
+                        let xr = b.qreg("x", n);
+                        let yr = b.qreg("y", n);
+                        let t = b.qubit();
+                        compare_gt(b, Some(c), xr.qubits(), yr.qubits(), t).unwrap();
+                        (
+                            vec![
+                                (vec![c], u128::from(ctrl)),
+                                (xr.qubits().to_vec(), x),
+                                (yr.qubits().to_vec(), y),
+                            ],
+                            vec![t],
+                        )
+                    });
+                    assert_eq!(got, u128::from(ctrl && x > y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_add_is_mod_2n() {
+        for n in 1..=3usize {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << n) {
+                    let (got, _) = simulate(|b| {
+                        let xr = b.qreg("x", n);
+                        let yr = b.qreg("y", n);
+                        wrapping_add(b, xr.qubits(), yr.qubits()).unwrap();
+                        (
+                            vec![(xr.qubits().to_vec(), x), (yr.qubits().to_vec(), y)],
+                            yr.qubits().to_vec(),
+                        )
+                    });
+                    assert_eq!(got, (x + y) % (1 << n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_wrapping_add_respects_control() {
+        let n = 3usize;
+        for x in 0..(1u128 << n) {
+            for y in [0u128, 5, 7] {
+                for ctrl in [false, true] {
+                    let (got, _) = simulate(|b| {
+                        let c = b.qubit();
+                        let xr = b.qreg("x", n);
+                        let yr = b.qreg("y", n);
+                        controlled_wrapping_add(b, c, xr.qubits(), yr.qubits()).unwrap();
+                        (
+                            vec![
+                                (vec![c], u128::from(ctrl)),
+                                (xr.qubits().to_vec(), x),
+                                (yr.qubits().to_vec(), y),
+                            ],
+                            yr.qubits().to_vec(),
+                        )
+                    });
+                    let expected = if ctrl { (x + y) % (1 << n) } else { y };
+                    assert_eq!(got, expected);
+                }
+            }
+        }
+    }
+}

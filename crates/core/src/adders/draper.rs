@@ -1,0 +1,551 @@
+//! Draper's QFT adder (Prop 2.5, Figure 14), constant addition in the
+//! Fourier basis (Prop 2.17, Beauregard), and their controlled variants
+//! (Thms 2.13–2.14, Prop 2.20).
+//!
+//! A register `|y⟩` is moved into the Fourier basis, where addition becomes
+//! a cascade of commuting phase rotations — no Toffolis, no carries. The
+//! building blocks are exposed individually (`qft`, `phi_add`, …) because
+//! the Beauregard modular adder (Prop 3.7) cancels adjacent `IQFT·QFT`
+//! pairs across subroutine boundaries.
+
+use mbu_bitstring::BitString;
+use mbu_circuit::{Angle, Basis, CircuitBuilder, QubitId};
+
+use crate::util::{expect_width, nonempty};
+use crate::ArithError;
+
+/// Largest Fourier-register width: rotation denominators are `2^{m}` and
+/// stored exactly in a `u128`-backed [`Angle`].
+pub const MAX_DRAPER_WIDTH: usize = 126;
+
+fn check_width(context: &'static str, m: usize) -> Result<(), ArithError> {
+    if m > MAX_DRAPER_WIDTH {
+        return Err(ArithError::ConstantOutOfRange {
+            context,
+            constraint: "Draper circuits support widths up to 126 bits",
+        });
+    }
+    Ok(())
+}
+
+/// Emits the QFT over `reg` in the paper's convention: after the transform,
+/// qubit `i` holds the phase `y/2^{i+1}`, i.e.
+/// `|ϕ_i(y)⟩ = (|0⟩ + e^{2πi·y/2^{i+1}}|1⟩)/√2` — no terminal swaps needed.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for empty or oversized registers.
+pub fn qft(b: &mut CircuitBuilder, reg: &[QubitId]) -> Result<(), ArithError> {
+    let m = nonempty("QFT", reg)?;
+    check_width("QFT", m)?;
+    for i in (0..m).rev() {
+        b.h(reg[i]);
+        for j in (0..i).rev() {
+            b.cphase(reg[j], reg[i], Angle::turn_over_power_of_two((i - j + 1) as u32));
+        }
+    }
+    Ok(())
+}
+
+/// Emits the inverse QFT (adjoint of [`qft`]).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for empty or oversized registers.
+pub fn iqft(b: &mut CircuitBuilder, reg: &[QubitId]) -> Result<(), ArithError> {
+    let m = nonempty("IQFT", reg)?;
+    check_width("IQFT", m)?;
+    for i in 0..m {
+        for j in 0..i {
+            b.cphase(
+                reg[j],
+                reg[i],
+                -Angle::turn_over_power_of_two((i - j + 1) as u32),
+            );
+        }
+        b.h(reg[i]);
+    }
+    Ok(())
+}
+
+/// Emits `ΦADD` (Prop 2.5): `|x⟩_n |ϕ(y)⟩_m ↦ |x⟩_n |ϕ(y + x)⟩_m`, with
+/// `y` in the Fourier basis. Negate `sign` for `ΦSUB`.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for empty or oversized registers, or if
+/// `x.len() > y.len()`.
+pub fn phi_add(
+    b: &mut CircuitBuilder,
+    x: &[QubitId],
+    y_phi: &[QubitId],
+    sign: Sign,
+) -> Result<(), ArithError> {
+    let n = nonempty("ΦADD addend", x)?;
+    let m = nonempty("ΦADD target", y_phi)?;
+    check_width("ΦADD", m)?;
+    if n > m {
+        return Err(ArithError::WidthMismatch {
+            context: "ΦADD addend wider than target",
+            expected: m,
+            actual: n,
+        });
+    }
+    for (i, &target) in y_phi.iter().enumerate() {
+        for (j, &ctrl) in x.iter().enumerate().take(i + 1) {
+            let theta = sign.apply(Angle::turn_over_power_of_two((i - j + 1) as u32));
+            b.cphase(ctrl, target, theta);
+        }
+    }
+    Ok(())
+}
+
+/// Emits the controlled `ΦADD` with one borrowed ancilla (Thm 2.14):
+/// `|c⟩ |x⟩_n |ϕ(y)⟩_m ↦ |c⟩ |x⟩_n |ϕ(y + c·x)⟩_m`.
+///
+/// Rotations are grouped by their common control `x_j`: a temporary logical
+/// AND of `(control, x_j)` drives all of `x_j`'s rotations and is then
+/// uncomputed by measurement — n extra Toffolis total.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for inconsistent widths.
+pub fn c_phi_add(
+    b: &mut CircuitBuilder,
+    control: QubitId,
+    x: &[QubitId],
+    y_phi: &[QubitId],
+    sign: Sign,
+) -> Result<(), ArithError> {
+    let n = nonempty("C-ΦADD addend", x)?;
+    let m = nonempty("C-ΦADD target", y_phi)?;
+    check_width("C-ΦADD", m)?;
+    if n > m {
+        return Err(ArithError::WidthMismatch {
+            context: "C-ΦADD addend wider than target",
+            expected: m,
+            actual: n,
+        });
+    }
+    let anc = b.ancilla();
+    for (j, &x_bit) in x.iter().enumerate() {
+        b.ccx(control, x_bit, anc);
+        for (i, &target) in y_phi.iter().enumerate().skip(j) {
+            let theta = sign.apply(Angle::turn_over_power_of_two((i - j + 1) as u32));
+            b.cphase(anc, target, theta);
+        }
+        // Measurement-based uncompute of the temporary AND.
+        b.h(anc);
+        let outcome = b.measure(anc, Basis::Z);
+        let (_, fix) = b.record(|b| b.cz(control, x_bit));
+        b.emit_conditional(outcome, &fix);
+        b.reset(anc);
+    }
+    b.release_ancilla(anc);
+    Ok(())
+}
+
+/// Emits `ΦADD(a)` (Prop 2.17, Figure 19): adds the classical constant `a`
+/// in the Fourier basis using one merged rotation per target qubit
+/// (Equation (7)) and zero ancillas.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for oversized registers.
+pub fn phi_add_const(
+    b: &mut CircuitBuilder,
+    a: &BitString,
+    y_phi: &[QubitId],
+    sign: Sign,
+) -> Result<(), ArithError> {
+    let m = nonempty("ΦADD(a)", y_phi)?;
+    check_width("ΦADD(a)", m)?;
+    for (i, &target) in y_phi.iter().enumerate() {
+        b.phase(target, sign.apply(const_angle(a, i)));
+    }
+    Ok(())
+}
+
+/// Emits `C-ΦADD(a)` (Prop 2.20): the constant addition controlled on one
+/// qubit, still ancilla-free.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for oversized registers.
+pub fn c_phi_add_const(
+    b: &mut CircuitBuilder,
+    control: QubitId,
+    a: &BitString,
+    y_phi: &[QubitId],
+    sign: Sign,
+) -> Result<(), ArithError> {
+    let m = nonempty("C-ΦADD(a)", y_phi)?;
+    check_width("C-ΦADD(a)", m)?;
+    for (i, &target) in y_phi.iter().enumerate() {
+        b.cphase(control, target, sign.apply(const_angle(a, i)));
+    }
+    Ok(())
+}
+
+/// Emits `CC-ΦADD(a)`: the constant addition with two controls, used by
+/// Beauregard's doubly-controlled modular adder (Figure 23).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for oversized registers.
+pub fn cc_phi_add_const(
+    b: &mut CircuitBuilder,
+    c1: QubitId,
+    c2: QubitId,
+    a: &BitString,
+    y_phi: &[QubitId],
+    sign: Sign,
+) -> Result<(), ArithError> {
+    let m = nonempty("CC-ΦADD(a)", y_phi)?;
+    check_width("CC-ΦADD(a)", m)?;
+    for (i, &target) in y_phi.iter().enumerate() {
+        b.ccphase(c1, c2, target, sign.apply(const_angle(a, i)));
+    }
+    Ok(())
+}
+
+/// The merged rotation angle `U_{a,i}` of Equation (7):
+/// `2π · (a mod 2^{i+1}) / 2^{i+1}`.
+fn const_angle(a: &BitString, i: usize) -> Angle {
+    let mut numerator: u128 = 0;
+    for k in 0..=i.min(a.width().saturating_sub(1)) {
+        if a.bit(k) {
+            numerator |= 1 << k;
+        }
+    }
+    Angle::from_fraction(numerator, (i + 1) as u32)
+}
+
+/// Whether a Fourier-basis operation adds or subtracts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sign {
+    /// `ΦADD`.
+    Plus,
+    /// `ΦSUB` (all angles negated).
+    Minus,
+}
+
+impl Sign {
+    fn apply(self, theta: Angle) -> Angle {
+        match self {
+            Sign::Plus => theta,
+            Sign::Minus => -theta,
+        }
+    }
+}
+
+/// Emits the full Draper adder (Cor 2.7): `QFT · ΦADD · IQFT`, giving
+/// `|x⟩_n |y⟩_{n+1} ↦ |x⟩_n |(y + x) mod 2^{n+1}⟩_{n+1}` with zero
+/// ancillas.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn add(b: &mut CircuitBuilder, x: &[QubitId], y: &[QubitId]) -> Result<(), ArithError> {
+    let n = nonempty("Draper adder", x)?;
+    expect_width("Draper adder target", y, n + 1)?;
+    qft(b, y)?;
+    phi_add(b, x, y, Sign::Plus)?;
+    iqft(b, y)
+}
+
+/// Emits the Draper adder without a carry-out (equal widths, mod 2^n).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len()`.
+pub fn wrapping_add(
+    b: &mut CircuitBuilder,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("Draper wrapping adder", x)?;
+    expect_width("Draper wrapping adder target", y, n)?;
+    qft(b, y)?;
+    phi_add(b, x, y, Sign::Plus)?;
+    iqft(b, y)
+}
+
+/// Emits the controlled Draper adder (Thm 2.14): one ancilla, n Toffolis.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn controlled_add(
+    b: &mut CircuitBuilder,
+    control: QubitId,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("controlled Draper adder", x)?;
+    expect_width("controlled Draper adder target", y, n + 1)?;
+    qft(b, y)?;
+    c_phi_add(b, control, x, y, Sign::Plus)?;
+    iqft(b, y)
+}
+
+/// Emits the Draper comparator (Prop 2.26 adapted to equal widths):
+/// `t ⊕= 1[x > y]` or `t ⊕= control·1[x > y]`, using one borrowed sign
+/// ancilla appended as `y`'s (n+1)-th Fourier bit.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `x.len() == y.len()`.
+pub fn compare_gt(
+    b: &mut CircuitBuilder,
+    control: Option<QubitId>,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = nonempty("Draper comparator", x)?;
+    expect_width("Draper comparator second operand", y, n)?;
+    let sign = b.ancilla();
+    let mut y_ext: Vec<QubitId> = y.to_vec();
+    y_ext.push(sign);
+    // y − x: the top (sign) bit is 1 exactly when x > y.
+    qft(b, &y_ext)?;
+    phi_add(b, x, &y_ext, Sign::Minus)?;
+    iqft(b, &y_ext)?;
+    match control {
+        None => b.cx(sign, t),
+        Some(c) => b.ccx(c, sign, t),
+    }
+    qft(b, &y_ext)?;
+    phi_add(b, x, &y_ext, Sign::Plus)?;
+    iqft(b, &y_ext)?;
+    b.release_ancilla(sign);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::CircuitBuilder;
+    use mbu_sim::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_basis(
+        circuit: &mbu_circuit::Circuit,
+        prep: &[(&[QubitId], u64)],
+        out: &[QubitId],
+    ) -> u64 {
+        circuit.validate().unwrap();
+        let mut sv = StateVector::zeros(circuit.num_qubits()).unwrap();
+        sv.prepare_basis(StateVector::index_with(prep)).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        sv.run(circuit, &mut rng).unwrap();
+        let (idx, amp) = sv.as_basis(1e-9).expect("output should be a basis state");
+        assert!(
+            (amp.re - 1.0).abs() < 1e-7 && amp.im.abs() < 1e-7,
+            "global phase must be +1, got {amp}"
+        );
+        StateVector::register_value(idx, out)
+    }
+
+    #[test]
+    fn qft_iqft_roundtrip_is_identity() {
+        let m = 4usize;
+        for v in 0..(1u64 << m) {
+            let mut b = CircuitBuilder::new();
+            let r = b.qreg("r", m);
+            qft(&mut b, r.qubits()).unwrap();
+            iqft(&mut b, r.qubits()).unwrap();
+            let c = b.finish();
+            let got = run_basis(&c, &[(r.qubits(), v)], r.qubits());
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn adds_exhaustively_small() {
+        for n in 1..=3usize {
+            for x in 0..(1u64 << n) {
+                for y in 0..(1u64 << (n + 1)) {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n + 1);
+                    add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+                    let c = b.finish();
+                    let got = run_basis(&c, &[(xr.qubits(), x), (yr.qubits(), y)], yr.qubits());
+                    assert_eq!(u128::from(got), (u128::from(x) + u128::from(y)) % (1 << (n + 1)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phi_add_gate_counts_match_prop_2_5() {
+        // count(ΦADD) = n C-R(θ1) + Σ_{i=2}^{n+1} (n+2−i) C-R(θi)
+        //             = n + n(n+1)/2 controlled rotations in total.
+        let n = 5usize;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        qft(&mut b, yr.qubits()).unwrap();
+        let before = mbu_circuit::GateCounts::default();
+        let _ = before;
+        let mut b2 = CircuitBuilder::new();
+        let xr2 = b2.qreg("x", n);
+        let yr2 = b2.qreg("y", n + 1);
+        phi_add(&mut b2, xr2.qubits(), yr2.qubits(), Sign::Plus).unwrap();
+        let counts = b2.finish().counts();
+        assert_eq!(counts.cphase as usize, n + n * (n + 1) / 2);
+        assert_eq!(counts.toffoli, 0);
+        drop((xr, yr));
+        drop(b);
+    }
+
+    #[test]
+    fn constant_addition_exhaustive() {
+        let n = 3usize;
+        for a in 0..(1u128 << n) {
+            for y in 0..(1u64 << (n + 1)) {
+                let mut b = CircuitBuilder::new();
+                let yr = b.qreg("y", n + 1);
+                let bits = BitString::from_u128(a, n);
+                qft(&mut b, yr.qubits()).unwrap();
+                phi_add_const(&mut b, &bits, yr.qubits(), Sign::Plus).unwrap();
+                iqft(&mut b, yr.qubits()).unwrap();
+                let c = b.finish();
+                let got = run_basis(&c, &[(yr.qubits(), y)], yr.qubits());
+                assert_eq!(u128::from(got), (a + u128::from(y)) % (1 << (n + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_subtraction_wraps_mod_2m() {
+        let n = 3usize;
+        let m = 1u128 << (n + 1);
+        for a in [1u128, 3, 7] {
+            for y in [0u64, 5, 12] {
+                let mut b = CircuitBuilder::new();
+                let yr = b.qreg("y", n + 1);
+                let bits = BitString::from_u128(a, n);
+                qft(&mut b, yr.qubits()).unwrap();
+                phi_add_const(&mut b, &bits, yr.qubits(), Sign::Minus).unwrap();
+                iqft(&mut b, yr.qubits()).unwrap();
+                let c = b.finish();
+                let got = run_basis(&c, &[(yr.qubits(), y)], yr.qubits());
+                assert_eq!(u128::from(got), (u128::from(y) + m - a) % m);
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_add_respects_control() {
+        let n = 2usize;
+        for x in 0..(1u64 << n) {
+            for y in 0..(1u64 << (n + 1)) {
+                for ctrl in [0u64, 1] {
+                    let mut b = CircuitBuilder::new();
+                    let c = b.qubit();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n + 1);
+                    controlled_add(&mut b, c, xr.qubits(), yr.qubits()).unwrap();
+                    let circ = b.finish();
+                    let got = run_basis(
+                        &circ,
+                        &[(&[c], ctrl), (xr.qubits(), x), (yr.qubits(), y)],
+                        yr.qubits(),
+                    );
+                    let expected = if ctrl == 1 { (x + y) % (1 << (n + 1)) } else { y };
+                    assert_eq!(got, expected, "c={ctrl} {x}+{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_add_uses_n_toffolis_one_ancilla() {
+        let n = 6usize;
+        let mut b = CircuitBuilder::new();
+        let c = b.qubit();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        controlled_add(&mut b, c, xr.qubits(), yr.qubits()).unwrap();
+        assert_eq!(b.ancilla_peak(), 1);
+        assert_eq!(b.finish().counts().toffoli, n as u64);
+    }
+
+    #[test]
+    fn controlled_const_add_truth_table() {
+        let n = 3usize;
+        let a = 5u128;
+        for y in 0..(1u64 << (n + 1)) {
+            for ctrl in [0u64, 1] {
+                let mut b = CircuitBuilder::new();
+                let c = b.qubit();
+                let yr = b.qreg("y", n + 1);
+                let bits = BitString::from_u128(a, n);
+                qft(&mut b, yr.qubits()).unwrap();
+                c_phi_add_const(&mut b, c, &bits, yr.qubits(), Sign::Plus).unwrap();
+                iqft(&mut b, yr.qubits()).unwrap();
+                let circ = b.finish();
+                let got = run_basis(&circ, &[(&[c], ctrl), (yr.qubits(), y)], yr.qubits());
+                let expected = (u128::from(y) + a * u128::from(ctrl)) % 16;
+                assert_eq!(u128::from(got), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn doubly_controlled_const_add_needs_both() {
+        let n = 2usize;
+        let a = 3u128;
+        for c1v in [0u64, 1] {
+            for c2v in [0u64, 1] {
+                let mut b = CircuitBuilder::new();
+                let c1 = b.qubit();
+                let c2 = b.qubit();
+                let yr = b.qreg("y", n + 1);
+                let bits = BitString::from_u128(a, n);
+                qft(&mut b, yr.qubits()).unwrap();
+                cc_phi_add_const(&mut b, c1, c2, &bits, yr.qubits(), Sign::Plus).unwrap();
+                iqft(&mut b, yr.qubits()).unwrap();
+                let circ = b.finish();
+                let got = run_basis(
+                    &circ,
+                    &[(&[c1], c1v), (&[c2], c2v), (yr.qubits(), 2)],
+                    yr.qubits(),
+                );
+                let expected = (2 + a * u128::from(c1v & c2v)) % 8;
+                assert_eq!(u128::from(got), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_exhaustive() {
+        let n = 2usize;
+        for x in 0..(1u64 << n) {
+            for y in 0..(1u64 << n) {
+                let mut b = CircuitBuilder::new();
+                let xr = b.qreg("x", n);
+                let yr = b.qreg("y", n);
+                let t = b.qubit();
+                compare_gt(&mut b, None, xr.qubits(), yr.qubits(), t).unwrap();
+                let circ = b.finish();
+                let got = run_basis(&circ, &[(xr.qubits(), x), (yr.qubits(), y)], &[t]);
+                assert_eq!(got, u64::from(x > y), "{x}>{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_widths_are_rejected() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("r", MAX_DRAPER_WIDTH + 1);
+        assert!(matches!(
+            qft(&mut b, r.qubits()),
+            Err(ArithError::ConstantOutOfRange { .. })
+        ));
+    }
+}

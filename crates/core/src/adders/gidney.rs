@@ -1,0 +1,621 @@
+//! Gidney's temporary-logical-AND adder (Prop 2.4, Figures 10–13), its
+//! controlled variant (Prop 2.11), explicit adjoints (Remark 2.23) and its
+//! half-subtractor comparator (Prop 2.28).
+//!
+//! Every carry is computed by a logical-AND into a fresh ancilla (one
+//! Toffoli each, n total) and *uncomputed for free*: an H, an X-basis-style
+//! measurement and a classically-controlled CZ (Figure 11) — the original
+//! application of measurement-based uncomputation.
+//!
+//! Because the adder measures, its inverse cannot be taken with
+//! [`Circuit::adjoint`](mbu_circuit::Circuit::adjoint); instead [`sub`]
+//! implements Remark 2.23 by swapping the roles of AND-compute and
+//! AND-uncompute in the reversed circuit.
+
+use mbu_circuit::{Basis, CircuitBuilder, QubitId};
+
+use crate::util::{expect_width, nonempty};
+use crate::ArithError;
+
+/// Computes the temporary logical AND `target ⊕= x·y` onto a fresh `|0⟩`
+/// ancilla (Figure 10). Counted as one Toffoli, per the paper's convention.
+fn and_into(b: &mut CircuitBuilder, x: QubitId, y: QubitId, target: QubitId) {
+    b.ccx(x, y, target);
+}
+
+/// Uncomputes a temporary logical AND by measurement (Figure 11): H, a
+/// computational-basis measurement, a classically-controlled CZ on the
+/// inputs, and a (free) reset of the measured ancilla.
+fn and_uncompute(b: &mut CircuitBuilder, x: QubitId, y: QubitId, target: QubitId) {
+    b.h(target);
+    let outcome = b.measure(target, Basis::Z);
+    let (_, fix) = b.record(|b| b.cz(x, y));
+    b.emit_conditional(outcome, &fix);
+    b.reset(target);
+}
+
+/// Emits the Gidney plain adder (Prop 2.4, Figure 13):
+/// `|x⟩_n |y⟩_{n+1} ↦ |x⟩_n |(y + x) mod 2^{n+1}⟩_{n+1}`.
+///
+/// Uses n Toffolis (the logical ANDs; the final one targets `y_n` directly
+/// and needs no uncomputation) and n−1 carry ancillas.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn add(b: &mut CircuitBuilder, x: &[QubitId], y: &[QubitId]) -> Result<(), ArithError> {
+    let n = nonempty("Gidney adder", x)?;
+    expect_width("Gidney adder target", y, n + 1)?;
+    if n == 1 {
+        b.ccx(x[0], y[0], y[1]);
+        b.cx(x[0], y[0]);
+        return Ok(());
+    }
+    // Carry ancillas a[i] hold c_{i+1}; indices shifted so a[0] = c_1.
+    let a = b.ancilla_reg(n - 1);
+    let c_of = |k: usize| a[k - 1]; // carry wire c_k for 1 <= k <= n-1
+
+    and_into(b, x[0], y[0], c_of(1));
+    for i in 1..n - 1 {
+        b.cx(c_of(i), x[i]);
+        b.cx(c_of(i), y[i]);
+        and_into(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), c_of(i + 1));
+    }
+    // Top block: the last AND writes into y_n, which keeps c_n = s_n.
+    b.cx(c_of(n - 1), x[n - 1]);
+    b.cx(c_of(n - 1), y[n - 1]);
+    b.ccx(x[n - 1], y[n - 1], y[n]);
+    b.cx(c_of(n - 1), y[n]);
+    // Fix up position n−1: restore x, write the sum.
+    b.cx(c_of(n - 1), x[n - 1]);
+    b.cx(x[n - 1], y[n - 1]);
+    // Unwind the carries.
+    for i in (1..n - 1).rev() {
+        b.cx(c_of(i), c_of(i + 1));
+        and_uncompute(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), x[i]);
+        b.cx(x[i], y[i]);
+    }
+    and_uncompute(b, x[0], y[0], c_of(1));
+    b.cx(x[0], y[0]);
+    b.release_ancilla_reg(a);
+    Ok(())
+}
+
+/// Emits the adjoint of [`add`] (Remark 2.23):
+/// `|x⟩_n |y⟩_{n+1} ↦ |x⟩_n |(y − x) mod 2^{n+1}⟩_{n+1}`.
+///
+/// The op sequence of [`add`] is reversed with AND-computes and
+/// AND-uncomputes swapping roles; the data Toffoli onto `y_n` stays a
+/// Toffoli.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn sub(b: &mut CircuitBuilder, x: &[QubitId], y: &[QubitId]) -> Result<(), ArithError> {
+    let n = nonempty("Gidney subtractor", x)?;
+    expect_width("Gidney subtractor target", y, n + 1)?;
+    if n == 1 {
+        b.cx(x[0], y[0]);
+        b.ccx(x[0], y[0], y[1]);
+        return Ok(());
+    }
+    let a = b.ancilla_reg(n - 1);
+    let c_of = |k: usize| a[k - 1];
+
+    b.cx(x[0], y[0]);
+    and_into(b, x[0], y[0], c_of(1));
+    for i in 1..n - 1 {
+        b.cx(x[i], y[i]);
+        b.cx(c_of(i), x[i]);
+        and_into(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), c_of(i + 1));
+    }
+    b.cx(x[n - 1], y[n - 1]);
+    b.cx(c_of(n - 1), x[n - 1]);
+    b.cx(c_of(n - 1), y[n]);
+    b.ccx(x[n - 1], y[n - 1], y[n]);
+    b.cx(c_of(n - 1), y[n - 1]);
+    b.cx(c_of(n - 1), x[n - 1]);
+    for i in (1..n - 1).rev() {
+        b.cx(c_of(i), c_of(i + 1));
+        and_uncompute(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), y[i]);
+        b.cx(c_of(i), x[i]);
+    }
+    and_uncompute(b, x[0], y[0], c_of(1));
+    b.release_ancilla_reg(a);
+    Ok(())
+}
+
+/// Emits the Gidney adder without a carry-out:
+/// `|x⟩_n |y⟩_n ↦ |x⟩_n |(y + x) mod 2^n⟩_n` (n−1 Toffolis).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len()`.
+pub fn wrapping_add(
+    b: &mut CircuitBuilder,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("Gidney wrapping adder", x)?;
+    expect_width("Gidney wrapping adder target", y, n)?;
+    if n == 1 {
+        b.cx(x[0], y[0]);
+        return Ok(());
+    }
+    let a = b.ancilla_reg(n - 1);
+    let c_of = |k: usize| a[k - 1];
+
+    and_into(b, x[0], y[0], c_of(1));
+    for i in 1..n - 1 {
+        b.cx(c_of(i), x[i]);
+        b.cx(c_of(i), y[i]);
+        and_into(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), c_of(i + 1));
+    }
+    // s_{n−1} = y ⊕ c ⊕ x; x_{n−1} was never disturbed.
+    b.cx(c_of(n - 1), y[n - 1]);
+    b.cx(x[n - 1], y[n - 1]);
+    for i in (1..n - 1).rev() {
+        b.cx(c_of(i), c_of(i + 1));
+        and_uncompute(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), x[i]);
+        b.cx(x[i], y[i]);
+    }
+    and_uncompute(b, x[0], y[0], c_of(1));
+    b.cx(x[0], y[0]);
+    b.release_ancilla_reg(a);
+    Ok(())
+}
+
+/// Emits the adjoint of [`wrapping_add`]:
+/// `|x⟩_n |y⟩_n ↦ |x⟩_n |(y − x) mod 2^n⟩_n`.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len()`.
+pub fn wrapping_sub(
+    b: &mut CircuitBuilder,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("Gidney wrapping subtractor", x)?;
+    expect_width("Gidney wrapping subtractor target", y, n)?;
+    if n == 1 {
+        b.cx(x[0], y[0]);
+        return Ok(());
+    }
+    let a = b.ancilla_reg(n - 1);
+    let c_of = |k: usize| a[k - 1];
+
+    b.cx(x[0], y[0]);
+    and_into(b, x[0], y[0], c_of(1));
+    for i in 1..n - 1 {
+        b.cx(x[i], y[i]);
+        b.cx(c_of(i), x[i]);
+        and_into(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), c_of(i + 1));
+    }
+    b.cx(x[n - 1], y[n - 1]);
+    b.cx(c_of(n - 1), y[n - 1]);
+    for i in (1..n - 1).rev() {
+        b.cx(c_of(i), c_of(i + 1));
+        and_uncompute(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), y[i]);
+        b.cx(c_of(i), x[i]);
+    }
+    and_uncompute(b, x[0], y[0], c_of(1));
+    b.release_ancilla_reg(a);
+    Ok(())
+}
+
+/// Emits Gidney's controlled adder (Prop 2.11, Figure 15):
+/// `|c⟩ |x⟩_n |y⟩_{n+1} ↦ |c⟩ |x⟩_n |(y + c·x) mod 2^{n+1}⟩_{n+1}`.
+///
+/// Carries are computed unconditionally; only the sum write-backs are
+/// controlled. Costs 2n+1 Toffolis and n carry ancillas (the paper states
+/// 2n and n+1; see DESIGN.md on ±1 accounting).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn controlled_add(
+    b: &mut CircuitBuilder,
+    control: QubitId,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("controlled Gidney adder", x)?;
+    expect_width("controlled Gidney adder target", y, n + 1)?;
+    let a = b.ancilla_reg(n);
+    let c_of = |k: usize| a[k - 1]; // c_k for 1 <= k <= n
+
+    and_into(b, x[0], y[0], c_of(1));
+    for i in 1..n {
+        b.cx(c_of(i), x[i]);
+        b.cx(c_of(i), y[i]);
+        and_into(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), c_of(i + 1));
+    }
+    // Controlled copy of the carry-out, then uncompute c_n.
+    b.ccx(control, c_of(n), y[n]);
+    if n >= 2 {
+        b.cx(c_of(n - 1), c_of(n));
+    }
+    and_uncompute(b, x[n - 1], y[n - 1], c_of(n));
+    // Controlled UMA blocks, descending.
+    for i in (1..n).rev() {
+        if i < n - 1 {
+            b.cx(c_of(i), c_of(i + 1));
+            and_uncompute(b, x[i], y[i], c_of(i + 1));
+        }
+        b.cx(c_of(i), y[i]); // strip the carry: y wire → y_i
+        b.ccx(control, x[i], y[i]); // y_i ⊕= control·(x_i ⊕ c_i)
+        b.cx(c_of(i), x[i]); // restore x_i
+    }
+    if n >= 2 {
+        and_uncompute(b, x[0], y[0], c_of(1));
+    }
+    b.ccx(control, x[0], y[0]);
+    b.release_ancilla_reg(a);
+    Ok(())
+}
+
+/// Emits the Gidney half-subtractor comparator (Prop 2.28): `t ⊕= 1[x > y]`
+/// or `t ⊕= control·1[x > y]` (Prop 2.31), leaving `x`, `y` unchanged.
+///
+/// Uses n logical ANDs (n Toffolis, +1 for the controlled copy) and n carry
+/// ancillas, all uncomputed by measurement.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `x.len() == y.len()`.
+pub fn compare_gt(
+    b: &mut CircuitBuilder,
+    control: Option<QubitId>,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = nonempty("Gidney comparator", x)?;
+    expect_width("Gidney comparator second operand", y, n)?;
+    for &q in y {
+        b.x(q);
+    }
+    let a = b.ancilla_reg(n);
+    let c_of = |k: usize| a[k - 1];
+
+    and_into(b, x[0], y[0], c_of(1));
+    for i in 1..n {
+        b.cx(c_of(i), x[i]);
+        b.cx(c_of(i), y[i]);
+        and_into(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), c_of(i + 1));
+    }
+    match control {
+        None => b.cx(c_of(n), t),
+        Some(c) => b.ccx(c, c_of(n), t),
+    }
+    for i in (1..n).rev() {
+        b.cx(c_of(i), c_of(i + 1));
+        and_uncompute(b, x[i], y[i], c_of(i + 1));
+        b.cx(c_of(i), y[i]);
+        b.cx(c_of(i), x[i]);
+    }
+    and_uncompute(b, x[0], y[0], c_of(1));
+    b.release_ancilla_reg(a);
+    for &q in y {
+        b.x(q);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::CircuitBuilder;
+    use mbu_sim::BasisTracker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runs a Gidney circuit on basis inputs over several seeds so both
+    /// branches of each AND-uncompute measurement are exercised, checking
+    /// value and phase on every seed.
+    fn check_all_seeds(
+        n_qubits: usize,
+        circuit: &mbu_circuit::Circuit,
+        inputs: &[(&[QubitId], u128)],
+        out: &[QubitId],
+        expected: u128,
+    ) {
+        circuit.validate().unwrap();
+        for seed in 0..6 {
+            let mut sim = BasisTracker::zeros(n_qubits);
+            for (reg, v) in inputs {
+                sim.set_value(reg, *v);
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            sim.run(circuit, &mut rng).unwrap();
+            assert_eq!(sim.value(out).unwrap(), expected, "seed {seed}");
+            assert!(sim.global_phase().is_zero(), "phase at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adds_exhaustively_for_small_n() {
+        for n in 1..=4usize {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << (n + 1)) {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n + 1);
+                    add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+                    let c = b.finish();
+                    check_all_seeds(
+                        c.num_qubits(),
+                        &c,
+                        &[(xr.qubits(), x), (yr.qubits(), y)],
+                        yr.qubits(),
+                        (x + y) % (1 << (n + 1)),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toffoli_count_is_n() {
+        for n in [1usize, 2, 5, 20] {
+            let mut b = CircuitBuilder::new();
+            let xr = b.qreg("x", n);
+            let yr = b.qreg("y", n + 1);
+            add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+            let counts = b.finish().counts();
+            assert_eq!(counts.toffoli, n as u64, "n={n}");
+            // The ANDs (minus the one kept as s_n) are uncomputed by
+            // measurement: n−1 measurements, n−1 conditional CZs.
+            assert_eq!(counts.measure_z, n as u64 - 1);
+            assert_eq!(counts.cz, n as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn expected_cz_is_half_the_worst_case() {
+        let n = 9usize;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+        let c = b.finish();
+        assert_eq!(c.expected_counts().cz, (n as f64 - 1.0) / 2.0);
+    }
+
+    #[test]
+    fn sub_inverts_add_exhaustively() {
+        for n in 1..=3usize {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << (n + 1)) {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n + 1);
+                    sub(&mut b, xr.qubits(), yr.qubits()).unwrap();
+                    let c = b.finish();
+                    let m = 1u128 << (n + 1);
+                    check_all_seeds(
+                        c.num_qubits(),
+                        &c,
+                        &[(xr.qubits(), x), (yr.qubits(), y)],
+                        yr.qubits(),
+                        (y + m - x) % m,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_then_sub_is_identity_at_width_64() {
+        let n = 64usize;
+        let x = 0x0123_4567_89AB_CDEFu128;
+        let y = 0x1122_3344_5566_7788u128;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+        sub(&mut b, xr.qubits(), yr.qubits()).unwrap();
+        let c = b.finish();
+        check_all_seeds(
+            c.num_qubits(),
+            &c,
+            &[(xr.qubits(), x), (yr.qubits(), y)],
+            yr.qubits(),
+            y,
+        );
+    }
+
+    #[test]
+    fn wrapping_add_and_sub_match_reference() {
+        for n in 1..=3usize {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << n) {
+                    let m = 1u128 << n;
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    wrapping_add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+                    let c = b.finish();
+                    check_all_seeds(
+                        c.num_qubits(),
+                        &c,
+                        &[(xr.qubits(), x), (yr.qubits(), y)],
+                        yr.qubits(),
+                        (x + y) % m,
+                    );
+
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    wrapping_sub(&mut b, xr.qubits(), yr.qubits()).unwrap();
+                    let c = b.finish();
+                    check_all_seeds(
+                        c.num_qubits(),
+                        &c,
+                        &[(xr.qubits(), x), (yr.qubits(), y)],
+                        yr.qubits(),
+                        (y + m - x) % m,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_add_exhaustive_small() {
+        for n in 1..=3usize {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << (n + 1)) {
+                    for ctrl in [false, true] {
+                        let mut b = CircuitBuilder::new();
+                        let c = b.qubit();
+                        let xr = b.qreg("x", n);
+                        let yr = b.qreg("y", n + 1);
+                        controlled_add(&mut b, c, xr.qubits(), yr.qubits()).unwrap();
+                        let circ = b.finish();
+                        let expected = if ctrl { (x + y) % (1 << (n + 1)) } else { y };
+                        check_all_seeds(
+                            circ.num_qubits(),
+                            &circ,
+                            &[
+                                (&[c], u128::from(ctrl)),
+                                (xr.qubits(), x),
+                                (yr.qubits(), y),
+                            ],
+                            yr.qubits(),
+                            expected,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_add_toffoli_count_is_2n_plus_1() {
+        let n = 8usize;
+        let mut b = CircuitBuilder::new();
+        let c = b.qubit();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        controlled_add(&mut b, c, xr.qubits(), yr.qubits()).unwrap();
+        assert_eq!(b.ancilla_peak(), n);
+        assert_eq!(b.finish().counts().toffoli, 2 * n as u64 + 1);
+    }
+
+    #[test]
+    fn comparator_exhaustive_and_restoring() {
+        let n = 3usize;
+        for x in 0..(1u128 << n) {
+            for y in 0..(1u128 << n) {
+                let mut b = CircuitBuilder::new();
+                let xr = b.qreg("x", n);
+                let yr = b.qreg("y", n);
+                let t = b.qubit();
+                compare_gt(&mut b, None, xr.qubits(), yr.qubits(), t).unwrap();
+                let c = b.finish();
+                for seed in 0..4 {
+                    let mut sim = BasisTracker::zeros(c.num_qubits());
+                    sim.set_value(xr.qubits(), x);
+                    sim.set_value(yr.qubits(), y);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    sim.run(&c, &mut rng).unwrap();
+                    assert_eq!(sim.bit(t).unwrap(), x > y, "{x}>{y}");
+                    assert_eq!(sim.value(xr.qubits()).unwrap(), x);
+                    assert_eq!(sim.value(yr.qubits()).unwrap(), y);
+                    assert!(sim.global_phase().is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_uses_n_toffolis() {
+        let n = 10usize;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n);
+        let t = b.qubit();
+        compare_gt(&mut b, None, xr.qubits(), yr.qubits(), t).unwrap();
+        assert_eq!(b.ancilla_peak(), n);
+        assert_eq!(b.finish().counts().toffoli, n as u64);
+    }
+
+    #[test]
+    fn controlled_comparator_truth_table() {
+        let n = 2usize;
+        for x in 0..4u128 {
+            for y in 0..4u128 {
+                for ctrl in [false, true] {
+                    let mut b = CircuitBuilder::new();
+                    let c = b.qubit();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    let t = b.qubit();
+                    compare_gt(&mut b, Some(c), xr.qubits(), yr.qubits(), t).unwrap();
+                    let circ = b.finish();
+                    for seed in 0..3 {
+                        let mut sim = BasisTracker::zeros(circ.num_qubits());
+                        sim.set_bit(c, ctrl);
+                        sim.set_value(xr.qubits(), x);
+                        sim.set_value(yr.qubits(), y);
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        sim.run(&circ, &mut rng).unwrap();
+                        assert_eq!(sim.bit(t).unwrap(), ctrl && x > y);
+                        assert!(sim.global_phase().is_zero());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn statevector_agrees_on_superposition_input() {
+        // The measured adder must act linearly: on a superposition of x
+        // values the output must be the superposition of sums, with no
+        // relative phase errors from the AND uncomputations.
+        use mbu_sim::StateVector;
+        let n = 3usize;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        // Prepare x in uniform superposition first.
+        for q in xr.iter() {
+            b.h(q);
+        }
+        add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+        let c = b.finish();
+        let y0 = 5u64;
+        for seed in 0..8 {
+            let mut sv = StateVector::zeros(c.num_qubits()).unwrap();
+            sv.prepare_basis(StateVector::index_with(&[(yr.qubits(), y0)]))
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            sv.run(&c, &mut rng).unwrap();
+            // Expected: (1/√8) Σ_x |x⟩|x+5⟩ — check every component's
+            // amplitude is positive real 1/√8.
+            for x in 0..(1u64 << n) {
+                let idx = StateVector::index_with(&[
+                    (xr.qubits(), x),
+                    (yr.qubits(), (x + y0) % 16),
+                ]);
+                let amp = sv.amplitude(idx);
+                assert!(
+                    (amp.re - (1.0 / 8f64.sqrt())).abs() < 1e-9 && amp.im.abs() < 1e-9,
+                    "seed {seed}, x={x}: amp {amp}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,793 @@
+//! Plain adders and everything derived from them: subtraction, controlled
+//! addition, and (controlled) addition by a classical constant.
+//!
+//! All emitters share two register conventions, matching Definition 2.1:
+//!
+//! * *carrying* operations take an addend `x` of width `n` and a target `y`
+//!   of width `n + 1`, computing `y ← (y ± x) mod 2^{n+1}` — the extra
+//!   qubit absorbs the overflow;
+//! * *wrapping* operations use equal widths and compute mod `2^n`.
+//!
+//! The implementations are faithful to the paper's figures; each submodule
+//! ([`vbe`], [`cdkpm`], [`gidney`], [`draper`]) documents its propositions.
+//! The functions here dispatch on [`AdderKind`] and assemble the generic
+//! constructions (Props 2.16, 2.19; Thm 2.9/Cor 2.10; Thm 2.22).
+
+pub mod cdkpm;
+pub mod draper;
+pub mod gidney;
+pub mod vbe;
+
+use mbu_bitstring::BitString;
+use mbu_circuit::{Basis, Circuit, CircuitBuilder, QubitId, Register};
+
+use crate::util::nonempty;
+use crate::{AdderKind, ArithError};
+
+use draper::Sign;
+
+/// Resizes a constant to `n` bits, rejecting values that do not fit.
+fn fit_const(
+    context: &'static str,
+    a: &BitString,
+    n: usize,
+) -> Result<BitString, ArithError> {
+    for i in n..a.width() {
+        if a.bit(i) {
+            return Err(ArithError::ConstantOutOfRange {
+                context,
+                constraint: "constant must fit in the register width",
+            });
+        }
+    }
+    Ok(a.resized(n))
+}
+
+/// Emits `y ← (y + x) mod 2^{n+1}` (Definition 2.1) using the chosen adder.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn add(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    match kind {
+        AdderKind::Vbe => vbe::add(b, x, y),
+        AdderKind::Cdkpm => cdkpm::add(b, x, y),
+        AdderKind::Gidney => gidney::add(b, x, y),
+        AdderKind::Draper => draper::add(b, x, y),
+    }
+}
+
+/// Emits `y ← (y + x) mod 2^n` with equal widths.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len()`.
+pub fn wrapping_add(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    match kind {
+        AdderKind::Vbe => vbe::wrapping_add(b, x, y),
+        AdderKind::Cdkpm => cdkpm::wrapping_add(b, x, y),
+        AdderKind::Gidney => gidney::wrapping_add(b, x, y),
+        AdderKind::Draper => draper::wrapping_add(b, x, y),
+    }
+}
+
+/// Emits `y ← (y − x) mod 2^{n+1}` (Theorem 2.22): the adder's adjoint.
+///
+/// For measurement-free adders the recorded block is inverted gate by gate;
+/// the Gidney adder uses its explicit role-swapped reverse (Remark 2.23).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn sub(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    match kind {
+        AdderKind::Gidney => gidney::sub(b, x, y),
+        AdderKind::Vbe | AdderKind::Cdkpm | AdderKind::Draper => {
+            let (res, block) = b.record(|b| add(b, kind, x, y));
+            res?;
+            b.emit_adjoint(&block)?;
+            Ok(())
+        }
+    }
+}
+
+/// Emits `y ← (y − x) mod 2^n` with equal widths.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len()`.
+pub fn wrapping_sub(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    match kind {
+        AdderKind::Gidney => gidney::wrapping_sub(b, x, y),
+        AdderKind::Vbe | AdderKind::Cdkpm | AdderKind::Draper => {
+            let (res, block) = b.record(|b| wrapping_add(b, kind, x, y));
+            res?;
+            b.emit_adjoint(&block)?;
+            Ok(())
+        }
+    }
+}
+
+/// Emits `y ← (y + c·x) mod 2^{n+1}` (Definition 2.8).
+///
+/// Dispatch: CDKPM uses Theorem 2.12 (one ancilla), Gidney uses Prop 2.11,
+/// Draper uses Theorem 2.14, and VBE falls back to the generic
+/// load-with-temporary-ANDs construction of Corollary 2.10.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn controlled_add(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    control: QubitId,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    match kind {
+        AdderKind::Cdkpm => cdkpm::controlled_add(b, control, x, y),
+        AdderKind::Gidney => gidney::controlled_add(b, control, x, y),
+        AdderKind::Draper => draper::controlled_add(b, control, x, y),
+        AdderKind::Vbe => {
+            // Corollary 2.10: load c·x via temporary logical ANDs, add from
+            // the loaded register, uncompute the ANDs by measurement.
+            let n = nonempty("controlled VBE adder", x)?;
+            let loaded = b.ancilla_reg(n);
+            for i in 0..n {
+                b.ccx(control, x[i], loaded[i]);
+            }
+            vbe::add(b, loaded.qubits(), y)?;
+            for i in 0..n {
+                b.h(loaded[i]);
+                let outcome = b.measure(loaded[i], Basis::Z);
+                let (_, fix) = b.record(|b| b.cz(control, x[i]));
+                b.emit_conditional(outcome, &fix);
+                b.reset(loaded[i]);
+            }
+            b.release_ancilla_reg(loaded);
+            Ok(())
+        }
+    }
+}
+
+/// Emits `y ← (y + a) mod 2^{m}` for a classical constant `a`, where
+/// `m = y.len()` and the addend logically has `m − 1` bits (Prop 2.16 /
+/// Definition 2.15).
+///
+/// Ripple adders load `a` into an ancilla register with `|a|` X gates and
+/// add from it; Draper adds in the Fourier basis with zero ancillas
+/// (Prop 2.17).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit in `m − 1` bits or widths are
+/// inconsistent.
+pub fn add_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    a: &BitString,
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    const_op(b, kind, a, y, Sign::Plus, true)
+}
+
+/// Emits `y ← (y − a) mod 2^{m}` for a classical constant `a` with
+/// `m − 1` logical bits.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit or widths are inconsistent.
+pub fn sub_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    a: &BitString,
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    const_op(b, kind, a, y, Sign::Minus, true)
+}
+
+/// Emits `y ← (y + a) mod 2^m` where the constant may use all `m` bits.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit in `m` bits.
+pub fn wrapping_add_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    a: &BitString,
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    const_op(b, kind, a, y, Sign::Plus, false)
+}
+
+/// Emits `y ← (y − a) mod 2^m` where the constant may use all `m` bits.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit in `m` bits.
+pub fn wrapping_sub_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    a: &BitString,
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    const_op(b, kind, a, y, Sign::Minus, false)
+}
+
+fn const_op(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    a: &BitString,
+    y: &[QubitId],
+    sign: Sign,
+    carrying: bool,
+) -> Result<(), ArithError> {
+    let m = nonempty("constant adder", y)?;
+    let addend_width = if carrying { m - 1 } else { m };
+    if addend_width == 0 {
+        return Err(ArithError::EmptyRegister {
+            context: "constant adder",
+        });
+    }
+    let bits = fit_const("constant adder", a, addend_width)?;
+    match kind {
+        AdderKind::Draper => {
+            draper::qft(b, y)?;
+            draper::phi_add_const(b, &bits, y, sign)?;
+            draper::iqft(b, y)
+        }
+        _ => {
+            let loaded = b.ancilla_reg(addend_width);
+            crate::util::load_const(b, &bits, loaded.qubits());
+            let result = match (sign, carrying) {
+                (Sign::Plus, true) => add(b, kind, loaded.qubits(), y),
+                (Sign::Minus, true) => sub(b, kind, loaded.qubits(), y),
+                (Sign::Plus, false) => wrapping_add(b, kind, loaded.qubits(), y),
+                (Sign::Minus, false) => wrapping_sub(b, kind, loaded.qubits(), y),
+            };
+            result?;
+            crate::util::load_const(b, &bits, loaded.qubits());
+            b.release_ancilla_reg(loaded);
+            Ok(())
+        }
+    }
+}
+
+/// Emits `y ← (y + c·a) mod 2^m` for a classical constant with `m − 1`
+/// logical bits (Prop 2.19 / Definition 2.18).
+///
+/// Ripple adders load `c·a` with `|a|` CNOTs; Draper controls the merged
+/// rotations (Prop 2.20, zero ancillas).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit or widths are inconsistent.
+pub fn controlled_add_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    control: QubitId,
+    a: &BitString,
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    controlled_const_op(b, kind, control, a, y, Sign::Plus, true)
+}
+
+/// Emits `y ← (y − c·a) mod 2^m` (constant with `m − 1` logical bits).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit or widths are inconsistent.
+pub fn controlled_sub_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    control: QubitId,
+    a: &BitString,
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    controlled_const_op(b, kind, control, a, y, Sign::Minus, true)
+}
+
+/// Emits `y ← (y + c·a) mod 2^m` where the constant may use all `m` bits.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit.
+pub fn controlled_wrapping_add_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    control: QubitId,
+    a: &BitString,
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    controlled_const_op(b, kind, control, a, y, Sign::Plus, false)
+}
+
+/// Emits `y ← (y − c·a) mod 2^m` where the constant may use all `m` bits.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit.
+pub fn controlled_wrapping_sub_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    control: QubitId,
+    a: &BitString,
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    controlled_const_op(b, kind, control, a, y, Sign::Minus, false)
+}
+
+fn controlled_const_op(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    control: QubitId,
+    a: &BitString,
+    y: &[QubitId],
+    sign: Sign,
+    carrying: bool,
+) -> Result<(), ArithError> {
+    let m = nonempty("controlled constant adder", y)?;
+    let addend_width = if carrying { m - 1 } else { m };
+    if addend_width == 0 {
+        return Err(ArithError::EmptyRegister {
+            context: "controlled constant adder",
+        });
+    }
+    let bits = fit_const("controlled constant adder", a, addend_width)?;
+    match kind {
+        AdderKind::Draper => {
+            draper::qft(b, y)?;
+            draper::c_phi_add_const(b, control, &bits, y, sign)?;
+            draper::iqft(b, y)
+        }
+        _ => {
+            let loaded = b.ancilla_reg(addend_width);
+            crate::util::load_const_controlled(b, control, &bits, loaded.qubits());
+            let result = match (sign, carrying) {
+                (Sign::Plus, true) => add(b, kind, loaded.qubits(), y),
+                (Sign::Minus, true) => sub(b, kind, loaded.qubits(), y),
+                (Sign::Plus, false) => wrapping_add(b, kind, loaded.qubits(), y),
+                (Sign::Minus, false) => wrapping_sub(b, kind, loaded.qubits(), y),
+            };
+            result?;
+            crate::util::load_const_controlled(b, control, &bits, loaded.qubits());
+            b.release_ancilla_reg(loaded);
+            Ok(())
+        }
+    }
+}
+
+/// A complete plain-adder circuit plus the registers to address it with.
+#[derive(Clone, Debug)]
+pub struct PlainAdder {
+    /// The full circuit (including ancillas).
+    pub circuit: Circuit,
+    /// The addend register `x` (n qubits).
+    pub x: Register,
+    /// The target register `y` (n+1 qubits, little-endian).
+    pub y: Register,
+}
+
+/// Builds a standalone plain adder `|x⟩|y⟩ ↦ |x⟩|y + x⟩` (Definition 2.1).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for `n = 0` or oversized Draper widths.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_arith::{adders, AdderKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let adder = adders::plain_adder(AdderKind::Cdkpm, 8)?;
+/// assert_eq!(adder.circuit.counts().toffoli, 16); // 2n
+/// # Ok(())
+/// # }
+/// ```
+pub fn plain_adder(kind: AdderKind, n: usize) -> Result<PlainAdder, ArithError> {
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n + 1);
+    add(&mut b, kind, x.qubits(), y.qubits())?;
+    Ok(PlainAdder {
+        circuit: b.finish(),
+        x,
+        y,
+    })
+}
+
+/// Builds a standalone subtractor `|x⟩|y⟩ ↦ |x⟩|y − x⟩` (Definition 2.21).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for `n = 0` or oversized Draper widths.
+pub fn subtractor(kind: AdderKind, n: usize) -> Result<PlainAdder, ArithError> {
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n + 1);
+    sub(&mut b, kind, x.qubits(), y.qubits())?;
+    Ok(PlainAdder {
+        circuit: b.finish(),
+        x,
+        y,
+    })
+}
+
+/// A controlled adder circuit plus its registers.
+#[derive(Clone, Debug)]
+pub struct ControlledAdder {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// The control qubit.
+    pub control: QubitId,
+    /// The addend register `x`.
+    pub x: Register,
+    /// The target register `y` (n+1 qubits).
+    pub y: Register,
+}
+
+/// Builds a standalone controlled adder (Definition 2.8).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for `n = 0` or oversized Draper widths.
+pub fn controlled_adder(kind: AdderKind, n: usize) -> Result<ControlledAdder, ArithError> {
+    let mut b = CircuitBuilder::new();
+    let control = b.qubit();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n + 1);
+    controlled_add(&mut b, kind, control, x.qubits(), y.qubits())?;
+    Ok(ControlledAdder {
+        circuit: b.finish(),
+        control,
+        x,
+        y,
+    })
+}
+
+/// A constant-adder circuit plus its target register.
+#[derive(Clone, Debug)]
+pub struct ConstAdder {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// The target register `y` (n+1 qubits): `|x⟩ ↦ |x + a⟩`.
+    pub y: Register,
+}
+
+/// Builds a standalone adder by the constant `a` (Definition 2.15).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit in `n` bits.
+pub fn const_adder(kind: AdderKind, n: usize, a: u128) -> Result<ConstAdder, ArithError> {
+    let bits = crate::util::const_bits("constant adder", a, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let y = b.qreg("y", n + 1);
+    add_const(&mut b, kind, &bits, y.qubits())?;
+    Ok(ConstAdder {
+        circuit: b.finish(),
+        y,
+    })
+}
+
+/// A controlled constant-adder circuit plus its registers.
+#[derive(Clone, Debug)]
+pub struct ControlledConstAdder {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// The control qubit.
+    pub control: QubitId,
+    /// The target register `y` (n+1 qubits).
+    pub y: Register,
+}
+
+/// Builds a standalone controlled adder by the constant `a`
+/// (Definition 2.18).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit in `n` bits.
+pub fn controlled_const_adder(
+    kind: AdderKind,
+    n: usize,
+    a: u128,
+) -> Result<ControlledConstAdder, ArithError> {
+    let bits = crate::util::const_bits("controlled constant adder", a, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let control = b.qubit();
+    let y = b.qreg("y", n + 1);
+    controlled_add_const(&mut b, kind, control, &bits, y.qubits())?;
+    Ok(ControlledConstAdder {
+        circuit: b.finish(),
+        control,
+        y,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_sim::{BasisTracker, StateVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const RIPPLE_KINDS: [AdderKind; 3] =
+        [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney];
+    const ALL_KINDS: [AdderKind; 4] = [
+        AdderKind::Vbe,
+        AdderKind::Cdkpm,
+        AdderKind::Gidney,
+        AdderKind::Draper,
+    ];
+
+    /// Runs a ripple circuit on the basis tracker over a few seeds.
+    fn run_ripple(
+        circuit: &Circuit,
+        inputs: &[(&[QubitId], u128)],
+        out: &[QubitId],
+        seed: u64,
+    ) -> u128 {
+        circuit.validate().unwrap();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        for (reg, v) in inputs {
+            sim.set_value(reg, *v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.run(circuit, &mut rng).unwrap();
+        assert!(sim.global_phase().is_zero());
+        sim.value(out).unwrap()
+    }
+
+    fn run_statevector(
+        circuit: &Circuit,
+        inputs: &[(&[QubitId], u64)],
+        out: &[QubitId],
+        seed: u64,
+    ) -> u128 {
+        circuit.validate().unwrap();
+        let mut sv = StateVector::zeros(circuit.num_qubits()).unwrap();
+        sv.prepare_basis(StateVector::index_with(inputs)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        sv.run(circuit, &mut rng).unwrap();
+        let (idx, amp) = sv.as_basis(1e-9).expect("basis output");
+        assert!((amp.re - 1.0).abs() < 1e-7 && amp.im.abs() < 1e-7);
+        u128::from(StateVector::register_value(idx, out))
+    }
+
+    fn run_any(
+        kind: AdderKind,
+        circuit: &Circuit,
+        inputs: &[(&[QubitId], u128)],
+        out: &[QubitId],
+        seed: u64,
+    ) -> u128 {
+        if kind == AdderKind::Draper {
+            let small: Vec<(&[QubitId], u64)> =
+                inputs.iter().map(|(r, v)| (*r, *v as u64)).collect();
+            run_statevector(circuit, &small, out, seed)
+        } else {
+            run_ripple(circuit, inputs, out, seed)
+        }
+    }
+
+    #[test]
+    fn all_kinds_add_correctly() {
+        let n = 3usize;
+        for kind in ALL_KINDS {
+            for (x, y) in [(0u128, 0u128), (5, 9), (7, 15), (3, 8), (7, 7)] {
+                let adder = plain_adder(kind, n).unwrap();
+                let got = run_any(
+                    kind,
+                    &adder.circuit,
+                    &[(adder.x.qubits(), x), (adder.y.qubits(), y)],
+                    adder.y.qubits(),
+                    1,
+                );
+                assert_eq!(got, (x + y) % 16, "{kind}: {x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_kinds_subtract_correctly() {
+        let n = 3usize;
+        for kind in ALL_KINDS {
+            for (x, y) in [(0u128, 0u128), (5, 9), (7, 3), (1, 0)] {
+                let s = subtractor(kind, n).unwrap();
+                let got = run_any(
+                    kind,
+                    &s.circuit,
+                    &[(s.x.qubits(), x), (s.y.qubits(), y)],
+                    s.y.qubits(),
+                    2,
+                );
+                assert_eq!(got, (y + 16 - x) % 16, "{kind}: {y}-{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_top_bit_flags_borrow() {
+        // Proposition A.3 through the circuits: (y − x) has its top bit set
+        // exactly when x > y.
+        let n = 4usize;
+        for kind in RIPPLE_KINDS {
+            for (x, y) in [(9u128, 3u128), (3, 9), (15, 15), (1, 0)] {
+                let s = subtractor(kind, n).unwrap();
+                let got = run_ripple(
+                    &s.circuit,
+                    &[(s.x.qubits(), x), (s.y.qubits(), y)],
+                    s.y.qubits(),
+                    3,
+                );
+                assert_eq!(got >> n, u128::from(x > y), "{kind}: {y}-{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_adders_respect_control() {
+        let n = 3usize;
+        for kind in ALL_KINDS {
+            for ctrl in [0u128, 1] {
+                let ca = controlled_adder(kind, n).unwrap();
+                let (x, y) = (5u128, 9u128);
+                let got = run_any(
+                    kind,
+                    &ca.circuit,
+                    &[
+                        (&[ca.control], ctrl),
+                        (ca.x.qubits(), x),
+                        (ca.y.qubits(), y),
+                    ],
+                    ca.y.qubits(),
+                    4,
+                );
+                let expected = if ctrl == 1 { (x + y) % 16 } else { y };
+                assert_eq!(got, expected, "{kind} c={ctrl}");
+            }
+        }
+    }
+
+    #[test]
+    fn const_adders_add_their_constant() {
+        let n = 4usize;
+        for kind in ALL_KINDS {
+            for a in [0u128, 1, 7, 15] {
+                for y in [0u128, 3, 15] {
+                    let ca = const_adder(kind, n, a).unwrap();
+                    let got = run_any(
+                        kind,
+                        &ca.circuit,
+                        &[(ca.y.qubits(), y)],
+                        ca.y.qubits(),
+                        5,
+                    );
+                    assert_eq!(got, a + y, "{kind}: {y}+{a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_const_adders_truth_table() {
+        let n = 3usize;
+        for kind in ALL_KINDS {
+            for ctrl in [0u128, 1] {
+                let (a, y) = (5u128, 6u128);
+                let ca = controlled_const_adder(kind, n, a).unwrap();
+                let got = run_any(
+                    kind,
+                    &ca.circuit,
+                    &[(&[ca.control], ctrl), (ca.y.qubits(), y)],
+                    ca.y.qubits(),
+                    6,
+                );
+                assert_eq!(got, y + a * ctrl, "{kind} c={ctrl}");
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_const_adder_uses_2a_cnots_extra() {
+        // Prop 2.19: the control costs 2|a| CNOTs over the plain version.
+        let n = 6usize;
+        let a = 0b101101u128; // |a| = 4
+        for kind in RIPPLE_KINDS {
+            let plain = const_adder(kind, n, a).unwrap().circuit.counts();
+            let ctrl = controlled_const_adder(kind, n, a).unwrap().circuit.counts();
+            assert_eq!(
+                ctrl.cx,
+                (plain.cx + 2 * 4),
+                "{kind}: controlled load costs 2|a| CNOTs"
+            );
+            // The X loads disappear in the controlled version.
+            assert_eq!(plain.x, 2 * 4, "{kind}");
+            assert_eq!(ctrl.x, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn wrapping_ops_match_reference() {
+        let n = 3usize;
+        let m = 1u128 << n;
+        for kind in RIPPLE_KINDS {
+            for x in 0..m {
+                for y in [0u128, 3, 7] {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    wrapping_add(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
+                    wrapping_sub(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
+                    wrapping_sub(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
+                    let c = b.finish();
+                    let got = run_ripple(
+                        &c,
+                        &[(xr.qubits(), x), (yr.qubits(), y)],
+                        yr.qubits(),
+                        7,
+                    );
+                    // add then sub twice = y − x overall
+                    assert_eq!(got, (y + m - x) % m, "{kind} {x} {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants_that_do_not_fit_are_rejected() {
+        for kind in ALL_KINDS {
+            assert!(matches!(
+                const_adder(kind, 3, 8),
+                Err(ArithError::ConstantOutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn vbe_controlled_add_truth_table_exhaustive() {
+        let n = 2usize;
+        for x in 0..4u128 {
+            for y in 0..8u128 {
+                for ctrl in [0u128, 1] {
+                    let ca = controlled_adder(AdderKind::Vbe, n).unwrap();
+                    for seed in 0..3 {
+                        let got = run_ripple(
+                            &ca.circuit,
+                            &[
+                                (&[ca.control], ctrl),
+                                (ca.x.qubits(), x),
+                                (ca.y.qubits(), y),
+                            ],
+                            ca.y.qubits(),
+                            seed,
+                        );
+                        let expected = if ctrl == 1 { (x + y) % 8 } else { y };
+                        assert_eq!(got, expected);
+                    }
+                }
+            }
+        }
+    }
+}

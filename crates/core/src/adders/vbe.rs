@@ -1,0 +1,330 @@
+//! The Vedral–Barenco–Ekert (VBE) plain adder (Prop 2.2, Figures 4–5) and
+//! its carry-chain comparator.
+//!
+//! The VBE adder ripples carries through a dedicated `n`-qubit carry
+//! register using the `CARRY` and `SUM` gates of Figure 4. It is the
+//! historically first quantum adder and the costliest (≈4n Toffolis,
+//! n ancillas), kept both for the paper's Table 1 "(4/5 adder) VBE" rows and
+//! as the architecture the original modular adder of \[VBE96\] is built on.
+
+use mbu_circuit::{CircuitBuilder, QubitId};
+
+use crate::util::nonempty;
+use crate::ArithError;
+
+/// The CARRY gate of Figure 4:
+/// `|c, x, y, c'⟩ ↦ |c, x, y⊕x, c' ⊕ maj(x, y, c)⟩`.
+fn carry(b: &mut CircuitBuilder, c: QubitId, x: QubitId, y: QubitId, cout: QubitId) {
+    b.ccx(x, y, cout);
+    b.cx(x, y);
+    b.ccx(c, y, cout);
+}
+
+/// The adjoint of [`carry`].
+fn carry_dag(b: &mut CircuitBuilder, c: QubitId, x: QubitId, y: QubitId, cout: QubitId) {
+    b.ccx(c, y, cout);
+    b.cx(x, y);
+    b.ccx(x, y, cout);
+}
+
+/// The SUM gate of Figure 4: `|c, x, y⟩ ↦ |c, x, y⊕x⊕c⟩`.
+fn sum(b: &mut CircuitBuilder, c: QubitId, x: QubitId, y: QubitId) {
+    b.cx(x, y);
+    b.cx(c, y);
+}
+
+/// Emits the VBE plain adder (Prop 2.2, Figure 5):
+/// `|x⟩_n |y⟩_{n+1} ↦ |x⟩_n |(y + x) mod 2^{n+1}⟩_{n+1}`.
+///
+/// Allocates and releases `n` carry ancillas from the builder's pool.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn add(b: &mut CircuitBuilder, x: &[QubitId], y: &[QubitId]) -> Result<(), ArithError> {
+    let n = nonempty("VBE adder", x)?;
+    crate::util::expect_width("VBE adder target", y, n + 1)?;
+    let c = b.ancilla_reg(n);
+    for k in 0..n {
+        let cout = if k < n - 1 { c[k + 1] } else { y[n] };
+        carry(b, c[k], x[k], y[k], cout);
+    }
+    b.cx(x[n - 1], y[n - 1]);
+    sum(b, c[n - 1], x[n - 1], y[n - 1]);
+    for k in (0..n - 1).rev() {
+        carry_dag(b, c[k], x[k], y[k], c[k + 1]);
+        sum(b, c[k], x[k], y[k]);
+    }
+    b.release_ancilla_reg(c);
+    Ok(())
+}
+
+/// Emits the VBE adder without a carry-out:
+/// `|x⟩_n |y⟩_n ↦ |x⟩_n |(y + x) mod 2^n⟩_n`.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len()`.
+pub fn wrapping_add(
+    b: &mut CircuitBuilder,
+    x: &[QubitId],
+    y: &[QubitId],
+) -> Result<(), ArithError> {
+    let n = nonempty("VBE wrapping adder", x)?;
+    crate::util::expect_width("VBE wrapping adder target", y, n)?;
+    let c = b.ancilla_reg(n);
+    for k in 0..n.saturating_sub(1) {
+        carry(b, c[k], x[k], y[k], c[k + 1]);
+    }
+    sum(b, c[n - 1], x[n - 1], y[n - 1]);
+    for k in (0..n - 1).rev() {
+        carry_dag(b, c[k], x[k], y[k], c[k + 1]);
+        sum(b, c[k], x[k], y[k]);
+    }
+    b.release_ancilla_reg(c);
+    Ok(())
+}
+
+/// Emits the VBE carry-chain comparator: `t ⊕= 1[x > y]` (or
+/// `t ⊕= control · 1[x > y]` when `control` is given), leaving `x`, `y`
+/// unchanged.
+///
+/// Implementation: `1[x > y]` equals the carry out of `x + ȳ`, so the
+/// circuit complements `y`, ripples a CARRY chain whose final carry targets
+/// `t` directly (uncontrolled case) or a fresh ancilla copied into `t` by a
+/// Toffoli (controlled case), then unwinds.
+///
+/// This is the "one plain adder"-cost comparator that turns the 5-adder VBE
+/// modular adder into the 4-adder variant of Table 1.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `x.len() == y.len()`.
+pub fn compare_gt(
+    b: &mut CircuitBuilder,
+    control: Option<QubitId>,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = nonempty("VBE comparator", x)?;
+    crate::util::expect_width("VBE comparator second operand", y, n)?;
+    for &q in y {
+        b.x(q);
+    }
+    let c = b.ancilla_reg(n);
+    match control {
+        None => {
+            for k in 0..n {
+                let cout = if k < n - 1 { c[k + 1] } else { t };
+                carry(b, c[k], x[k], y[k], cout);
+            }
+            b.cx(x[n - 1], y[n - 1]);
+            for k in (0..n - 1).rev() {
+                carry_dag(b, c[k], x[k], y[k], c[k + 1]);
+            }
+        }
+        Some(ctrl) => {
+            // Compute the full carry into an ancilla, copy under control,
+            // then unwind the whole chain.
+            let top = b.ancilla();
+            for k in 0..n {
+                let cout = if k < n - 1 { c[k + 1] } else { top };
+                carry(b, c[k], x[k], y[k], cout);
+            }
+            b.ccx(ctrl, top, t);
+            for k in (0..n).rev() {
+                let cout = if k < n - 1 { c[k + 1] } else { top };
+                carry_dag(b, c[k], x[k], y[k], cout);
+            }
+            b.release_ancilla(top);
+        }
+    }
+    b.release_ancilla_reg(c);
+    for &q in y {
+        b.x(q);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::CircuitBuilder;
+    use mbu_sim::BasisTracker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_add(n: usize, x: u128, y: u128) -> u128 {
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+        let circuit = b.finish();
+        circuit.validate().unwrap();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        sim.set_value(xr.qubits(), x);
+        sim.set_value(yr.qubits(), y);
+        let mut rng = StdRng::seed_from_u64(0);
+        sim.run(&circuit, &mut rng).unwrap();
+        assert_eq!(sim.value(xr.qubits()).unwrap(), x, "x preserved");
+        assert!(sim.global_phase().is_zero());
+        sim.value(yr.qubits()).unwrap()
+    }
+
+    #[test]
+    fn adds_exhaustively_for_small_n() {
+        for n in 1..=4usize {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << n) {
+                    assert_eq!(run_add(n, x, y), x + y, "{x}+{y} at n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adds_mod_2n1_with_top_bit_set() {
+        // The adder's semantics are mod 2^{n+1} even when y's top qubit
+        // starts at 1 — required for its adjoint to act as a subtractor.
+        let n = 4usize;
+        for x in [0u128, 3, 9, 15] {
+            for y in [16u128, 20, 31] {
+                assert_eq!(run_add(n, x, y), (x + y) % 32, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_addition_matches_reference() {
+        let n = 64usize;
+        let x = 0xDEAD_BEEF_0123_4567u128;
+        let y = 0xFEDC_BA98_7654_3210u128;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+        let circuit = b.finish();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        sim.set_value(xr.qubits(), x);
+        sim.set_value(yr.qubits(), y);
+        let mut rng = StdRng::seed_from_u64(1);
+        sim.run(&circuit, &mut rng).unwrap();
+        assert_eq!(sim.value(yr.qubits()).unwrap(), x + y);
+    }
+
+    #[test]
+    fn toffoli_count_matches_4n_minus_2() {
+        for n in [2usize, 5, 16] {
+            let mut b = CircuitBuilder::new();
+            let xr = b.qreg("x", n);
+            let yr = b.qreg("y", n + 1);
+            add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+            let counts = b.finish().counts();
+            assert_eq!(counts.toffoli, 4 * n as u64 - 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ancilla_count_is_n() {
+        let n = 7;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+        assert_eq!(b.ancilla_peak(), n);
+    }
+
+    #[test]
+    fn wrapping_add_drops_carry() {
+        for n in 1..=4usize {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << n) {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    wrapping_add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+                    let circuit = b.finish();
+                    let mut sim = BasisTracker::zeros(circuit.num_qubits());
+                    sim.set_value(xr.qubits(), x);
+                    sim.set_value(yr.qubits(), y);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    sim.run(&circuit, &mut rng).unwrap();
+                    assert_eq!(
+                        sim.value(yr.qubits()).unwrap(),
+                        (x + y) % (1 << n),
+                        "{x}+{y} mod 2^{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_is_exhaustively_correct() {
+        let n = 3usize;
+        for x in 0..(1u128 << n) {
+            for y in 0..(1u128 << n) {
+                for t0 in [false, true] {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    let t = b.qubit();
+                    compare_gt(&mut b, None, xr.qubits(), yr.qubits(), t).unwrap();
+                    let circuit = b.finish();
+                    let mut sim = BasisTracker::zeros(circuit.num_qubits());
+                    sim.set_value(xr.qubits(), x);
+                    sim.set_value(yr.qubits(), y);
+                    sim.set_bit(t, t0);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    sim.run(&circuit, &mut rng).unwrap();
+                    assert_eq!(sim.bit(t).unwrap(), t0 ^ (x > y), "{x}>{y}");
+                    assert_eq!(sim.value(xr.qubits()).unwrap(), x);
+                    assert_eq!(sim.value(yr.qubits()).unwrap(), y);
+                    assert!(sim.global_phase().is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_comparator_respects_control() {
+        let n = 3usize;
+        for x in [0u128, 3, 5, 7] {
+            for y in [0u128, 2, 5, 6] {
+                for ctrl in [false, true] {
+                    let mut b = CircuitBuilder::new();
+                    let c = b.qubit();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    let t = b.qubit();
+                    compare_gt(&mut b, Some(c), xr.qubits(), yr.qubits(), t).unwrap();
+                    let circuit = b.finish();
+                    let mut sim = BasisTracker::zeros(circuit.num_qubits());
+                    sim.set_bit(c, ctrl);
+                    sim.set_value(xr.qubits(), x);
+                    sim.set_value(yr.qubits(), y);
+                    let mut rng = StdRng::seed_from_u64(0);
+                    sim.run(&circuit, &mut rng).unwrap();
+                    assert_eq!(sim.bit(t).unwrap(), ctrl && x > y, "c={ctrl} {x}>{y}");
+                    assert!(sim.global_phase().is_zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", 3);
+        let yr = b.qreg("y", 3);
+        assert!(matches!(
+            add(&mut b, xr.qubits(), yr.qubits()),
+            Err(ArithError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            add(&mut b, &[], yr.qubits()),
+            Err(ArithError::EmptyRegister { .. })
+        ));
+    }
+}

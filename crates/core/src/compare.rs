@@ -1,0 +1,569 @@
+//! Quantum comparators (§2.5): register-register, register-constant, and
+//! their controlled variants, for every adder family.
+//!
+//! All comparators are *clean*: operands are restored, only the target bit
+//! is XORed. Every implementation computes the comparison as a carry —
+//! `1[x > y]` is the carry out of `x + ȳ` — using half the gates of a full
+//! subtract-compare-add (Props 2.27, 2.28 and the VBE carry chain), except
+//! Draper's, which works in the Fourier basis (Prop 2.26).
+
+use mbu_bitstring::BitString;
+use mbu_circuit::{Circuit, CircuitBuilder, QubitId, Register};
+
+use crate::adders::{cdkpm, draper, gidney, vbe};
+use crate::util::nonempty;
+use crate::{AdderKind, ArithError};
+
+/// Emits `t ⊕= 1[x > y]` (Definition 2.24), restoring `x` and `y`.
+///
+/// Dispatches to the family's half-subtractor comparator: VBE carry chain,
+/// CDKPM (Prop 2.27), Gidney (Prop 2.28) or Draper/Beauregard (Prop 2.26).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `x.len() == y.len()`.
+pub fn compare_gt(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    match kind {
+        AdderKind::Vbe => vbe::compare_gt(b, None, x, y, t),
+        AdderKind::Cdkpm => cdkpm::compare_gt(b, None, x, y, t),
+        AdderKind::Gidney => gidney::compare_gt(b, None, x, y, t),
+        AdderKind::Draper => draper::compare_gt(b, None, x, y, t),
+    }
+}
+
+/// Emits `t ⊕= control · 1[x > y]` (Definition 2.29; Props 2.30, 2.31).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `x.len() == y.len()`.
+pub fn controlled_compare_gt(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    control: QubitId,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    match kind {
+        AdderKind::Vbe => vbe::compare_gt(b, Some(control), x, y, t),
+        AdderKind::Cdkpm => cdkpm::compare_gt(b, Some(control), x, y, t),
+        AdderKind::Gidney => gidney::compare_gt(b, Some(control), x, y, t),
+        AdderKind::Draper => draper::compare_gt(b, Some(control), x, y, t),
+    }
+}
+
+/// Emits `t ⊕= 1[y < a]` for a classical constant `a` (Definition 2.33,
+/// Prop 2.34): the constant is loaded into an ancilla register with `|a|` X
+/// gates, compared (`1[a > y]`), and unloaded.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit in `y.len()` bits.
+pub fn compare_lt_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    a: &BitString,
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = nonempty("constant comparator", y)?;
+    for i in n..a.width() {
+        if a.bit(i) {
+            return Err(ArithError::ConstantOutOfRange {
+                context: "constant comparator",
+                constraint: "constant must fit in the register width",
+            });
+        }
+    }
+    let bits = a.resized(n);
+    let loaded = b.ancilla_reg(n);
+    crate::util::load_const(b, &bits, loaded.qubits());
+    compare_gt(b, kind, loaded.qubits(), y, t)?;
+    crate::util::load_const(b, &bits, loaded.qubits());
+    b.release_ancilla_reg(loaded);
+    Ok(())
+}
+
+/// Emits `t ⊕= 1[y < c·a]` — equivalently `t ⊕= c·1[y < a]` since
+/// `1[y < 0] = 0` (Definition 2.37, Theorem 2.38): the constant is loaded
+/// under control with `|a|` CNOTs, so the comparator itself stays
+/// uncontrolled.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit in `y.len()` bits.
+pub fn controlled_compare_lt_const(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    control: QubitId,
+    a: &BitString,
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = nonempty("controlled constant comparator", y)?;
+    for i in n..a.width() {
+        if a.bit(i) {
+            return Err(ArithError::ConstantOutOfRange {
+                context: "controlled constant comparator",
+                constraint: "constant must fit in the register width",
+            });
+        }
+    }
+    let bits = a.resized(n);
+    let loaded = b.ancilla_reg(n);
+    crate::util::load_const_controlled(b, control, &bits, loaded.qubits());
+    compare_gt(b, kind, loaded.qubits(), y, t)?;
+    crate::util::load_const_controlled(b, control, &bits, loaded.qubits());
+    b.release_ancilla_reg(loaded);
+    Ok(())
+}
+
+
+/// Emits `t ⊕= 1[x ≤ y]` — the opposite comparison, obtained by
+/// post-composing the comparator with an X on `t` (Remark 2.39).
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `x.len() == y.len()`.
+pub fn compare_le(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    compare_gt(b, kind, x, y, t)?;
+    b.x(t);
+    Ok(())
+}
+
+/// Emits `t ⊕= 1[x > y]` for operands of *unequal* width
+/// `y.len() == x.len() + 1` (Remark 2.32): compare against the low bits
+/// and absorb `y`'s top bit as a negated control, costing one extra
+/// Toffoli instead of a padded register.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn compare_gt_mixed(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = nonempty("mixed-width comparator", x)?;
+    crate::util::expect_width("mixed-width comparator second operand", y, n + 1)?;
+    // 1[x > y] = ¬y_n · 1[x > y_{0..n}] since x < 2^n.
+    let top = y[n];
+    b.x(top);
+    controlled_compare_gt(b, kind, top, x, &y[..n], t)?;
+    b.x(top);
+    Ok(())
+}
+
+/// Emits `t ⊕= 1[x > y]` via a full subtract–copy–add (Prop 2.25): the
+/// generic comparator costing one adder plus one subtractor, used by the
+/// original five-adder VBE modular adder.
+///
+/// `y` must have the extra headroom qubit (`y.len() == x.len() + 1`) so the
+/// difference's sign bit exists; the comparison is against `y`'s full
+/// `(n+1)`-bit value.
+///
+/// # Errors
+///
+/// Returns [`ArithError::WidthMismatch`] unless `y.len() == x.len() + 1`.
+pub fn compare_gt_full(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = nonempty("full comparator", x)?;
+    crate::util::expect_width("full comparator second operand", y, n + 1)?;
+    crate::adders::sub(b, kind, x, y)?;
+    b.cx(y[n], t);
+    crate::adders::add(b, kind, x, y)
+}
+
+/// A standalone comparator circuit plus its registers.
+#[derive(Clone, Debug)]
+pub struct Comparator {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// First operand `x`.
+    pub x: Register,
+    /// Second operand `y`.
+    pub y: Register,
+    /// Target bit receiving `1[x > y]`.
+    pub t: QubitId,
+}
+
+/// Builds a standalone comparator `t ⊕= 1[x > y]`.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for `n = 0` or oversized Draper widths.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_arith::{compare, AdderKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cmp = compare::comparator(AdderKind::Gidney, 16)?;
+/// assert_eq!(cmp.circuit.counts().toffoli, 16); // n Toffolis
+/// # Ok(())
+/// # }
+/// ```
+pub fn comparator(kind: AdderKind, n: usize) -> Result<Comparator, ArithError> {
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n);
+    let t = b.qubit();
+    compare_gt(&mut b, kind, x.qubits(), y.qubits(), t)?;
+    Ok(Comparator {
+        circuit: b.finish(),
+        x,
+        y,
+        t,
+    })
+}
+
+/// A standalone constant comparator plus its registers.
+#[derive(Clone, Debug)]
+pub struct ConstComparator {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// The compared register.
+    pub y: Register,
+    /// Target bit receiving `1[y < a]`.
+    pub t: QubitId,
+}
+
+/// Builds a standalone constant comparator `t ⊕= 1[y < a]`.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] if `a` does not fit in `n` bits.
+pub fn const_comparator(
+    kind: AdderKind,
+    n: usize,
+    a: u128,
+) -> Result<ConstComparator, ArithError> {
+    let bits = crate::util::const_bits("constant comparator", a, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let y = b.qreg("y", n);
+    let t = b.qubit();
+    compare_lt_const(&mut b, kind, &bits, y.qubits(), t)?;
+    Ok(ConstComparator {
+        circuit: b.finish(),
+        y,
+        t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_sim::{BasisTracker, StateVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const RIPPLE_KINDS: [AdderKind; 3] =
+        [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney];
+
+    fn run_ripple(
+        circuit: &Circuit,
+        inputs: &[(&[QubitId], u128)],
+        out: QubitId,
+        seed: u64,
+    ) -> bool {
+        circuit.validate().unwrap();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        for (reg, v) in inputs {
+            sim.set_value(reg, *v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.run(circuit, &mut rng).unwrap();
+        assert!(sim.global_phase().is_zero());
+        sim.bit(out).unwrap()
+    }
+
+    #[test]
+    fn comparators_exhaustive_all_ripple_kinds() {
+        let n = 3usize;
+        for kind in RIPPLE_KINDS {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << n) {
+                    let cmp = comparator(kind, n).unwrap();
+                    let got = run_ripple(
+                        &cmp.circuit,
+                        &[(cmp.x.qubits(), x), (cmp.y.qubits(), y)],
+                        cmp.t,
+                        1,
+                    );
+                    assert_eq!(got, x > y, "{kind}: {x}>{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn draper_comparator_exhaustive() {
+        let n = 2usize;
+        for x in 0..(1u64 << n) {
+            for y in 0..(1u64 << n) {
+                let cmp = comparator(AdderKind::Draper, n).unwrap();
+                cmp.circuit.validate().unwrap();
+                let mut sv = StateVector::zeros(cmp.circuit.num_qubits()).unwrap();
+                sv.prepare_basis(StateVector::index_with(&[
+                    (cmp.x.qubits(), x),
+                    (cmp.y.qubits(), y),
+                ]))
+                .unwrap();
+                let mut rng = StdRng::seed_from_u64(0);
+                sv.run(&cmp.circuit, &mut rng).unwrap();
+                let (idx, _) = sv.as_basis(1e-9).unwrap();
+                assert_eq!(
+                    StateVector::register_value(idx, &[cmp.t]),
+                    u64::from(x > y),
+                    "{x}>{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn const_comparator_matches_reference() {
+        let n = 3usize;
+        for kind in RIPPLE_KINDS {
+            for a in 0..(1u128 << n) {
+                for y in 0..(1u128 << n) {
+                    let cmp = const_comparator(kind, n, a).unwrap();
+                    let got = run_ripple(&cmp.circuit, &[(cmp.y.qubits(), y)], cmp.t, 2);
+                    assert_eq!(got, y < a, "{kind}: {y}<{a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_comparator_uses_2a_x_gates() {
+        let n = 5usize;
+        let a = 0b10101u128; // |a| = 3
+        let cmp = const_comparator(AdderKind::Cdkpm, n, a).unwrap();
+        let counts = cmp.circuit.counts();
+        // 2|a| loads + 2n complements inside the comparator.
+        assert_eq!(counts.x, 2 * 3 + 2 * n as u64);
+    }
+
+    #[test]
+    fn controlled_compare_gt_truth_table() {
+        let n = 3usize;
+        for kind in RIPPLE_KINDS {
+            for ctrl in [0u128, 1] {
+                for (x, y) in [(5u128, 2u128), (2, 5), (4, 4)] {
+                    let mut b = CircuitBuilder::new();
+                    let c = b.qubit();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n);
+                    let t = b.qubit();
+                    controlled_compare_gt(&mut b, kind, c, xr.qubits(), yr.qubits(), t)
+                        .unwrap();
+                    let circ = b.finish();
+                    let got = run_ripple(
+                        &circ,
+                        &[(&[c], ctrl), (xr.qubits(), x), (yr.qubits(), y)],
+                        t,
+                        3,
+                    );
+                    assert_eq!(got, ctrl == 1 && x > y, "{kind} c={ctrl} {x}>{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_const_comparator_truth_table() {
+        let n = 3usize;
+        let a = 5u128;
+        for kind in RIPPLE_KINDS {
+            for ctrl in [0u128, 1] {
+                for y in [0u128, 4, 5, 7] {
+                    let mut b = CircuitBuilder::new();
+                    let c = b.qubit();
+                    let yr = b.qreg("y", n);
+                    let t = b.qubit();
+                    let bits = BitString::from_u128(a, n);
+                    controlled_compare_lt_const(&mut b, kind, c, &bits, yr.qubits(), t)
+                        .unwrap();
+                    let circ = b.finish();
+                    let got = run_ripple(&circ, &[(&[c], ctrl), (yr.qubits(), y)], t, 4);
+                    assert_eq!(got, ctrl == 1 && y < a, "{kind} c={ctrl} {y}<{a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_double_application_cancels() {
+        // Comparators are self-adjoint Ug oracles: applying twice is the
+        // identity on t — the property the MBU lemma relies on.
+        let n = 4usize;
+        for kind in RIPPLE_KINDS {
+            let mut b = CircuitBuilder::new();
+            let xr = b.qreg("x", n);
+            let yr = b.qreg("y", n);
+            let t = b.qubit();
+            compare_gt(&mut b, kind, xr.qubits(), yr.qubits(), t).unwrap();
+            compare_gt(&mut b, kind, xr.qubits(), yr.qubits(), t).unwrap();
+            let circ = b.finish();
+            let got = run_ripple(&circ, &[(xr.qubits(), 9), (yr.qubits(), 4)], t, 5);
+            assert!(!got, "{kind}: double comparison must cancel");
+        }
+    }
+
+
+    #[test]
+    fn compare_le_is_the_negation() {
+        let n = 3usize;
+        for kind in RIPPLE_KINDS {
+            for (x, y) in [(2u128, 5u128), (5, 2), (4, 4)] {
+                let mut b = CircuitBuilder::new();
+                let xr = b.qreg("x", n);
+                let yr = b.qreg("y", n);
+                let t = b.qubit();
+                compare_le(&mut b, kind, xr.qubits(), yr.qubits(), t).unwrap();
+                let circ = b.finish();
+                let got = run_ripple(
+                    &circ,
+                    &[(xr.qubits(), x), (yr.qubits(), y)],
+                    t,
+                    6,
+                );
+                assert_eq!(got, x <= y, "{kind}: {x} <= {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_width_comparator_exhaustive() {
+        // Remark 2.32: x is n bits, y is n+1 bits.
+        let n = 2usize;
+        for kind in RIPPLE_KINDS {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << (n + 1)) {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n + 1);
+                    let t = b.qubit();
+                    compare_gt_mixed(&mut b, kind, xr.qubits(), yr.qubits(), t).unwrap();
+                    let circ = b.finish();
+                    let got = run_ripple(
+                        &circ,
+                        &[(xr.qubits(), x), (yr.qubits(), y)],
+                        t,
+                        7,
+                    );
+                    assert_eq!(got, x > y, "{kind}: {x} > {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_width_costs_one_extra_toffoli() {
+        let n = 8usize;
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        let t = b.qubit();
+        compare_gt_mixed(&mut b, AdderKind::Cdkpm, xr.qubits(), yr.qubits(), t).unwrap();
+        let mixed = b.finish().counts().toffoli;
+        let plain = comparator(AdderKind::Cdkpm, n).unwrap().circuit.counts().toffoli;
+        assert_eq!(mixed, plain + 1);
+    }
+
+    #[test]
+    fn full_comparator_matches_half_comparator() {
+        // Prop 2.25 (adder + subtractor) agrees with the half-subtractor
+        // comparator on the low bits whenever y's top bit is clear.
+        let n = 3usize;
+        for kind in RIPPLE_KINDS {
+            for x in 0..(1u128 << n) {
+                for y in 0..(1u128 << n) {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let yr = b.qreg("y", n + 1);
+                    let t = b.qubit();
+                    compare_gt_full(&mut b, kind, xr.qubits(), yr.qubits(), t).unwrap();
+                    let circ = b.finish();
+                    let got = run_ripple(
+                        &circ,
+                        &[(xr.qubits(), x), (yr.qubits(), y)],
+                        t,
+                        8,
+                    );
+                    assert_eq!(got, x > y, "{kind}: {x} > {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_comparator_restores_y() {
+        let n = 5usize;
+        let (x, y) = (21u128, 13u128);
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        let t = b.qubit();
+        compare_gt_full(&mut b, AdderKind::Gidney, xr.qubits(), yr.qubits(), t).unwrap();
+        let circ = b.finish();
+        let mut sim = BasisTracker::zeros(circ.num_qubits());
+        sim.set_value(xr.qubits(), x);
+        sim.set_value(yr.qubits(), y);
+        let mut rng = StdRng::seed_from_u64(5);
+        sim.run(&circ, &mut rng).unwrap();
+        assert_eq!(sim.value(yr.qubits()).unwrap(), y);
+        assert_eq!(sim.bit(t).unwrap(), x > y);
+        assert!(sim.global_phase().is_zero());
+    }
+
+    #[test]
+    fn oversized_constant_rejected() {
+        assert!(matches!(
+            const_comparator(AdderKind::Cdkpm, 3, 9),
+            Err(ArithError::ConstantOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn comparator_toffoli_counts_per_family() {
+        let n = 8usize;
+        assert_eq!(
+            comparator(AdderKind::Cdkpm, n).unwrap().circuit.counts().toffoli,
+            2 * n as u64
+        );
+        assert_eq!(
+            comparator(AdderKind::Gidney, n).unwrap().circuit.counts().toffoli,
+            n as u64
+        );
+        assert_eq!(
+            comparator(AdderKind::Vbe, n).unwrap().circuit.counts().toffoli,
+            4 * n as u64 - 2
+        );
+        assert_eq!(
+            comparator(AdderKind::Draper, n).unwrap().circuit.counts().toffoli,
+            0
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Errors for arithmetic-circuit synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+use mbu_circuit::CircuitError;
+
+/// Errors produced while synthesising arithmetic circuits.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_arith::{adders, AdderKind, ArithError};
+/// use mbu_circuit::CircuitBuilder;
+///
+/// let mut b = CircuitBuilder::new();
+/// let x = b.qreg("x", 4);
+/// let y = b.qreg("y", 4); // must be 5 qubits for a 4-bit addend
+/// let err = adders::add(&mut b, AdderKind::Cdkpm, x.qubits(), y.qubits()).unwrap_err();
+/// assert!(matches!(err, ArithError::WidthMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArithError {
+    /// Register widths are inconsistent for the requested operation.
+    WidthMismatch {
+        /// What was being built.
+        context: &'static str,
+        /// Expected width.
+        expected: usize,
+        /// Actual width.
+        actual: usize,
+    },
+    /// The operation needs at least one bit of width.
+    EmptyRegister {
+        /// What was being built.
+        context: &'static str,
+    },
+    /// A classical constant does not satisfy the construction's
+    /// precondition (e.g. `a < p`, or the modulus does not fit in `n` bits).
+    ConstantOutOfRange {
+        /// What was being built.
+        context: &'static str,
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// The modulus has no inverse for the requested value (needed by
+    /// in-place modular multiplication).
+    NotInvertible {
+        /// The value lacking an inverse.
+        value: u128,
+        /// The modulus.
+        modulus: u128,
+    },
+    /// An underlying circuit-level operation failed.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::WidthMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{context}: register width {actual} where {expected} was required"
+            ),
+            ArithError::EmptyRegister { context } => {
+                write!(f, "{context}: register must have at least one qubit")
+            }
+            ArithError::ConstantOutOfRange {
+                context,
+                constraint,
+            } => write!(f, "{context}: constant violates {constraint}"),
+            ArithError::NotInvertible { value, modulus } => {
+                write!(f, "{value} has no multiplicative inverse modulo {modulus}")
+            }
+            ArithError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl Error for ArithError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArithError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for ArithError {
+    fn from(e: CircuitError) -> Self {
+        ArithError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ArithError::WidthMismatch {
+            context: "adder",
+            expected: 5,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("adder"));
+        let wrapped = ArithError::from(CircuitError::AdjointOfMeasurement);
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

@@ -1,0 +1,164 @@
+//! The measurement-based uncomputation lemma (Lemma 4.1, Figure 24) as a
+//! plug-and-play combinator.
+//!
+//! Given a garbage qubit holding `g(x)` and a self-adjoint circuit `U_g`
+//! that XORs `g(x)` back into it, [`uncompute_bit`] restores the qubit to
+//! `|0⟩` using:
+//!
+//! * always: one H gate and one computational-basis measurement;
+//! * with probability ½ (outcome 1): two more H gates, one run of `U_g`
+//!   (as a phase-kickback oracle) and one X gate.
+//!
+//! In expectation this halves the cost of the uncomputation — the source of
+//! every "with MBU" column in the paper's Table 1.
+
+use mbu_circuit::{Basis, CircuitBuilder, ClbitId, OpBlock, QubitId};
+
+/// Applies Lemma 4.1: uncomputes `garbage` (holding `g(x)`) using the
+/// recorded oracle `ug`, which must implement
+/// `|x⟩|b⟩ ↦ |x⟩|b ⊕ g(x)⟩` on (`x`-registers, `garbage`).
+///
+/// Returns the classical bit holding the X-basis measurement outcome
+/// (0 = uncomputation came for free, 1 = the correction block ran).
+///
+/// The emitted protocol is Figure 24: `H`, measure, and — conditioned on
+/// outcome 1 — `H · U_g · H · X`, which erases the `(−1)^{g(x)}` phases by
+/// kickback and resets the qubit.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_arith::mbu;
+/// use mbu_circuit::CircuitBuilder;
+/// use mbu_sim::BasisTracker;
+/// use rand::SeedableRng;
+///
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 2); // q0 = x, q1 = garbage
+/// // Compute g(x) = x into the garbage qubit, then uncompute it with MBU.
+/// let (_, ug) = b.record(|b| b.cx(q[0], q[1]));
+/// b.emit(&ug);
+/// mbu::uncompute_bit(&mut b, q[1], &ug);
+/// let circuit = b.finish();
+///
+/// let mut sim = BasisTracker::zeros(2);
+/// sim.set_bit(q[0], true);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// sim.run(&circuit, &mut rng).unwrap();
+/// assert_eq!(sim.bit(q[1]).unwrap(), false);
+/// assert!(sim.global_phase().is_zero());
+/// ```
+pub fn uncompute_bit(b: &mut CircuitBuilder, garbage: QubitId, ug: &OpBlock) -> ClbitId {
+    b.h(garbage);
+    let outcome = b.measure(garbage, Basis::Z);
+    let (_, correction) = b.record(|b| {
+        b.h(garbage);
+        b.emit(ug);
+        b.h(garbage);
+        b.x(garbage);
+    });
+    b.emit_conditional(outcome, &correction);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::CircuitBuilder;
+    use mbu_sim::{BasisTracker, Complex, StateVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// MBU of g(x0, x1) = x0·x1 computed by a Toffoli.
+    fn toffoli_mbu_circuit() -> (mbu_circuit::Circuit, [QubitId; 3]) {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 3);
+        let (_, ug) = b.record(|b| b.ccx(q[0], q[1], q[2]));
+        b.emit(&ug);
+        uncompute_bit(&mut b, q[2], &ug);
+        let qubits = [q[0], q[1], q[2]];
+        (b.finish(), qubits)
+    }
+
+    #[test]
+    fn uncomputes_on_every_input_and_seed() {
+        let (circuit, q) = toffoli_mbu_circuit();
+        for input in 0..4u128 {
+            for seed in 0..8 {
+                let mut sim = BasisTracker::zeros(3);
+                sim.set_value(&[q[0], q[1]], input);
+                let mut rng = StdRng::seed_from_u64(seed);
+                sim.run(&circuit, &mut rng).unwrap();
+                assert!(!sim.bit(q[2]).unwrap(), "in={input} seed={seed}");
+                assert_eq!(sim.value(&[q[0], q[1]]).unwrap(), input);
+                assert!(sim.global_phase().is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn expected_cost_halves_the_oracle() {
+        let (circuit, _) = toffoli_mbu_circuit();
+        let expected = circuit.expected_counts();
+        // One Toffoli to compute, half a Toffoli in expectation to
+        // uncompute.
+        assert_eq!(expected.toffoli, 1.5);
+        // 1 H always + 2 H at weight ½.
+        assert_eq!(expected.h, 2.0);
+        // 1 X at weight ½.
+        assert_eq!(expected.x, 0.5);
+        assert_eq!(expected.measure_z, 1.0);
+    }
+
+    #[test]
+    fn outcome_frequency_is_a_fair_coin() {
+        let (circuit, q) = toffoli_mbu_circuit();
+        let mut ones = 0u32;
+        let trials = 400u64;
+        for seed in 0..trials {
+            let mut sim = BasisTracker::zeros(3);
+            sim.set_value(&[q[0], q[1]], 0b11);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ex = sim.run(&circuit, &mut rng).unwrap();
+            ones += u32::from(ex.outcome(0).unwrap());
+        }
+        assert!(ones > 140 && ones < 260, "{ones}/{trials}");
+    }
+
+    #[test]
+    fn preserves_relative_phases_on_superpositions() {
+        // Run compute+MBU on (|00⟩ + |01⟩ + |10⟩ + |11⟩)/2 ⊗ |0⟩ and check
+        // the final state is exactly the input — any sign slip on the
+        // g(x)=1 component would show in the amplitudes.
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 3);
+        b.h(q[0]);
+        b.h(q[1]);
+        let (_, ug) = b.record(|b| b.ccx(q[0], q[1], q[2]));
+        b.emit(&ug);
+        uncompute_bit(&mut b, q[2], &ug);
+        let circuit = b.finish();
+
+        for seed in 0..16 {
+            let mut sv = StateVector::zeros(3).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            sv.run(&circuit, &mut rng).unwrap();
+            for x in 0..4u64 {
+                let amp = sv.amplitude(x);
+                assert!(
+                    (amp - Complex::new(0.5, 0.0)).norm() < 1e-9,
+                    "seed {seed}: amplitude of |{x:02b}0⟩ is {amp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_counts_keep_full_oracle() {
+        let (circuit, _) = toffoli_mbu_circuit();
+        let counts = circuit.counts();
+        assert_eq!(counts.toffoli, 2);
+        assert_eq!(counts.h, 3);
+        assert_eq!(counts.x, 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! The Draper/Beauregard QFT-based modular adders (Prop 3.7, Prop 3.19,
+//! Figure 23) and their MBU variants (Thm 4.6).
+//!
+//! These circuits never leave the Fourier basis between subroutines:
+//! adjacent `IQFT·QFT` pairs of the VBE-architecture slots cancel, leaving
+//! exactly 3 QFTs + 3 IQFTs per modular addition (Prop 3.7). The flag
+//! uncomputation reads the *complemented* sign bit, so no trailing X on the
+//! flag is needed (Beauregard's trick).
+
+use mbu_bitstring::BitString;
+use mbu_circuit::{Circuit, CircuitBuilder, QubitId, Register};
+
+use crate::adders::draper::{
+    c_phi_add_const, cc_phi_add_const, iqft, phi_add, phi_add_const, qft, Sign,
+};
+use crate::util::{const_bits, expect_width, nonempty};
+use crate::{mbu, ArithError, Uncompute};
+
+use super::ModAdd;
+
+/// Emits the Beauregard modular adder (Prop 3.7):
+/// `|x⟩_n |y⟩_{n+1} ↦ |x⟩_n |(x + y) mod p⟩_{n+1}` for `x, y < p`,
+/// with 3 QFTs, 3 IQFTs, 2 CNOTs and 2 ancillas (flag + borrowed); MBU
+/// (Thm 4.6) makes the final comparator conditional.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches or an invalid modulus.
+pub fn modadd(
+    b: &mut CircuitBuilder,
+    uncompute: Uncompute,
+    x: &[QubitId],
+    y: &[QubitId],
+    p: &BitString,
+) -> Result<(), ArithError> {
+    let n = nonempty("Beauregard modular adder", x)?;
+    expect_width("Beauregard modular adder target", y, n + 1)?;
+    let p_bits = super::check_modulus("Beauregard modular adder", p, n)?;
+    let t = b.ancilla();
+
+    // y ← x + y − p (mod 2^{n+1}); top bit flags x + y < p.
+    qft(b, y)?;
+    phi_add(b, x, y, Sign::Plus)?;
+    phi_add_const(b, &p_bits, y, Sign::Minus)?;
+    iqft(b, y)?;
+    b.cx(y[n], t);
+    // Re-add p where the subtraction underflowed.
+    qft(b, y)?;
+    c_phi_add_const(b, t, &p_bits, y, Sign::Plus)?;
+
+    match uncompute {
+        Uncompute::Unitary => {
+            // Merge the comparator's ΦSUB(x) into the open Fourier block.
+            phi_add(b, x, y, Sign::Minus)?;
+            iqft(b, y)?;
+            // t ⊕= ¬(y − x)_n = 1[x + y < p]: clears the flag.
+            b.x(y[n]);
+            b.cx(y[n], t);
+            b.x(y[n]);
+            qft(b, y)?;
+            phi_add(b, x, y, Sign::Plus)?;
+            iqft(b, y)?;
+        }
+        Uncompute::Mbu => {
+            iqft(b, y)?;
+            // Standalone self-adjoint oracle computing t ⊕= 1[x + y < p].
+            let (res, oracle) = b.record(|b| -> Result<(), ArithError> {
+                qft(b, y)?;
+                phi_add(b, x, y, Sign::Minus)?;
+                iqft(b, y)?;
+                b.x(y[n]);
+                b.cx(y[n], t);
+                b.x(y[n]);
+                qft(b, y)?;
+                phi_add(b, x, y, Sign::Plus)?;
+                iqft(b, y)
+            });
+            res?;
+            mbu::uncompute_bit(b, t, &oracle);
+        }
+    }
+    b.release_ancilla(t);
+    Ok(())
+}
+
+/// Emits the Beauregard modular adder by a constant with 0, 1 or 2 control
+/// qubits (Prop 3.19; Figure 23 for the doubly-controlled Shor variant):
+/// `|x⟩_{n+1} ↦ |(x + c₁c₂·a) mod p⟩_{n+1}` for `a, x < p`.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches, invalid constants, or more
+/// than two controls.
+pub fn modadd_const(
+    b: &mut CircuitBuilder,
+    uncompute: Uncompute,
+    controls: &[QubitId],
+    a: &BitString,
+    x: &[QubitId],
+    p: &BitString,
+) -> Result<(), ArithError> {
+    let m = nonempty("Beauregard constant modular adder", x)?;
+    if m < 2 {
+        return Err(ArithError::EmptyRegister {
+            context: "Beauregard constant modular adder",
+        });
+    }
+    if controls.len() > 2 {
+        return Err(ArithError::ConstantOutOfRange {
+            context: "Beauregard constant modular adder",
+            constraint: "at most two control qubits are supported",
+        });
+    }
+    let n = m - 1;
+    let p_bits = super::check_modulus("Beauregard constant modular adder", p, n)?;
+    let a_bits =
+        super::check_constant_below(a, &p_bits, "Beauregard constant modular adder")?;
+    let t = b.ancilla();
+
+    let add_a = |b: &mut CircuitBuilder, sign: Sign| -> Result<(), ArithError> {
+        match controls {
+            [] => phi_add_const(b, &a_bits, x, sign),
+            [c] => c_phi_add_const(b, *c, &a_bits, x, sign),
+            [c1, c2] => cc_phi_add_const(b, *c1, *c2, &a_bits, x, sign),
+            _ => unreachable!("checked above"),
+        }
+    };
+
+    // x ← x + c·a − p (mod 2^{n+1}); top bit flags x + c·a < p.
+    qft(b, x)?;
+    add_a(b, Sign::Plus)?;
+    phi_add_const(b, &p_bits, x, Sign::Minus)?;
+    iqft(b, x)?;
+    b.cx(x[n], t);
+    qft(b, x)?;
+    c_phi_add_const(b, t, &p_bits, x, Sign::Plus)?;
+
+    match uncompute {
+        Uncompute::Unitary => {
+            add_a(b, Sign::Minus)?;
+            iqft(b, x)?;
+            b.x(x[n]);
+            b.cx(x[n], t);
+            b.x(x[n]);
+            qft(b, x)?;
+            add_a(b, Sign::Plus)?;
+            iqft(b, x)?;
+        }
+        Uncompute::Mbu => {
+            iqft(b, x)?;
+            let (res, oracle) = b.record(|b| -> Result<(), ArithError> {
+                qft(b, x)?;
+                add_a(b, Sign::Minus)?;
+                iqft(b, x)?;
+                b.x(x[n]);
+                b.cx(x[n], t);
+                b.x(x[n]);
+                qft(b, x)?;
+                add_a(b, Sign::Plus)?;
+                iqft(b, x)
+            });
+            res?;
+            mbu::uncompute_bit(b, t, &oracle);
+        }
+    }
+    b.release_ancilla(t);
+    Ok(())
+}
+
+/// Builds a standalone Beauregard modular adder.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for `n = 0`, widths over the Draper limit, or an
+/// invalid modulus.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_arith::{modular::beauregard, Uncompute};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let layout = beauregard::modadd_circuit(Uncompute::Unitary, 4, 13)?;
+/// assert_eq!(layout.circuit.counts().toffoli, 0); // QFT arithmetic
+/// # Ok(())
+/// # }
+/// ```
+pub fn modadd_circuit(
+    uncompute: Uncompute,
+    n: usize,
+    p: u128,
+) -> Result<ModAdd, ArithError> {
+    let p_bits = const_bits("Beauregard modular adder", p, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n + 1);
+    modadd(&mut b, uncompute, x.qubits(), y.qubits(), &p_bits)?;
+    Ok(ModAdd {
+        circuit: b.finish(),
+        x,
+        y,
+        control: None,
+        p: p_bits,
+    })
+}
+
+/// A Beauregard constant modular adder with its registers.
+#[derive(Clone, Debug)]
+pub struct BeauregardConstModAdd {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// The in/out register (n+1 qubits).
+    pub x: Register,
+    /// The control qubits (0–2 of them).
+    pub controls: Vec<QubitId>,
+    /// The addend constant.
+    pub a: BitString,
+    /// The modulus.
+    pub p: BitString,
+}
+
+/// Builds a standalone Beauregard constant modular adder with
+/// `num_controls ∈ {0, 1, 2}` control qubits.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] unless `a < p < 2^n` and `num_controls ≤ 2`.
+pub fn modadd_const_circuit(
+    uncompute: Uncompute,
+    num_controls: usize,
+    n: usize,
+    a: u128,
+    p: u128,
+) -> Result<BeauregardConstModAdd, ArithError> {
+    let p_bits = const_bits("Beauregard constant modular adder", p, n.max(1))?;
+    let a_bits = const_bits("Beauregard constant modular adder", a, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let controls: Vec<QubitId> = (0..num_controls).map(|_| b.qubit()).collect();
+    let x = b.qreg("x", n + 1);
+    modadd_const(&mut b, uncompute, &controls, &a_bits, x.qubits(), &p_bits)?;
+    Ok(BeauregardConstModAdd {
+        circuit: b.finish(),
+        x,
+        controls,
+        a: a_bits,
+        p: p_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_sim::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(
+        circuit: &Circuit,
+        inputs: &[(&[QubitId], u64)],
+        out: &[QubitId],
+        seed: u64,
+    ) -> u64 {
+        circuit.validate().unwrap();
+        let mut sv = StateVector::zeros(circuit.num_qubits()).unwrap();
+        sv.prepare_basis(StateVector::index_with(inputs)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        sv.run(circuit, &mut rng).unwrap();
+        let (idx, amp) = sv.as_basis(1e-7).expect("basis output");
+        assert!(
+            (amp.re - 1.0).abs() < 1e-6 && amp.im.abs() < 1e-6,
+            "global phase must be +1, got {amp}"
+        );
+        StateVector::register_value(idx, out)
+    }
+
+    #[test]
+    fn modadd_exhaustive_small() {
+        let n = 3usize;
+        for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+            for p in [5u64, 7] {
+                for x in 0..p {
+                    for y in 0..p {
+                        let layout = modadd_circuit(unc, n, u128::from(p)).unwrap();
+                        let got = run(
+                            &layout.circuit,
+                            &[(layout.x.qubits(), x), (layout.y.qubits(), y)],
+                            layout.y.qubits(),
+                            x * 31 + y,
+                        );
+                        assert_eq!(got, (x + y) % p, "{unc}: ({x}+{y}) mod {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_count_confirms_3_qfts_each_way() {
+        // Prop 3.7: 3 QFT + 3 IQFT over n+1 qubits → 6(n+1) H gates.
+        let n = 5usize;
+        let layout = modadd_circuit(Uncompute::Unitary, n, 23).unwrap();
+        assert_eq!(layout.circuit.counts().h, 6 * (n as u64 + 1));
+        assert_eq!(layout.circuit.counts().cx, 2);
+    }
+
+    #[test]
+    fn mbu_variant_reduces_expected_rotations() {
+        let n = 5usize;
+        let plain = modadd_circuit(Uncompute::Unitary, n, 23).unwrap();
+        let with_mbu = modadd_circuit(Uncompute::Mbu, n, 23).unwrap();
+        let e_plain = plain.circuit.expected_counts();
+        let e_mbu = with_mbu.circuit.expected_counts();
+        assert!(
+            e_mbu.cphase < e_plain.cphase,
+            "expected rotations: {} !< {}",
+            e_mbu.cphase,
+            e_plain.cphase
+        );
+    }
+
+    #[test]
+    fn const_modadd_exhaustive_no_controls() {
+        let n = 3usize;
+        for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+            let p = 7u64;
+            for a in 0..p {
+                for x in 0..p {
+                    let layout =
+                        modadd_const_circuit(unc, 0, n, u128::from(a), u128::from(p))
+                            .unwrap();
+                    let got = run(
+                        &layout.circuit,
+                        &[(layout.x.qubits(), x)],
+                        layout.x.qubits(),
+                        a * 13 + x,
+                    );
+                    assert_eq!(got, (x + a) % p, "{unc}: ({x}+{a}) mod {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_modadd_single_control() {
+        let n = 3usize;
+        let (a, p) = (5u64, 7u64);
+        for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+            for ctrl in [0u64, 1] {
+                for x in [0u64, 3, 6] {
+                    let layout =
+                        modadd_const_circuit(unc, 1, n, u128::from(a), u128::from(p))
+                            .unwrap();
+                    let c = layout.controls[0];
+                    let got = run(
+                        &layout.circuit,
+                        &[(&[c], ctrl), (layout.x.qubits(), x)],
+                        layout.x.qubits(),
+                        x + ctrl * 3,
+                    );
+                    assert_eq!(got, (x + a * ctrl) % p, "{unc} c={ctrl} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_modadd_double_control_figure_23() {
+        let n = 2usize;
+        let (a, p) = (2u64, 3u64);
+        for c1v in [0u64, 1] {
+            for c2v in [0u64, 1] {
+                for x in 0..p {
+                    let layout =
+                        modadd_const_circuit(Uncompute::Mbu, 2, n, u128::from(a), u128::from(p))
+                            .unwrap();
+                    let (c1, c2) = (layout.controls[0], layout.controls[1]);
+                    let got = run(
+                        &layout.circuit,
+                        &[(&[c1], c1v), (&[c2], c2v), (layout.x.qubits(), x)],
+                        layout.x.qubits(),
+                        x * 5 + c1v * 2 + c2v,
+                    );
+                    assert_eq!(got, (x + a * c1v * c2v) % p, "c1={c1v} c2={c2v} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_controls_rejected() {
+        let mut b = CircuitBuilder::new();
+        let c: Vec<QubitId> = (0..3).map(|_| b.qubit()).collect();
+        let x = b.qreg("x", 4);
+        let a = BitString::from_u128(1, 3);
+        let p = BitString::from_u128(5, 3);
+        assert!(matches!(
+            modadd_const(&mut b, Uncompute::Unitary, &c, &a, x.qubits(), &p),
+            Err(ArithError::ConstantOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,921 @@
+//! Quantum modular addition (§3) and its MBU-optimised variants (§4).
+//!
+//! The VBE architecture (Prop 3.2) assembles a modular adder from four
+//! subroutine slots:
+//!
+//! 1. `QADD` — plain addition of the addend into the target;
+//! 2. `QCOMP(p)` — compare the sum against the modulus, flag `sum ≥ p`;
+//! 3. `C-QSUB(p)` — subtract `p` under that flag;
+//! 4. `Q′COMP` — uncompute the flag by comparing the reduced sum with the
+//!    addend.
+//!
+//! Each slot independently picks an adder family through [`ModAddSpec`],
+//! reproducing every row of the paper's Table 1 (including the
+//! Gidney+CDKPM hybrid of Thm 3.6); setting [`Uncompute::Mbu`] replaces
+//! step 4 with the measurement-based protocol of Lemma 4.1, halving its
+//! expected cost (Thms 4.2–4.5).
+//!
+//! The module also provides controlled modular addition (Props 3.9–3.11 /
+//! Thms 4.7–4.9), modular addition by a constant in the VBE (Thm 3.14 /
+//! 4.10) and Takahashi (Prop 3.15 / Thm 4.11) architectures, and controlled
+//! modular addition by a constant (Prop 3.18 / Thm 4.12). The QFT-based
+//! Beauregard circuits live in [`beauregard`].
+
+pub mod beauregard;
+
+use mbu_bitstring::BitString;
+use mbu_circuit::{Circuit, CircuitBuilder, QubitId, Register};
+
+use crate::util::{const_bits, expect_width, nonempty};
+use crate::{adders, compare, mbu, AdderKind, ArithError, Uncompute};
+
+/// Which adder family backs each slot of the VBE modular-adder
+/// architecture, and how the comparison flag is uncomputed.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_arith::{modular::ModAddSpec, AdderKind, Uncompute};
+///
+/// // Theorem 3.6: Gidney for the wide adds, CDKPM for the constant work.
+/// let spec = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+/// assert_eq!(spec.adder, AdderKind::Gidney);
+/// assert_eq!(spec.sub_p, AdderKind::Cdkpm);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ModAddSpec {
+    /// Slot 1: the plain (or controlled) adder.
+    pub adder: AdderKind,
+    /// Slot 2: the constant comparator against `p`.
+    pub comp_p: AdderKind,
+    /// Slot 3: the controlled subtraction of `p`.
+    pub sub_p: AdderKind,
+    /// Slot 4: the flag-uncomputing comparator.
+    pub comp_back: AdderKind,
+    /// Use the two-adder comparator of Prop 2.25 for slot 4 instead of a
+    /// half-subtractor comparator — the "(5 adder) VBE" row of Table 1.
+    pub full_final_comparator: bool,
+    /// Unitary uncomputation (§3) or MBU (§4).
+    pub uncompute: Uncompute,
+}
+
+impl ModAddSpec {
+    /// Every slot uses `kind`, with a half-subtractor final comparator.
+    #[must_use]
+    pub fn uniform(kind: AdderKind, uncompute: Uncompute) -> Self {
+        Self {
+            adder: kind,
+            comp_p: kind,
+            sub_p: kind,
+            comp_back: kind,
+            full_final_comparator: false,
+            uncompute,
+        }
+    }
+
+    /// The original five-adder VBE modular adder \[VBE96\]: slot 4 is a full
+    /// subtract-compare-add (Prop 2.25), costing two plain adders.
+    #[must_use]
+    pub fn vbe5(uncompute: Uncompute) -> Self {
+        Self {
+            full_final_comparator: true,
+            ..Self::uniform(AdderKind::Vbe, uncompute)
+        }
+    }
+
+    /// The four-adder VBE modular adder: slot 4 is the VBE carry-chain
+    /// comparator.
+    #[must_use]
+    pub fn vbe4(uncompute: Uncompute) -> Self {
+        Self::uniform(AdderKind::Vbe, uncompute)
+    }
+
+    /// Prop 3.4: all CDKPM.
+    #[must_use]
+    pub fn cdkpm(uncompute: Uncompute) -> Self {
+        Self::uniform(AdderKind::Cdkpm, uncompute)
+    }
+
+    /// Prop 3.5: all Gidney.
+    #[must_use]
+    pub fn gidney(uncompute: Uncompute) -> Self {
+        Self::uniform(AdderKind::Gidney, uncompute)
+    }
+
+    /// Theorem 3.6: Gidney for `QADD`/`Q′COMP` (few Toffolis), CDKPM for
+    /// the constant comparison and subtraction (few ancillas).
+    #[must_use]
+    pub fn gidney_cdkpm(uncompute: Uncompute) -> Self {
+        Self {
+            adder: AdderKind::Gidney,
+            comp_p: AdderKind::Cdkpm,
+            sub_p: AdderKind::Cdkpm,
+            comp_back: AdderKind::Gidney,
+            full_final_comparator: false,
+            uncompute,
+        }
+    }
+}
+
+pub(crate) fn check_modulus(
+    context: &'static str,
+    p: &BitString,
+    n: usize,
+) -> Result<BitString, ArithError> {
+    for i in n..p.width() {
+        if p.bit(i) {
+            return Err(ArithError::ConstantOutOfRange {
+                context,
+                constraint: "modulus must fit in n bits",
+            });
+        }
+    }
+    if p.hamming_weight() == 0 {
+        return Err(ArithError::ConstantOutOfRange {
+            context,
+            constraint: "modulus must be nonzero",
+        });
+    }
+    Ok(p.resized(n))
+}
+
+/// Emits `|x⟩_n |y⟩_{n+1} ↦ |x⟩_n |(x + y) mod p⟩_{n+1}` (Definition 3.1 /
+/// Prop 3.2), assuming `x, y < p` and `y`'s top qubit starts `|0⟩`.
+///
+/// One flag ancilla is borrowed and restored; with [`Uncompute::Mbu`] its
+/// uncomputation uses Lemma 4.1 (Thms 4.2–4.5).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches or an invalid modulus.
+pub fn modadd(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    x: &[QubitId],
+    y: &[QubitId],
+    p: &BitString,
+) -> Result<(), ArithError> {
+    let n = nonempty("modular adder", x)?;
+    expect_width("modular adder target", y, n + 1)?;
+    let p_bits = check_modulus("modular adder", p, n)?;
+
+    // 1. y ← x + y (exact, n+1 bits).
+    adders::add(b, spec.adder, x, y)?;
+    // 2. Flag t = 1[x + y ≥ p].
+    let t = b.ancilla();
+    compare::compare_lt_const(b, spec.comp_p, &p_bits, y, t)?;
+    b.x(t);
+    // 3. Subtract p when flagged.
+    adders::controlled_wrapping_sub_const(b, spec.sub_p, t, &p_bits, y)?;
+    // 4. Uncompute t: 1[x + y ≥ p] ≡ 1[x > (x + y) mod p] for y < p.
+    let (res, oracle) = b.record(|b| final_comparator(b, spec, None, x, y, t));
+    res?;
+    match spec.uncompute {
+        Uncompute::Unitary => b.emit(&oracle),
+        Uncompute::Mbu => {
+            mbu::uncompute_bit(b, t, &oracle);
+        }
+    }
+    b.release_ancilla(t);
+    Ok(())
+}
+
+/// Emits `|c⟩ |x⟩_n |y⟩_{n+1} ↦ |c⟩ |x⟩_n |(c·x + y) mod p⟩_{n+1}`
+/// (Definition 3.8 / Prop 3.9; MBU per Thm 4.7).
+///
+/// Only the first adder and the final comparator carry the control — the
+/// middle two slots are self-neutralising when `c = 0`.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches or an invalid modulus.
+pub fn controlled_modadd(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    control: QubitId,
+    x: &[QubitId],
+    y: &[QubitId],
+    p: &BitString,
+) -> Result<(), ArithError> {
+    let n = nonempty("controlled modular adder", x)?;
+    expect_width("controlled modular adder target", y, n + 1)?;
+    let p_bits = check_modulus("controlled modular adder", p, n)?;
+
+    adders::controlled_add(b, spec.adder, control, x, y)?;
+    let t = b.ancilla();
+    compare::compare_lt_const(b, spec.comp_p, &p_bits, y, t)?;
+    b.x(t);
+    adders::controlled_wrapping_sub_const(b, spec.sub_p, t, &p_bits, y)?;
+    let (res, oracle) = b.record(|b| final_comparator(b, spec, Some(control), x, y, t));
+    res?;
+    match spec.uncompute {
+        Uncompute::Unitary => b.emit(&oracle),
+        Uncompute::Mbu => {
+            mbu::uncompute_bit(b, t, &oracle);
+        }
+    }
+    b.release_ancilla(t);
+    Ok(())
+}
+
+/// The slot-4 oracle: `t ⊕= [control·] 1[x > y mod p]`, either as a
+/// half-subtractor comparator on the low `n` bits (the reduced sum's top
+/// qubit is `|0⟩`) or as Prop 2.25's subtract-copy-add.
+fn final_comparator(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    control: Option<QubitId>,
+    x: &[QubitId],
+    y: &[QubitId],
+    t: QubitId,
+) -> Result<(), ArithError> {
+    let n = x.len();
+    if spec.full_final_comparator {
+        adders::sub(b, spec.comp_back, x, y)?;
+        match control {
+            None => b.cx(y[n], t),
+            Some(c) => b.ccx(c, y[n], t),
+        }
+        adders::add(b, spec.comp_back, x, y)
+    } else {
+        match control {
+            None => compare::compare_gt(b, spec.comp_back, x, &y[..n], t),
+            Some(c) => compare::controlled_compare_gt(b, spec.comp_back, c, x, &y[..n], t),
+        }
+    }
+}
+
+/// Emits `|x⟩_{n+1} ↦ |(x + a) mod p⟩_{n+1}` for classical `a < p`
+/// (Definition 3.12) in the VBE architecture (Thm 3.14; MBU per Thm 4.10).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches or invalid constants.
+pub fn modadd_const(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    a: &BitString,
+    x: &[QubitId],
+    p: &BitString,
+) -> Result<(), ArithError> {
+    let m = nonempty("constant modular adder", x)?;
+    if m < 2 {
+        return Err(ArithError::EmptyRegister {
+            context: "constant modular adder",
+        });
+    }
+    let n = m - 1;
+    let p_bits = check_modulus("constant modular adder", p, n)?;
+    let a_bits = check_constant_below(a, &p_bits, "constant modular adder")?;
+
+    adders::add_const(b, spec.adder, &a_bits, x)?;
+    let t = b.ancilla();
+    compare::compare_lt_const(b, spec.comp_p, &p_bits, x, t)?;
+    b.x(t);
+    adders::controlled_wrapping_sub_const(b, spec.sub_p, t, &p_bits, x)?;
+    // Uncompute: 1[x + a ≥ p] ≡ 1[(x + a) mod p < a].
+    let (res, oracle) =
+        b.record(|b| compare::compare_lt_const(b, spec.comp_back, &a_bits, x, t));
+    res?;
+    match spec.uncompute {
+        Uncompute::Unitary => b.emit(&oracle),
+        Uncompute::Mbu => {
+            mbu::uncompute_bit(b, t, &oracle);
+        }
+    }
+    b.release_ancilla(t);
+    Ok(())
+}
+
+/// Emits `|x⟩_{n+1} ↦ |(x + a) mod p⟩_{n+1}` in the Takahashi architecture
+/// (Prop 3.15; MBU per Thm 4.11): subtract `p − a`, conditionally re-add
+/// `p` on the sign bit, uncompute the sign bit with one constant
+/// comparator.
+///
+/// Uses only three subroutines — one fewer than the VBE architecture.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches or invalid constants.
+pub fn modadd_const_takahashi(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    uncompute: Uncompute,
+    a: &BitString,
+    x: &[QubitId],
+    p: &BitString,
+) -> Result<(), ArithError> {
+    let m = nonempty("Takahashi constant modular adder", x)?;
+    if m < 2 {
+        return Err(ArithError::EmptyRegister {
+            context: "Takahashi constant modular adder",
+        });
+    }
+    let n = m - 1;
+    let p_bits = check_modulus("Takahashi constant modular adder", p, n)?;
+    let a_bits = check_constant_below(a, &p_bits, "Takahashi constant modular adder")?;
+    // p − a, an n-bit constant (0 < p − a ≤ p).
+    let p_minus_a = p_bits.sub(&a_bits).resized(n);
+
+    // 1. x ← x − (p − a) mod 2^{n+1}; the top bit becomes 1[x + a < p].
+    adders::wrapping_sub_const(b, kind, &p_minus_a, x)?;
+    let sign = x[n];
+    let low = &x[..n];
+    // 2. Re-add p to the low n bits when the sign is set.
+    adders::controlled_wrapping_add_const(b, kind, sign, &p_bits, low)?;
+    // 3. Uncompute the sign: 1[x + a < p] ≡ ¬1[(x + a) mod p < a].
+    let (res, oracle) = b.record(|b| -> Result<(), ArithError> {
+        compare::compare_lt_const(b, kind, &a_bits, low, sign)?;
+        b.x(sign);
+        Ok(())
+    });
+    res?;
+    match uncompute {
+        Uncompute::Unitary => b.emit(&oracle),
+        Uncompute::Mbu => {
+            mbu::uncompute_bit(b, sign, &oracle);
+        }
+    }
+    Ok(())
+}
+
+/// Emits `|c⟩ |x⟩_{n+1} ↦ |c⟩ |(x + c·a) mod p⟩_{n+1}` (Definition 3.16)
+/// in the VBE architecture (Prop 3.18; MBU per Thm 4.12).
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches or invalid constants.
+pub fn controlled_modadd_const(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    control: QubitId,
+    a: &BitString,
+    x: &[QubitId],
+    p: &BitString,
+) -> Result<(), ArithError> {
+    let m = nonempty("controlled constant modular adder", x)?;
+    if m < 2 {
+        return Err(ArithError::EmptyRegister {
+            context: "controlled constant modular adder",
+        });
+    }
+    let n = m - 1;
+    let p_bits = check_modulus("controlled constant modular adder", p, n)?;
+    let a_bits = check_constant_below(a, &p_bits, "controlled constant modular adder")?;
+
+    adders::controlled_add_const(b, spec.adder, control, &a_bits, x)?;
+    let t = b.ancilla();
+    compare::compare_lt_const(b, spec.comp_p, &p_bits, x, t)?;
+    b.x(t);
+    adders::controlled_wrapping_sub_const(b, spec.sub_p, t, &p_bits, x)?;
+    // Uncompute: 1[x + c·a ≥ p] ≡ 1[(x + c·a) mod p < c·a].
+    let (res, oracle) = b.record(|b| {
+        compare::controlled_compare_lt_const(b, spec.comp_back, control, &a_bits, x, t)
+    });
+    res?;
+    match spec.uncompute {
+        Uncompute::Unitary => b.emit(&oracle),
+        Uncompute::Mbu => {
+            mbu::uncompute_bit(b, t, &oracle);
+        }
+    }
+    b.release_ancilla(t);
+    Ok(())
+}
+
+/// Emits the out-of-place modular reduction of Remark 3.3:
+/// `|x⟩_{n+1} |0⟩_{n+1} ↦ |x⟩_{n+1} |x mod p⟩_{n+1}` for `x < 2p`.
+///
+/// Structure: copy `x` into the output, flag `out ≥ p` with a constant
+/// comparator, subtract `p` under the flag, then uncompute the flag by
+/// comparing the reduced output against the preserved input
+/// (`1[x ≥ p] ≡ 1[x mod p < x]` for `0 < p`); the uncomputation is
+/// MBU-eligible like every other flag in this module.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches or an invalid modulus.
+pub fn mod_reduce(
+    b: &mut CircuitBuilder,
+    kind: AdderKind,
+    uncompute: Uncompute,
+    x: &[QubitId],
+    out: &[QubitId],
+    p: &BitString,
+) -> Result<(), ArithError> {
+    let m = nonempty("modular reduction", x)?;
+    expect_width("modular reduction output", out, m)?;
+    if m < 2 {
+        return Err(ArithError::EmptyRegister {
+            context: "modular reduction",
+        });
+    }
+    let n = m - 1;
+    let p_bits = check_modulus("modular reduction", p, n)?;
+
+    for (xi, oi) in x.iter().zip(out.iter()) {
+        b.cx(*xi, *oi);
+    }
+    let t = b.ancilla();
+    compare::compare_lt_const(b, kind, &p_bits, out, t)?;
+    b.x(t);
+    adders::controlled_wrapping_sub_const(b, kind, t, &p_bits, out)?;
+    // Uncompute: t = 1[x >= p] = 1[out < x] (out = x − t·p, p > 0).
+    let (res, oracle) = b.record(|b| compare::compare_gt(b, kind, x, out, t));
+    res?;
+    match uncompute {
+        Uncompute::Unitary => b.emit(&oracle),
+        Uncompute::Mbu => {
+            mbu::uncompute_bit(b, t, &oracle);
+        }
+    }
+    b.release_ancilla(t);
+    Ok(())
+}
+
+pub(crate) fn check_constant_below(
+    a: &BitString,
+    p: &BitString,
+    context: &'static str,
+) -> Result<BitString, ArithError> {
+    let n = p.width();
+    for i in n..a.width() {
+        if a.bit(i) {
+            return Err(ArithError::ConstantOutOfRange {
+                context,
+                constraint: "addend constant must fit in n bits",
+            });
+        }
+    }
+    let a_bits = a.resized(n);
+    if a_bits.cmp_value(p) != std::cmp::Ordering::Less {
+        return Err(ArithError::ConstantOutOfRange {
+            context,
+            constraint: "addend constant must be smaller than the modulus",
+        });
+    }
+    Ok(a_bits)
+}
+
+/// A complete modular-adder circuit plus its registers.
+#[derive(Clone, Debug)]
+pub struct ModAdd {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// The addend register `x` (n qubits).
+    pub x: Register,
+    /// The target register `y` (n+1 qubits; top starts and ends `|0⟩`).
+    pub y: Register,
+    /// Optional control qubit.
+    pub control: Option<QubitId>,
+    /// The modulus.
+    pub p: BitString,
+}
+
+/// Builds a standalone modular adder.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for `n = 0` or an invalid modulus.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_arith::{modular, Uncompute};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = modular::ModAddSpec::gidney_cdkpm(Uncompute::Unitary);
+/// let layout = modular::modadd_circuit(&spec, 8, 251)?;
+/// // Thm 3.6: about 6n Toffolis.
+/// assert!((layout.circuit.counts().toffoli as i64 - 48).abs() <= 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn modadd_circuit(spec: &ModAddSpec, n: usize, p: u128) -> Result<ModAdd, ArithError> {
+    let p_bits = const_bits("modular adder", p, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n + 1);
+    modadd(&mut b, spec, x.qubits(), y.qubits(), &p_bits)?;
+    Ok(ModAdd {
+        circuit: b.finish(),
+        x,
+        y,
+        control: None,
+        p: p_bits,
+    })
+}
+
+/// Builds a standalone controlled modular adder.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for `n = 0` or an invalid modulus.
+pub fn controlled_modadd_circuit(
+    spec: &ModAddSpec,
+    n: usize,
+    p: u128,
+) -> Result<ModAdd, ArithError> {
+    let p_bits = const_bits("controlled modular adder", p, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let control = b.qubit();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n + 1);
+    controlled_modadd(&mut b, spec, control, x.qubits(), y.qubits(), &p_bits)?;
+    Ok(ModAdd {
+        circuit: b.finish(),
+        x,
+        y,
+        control: Some(control),
+        p: p_bits,
+    })
+}
+
+/// A constant modular-adder circuit plus its register.
+#[derive(Clone, Debug)]
+pub struct ConstModAdd {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// The in/out register (n+1 qubits, value kept `< p`).
+    pub x: Register,
+    /// Optional control qubit.
+    pub control: Option<QubitId>,
+    /// The addend constant.
+    pub a: BitString,
+    /// The modulus.
+    pub p: BitString,
+}
+
+/// Builds a standalone modular adder by a constant, VBE architecture.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] unless `a < p < 2^n`.
+pub fn modadd_const_circuit(
+    spec: &ModAddSpec,
+    n: usize,
+    a: u128,
+    p: u128,
+) -> Result<ConstModAdd, ArithError> {
+    let p_bits = const_bits("constant modular adder", p, n.max(1))?;
+    let a_bits = const_bits("constant modular adder", a, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n + 1);
+    modadd_const(&mut b, spec, &a_bits, x.qubits(), &p_bits)?;
+    Ok(ConstModAdd {
+        circuit: b.finish(),
+        x,
+        control: None,
+        a: a_bits,
+        p: p_bits,
+    })
+}
+
+/// Builds a standalone modular adder by a constant, Takahashi architecture.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] unless `a < p < 2^n`.
+pub fn modadd_const_takahashi_circuit(
+    kind: AdderKind,
+    uncompute: Uncompute,
+    n: usize,
+    a: u128,
+    p: u128,
+) -> Result<ConstModAdd, ArithError> {
+    let p_bits = const_bits("Takahashi constant modular adder", p, n.max(1))?;
+    let a_bits = const_bits("Takahashi constant modular adder", a, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n + 1);
+    modadd_const_takahashi(&mut b, kind, uncompute, &a_bits, x.qubits(), &p_bits)?;
+    Ok(ConstModAdd {
+        circuit: b.finish(),
+        x,
+        control: None,
+        a: a_bits,
+        p: p_bits,
+    })
+}
+
+/// Builds a standalone controlled modular adder by a constant.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] unless `a < p < 2^n`.
+pub fn controlled_modadd_const_circuit(
+    spec: &ModAddSpec,
+    n: usize,
+    a: u128,
+    p: u128,
+) -> Result<ConstModAdd, ArithError> {
+    let p_bits = const_bits("controlled constant modular adder", p, n.max(1))?;
+    let a_bits = const_bits("controlled constant modular adder", a, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let control = b.qubit();
+    let x = b.qreg("x", n + 1);
+    controlled_modadd_const(&mut b, spec, control, &a_bits, x.qubits(), &p_bits)?;
+    Ok(ConstModAdd {
+        circuit: b.finish(),
+        x,
+        control: Some(control),
+        a: a_bits,
+        p: p_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_sim::BasisTracker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn specs() -> Vec<ModAddSpec> {
+        let mut v = Vec::new();
+        for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+            v.push(ModAddSpec::vbe5(unc));
+            v.push(ModAddSpec::vbe4(unc));
+            v.push(ModAddSpec::cdkpm(unc));
+            v.push(ModAddSpec::gidney(unc));
+            v.push(ModAddSpec::gidney_cdkpm(unc));
+        }
+        v
+    }
+
+    fn run(
+        circuit: &Circuit,
+        inputs: &[(&[QubitId], u128)],
+        out: &[QubitId],
+        seed: u128,
+    ) -> u128 {
+        circuit.validate().unwrap();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        for (reg, v) in inputs {
+            sim.set_value(reg, *v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        sim.run(circuit, &mut rng).unwrap();
+        assert!(sim.global_phase().is_zero(), "phase must cancel");
+        sim.value(out).unwrap()
+    }
+
+    #[test]
+    fn modadd_exhaustive_small_all_specs() {
+        let n = 3usize;
+        for spec in specs() {
+            for p in [3u128, 5, 7] {
+                for x in 0..p {
+                    for y in 0..p {
+                        let layout = modadd_circuit(&spec, n, p).unwrap();
+                        let got = run(
+                            &layout.circuit,
+                            &[(layout.x.qubits(), x), (layout.y.qubits(), y)],
+                            layout.y.qubits(),
+                            x * 31 + y,
+                        );
+                        assert_eq!(got, (x + y) % p, "{spec:?}: ({x}+{y}) mod {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modadd_preserves_x_register() {
+        let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+        let layout = modadd_circuit(&spec, 4, 13).unwrap();
+        for seed in 0..8 {
+            let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+            sim.set_value(layout.x.qubits(), 9);
+            sim.set_value(layout.y.qubits(), 11);
+            let mut rng = StdRng::seed_from_u64(seed);
+            sim.run(&layout.circuit, &mut rng).unwrap();
+            assert_eq!(sim.value(layout.x.qubits()).unwrap(), 9);
+            assert_eq!(sim.value(layout.y.qubits()).unwrap(), (9 + 11) % 13);
+        }
+    }
+
+    #[test]
+    fn modadd_wide_modulus() {
+        // 32-bit prime modulus on the basis tracker.
+        let n = 32usize;
+        let p = 4_294_967_291u128; // 2^32 − 5
+        for spec in [
+            ModAddSpec::cdkpm(Uncompute::Mbu),
+            ModAddSpec::gidney(Uncompute::Mbu),
+            ModAddSpec::gidney_cdkpm(Uncompute::Unitary),
+        ] {
+            let layout = modadd_circuit(&spec, n, p).unwrap();
+            let x = p - 1;
+            let y = p - 2;
+            let got = run(
+                &layout.circuit,
+                &[(layout.x.qubits(), x), (layout.y.qubits(), y)],
+                layout.y.qubits(),
+                7,
+            );
+            assert_eq!(got, (x + y) % p, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn controlled_modadd_truth_table() {
+        let n = 3usize;
+        let p = 7u128;
+        for spec in specs() {
+            for ctrl in [0u128, 1] {
+                for (x, y) in [(3u128, 5u128), (6, 6), (0, 4), (5, 2)] {
+                    let layout = controlled_modadd_circuit(&spec, n, p).unwrap();
+                    let control = layout.control.unwrap();
+                    let got = run(
+                        &layout.circuit,
+                        &[
+                            (&[control], ctrl),
+                            (layout.x.qubits(), x),
+                            (layout.y.qubits(), y),
+                        ],
+                        layout.y.qubits(),
+                        x * 17 + y + ctrl,
+                    );
+                    let expected = if ctrl == 1 { (x + y) % p } else { y };
+                    assert_eq!(got, expected, "{spec:?} c={ctrl} ({x}+{y}) mod {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modadd_const_exhaustive_small() {
+        let n = 3usize;
+        for spec in [
+            ModAddSpec::cdkpm(Uncompute::Unitary),
+            ModAddSpec::cdkpm(Uncompute::Mbu),
+            ModAddSpec::gidney(Uncompute::Mbu),
+        ] {
+            for p in [5u128, 7] {
+                for a in 0..p {
+                    for x in 0..p {
+                        let layout = modadd_const_circuit(&spec, n, a, p).unwrap();
+                        let got = run(
+                            &layout.circuit,
+                            &[(layout.x.qubits(), x)],
+                            layout.x.qubits(),
+                            a * 13 + x,
+                        );
+                        assert_eq!(got, (x + a) % p, "{spec:?}: ({x}+{a}) mod {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn takahashi_exhaustive_small() {
+        let n = 3usize;
+        for kind in [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney] {
+            for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+                for p in [5u128, 7] {
+                    for a in 0..p {
+                        for x in 0..p {
+                            let layout =
+                                modadd_const_takahashi_circuit(kind, unc, n, a, p).unwrap();
+                            let got = run(
+                                &layout.circuit,
+                                &[(layout.x.qubits(), x)],
+                                layout.x.qubits(),
+                                a * 29 + x,
+                            );
+                            assert_eq!(
+                                got,
+                                (x + a) % p,
+                                "{kind} {unc}: ({x}+{a}) mod {p}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_modadd_const_truth_table() {
+        let n = 3usize;
+        let p = 7u128;
+        for spec in [
+            ModAddSpec::cdkpm(Uncompute::Unitary),
+            ModAddSpec::cdkpm(Uncompute::Mbu),
+            ModAddSpec::gidney_cdkpm(Uncompute::Mbu),
+        ] {
+            for ctrl in [0u128, 1] {
+                for a in [0u128, 3, 6] {
+                    for x in [0u128, 4, 6] {
+                        let layout =
+                            controlled_modadd_const_circuit(&spec, n, a, p).unwrap();
+                        let control = layout.control.unwrap();
+                        let got = run(
+                            &layout.circuit,
+                            &[(&[control], ctrl), (layout.x.qubits(), x)],
+                            layout.x.qubits(),
+                            a * 11 + x + ctrl,
+                        );
+                        let expected = (x + a * ctrl) % p;
+                        assert_eq!(got, expected, "{spec:?} c={ctrl} ({x}+{a})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mbu_reduces_expected_toffolis() {
+        let n = 8usize;
+        let p = 251u128;
+        for (plain, with_mbu) in [
+            (
+                ModAddSpec::cdkpm(Uncompute::Unitary),
+                ModAddSpec::cdkpm(Uncompute::Mbu),
+            ),
+            (
+                ModAddSpec::gidney(Uncompute::Unitary),
+                ModAddSpec::gidney(Uncompute::Mbu),
+            ),
+        ] {
+            let a = modadd_circuit(&plain, n, p).unwrap();
+            let b = modadd_circuit(&with_mbu, n, p).unwrap();
+            let ta = a.circuit.expected_counts().toffoli;
+            let tb = b.circuit.expected_counts().toffoli;
+            assert!(tb < ta, "{plain:?}: {tb} !< {ta}");
+        }
+    }
+
+    #[test]
+    fn toffoli_counts_match_paper_shape() {
+        // Prop 3.4: CDKPM ≈ 8n; Prop 3.5: Gidney ≈ 4n; Thm 3.6: hybrid ≈ 6n.
+        let n = 16usize;
+        let p = 65_521u128;
+        let tof = |spec: &ModAddSpec| {
+            modadd_circuit(spec, n, p).unwrap().circuit.counts().toffoli as f64
+        };
+        let cdkpm = tof(&ModAddSpec::cdkpm(Uncompute::Unitary));
+        let gidney = tof(&ModAddSpec::gidney(Uncompute::Unitary));
+        let hybrid = tof(&ModAddSpec::gidney_cdkpm(Uncompute::Unitary));
+        let nf = n as f64;
+        assert!((cdkpm - 8.0 * nf).abs() <= 8.0, "CDKPM {cdkpm} vs 8n");
+        assert!((gidney - 4.0 * nf).abs() <= 8.0, "Gidney {gidney} vs 4n");
+        assert!((hybrid - 6.0 * nf).abs() <= 8.0, "hybrid {hybrid} vs 6n");
+        assert!(gidney < hybrid && hybrid < cdkpm);
+    }
+
+
+    #[test]
+    fn mod_reduce_exhaustive_small() {
+        // Remark 3.3: reduce any x < 2p out of place.
+        let n = 3usize;
+        for kind in [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney] {
+            for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+                for p in [3u128, 5, 7] {
+                    for x in 0..(2 * p).min(1 << (n + 1)) {
+                        let p_bits = mbu_bitstring::BitString::from_u128(p, n);
+                        let mut b = CircuitBuilder::new();
+                        let xr = b.qreg("x", n + 1);
+                        let or = b.qreg("out", n + 1);
+                        mod_reduce(&mut b, kind, unc, xr.qubits(), or.qubits(), &p_bits)
+                            .unwrap();
+                        let circuit = b.finish();
+                        let got = run(
+                            &circuit,
+                            &[(xr.qubits(), x)],
+                            or.qubits(),
+                            x * 7 + p,
+                        );
+                        assert_eq!(got, x % p, "{kind} {unc}: {x} mod {p}");
+                        // Input preserved.
+                        let mut sim =
+                            mbu_sim::BasisTracker::zeros(circuit.num_qubits());
+                        sim.set_value(xr.qubits(), x);
+                        let mut rng = StdRng::seed_from_u64(3);
+                        sim.run(&circuit, &mut rng).unwrap();
+                        assert_eq!(sim.value(xr.qubits()).unwrap(), x);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_moduli_are_rejected() {
+        let spec = ModAddSpec::cdkpm(Uncompute::Unitary);
+        assert!(matches!(
+            modadd_circuit(&spec, 3, 0),
+            Err(ArithError::ConstantOutOfRange { .. })
+        ));
+        assert!(matches!(
+            modadd_circuit(&spec, 3, 9),
+            Err(ArithError::ConstantOutOfRange { .. })
+        ));
+        assert!(matches!(
+            modadd_const_circuit(&spec, 3, 6, 5),
+            Err(ArithError::ConstantOutOfRange { .. })
+        ));
+    }
+}

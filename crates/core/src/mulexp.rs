@@ -1,0 +1,464 @@
+//! Modular multiplication and exponentiation built from (controlled)
+//! modular constant adders — the application the paper's introduction
+//! motivates and its conclusion leaves as future work.
+//!
+//! The constructions are the standard Beauregard/VBE ladder:
+//!
+//! * [`modmul_const_accum`]: `|x⟩|acc⟩ ↦ |x⟩|acc + a·x mod p⟩` as `n`
+//!   controlled modular constant additions (constant `a·2^i mod p`
+//!   controlled on `x_i`);
+//! * [`modmul_const_inplace`]: `|x⟩ ↦ |a·x mod p⟩` by
+//!   accumulate–swap–un-accumulate with `a^{-1} mod p` (subtraction is
+//!   addition of the negated constant, so no circuit adjoints are needed —
+//!   MBU-friendly);
+//! * [`controlled_modmul_const_inplace`] and [`modexp`]: the controlled
+//!   ladder of Shor's algorithm, `|e⟩|1⟩ ↦ |e⟩|g^e mod p⟩`.
+//!
+//! Every layer inherits the [`Uncompute`](crate::Uncompute) choice of its
+//! [`ModAddSpec`], so the paper's MBU savings propagate multiplicatively
+//! into cryptanalysis-scale circuits.
+
+use mbu_bitstring::BitString;
+use mbu_circuit::{Basis, Circuit, CircuitBuilder, QubitId, Register};
+
+use crate::modular::{self, ModAddSpec};
+use crate::util::{const_bits, expect_width, nonempty};
+use crate::ArithError;
+
+/// `a·b mod p` without overflow for `p < 2^64`.
+///
+/// # Panics
+///
+/// Panics if `p` is zero or `p ≥ 2^64`.
+#[must_use]
+pub fn mod_mul(a: u128, b: u128, p: u128) -> u128 {
+    assert!(p > 0 && p < (1 << 64), "modulus must be in (0, 2^64)");
+    (a % p) * (b % p) % p
+}
+
+/// `g^e mod p` by square and multiply, for `p < 2^64`.
+///
+/// # Panics
+///
+/// Panics if `p` is zero or `p ≥ 2^64`.
+#[must_use]
+pub fn mod_pow(g: u128, mut e: u128, p: u128) -> u128 {
+    let mut base = g % p;
+    let mut acc = 1 % p;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mod_mul(acc, base, p);
+        }
+        base = mod_mul(base, base, p);
+        e >>= 1;
+    }
+    acc
+}
+
+/// The multiplicative inverse of `a` modulo `p` (extended Euclid).
+///
+/// # Errors
+///
+/// Returns [`ArithError::NotInvertible`] when `gcd(a, p) ≠ 1`.
+///
+/// # Panics
+///
+/// Panics if `p` is zero or `p ≥ 2^63`.
+pub fn mod_inverse(a: u128, p: u128) -> Result<u128, ArithError> {
+    assert!(p > 0 && p < (1 << 63), "modulus must be in (0, 2^63)");
+    let (mut old_r, mut r) = (a as i128 % p as i128, p as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return Err(ArithError::NotInvertible { value: a, modulus: p });
+    }
+    Ok(old_s.rem_euclid(p as i128) as u128)
+}
+
+/// Emits `|x⟩_n |acc⟩_{n+1} ↦ |x⟩_n |(acc + a·x) mod p⟩_{n+1}` for a
+/// classical `a`, assuming `acc < p`.
+///
+/// One controlled modular constant addition (constant `a·2^i mod p`) per
+/// bit of `x`.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on width mismatches or invalid constants.
+pub fn modmul_const_accum(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    x: &[QubitId],
+    acc: &[QubitId],
+    a: u128,
+    p: u128,
+) -> Result<(), ArithError> {
+    let n = nonempty("modular multiply-accumulate", x)?;
+    expect_width("modular multiply-accumulate target", acc, n + 1)?;
+    if p == 0 || (n < 128 && p > (1 << n)) {
+        return Err(ArithError::ConstantOutOfRange {
+            context: "modular multiply-accumulate",
+            constraint: "modulus must satisfy 0 < p ≤ 2^n",
+        });
+    }
+    let p_bits = const_bits("modular multiply-accumulate", p, n)?;
+    let mut shifted = a % p;
+    for &x_bit in x.iter().take(n) {
+        let c_bits = BitString::from_u128(shifted, n);
+        modular::controlled_modadd_const(b, spec, x_bit, &c_bits, acc, &p_bits)?;
+        shifted = shifted * 2 % p;
+    }
+    Ok(())
+}
+
+/// Emits the in-place modular multiplication
+/// `|x⟩_{n+1} ↦ |a·x mod p⟩_{n+1}` for `gcd(a, p) = 1` and `x < p`
+/// (top qubit `|0⟩`).
+///
+/// Accumulates `a·x` into a borrowed register, swaps it with `x`, then
+/// clears the borrowed register by accumulating `−a^{-1}` times the new
+/// value — subtraction realised as addition of `p − c`, so the whole
+/// circuit runs forward and stays MBU-compatible.
+///
+/// # Errors
+///
+/// Returns [`ArithError::NotInvertible`] when `gcd(a, p) ≠ 1`, or width
+/// errors.
+pub fn modmul_const_inplace(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    x: &[QubitId],
+    a: u128,
+    p: u128,
+) -> Result<(), ArithError> {
+    let m = nonempty("in-place modular multiplication", x)?;
+    if m < 2 {
+        return Err(ArithError::EmptyRegister {
+            context: "in-place modular multiplication",
+        });
+    }
+    let n = m - 1;
+    let a_inv = mod_inverse(a % p, p)?;
+    let acc = b.ancilla_reg(n + 1);
+    let x_lo = &x[..n];
+    // acc ← a·x.
+    modmul_const_accum(b, spec, x_lo, acc.qubits(), a, p)?;
+    // x ↔ acc (top qubits are both |0⟩).
+    for i in 0..n {
+        b.swap(x[i], acc[i]);
+    }
+    // acc ← acc − a⁻¹·x = 0, as addition of the negated constants.
+    let neg_a_inv = (p - a_inv % p) % p;
+    modmul_const_accum(b, spec, x_lo, acc.qubits(), neg_a_inv, p)?;
+    b.release_ancilla_reg(acc);
+    Ok(())
+}
+
+/// Emits the controlled in-place modular multiplication
+/// `|c⟩|x⟩_{n+1} ↦ |c⟩|(a^c · x) mod p⟩_{n+1}` — the `C-U_a` of Shor's
+/// algorithm.
+///
+/// Each controlled-controlled modular addition is realised with a
+/// temporary logical AND of `(control, x_i)` that is uncomputed by
+/// measurement; the register swap becomes a Fredkin ladder.
+///
+/// # Errors
+///
+/// Returns [`ArithError::NotInvertible`] when `gcd(a, p) ≠ 1`, or width
+/// errors.
+pub fn controlled_modmul_const_inplace(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    control: QubitId,
+    x: &[QubitId],
+    a: u128,
+    p: u128,
+) -> Result<(), ArithError> {
+    let m = nonempty("controlled in-place modular multiplication", x)?;
+    if m < 2 {
+        return Err(ArithError::EmptyRegister {
+            context: "controlled in-place modular multiplication",
+        });
+    }
+    let n = m - 1;
+    let a_inv = mod_inverse(a % p, p)?;
+    let p_bits = const_bits("controlled in-place modular multiplication", p, n)?;
+    let acc = b.ancilla_reg(n + 1);
+    let x_lo = &x[..n];
+
+    let ladder = |b: &mut CircuitBuilder, mult: u128| -> Result<(), ArithError> {
+        let mut shifted = mult % p;
+        let and_bit = b.ancilla();
+        for &x_bit in x_lo {
+            let c_bits = BitString::from_u128(shifted, n);
+            // and_bit ← control · x_i (temporary logical AND).
+            b.ccx(control, x_bit, and_bit);
+            modular::controlled_modadd_const(b, spec, and_bit, &c_bits, acc.qubits(), &p_bits)?;
+            // Measurement-based uncompute of the AND.
+            b.h(and_bit);
+            let outcome = b.measure(and_bit, Basis::Z);
+            let (_, fix) = b.record(|b| b.cz(control, x_bit));
+            b.emit_conditional(outcome, &fix);
+            b.reset(and_bit);
+            shifted = shifted * 2 % p;
+        }
+        b.release_ancilla(and_bit);
+        Ok(())
+    };
+
+    // acc ← control · a·x.
+    ladder(b, a)?;
+    // Controlled swap x ↔ acc.
+    for i in 0..n {
+        b.cx(acc[i], x_lo[i]);
+        b.ccx(control, x_lo[i], acc[i]);
+        b.cx(acc[i], x_lo[i]);
+    }
+    // acc ← acc − control · a⁻¹·x = 0.
+    ladder(b, (p - a_inv % p) % p)?;
+    b.release_ancilla_reg(acc);
+    Ok(())
+}
+
+/// Emits the modular exponentiation ladder
+/// `|e⟩_k |w⟩_{n+1} ↦ |e⟩_k |w · g^e mod p⟩_{n+1}` for `gcd(g, p) = 1`
+/// (Shor's workload; start `w = 1`).
+///
+/// # Errors
+///
+/// Returns [`ArithError::NotInvertible`] when `gcd(g, p) ≠ 1`, or width
+/// errors.
+pub fn modexp(
+    b: &mut CircuitBuilder,
+    spec: &ModAddSpec,
+    exponent: &[QubitId],
+    work: &[QubitId],
+    g: u128,
+    p: u128,
+) -> Result<(), ArithError> {
+    nonempty("modular exponentiation exponent", exponent)?;
+    let mut factor = g % p;
+    for &e_bit in exponent {
+        controlled_modmul_const_inplace(b, spec, e_bit, work, factor, p)?;
+        factor = mod_mul(factor, factor, p);
+    }
+    Ok(())
+}
+
+/// A modular-exponentiation circuit plus its registers.
+#[derive(Clone, Debug)]
+pub struct ModExp {
+    /// The full circuit.
+    pub circuit: Circuit,
+    /// The exponent register (k qubits).
+    pub exponent: Register,
+    /// The work register (n+1 qubits; prepare `|1⟩`, read `g^e mod p`).
+    pub work: Register,
+}
+
+/// Builds a standalone modular-exponentiation circuit with a `k`-qubit
+/// exponent and an `n`-bit modulus.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for invalid `g`, `p` or sizes.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_arith::{modular::ModAddSpec, mulexp, Uncompute};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+/// let layout = mulexp::modexp_circuit(&spec, 2, 4, 2, 15)?;
+/// assert!(layout.circuit.counts().toffoli > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn modexp_circuit(
+    spec: &ModAddSpec,
+    k: usize,
+    n: usize,
+    g: u128,
+    p: u128,
+) -> Result<ModExp, ArithError> {
+    let mut b = CircuitBuilder::new();
+    let exponent = b.qreg("e", k);
+    let work = b.qreg("w", n + 1);
+    modexp(&mut b, spec, exponent.qubits(), work.qubits(), g, p)?;
+    Ok(ModExp {
+        circuit: b.finish(),
+        exponent,
+        work,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uncompute;
+    use mbu_sim::BasisTracker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(
+        circuit: &Circuit,
+        inputs: &[(&[QubitId], u128)],
+        out: &[QubitId],
+        seed: u64,
+    ) -> u128 {
+        circuit.validate().unwrap();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        for (reg, v) in inputs {
+            sim.set_value(reg, *v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.run(circuit, &mut rng).unwrap();
+        assert!(sim.global_phase().is_zero());
+        sim.value(out).unwrap()
+    }
+
+    #[test]
+    fn classical_helpers() {
+        assert_eq!(mod_mul(6, 7, 13), 3);
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+        assert_eq!(mod_pow(7, 0, 13), 1);
+        assert_eq!(mod_inverse(3, 7).unwrap(), 5);
+        assert!(matches!(
+            mod_inverse(6, 9),
+            Err(ArithError::NotInvertible { .. })
+        ));
+    }
+
+    #[test]
+    fn accumulate_matches_reference() {
+        let n = 3usize;
+        let p = 7u128;
+        let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+        for a in [1u128, 3, 5] {
+            for x in 0..p {
+                for acc0 in [0u128, 4] {
+                    let mut b = CircuitBuilder::new();
+                    let xr = b.qreg("x", n);
+                    let ar = b.qreg("acc", n + 1);
+                    modmul_const_accum(&mut b, &spec, xr.qubits(), ar.qubits(), a, p)
+                        .unwrap();
+                    let c = b.finish();
+                    let got = run(
+                        &c,
+                        &[(xr.qubits(), x), (ar.qubits(), acc0)],
+                        ar.qubits(),
+                        (a * 7 + x) as u64,
+                    );
+                    assert_eq!(got, (acc0 + a * x) % p, "{acc0} + {a}*{x} mod {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inplace_multiplication_exhaustive() {
+        let n = 3usize;
+        let p = 7u128;
+        let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+        for a in [1u128, 2, 3, 4, 5, 6] {
+            for x in 0..p {
+                let mut b = CircuitBuilder::new();
+                let xr = b.qreg("x", n + 1);
+                modmul_const_inplace(&mut b, &spec, xr.qubits(), a, p).unwrap();
+                let c = b.finish();
+                let got = run(&c, &[(xr.qubits(), x)], xr.qubits(), (a * 13 + x) as u64);
+                assert_eq!(got, a * x % p, "{a}*{x} mod {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn inplace_multiplication_restores_ancillas() {
+        let n = 4usize;
+        let p = 13u128;
+        let spec = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n + 1);
+        modmul_const_inplace(&mut b, &spec, xr.qubits(), 5, p).unwrap();
+        let c = b.finish();
+        for seed in 0..4 {
+            let mut sim = BasisTracker::zeros(c.num_qubits());
+            sim.set_value(xr.qubits(), 9);
+            let mut rng = StdRng::seed_from_u64(seed);
+            sim.run(&c, &mut rng).unwrap();
+            assert_eq!(sim.value(xr.qubits()).unwrap(), 5 * 9 % p);
+            // Every non-data qubit must be back to |0⟩.
+            for q in (xr.len() as u32..c.num_qubits() as u32).map(mbu_circuit::QubitId) {
+                assert!(!sim.bit(q).unwrap(), "ancilla {q} dirty");
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_inplace_multiplication_truth_table() {
+        let n = 3usize;
+        let p = 7u128;
+        let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+        for ctrl in [0u128, 1] {
+            for a in [2u128, 5] {
+                for x in [1u128, 3, 6] {
+                    let mut b = CircuitBuilder::new();
+                    let c = b.qubit();
+                    let xr = b.qreg("x", n + 1);
+                    controlled_modmul_const_inplace(&mut b, &spec, c, xr.qubits(), a, p)
+                        .unwrap();
+                    let circ = b.finish();
+                    let got = run(
+                        &circ,
+                        &[(&[c], ctrl), (xr.qubits(), x)],
+                        xr.qubits(),
+                        (a * 17 + x + ctrl) as u64,
+                    );
+                    let expected = if ctrl == 1 { a * x % p } else { x };
+                    assert_eq!(got, expected, "c={ctrl} {a}*{x} mod {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modexp_matches_mod_pow() {
+        let n = 3usize;
+        let p = 7u128;
+        let g = 3u128;
+        let k = 3usize;
+        let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+        for e in 0..(1u128 << k) {
+            let layout = modexp_circuit(&spec, k, n, g, p).unwrap();
+            let got = run(
+                &layout.circuit,
+                &[(layout.exponent.qubits(), e), (layout.work.qubits(), 1)],
+                layout.work.qubits(),
+                e as u64,
+            );
+            assert_eq!(got, mod_pow(g, e, p), "{g}^{e} mod {p}");
+        }
+    }
+
+    #[test]
+    fn mbu_savings_propagate_to_modexp() {
+        let n = 6usize;
+        let p = 61u128;
+        let plain = modexp_circuit(&ModAddSpec::cdkpm(Uncompute::Unitary), 4, n, 2, p)
+            .unwrap()
+            .circuit
+            .expected_counts()
+            .toffoli;
+        let with_mbu = modexp_circuit(&ModAddSpec::cdkpm(Uncompute::Mbu), 4, n, 2, p)
+            .unwrap()
+            .circuit
+            .expected_counts()
+            .toffoli;
+        let saving = 1.0 - with_mbu / plain;
+        assert!(saving > 0.05, "saving {saving}");
+    }
+}

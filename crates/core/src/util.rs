@@ -1,0 +1,124 @@
+//! Shared helpers: constant loading and width checks.
+
+use mbu_bitstring::BitString;
+use mbu_circuit::{CircuitBuilder, QubitId};
+
+use crate::ArithError;
+
+/// Checks that `reg` has exactly `expected` qubits.
+pub(crate) fn expect_width(
+    context: &'static str,
+    reg: &[QubitId],
+    expected: usize,
+) -> Result<(), ArithError> {
+    if reg.is_empty() {
+        return Err(ArithError::EmptyRegister { context });
+    }
+    if reg.len() != expected {
+        return Err(ArithError::WidthMismatch {
+            context,
+            expected,
+            actual: reg.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Checks that `reg` is non-empty, returning its width.
+pub(crate) fn nonempty(context: &'static str, reg: &[QubitId]) -> Result<usize, ArithError> {
+    if reg.is_empty() {
+        return Err(ArithError::EmptyRegister { context });
+    }
+    Ok(reg.len())
+}
+
+/// Loads the classical constant `a` into a zeroed register with `|a|` X
+/// gates (the LOAD gate of Prop 2.16). Self-inverse: call twice to unload.
+///
+/// Bits of `a` beyond the register width must be zero (checked by caller).
+pub(crate) fn load_const(b: &mut CircuitBuilder, a: &BitString, reg: &[QubitId]) {
+    for (i, q) in reg.iter().enumerate() {
+        if i < a.width() && a.bit(i) {
+            b.x(*q);
+        }
+    }
+}
+
+/// Loads `c · a` into a zeroed register with `|a|` CNOTs from the control
+/// (the controlled LOAD of Prop 2.19). Self-inverse.
+pub(crate) fn load_const_controlled(
+    b: &mut CircuitBuilder,
+    control: QubitId,
+    a: &BitString,
+    reg: &[QubitId],
+) {
+    for (i, q) in reg.iter().enumerate() {
+        if i < a.width() && a.bit(i) {
+            b.cx(control, *q);
+        }
+    }
+}
+
+/// Converts `a` to a [`BitString`] of width `n`, checking it fits.
+pub(crate) fn const_bits(
+    context: &'static str,
+    a: u128,
+    n: usize,
+) -> Result<BitString, ArithError> {
+    if n < 128 && a >= (1u128 << n) {
+        return Err(ArithError::ConstantOutOfRange {
+            context,
+            constraint: "constant must fit in the register width",
+        });
+    }
+    Ok(BitString::from_u128(a, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::CircuitBuilder;
+
+    #[test]
+    fn load_const_uses_hamming_weight_x_gates() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("r", 5);
+        let a = BitString::from_u128(0b10110, 5);
+        load_const(&mut b, &a, r.qubits());
+        let c = b.finish();
+        assert_eq!(c.counts().x, 3);
+    }
+
+    #[test]
+    fn load_const_controlled_uses_cnots() {
+        let mut b = CircuitBuilder::new();
+        let ctrl = b.qubit();
+        let r = b.qreg("r", 4);
+        let a = BitString::from_u128(0b1001, 4);
+        load_const_controlled(&mut b, ctrl, &a, r.qubits());
+        let c = b.finish();
+        assert_eq!(c.counts().cx, 2);
+    }
+
+    #[test]
+    fn const_bits_range_check() {
+        assert!(const_bits("test", 16, 4).is_err());
+        assert_eq!(const_bits("test", 15, 4).unwrap().to_u128(), 15);
+    }
+
+    #[test]
+    fn width_checks() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("r", 3);
+        assert!(expect_width("t", r.qubits(), 3).is_ok());
+        assert!(matches!(
+            expect_width("t", r.qubits(), 4),
+            Err(ArithError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            expect_width("t", &[], 0),
+            Err(ArithError::EmptyRegister { .. })
+        ));
+        assert_eq!(nonempty("t", r.qubits()).unwrap(), 3);
+    }
+}

@@ -1,0 +1,593 @@
+//! The phase-tracking computational-basis backend.
+//!
+//! Each qubit is in one of two modes:
+//!
+//! * **Z-mode** — a definite computational-basis bit `|0⟩` or `|1⟩`;
+//! * **X-mode** — `|+⟩` or `|−⟩` (a sign bit), the state a garbage qubit
+//!   passes through during measurement-based uncomputation.
+//!
+//! The full state is a tensor product of per-qubit modes times an exact
+//! dyadic global phase. This fragment is closed under everything the paper's
+//! Toffoli-family circuits do:
+//!
+//! * permutation gates (X, CX, CCX) between Z-mode qubits;
+//! * diagonal gates (Z, CZ, CCZ, R, C-R, CC-R) on Z-mode qubits — they only
+//!   contribute a trackable global phase;
+//! * `H` toggling a qubit between modes (entering/leaving the MBU protocol);
+//! * *phase kickback*: an X/CX/CCX targeting an X-mode qubit flips the
+//!   global phase when the (Z-mode) controls are satisfied and the target is
+//!   `|−⟩` — exactly the mechanism of Lemma 4.1's correction;
+//! * Z-type gates with exactly one X-mode operand toggling `|+⟩ ↔ |−⟩`;
+//! * measurements in either basis.
+//!
+//! Anything that would entangle (e.g. CNOT with an X-mode control and
+//! Z-mode target) returns [`SimError::UnsupportedEntanglement`]. That the
+//! paper's circuits never trigger this error is itself checked by the test
+//! suite.
+
+use mbu_circuit::{Angle, Basis, Circuit, Gate, QubitId};
+use rand::Rng;
+
+use crate::error::SimError;
+use crate::exec::{self, Backend, Executed};
+
+/// Per-qubit state of the tracker.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    /// `|0⟩` (false) or `|1⟩` (true).
+    Z(bool),
+    /// `|+⟩` (false) or `|−⟩` (true).
+    X(bool),
+}
+
+/// A phase-tracking computational-basis simulator.
+///
+/// Executes Toffoli-family circuits — including MBU protocols — in `O(1)`
+/// per gate with an *exact* global phase, at any width. See the module
+/// documentation for the supported fragment.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::CircuitBuilder;
+/// use mbu_sim::BasisTracker;
+/// use rand::SeedableRng;
+///
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 2);
+/// b.cx(q[0], q[1]);
+/// let circuit = b.finish();
+///
+/// let mut sim = BasisTracker::zeros(2);
+/// sim.set_bit(q[0], true);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// sim.run(&circuit, &mut rng).unwrap();
+/// assert_eq!(sim.bit(q[1]).unwrap(), true);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasisTracker {
+    qubits: Vec<Mode>,
+    /// Global phase as a fraction of a turn: the state carries
+    /// `e^{2πi·phase}`.
+    phase: Angle,
+}
+
+impl BasisTracker {
+    /// Creates `|0…0⟩` over `num_qubits` qubits.
+    #[must_use]
+    pub fn zeros(num_qubits: usize) -> Self {
+        Self {
+            qubits: vec![Mode::Z(false); num_qubits],
+            phase: Angle::ZERO,
+        }
+    }
+
+    /// The number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Sets qubit `q` to the computational-basis bit `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_bit(&mut self, q: QubitId, value: bool) {
+        self.qubits[q.index()] = Mode::Z(value);
+    }
+
+    /// Writes the little-endian bits of `value` into `qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit is out of range.
+    pub fn set_value(&mut self, qubits: &[QubitId], value: u128) {
+        for (i, q) in qubits.iter().enumerate() {
+            self.set_bit(*q, i < 128 && (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Reads qubit `q`'s computational bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ReadOfSuperposedQubit`] if the qubit is in
+    /// X-mode.
+    pub fn bit(&self, q: QubitId) -> Result<bool, SimError> {
+        match self.qubits[q.index()] {
+            Mode::Z(b) => Ok(b),
+            Mode::X(_) => Err(SimError::ReadOfSuperposedQubit { qubit: q.0 }),
+        }
+    }
+
+    /// Reads the little-endian integer held by `qubits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ReadOfSuperposedQubit`] if any qubit is in
+    /// X-mode, or [`SimError::OutOfRange`] for registers wider than 128.
+    pub fn value(&self, qubits: &[QubitId]) -> Result<u128, SimError> {
+        if qubits.len() > 128 {
+            return Err(SimError::OutOfRange {
+                what: format!("register of width {}", qubits.len()),
+            });
+        }
+        let mut v = 0u128;
+        for (i, q) in qubits.iter().enumerate() {
+            if self.bit(*q)? {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+
+    /// Reads the register as little-endian bits (any width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ReadOfSuperposedQubit`] if any qubit is in
+    /// X-mode.
+    pub fn bits(&self, qubits: &[QubitId]) -> Result<Vec<bool>, SimError> {
+        qubits.iter().map(|q| self.bit(*q)).collect()
+    }
+
+    /// The tracked global phase, as an exact fraction of a turn.
+    ///
+    /// A correct uncomputation leaves this at [`Angle::ZERO`]; a sign error
+    /// in an MBU correction shows up here as `2π/2` — this is how the test
+    /// suite checks *phase* correctness at widths where no state vector
+    /// fits.
+    #[must_use]
+    pub fn global_phase(&self) -> Angle {
+        self.phase
+    }
+
+    /// Runs an adaptive circuit, sampling measurements from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedEntanglement`] if the circuit leaves
+    /// the tracked fragment, or propagates executor errors.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> Result<Executed, SimError> {
+        if circuit.num_qubits() > self.qubits.len() {
+            return Err(SimError::OutOfRange {
+                what: format!(
+                    "{}-qubit circuit on {}-qubit tracker",
+                    circuit.num_qubits(),
+                    self.qubits.len()
+                ),
+            });
+        }
+        let mut executed = Executed::default();
+        exec::execute(self, circuit.ops(), rng, &mut executed)?;
+        Ok(executed)
+    }
+
+    fn flip_phase(&mut self) {
+        self.phase = self.phase + Angle::HALF_TURN;
+    }
+
+    /// Applies an X to `q`: flips a Z-mode bit; on X-mode, `X|−⟩ = −|−⟩`.
+    fn apply_x(&mut self, q: QubitId) {
+        match self.qubits[q.index()] {
+            Mode::Z(b) => self.qubits[q.index()] = Mode::Z(!b),
+            Mode::X(sign) => {
+                if sign {
+                    self.flip_phase();
+                }
+            }
+        }
+    }
+
+    /// Applies a Z-type phase of `theta` controlled on all `operands`.
+    ///
+    /// Z-mode operands with bit 0 make the gate the identity; Z-mode
+    /// operands with bit 1 are satisfied controls. What remains must be
+    /// either nothing (global phase) or — for `theta = π` only — a single
+    /// X-mode qubit, whose sign toggles (`Z|±⟩ = |∓⟩`).
+    fn apply_phase_on(
+        &mut self,
+        operands: &[QubitId],
+        theta: Angle,
+        gate: &Gate,
+    ) -> Result<(), SimError> {
+        let mut x_mode: Option<QubitId> = None;
+        for q in operands {
+            match self.qubits[q.index()] {
+                Mode::Z(false) => return Ok(()), // unsatisfied control
+                Mode::Z(true) => {}
+                Mode::X(_) => {
+                    if x_mode.replace(*q).is_some() {
+                        return Err(SimError::UnsupportedEntanglement {
+                            gate: gate.to_string(),
+                            reason: "two operands of a diagonal gate are in superposition",
+                        });
+                    }
+                }
+            }
+        }
+        match x_mode {
+            None => {
+                self.phase = self.phase + theta;
+                Ok(())
+            }
+            Some(q) => {
+                if theta == Angle::HALF_TURN {
+                    // Z on |±⟩ toggles the sign.
+                    let Mode::X(sign) = self.qubits[q.index()] else {
+                        unreachable!("x_mode only holds X-mode qubits");
+                    };
+                    self.qubits[q.index()] = Mode::X(!sign);
+                    Ok(())
+                } else {
+                    Err(SimError::UnsupportedEntanglement {
+                        gate: gate.to_string(),
+                        reason: "non-π rotation of a superposed qubit",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Applies an X to `target` under Z-mode controls. If any control is
+    /// unsatisfied the gate is the identity; a superposed control is
+    /// unsupported (it would entangle) unless the target is also superposed,
+    /// in which case CNOT acts in the X basis: the *control's* sign absorbs
+    /// the target's sign.
+    fn apply_controlled_x(
+        &mut self,
+        controls: &[QubitId],
+        target: QubitId,
+        gate: &Gate,
+    ) -> Result<(), SimError> {
+        // In the X basis a CNOT inverts: |s_c⟩|s_t⟩ ↦ |s_c ⊕ s_t⟩|s_t⟩.
+        // Support the all-X-mode two-qubit case used when composing MBU
+        // fragments; otherwise controls must be Z-mode.
+        if controls.len() == 1 {
+            if let (Mode::X(sc), Mode::X(st)) = (
+                self.qubits[controls[0].index()],
+                self.qubits[target.index()],
+            ) {
+                self.qubits[controls[0].index()] = Mode::X(sc ^ st);
+                return Ok(());
+            }
+        }
+        for c in controls {
+            match self.qubits[c.index()] {
+                Mode::Z(false) => return Ok(()),
+                Mode::Z(true) => {}
+                Mode::X(_) => {
+                    return Err(SimError::UnsupportedEntanglement {
+                        gate: gate.to_string(),
+                        reason: "control qubit is in superposition",
+                    })
+                }
+            }
+        }
+        self.apply_x(target);
+        Ok(())
+    }
+
+    fn apply(&mut self, gate: &Gate) -> Result<(), SimError> {
+        match *gate {
+            Gate::X(q) => {
+                self.apply_x(q);
+                Ok(())
+            }
+            Gate::Z(q) => self.apply_phase_on(&[q], Angle::HALF_TURN, gate),
+            Gate::H(q) => {
+                // H|0⟩=|+⟩, H|1⟩=|−⟩, H|+⟩=|0⟩, H|−⟩=|1⟩.
+                self.qubits[q.index()] = match self.qubits[q.index()] {
+                    Mode::Z(b) => Mode::X(b),
+                    Mode::X(s) => Mode::Z(s),
+                };
+                Ok(())
+            }
+            Gate::Phase(q, theta) => self.apply_phase_on(&[q], theta, gate),
+            Gate::Cx(c, t) => self.apply_controlled_x(&[c], t, gate),
+            Gate::Cz(a, b) => self.apply_phase_on(&[a, b], Angle::HALF_TURN, gate),
+            Gate::Ccx(c1, c2, t) => self.apply_controlled_x(&[c1, c2], t, gate),
+            Gate::Ccz(a, b, c) => self.apply_phase_on(&[a, b, c], Angle::HALF_TURN, gate),
+            Gate::CPhase(c, t, theta) => self.apply_phase_on(&[c, t], theta, gate),
+            Gate::CcPhase(c1, c2, t, theta) => {
+                self.apply_phase_on(&[c1, c2, t], theta, gate)
+            }
+            Gate::Swap(a, b) => {
+                self.qubits.swap(a.index(), b.index());
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Backend for BasisTracker {
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
+        self.apply(gate)
+    }
+
+    fn measure(
+        &mut self,
+        qubit: QubitId,
+        basis: Basis,
+        draw: &mut dyn FnMut(f64) -> bool,
+    ) -> Result<bool, SimError> {
+        let i = qubit.index();
+        match (basis, self.qubits[i]) {
+            // Measuring a definite bit is deterministic.
+            (Basis::Z, Mode::Z(b)) => Ok(b),
+            (Basis::X, Mode::X(s)) => Ok(s),
+            // Measuring across bases is a fair coin; the surviving
+            // amplitude's sign becomes a global phase.
+            (Basis::Z, Mode::X(s)) => {
+                let outcome = draw(0.5);
+                // (|0⟩ + (−1)^s|1⟩)/√2: outcome 1 picks up the sign.
+                if s && outcome {
+                    self.flip_phase();
+                }
+                self.qubits[i] = Mode::Z(outcome);
+                Ok(outcome)
+            }
+            (Basis::X, Mode::Z(b)) => {
+                let outcome = draw(0.5);
+                // |b⟩ = (|+⟩ + (−1)^b|−⟩)/√2: outcome |−⟩ picks up (−1)^b.
+                if b && outcome {
+                    self.flip_phase();
+                }
+                self.qubits[i] = Mode::X(outcome);
+                Ok(outcome)
+            }
+        }
+    }
+
+    fn reset(
+        &mut self,
+        qubit: QubitId,
+        draw: &mut dyn FnMut(f64) -> bool,
+    ) -> Result<(), SimError> {
+        match self.qubits[qubit.index()] {
+            Mode::Z(_) => {}
+            Mode::X(s) => {
+                // Collapse first (a fair coin); |−⟩ collapsing to |1⟩
+                // contributes a π phase, exactly as a measurement would.
+                let outcome = draw(0.5);
+                if s && outcome {
+                    self.flip_phase();
+                }
+            }
+        }
+        self.qubits[qubit.index()] = Mode::Z(false);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::CircuitBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn permutation_gates_track_bits() {
+        let mut t = BasisTracker::zeros(3);
+        t.set_value(&[q(0), q(1), q(2)], 0b011);
+        t.apply(&Gate::Ccx(q(0), q(1), q(2))).unwrap();
+        assert_eq!(t.value(&[q(0), q(1), q(2)]).unwrap(), 0b111);
+        t.apply(&Gate::Cx(q(2), q(0))).unwrap();
+        assert!(!t.bit(q(0)).unwrap());
+        assert!(t.global_phase().is_zero());
+    }
+
+    #[test]
+    fn diagonal_gates_accumulate_phase() {
+        let mut t = BasisTracker::zeros(2);
+        t.set_value(&[q(0), q(1)], 0b11);
+        t.apply(&Gate::Cz(q(0), q(1))).unwrap();
+        assert_eq!(t.global_phase(), Angle::HALF_TURN);
+        t.apply(&Gate::Cz(q(0), q(1))).unwrap();
+        assert!(t.global_phase().is_zero());
+    }
+
+    #[test]
+    fn unsatisfied_control_is_identity() {
+        let mut t = BasisTracker::zeros(2);
+        t.set_bit(q(0), false);
+        t.set_bit(q(1), true);
+        t.apply(&Gate::Cz(q(0), q(1))).unwrap();
+        assert!(t.global_phase().is_zero());
+        t.apply(&Gate::Cx(q(0), q(1))).unwrap();
+        assert!(t.bit(q(1)).unwrap());
+    }
+
+    #[test]
+    fn hadamard_toggles_modes() {
+        let mut t = BasisTracker::zeros(1);
+        t.set_bit(q(0), true);
+        t.apply(&Gate::H(q(0))).unwrap(); // |−⟩
+        assert!(t.bit(q(0)).is_err());
+        t.apply(&Gate::H(q(0))).unwrap(); // back to |1⟩
+        assert!(t.bit(q(0)).unwrap());
+        assert!(t.global_phase().is_zero());
+    }
+
+    #[test]
+    fn z_toggles_plus_minus() {
+        let mut t = BasisTracker::zeros(1);
+        t.apply(&Gate::H(q(0))).unwrap(); // |+⟩
+        t.apply(&Gate::Z(q(0))).unwrap(); // |−⟩
+        t.apply(&Gate::H(q(0))).unwrap(); // |1⟩
+        assert!(t.bit(q(0)).unwrap());
+    }
+
+    #[test]
+    fn cnot_kickback_on_minus_target() {
+        // CX with control |1⟩ and target |−⟩ flips the global phase.
+        let mut t = BasisTracker::zeros(2);
+        t.set_bit(q(0), true);
+        t.set_bit(q(1), true);
+        t.apply(&Gate::H(q(1))).unwrap(); // |−⟩
+        t.apply(&Gate::Cx(q(0), q(1))).unwrap();
+        assert_eq!(t.global_phase(), Angle::HALF_TURN);
+        // Control |0⟩: no kickback.
+        t.set_bit(q(0), false);
+        t.apply(&Gate::Cx(q(0), q(1))).unwrap();
+        assert_eq!(t.global_phase(), Angle::HALF_TURN);
+    }
+
+    #[test]
+    fn toffoli_kickback_needs_both_controls() {
+        let mut t = BasisTracker::zeros(3);
+        t.set_value(&[q(0), q(1)], 0b01);
+        t.set_bit(q(2), true);
+        t.apply(&Gate::H(q(2))).unwrap(); // |−⟩
+        t.apply(&Gate::Ccx(q(0), q(1), q(2))).unwrap();
+        assert!(t.global_phase().is_zero(), "one control unsatisfied");
+        t.set_value(&[q(0), q(1)], 0b11);
+        t.apply(&Gate::Ccx(q(0), q(1), q(2))).unwrap();
+        assert_eq!(t.global_phase(), Angle::HALF_TURN);
+    }
+
+    #[test]
+    fn entangling_gates_error_out() {
+        let mut t = BasisTracker::zeros(2);
+        t.apply(&Gate::H(q(0))).unwrap();
+        let err = t.apply(&Gate::Cx(q(0), q(1))).unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedEntanglement { .. }));
+
+        let mut t = BasisTracker::zeros(2);
+        t.apply(&Gate::H(q(0))).unwrap();
+        t.apply(&Gate::H(q(1))).unwrap();
+        let err = t.apply(&Gate::Cz(q(0), q(1))).unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedEntanglement { .. }));
+    }
+
+    #[test]
+    fn measure_z_of_definite_bit_is_deterministic() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        b.x(r[0]);
+        let _ = b.measure(r[0], Basis::Z);
+        let circuit = b.finish();
+        for seed in 0..8 {
+            let mut t = BasisTracker::zeros(1);
+            let ex = t.run(&circuit, &mut rng(seed)).unwrap();
+            assert!(ex.outcome(0).unwrap());
+        }
+    }
+
+    #[test]
+    fn measure_z_of_minus_state_tracks_sign() {
+        // |−⟩ measured in Z: outcome 1 carries amplitude −1/√2 → phase π.
+        for seed in 0..16 {
+            let mut t = BasisTracker::zeros(1);
+            t.set_bit(q(0), true);
+            t.apply(&Gate::H(q(0))).unwrap(); // |−⟩
+            let mut r = rng(seed);
+            let mut draw = move |p: f64| r.gen_bool(p);
+            let outcome = t.measure(q(0), Basis::Z, &mut draw).unwrap();
+            assert_eq!(t.bit(q(0)).unwrap(), outcome);
+            let expected = if outcome { Angle::HALF_TURN } else { Angle::ZERO };
+            assert_eq!(t.global_phase(), expected);
+        }
+    }
+
+    #[test]
+    fn mbu_protocol_restores_zero_phase_both_branches() {
+        // Lemma 4.1 end to end on a basis state, with Ug a CNOT computing
+        // g(x) = x into the garbage qubit.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2); // q0 = x, q1 = garbage holding g(x) = x
+        b.cx(r[0], r[1]); // compute garbage
+        // MBU: H, measure; if 1 then H, Ug, H, X.
+        b.h(r[1]);
+        let m = b.measure(r[1], Basis::Z);
+        let (_, fix) = b.record(|b| {
+            b.h(r[1]);
+            b.cx(r[0], r[1]); // Ug
+            b.h(r[1]);
+            b.x(r[1]);
+        });
+        b.emit_conditional(m, &fix);
+        let circuit = b.finish();
+
+        let mut seen = [false, false];
+        for seed in 0..32 {
+            let mut t = BasisTracker::zeros(2);
+            t.set_bit(q(0), true); // g(x) = 1, the interesting branch
+            let ex = t.run(&circuit, &mut rng(seed)).unwrap();
+            let outcome = ex.outcome(0).unwrap();
+            seen[usize::from(outcome)] = true;
+            assert!(!t.bit(q(1)).unwrap(), "garbage uncomputed");
+            assert!(t.bit(q(0)).unwrap(), "data preserved");
+            assert!(t.global_phase().is_zero(), "phase cancels exactly");
+        }
+        assert!(seen[0] && seen[1], "both outcomes exercised");
+    }
+
+    #[test]
+    fn executed_counts_reflect_taken_branch() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        b.h(r[0]);
+        let m = b.measure(r[0], Basis::Z);
+        let (_, fix) = b.record(|b| b.x(r[0]));
+        b.emit_conditional(m, &fix);
+        let circuit = b.finish();
+
+        let mut took = 0;
+        let trials = 200;
+        for seed in 0..trials {
+            let mut t = BasisTracker::zeros(1);
+            let ex = t.run(&circuit, &mut rng(seed)).unwrap();
+            took += u64::from(ex.counts.x == 1);
+            // Whatever branch: the X resets the qubit to |0⟩.
+            assert!(!t.bit(q(0)).unwrap());
+        }
+        // Should be a fair coin, loosely.
+        assert!(took > 50 && took < 150, "took {took}/{trials}");
+    }
+
+    #[test]
+    fn wide_registers_work() {
+        let n = 300;
+        let t = BasisTracker::zeros(n);
+        let qubits: Vec<QubitId> = (0..n as u32).map(QubitId).collect();
+        let bits = t.bits(&qubits).unwrap();
+        assert_eq!(bits.len(), n);
+        assert!(t.value(&qubits[..128]).is_ok());
+        assert!(t.value(&qubits).is_err(), "value() limited to 128 bits");
+    }
+}

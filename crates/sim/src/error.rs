@@ -1,0 +1,101 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while simulating a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::CircuitBuilder;
+/// use mbu_sim::{BasisTracker, SimError};
+/// use rand::SeedableRng;
+///
+/// // A CNOT controlled by a |+⟩ qubit entangles — the basis tracker
+/// // reports it instead of silently giving wrong answers.
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 2);
+/// b.h(q[0]);
+/// b.cx(q[0], q[1]);
+/// let circuit = b.finish();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let err = BasisTracker::zeros(2).run(&circuit, &mut rng).unwrap_err();
+/// assert!(matches!(err, SimError::UnsupportedEntanglement { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The state-vector backend refuses widths whose amplitude array would
+    /// not fit in memory.
+    TooManyQubits {
+        /// Requested qubit count.
+        requested: usize,
+        /// Maximum supported by this backend.
+        max: usize,
+    },
+    /// The basis tracker cannot represent the entanglement this gate would
+    /// create (e.g. a CNOT controlled by an `X`-mode qubit with a `Z`-mode
+    /// target).
+    UnsupportedEntanglement {
+        /// Rendering of the offending gate.
+        gate: String,
+        /// Why the gate left the tracked fragment.
+        reason: &'static str,
+    },
+    /// Tried to read the computational value of a qubit that is in a
+    /// superposition (`X`-mode) state.
+    ReadOfSuperposedQubit {
+        /// The offending qubit index.
+        qubit: u32,
+    },
+    /// An operation referenced a qubit or classical bit outside the state.
+    OutOfRange {
+        /// Description of the offending reference.
+        what: String,
+    },
+    /// A conditional read a classical bit that no measurement had written.
+    UnwrittenClassicalBit {
+        /// The offending classical bit index.
+        clbit: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyQubits { requested, max } => {
+                write!(f, "state vector over {requested} qubits exceeds the {max}-qubit limit")
+            }
+            SimError::UnsupportedEntanglement { gate, reason } => {
+                write!(f, "basis tracker cannot apply {gate}: {reason}")
+            }
+            SimError::ReadOfSuperposedQubit { qubit } => {
+                write!(f, "qubit q{qubit} is in superposition; its bit value is undefined")
+            }
+            SimError::OutOfRange { what } => write!(f, "{what} out of range"),
+            SimError::UnwrittenClassicalBit { clbit } => {
+                write!(f, "classical bit c{clbit} read before any measurement wrote it")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::UnsupportedEntanglement {
+            gate: "CX q0 q1".into(),
+            reason: "control is in superposition",
+        };
+        assert!(e.to_string().contains("CX q0 q1"));
+        assert!(SimError::UnwrittenClassicalBit { clbit: 3 }
+            .to_string()
+            .contains("c3"));
+    }
+}

@@ -1,0 +1,199 @@
+//! The shared circuit executor: walks ops, resolves conditionals against the
+//! classical record, and tallies the gates that actually ran.
+
+use mbu_circuit::{Basis, Gate, GateCounts, Op, QubitId};
+use rand::Rng;
+
+use crate::error::SimError;
+
+/// What a simulation run actually did.
+///
+/// `counts` tallies only operations that executed: a conditional block whose
+/// classical bit read 0 contributes nothing. Averaging `counts` over seeded
+/// runs reproduces the paper's "in expectation" columns empirically.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Executed {
+    /// Gates and measurements that actually ran.
+    pub counts: GateCounts,
+    /// The classical record: `Some(outcome)` per written bit.
+    pub classical: Vec<Option<bool>>,
+}
+
+impl Executed {
+    /// The outcome of classical bit `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnwrittenClassicalBit`] if no measurement wrote
+    /// bit `i` during the run.
+    pub fn outcome(&self, i: usize) -> Result<bool, SimError> {
+        self.classical
+            .get(i)
+            .copied()
+            .flatten()
+            .ok_or(SimError::UnwrittenClassicalBit { clbit: i as u32 })
+    }
+}
+
+/// A simulation backend: applies gates and performs measurements.
+pub(crate) trait Backend {
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError>;
+    /// Measures `qubit`; `draw(p1)` must return `true` with probability
+    /// `p1` (the backend computes the Born probability of outcome 1).
+    fn measure(
+        &mut self,
+        qubit: QubitId,
+        basis: Basis,
+        draw: &mut dyn FnMut(f64) -> bool,
+    ) -> Result<bool, SimError>;
+    /// Resets `qubit` to `|0⟩` (measure-and-flip semantics).
+    fn reset(
+        &mut self,
+        qubit: QubitId,
+        draw: &mut dyn FnMut(f64) -> bool,
+    ) -> Result<(), SimError>;
+}
+
+/// Executes `ops` on `backend`, recording outcomes and executed counts.
+pub(crate) fn execute<B: Backend, R: Rng + ?Sized>(
+    backend: &mut B,
+    ops: &[Op],
+    rng: &mut R,
+    executed: &mut Executed,
+) -> Result<(), SimError> {
+    for op in ops {
+        match op {
+            Op::Gate(g) => {
+                backend.apply_gate(g)?;
+                executed.counts.record_gate(g);
+            }
+            Op::Measure { qubit, basis, clbit } => {
+                let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
+                let outcome = backend.measure(*qubit, *basis, &mut draw)?;
+                executed.counts.record_measurement(*basis);
+                let idx = clbit.index();
+                if executed.classical.len() <= idx {
+                    executed.classical.resize(idx + 1, None);
+                }
+                executed.classical[idx] = Some(outcome);
+            }
+            Op::Conditional { clbit, ops } => {
+                let bit = executed
+                    .classical
+                    .get(clbit.index())
+                    .copied()
+                    .flatten()
+                    .ok_or(SimError::UnwrittenClassicalBit { clbit: clbit.0 })?;
+                if bit {
+                    execute(backend, ops, rng, executed)?;
+                }
+            }
+            Op::Reset(qubit) => {
+                let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
+                backend.reset(*qubit, &mut draw)?;
+                executed.counts.reset += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::ClbitId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A backend that records nothing and answers measurements with a
+    /// scripted sequence.
+    struct Scripted {
+        outcomes: Vec<bool>,
+        next: usize,
+        gates_seen: usize,
+    }
+
+    impl Backend for Scripted {
+        fn apply_gate(&mut self, _gate: &Gate) -> Result<(), SimError> {
+            self.gates_seen += 1;
+            Ok(())
+        }
+
+        fn measure(
+            &mut self,
+            _qubit: QubitId,
+            _basis: Basis,
+            _draw: &mut dyn FnMut(f64) -> bool,
+        ) -> Result<bool, SimError> {
+            let r = self.outcomes[self.next];
+            self.next += 1;
+            Ok(r)
+        }
+
+        fn reset(
+            &mut self,
+            _qubit: QubitId,
+            _draw: &mut dyn FnMut(f64) -> bool,
+        ) -> Result<(), SimError> {
+            Ok(())
+        }
+    }
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    #[test]
+    fn conditionals_skip_when_bit_is_zero() {
+        let ops = vec![
+            Op::Measure {
+                qubit: q(0),
+                basis: Basis::Z,
+                clbit: ClbitId(0),
+            },
+            Op::Conditional {
+                clbit: ClbitId(0),
+                ops: vec![Op::Gate(Gate::X(q(0)))],
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(0);
+
+        let mut backend = Scripted {
+            outcomes: vec![false],
+            next: 0,
+            gates_seen: 0,
+        };
+        let mut ex = Executed::default();
+        execute(&mut backend, &ops, &mut rng, &mut ex).unwrap();
+        assert_eq!(backend.gates_seen, 0);
+        assert_eq!(ex.counts.x, 0);
+        assert!(!ex.outcome(0).unwrap());
+
+        let mut backend = Scripted {
+            outcomes: vec![true],
+            next: 0,
+            gates_seen: 0,
+        };
+        let mut ex = Executed::default();
+        execute(&mut backend, &ops, &mut rng, &mut ex).unwrap();
+        assert_eq!(backend.gates_seen, 1);
+        assert_eq!(ex.counts.x, 1);
+    }
+
+    #[test]
+    fn unwritten_classical_bit_is_an_error() {
+        let ops = vec![Op::Conditional {
+            clbit: ClbitId(5),
+            ops: vec![],
+        }];
+        let mut backend = Scripted {
+            outcomes: vec![],
+            next: 0,
+            gates_seen: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ex = Executed::default();
+        let err = execute(&mut backend, &ops, &mut rng, &mut ex).unwrap_err();
+        assert_eq!(err, SimError::UnwrittenClassicalBit { clbit: 5 });
+    }
+}

@@ -1,0 +1,556 @@
+//! The exact state-vector backend.
+
+use mbu_circuit::{Basis, Circuit, Gate, QubitId};
+use rand::Rng;
+
+use crate::complex::Complex;
+use crate::error::SimError;
+use crate::exec::{self, Backend, Executed};
+
+/// Maximum width the state-vector backend accepts (2^26 amplitudes ≈ 1 GiB).
+pub const MAX_STATEVECTOR_QUBITS: usize = 26;
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// An exact state-vector simulator.
+///
+/// Amplitudes are indexed little-endian: qubit `i` is bit `i` of the index,
+/// so a register `q[0..n]` holding the integer `v` contributes `v << 0` when
+/// the register occupies the low qubits.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::CircuitBuilder;
+/// use mbu_sim::StateVector;
+/// use rand::SeedableRng;
+///
+/// // A Bell pair: H then CNOT.
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 2);
+/// b.h(q[0]);
+/// b.cx(q[0], q[1]);
+/// let circuit = b.finish();
+///
+/// let mut sim = StateVector::zeros(2).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// sim.run(&circuit, &mut rng).unwrap();
+/// assert!((sim.probability_of(0b00) - 0.5).abs() < 1e-12);
+/// assert!((sim.probability_of(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// Creates `|0…0⟩` over `num_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] above
+    /// [`MAX_STATEVECTOR_QUBITS`].
+    pub fn zeros(num_qubits: usize) -> Result<Self, SimError> {
+        if num_qubits > MAX_STATEVECTOR_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_STATEVECTOR_QUBITS,
+            });
+        }
+        let mut amps = vec![Complex::ZERO; 1 << num_qubits];
+        amps[0] = Complex::ONE;
+        Ok(Self { num_qubits, amps })
+    }
+
+    /// Creates the basis state `|index⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] for oversized widths, or
+    /// [`SimError::OutOfRange`] if `index ≥ 2^num_qubits`.
+    pub fn basis(num_qubits: usize, index: u64) -> Result<Self, SimError> {
+        let mut sv = Self::zeros(num_qubits)?;
+        sv.prepare_basis(index)?;
+        Ok(sv)
+    }
+
+    /// Creates a state from raw amplitudes (length must be a power of two).
+    ///
+    /// The amplitudes are used as-is; callers wanting a normalised state
+    /// should normalise first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfRange`] if the length is not a power of two
+    /// or [`SimError::TooManyQubits`] if it is too large.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Result<Self, SimError> {
+        if !amps.len().is_power_of_two() {
+            return Err(SimError::OutOfRange {
+                what: format!("amplitude vector of length {}", amps.len()),
+            });
+        }
+        let num_qubits = amps.len().trailing_zeros() as usize;
+        if num_qubits > MAX_STATEVECTOR_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_STATEVECTOR_QUBITS,
+            });
+        }
+        Ok(Self { num_qubits, amps })
+    }
+
+    /// Resets the state to `|index⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfRange`] if `index ≥ 2^num_qubits`.
+    pub fn prepare_basis(&mut self, index: u64) -> Result<(), SimError> {
+        if index as u128 >= (1u128 << self.num_qubits) {
+            return Err(SimError::OutOfRange {
+                what: format!("basis index {index}"),
+            });
+        }
+        self.amps.fill(Complex::ZERO);
+        self.amps[index as usize] = Complex::ONE;
+        Ok(())
+    }
+
+    /// The number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 2^num_qubits`.
+    #[must_use]
+    pub fn amplitude(&self, index: u64) -> Complex {
+        self.amps[index as usize]
+    }
+
+    /// All amplitudes, indexed by basis state.
+    #[must_use]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// The probability of observing basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 2^num_qubits`.
+    #[must_use]
+    pub fn probability_of(&self, index: u64) -> f64 {
+        self.amps[index as usize].norm_sqr()
+    }
+
+    /// The 2-norm of the state (1 for any normalised state).
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn inner_product(&self, other: &Self) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits, "width mismatch");
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amps.iter().zip(other.amps.iter()) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// If the state is a single basis state (within `tol` leaked
+    /// probability), returns `(index, amplitude)`.
+    #[must_use]
+    pub fn as_basis(&self, tol: f64) -> Option<(u64, Complex)> {
+        let mut best = 0usize;
+        let mut best_p = -1.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p > best_p {
+                best_p = p;
+                best = i;
+            }
+        }
+        let leaked: f64 = self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != best)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        if leaked <= tol {
+            Some((best as u64, self.amps[best]))
+        } else {
+            None
+        }
+    }
+
+    /// Reads the integer value of a register out of a basis index.
+    ///
+    /// Bit `i` of the result is the bit of `index` at position
+    /// `qubits[i]` — registers are little-endian like everything else.
+    #[must_use]
+    pub fn register_value(index: u64, qubits: &[QubitId]) -> u64 {
+        let mut v = 0u64;
+        for (i, q) in qubits.iter().enumerate() {
+            if (index >> q.index()) & 1 == 1 {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Builds a basis index with each register holding a given value.
+    ///
+    /// Inverse of [`register_value`](Self::register_value) over multiple
+    /// registers: bit `i` of `value` lands on qubit `qubits[i]`.
+    #[must_use]
+    pub fn index_with(assignments: &[(&[QubitId], u64)]) -> u64 {
+        let mut index = 0u64;
+        for (qubits, value) in assignments {
+            for (i, q) in qubits.iter().enumerate() {
+                if (value >> i) & 1 == 1 {
+                    index |= 1 << q.index();
+                }
+            }
+        }
+        index
+    }
+
+    /// Applies a single gate.
+    pub fn apply_gate_pub(&mut self, gate: &Gate) {
+        self.apply(gate);
+    }
+
+    /// Runs an adaptive circuit, sampling measurements from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnwrittenClassicalBit`] if a conditional fires
+    /// before its bit is measured, or [`SimError::OutOfRange`] if the
+    /// circuit is wider than the state.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> Result<Executed, SimError> {
+        if circuit.num_qubits() > self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!("{}-qubit circuit on {}-qubit state", circuit.num_qubits(), self.num_qubits),
+            });
+        }
+        let mut executed = Executed::default();
+        exec::execute(self, circuit.ops(), rng, &mut executed)?;
+        Ok(executed)
+    }
+
+    fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::X(q) => {
+                let m = 1usize << q.index();
+                for i in 0..self.amps.len() {
+                    if i & m == 0 {
+                        self.amps.swap(i, i | m);
+                    }
+                }
+            }
+            Gate::Z(q) => {
+                let m = 1usize << q.index();
+                for i in 0..self.amps.len() {
+                    if i & m != 0 {
+                        self.amps[i] = -self.amps[i];
+                    }
+                }
+            }
+            Gate::H(q) => {
+                let m = 1usize << q.index();
+                for i in 0..self.amps.len() {
+                    if i & m == 0 {
+                        let a = self.amps[i];
+                        let b = self.amps[i | m];
+                        self.amps[i] = (a + b).scale(FRAC_1_SQRT_2);
+                        self.amps[i | m] = (a - b).scale(FRAC_1_SQRT_2);
+                    }
+                }
+            }
+            Gate::Phase(q, theta) => {
+                let m = 1usize << q.index();
+                let w = Complex::cis(theta.radians());
+                for i in 0..self.amps.len() {
+                    if i & m != 0 {
+                        self.amps[i] = self.amps[i] * w;
+                    }
+                }
+            }
+            Gate::Cx(c, t) => {
+                let mc = 1usize << c.index();
+                let mt = 1usize << t.index();
+                for i in 0..self.amps.len() {
+                    if i & mc != 0 && i & mt == 0 {
+                        self.amps.swap(i, i | mt);
+                    }
+                }
+            }
+            Gate::Cz(a, b) => {
+                let m = (1usize << a.index()) | (1usize << b.index());
+                for i in 0..self.amps.len() {
+                    if i & m == m {
+                        self.amps[i] = -self.amps[i];
+                    }
+                }
+            }
+            Gate::Ccx(c1, c2, t) => {
+                let mc = (1usize << c1.index()) | (1usize << c2.index());
+                let mt = 1usize << t.index();
+                for i in 0..self.amps.len() {
+                    if i & mc == mc && i & mt == 0 {
+                        self.amps.swap(i, i | mt);
+                    }
+                }
+            }
+            Gate::Ccz(a, b, c) => {
+                let m = (1usize << a.index()) | (1usize << b.index()) | (1usize << c.index());
+                for i in 0..self.amps.len() {
+                    if i & m == m {
+                        self.amps[i] = -self.amps[i];
+                    }
+                }
+            }
+            Gate::CPhase(c, t, theta) => {
+                let m = (1usize << c.index()) | (1usize << t.index());
+                let w = Complex::cis(theta.radians());
+                for i in 0..self.amps.len() {
+                    if i & m == m {
+                        self.amps[i] = self.amps[i] * w;
+                    }
+                }
+            }
+            Gate::CcPhase(c1, c2, t, theta) => {
+                let m = (1usize << c1.index()) | (1usize << c2.index()) | (1usize << t.index());
+                let w = Complex::cis(theta.radians());
+                for i in 0..self.amps.len() {
+                    if i & m == m {
+                        self.amps[i] = self.amps[i] * w;
+                    }
+                }
+            }
+            Gate::Swap(a, b) => {
+                let ma = 1usize << a.index();
+                let mb = 1usize << b.index();
+                for i in 0..self.amps.len() {
+                    if i & ma != 0 && i & mb == 0 {
+                        self.amps.swap(i, i ^ ma ^ mb);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Z-basis measurement: projects and renormalises.
+    fn measure_z(&mut self, q: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> bool {
+        let m = 1usize << q.index();
+        let p1: f64 = self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & m != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        let outcome = draw(p1);
+        let keep_mask_set = outcome;
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        let scale = if p > 0.0 { 1.0 / p.sqrt() } else { 0.0 };
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let set = i & m != 0;
+            if set == keep_mask_set {
+                *a = a.scale(scale);
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+        outcome
+    }
+}
+
+impl Backend for StateVector {
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
+        self.apply(gate);
+        Ok(())
+    }
+
+    fn measure(
+        &mut self,
+        qubit: QubitId,
+        basis: Basis,
+        draw: &mut dyn FnMut(f64) -> bool,
+    ) -> Result<bool, SimError> {
+        match basis {
+            Basis::Z => Ok(self.measure_z(qubit, draw)),
+            Basis::X => {
+                // Measure in X: rotate to Z, measure, rotate back so the
+                // post-measurement state is |+⟩ or |−⟩.
+                self.apply(&Gate::H(qubit));
+                let outcome = self.measure_z(qubit, draw);
+                self.apply(&Gate::H(qubit));
+                Ok(outcome)
+            }
+        }
+    }
+
+    fn reset(
+        &mut self,
+        qubit: QubitId,
+        draw: &mut dyn FnMut(f64) -> bool,
+    ) -> Result<(), SimError> {
+        if self.measure_z(qubit, draw) {
+            self.apply(&Gate::X(qubit));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::{Angle, CircuitBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    #[test]
+    fn width_guard() {
+        assert!(matches!(
+            StateVector::zeros(MAX_STATEVECTOR_QUBITS + 1),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn x_flips_a_basis_state() {
+        let mut sv = StateVector::basis(3, 0b010).unwrap();
+        sv.apply(&Gate::X(q(2)));
+        assert_eq!(sv.as_basis(1e-12).unwrap().0, 0b110);
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut sv = StateVector::basis(1, 1).unwrap();
+        sv.apply(&Gate::H(q(0)));
+        sv.apply(&Gate::H(q(0)));
+        let (idx, amp) = sv.as_basis(1e-12).unwrap();
+        assert_eq!(idx, 1);
+        assert!((amp - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for input in 0u64..8 {
+            let mut sv = StateVector::basis(3, input).unwrap();
+            sv.apply(&Gate::Ccx(q(0), q(1), q(2)));
+            let expected = if input & 0b011 == 0b011 {
+                input ^ 0b100
+            } else {
+                input
+            };
+            assert_eq!(sv.as_basis(1e-12).unwrap().0, expected, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn cphase_applies_only_when_both_set() {
+        let theta = Angle::turn_over_power_of_two(2); // i
+        for input in 0u64..4 {
+            let mut sv = StateVector::basis(2, input).unwrap();
+            sv.apply(&Gate::CPhase(q(0), q(1), theta));
+            let (idx, amp) = sv.as_basis(1e-12).unwrap();
+            assert_eq!(idx, input);
+            let expected = if input == 0b11 { Complex::I } else { Complex::ONE };
+            assert!((amp - expected).norm() < 1e-12, "input {input:02b}");
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut sv = StateVector::basis(2, 0b01).unwrap();
+        sv.apply(&Gate::Swap(q(0), q(1)));
+        assert_eq!(sv.as_basis(1e-12).unwrap().0, 0b10);
+    }
+
+    #[test]
+    fn z_measurement_collapses_and_renormalises() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        b.h(r[0]);
+        let _m = b.measure(r[0], Basis::Z);
+        let circuit = b.finish();
+
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sv = StateVector::zeros(1).unwrap();
+            let ex = sv.run(&circuit, &mut rng).unwrap();
+            let outcome = ex.outcome(0).unwrap();
+            let (idx, amp) = sv.as_basis(1e-12).unwrap();
+            assert_eq!(idx == 1, outcome);
+            assert!((amp.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn x_measurement_leaves_plus_or_minus() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        let _m = b.measure(r[0], Basis::X);
+        let circuit = b.finish();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sv = StateVector::zeros(1).unwrap();
+        let ex = sv.run(&circuit, &mut rng).unwrap();
+        let outcome = ex.outcome(0).unwrap();
+        // |0⟩ measured in X collapses to (|0⟩ ± |1⟩)/√2.
+        let expected_sign = if outcome { -1.0 } else { 1.0 };
+        let a0 = sv.amplitude(0);
+        let a1 = sv.amplitude(1);
+        assert!((a0.norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((a1.re / a0.re - expected_sign).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_value_round_trip() {
+        let qubits = [q(1), q(3), q(4)];
+        let index = StateVector::index_with(&[(&qubits, 0b101)]);
+        assert_eq!(index, (1 << 1) | (1 << 4));
+        assert_eq!(StateVector::register_value(index, &qubits), 0b101);
+    }
+
+    #[test]
+    fn inner_product_detects_orthogonality() {
+        let a = StateVector::basis(2, 0).unwrap();
+        let b = StateVector::basis(2, 3).unwrap();
+        assert!((a.inner_product(&b)).norm() < 1e-12);
+        assert!((a.inner_product(&a) - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn bell_pair_probabilities() {
+        let mut sv = StateVector::zeros(2).unwrap();
+        sv.apply(&Gate::H(q(0)));
+        sv.apply(&Gate::Cx(q(0), q(1)));
+        assert!((sv.probability_of(0b00) - 0.5).abs() < 1e-12);
+        assert!((sv.probability_of(0b11) - 0.5).abs() < 1e-12);
+        assert!(sv.probability_of(0b01) < 1e-12);
+        assert!(sv.as_basis(1e-12).is_none());
+    }
+}

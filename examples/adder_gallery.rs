@@ -1,0 +1,75 @@
+//! Gallery: render the paper's circuit figures as ASCII diagrams.
+//!
+//! Shows the four plain-adder families at small width plus the MBU
+//! protocol itself, each with its resource line — a visual tour of §2
+//! and Figure 24.
+//!
+//! ```text
+//! cargo run --example adder_gallery
+//! ```
+
+use mbu_arith::{adders, compare, mbu, AdderKind};
+use mbu_circuit::diagram::render;
+use mbu_circuit::CircuitBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 2usize;
+
+    for kind in [
+        AdderKind::Vbe,
+        AdderKind::Cdkpm,
+        AdderKind::Gidney,
+        AdderKind::Draper,
+    ] {
+        let adder = adders::plain_adder(kind, n)?;
+        let mut labels: Vec<String> = Vec::new();
+        for i in 0..n {
+            labels.push(format!("x{i}"));
+        }
+        for i in 0..=n {
+            labels.push(format!("y{i}"));
+        }
+        for i in labels.len()..adder.circuit.num_qubits() {
+            labels.push(format!("a{}", i - 2 * n - 1));
+        }
+        println!("── {kind} plain adder (n = {n}) ──");
+        println!("{}", render(&adder.circuit, &labels));
+        let c = adder.circuit.counts();
+        println!(
+            "   Tof={} CX={} CZ={} H={} R/CR={} Mz={}   depth={} tof-depth={}\n",
+            c.toffoli,
+            c.cx,
+            c.cz,
+            c.h,
+            c.phase + c.cphase,
+            c.measure_z,
+            adder.circuit.depth(),
+            adder.circuit.toffoli_depth(),
+        );
+    }
+
+    // Figure 24: the MBU protocol around a Toffoli oracle.
+    println!("── MBU protocol (Lemma 4.1 / Figure 24), Ug = Toffoli ──");
+    let mut b = CircuitBuilder::new();
+    let q = b.qreg("q", 3);
+    let (_, ug) = b.record(|b| b.ccx(q[0], q[1], q[2]));
+    b.emit(&ug);
+    mbu::uncompute_bit(&mut b, q[2], &ug);
+    let circuit = b.finish();
+    println!("{}", render(&circuit, &["x0", "x1", "g"]));
+    let e = circuit.expected_counts();
+    println!(
+        "   expected: Tof={:.1} H={:.1} X={:.1}  (correction runs half the time)\n",
+        e.toffoli, e.h, e.x
+    );
+
+    // The CDKPM comparator (Figure 21 flavour).
+    println!("── CDKPM half-subtractor comparator (Prop 2.27), n = 2 ──");
+    let cmp = compare::comparator(AdderKind::Cdkpm, 2)?;
+    println!(
+        "{}",
+        render(&cmp.circuit, &["x0", "x1", "y0", "y1", "t", "c0"])
+    );
+    println!("   t ⊕= 1[x > y] with {} Toffolis", cmp.circuit.counts().toffoli);
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! A Grover-style range oracle from the two-sided comparator
+//! (Theorem 4.13): flag every `x` in a superposition with `y < x < z`.
+//!
+//! Runs the exact state-vector simulator on a uniform superposition and
+//! verifies the oracle marked precisely the in-range values — including
+//! that the MBU variant introduced no stray phases on any component.
+//!
+//! ```text
+//! cargo run --example range_oracle
+//! ```
+
+use mbu_arith::{two_sided, AdderKind, Uncompute};
+use mbu_circuit::{Circuit, Gate, Op};
+use mbu_sim::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 3usize;
+    let (lo, hi) = (1u64, 6u64);
+    println!("range oracle: flag x with {lo} < x < {hi}, x in uniform superposition\n");
+
+    for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+        let layout = two_sided::in_range_circuit(AdderKind::Cdkpm, unc, n)?;
+        // Prepend H on every x qubit to create the superposition.
+        let mut full = Circuit::new(layout.circuit.num_qubits(), layout.circuit.num_clbits());
+        for q in layout.x.iter() {
+            full.push(Op::Gate(Gate::H(q)));
+        }
+        for op in layout.circuit.ops() {
+            full.push(op.clone());
+        }
+
+        let mut sv = StateVector::zeros(full.num_qubits())?;
+        sv.prepare_basis(StateVector::index_with(&[
+            (layout.y.qubits(), lo),
+            (layout.z.qubits(), hi),
+        ]))?;
+        let mut rng = StdRng::seed_from_u64(7);
+        sv.run(&full, &mut rng)?;
+
+        println!("{unc} uncomputation:");
+        let amp_norm = 1.0 / ((1u64 << n) as f64).sqrt();
+        for x in 0..(1u64 << n) {
+            let in_range = lo < x && x < hi;
+            let idx = StateVector::index_with(&[
+                (layout.x.qubits(), x),
+                (layout.y.qubits(), lo),
+                (layout.z.qubits(), hi),
+                (&[layout.t], u64::from(in_range)),
+            ]);
+            let a = sv.amplitude(idx);
+            let marker = if in_range { "◀ flagged" } else { "" };
+            println!("  |x={x}⟩|t={}⟩  amp {a:+.4}  {marker}", u8::from(in_range));
+            assert!(
+                (a.re - amp_norm).abs() < 1e-9 && a.im.abs() < 1e-9,
+                "component damaged at x={x}"
+            );
+        }
+        let e = layout.circuit.expected_counts();
+        println!("  expected Toffolis: {:.1}\n", e.toffoli);
+    }
+
+    println!("both variants mark the same states; MBU does it cheaper in expectation.");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Cryptanalysis workload: the modular-exponentiation ladder at the heart
+//! of Shor's algorithm, built from this crate's (controlled) modular
+//! adders — the application the paper's introduction motivates.
+//!
+//! Demonstrates (1) functional correctness of `|e⟩|1⟩ ↦ |e⟩|g^e mod p⟩`
+//! including the period structure Shor exploits, and (2) how the paper's
+//! per-adder MBU savings compound at workload scale.
+//!
+//! ```text
+//! cargo run --release --example shor_cryptanalysis
+//! ```
+
+use mbu_arith::{
+    modular::ModAddSpec,
+    mulexp::{self, mod_pow},
+    Uncompute,
+};
+use mbu_sim::BasisTracker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Factor N = 15 the Shor way: find the order of g = 7 modulo 15.
+    let n = 4; // register width for the modulus
+    let k = 4; // exponent qubits
+    let (g, p) = (7u128, 15u128);
+    let spec = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+
+    println!("modular exponentiation |e⟩|1⟩ → |e⟩|{g}^e mod {p}⟩  (k={k}, n={n})");
+    let layout = mulexp::modexp_circuit(&spec, k, n, g, p)?;
+    println!("  qubits         : {}", layout.circuit.num_qubits());
+    println!(
+        "  expected Toffoli: {:.0}",
+        layout.circuit.expected_counts().toffoli
+    );
+
+    println!("\n  e : g^e mod p  (period visible below)");
+    let mut row = String::new();
+    for e in 0..(1u128 << k) {
+        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+        sim.set_value(layout.exponent.qubits(), e);
+        sim.set_value(layout.work.qubits(), 1);
+        let mut rng = StdRng::seed_from_u64(e as u64);
+        sim.run(&layout.circuit, &mut rng)?;
+        let v = sim.value(layout.work.qubits())?;
+        assert_eq!(v, mod_pow(g, e, p), "circuit disagrees with mod_pow");
+        row.push_str(&format!("{v:>3}"));
+    }
+    println!("  {row}");
+
+    // ord_15(7) = 4, and gcd(7^{4/2} ± 1, 15) = {3, 5}: the factors.
+    let r = (1..=8u128).find(|r| mod_pow(g, *r, p) == 1).expect("order");
+    let half = mod_pow(g, r / 2, p);
+    let f1 = gcd(half + 1, p);
+    let f2 = gcd(half + p - 1, p);
+    println!("\n  period r = {r}; gcd({half}±1, {p}) → factors {f1} × {f2}");
+    assert_eq!(f1 * f2, p);
+
+    // The paper's point: MBU savings compound over the whole ladder.
+    println!("\nMBU impact on the full exponentiation ladder (CDKPM architecture):");
+    println!("{:>4} {:>14} {:>14} {:>8}", "n", "Tof (unitary)", "Tof (MBU)", "saved");
+    for bits in [4usize, 6, 8, 10] {
+        let modulus = match bits {
+            4 => 13u128,
+            6 => 61,
+            8 => 251,
+            _ => 1021,
+        };
+        let plain =
+            mulexp::modexp_circuit(&ModAddSpec::cdkpm(Uncompute::Unitary), bits, bits, 2, modulus)?
+                .circuit
+                .expected_counts()
+                .toffoli;
+        let mbu =
+            mulexp::modexp_circuit(&ModAddSpec::cdkpm(Uncompute::Mbu), bits, bits, 2, modulus)?
+                .circuit
+                .expected_counts()
+                .toffoli;
+        println!(
+            "{bits:>4} {plain:>14.0} {mbu:>14.0} {:>7.1}%",
+            100.0 * (1.0 - mbu / plain)
+        );
+    }
+    Ok(())
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}

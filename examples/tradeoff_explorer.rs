@@ -1,0 +1,99 @@
+//! Space–time trade-off explorer for the composable modular-adder
+//! framework (§3, Theorem 3.6).
+//!
+//! Sweeps every assignment of adder families to the four subroutine slots
+//! of the VBE architecture and prints the (qubits, expected-Toffoli)
+//! frontier — showing why the paper's Gidney+CDKPM hybrid is the
+//! interesting point: Gidney where Toffolis dominate, CDKPM where ancillas
+//! would otherwise pile up. "Early error-corrected settings" care about
+//! exactly this frontier.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_explorer
+//! ```
+
+use mbu_arith::modular::{self, ModAddSpec};
+use mbu_arith::{AdderKind, Uncompute};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 32;
+    let p = 4_294_967_291u128; // 2^32 − 5
+    let kinds = [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney];
+
+    println!("modular adder slot sweep  (n = {n}, p = {p}, MBU on)");
+    println!(
+        "{:<8} {:<8} {:<8} {:<8} {:>7} {:>10} {:>10}",
+        "QADD", "QCOMP", "C-QSUB", "Q'COMP", "qubits", "E[Tof]", "Tof-depth"
+    );
+
+    let mut frontier: Vec<(usize, f64, String)> = Vec::new();
+    for adder in kinds {
+        for comp_p in kinds {
+            for sub_p in kinds {
+                for comp_back in kinds {
+                    let spec = ModAddSpec {
+                        adder,
+                        comp_p,
+                        sub_p,
+                        comp_back,
+                        full_final_comparator: false,
+                        uncompute: Uncompute::Mbu,
+                    };
+                    let layout = modular::modadd_circuit(&spec, n, p)?;
+                    let qubits = layout.circuit.num_qubits();
+                    let tof = layout.circuit.expected_counts().toffoli;
+                    frontier.push((
+                        qubits,
+                        tof,
+                        format!(
+                            "{:<8} {:<8} {:<8} {:<8} {:>7} {:>10.1} {:>10}",
+                            adder.to_string(),
+                            comp_p.to_string(),
+                            sub_p.to_string(),
+                            comp_back.to_string(),
+                            qubits,
+                            tof,
+                            layout.circuit.toffoli_depth()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Pareto frontier: no other point has both fewer qubits and fewer
+    // Toffolis.
+    let pareto: Vec<&(usize, f64, String)> = frontier
+        .iter()
+        .filter(|(q, t, _)| {
+            !frontier
+                .iter()
+                .any(|(q2, t2, _)| (*q2 < *q && *t2 <= *t) || (*q2 <= *q && *t2 < *t))
+        })
+        .collect();
+
+    let mut shown: Vec<&(usize, f64, String)> = pareto.clone();
+    shown.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    println!("--- Pareto-optimal assignments ({} of {}) ---", shown.len(), frontier.len());
+    for (_, _, line) in &shown {
+        println!("{line}");
+    }
+
+    // The paper's named points for reference.
+    println!("\n--- the paper's named architectures ---");
+    for (name, spec) in [
+        ("Prop 3.4 (CDKPM)", ModAddSpec::cdkpm(Uncompute::Mbu)),
+        ("Prop 3.5 (Gidney)", ModAddSpec::gidney(Uncompute::Mbu)),
+        ("Thm 3.6 (hybrid)", ModAddSpec::gidney_cdkpm(Uncompute::Mbu)),
+    ] {
+        let layout = modular::modadd_circuit(&spec, n, p)?;
+        println!(
+            "{:<20} qubits = {:>3}   E[Tof] = {:>7.1}",
+            name,
+            layout.circuit.num_qubits(),
+            layout.circuit.expected_counts().toffoli
+        );
+    }
+    println!("\nThm 3.6's hybrid sits on the frontier: CDKPM's qubit budget, near-Gidney Toffolis.");
+    Ok(())
+}

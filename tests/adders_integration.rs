@@ -1,0 +1,381 @@
+//! Cross-crate integration tests for the §2 primitives: every adder family
+//! against the classical reference model, at widths far beyond what the
+//! in-module exhaustive tests cover, plus property-based tests.
+
+use mbu_arith::{adders, compare, AdderKind};
+use mbu_bitstring::BitString;
+use mbu_circuit::{Circuit, CircuitBuilder, Gate, Op, QubitId};
+use mbu_sim::{BasisTracker, StateVector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RIPPLE_KINDS: [AdderKind; 3] = [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney];
+
+fn run_tracker(
+    circuit: &Circuit,
+    inputs: &[(&[QubitId], u128)],
+    out: &[QubitId],
+    seed: u64,
+) -> u128 {
+    circuit.validate().expect("circuit must validate");
+    let mut sim = BasisTracker::zeros(circuit.num_qubits());
+    for (reg, v) in inputs {
+        sim.set_value(reg, *v);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    sim.run(circuit, &mut rng)
+        .expect("tracker must support the circuit");
+    assert!(sim.global_phase().is_zero(), "no residual phase");
+    sim.value(out).expect("output must be classical")
+}
+
+#[test]
+fn adders_agree_with_bitstring_model_at_width_96() {
+    let n = 96usize;
+    let m = 1u128 << 97;
+    let x = (1u128 << 95) | 0xDEAD_BEEF_DEAD_BEEF;
+    let y = (1u128 << 96) - 12_345; // exercises long carry chains
+    for kind in RIPPLE_KINDS {
+        let adder = adders::plain_adder(kind, n).unwrap();
+        let got = run_tracker(
+            &adder.circuit,
+            &[(adder.x.qubits(), x), (adder.y.qubits(), y)],
+            adder.y.qubits(),
+            3,
+        );
+        // Cross-check against the BitString reference model.
+        let bx = BitString::from_u128(x, n);
+        let by = BitString::from_u128(y, n + 1);
+        let reference = by.wrapping_add(&bx.resized(n + 1));
+        assert_eq!(got, reference.to_u128(), "{kind}");
+        assert_eq!(got, (x + y) % m, "{kind}");
+    }
+}
+
+#[test]
+fn add_sub_round_trip_at_width_200() {
+    // Beyond-u128 widths: drive the registers bit by bit.
+    let n = 200usize;
+    for kind in [AdderKind::Cdkpm, AdderKind::Gidney] {
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        adders::add(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
+        adders::sub(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
+        let circuit = b.finish();
+
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        // x = alternating bits, y = every third bit.
+        for (i, q) in xr.iter().enumerate() {
+            sim.set_bit(q, i % 2 == 0);
+        }
+        let y_bits: Vec<bool> = (0..=n).map(|i| i % 3 == 1).collect();
+        for (i, q) in yr.iter().enumerate() {
+            sim.set_bit(q, y_bits[i]);
+        }
+        let mut rng = StdRng::seed_from_u64(17);
+        sim.run(&circuit, &mut rng).unwrap();
+        assert_eq!(sim.bits(yr.qubits()).unwrap(), y_bits, "{kind}");
+        assert!(sim.global_phase().is_zero());
+    }
+}
+
+#[test]
+fn mixed_kind_chains_compose() {
+    // Add with one family, subtract with another: the shared register
+    // conventions make families interchangeable mid-circuit.
+    let n = 24usize;
+    let (x, y) = (0xABCDEF_u128, 0x123456_u128);
+    let mut b = CircuitBuilder::new();
+    let xr = b.qreg("x", n);
+    let yr = b.qreg("y", n + 1);
+    adders::add(&mut b, AdderKind::Gidney, xr.qubits(), yr.qubits()).unwrap();
+    adders::add(&mut b, AdderKind::Cdkpm, xr.qubits(), yr.qubits()).unwrap();
+    adders::sub(&mut b, AdderKind::Vbe, xr.qubits(), yr.qubits()).unwrap();
+    let circuit = b.finish();
+    let got = run_tracker(
+        &circuit,
+        &[(xr.qubits(), x), (yr.qubits(), y)],
+        yr.qubits(),
+        5,
+    );
+    assert_eq!(got, x + y); // net effect: one addition
+}
+
+#[test]
+fn comparator_against_subtraction_top_bit() {
+    // Definition 2.24 ties the comparator to the subtractor's sign bit;
+    // check the two implementations agree on random inputs.
+    let n = 40usize;
+    let pairs = [
+        (0x12_3456_7890u128, 0x0FF_FFFF_FFFFu128),
+        (0xFF_FFFF_FFFFu128, 0x12_3456_7890u128),
+        (42, 42),
+        (0, (1 << 40) - 1),
+    ];
+    for kind in RIPPLE_KINDS {
+        for &(x, y) in &pairs {
+            let cmp = compare::comparator(kind, n).unwrap();
+            let got = run_tracker(
+                &cmp.circuit,
+                &[(cmp.x.qubits(), x), (cmp.y.qubits(), y)],
+                &[cmp.t],
+                9,
+            );
+            let sub = adders::subtractor(kind, n).unwrap();
+            let diff = run_tracker(
+                &sub.circuit,
+                &[(sub.x.qubits(), x), (sub.y.qubits(), y)],
+                sub.y.qubits(),
+                9,
+            );
+            assert_eq!(got == 1, diff >> n == 1, "{kind}: {x} vs {y}");
+            assert_eq!(got == 1, x > y, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn draper_adder_on_superposed_target() {
+    // Linearity: adding x into a superposed y must produce the superposed
+    // sums with uniform amplitudes and no phase damage.
+    let n = 3usize;
+    let mut b = CircuitBuilder::new();
+    let xr = b.qreg("x", n);
+    let yr = b.qreg("y", n + 1);
+    for q in yr.iter().take(n) {
+        b.h(q);
+    }
+    adders::add(&mut b, AdderKind::Draper, xr.qubits(), yr.qubits()).unwrap();
+    let circuit = b.finish();
+
+    let x0 = 5u64;
+    let mut sv = StateVector::zeros(circuit.num_qubits()).unwrap();
+    sv.prepare_basis(StateVector::index_with(&[(xr.qubits(), x0)]))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    sv.run(&circuit, &mut rng).unwrap();
+    let expected_amp = 1.0 / ((1u64 << n) as f64).sqrt();
+    for y0 in 0..(1u64 << n) {
+        let idx = StateVector::index_with(&[(xr.qubits(), x0), (yr.qubits(), x0 + y0)]);
+        let a = sv.amplitude(idx);
+        assert!(
+            (a.re - expected_amp).abs() < 1e-9 && a.im.abs() < 1e-9,
+            "y={y0}: {a}"
+        );
+    }
+}
+
+#[test]
+fn controlled_adders_on_superposed_control() {
+    // |+⟩-controlled addition creates an entangled sum state; verify both
+    // branches' amplitudes for every family.
+    let n = 3usize;
+    for kind in [
+        AdderKind::Cdkpm,
+        AdderKind::Vbe,
+        AdderKind::Gidney,
+        AdderKind::Draper,
+    ] {
+        let ca = adders::controlled_adder(kind, n).unwrap();
+        let mut full = Circuit::new(ca.circuit.num_qubits(), ca.circuit.num_clbits());
+        full.push(Op::Gate(Gate::H(ca.control)));
+        for op in ca.circuit.ops() {
+            full.push(op.clone());
+        }
+        let (x0, y0) = (3u64, 2u64);
+        for seed in 0..6 {
+            let mut sv = StateVector::zeros(full.num_qubits()).unwrap();
+            sv.prepare_basis(StateVector::index_with(&[
+                (ca.x.qubits(), x0),
+                (ca.y.qubits(), y0),
+            ]))
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            sv.run(&full, &mut rng).unwrap();
+            let idx_off = StateVector::index_with(&[
+                (&[ca.control], 0),
+                (ca.x.qubits(), x0),
+                (ca.y.qubits(), y0),
+            ]);
+            let idx_on = StateVector::index_with(&[
+                (&[ca.control], 1),
+                (ca.x.qubits(), x0),
+                (ca.y.qubits(), x0 + y0),
+            ]);
+            let a0 = sv.amplitude(idx_off);
+            let a1 = sv.amplitude(idx_on);
+            let r = std::f64::consts::FRAC_1_SQRT_2;
+            assert!(
+                (a0.re - r).abs() < 1e-9 && a0.im.abs() < 1e-9,
+                "{kind} seed {seed}: off-branch {a0}"
+            );
+            assert!(
+                (a1.re - r).abs() < 1e-9 && a1.im.abs() < 1e-9,
+                "{kind} seed {seed}: on-branch {a1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vbe_matches_cdkpm_matches_gidney_on_many_inputs() {
+    // Differential testing: the three ripple families must agree with each
+    // other on every input (they implement the same unitary map).
+    let n = 10usize;
+    let mut lcg = 0x2545F4914F6CDD1Du128;
+    for _ in 0..50 {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let x = lcg % (1 << n);
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let y = lcg % (1 << (n + 1));
+        let mut outputs = Vec::new();
+        for kind in RIPPLE_KINDS {
+            let adder = adders::plain_adder(kind, n).unwrap();
+            outputs.push(run_tracker(
+                &adder.circuit,
+                &[(adder.x.qubits(), x), (adder.y.qubits(), y)],
+                adder.y.qubits(),
+                lcg as u64,
+            ));
+        }
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "families disagree on {x}+{y}: {outputs:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_add_matches_integers(
+        n in 1usize..=20,
+        x_raw in 0u64..u64::MAX,
+        y_raw in 0u64..u64::MAX,
+        kind_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let kind = RIPPLE_KINDS[kind_idx];
+        let x = u128::from(x_raw) % (1 << n);
+        let y = u128::from(y_raw) % (1 << (n + 1));
+        let adder = adders::plain_adder(kind, n).unwrap();
+        let got = run_tracker(
+            &adder.circuit,
+            &[(adder.x.qubits(), x), (adder.y.qubits(), y)],
+            adder.y.qubits(),
+            seed,
+        );
+        prop_assert_eq!(got, (x + y) % (1 << (n + 1)));
+    }
+
+    #[test]
+    fn prop_sub_inverts_add(
+        n in 1usize..=20,
+        x_raw in 0u64..u64::MAX,
+        y_raw in 0u64..u64::MAX,
+        kind_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let kind = RIPPLE_KINDS[kind_idx];
+        let x = u128::from(x_raw) % (1 << n);
+        let y = u128::from(y_raw) % (1 << (n + 1));
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        adders::add(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
+        adders::sub(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
+        let circuit = b.finish();
+        let got = run_tracker(
+            &circuit,
+            &[(xr.qubits(), x), (yr.qubits(), y)],
+            yr.qubits(),
+            seed,
+        );
+        prop_assert_eq!(got, y);
+    }
+
+    #[test]
+    fn prop_const_adders_match(
+        n in 1usize..=16,
+        a_raw in 0u64..u64::MAX,
+        y_raw in 0u64..u64::MAX,
+        kind_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let kind = RIPPLE_KINDS[kind_idx];
+        let a = u128::from(a_raw) % (1 << n);
+        let y = u128::from(y_raw) % (1 << n);
+        let ca = adders::const_adder(kind, n, a).unwrap();
+        let got = run_tracker(&ca.circuit, &[(ca.y.qubits(), y)], ca.y.qubits(), seed);
+        prop_assert_eq!(got, a + y);
+    }
+
+    #[test]
+    fn prop_comparators_match(
+        n in 1usize..=20,
+        x_raw in 0u64..u64::MAX,
+        y_raw in 0u64..u64::MAX,
+        kind_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let kind = RIPPLE_KINDS[kind_idx];
+        let x = u128::from(x_raw) % (1 << n);
+        let y = u128::from(y_raw) % (1 << n);
+        let cmp = compare::comparator(kind, n).unwrap();
+        let got = run_tracker(
+            &cmp.circuit,
+            &[(cmp.x.qubits(), x), (cmp.y.qubits(), y)],
+            &[cmp.t],
+            seed,
+        );
+        prop_assert_eq!(got == 1, x > y);
+    }
+
+    #[test]
+    fn prop_gidney_ancillas_return_to_zero(
+        n in 2usize..=16,
+        x_raw in 0u64..u64::MAX,
+        seed in 0u64..1000,
+    ) {
+        // After add+sub the pool ancillas must all read |0⟩.
+        let x = u128::from(x_raw) % (1 << n);
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n + 1);
+        adders::add(&mut b, AdderKind::Gidney, xr.qubits(), yr.qubits()).unwrap();
+        adders::sub(&mut b, AdderKind::Gidney, xr.qubits(), yr.qubits()).unwrap();
+        let circuit = b.finish();
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        sim.set_value(xr.qubits(), x);
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.run(&circuit, &mut rng).unwrap();
+        for q in ((2 * n + 1) as u32..circuit.num_qubits() as u32).map(QubitId) {
+            prop_assert_eq!(sim.bit(q).unwrap(), false);
+        }
+    }
+
+    #[test]
+    fn prop_controlled_const_adder(
+        n in 1usize..=14,
+        a_raw in 0u64..u64::MAX,
+        y_raw in 0u64..u64::MAX,
+        ctrl in proptest::bool::ANY,
+        kind_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let kind = RIPPLE_KINDS[kind_idx];
+        let a = u128::from(a_raw) % (1 << n);
+        let y = u128::from(y_raw) % (1 << n);
+        let ca = adders::controlled_const_adder(kind, n, a).unwrap();
+        let got = run_tracker(
+            &ca.circuit,
+            &[(&[ca.control], u128::from(ctrl)), (ca.y.qubits(), y)],
+            ca.y.qubits(),
+            seed,
+        );
+        prop_assert_eq!(got, y + a * u128::from(ctrl));
+    }
+}

@@ -1,0 +1,254 @@
+//! Integration tests for measurement-based uncomputation (§4): Monte-Carlo
+//! validation of the "in expectation" accounting, phase exactness on
+//! superpositions, and the two-sided comparator.
+
+use mbu_arith::{
+    modular::{self, ModAddSpec},
+    two_sided, AdderKind, Uncompute,
+};
+use mbu_circuit::Circuit;
+use mbu_sim::{BasisTracker, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Empirical mean of executed Toffoli counts over seeded runs.
+fn monte_carlo_toffoli(
+    circuit: &Circuit,
+    prepare: impl Fn(&mut BasisTracker),
+    trials: u64,
+) -> f64 {
+    let mut total = 0u64;
+    for seed in 0..trials {
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        prepare(&mut sim);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = sim.run(circuit, &mut rng).unwrap();
+        total += ex.counts.toffoli;
+    }
+    total as f64 / trials as f64
+}
+
+#[test]
+fn monte_carlo_matches_analytic_expectation_modadd() {
+    // The paper's "in expectation" columns are analytic; our executor
+    // measures what actually ran. The two must agree to Monte-Carlo error.
+    let n = 8usize;
+    let p = 251u128;
+    let trials = 600;
+    for spec in [
+        ModAddSpec::cdkpm(Uncompute::Mbu),
+        ModAddSpec::gidney(Uncompute::Mbu),
+        ModAddSpec::gidney_cdkpm(Uncompute::Mbu),
+        ModAddSpec::vbe4(Uncompute::Mbu),
+        ModAddSpec::vbe5(Uncompute::Mbu),
+    ] {
+        let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+        let analytic = layout.circuit.expected_counts().toffoli;
+        let measured = monte_carlo_toffoli(
+            &layout.circuit,
+            |sim| {
+                sim.set_value(layout.x.qubits(), 200);
+                sim.set_value(layout.y.qubits(), 123);
+            },
+            trials,
+        );
+        let sigma_bound = analytic * 0.08 + 2.0;
+        assert!(
+            (measured - analytic).abs() < sigma_bound,
+            "{spec:?}: measured {measured} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn mbu_outcome_statistics_are_uniform() {
+    // Lemma 4.1: the X-basis measurement of the flag is a fair coin
+    // regardless of the input.
+    let n = 6usize;
+    let p = 61u128;
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+    for (x, y) in [(0u128, 0u128), (60, 60), (30, 31)] {
+        let mut ones = 0u64;
+        let trials = 300u64;
+        for seed in 0..trials {
+            let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+            sim.set_value(layout.x.qubits(), x);
+            sim.set_value(layout.y.qubits(), y);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ex = sim.run(&layout.circuit, &mut rng).unwrap();
+            // The MBU measurement is the last classical bit written.
+            let outcome = ex.classical.last().copied().flatten().unwrap();
+            ones += u64::from(outcome);
+        }
+        assert!(
+            (90..=210).contains(&ones),
+            "outcome-1 frequency {ones}/{trials} for ({x},{y})"
+        );
+    }
+}
+
+#[test]
+fn mbu_modadd_is_phase_exact_on_superpositions() {
+    // The strongest MBU correctness statement: on a superposition over x,
+    // the MBU modular adder must produce *exactly* Σ|x⟩|x+y mod p⟩ with
+    // positive uniform amplitudes, for every measurement outcome path.
+    let n = 3usize;
+    let p = 5u64;
+    for spec in [
+        ModAddSpec::cdkpm(Uncompute::Mbu),
+        ModAddSpec::gidney(Uncompute::Mbu),
+        ModAddSpec::vbe5(Uncompute::Mbu),
+    ] {
+        let layout = modular::modadd_circuit(&spec, n, u128::from(p)).unwrap();
+        // Superpose x over {0..3} (2 qubits of H keeps x < p = 5).
+        let mut full = Circuit::new(layout.circuit.num_qubits(), layout.circuit.num_clbits());
+        full.push(mbu_circuit::Op::Gate(mbu_circuit::Gate::H(layout.x[0])));
+        full.push(mbu_circuit::Op::Gate(mbu_circuit::Gate::H(layout.x[1])));
+        for op in layout.circuit.ops() {
+            full.push(op.clone());
+        }
+        let y0 = 3u64;
+        for seed in 0..12 {
+            let mut sv = StateVector::zeros(full.num_qubits()).unwrap();
+            sv.prepare_basis(StateVector::index_with(&[(layout.y.qubits(), y0)]))
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            sv.run(&full, &mut rng).unwrap();
+            for x0 in 0..4u64 {
+                let idx = StateVector::index_with(&[
+                    (layout.x.qubits(), x0),
+                    (layout.y.qubits(), (x0 + y0) % p),
+                ]);
+                let a = sv.amplitude(idx);
+                assert!(
+                    (a.re - 0.5).abs() < 1e-9 && a.im.abs() < 1e-9,
+                    "{spec:?} seed {seed} x={x0}: amplitude {a}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_savings_match_theorems_4_3_to_4_5() {
+    // Thm 4.3: CDKPM 8n → 7n; Thm 4.4: Gidney 4n → 3.5n;
+    // Thm 4.5: hybrid 6n → 5.5n. Compare the *difference* of our measured
+    // expected counts against the theorems' savings of n (resp. n/2).
+    let n = 32usize;
+    let p = (1u128 << 32) - 5;
+    let cases = [
+        (ModAddSpec::cdkpm(Uncompute::Unitary), n as f64),
+        (ModAddSpec::gidney(Uncompute::Unitary), n as f64 / 2.0),
+        (ModAddSpec::gidney_cdkpm(Uncompute::Unitary), n as f64 / 2.0),
+    ];
+    for (plain_spec, expected_saving) in cases {
+        let mbu_spec = ModAddSpec {
+            uncompute: Uncompute::Mbu,
+            ..plain_spec
+        };
+        let plain = modular::modadd_circuit(&plain_spec, n, p).unwrap();
+        let with_mbu = modular::modadd_circuit(&mbu_spec, n, p).unwrap();
+        let saving = plain.circuit.expected_counts().toffoli
+            - with_mbu.circuit.expected_counts().toffoli;
+        assert!(
+            (saving - expected_saving).abs() <= 2.0,
+            "{plain_spec:?}: saving {saving} vs theorem {expected_saving}"
+        );
+    }
+}
+
+#[test]
+fn two_sided_comparator_statistics_and_savings() {
+    let n = 10usize;
+    let plain = two_sided::in_range_circuit(AdderKind::Cdkpm, Uncompute::Unitary, n).unwrap();
+    let with_mbu = two_sided::in_range_circuit(AdderKind::Cdkpm, Uncompute::Mbu, n).unwrap();
+
+    // Functional equality across many random inputs and seeds.
+    let mut lcg = 99u128;
+    for trial in 0..40u64 {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let x = lcg % (1 << n);
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let y = lcg % (1 << n);
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let z = lcg % (1 << n);
+        for layout in [&plain, &with_mbu] {
+            let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+            sim.set_value(layout.x.qubits(), x);
+            sim.set_value(layout.y.qubits(), y);
+            sim.set_value(layout.z.qubits(), z);
+            let mut rng = StdRng::seed_from_u64(trial);
+            sim.run(&layout.circuit, &mut rng).unwrap();
+            assert_eq!(sim.bit(layout.t).unwrap(), y < x && x < z);
+            assert!(sim.global_phase().is_zero());
+        }
+    }
+
+    // Thm 4.13: r = 2·r_COMP + r'_C-COMP → 1.5·r_COMP + r'_C-COMP.
+    let r_comp = 2.0 * n as f64;
+    let saving = plain.circuit.expected_counts().toffoli
+        - with_mbu.circuit.expected_counts().toffoli;
+    assert!((saving - r_comp / 2.0).abs() < 1.0, "saving {saving}");
+}
+
+#[test]
+fn monte_carlo_two_sided_quarter_saving() {
+    // The paper: "we save 25% for the Tof gate cost" on the comparator
+    // pair. Check the measured expectation over runs.
+    let n = 8usize;
+    let plain = two_sided::in_range_circuit(AdderKind::Gidney, Uncompute::Unitary, n).unwrap();
+    let with_mbu = two_sided::in_range_circuit(AdderKind::Gidney, Uncompute::Mbu, n).unwrap();
+    let trials = 400;
+    let prep = |layout: &two_sided::InRange| {
+        let (x, y, z) = (100u128, 50u128, 200u128);
+        let xq = layout.x.qubits().to_vec();
+        let yq = layout.y.qubits().to_vec();
+        let zq = layout.z.qubits().to_vec();
+        move |sim: &mut BasisTracker| {
+            sim.set_value(&xq, x);
+            sim.set_value(&yq, y);
+            sim.set_value(&zq, z);
+        }
+    };
+    let t_plain = monte_carlo_toffoli(&plain.circuit, prep(&plain), trials);
+    let t_mbu = monte_carlo_toffoli(&with_mbu.circuit, prep(&with_mbu), trials);
+    assert!(
+        t_mbu < t_plain,
+        "MBU must reduce measured Toffolis: {t_mbu} vs {t_plain}"
+    );
+    // Expected reduction: n/2 out of 3n+1 ≈ 13–17%.
+    let ratio = 1.0 - t_mbu / t_plain;
+    assert!(ratio > 0.08 && ratio < 0.30, "ratio {ratio}");
+}
+
+#[test]
+fn executed_counts_bifurcate_by_outcome() {
+    // On outcome 0 the correction must not run; on outcome 1 it must.
+    let n = 6usize;
+    let p = 61u128;
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+    let mut cheap = None;
+    let mut costly = None;
+    for seed in 0..64 {
+        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+        sim.set_value(layout.x.qubits(), 30);
+        sim.set_value(layout.y.qubits(), 40);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = sim.run(&layout.circuit, &mut rng).unwrap();
+        let outcome = ex.classical.last().copied().flatten().unwrap();
+        if outcome {
+            costly.get_or_insert(ex.counts.toffoli);
+        } else {
+            cheap.get_or_insert(ex.counts.toffoli);
+        }
+        if let (Some(c), Some(k)) = (cheap, costly) {
+            assert!(k > c, "correction path must cost more: {k} vs {c}");
+            // The gap is exactly the oracle comparator (2n Toffolis).
+            assert_eq!(k - c, 2 * n as u64);
+            return;
+        }
+    }
+    panic!("both outcomes should occur within 64 seeds");
+}

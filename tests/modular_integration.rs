@@ -1,0 +1,343 @@
+//! Integration tests for the §3 modular adders: all architectures at
+//! realistic widths, chained operation, and property-based checks.
+
+use mbu_arith::{
+    modular::{self, beauregard, ModAddSpec},
+    AdderKind, Uncompute,
+};
+use mbu_circuit::{Circuit, QubitId};
+use mbu_sim::{BasisTracker, StateVector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_tracker(
+    circuit: &Circuit,
+    inputs: &[(&[QubitId], u128)],
+    out: &[QubitId],
+    seed: u64,
+) -> u128 {
+    circuit.validate().expect("circuit must validate");
+    let mut sim = BasisTracker::zeros(circuit.num_qubits());
+    for (reg, v) in inputs {
+        sim.set_value(reg, *v);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    sim.run(circuit, &mut rng).expect("supported circuit");
+    assert!(sim.global_phase().is_zero(), "phase must cancel");
+    sim.value(out).expect("classical output")
+}
+
+fn all_specs(unc: Uncompute) -> Vec<(&'static str, ModAddSpec)> {
+    vec![
+        ("vbe5", ModAddSpec::vbe5(unc)),
+        ("vbe4", ModAddSpec::vbe4(unc)),
+        ("cdkpm", ModAddSpec::cdkpm(unc)),
+        ("gidney", ModAddSpec::gidney(unc)),
+        ("gidney+cdkpm", ModAddSpec::gidney_cdkpm(unc)),
+    ]
+}
+
+#[test]
+fn modadd_at_crypto_relevant_width() {
+    // 61-bit Mersenne prime; values near the modulus stress the reduction.
+    let n = 61usize;
+    let p = (1u128 << 61) - 1;
+    let cases = [
+        (p - 1, p - 1),
+        (p / 2, p / 2 + 1),
+        (0, p - 1),
+        (1, 1),
+        (123_456_789_012_345, 987_654_321_098_765),
+    ];
+    for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+        for (name, spec) in all_specs(unc) {
+            for &(x, y) in &cases {
+                let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+                let got = run_tracker(
+                    &layout.circuit,
+                    &[(layout.x.qubits(), x), (layout.y.qubits(), y)],
+                    layout.y.qubits(),
+                    x as u64 ^ y as u64,
+                );
+                assert_eq!(got, (x + y) % p, "{name} {unc}: ({x}+{y}) mod {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn chained_modadds_accumulate() {
+    // Apply the modular adder repeatedly — ancilla reuse and flag
+    // uncomputation must hold across iterations.
+    let n = 16usize;
+    let p = 65_521u128; // largest 16-bit prime
+    let spec = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+    let x = 40_000u128;
+    let rounds = 5;
+
+    let mut b = mbu_circuit::CircuitBuilder::new();
+    let xr = b.qreg("x", n);
+    let yr = b.qreg("y", n + 1);
+    let p_bits = mbu_bitstring::BitString::from_u128(p, n);
+    for _ in 0..rounds {
+        modular::modadd(&mut b, &spec, xr.qubits(), yr.qubits(), &p_bits).unwrap();
+    }
+    let circuit = b.finish();
+    for seed in 0..4 {
+        let got = run_tracker(
+            &circuit,
+            &[(xr.qubits(), x), (yr.qubits(), 0)],
+            yr.qubits(),
+            seed,
+        );
+        assert_eq!(got, x * rounds as u128 % p);
+    }
+}
+
+#[test]
+fn modadd_const_all_architectures_wide() {
+    let n = 32usize;
+    let p = 4_294_967_291u128; // 2^32 − 5
+    let a = 3_000_000_019u128;
+    let x = 4_000_000_000u128;
+    for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+        for (name, spec) in all_specs(unc) {
+            let layout = modular::modadd_const_circuit(&spec, n, a, p).unwrap();
+            let got = run_tracker(
+                &layout.circuit,
+                &[(layout.x.qubits(), x)],
+                layout.x.qubits(),
+                11,
+            );
+            assert_eq!(got, (x + a) % p, "{name} {unc}");
+        }
+        // Takahashi with each ripple family.
+        for kind in [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney] {
+            let layout =
+                modular::modadd_const_takahashi_circuit(kind, unc, n, a, p).unwrap();
+            let got = run_tracker(
+                &layout.circuit,
+                &[(layout.x.qubits(), x)],
+                layout.x.qubits(),
+                13,
+            );
+            assert_eq!(got, (x + a) % p, "takahashi {kind} {unc}");
+        }
+    }
+}
+
+#[test]
+fn takahashi_beats_vbe_architecture_on_toffolis() {
+    // Prop 3.15 merges the first two VBE-architecture subroutines; the
+    // Toffoli count must strictly improve for the same adder family.
+    let n = 24usize;
+    let p = 16_777_213u128;
+    let a = 9_999_991u128;
+    for kind in [AdderKind::Cdkpm, AdderKind::Gidney] {
+        let spec = ModAddSpec::uniform(kind, Uncompute::Unitary);
+        let vbe_arch = modular::modadd_const_circuit(&spec, n, a, p)
+            .unwrap()
+            .circuit
+            .counts()
+            .toffoli;
+        let takahashi =
+            modular::modadd_const_takahashi_circuit(kind, Uncompute::Unitary, n, a, p)
+                .unwrap()
+                .circuit
+                .counts()
+                .toffoli;
+        assert!(
+            takahashi < vbe_arch,
+            "{kind}: Takahashi {takahashi} !< VBE-arch {vbe_arch}"
+        );
+    }
+}
+
+#[test]
+fn beauregard_modadd_preserves_superpositions() {
+    // Run the QFT modular adder on a superposed addend register and check
+    // every component of the output state exactly.
+    let n = 2usize;
+    let p = 3u64;
+    for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+        let layout = beauregard::modadd_circuit(unc, n, u128::from(p)).unwrap();
+        let mut full = Circuit::new(layout.circuit.num_qubits(), layout.circuit.num_clbits());
+        // x ∈ {0,1,2} uniform is awkward; superpose x over {0,1} with one H.
+        full.push(mbu_circuit::Op::Gate(mbu_circuit::Gate::H(layout.x[0])));
+        for op in layout.circuit.ops() {
+            full.push(op.clone());
+        }
+        let y0 = 2u64;
+        for seed in 0..10 {
+            let mut sv = StateVector::zeros(full.num_qubits()).unwrap();
+            sv.prepare_basis(StateVector::index_with(&[(layout.y.qubits(), y0)]))
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            sv.run(&full, &mut rng).unwrap();
+            let r = std::f64::consts::FRAC_1_SQRT_2;
+            for x0 in 0..2u64 {
+                let idx = StateVector::index_with(&[
+                    (layout.x.qubits(), x0),
+                    (layout.y.qubits(), (x0 + y0) % p),
+                ]);
+                let a = sv.amplitude(idx);
+                assert!(
+                    (a.re - r).abs() < 1e-6 && a.im.abs() < 1e-6,
+                    "{unc} seed {seed} x={x0}: {a}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table1_qubit_counts_scale_as_printed() {
+    // Table 1 "Logical Qubits": CDKPM rows 3n+2, Gidney/VBE rows 4n+2.
+    // Our circuits include the same registers; allow a ±2 implementation
+    // delta but require the leading coefficient to match.
+    for n in [16usize, 32, 64] {
+        let q = |spec: &ModAddSpec| {
+            modular::modadd_circuit(spec, n, (1u128 << n) - 5)
+                .unwrap()
+                .circuit
+                .num_qubits() as i64
+        };
+        let cdkpm = q(&ModAddSpec::cdkpm(Uncompute::Unitary));
+        let gidney = q(&ModAddSpec::gidney(Uncompute::Unitary));
+        let vbe = q(&ModAddSpec::vbe4(Uncompute::Unitary));
+        assert!(
+            (cdkpm - (3 * n as i64 + 2)).abs() <= 2,
+            "CDKPM qubits {cdkpm} vs 3n+2 at n={n}"
+        );
+        assert!(
+            (gidney - (4 * n as i64 + 2)).abs() <= 2,
+            "Gidney qubits {gidney} vs 4n+2 at n={n}"
+        );
+        assert!(
+            (vbe - (4 * n as i64 + 2)).abs() <= 2,
+            "VBE qubits {vbe} vs 4n+2 at n={n}"
+        );
+    }
+}
+
+#[test]
+fn mbu_never_changes_results_only_costs() {
+    // For identical inputs and seeds, Unitary and MBU variants must give
+    // identical arithmetic results.
+    let n = 12usize;
+    let p = 4093u128;
+    for (x, y) in [(4092u128, 4092u128), (17, 2000), (0, 0)] {
+        for (name, spec_u) in all_specs(Uncompute::Unitary) {
+            let spec_m = ModAddSpec {
+                uncompute: Uncompute::Mbu,
+                ..spec_u
+            };
+            let lu = modular::modadd_circuit(&spec_u, n, p).unwrap();
+            let lm = modular::modadd_circuit(&spec_m, n, p).unwrap();
+            for seed in 0..4 {
+                let a = run_tracker(
+                    &lu.circuit,
+                    &[(lu.x.qubits(), x), (lu.y.qubits(), y)],
+                    lu.y.qubits(),
+                    seed,
+                );
+                let b = run_tracker(
+                    &lm.circuit,
+                    &[(lm.x.qubits(), x), (lm.y.qubits(), y)],
+                    lm.y.qubits(),
+                    seed,
+                );
+                assert_eq!(a, b, "{name} seed {seed}");
+                assert_eq!(a, (x + y) % p);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn prop_modadd_matches_reference(
+        n in 2usize..=20,
+        p_raw in 2u64..u64::MAX,
+        x_raw in 0u64..u64::MAX,
+        y_raw in 0u64..u64::MAX,
+        spec_idx in 0usize..5,
+        mbu in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let unc = if mbu { Uncompute::Mbu } else { Uncompute::Unitary };
+        let spec = all_specs(unc)[spec_idx].1;
+        let p = u128::from(p_raw) % ((1 << n) - 2) + 2;
+        let x = u128::from(x_raw) % p;
+        let y = u128::from(y_raw) % p;
+        let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+        let got = run_tracker(
+            &layout.circuit,
+            &[(layout.x.qubits(), x), (layout.y.qubits(), y)],
+            layout.y.qubits(),
+            seed,
+        );
+        prop_assert_eq!(got, (x + y) % p);
+    }
+
+    #[test]
+    fn prop_modadd_const_matches_reference(
+        n in 2usize..=16,
+        p_raw in 2u64..u64::MAX,
+        a_raw in 0u64..u64::MAX,
+        x_raw in 0u64..u64::MAX,
+        takahashi in proptest::bool::ANY,
+        mbu in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let unc = if mbu { Uncompute::Mbu } else { Uncompute::Unitary };
+        let p = u128::from(p_raw) % ((1 << n) - 2) + 2;
+        let a = u128::from(a_raw) % p;
+        let x = u128::from(x_raw) % p;
+        let layout = if takahashi {
+            modular::modadd_const_takahashi_circuit(AdderKind::Cdkpm, unc, n, a, p).unwrap()
+        } else {
+            modular::modadd_const_circuit(&ModAddSpec::cdkpm(unc), n, a, p).unwrap()
+        };
+        let got = run_tracker(
+            &layout.circuit,
+            &[(layout.x.qubits(), x)],
+            layout.x.qubits(),
+            seed,
+        );
+        prop_assert_eq!(got, (x + a) % p);
+    }
+
+    #[test]
+    fn prop_controlled_modadd(
+        n in 2usize..=14,
+        p_raw in 2u64..u64::MAX,
+        x_raw in 0u64..u64::MAX,
+        y_raw in 0u64..u64::MAX,
+        ctrl in proptest::bool::ANY,
+        spec_idx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let spec = all_specs(Uncompute::Mbu)[spec_idx].1;
+        let p = u128::from(p_raw) % ((1 << n) - 2) + 2;
+        let x = u128::from(x_raw) % p;
+        let y = u128::from(y_raw) % p;
+        let layout = modular::controlled_modadd_circuit(&spec, n, p).unwrap();
+        let control = layout.control.unwrap();
+        let got = run_tracker(
+            &layout.circuit,
+            &[
+                (&[control], u128::from(ctrl)),
+                (layout.x.qubits(), x),
+                (layout.y.qubits(), y),
+            ],
+            layout.y.qubits(),
+            seed,
+        );
+        let expected = if ctrl { (x + y) % p } else { y };
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,194 @@
+//! Integration tests for the modular multiplication / exponentiation
+//! extension, the paper's motivating cryptanalysis workload.
+
+use mbu_arith::{
+    modular::ModAddSpec,
+    mulexp::{self, mod_pow},
+    Uncompute,
+};
+use mbu_circuit::{Circuit, CircuitBuilder, QubitId};
+use mbu_sim::BasisTracker;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_tracker(
+    circuit: &Circuit,
+    inputs: &[(&[QubitId], u128)],
+    out: &[QubitId],
+    seed: u64,
+) -> u128 {
+    circuit.validate().unwrap();
+    let mut sim = BasisTracker::zeros(circuit.num_qubits());
+    for (reg, v) in inputs {
+        sim.set_value(reg, *v);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    sim.run(circuit, &mut rng).unwrap();
+    assert!(sim.global_phase().is_zero());
+    sim.value(out).unwrap()
+}
+
+#[test]
+fn inplace_multiplication_8bit_prime() {
+    let n = 8usize;
+    let p = 251u128;
+    let spec = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+    for (a, x) in [(2u128, 250u128), (246, 17), (113, 113), (1, 77)] {
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n + 1);
+        mulexp::modmul_const_inplace(&mut b, &spec, xr.qubits(), a, p).unwrap();
+        let circuit = b.finish();
+        let got = run_tracker(&circuit, &[(xr.qubits(), x)], xr.qubits(), (a * x) as u64);
+        assert_eq!(got, a * x % p, "{a}·{x} mod {p}");
+    }
+}
+
+#[test]
+fn repeated_multiplication_walks_the_group() {
+    // x ← g·x applied k times must equal g^k·x mod p.
+    let n = 6usize;
+    let p = 61u128;
+    let g = 2u128;
+    let k = 5;
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let mut b = CircuitBuilder::new();
+    let xr = b.qreg("x", n + 1);
+    for _ in 0..k {
+        mulexp::modmul_const_inplace(&mut b, &spec, xr.qubits(), g, p).unwrap();
+    }
+    let circuit = b.finish();
+    let x0 = 7u128;
+    let got = run_tracker(&circuit, &[(xr.qubits(), x0)], xr.qubits(), 4);
+    assert_eq!(got, mod_pow(g, k, p) * x0 % p);
+}
+
+#[test]
+fn modexp_finds_the_period_structure() {
+    // Shor's precondition: the modexp circuit evaluates e ↦ g^e mod p
+    // faithfully so the period r (here ord_15(7) = 4) is present.
+    let n = 4usize;
+    let p = 15u128;
+    let g = 7u128;
+    let k = 3usize;
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let mut seen = Vec::new();
+    for e in 0..(1u128 << k) {
+        let layout = mulexp::modexp_circuit(&spec, k, n, g, p).unwrap();
+        let got = run_tracker(
+            &layout.circuit,
+            &[(layout.exponent.qubits(), e), (layout.work.qubits(), 1)],
+            layout.work.qubits(),
+            e as u64,
+        );
+        assert_eq!(got, mod_pow(g, e, p), "7^{e} mod 15");
+        seen.push(got);
+    }
+    // Period 4: e and e+4 collide.
+    assert_eq!(seen[0], seen[4]);
+    assert_eq!(seen[1], seen[5]);
+    assert_eq!(seen[2], seen[6]);
+    assert_ne!(seen[0], seen[1]);
+}
+
+#[test]
+fn modexp_mbu_savings_at_shor_scale_shape() {
+    // The paper's motivation: MBU savings compound over the ~2n² modular
+    // additions of a modular exponentiation. Verify the per-circuit saving
+    // carries through at a small but structured scale.
+    let n = 8usize;
+    let p = 251u128;
+    let k = 4usize;
+    let plain = mulexp::modexp_circuit(&ModAddSpec::cdkpm(Uncompute::Unitary), k, n, 7, p)
+        .unwrap()
+        .circuit
+        .expected_counts();
+    let with_mbu = mulexp::modexp_circuit(&ModAddSpec::cdkpm(Uncompute::Mbu), k, n, 7, p)
+        .unwrap()
+        .circuit
+        .expected_counts();
+    let saving = 1.0 - with_mbu.toffoli / plain.toffoli;
+    assert!(
+        saving > 0.05 && saving < 0.20,
+        "modexp-level Toffoli saving {saving}"
+    );
+    // Absolute scale sanity: thousands of Toffolis, not tens.
+    assert!(plain.toffoli > 1000.0);
+}
+
+#[test]
+fn accumulate_version_keeps_x_intact() {
+    let n = 5usize;
+    let p = 31u128;
+    let a = 11u128;
+    let spec = ModAddSpec::gidney(Uncompute::Mbu);
+    let mut b = CircuitBuilder::new();
+    let xr = b.qreg("x", n);
+    let acc = b.qreg("acc", n + 1);
+    mulexp::modmul_const_accum(&mut b, &spec, xr.qubits(), acc.qubits(), a, p).unwrap();
+    let circuit = b.finish();
+    for seed in 0..4 {
+        let mut sim = BasisTracker::zeros(circuit.num_qubits());
+        sim.set_value(xr.qubits(), 19);
+        sim.set_value(acc.qubits(), 5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.run(&circuit, &mut rng).unwrap();
+        assert_eq!(sim.value(xr.qubits()).unwrap(), 19);
+        assert_eq!(sim.value(acc.qubits()).unwrap(), (5 + a * 19) % p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_inplace_multiplication(
+        n in 3usize..=10,
+        a_raw in 1u64..u64::MAX,
+        x_raw in 0u64..u64::MAX,
+        seed in 0u64..1000,
+    ) {
+        // Pick an odd modulus so odd multipliers are invertible.
+        let p = ((1u128 << n) - 1) | 1;
+        let a = (u128::from(a_raw) % (p - 1) + 1) | 1; // odd, nonzero
+        if mulexp::mod_inverse(a % p, p).is_err() {
+            return Ok(()); // gcd ≠ 1: construction rightfully refuses
+        }
+        let x = u128::from(x_raw) % p;
+        let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n + 1);
+        mulexp::modmul_const_inplace(&mut b, &spec, xr.qubits(), a % p, p).unwrap();
+        let circuit = b.finish();
+        let got = run_tracker(&circuit, &[(xr.qubits(), x)], xr.qubits(), seed);
+        prop_assert_eq!(got, (a % p) * x % p);
+    }
+
+    #[test]
+    fn prop_accumulate(
+        n in 2usize..=8,
+        a_raw in 0u64..u64::MAX,
+        x_raw in 0u64..u64::MAX,
+        acc_raw in 0u64..u64::MAX,
+        seed in 0u64..1000,
+    ) {
+        let p = (1u128 << n) - 1;
+        prop_assume!(p >= 2);
+        let a = u128::from(a_raw) % p;
+        let x = u128::from(x_raw) % (1 << n);
+        let acc0 = u128::from(acc_raw) % p;
+        let spec = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let ar = b.qreg("acc", n + 1);
+        mulexp::modmul_const_accum(&mut b, &spec, xr.qubits(), ar.qubits(), a, p).unwrap();
+        let circuit = b.finish();
+        let got = run_tracker(
+            &circuit,
+            &[(xr.qubits(), x), (ar.qubits(), acc0)],
+            ar.qubits(),
+            seed,
+        );
+        prop_assert_eq!(got, (acc0 + a * x) % p);
+    }
+}

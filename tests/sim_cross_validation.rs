@@ -1,0 +1,294 @@
+//! Cross-validation of the two simulation backends, plus failure-injection
+//! tests that prove the verification machinery actually catches bugs.
+//!
+//! The `BasisTracker` is the workhorse for wide circuits; its correctness
+//! is established here by agreement with the exact `StateVector` on
+//! thousands of randomly generated Toffoli-family circuits, including MBU
+//! fragments. The failure-injection tests then deliberately break an MBU
+//! correction and assert that the phase/amplitude checks used throughout
+//! the test suite flag the damage — silence would mean our green tests
+//! prove nothing.
+
+use mbu_arith::AdderKind;
+use mbu_circuit::{Basis, Circuit, CircuitBuilder, QubitId};
+use mbu_sim::{BasisTracker, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random circuit in the tracker's supported fragment:
+/// permutation gates, diagonal gates, and complete Gidney-style
+/// AND-compute/AND-uncompute pairs.
+fn random_fragment_circuit(num_qubits: usize, num_gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new();
+    let q = b.qreg("q", num_qubits);
+    let pick = |rng: &mut StdRng, exclude: &[usize]| -> QubitId {
+        loop {
+            let i = rng.gen_range(0..num_qubits);
+            if !exclude.contains(&i) {
+                return q[i];
+            }
+        }
+    };
+    for _ in 0..num_gates {
+        match rng.gen_range(0..7) {
+            0 => {
+                let a = rng.gen_range(0..num_qubits);
+                b.x(q[a]);
+            }
+            1 => {
+                let a = rng.gen_range(0..num_qubits);
+                b.z(q[a]);
+            }
+            2 => {
+                let a = rng.gen_range(0..num_qubits);
+                let t = pick(&mut rng, &[a]);
+                b.cx(q[a], t);
+            }
+            3 => {
+                let a = rng.gen_range(0..num_qubits);
+                let t = pick(&mut rng, &[a]);
+                b.cz(q[a], t);
+            }
+            4 => {
+                let a = rng.gen_range(0..num_qubits);
+                let c2 = pick(&mut rng, &[a]);
+                let t = pick(&mut rng, &[a, c2.index()]);
+                b.ccx(q[a], c2, t);
+            }
+            5 => {
+                let a = rng.gen_range(0..num_qubits);
+                let c2 = pick(&mut rng, &[a]);
+                let t = pick(&mut rng, &[a, c2.index()]);
+                b.ccz(q[a], c2, t);
+            }
+            _ => {
+                // A complete AND compute/uncompute pair on a fresh ancilla.
+                let x = rng.gen_range(0..num_qubits);
+                let y = pick(&mut rng, &[x]);
+                let anc = b.ancilla();
+                b.ccx(q[x], y, anc);
+                b.h(anc);
+                let m = b.measure(anc, Basis::Z);
+                let (_, fix) = b.record(|bb| bb.cz(q[x], y));
+                b.emit_conditional(m, &fix);
+                b.reset(anc);
+                b.release_ancilla(anc);
+            }
+        }
+    }
+    b.finish()
+}
+
+#[test]
+fn tracker_and_statevector_agree_on_random_circuits() {
+    let num_qubits = 6usize;
+    for seed in 0..120u64 {
+        let circuit = random_fragment_circuit(num_qubits, 40, seed);
+        circuit.validate().unwrap();
+        let width = circuit.num_qubits();
+        let input = (seed * 37) % (1 << num_qubits);
+
+        let mut tracker = BasisTracker::zeros(width);
+        tracker.set_value(
+            &(0..num_qubits as u32).map(QubitId).collect::<Vec<_>>(),
+            u128::from(input),
+        );
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xABCD);
+        tracker.run(&circuit, &mut rng_a).unwrap();
+
+        let mut sv = StateVector::zeros(width).unwrap();
+        sv.prepare_basis(input).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xABCD);
+        sv.run(&circuit, &mut rng_b).unwrap();
+
+        // Same RNG stream → identical outcomes → identical final states.
+        let (idx, amp) = sv.as_basis(1e-9).expect("fragment keeps basis states");
+        let tracker_bits: Vec<QubitId> = (0..width as u32).map(QubitId).collect();
+        let tracker_value = tracker.value(&tracker_bits[..width.min(127)]).unwrap();
+        assert_eq!(
+            u128::from(idx),
+            tracker_value,
+            "seed {seed}: value mismatch"
+        );
+        let phase = tracker.global_phase().radians();
+        let expected_amp = mbu_sim::Complex::cis(phase);
+        assert!(
+            (amp - expected_amp).norm() < 1e-9,
+            "seed {seed}: phase mismatch (tracker {phase}, sv {amp})"
+        );
+    }
+}
+
+#[test]
+fn injected_missing_x_in_mbu_correction_is_caught() {
+    // The MBU correction is H·Ug·H·X. Drop the final X: on outcome 1 the
+    // garbage qubit ends in |1⟩ instead of |0⟩ — the tracker must see it.
+    let mut b = CircuitBuilder::new();
+    let q = b.qreg("q", 2);
+    let (_, ug) = b.record(|bb| bb.cx(q[0], q[1]));
+    b.emit(&ug);
+    b.h(q[1]);
+    let m = b.measure(q[1], Basis::Z);
+    let (_, bad_fix) = b.record(|bb| {
+        bb.h(q[1]);
+        bb.emit(&ug);
+        bb.h(q[1]);
+        // missing: bb.x(q[1]);
+    });
+    b.emit_conditional(m, &bad_fix);
+    let circuit = b.finish();
+
+    let mut caught = false;
+    for seed in 0..32 {
+        let mut sim = BasisTracker::zeros(2);
+        sim.set_bit(q[0], true);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = sim.run(&circuit, &mut rng).unwrap();
+        if ex.outcome(0).unwrap() {
+            caught |= sim.bit(q[1]).unwrap(); // |1⟩ left behind
+        }
+    }
+    assert!(caught, "the verification must detect the missing X");
+}
+
+#[test]
+fn injected_missing_phase_fix_is_caught_by_global_phase() {
+    // Skip the Ug phase-kickback step entirely: on outcome 1 the state
+    // keeps a (−1)^{g(x)} phase. On a basis input with g = 1 this is a
+    // global phase π — invisible to value checks, visible to the tracker's
+    // exact phase.
+    let mut b = CircuitBuilder::new();
+    let q = b.qreg("q", 2);
+    let (_, ug) = b.record(|bb| bb.cx(q[0], q[1]));
+    b.emit(&ug);
+    b.h(q[1]);
+    let m = b.measure(q[1], Basis::Z);
+    let (_, bad_fix) = b.record(|bb| {
+        // Correct protocol: H, Ug, H, X. Broken: reset the bit but skip
+        // the phase kickback.
+        bb.x(q[1]);
+    });
+    b.emit_conditional(m, &bad_fix);
+    let circuit = b.finish();
+
+    let mut caught = false;
+    for seed in 0..32 {
+        let mut sim = BasisTracker::zeros(2);
+        sim.set_bit(q[0], true); // g(x) = 1
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = sim.run(&circuit, &mut rng).unwrap();
+        assert!(!sim.bit(q[1]).unwrap(), "value looks fine either way");
+        if ex.outcome(0).unwrap() {
+            caught |= !sim.global_phase().is_zero();
+        }
+    }
+    assert!(caught, "the phase check must detect the skipped kickback");
+}
+
+#[test]
+fn injected_wrong_oracle_is_caught_on_superpositions() {
+    // Use the wrong Ug (identity on the data) in the correction: basis
+    // inputs still look right, but a superposed input keeps broken relative
+    // phases that the state vector sees.
+    let mut b = CircuitBuilder::new();
+    let q = b.qreg("q", 2);
+    b.h(q[0]); // superpose the data qubit
+    let (_, ug) = b.record(|bb| bb.cx(q[0], q[1]));
+    b.emit(&ug);
+    b.h(q[1]);
+    let m = b.measure(q[1], Basis::Z);
+    let (_, bad_fix) = b.record(|bb| {
+        bb.h(q[1]);
+        // wrong oracle: acts on q[1] alone, no data dependence
+        bb.x(q[1]);
+        bb.h(q[1]);
+        bb.x(q[1]);
+    });
+    b.emit_conditional(m, &bad_fix);
+    let circuit = b.finish();
+
+    let mut caught = false;
+    for seed in 0..48 {
+        let mut sv = StateVector::zeros(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ex = sv.run(&circuit, &mut rng).unwrap();
+        if ex.outcome(0).unwrap() {
+            // Correct MBU would leave (|0⟩+|1⟩)/√2 ⊗ |0⟩: both amplitudes
+            // +1/√2. The broken correction leaves a relative sign.
+            let a0 = sv.amplitude(0b00);
+            let a1 = sv.amplitude(0b01);
+            caught |= (a0 - a1).norm() > 1e-6;
+        }
+    }
+    assert!(caught, "superposition checks must detect the wrong oracle");
+}
+
+#[test]
+fn injected_dropped_cz_in_gidney_uncompute_is_caught() {
+    // Build a Gidney adder, then strip every classically-controlled CZ
+    // from its op list. Values still come out right on basis inputs, but
+    // the phase breaks on half the measurement outcomes.
+    let adder = mbu_arith::adders::plain_adder(AdderKind::Gidney, 4).unwrap();
+    let stripped: Vec<mbu_circuit::Op> = adder
+        .circuit
+        .ops()
+        .iter()
+        .filter(|op| !matches!(op, mbu_circuit::Op::Conditional { .. }))
+        .cloned()
+        .collect();
+    let broken = Circuit::from_ops(
+        adder.circuit.num_qubits(),
+        adder.circuit.num_clbits(),
+        stripped,
+    );
+    let mut caught = false;
+    for seed in 0..32 {
+        let mut sim = BasisTracker::zeros(broken.num_qubits());
+        sim.set_value(adder.x.qubits(), 0b1011);
+        sim.set_value(adder.y.qubits(), 0b0110);
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.run(&broken, &mut rng).unwrap();
+        // Sum is still correct...
+        assert_eq!(sim.value(adder.y.qubits()).unwrap(), 0b1011 + 0b0110);
+        // ...but the phase is damaged whenever an AND uncompute drew 1.
+        caught |= !sim.global_phase().is_zero();
+    }
+    assert!(caught, "phase tracking must catch the dropped CZ fixups");
+}
+
+#[test]
+fn two_backends_agree_on_a_full_mbu_modular_adder() {
+    use mbu_arith::modular::{self, ModAddSpec};
+    use mbu_arith::Uncompute;
+    let n = 4usize;
+    let p = 13u128;
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+    for seed in 0..24u64 {
+        let (x, y) = ((seed as u128 * 5) % p, (seed as u128 * 7 + 3) % p);
+        let mut tracker = BasisTracker::zeros(layout.circuit.num_qubits());
+        tracker.set_value(layout.x.qubits(), x);
+        tracker.set_value(layout.y.qubits(), y);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        tracker.run(&layout.circuit, &mut rng_a).unwrap();
+
+        let mut sv = StateVector::zeros(layout.circuit.num_qubits()).unwrap();
+        sv.prepare_basis(StateVector::index_with(&[
+            (layout.x.qubits(), x as u64),
+            (layout.y.qubits(), y as u64),
+        ]))
+        .unwrap();
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        sv.run(&layout.circuit, &mut rng_b).unwrap();
+
+        let (idx, amp) = sv.as_basis(1e-9).unwrap();
+        assert_eq!(
+            u128::from(StateVector::register_value(idx, layout.y.qubits())),
+            (x + y) % p
+        );
+        assert_eq!(tracker.value(layout.y.qubits()).unwrap(), (x + y) % p);
+        assert!((amp.re - 1.0).abs() < 1e-9 && amp.im.abs() < 1e-9);
+        assert!(tracker.global_phase().is_zero());
+    }
+}
