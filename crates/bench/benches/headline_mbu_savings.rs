@@ -26,20 +26,16 @@ fn mbu_on_off(c: &mut Criterion) {
             let spec = spec_for_row(row, unc).unwrap();
             let layout = modular::modadd_circuit(&spec, n, p).unwrap();
             let mut seed = 0u64;
-            group.bench_with_input(
-                BenchmarkId::new(row.label(), tag),
-                &layout,
-                |b, layout| {
-                    b.iter(|| {
-                        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                        sim.set_value(layout.x.qubits(), p - 2);
-                        sim.set_value(layout.y.qubits(), p / 3);
-                        seed = seed.wrapping_add(1);
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        black_box(sim.run(&layout.circuit, &mut rng).unwrap())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(row.label(), tag), &layout, |b, layout| {
+                b.iter(|| {
+                    let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                    sim.set_value(layout.x.qubits(), p - 2);
+                    sim.set_value(layout.y.qubits(), p / 3);
+                    seed = seed.wrapping_add(1);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    black_box(sim.run(&layout.circuit, &mut rng).unwrap())
+                })
+            });
         }
     }
     group.finish();

@@ -69,6 +69,39 @@ fn tracker_width_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn shot_runner_ensembles(c: &mut Criterion) {
+    // The ensemble engine end to end: per-shot cost of seeded batched
+    // execution, serial vs all-core.
+    let mut group = c.benchmark_group("simulators/shot_runner");
+    let n = 16usize;
+    let p = benchmark_modulus(n);
+    let spec = ModAddSpec::gidney_cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+    let shots = 256u64;
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    for (label, workers) in [("serial", 1usize), ("all_cores", threads)] {
+        group.bench_with_input(
+            BenchmarkId::new("shots256", label),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let ensemble = mbu_sim::ShotRunner::new(shots)
+                        .with_threads(workers)
+                        .run(&layout.circuit, || {
+                            let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                            sim.set_value(layout.x.qubits(), p - 1);
+                            sim.set_value(layout.y.qubits(), p - 2);
+                            Box::new(sim)
+                        })
+                        .unwrap();
+                    black_box(ensemble.mean().toffoli)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn short_config() -> Criterion {
     Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))
@@ -79,6 +112,6 @@ fn short_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = short_config();
-    targets = tracker_vs_statevector, tracker_width_scaling
+    targets = tracker_vs_statevector, tracker_width_scaling, shot_runner_ensembles
 }
 criterion_main!(benches);

@@ -32,9 +32,7 @@ fn synthesis(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(row.label(), tag),
                 &(row, unc),
-                |b, &(row, unc)| {
-                    b.iter(|| black_box(build_row_circuit(row, unc, n, p).unwrap()))
-                },
+                |b, &(row, unc)| b.iter(|| black_box(build_row_circuit(row, unc, n, p).unwrap())),
             );
         }
     }
@@ -49,20 +47,16 @@ fn simulation(c: &mut Criterion) {
         for (unc, tag) in [(Uncompute::Unitary, "unitary"), (Uncompute::Mbu, "mbu")] {
             let layout = build_row_circuit(row, unc, n, p).unwrap();
             let mut seed = 0u64;
-            group.bench_with_input(
-                BenchmarkId::new(row.label(), tag),
-                &layout,
-                |b, layout| {
-                    b.iter(|| {
-                        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                        sim.set_value(layout.x.qubits(), (p - 1) % p);
-                        sim.set_value(layout.y.qubits(), (p / 2) % p);
-                        seed = seed.wrapping_add(1);
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        black_box(sim.run(&layout.circuit, &mut rng).unwrap())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(row.label(), tag), &layout, |b, layout| {
+                b.iter(|| {
+                    let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                    sim.set_value(layout.x.qubits(), (p - 1) % p);
+                    sim.set_value(layout.y.qubits(), (p / 2) % p);
+                    seed = seed.wrapping_add(1);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    black_box(sim.run(&layout.circuit, &mut rng).unwrap())
+                })
+            });
         }
     }
     group.finish();
@@ -73,11 +67,7 @@ fn width_scaling(c: &mut Criterion) {
     for n in [8usize, 16, 32, 64] {
         let p = benchmark_modulus(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                black_box(
-                    build_row_circuit(Table1Row::Cdkpm, Uncompute::Mbu, n, p).unwrap(),
-                )
-            })
+            b.iter(|| black_box(build_row_circuit(Table1Row::Cdkpm, Uncompute::Mbu, n, p).unwrap()))
         });
     }
     group.finish();

@@ -13,7 +13,9 @@
 use mbu_arith::modular::{self, beauregard};
 use mbu_arith::resources::{self, Table1Row};
 use mbu_arith::{adders, compare, two_sided, AdderKind, Uncompute};
-use mbu_bench::{benchmark_modulus, build_row_circuit, fmt_count, monte_carlo_counts};
+use mbu_bench::{
+    benchmark_modulus, build_row_circuit, fmt_count, monte_carlo_ensemble, MeanCounts,
+};
 use mbu_bitstring::hamming_weight;
 
 fn main() {
@@ -73,7 +75,11 @@ fn table1() {
         Table1Row::CdkpmGidney,
     ] {
         for mbu in [false, true] {
-            let unc = if mbu { Uncompute::Mbu } else { Uncompute::Unitary };
+            let unc = if mbu {
+                Uncompute::Mbu
+            } else {
+                Uncompute::Unitary
+            };
             let layout = build_row_circuit(row, unc, n, p).expect("ripple row");
             let e = layout.circuit.expected_counts();
             let paper = resources::table1(row, n as f64, w, mbu);
@@ -337,15 +343,41 @@ fn mbu_stats() {
     let spec = modular::ModAddSpec::cdkpm(Uncompute::Mbu);
     let layout = modular::modadd_circuit(&spec, n, p).expect("modadd");
     let analytic = layout.circuit.expected_counts();
-    let mean = monte_carlo_counts(
+    let ensemble = monte_carlo_ensemble(
         &layout.circuit,
         &[(layout.x.qubits(), p - 3), (layout.y.qubits(), p / 2)],
         1000,
     );
+    let mean = MeanCounts::from_stats(&ensemble.mean());
+    let var = ensemble.variance();
     println!("                 {:>10} {:>12}", "analytic", "monte-carlo");
-    println!("expected Tof     {:>10} {:>12.2}", fmt_count(analytic.toffoli), mean.toffoli);
-    println!("expected CNOT    {:>10} {:>12.2}", fmt_count(analytic.cx), mean.cx);
-    println!("expected X       {:>10} {:>12.2}", fmt_count(analytic.x), mean.x);
-    println!("expected H       {:>10} {:>12.2}", fmt_count(analytic.h), mean.h);
+    println!(
+        "expected Tof     {:>10} {:>12.2}",
+        fmt_count(analytic.toffoli),
+        mean.toffoli
+    );
+    println!(
+        "expected CNOT    {:>10} {:>12.2}",
+        fmt_count(analytic.cx),
+        mean.cx
+    );
+    println!(
+        "expected X       {:>10} {:>12.2}",
+        fmt_count(analytic.x),
+        mean.x
+    );
+    println!(
+        "expected H       {:>10} {:>12.2}",
+        fmt_count(analytic.h),
+        mean.h
+    );
+    println!("Tof variance     {:>10} {:>12.2}", "", var.toffoli);
+    if let Some(flag) = ensemble.last_clbit() {
+        let freq = ensemble.outcome_frequency(flag).unwrap_or(0.0);
+        println!(
+            "MBU flag freq    {:>10} {:>12.3}   (Lemma 4.1: fair coin)",
+            "0.5", freq
+        );
+    }
     println!();
 }

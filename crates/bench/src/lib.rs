@@ -7,17 +7,20 @@
 //!   (conditional blocks at full weight);
 //! * **analytic expectation** — [`ExpectedCounts`](mbu_circuit::ExpectedCounts) with conditional blocks
 //!   at weight ½, the paper's "in expectation" accounting;
-//! * **Monte-Carlo** — mean executed counts over seeded simulator runs,
-//!   which validates the analytic expectation empirically.
+//! * **Monte-Carlo** — mean executed counts over a seeded
+//!   [`ShotRunner`] ensemble, which validates the analytic expectation
+//!   empirically (and in parallel).
 
 use mbu_arith::modular::ModAddSpec;
 use mbu_arith::{modular, resources, Uncompute};
-use mbu_circuit::{Circuit, GateCounts, QubitId};
-use mbu_sim::BasisTracker;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mbu_circuit::{Circuit, QubitId};
+use mbu_sim::{BasisTracker, CountStats, Ensemble, ShotRunner};
 
-/// Mean executed gate counts over `trials` seeded runs of `circuit`.
+/// Mean executed gate counts over a `trials`-shot ensemble of `circuit`,
+/// with each register of `inputs` prepared before every shot.
+///
+/// Thin wrapper over [`monte_carlo_ensemble`] that projects the ensemble
+/// down to the paper-relevant means.
 ///
 /// # Panics
 ///
@@ -28,23 +31,34 @@ pub fn monte_carlo_counts(
     inputs: &[(&[QubitId], u128)],
     trials: u64,
 ) -> MeanCounts {
-    let mut sum = MeanCounts::default();
-    for seed in 0..trials {
-        let mut sim = BasisTracker::zeros(circuit.num_qubits());
-        for (reg, v) in inputs {
-            sim.set_value(reg, *v);
-        }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ex = sim
-            .run(circuit, &mut rng)
-            .expect("circuit must be tracker-supported");
-        sum.accumulate(&ex.counts);
-    }
-    sum.divide(trials as f64);
-    sum
+    MeanCounts::from_stats(&monte_carlo_ensemble(circuit, inputs, trials).mean())
 }
 
-/// Averaged executed counts from Monte-Carlo runs.
+/// The full executed-count ensemble over `trials` seeded shots of
+/// `circuit` on the [`BasisTracker`], run across all available CPUs.
+///
+/// # Panics
+///
+/// Panics if the circuit leaves the basis tracker's supported fragment.
+#[must_use]
+pub fn monte_carlo_ensemble(
+    circuit: &Circuit,
+    inputs: &[(&[QubitId], u128)],
+    trials: u64,
+) -> Ensemble {
+    ShotRunner::new(trials)
+        .run(circuit, || {
+            let mut sim = BasisTracker::zeros(circuit.num_qubits());
+            for (reg, v) in inputs {
+                sim.set_value(reg, *v);
+            }
+            Box::new(sim)
+        })
+        .expect("circuit must be tracker-supported")
+}
+
+/// Averaged executed counts from Monte-Carlo runs: the paper-relevant
+/// projection of a [`CountStats`].
 #[derive(Clone, Copy, Default, Debug)]
 pub struct MeanCounts {
     /// Mean Toffolis executed.
@@ -62,22 +76,17 @@ pub struct MeanCounts {
 }
 
 impl MeanCounts {
-    fn accumulate(&mut self, c: &GateCounts) {
-        self.toffoli += c.toffoli as f64;
-        self.cx += c.cx as f64;
-        self.cz += c.cz as f64;
-        self.x += c.x as f64;
-        self.h += c.h as f64;
-        self.measurements += c.measurements() as f64;
-    }
-
-    fn divide(&mut self, by: f64) {
-        self.toffoli /= by;
-        self.cx /= by;
-        self.cz /= by;
-        self.x /= by;
-        self.h /= by;
-        self.measurements /= by;
+    /// Projects ensemble statistics down to the paper's columns.
+    #[must_use]
+    pub fn from_stats(stats: &CountStats) -> Self {
+        Self {
+            toffoli: stats.toffoli,
+            cx: stats.cx,
+            cz: stats.cz,
+            x: stats.x,
+            h: stats.h,
+            measurements: stats.measurements(),
+        }
     }
 }
 

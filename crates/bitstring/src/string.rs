@@ -87,7 +87,9 @@ impl BitString {
             width >= 128 || value < (1u128 << width),
             "value {value} does not fit in {width} bits"
         );
-        let bits = (0..width).map(|i| i < 128 && (value >> i) & 1 == 1).collect();
+        let bits = (0..width)
+            .map(|i| i < 128 && (value >> i) & 1 == 1)
+            .collect();
         Self { bits }
     }
 
@@ -108,7 +110,10 @@ impl BitString {
     /// ```
     #[must_use]
     pub fn from_i128(value: i128, width: usize) -> Self {
-        assert!((1..=128).contains(&width), "signed width must be in 1..=128");
+        assert!(
+            (1..=128).contains(&width),
+            "signed width must be in 1..=128"
+        );
         let lo = -(1i128 << (width - 1));
         let hi = 1i128 << (width - 1);
         assert!(
@@ -432,8 +437,7 @@ impl BitString {
         assert_eq!(other.width(), n, "add_mod: width mismatch");
         assert_eq!(modulus.width(), n, "add_mod: modulus width mismatch");
         assert!(
-            self.cmp_value(modulus) == Ordering::Less
-                && other.cmp_value(modulus) == Ordering::Less,
+            self.cmp_value(modulus) == Ordering::Less && other.cmp_value(modulus) == Ordering::Less,
             "add_mod requires x, y < p"
         );
         let sum = self.add(other); // n + 1 bits, exact

@@ -14,7 +14,11 @@ fn widths() -> impl Strategy<Value = usize> {
 
 fn value_pair() -> impl Strategy<Value = (usize, u128, u128)> {
     widths().prop_flat_map(|n| {
-        let max = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+        let max = if n >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << n) - 1
+        };
         (Just(n), 0..=max, 0..=max)
     })
 }

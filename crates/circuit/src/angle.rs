@@ -89,7 +89,10 @@ impl Angle {
     /// ```
     #[must_use]
     pub fn from_fraction(numerator: u128, log2_denom: u32) -> Self {
-        assert!(log2_denom <= 127, "angle denominator 2^{log2_denom} out of range");
+        assert!(
+            log2_denom <= 127,
+            "angle denominator 2^{log2_denom} out of range"
+        );
         let mask = if log2_denom == 0 {
             0
         } else {
@@ -139,8 +142,7 @@ impl Angle {
     /// ```
     #[must_use]
     pub fn radians(&self) -> f64 {
-        2.0 * std::f64::consts::PI * (self.numerator as f64)
-            / 2f64.powi(self.log2_denom as i32)
+        2.0 * std::f64::consts::PI * (self.numerator as f64) / 2f64.powi(self.log2_denom as i32)
     }
 }
 

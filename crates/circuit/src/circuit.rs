@@ -168,10 +168,7 @@ impl Circuit {
                     });
                 }
                 if let Some(qubit) = oob {
-                    return Err(CircuitError::QubitOutOfRange {
-                        qubit,
-                        num_qubits,
-                    });
+                    return Err(CircuitError::QubitOutOfRange { qubit, num_qubits });
                 }
                 if let Some(qubit) = dup {
                     return Err(CircuitError::DuplicateOperand { qubit });
@@ -212,15 +209,15 @@ impl fmt::Display for Circuit {
             self.num_clbits,
             self.ops.len()
         )?;
-        fn write_ops(
-            f: &mut fmt::Formatter<'_>,
-            ops: &[Op],
-            indent: usize,
-        ) -> fmt::Result {
+        fn write_ops(f: &mut fmt::Formatter<'_>, ops: &[Op], indent: usize) -> fmt::Result {
             for op in ops {
                 match op {
                     Op::Gate(g) => writeln!(f, "{:indent$}{g}", "")?,
-                    Op::Measure { qubit, basis, clbit } => {
+                    Op::Measure {
+                        qubit,
+                        basis,
+                        clbit,
+                    } => {
                         writeln!(f, "{:indent$}M{basis} {qubit} -> {clbit}", "")?;
                     }
                     Op::Conditional { clbit, ops } => {
@@ -252,10 +249,7 @@ mod tests {
         let c = Circuit::from_ops(
             2,
             0,
-            vec![
-                Op::Gate(Gate::H(q(0))),
-                Op::Gate(Gate::Cx(q(0), q(1))),
-            ],
+            vec![Op::Gate(Gate::H(q(0))), Op::Gate(Gate::Cx(q(0), q(1)))],
         );
         let adj = c.adjoint().unwrap();
         assert_eq!(adj.ops()[0], Op::Gate(Gate::Cx(q(0), q(1))));
@@ -277,7 +271,10 @@ mod tests {
     #[test]
     fn validate_catches_duplicate_operands() {
         let c = Circuit::from_ops(3, 0, vec![Op::Gate(Gate::Ccx(q(1), q(1), q(2)))]);
-        assert_eq!(c.validate(), Err(CircuitError::DuplicateOperand { qubit: 1 }));
+        assert_eq!(
+            c.validate(),
+            Err(CircuitError::DuplicateOperand { qubit: 1 })
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ fn flatten(ops: &[Op], cond: Option<ClbitId>, items: &mut Vec<Item>) {
     for op in ops {
         match op {
             Op::Gate(g) => items.push(gate_item(g, cond)),
-            Op::Measure { qubit, basis, clbit } => {
+            Op::Measure {
+                qubit,
+                basis,
+                clbit,
+            } => {
                 let label = match basis {
                     Basis::Z => format!("Mz→c{}", clbit.0),
                     Basis::X => format!("Mx→c{}", clbit.0),

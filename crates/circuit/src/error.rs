@@ -53,7 +53,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "cannot take the adjoint of a measurement")
             }
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit q{qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit q{qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::ClbitOutOfRange { clbit, num_clbits } => write!(
                 f,

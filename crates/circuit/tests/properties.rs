@@ -13,21 +13,19 @@ fn arb_angle() -> impl Strategy<Value = Angle> {
 /// shuffled qubit list, guaranteeing distinctness.
 fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
     let qubits: Vec<u32> = (0..n).collect();
-    (0usize..8, Just(qubits).prop_shuffle(), arb_angle()).prop_map(
-        move |(kind, order, theta)| {
-            let (qa, qb, qc) = (QubitId(order[0]), QubitId(order[1]), QubitId(order[2]));
-            match kind {
-                0 => Gate::X(qa),
-                1 => Gate::Z(qa),
-                2 => Gate::H(qa),
-                3 => Gate::Phase(qa, theta),
-                4 => Gate::Cx(qa, qb),
-                5 => Gate::Cz(qa, qb),
-                6 => Gate::Ccx(qa, qb, qc),
-                _ => Gate::CPhase(qa, qb, theta),
-            }
-        },
-    )
+    (0usize..8, Just(qubits).prop_shuffle(), arb_angle()).prop_map(move |(kind, order, theta)| {
+        let (qa, qb, qc) = (QubitId(order[0]), QubitId(order[1]), QubitId(order[2]));
+        match kind {
+            0 => Gate::X(qa),
+            1 => Gate::Z(qa),
+            2 => Gate::H(qa),
+            3 => Gate::Phase(qa, theta),
+            4 => Gate::Cx(qa, qb),
+            5 => Gate::Cz(qa, qb),
+            6 => Gate::Ccx(qa, qb, qc),
+            _ => Gate::CPhase(qa, qb, theta),
+        }
+    })
 }
 
 fn arb_circuit(n: u32) -> impl Strategy<Value = Circuit> {

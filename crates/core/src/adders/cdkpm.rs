@@ -230,10 +230,7 @@ mod tests {
                         let yr = b.qreg("y", n + 1);
                         add(b, xr.qubits(), yr.qubits()).unwrap();
                         (
-                            vec![
-                                (xr.qubits().to_vec(), x),
-                                (yr.qubits().to_vec(), y),
-                            ],
+                            vec![(xr.qubits().to_vec(), x), (yr.qubits().to_vec(), y)],
                             yr.qubits().to_vec(),
                         )
                     });

@@ -41,7 +41,11 @@ pub fn qft(b: &mut CircuitBuilder, reg: &[QubitId]) -> Result<(), ArithError> {
     for i in (0..m).rev() {
         b.h(reg[i]);
         for j in (0..i).rev() {
-            b.cphase(reg[j], reg[i], Angle::turn_over_power_of_two((i - j + 1) as u32));
+            b.cphase(
+                reg[j],
+                reg[i],
+                Angle::turn_over_power_of_two((i - j + 1) as u32),
+            );
         }
     }
     Ok(())
@@ -374,7 +378,10 @@ mod tests {
                     add(&mut b, xr.qubits(), yr.qubits()).unwrap();
                     let c = b.finish();
                     let got = run_basis(&c, &[(xr.qubits(), x), (yr.qubits(), y)], yr.qubits());
-                    assert_eq!(u128::from(got), (u128::from(x) + u128::from(y)) % (1 << (n + 1)));
+                    assert_eq!(
+                        u128::from(got),
+                        (u128::from(x) + u128::from(y)) % (1 << (n + 1))
+                    );
                 }
             }
         }
@@ -456,7 +463,11 @@ mod tests {
                         &[(&[c], ctrl), (xr.qubits(), x), (yr.qubits(), y)],
                         yr.qubits(),
                     );
-                    let expected = if ctrl == 1 { (x + y) % (1 << (n + 1)) } else { y };
+                    let expected = if ctrl == 1 {
+                        (x + y) % (1 << (n + 1))
+                    } else {
+                        y
+                    };
                     assert_eq!(got, expected, "c={ctrl} {x}+{y}");
                 }
             }

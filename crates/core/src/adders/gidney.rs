@@ -488,11 +488,7 @@ mod tests {
                         check_all_seeds(
                             circ.num_qubits(),
                             &circ,
-                            &[
-                                (&[c], u128::from(ctrl)),
-                                (xr.qubits(), x),
-                                (yr.qubits(), y),
-                            ],
+                            &[(&[c], u128::from(ctrl)), (xr.qubits(), x), (yr.qubits(), y)],
                             yr.qubits(),
                             expected,
                         );
@@ -606,10 +602,8 @@ mod tests {
             // Expected: (1/√8) Σ_x |x⟩|x+5⟩ — check every component's
             // amplitude is positive real 1/√8.
             for x in 0..(1u64 << n) {
-                let idx = StateVector::index_with(&[
-                    (xr.qubits(), x),
-                    (yr.qubits(), (x + y0) % 16),
-                ]);
+                let idx =
+                    StateVector::index_with(&[(xr.qubits(), x), (yr.qubits(), (x + y0) % 16)]);
                 let amp = sv.amplitude(idx);
                 assert!(
                     (amp.re - (1.0 / 8f64.sqrt())).abs() < 1e-9 && amp.im.abs() < 1e-9,

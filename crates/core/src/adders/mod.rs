@@ -27,11 +27,7 @@ use crate::{AdderKind, ArithError};
 use draper::Sign;
 
 /// Resizes a constant to `n` bits, rejecting values that do not fit.
-fn fit_const(
-    context: &'static str,
-    a: &BitString,
-    n: usize,
-) -> Result<BitString, ArithError> {
+fn fit_const(context: &'static str, a: &BitString, n: usize) -> Result<BitString, ArithError> {
     for i in n..a.width() {
         if a.bit(i) {
             return Err(ArithError::ConstantOutOfRange {
@@ -532,8 +528,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    const RIPPLE_KINDS: [AdderKind; 3] =
-        [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney];
+    const RIPPLE_KINDS: [AdderKind; 3] = [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney];
     const ALL_KINDS: [AdderKind; 4] = [
         AdderKind::Vbe,
         AdderKind::Cdkpm,
@@ -677,13 +672,7 @@ mod tests {
             for a in [0u128, 1, 7, 15] {
                 for y in [0u128, 3, 15] {
                     let ca = const_adder(kind, n, a).unwrap();
-                    let got = run_any(
-                        kind,
-                        &ca.circuit,
-                        &[(ca.y.qubits(), y)],
-                        ca.y.qubits(),
-                        5,
-                    );
+                    let got = run_any(kind, &ca.circuit, &[(ca.y.qubits(), y)], ca.y.qubits(), 5);
                     assert_eq!(got, a + y, "{kind}: {y}+{a}");
                 }
             }
@@ -742,12 +731,7 @@ mod tests {
                     wrapping_sub(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
                     wrapping_sub(&mut b, kind, xr.qubits(), yr.qubits()).unwrap();
                     let c = b.finish();
-                    let got = run_ripple(
-                        &c,
-                        &[(xr.qubits(), x), (yr.qubits(), y)],
-                        yr.qubits(),
-                        7,
-                    );
+                    let got = run_ripple(&c, &[(xr.qubits(), x), (yr.qubits(), y)], yr.qubits(), 7);
                     // add then sub twice = y − x overall
                     assert_eq!(got, (y + m - x) % m, "{kind} {x} {y}");
                 }

@@ -124,7 +124,6 @@ pub fn controlled_compare_lt_const(
     Ok(())
 }
 
-
 /// Emits `t ⊕= 1[x ≤ y]` — the opposite comparison, obtained by
 /// post-composing the comparator with an X on `t` (Remark 2.39).
 ///
@@ -253,11 +252,7 @@ pub struct ConstComparator {
 /// # Errors
 ///
 /// Returns [`ArithError`] if `a` does not fit in `n` bits.
-pub fn const_comparator(
-    kind: AdderKind,
-    n: usize,
-    a: u128,
-) -> Result<ConstComparator, ArithError> {
+pub fn const_comparator(kind: AdderKind, n: usize, a: u128) -> Result<ConstComparator, ArithError> {
     let bits = crate::util::const_bits("constant comparator", a, n.max(1))?;
     let mut b = CircuitBuilder::new();
     let y = b.qreg("y", n);
@@ -277,8 +272,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    const RIPPLE_KINDS: [AdderKind; 3] =
-        [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney];
+    const RIPPLE_KINDS: [AdderKind; 3] = [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney];
 
     fn run_ripple(
         circuit: &Circuit,
@@ -376,8 +370,7 @@ mod tests {
                     let xr = b.qreg("x", n);
                     let yr = b.qreg("y", n);
                     let t = b.qubit();
-                    controlled_compare_gt(&mut b, kind, c, xr.qubits(), yr.qubits(), t)
-                        .unwrap();
+                    controlled_compare_gt(&mut b, kind, c, xr.qubits(), yr.qubits(), t).unwrap();
                     let circ = b.finish();
                     let got = run_ripple(
                         &circ,
@@ -403,8 +396,7 @@ mod tests {
                     let yr = b.qreg("y", n);
                     let t = b.qubit();
                     let bits = BitString::from_u128(a, n);
-                    controlled_compare_lt_const(&mut b, kind, c, &bits, yr.qubits(), t)
-                        .unwrap();
+                    controlled_compare_lt_const(&mut b, kind, c, &bits, yr.qubits(), t).unwrap();
                     let circ = b.finish();
                     let got = run_ripple(&circ, &[(&[c], ctrl), (yr.qubits(), y)], t, 4);
                     assert_eq!(got, ctrl == 1 && y < a, "{kind} c={ctrl} {y}<{a}");
@@ -431,7 +423,6 @@ mod tests {
         }
     }
 
-
     #[test]
     fn compare_le_is_the_negation() {
         let n = 3usize;
@@ -443,12 +434,7 @@ mod tests {
                 let t = b.qubit();
                 compare_le(&mut b, kind, xr.qubits(), yr.qubits(), t).unwrap();
                 let circ = b.finish();
-                let got = run_ripple(
-                    &circ,
-                    &[(xr.qubits(), x), (yr.qubits(), y)],
-                    t,
-                    6,
-                );
+                let got = run_ripple(&circ, &[(xr.qubits(), x), (yr.qubits(), y)], t, 6);
                 assert_eq!(got, x <= y, "{kind}: {x} <= {y}");
             }
         }
@@ -467,12 +453,7 @@ mod tests {
                     let t = b.qubit();
                     compare_gt_mixed(&mut b, kind, xr.qubits(), yr.qubits(), t).unwrap();
                     let circ = b.finish();
-                    let got = run_ripple(
-                        &circ,
-                        &[(xr.qubits(), x), (yr.qubits(), y)],
-                        t,
-                        7,
-                    );
+                    let got = run_ripple(&circ, &[(xr.qubits(), x), (yr.qubits(), y)], t, 7);
                     assert_eq!(got, x > y, "{kind}: {x} > {y}");
                 }
             }
@@ -488,7 +469,11 @@ mod tests {
         let t = b.qubit();
         compare_gt_mixed(&mut b, AdderKind::Cdkpm, xr.qubits(), yr.qubits(), t).unwrap();
         let mixed = b.finish().counts().toffoli;
-        let plain = comparator(AdderKind::Cdkpm, n).unwrap().circuit.counts().toffoli;
+        let plain = comparator(AdderKind::Cdkpm, n)
+            .unwrap()
+            .circuit
+            .counts()
+            .toffoli;
         assert_eq!(mixed, plain + 1);
     }
 
@@ -506,12 +491,7 @@ mod tests {
                     let t = b.qubit();
                     compare_gt_full(&mut b, kind, xr.qubits(), yr.qubits(), t).unwrap();
                     let circ = b.finish();
-                    let got = run_ripple(
-                        &circ,
-                        &[(xr.qubits(), x), (yr.qubits(), y)],
-                        t,
-                        8,
-                    );
+                    let got = run_ripple(&circ, &[(xr.qubits(), x), (yr.qubits(), y)], t, 8);
                     assert_eq!(got, x > y, "{kind}: {x} > {y}");
                 }
             }
@@ -550,19 +530,35 @@ mod tests {
     fn comparator_toffoli_counts_per_family() {
         let n = 8usize;
         assert_eq!(
-            comparator(AdderKind::Cdkpm, n).unwrap().circuit.counts().toffoli,
+            comparator(AdderKind::Cdkpm, n)
+                .unwrap()
+                .circuit
+                .counts()
+                .toffoli,
             2 * n as u64
         );
         assert_eq!(
-            comparator(AdderKind::Gidney, n).unwrap().circuit.counts().toffoli,
+            comparator(AdderKind::Gidney, n)
+                .unwrap()
+                .circuit
+                .counts()
+                .toffoli,
             n as u64
         );
         assert_eq!(
-            comparator(AdderKind::Vbe, n).unwrap().circuit.counts().toffoli,
+            comparator(AdderKind::Vbe, n)
+                .unwrap()
+                .circuit
+                .counts()
+                .toffoli,
             4 * n as u64 - 2
         );
         assert_eq!(
-            comparator(AdderKind::Draper, n).unwrap().circuit.counts().toffoli,
+            comparator(AdderKind::Draper, n)
+                .unwrap()
+                .circuit
+                .counts()
+                .toffoli,
             0
         );
     }

@@ -113,8 +113,7 @@ pub fn modadd_const(
     }
     let n = m - 1;
     let p_bits = super::check_modulus("Beauregard constant modular adder", p, n)?;
-    let a_bits =
-        super::check_constant_below(a, &p_bits, "Beauregard constant modular adder")?;
+    let a_bits = super::check_constant_below(a, &p_bits, "Beauregard constant modular adder")?;
     let t = b.ancilla();
 
     let add_a = |b: &mut CircuitBuilder, sign: Sign| -> Result<(), ArithError> {
@@ -185,11 +184,7 @@ pub fn modadd_const(
 /// # Ok(())
 /// # }
 /// ```
-pub fn modadd_circuit(
-    uncompute: Uncompute,
-    n: usize,
-    p: u128,
-) -> Result<ModAdd, ArithError> {
+pub fn modadd_circuit(uncompute: Uncompute, n: usize, p: u128) -> Result<ModAdd, ArithError> {
     let p_bits = const_bits("Beauregard modular adder", p, n.max(1))?;
     let mut b = CircuitBuilder::new();
     let x = b.qreg("x", n);
@@ -254,12 +249,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run(
-        circuit: &Circuit,
-        inputs: &[(&[QubitId], u64)],
-        out: &[QubitId],
-        seed: u64,
-    ) -> u64 {
+    fn run(circuit: &Circuit, inputs: &[(&[QubitId], u64)], out: &[QubitId], seed: u64) -> u64 {
         circuit.validate().unwrap();
         let mut sv = StateVector::zeros(circuit.num_qubits()).unwrap();
         sv.prepare_basis(StateVector::index_with(inputs)).unwrap();
@@ -326,8 +316,7 @@ mod tests {
             for a in 0..p {
                 for x in 0..p {
                     let layout =
-                        modadd_const_circuit(unc, 0, n, u128::from(a), u128::from(p))
-                            .unwrap();
+                        modadd_const_circuit(unc, 0, n, u128::from(a), u128::from(p)).unwrap();
                     let got = run(
                         &layout.circuit,
                         &[(layout.x.qubits(), x)],
@@ -348,8 +337,7 @@ mod tests {
             for ctrl in [0u64, 1] {
                 for x in [0u64, 3, 6] {
                     let layout =
-                        modadd_const_circuit(unc, 1, n, u128::from(a), u128::from(p))
-                            .unwrap();
+                        modadd_const_circuit(unc, 1, n, u128::from(a), u128::from(p)).unwrap();
                     let c = layout.controls[0];
                     let got = run(
                         &layout.circuit,

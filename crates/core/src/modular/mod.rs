@@ -274,8 +274,7 @@ pub fn modadd_const(
     b.x(t);
     adders::controlled_wrapping_sub_const(b, spec.sub_p, t, &p_bits, x)?;
     // Uncompute: 1[x + a ≥ p] ≡ 1[(x + a) mod p < a].
-    let (res, oracle) =
-        b.record(|b| compare::compare_lt_const(b, spec.comp_back, &a_bits, x, t));
+    let (res, oracle) = b.record(|b| compare::compare_lt_const(b, spec.comp_back, &a_bits, x, t));
     res?;
     match spec.uncompute {
         Uncompute::Unitary => b.emit(&oracle),
@@ -642,12 +641,7 @@ mod tests {
         v
     }
 
-    fn run(
-        circuit: &Circuit,
-        inputs: &[(&[QubitId], u128)],
-        out: &[QubitId],
-        seed: u128,
-    ) -> u128 {
+    fn run(circuit: &Circuit, inputs: &[(&[QubitId], u128)], out: &[QubitId], seed: u128) -> u128 {
         circuit.validate().unwrap();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
         for (reg, v) in inputs {
@@ -785,11 +779,7 @@ mod tests {
                                 layout.x.qubits(),
                                 a * 29 + x,
                             );
-                            assert_eq!(
-                                got,
-                                (x + a) % p,
-                                "{kind} {unc}: ({x}+{a}) mod {p}"
-                            );
+                            assert_eq!(got, (x + a) % p, "{kind} {unc}: ({x}+{a}) mod {p}");
                         }
                     }
                 }
@@ -809,8 +799,7 @@ mod tests {
             for ctrl in [0u128, 1] {
                 for a in [0u128, 3, 6] {
                     for x in [0u128, 4, 6] {
-                        let layout =
-                            controlled_modadd_const_circuit(&spec, n, a, p).unwrap();
+                        let layout = controlled_modadd_const_circuit(&spec, n, a, p).unwrap();
                         let control = layout.control.unwrap();
                         let got = run(
                             &layout.circuit,
@@ -853,9 +842,8 @@ mod tests {
         // Prop 3.4: CDKPM ≈ 8n; Prop 3.5: Gidney ≈ 4n; Thm 3.6: hybrid ≈ 6n.
         let n = 16usize;
         let p = 65_521u128;
-        let tof = |spec: &ModAddSpec| {
-            modadd_circuit(spec, n, p).unwrap().circuit.counts().toffoli as f64
-        };
+        let tof =
+            |spec: &ModAddSpec| modadd_circuit(spec, n, p).unwrap().circuit.counts().toffoli as f64;
         let cdkpm = tof(&ModAddSpec::cdkpm(Uncompute::Unitary));
         let gidney = tof(&ModAddSpec::gidney(Uncompute::Unitary));
         let hybrid = tof(&ModAddSpec::gidney_cdkpm(Uncompute::Unitary));
@@ -865,7 +853,6 @@ mod tests {
         assert!((hybrid - 6.0 * nf).abs() <= 8.0, "hybrid {hybrid} vs 6n");
         assert!(gidney < hybrid && hybrid < cdkpm);
     }
-
 
     #[test]
     fn mod_reduce_exhaustive_small() {
@@ -879,19 +866,12 @@ mod tests {
                         let mut b = CircuitBuilder::new();
                         let xr = b.qreg("x", n + 1);
                         let or = b.qreg("out", n + 1);
-                        mod_reduce(&mut b, kind, unc, xr.qubits(), or.qubits(), &p_bits)
-                            .unwrap();
+                        mod_reduce(&mut b, kind, unc, xr.qubits(), or.qubits(), &p_bits).unwrap();
                         let circuit = b.finish();
-                        let got = run(
-                            &circuit,
-                            &[(xr.qubits(), x)],
-                            or.qubits(),
-                            x * 7 + p,
-                        );
+                        let got = run(&circuit, &[(xr.qubits(), x)], or.qubits(), x * 7 + p);
                         assert_eq!(got, x % p, "{kind} {unc}: {x} mod {p}");
                         // Input preserved.
-                        let mut sim =
-                            mbu_sim::BasisTracker::zeros(circuit.num_qubits());
+                        let mut sim = mbu_sim::BasisTracker::zeros(circuit.num_qubits());
                         sim.set_value(xr.qubits(), x);
                         let mut rng = StdRng::seed_from_u64(3);
                         sim.run(&circuit, &mut rng).unwrap();

@@ -74,7 +74,10 @@ pub fn mod_inverse(a: u128, p: u128) -> Result<u128, ArithError> {
         (old_s, s) = (s, old_s - q * s);
     }
     if old_r != 1 {
-        return Err(ArithError::NotInvertible { value: a, modulus: p });
+        return Err(ArithError::NotInvertible {
+            value: a,
+            modulus: p,
+        });
     }
     Ok(old_s.rem_euclid(p as i128) as u128)
 }
@@ -304,12 +307,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run(
-        circuit: &Circuit,
-        inputs: &[(&[QubitId], u128)],
-        out: &[QubitId],
-        seed: u64,
-    ) -> u128 {
+    fn run(circuit: &Circuit, inputs: &[(&[QubitId], u128)], out: &[QubitId], seed: u64) -> u128 {
         circuit.validate().unwrap();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
         for (reg, v) in inputs {
@@ -344,8 +342,7 @@ mod tests {
                     let mut b = CircuitBuilder::new();
                     let xr = b.qreg("x", n);
                     let ar = b.qreg("acc", n + 1);
-                    modmul_const_accum(&mut b, &spec, xr.qubits(), ar.qubits(), a, p)
-                        .unwrap();
+                    modmul_const_accum(&mut b, &spec, xr.qubits(), ar.qubits(), a, p).unwrap();
                     let c = b.finish();
                     let got = run(
                         &c,
@@ -409,8 +406,7 @@ mod tests {
                     let mut b = CircuitBuilder::new();
                     let c = b.qubit();
                     let xr = b.qreg("x", n + 1);
-                    controlled_modmul_const_inplace(&mut b, &spec, c, xr.qubits(), a, p)
-                        .unwrap();
+                    controlled_modmul_const_inplace(&mut b, &spec, c, xr.qubits(), a, p).unwrap();
                     let circ = b.finish();
                     let got = run(
                         &circ,

@@ -79,12 +79,22 @@ impl Table1Row {
 #[must_use]
 pub fn table1(row: Table1Row, n: f64, w: f64, mbu: bool) -> Table1Cost {
     let (logical_qubits, toffoli, cnot_cz, x, qft, pcqft) = match (row, mbu) {
-        (Table1Row::Vbe5, false) => {
-            (4.0 * n + 2.0, 20.0 * n + 10.0, 20.0 * n + 2.0 * w + 22.0, w + 2.0, 0.0, 0.0)
-        }
-        (Table1Row::Vbe5, true) => {
-            (4.0 * n + 2.0, 16.0 * n + 8.0, 16.0 * n + 2.0 * w + 18.0, w + 2.5, 0.0, 0.0)
-        }
+        (Table1Row::Vbe5, false) => (
+            4.0 * n + 2.0,
+            20.0 * n + 10.0,
+            20.0 * n + 2.0 * w + 22.0,
+            w + 2.0,
+            0.0,
+            0.0,
+        ),
+        (Table1Row::Vbe5, true) => (
+            4.0 * n + 2.0,
+            16.0 * n + 8.0,
+            16.0 * n + 2.0 * w + 18.0,
+            w + 2.5,
+            0.0,
+            0.0,
+        ),
         (Table1Row::Vbe4, false) => (
             4.0 * n + 2.0,
             16.0 * n + 4.0,
@@ -370,8 +380,7 @@ mod tests {
         // Controlled costs dominate plain costs.
         for kind in [AdderKind::Cdkpm, AdderKind::Gidney] {
             assert!(
-                table3_controlled_adder(kind, n).toffoli
-                    >= table2_plain_adder(kind, n).toffoli
+                table3_controlled_adder(kind, n).toffoli >= table2_plain_adder(kind, n).toffoli
             );
         }
         // The control on a constant adder costs CNOTs only.

@@ -97,7 +97,15 @@ pub fn in_range_circuit(
     let y = b.qreg("y", n);
     let z = b.qreg("z", n);
     let t = b.qubit();
-    in_range(&mut b, kind, uncompute, x.qubits(), y.qubits(), z.qubits(), t)?;
+    in_range(
+        &mut b,
+        kind,
+        uncompute,
+        x.qubits(),
+        y.qubits(),
+        z.qubits(),
+        t,
+    )?;
     Ok(InRange {
         circuit: b.finish(),
         x,
@@ -125,8 +133,7 @@ mod tests {
                             let layout = in_range_circuit(kind, unc, n).unwrap();
                             layout.circuit.validate().unwrap();
                             for seed in 0..3 {
-                                let mut sim =
-                                    BasisTracker::zeros(layout.circuit.num_qubits());
+                                let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
                                 sim.set_value(layout.x.qubits(), x);
                                 sim.set_value(layout.y.qubits(), y);
                                 sim.set_value(layout.z.qubits(), z);

@@ -1,0 +1,301 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds without access to crates.io, so the subset of the
+//! criterion 0.5 API its benches use is reimplemented here: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark is warmed up
+//! briefly, then timed for a fixed budget; the mean iteration time is
+//! printed. That keeps `cargo bench` useful for relative comparisons while
+//! staying dependency-free. `cargo bench --no-run` compiles everything
+//! without executing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle passed to every bench function.
+#[derive(Clone, Copy, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes iteration counts
+    /// from the measurement budget instead of a fixed sample count.
+    #[must_use]
+    pub fn sample_size(self, _samples: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { crit: self, name }
+    }
+
+    /// Accepts (and ignores) criterion CLI configuration; the real crate
+    /// parses `--bench`, filters, and so on.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, *self, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement budget for the rest of this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.crit.measurement = duration;
+        self
+    }
+
+    /// Accepted for API compatibility; see [`Criterion::sample_size`].
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        run_one(&format!("{}/{}", self.name, id), *self.crit, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        run_one(&format!("{}/{}", self.name, id), *self.crit, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group. (The real crate finalises reports here.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            rendered: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            rendered: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts both ids
+/// and plain strings.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            rendered: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { rendered: self }
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding its output.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many iterations fit the budget.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters.max(1));
+        let target = (self.measurement.as_nanos() / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = target;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, config: Criterion, mut f: F) {
+    let mut b = Bencher {
+        warm_up: config.warm_up,
+        measurement: config.measurement,
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        eprintln!("  {label}: no iterations recorded");
+        return;
+    }
+    let mean = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    eprintln!("  {label}: {} ({} iters)", format_ns(mean), b.iters_done);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro —
+/// both the positional form and the `name =` / `config =` / `targets =`
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $group:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("n=4").to_string(), "n=4");
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns/iter"));
+        assert!(format_ns(12_000.0).ends_with("µs/iter"));
+        assert!(format_ns(12_000_000.0).ends_with("ms/iter"));
+        assert!(format_ns(2_000_000_000.0).ends_with("s/iter"));
+    }
+}

@@ -26,10 +26,11 @@
 //! suite.
 
 use mbu_circuit::{Angle, Basis, Circuit, Gate, QubitId};
-use rand::Rng;
+use rand::RngCore;
 
 use crate::error::SimError;
-use crate::exec::{self, Backend, Executed};
+use crate::exec::Executed;
+use crate::simulator::Simulator;
 
 /// Per-qubit state of the tracker.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -90,22 +91,26 @@ impl BasisTracker {
 
     /// Sets qubit `q` to the computational-basis bit `value`.
     ///
+    /// Ergonomic front for [`Simulator::set_bit`], which returns a
+    /// `Result` instead.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn set_bit(&mut self, q: QubitId, value: bool) {
-        self.qubits[q.index()] = Mode::Z(value);
+        Simulator::set_bit(self, q, value).expect("qubit out of range");
     }
 
     /// Writes the little-endian bits of `value` into `qubits`.
+    ///
+    /// Ergonomic front for [`Simulator::set_value`], which returns a
+    /// `Result` instead.
     ///
     /// # Panics
     ///
     /// Panics if any qubit is out of range.
     pub fn set_value(&mut self, qubits: &[QubitId], value: u128) {
-        for (i, q) in qubits.iter().enumerate() {
-            self.set_bit(*q, i < 128 && (value >> i) & 1 == 1);
-        }
+        Simulator::set_value(self, qubits, value).expect("qubit out of range");
     }
 
     /// Reads qubit `q`'s computational bit.
@@ -113,12 +118,9 @@ impl BasisTracker {
     /// # Errors
     ///
     /// Returns [`SimError::ReadOfSuperposedQubit`] if the qubit is in
-    /// X-mode.
+    /// X-mode, or [`SimError::OutOfRange`] if `q` is outside the state.
     pub fn bit(&self, q: QubitId) -> Result<bool, SimError> {
-        match self.qubits[q.index()] {
-            Mode::Z(b) => Ok(b),
-            Mode::X(_) => Err(SimError::ReadOfSuperposedQubit { qubit: q.0 }),
-        }
+        Simulator::bit(self, q)
     }
 
     /// Reads the little-endian integer held by `qubits`.
@@ -128,18 +130,7 @@ impl BasisTracker {
     /// Returns [`SimError::ReadOfSuperposedQubit`] if any qubit is in
     /// X-mode, or [`SimError::OutOfRange`] for registers wider than 128.
     pub fn value(&self, qubits: &[QubitId]) -> Result<u128, SimError> {
-        if qubits.len() > 128 {
-            return Err(SimError::OutOfRange {
-                what: format!("register of width {}", qubits.len()),
-            });
-        }
-        let mut v = 0u128;
-        for (i, q) in qubits.iter().enumerate() {
-            if self.bit(*q)? {
-                v |= 1 << i;
-            }
-        }
-        Ok(v)
+        Simulator::value(self, qubits)
     }
 
     /// Reads the register as little-endian bits (any width).
@@ -165,27 +156,19 @@ impl BasisTracker {
 
     /// Runs an adaptive circuit, sampling measurements from `rng`.
     ///
+    /// Convenience wrapper over the [`Simulator`] trait method for callers
+    /// holding a concrete tracker and a concrete generator.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::UnsupportedEntanglement`] if the circuit leaves
     /// the tracked fragment, or propagates executor errors.
-    pub fn run<R: Rng + ?Sized>(
+    pub fn run<R: RngCore>(
         &mut self,
         circuit: &Circuit,
         rng: &mut R,
     ) -> Result<Executed, SimError> {
-        if circuit.num_qubits() > self.qubits.len() {
-            return Err(SimError::OutOfRange {
-                what: format!(
-                    "{}-qubit circuit on {}-qubit tracker",
-                    circuit.num_qubits(),
-                    self.qubits.len()
-                ),
-            });
-        }
-        let mut executed = Executed::default();
-        exec::execute(self, circuit.ops(), rng, &mut executed)?;
-        Ok(executed)
+        Simulator::run(self, circuit, rng)
     }
 
     fn flip_phase(&mut self) {
@@ -314,9 +297,7 @@ impl BasisTracker {
             Gate::Ccx(c1, c2, t) => self.apply_controlled_x(&[c1, c2], t, gate),
             Gate::Ccz(a, b, c) => self.apply_phase_on(&[a, b, c], Angle::HALF_TURN, gate),
             Gate::CPhase(c, t, theta) => self.apply_phase_on(&[c, t], theta, gate),
-            Gate::CcPhase(c1, c2, t, theta) => {
-                self.apply_phase_on(&[c1, c2, t], theta, gate)
-            }
+            Gate::CcPhase(c1, c2, t, theta) => self.apply_phase_on(&[c1, c2, t], theta, gate),
             Gate::Swap(a, b) => {
                 self.qubits.swap(a.index(), b.index());
                 Ok(())
@@ -325,9 +306,37 @@ impl BasisTracker {
     }
 }
 
-impl Backend for BasisTracker {
+impl Simulator for BasisTracker {
+    fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
     fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
         self.apply(gate)
+    }
+
+    fn set_bit(&mut self, q: QubitId, value: bool) -> Result<(), SimError> {
+        if q.index() >= self.qubits.len() {
+            return Err(SimError::OutOfRange {
+                what: format!("qubit q{}", q.0),
+            });
+        }
+        self.qubits[q.index()] = Mode::Z(value);
+        Ok(())
+    }
+
+    fn bit(&self, q: QubitId) -> Result<bool, SimError> {
+        match self.qubits.get(q.index()) {
+            None => Err(SimError::OutOfRange {
+                what: format!("qubit q{}", q.0),
+            }),
+            Some(Mode::Z(b)) => Ok(*b),
+            Some(Mode::X(_)) => Err(SimError::ReadOfSuperposedQubit { qubit: q.0 }),
+        }
+    }
+
+    fn global_phase(&self) -> Option<Angle> {
+        Some(self.phase)
     }
 
     fn measure(
@@ -364,11 +373,7 @@ impl Backend for BasisTracker {
         }
     }
 
-    fn reset(
-        &mut self,
-        qubit: QubitId,
-        draw: &mut dyn FnMut(f64) -> bool,
-    ) -> Result<(), SimError> {
+    fn reset(&mut self, qubit: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> Result<(), SimError> {
         match self.qubits[qubit.index()] {
             Mode::Z(_) => {}
             Mode::X(s) => {
@@ -390,7 +395,7 @@ mod tests {
     use super::*;
     use mbu_circuit::CircuitBuilder;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn q(i: u32) -> QubitId {
         QubitId(i)
@@ -519,7 +524,11 @@ mod tests {
             let mut draw = move |p: f64| r.gen_bool(p);
             let outcome = t.measure(q(0), Basis::Z, &mut draw).unwrap();
             assert_eq!(t.bit(q(0)).unwrap(), outcome);
-            let expected = if outcome { Angle::HALF_TURN } else { Angle::ZERO };
+            let expected = if outcome {
+                Angle::HALF_TURN
+            } else {
+                Angle::ZERO
+            };
             assert_eq!(t.global_phase(), expected);
         }
     }
@@ -531,7 +540,7 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let r = b.qreg("q", 2); // q0 = x, q1 = garbage holding g(x) = x
         b.cx(r[0], r[1]); // compute garbage
-        // MBU: H, measure; if 1 then H, Ug, H, X.
+                          // MBU: H, measure; if 1 then H, Ug, H, X.
         b.h(r[1]);
         let m = b.measure(r[1], Basis::Z);
         let (_, fix) = b.record(|b| {

@@ -65,17 +65,26 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::TooManyQubits { requested, max } => {
-                write!(f, "state vector over {requested} qubits exceeds the {max}-qubit limit")
+                write!(
+                    f,
+                    "state vector over {requested} qubits exceeds the {max}-qubit limit"
+                )
             }
             SimError::UnsupportedEntanglement { gate, reason } => {
                 write!(f, "basis tracker cannot apply {gate}: {reason}")
             }
             SimError::ReadOfSuperposedQubit { qubit } => {
-                write!(f, "qubit q{qubit} is in superposition; its bit value is undefined")
+                write!(
+                    f,
+                    "qubit q{qubit} is in superposition; its bit value is undefined"
+                )
             }
             SimError::OutOfRange { what } => write!(f, "{what} out of range"),
             SimError::UnwrittenClassicalBit { clbit } => {
-                write!(f, "classical bit c{clbit} read before any measurement wrote it")
+                write!(
+                    f,
+                    "classical bit c{clbit} read before any measurement wrote it"
+                )
             }
         }
     }

@@ -1,16 +1,18 @@
 //! The shared circuit executor: walks ops, resolves conditionals against the
 //! classical record, and tallies the gates that actually ran.
 
-use mbu_circuit::{Basis, Gate, GateCounts, Op, QubitId};
-use rand::Rng;
+use mbu_circuit::{GateCounts, Op};
+use rand::{Rng, RngCore};
 
 use crate::error::SimError;
+use crate::simulator::Simulator;
 
 /// What a simulation run actually did.
 ///
 /// `counts` tallies only operations that executed: a conditional block whose
 /// classical bit read 0 contributes nothing. Averaging `counts` over seeded
-/// runs reproduces the paper's "in expectation" columns empirically.
+/// runs reproduces the paper's "in expectation" columns empirically — the
+/// [`ShotRunner`](crate::ShotRunner) does exactly that, in parallel.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Executed {
     /// Gates and measurements that actually ran.
@@ -35,41 +37,29 @@ impl Executed {
     }
 }
 
-/// A simulation backend: applies gates and performs measurements.
-pub(crate) trait Backend {
-    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError>;
-    /// Measures `qubit`; `draw(p1)` must return `true` with probability
-    /// `p1` (the backend computes the Born probability of outcome 1).
-    fn measure(
-        &mut self,
-        qubit: QubitId,
-        basis: Basis,
-        draw: &mut dyn FnMut(f64) -> bool,
-    ) -> Result<bool, SimError>;
-    /// Resets `qubit` to `|0⟩` (measure-and-flip semantics).
-    fn reset(
-        &mut self,
-        qubit: QubitId,
-        draw: &mut dyn FnMut(f64) -> bool,
-    ) -> Result<(), SimError>;
-}
-
-/// Executes `ops` on `backend`, recording outcomes and executed counts.
-pub(crate) fn execute<B: Backend, R: Rng + ?Sized>(
-    backend: &mut B,
+/// Executes `ops` on `sim`, recording outcomes and executed counts.
+///
+/// Works through the object-safe [`Simulator`] surface so one executor
+/// serves every backend, boxed or not.
+pub(crate) fn execute_dyn<S: Simulator + ?Sized>(
+    sim: &mut S,
     ops: &[Op],
-    rng: &mut R,
+    rng: &mut dyn RngCore,
     executed: &mut Executed,
 ) -> Result<(), SimError> {
     for op in ops {
         match op {
             Op::Gate(g) => {
-                backend.apply_gate(g)?;
+                sim.apply_gate(g)?;
                 executed.counts.record_gate(g);
             }
-            Op::Measure { qubit, basis, clbit } => {
+            Op::Measure {
+                qubit,
+                basis,
+                clbit,
+            } => {
                 let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
-                let outcome = backend.measure(*qubit, *basis, &mut draw)?;
+                let outcome = sim.measure(*qubit, *basis, &mut draw)?;
                 executed.counts.record_measurement(*basis);
                 let idx = clbit.index();
                 if executed.classical.len() <= idx {
@@ -85,12 +75,12 @@ pub(crate) fn execute<B: Backend, R: Rng + ?Sized>(
                     .flatten()
                     .ok_or(SimError::UnwrittenClassicalBit { clbit: clbit.0 })?;
                 if bit {
-                    execute(backend, ops, rng, executed)?;
+                    execute_dyn(sim, ops, rng, executed)?;
                 }
             }
             Op::Reset(qubit) => {
                 let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
-                backend.reset(*qubit, &mut draw)?;
+                sim.reset(*qubit, &mut draw)?;
                 executed.counts.reset += 1;
             }
         }
@@ -101,7 +91,7 @@ pub(crate) fn execute<B: Backend, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mbu_circuit::ClbitId;
+    use mbu_circuit::{Angle, Basis, ClbitId, Gate, QubitId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -113,7 +103,11 @@ mod tests {
         gates_seen: usize,
     }
 
-    impl Backend for Scripted {
+    impl Simulator for Scripted {
+        fn num_qubits(&self) -> usize {
+            u32::MAX as usize
+        }
+
         fn apply_gate(&mut self, _gate: &Gate) -> Result<(), SimError> {
             self.gates_seen += 1;
             Ok(())
@@ -136,6 +130,18 @@ mod tests {
             _draw: &mut dyn FnMut(f64) -> bool,
         ) -> Result<(), SimError> {
             Ok(())
+        }
+
+        fn set_bit(&mut self, _q: QubitId, _value: bool) -> Result<(), SimError> {
+            Ok(())
+        }
+
+        fn bit(&self, _q: QubitId) -> Result<bool, SimError> {
+            Ok(false)
+        }
+
+        fn global_phase(&self) -> Option<Angle> {
+            None
         }
     }
 
@@ -164,7 +170,7 @@ mod tests {
             gates_seen: 0,
         };
         let mut ex = Executed::default();
-        execute(&mut backend, &ops, &mut rng, &mut ex).unwrap();
+        execute_dyn(&mut backend, &ops, &mut rng, &mut ex).unwrap();
         assert_eq!(backend.gates_seen, 0);
         assert_eq!(ex.counts.x, 0);
         assert!(!ex.outcome(0).unwrap());
@@ -175,7 +181,7 @@ mod tests {
             gates_seen: 0,
         };
         let mut ex = Executed::default();
-        execute(&mut backend, &ops, &mut rng, &mut ex).unwrap();
+        execute_dyn(&mut backend, &ops, &mut rng, &mut ex).unwrap();
         assert_eq!(backend.gates_seen, 1);
         assert_eq!(ex.counts.x, 1);
     }
@@ -193,7 +199,21 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(0);
         let mut ex = Executed::default();
-        let err = execute(&mut backend, &ops, &mut rng, &mut ex).unwrap_err();
+        let err = execute_dyn(&mut backend, &ops, &mut rng, &mut ex).unwrap_err();
         assert_eq!(err, SimError::UnwrittenClassicalBit { clbit: 5 });
+    }
+
+    #[test]
+    fn executor_works_through_a_boxed_dyn_simulator() {
+        let ops = vec![Op::Gate(Gate::X(q(0)))];
+        let mut boxed: Box<dyn Simulator> = Box::new(Scripted {
+            outcomes: vec![],
+            next: 0,
+            gates_seen: 0,
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ex = Executed::default();
+        execute_dyn(boxed.as_mut(), &ops, &mut rng, &mut ex).unwrap();
+        assert_eq!(ex.counts.x, 1);
     }
 }

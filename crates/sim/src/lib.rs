@@ -16,9 +16,13 @@
 //!   like `n = 256` where a state vector is impossible. Operations that
 //!   would create unrepresentable entanglement return a typed error.
 //!
-//! Both backends report which gates actually executed ([`Executed`]), which
-//! is how the benchmark harness measures the paper's "in expectation" MBU
-//! costs as Monte-Carlo means.
+//! Both backends implement the object-safe [`Simulator`] trait — one API
+//! for gate execution, input preparation (`set_value`) and state readout
+//! (`value` / `bit` / `global_phase`) — and report which gates actually
+//! executed ([`Executed`]). The [`ShotRunner`] builds on that seam: a
+//! seeded, deterministic, multi-threaded ensemble engine that averages
+//! executed counts over many shots, which is how the benchmark harness
+//! measures the paper's "in expectation" MBU costs as Monte-Carlo means.
 //!
 //! # Examples
 //!
@@ -61,10 +65,14 @@ mod basis;
 mod complex;
 mod error;
 mod exec;
+mod shots;
+mod simulator;
 mod statevector;
 
 pub use basis::BasisTracker;
 pub use complex::Complex;
 pub use error::SimError;
 pub use exec::Executed;
+pub use shots::{CountStats, Ensemble, ShotRunner};
+pub use simulator::Simulator;
 pub use statevector::{StateVector, MAX_STATEVECTOR_QUBITS};

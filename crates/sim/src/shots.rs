@@ -1,0 +1,612 @@
+//! The parallel shot-ensemble engine.
+//!
+//! The paper's "in expectation" MBU costs (Table 1) are *averages over
+//! measurement outcomes*; this repository verifies them empirically by
+//! Monte-Carlo averaging seeded simulator runs. That workload is
+//! embarrassingly parallel, and [`ShotRunner`] is its engine: a seeded,
+//! deterministic, multi-threaded batch executor that runs the same circuit
+//! on freshly prepared [`Simulator`] states — one per shot — and folds
+//! every [`Executed`] record into an [`Ensemble`] of aggregate statistics.
+//!
+//! Determinism is absolute, not statistical:
+//!
+//! * each shot's RNG is seeded purely from the master seed and the shot
+//!   index ([`ShotRunner::seed_for_shot`]), so outcome streams never depend
+//!   on scheduling;
+//! * aggregation is exact integer arithmetic (sums and sums of squares of
+//!   `u64` gate counts in `u128`), so the fold is associative and
+//!   commutative and the final [`Ensemble`] is **bit-identical** for any
+//!   thread count, including fully serial execution.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use mbu_circuit::{Circuit, GateCounts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::SimError;
+use crate::exec::Executed;
+use crate::simulator::Simulator;
+
+/// Number of tallied operation families (the fields of [`GateCounts`]).
+const NFIELDS: usize = 14;
+
+/// What one worker chunk produces: its partial fold and its probe
+/// observations, or the lowest failing shot in the chunk.
+type ChunkResult<O> = Result<(Accumulator, Vec<O>), (u64, SimError)>;
+
+/// `GateCounts` flattened into a fixed field order.
+fn count_fields(c: &GateCounts) -> [u64; NFIELDS] {
+    [
+        c.x,
+        c.z,
+        c.h,
+        c.phase,
+        c.cx,
+        c.cz,
+        c.toffoli,
+        c.ccz,
+        c.cphase,
+        c.ccphase,
+        c.swap,
+        c.measure_z,
+        c.measure_x,
+        c.reset,
+    ]
+}
+
+/// A seeded, deterministic, multi-threaded ensemble executor.
+///
+/// # Examples
+///
+/// Measure the fair-coin statistics of an X-basis measurement (the MBU
+/// flag of Lemma 4.1) over a thousand shots:
+///
+/// ```
+/// use mbu_circuit::{Basis, CircuitBuilder};
+/// use mbu_sim::{BasisTracker, ShotRunner, Simulator};
+///
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 1);
+/// let _flag = b.measure(q[0], Basis::X);
+/// let circuit = b.finish();
+///
+/// let ensemble = ShotRunner::new(1000)
+///     .run(&circuit, || Box::new(BasisTracker::zeros(1)))
+///     .unwrap();
+/// let freq = ensemble.outcome_frequency(0).unwrap();
+/// assert!((freq - 0.5).abs() < 0.05, "fair coin, got {freq}");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ShotRunner {
+    shots: u64,
+    master_seed: u64,
+    threads: usize,
+}
+
+impl ShotRunner {
+    /// An ensemble of `shots` runs, with the default master seed and one
+    /// thread per available CPU.
+    #[must_use]
+    pub fn new(shots: u64) -> Self {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            shots,
+            master_seed: 0x4d42_5553_484f_5453, // "MBUSHOTS"
+            threads,
+        }
+    }
+
+    /// Replaces the master seed. Ensembles with equal master seeds, shot
+    /// counts and circuits produce identical aggregates.
+    #[must_use]
+    pub fn with_master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). The result
+    /// does not depend on this — only wall-clock time does.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The number of shots this runner executes.
+    #[must_use]
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// The RNG seed used for shot `shot` — exposed so a single interesting
+    /// shot can be replayed in isolation.
+    ///
+    /// SplitMix64 over `(master_seed, shot)`, so nearby shots get
+    /// decorrelated streams.
+    #[must_use]
+    pub fn seed_for_shot(&self, shot: u64) -> u64 {
+        let mut z = self
+            .master_seed
+            .wrapping_add(shot.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs the ensemble: `factory` builds one freshly prepared simulator
+    /// per shot, and the executed statistics are folded into an
+    /// [`Ensemble`].
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing shot, if any shot fails —
+    /// deterministically, regardless of thread count.
+    pub fn run<F>(&self, circuit: &Circuit, factory: F) -> Result<Ensemble, SimError>
+    where
+        F: Fn() -> Box<dyn Simulator> + Sync,
+    {
+        self.run_probed(circuit, factory, |_, _| ())
+            .map(|(ensemble, _)| ensemble)
+    }
+
+    /// Like [`run`](Self::run), but additionally applies `probe` to every
+    /// shot's final simulator state and [`Executed`] record, returning the
+    /// observations in shot order.
+    ///
+    /// This is how per-shot assertions (final register values, global
+    /// phase) are made over an ensemble without abandoning the parallel
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing shot, if any shot fails.
+    pub fn run_probed<F, P, O>(
+        &self,
+        circuit: &Circuit,
+        factory: F,
+        probe: P,
+    ) -> Result<(Ensemble, Vec<O>), SimError>
+    where
+        F: Fn() -> Box<dyn Simulator> + Sync,
+        P: Fn(&dyn Simulator, &Executed) -> O + Sync,
+        O: Send,
+    {
+        let shots = self.shots;
+        let workers = self
+            .threads
+            .min(usize::try_from(shots).unwrap_or(usize::MAX))
+            .max(1);
+
+        let run_chunk = |range: std::ops::Range<u64>| -> ChunkResult<O> {
+            let mut acc = Accumulator::default();
+            let mut observations = Vec::with_capacity((range.end - range.start) as usize);
+            for shot in range {
+                let mut sim = factory();
+                let mut rng = StdRng::seed_from_u64(self.seed_for_shot(shot));
+                let executed = sim.run(circuit, &mut rng).map_err(|e| (shot, e))?;
+                observations.push(probe(sim.as_ref(), &executed));
+                acc.add_shot(&executed);
+            }
+            Ok((acc, observations))
+        };
+
+        let chunk_results: Vec<ChunkResult<O>> = if workers == 1 {
+            vec![run_chunk(0..shots)]
+        } else {
+            // Contiguous chunks; the fold is exact, so the split points
+            // cannot affect the aggregate — only probe order matters, and
+            // concatenating contiguous chunks preserves shot order.
+            let per = shots / workers as u64;
+            let extra = (shots % workers as u64) as usize;
+            let mut ranges = Vec::with_capacity(workers);
+            let mut start = 0u64;
+            for w in 0..workers {
+                let len = per + u64::from(w < extra);
+                ranges.push(start..start + len);
+                start += len;
+            }
+            thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|range| scope.spawn(|| run_chunk(range)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // Re-raise worker panics with their original
+                        // payload instead of masking them.
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
+                    .collect()
+            })
+        };
+
+        let mut acc = Accumulator::default();
+        let mut observations = Vec::with_capacity(shots as usize);
+        let mut first_error: Option<(u64, SimError)> = None;
+        for result in chunk_results {
+            match result {
+                Ok((chunk_acc, chunk_obs)) => {
+                    acc.merge(chunk_acc);
+                    observations.extend(chunk_obs);
+                }
+                Err((shot, e)) => {
+                    if first_error.as_ref().is_none_or(|(s, _)| shot < *s) {
+                        first_error = Some((shot, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        Ok((Ensemble { acc }, observations))
+    }
+}
+
+/// The exact integer fold of many [`Executed`] records.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Accumulator {
+    shots: u64,
+    sum: [u128; NFIELDS],
+    sumsq: [u128; NFIELDS],
+    clbit_ones: Vec<u64>,
+    clbit_writes: Vec<u64>,
+    records: BTreeMap<Vec<Option<bool>>, u64>,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Self {
+            shots: 0,
+            sum: [0; NFIELDS],
+            sumsq: [0; NFIELDS],
+            clbit_ones: Vec::new(),
+            clbit_writes: Vec::new(),
+            records: BTreeMap::new(),
+        }
+    }
+}
+
+impl Accumulator {
+    fn add_shot(&mut self, executed: &Executed) {
+        self.shots += 1;
+        let fields = count_fields(&executed.counts);
+        for (i, f) in fields.iter().enumerate() {
+            let f = u128::from(*f);
+            self.sum[i] += f;
+            self.sumsq[i] += f * f;
+        }
+        if executed.classical.len() > self.clbit_ones.len() {
+            self.clbit_ones.resize(executed.classical.len(), 0);
+            self.clbit_writes.resize(executed.classical.len(), 0);
+        }
+        for (i, bit) in executed.classical.iter().enumerate() {
+            if let Some(b) = bit {
+                self.clbit_writes[i] += 1;
+                self.clbit_ones[i] += u64::from(*b);
+            }
+        }
+        *self.records.entry(executed.classical.clone()).or_insert(0) += 1;
+    }
+
+    fn merge(&mut self, other: Accumulator) {
+        self.shots += other.shots;
+        for i in 0..NFIELDS {
+            self.sum[i] += other.sum[i];
+            self.sumsq[i] += other.sumsq[i];
+        }
+        if other.clbit_ones.len() > self.clbit_ones.len() {
+            self.clbit_ones.resize(other.clbit_ones.len(), 0);
+            self.clbit_writes.resize(other.clbit_writes.len(), 0);
+        }
+        for (i, ones) in other.clbit_ones.iter().enumerate() {
+            self.clbit_ones[i] += ones;
+        }
+        for (i, writes) in other.clbit_writes.iter().enumerate() {
+            self.clbit_writes[i] += writes;
+        }
+        for (record, n) in other.records {
+            *self.records.entry(record).or_insert(0) += n;
+        }
+    }
+}
+
+/// Aggregate statistics of a shot ensemble.
+///
+/// Comparable with `==`: two ensembles are equal iff every underlying
+/// integer tally matches, which is what the parallel-equals-serial
+/// guarantee is stated in terms of.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ensemble {
+    acc: Accumulator,
+}
+
+impl Ensemble {
+    /// How many shots were folded in.
+    #[must_use]
+    pub fn shots(&self) -> u64 {
+        self.acc.shots
+    }
+
+    /// Mean executed count per operation family.
+    #[must_use]
+    pub fn mean(&self) -> CountStats {
+        let n = self.acc.shots.max(1) as f64;
+        CountStats::from_fields(std::array::from_fn(|i| self.acc.sum[i] as f64 / n))
+    }
+
+    /// Population variance of the executed count per operation family.
+    ///
+    /// Computed from exact integer sums (`Var = (n·Σx² − (Σx)²) / n²`), so
+    /// it carries no accumulation-order noise.
+    #[must_use]
+    pub fn variance(&self) -> CountStats {
+        let n = self.acc.shots;
+        if n == 0 {
+            return CountStats::from_fields([0.0; NFIELDS]);
+        }
+        CountStats::from_fields(std::array::from_fn(|i| {
+            let numer = u128::from(n) * self.acc.sumsq[i] - self.acc.sum[i] * self.acc.sum[i];
+            numer as f64 / (n as f64 * n as f64)
+        }))
+    }
+
+    /// How many shots wrote classical bit `clbit`.
+    #[must_use]
+    pub fn outcome_writes(&self, clbit: usize) -> u64 {
+        self.acc.clbit_writes.get(clbit).copied().unwrap_or(0)
+    }
+
+    /// How many shots wrote outcome 1 to classical bit `clbit`.
+    #[must_use]
+    pub fn outcome_ones(&self, clbit: usize) -> u64 {
+        self.acc.clbit_ones.get(clbit).copied().unwrap_or(0)
+    }
+
+    /// The empirical frequency of outcome 1 on classical bit `clbit`,
+    /// among the shots that wrote it; `None` if no shot did.
+    #[must_use]
+    pub fn outcome_frequency(&self, clbit: usize) -> Option<f64> {
+        let writes = self.outcome_writes(clbit);
+        (writes > 0).then(|| self.outcome_ones(clbit) as f64 / writes as f64)
+    }
+
+    /// The number of classical bits any shot wrote.
+    #[must_use]
+    pub fn num_clbits(&self) -> usize {
+        self.acc.clbit_writes.len()
+    }
+
+    /// The highest classical bit index any shot wrote — for protocols (like
+    /// MBU modular adders) where "the last measurement" is the flag of
+    /// interest.
+    #[must_use]
+    pub fn last_clbit(&self) -> Option<usize> {
+        self.acc.clbit_writes.iter().rposition(|&writes| writes > 0)
+    }
+
+    /// Frequencies of complete classical records, most-populated first is
+    /// NOT guaranteed — iteration is in record order.
+    pub fn record_frequencies(&self) -> impl Iterator<Item = (&[Option<bool>], u64)> {
+        self.acc.records.iter().map(|(k, v)| (k.as_slice(), *v))
+    }
+
+    /// The number of distinct complete classical records observed.
+    #[must_use]
+    pub fn distinct_records(&self) -> usize {
+        self.acc.records.len()
+    }
+}
+
+/// Per-operation-family floating statistics of an [`Ensemble`].
+///
+/// Field-for-field mirror of [`GateCounts`], as `f64` means or variances.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct CountStats {
+    /// Pauli X gates.
+    pub x: f64,
+    /// Pauli Z gates.
+    pub z: f64,
+    /// Hadamard gates.
+    pub h: f64,
+    /// Single-qubit phase rotations.
+    pub phase: f64,
+    /// CNOT gates.
+    pub cx: f64,
+    /// CZ gates.
+    pub cz: f64,
+    /// Toffoli gates.
+    pub toffoli: f64,
+    /// CCZ gates.
+    pub ccz: f64,
+    /// Controlled rotations.
+    pub cphase: f64,
+    /// Doubly-controlled rotations.
+    pub ccphase: f64,
+    /// Swap gates.
+    pub swap: f64,
+    /// Z-basis measurements.
+    pub measure_z: f64,
+    /// X-basis measurements.
+    pub measure_x: f64,
+    /// Resets.
+    pub reset: f64,
+}
+
+impl CountStats {
+    fn from_fields(f: [f64; NFIELDS]) -> Self {
+        Self {
+            x: f[0],
+            z: f[1],
+            h: f[2],
+            phase: f[3],
+            cx: f[4],
+            cz: f[5],
+            toffoli: f[6],
+            ccz: f[7],
+            cphase: f[8],
+            ccphase: f[9],
+            swap: f[10],
+            measure_z: f[11],
+            measure_x: f[12],
+            reset: f[13],
+        }
+    }
+
+    /// Total measurements, either basis.
+    #[must_use]
+    pub fn measurements(&self) -> f64 {
+        self.measure_z + self.measure_x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BasisTracker;
+    use mbu_circuit::{Basis, CircuitBuilder};
+
+    /// H-free fair-coin circuit: X-measure |0⟩, then a conditional X's
+    /// worth of correction so the two branches execute different counts.
+    fn coin_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 1);
+        let m = b.measure(q[0], Basis::X);
+        let (_, fix) = b.record(|bb| {
+            bb.h(q[0]);
+            bb.x(q[0]);
+        });
+        b.emit_conditional(m, &fix);
+        b.finish()
+    }
+
+    #[test]
+    fn same_master_seed_gives_identical_aggregates() {
+        let circuit = coin_circuit();
+        let factory = || Box::new(BasisTracker::zeros(1)) as Box<dyn Simulator>;
+        let a = ShotRunner::new(500)
+            .with_master_seed(7)
+            .run(&circuit, factory)
+            .unwrap();
+        let b = ShotRunner::new(500)
+            .with_master_seed(7)
+            .run(&circuit, factory)
+            .unwrap();
+        assert_eq!(a, b);
+        let c = ShotRunner::new(500)
+            .with_master_seed(8)
+            .run(&circuit, factory)
+            .unwrap();
+        assert_ne!(a.outcome_ones(0), c.outcome_ones(0));
+    }
+
+    #[test]
+    fn parallel_equals_serial_bit_for_bit() {
+        let circuit = coin_circuit();
+        let factory = || Box::new(BasisTracker::zeros(1)) as Box<dyn Simulator>;
+        let serial = ShotRunner::new(1000)
+            .with_threads(1)
+            .run(&circuit, factory)
+            .unwrap();
+        for threads in [2, 3, 7, 16] {
+            let parallel = ShotRunner::new(1000)
+                .with_threads(threads)
+                .run(&circuit, factory)
+                .unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn mean_and_variance_match_bernoulli_expectations() {
+        // The conditional branch (1 H + 1 X) runs with probability ½, so
+        // the executed X count is Bernoulli(½): mean ½, variance ¼.
+        let circuit = coin_circuit();
+        let ensemble = ShotRunner::new(4000)
+            .run(&circuit, || Box::new(BasisTracker::zeros(1)))
+            .unwrap();
+        let mean = ensemble.mean();
+        let var = ensemble.variance();
+        assert!((mean.x - 0.5).abs() < 0.05, "mean {}", mean.x);
+        assert!((var.x - 0.25).abs() < 0.05, "variance {}", var.x);
+        assert!((mean.measure_x - 1.0).abs() < 1e-12);
+        assert!(var.measure_x.abs() < 1e-12, "deterministic count");
+    }
+
+    #[test]
+    fn outcome_frequencies_and_records() {
+        let circuit = coin_circuit();
+        let ensemble = ShotRunner::new(2000)
+            .run(&circuit, || Box::new(BasisTracker::zeros(1)))
+            .unwrap();
+        assert_eq!(ensemble.shots(), 2000);
+        assert_eq!(ensemble.num_clbits(), 1);
+        assert_eq!(ensemble.last_clbit(), Some(0));
+        assert_eq!(ensemble.outcome_writes(0), 2000);
+        let freq = ensemble.outcome_frequency(0).unwrap();
+        assert!((freq - 0.5).abs() < 0.05, "fair coin, got {freq}");
+        assert_eq!(ensemble.distinct_records(), 2);
+        let total: u64 = ensemble.record_frequencies().map(|(_, n)| n).sum();
+        assert_eq!(total, 2000);
+        assert!(ensemble.outcome_frequency(3).is_none());
+    }
+
+    #[test]
+    fn probes_arrive_in_shot_order_for_any_thread_count() {
+        let circuit = coin_circuit();
+        let runner = ShotRunner::new(257).with_threads(1);
+        // On outcome 0 no correction runs and the qubit stays in |+⟩, so
+        // `bit` legitimately has no definite answer there.
+        let probe = |sim: &dyn Simulator, ex: &Executed| {
+            (
+                ex.outcome(0).unwrap(),
+                sim.bit(mbu_circuit::QubitId(0)).ok(),
+            )
+        };
+        let (_, serial) = runner
+            .run_probed(&circuit, || Box::new(BasisTracker::zeros(1)), probe)
+            .unwrap();
+        let (_, parallel) = runner
+            .with_threads(5)
+            .run_probed(&circuit, || Box::new(BasisTracker::zeros(1)), probe)
+            .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 257);
+    }
+
+    #[test]
+    fn errors_are_deterministic_and_lowest_shot_wins() {
+        // A 2-qubit circuit on a 1-qubit simulator fails on every shot;
+        // the reported error must be the same for any thread count.
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 2);
+        b.cx(q[0], q[1]);
+        let circuit = b.finish();
+        let factory = || Box::new(BasisTracker::zeros(1)) as Box<dyn Simulator>;
+        let e1 = ShotRunner::new(64)
+            .with_threads(1)
+            .run(&circuit, factory)
+            .unwrap_err();
+        let e8 = ShotRunner::new(64)
+            .with_threads(8)
+            .run(&circuit, factory)
+            .unwrap_err();
+        assert_eq!(e1, e8);
+    }
+
+    #[test]
+    fn zero_shots_is_an_empty_ensemble() {
+        let circuit = coin_circuit();
+        let ensemble = ShotRunner::new(0)
+            .run(&circuit, || Box::new(BasisTracker::zeros(1)))
+            .unwrap();
+        assert_eq!(ensemble.shots(), 0);
+        assert_eq!(ensemble.mean().x, 0.0);
+        assert_eq!(ensemble.variance().toffoli, 0.0);
+        assert!(ensemble.outcome_frequency(0).is_none());
+    }
+}

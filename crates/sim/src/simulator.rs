@@ -1,0 +1,171 @@
+//! The public backend abstraction: every simulator behind one trait.
+//!
+//! [`Simulator`] is the object-safe seam between circuit execution and the
+//! concrete state representations. It unifies what used to be a private
+//! `Backend` trait (gate application, measurement, reset) with the state
+//! access every harness needs (`set_value` / `value` / `bit` /
+//! `global_phase`), so benchmarks, ensemble runs and cross-backend tests
+//! can be written once against `dyn Simulator` and executed on either the
+//! [`BasisTracker`](crate::BasisTracker) or the
+//! [`StateVector`](crate::StateVector) — or any future backend (stabilizer,
+//! sharded state vector) that implements the trait.
+
+use mbu_circuit::{Angle, Basis, Circuit, Gate, QubitId};
+use rand::RngCore;
+
+use crate::error::SimError;
+use crate::exec::{self, Executed};
+
+/// A quantum-circuit simulation backend.
+///
+/// Object-safe: harnesses hold `Box<dyn Simulator>` and stay agnostic of
+/// the state representation. The required methods split in two groups:
+///
+/// * **execution primitives** ([`apply_gate`](Simulator::apply_gate),
+///   [`measure`](Simulator::measure), [`reset`](Simulator::reset)) consumed
+///   by the shared executor behind [`run`](Simulator::run);
+/// * **state access** ([`set_bit`](Simulator::set_bit) /
+///   [`set_value`](Simulator::set_value) to prepare inputs,
+///   [`bit`](Simulator::bit) / [`value`](Simulator::value) /
+///   [`global_phase`](Simulator::global_phase) to read results).
+///
+/// # Examples
+///
+/// Running the same circuit on both backends through the trait:
+///
+/// ```
+/// use mbu_circuit::CircuitBuilder;
+/// use mbu_sim::{BasisTracker, Simulator, StateVector};
+/// use rand::SeedableRng;
+///
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 2);
+/// b.cx(q[0], q[1]);
+/// let circuit = b.finish();
+///
+/// let mut backends: Vec<Box<dyn Simulator>> = vec![
+///     Box::new(BasisTracker::zeros(2)),
+///     Box::new(StateVector::zeros(2).unwrap()),
+/// ];
+/// for sim in &mut backends {
+///     sim.set_value(q.qubits(), 0b01).unwrap();
+///     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+///     sim.run(&circuit, &mut rng).unwrap();
+///     assert_eq!(sim.value(q.qubits()).unwrap(), 0b11);
+/// }
+/// ```
+pub trait Simulator {
+    /// The number of qubits in the state.
+    fn num_qubits(&self) -> usize;
+
+    /// Applies one gate.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific: the basis tracker reports
+    /// [`SimError::UnsupportedEntanglement`] for gates leaving its
+    /// fragment.
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError>;
+
+    /// Measures `qubit` in `basis`; `draw(p1)` must return `true` with
+    /// probability `p1` (the backend computes the Born probability of
+    /// outcome 1).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific measurement failures.
+    fn measure(
+        &mut self,
+        qubit: QubitId,
+        basis: Basis,
+        draw: &mut dyn FnMut(f64) -> bool,
+    ) -> Result<bool, SimError>;
+
+    /// Resets `qubit` to `|0⟩` (measure-and-flip semantics).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific reset failures.
+    fn reset(&mut self, qubit: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> Result<(), SimError>;
+
+    /// Sets qubit `q` to the computational-basis bit `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfRange`] if `q` is outside the state;
+    /// [`SimError::ReadOfSuperposedQubit`] if the qubit holds no definite
+    /// bit the backend could overwrite (state-vector backend only).
+    fn set_bit(&mut self, q: QubitId, value: bool) -> Result<(), SimError>;
+
+    /// Writes the little-endian bits of `value` into `qubits`.
+    ///
+    /// # Errors
+    ///
+    /// As [`set_bit`](Simulator::set_bit), for any of the qubits.
+    fn set_value(&mut self, qubits: &[QubitId], value: u128) -> Result<(), SimError> {
+        for (i, q) in qubits.iter().enumerate() {
+            self.set_bit(*q, i < 128 && (value >> i) & 1 == 1)?;
+        }
+        Ok(())
+    }
+
+    /// Reads qubit `q`'s computational bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfRange`] if `q` is outside the state;
+    /// [`SimError::ReadOfSuperposedQubit`] if the qubit holds no definite
+    /// bit.
+    fn bit(&self, q: QubitId) -> Result<bool, SimError>;
+
+    /// Reads the little-endian integer held by `qubits`.
+    ///
+    /// # Errors
+    ///
+    /// As [`bit`](Simulator::bit), plus [`SimError::OutOfRange`] for
+    /// registers wider than 128 bits.
+    fn value(&self, qubits: &[QubitId]) -> Result<u128, SimError> {
+        if qubits.len() > 128 {
+            return Err(SimError::OutOfRange {
+                what: format!("register of width {}", qubits.len()),
+            });
+        }
+        let mut v = 0u128;
+        for (i, q) in qubits.iter().enumerate() {
+            if self.bit(*q)? {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+
+    /// The exact dyadic global phase of the state, when the backend can
+    /// produce one.
+    ///
+    /// The basis tracker always can; the state vector reports the phase of
+    /// the dominant amplitude when the state is (numerically) a single
+    /// basis state with a dyadic phase, and `None` otherwise.
+    fn global_phase(&self) -> Option<Angle>;
+
+    /// Runs an adaptive circuit, sampling measurement outcomes from `rng`,
+    /// and reports what actually executed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfRange`] if the circuit is wider than the state, or
+    /// any backend error from the executed operations.
+    fn run(&mut self, circuit: &Circuit, rng: &mut dyn RngCore) -> Result<Executed, SimError> {
+        if circuit.num_qubits() > self.num_qubits() {
+            return Err(SimError::OutOfRange {
+                what: format!(
+                    "{}-qubit circuit on {}-qubit state",
+                    circuit.num_qubits(),
+                    self.num_qubits()
+                ),
+            });
+        }
+        let mut executed = Executed::default();
+        exec::execute_dyn(self, circuit.ops(), rng, &mut executed)?;
+        Ok(executed)
+    }
+}

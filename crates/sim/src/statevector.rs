@@ -1,11 +1,16 @@
 //! The exact state-vector backend.
 
-use mbu_circuit::{Basis, Circuit, Gate, QubitId};
-use rand::Rng;
+use mbu_circuit::{Angle, Basis, Circuit, Gate, QubitId};
+use rand::RngCore;
 
 use crate::complex::Complex;
 use crate::error::SimError;
-use crate::exec::{self, Backend, Executed};
+use crate::exec::Executed;
+use crate::simulator::Simulator;
+
+/// Tolerance below which a probability is treated as exactly 0 or 1 when
+/// reading definite bits out of the state vector.
+const DEFINITE_TOL: f64 = 1e-9;
 
 /// Maximum width the state-vector backend accepts (2^26 amplitudes ≈ 1 GiB).
 pub const MAX_STATEVECTOR_QUBITS: usize = 26;
@@ -235,24 +240,63 @@ impl StateVector {
 
     /// Runs an adaptive circuit, sampling measurements from `rng`.
     ///
+    /// Convenience wrapper over the [`Simulator`] trait method for callers
+    /// holding a concrete state and a concrete generator.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::UnwrittenClassicalBit`] if a conditional fires
     /// before its bit is measured, or [`SimError::OutOfRange`] if the
     /// circuit is wider than the state.
-    pub fn run<R: Rng + ?Sized>(
+    pub fn run<R: RngCore>(
         &mut self,
         circuit: &Circuit,
         rng: &mut R,
     ) -> Result<Executed, SimError> {
-        if circuit.num_qubits() > self.num_qubits {
-            return Err(SimError::OutOfRange {
-                what: format!("{}-qubit circuit on {}-qubit state", circuit.num_qubits(), self.num_qubits),
-            });
+        Simulator::run(self, circuit, rng)
+    }
+
+    /// The probability that qubit `q` reads 1 in the computational basis.
+    fn prob_one(&self, q: QubitId) -> f64 {
+        let m = 1usize << q.index();
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & m != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// The per-qubit probabilities of reading 1, for all of `qubits`, in a
+    /// single sweep over the amplitudes (instead of one sweep per qubit).
+    /// Zero-weight amplitudes — the overwhelming majority for the
+    /// basis-like states register reads happen on — are skipped.
+    fn marginals(&self, qubits: &[QubitId]) -> Vec<f64> {
+        let mut p1 = vec![0.0f64; qubits.len()];
+        for (i, a) in self.amps.iter().enumerate() {
+            let w = a.norm_sqr();
+            if w == 0.0 {
+                continue;
+            }
+            for (j, q) in qubits.iter().enumerate() {
+                if (i >> q.index()) & 1 == 1 {
+                    p1[j] += w;
+                }
+            }
         }
-        let mut executed = Executed::default();
-        exec::execute(self, circuit.ops(), rng, &mut executed)?;
-        Ok(executed)
+        p1
+    }
+
+    /// Classifies a marginal probability as a definite bit, or reports the
+    /// superposed qubit.
+    fn definite_bit(p1: f64, q: QubitId) -> Result<bool, SimError> {
+        if p1 >= 1.0 - DEFINITE_TOL {
+            Ok(true)
+        } else if p1 <= DEFINITE_TOL {
+            Ok(false)
+        } else {
+            Err(SimError::ReadOfSuperposedQubit { qubit: q.0 })
+        }
     }
 
     fn apply(&mut self, gate: &Gate) {
@@ -383,10 +427,96 @@ impl StateVector {
     }
 }
 
-impl Backend for StateVector {
+impl Simulator for StateVector {
+    fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
     fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
         self.apply(gate);
         Ok(())
+    }
+
+    fn set_bit(&mut self, q: QubitId, value: bool) -> Result<(), SimError> {
+        if q.index() >= self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!("qubit q{}", q.0),
+            });
+        }
+        let current = Self::definite_bit(self.prob_one(q), q)?;
+        if current != value {
+            self.apply(&Gate::X(q));
+        }
+        Ok(())
+    }
+
+    fn set_value(&mut self, qubits: &[QubitId], value: u128) -> Result<(), SimError> {
+        if let Some(q) = qubits.iter().find(|q| q.index() >= self.num_qubits) {
+            return Err(SimError::OutOfRange {
+                what: format!("qubit q{}", q.0),
+            });
+        }
+        // One marginal sweep for the whole register, then X where the
+        // current bit differs from the requested one.
+        let marginals = self.marginals(qubits);
+        for (i, (q, p1)) in qubits.iter().zip(marginals).enumerate() {
+            let desired = i < 128 && (value >> i) & 1 == 1;
+            if Self::definite_bit(p1, *q)? != desired {
+                self.apply(&Gate::X(*q));
+            }
+        }
+        Ok(())
+    }
+
+    fn bit(&self, q: QubitId) -> Result<bool, SimError> {
+        if q.index() >= self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!("qubit q{}", q.0),
+            });
+        }
+        Self::definite_bit(self.prob_one(q), q)
+    }
+
+    fn value(&self, qubits: &[QubitId]) -> Result<u128, SimError> {
+        if qubits.len() > 128 {
+            return Err(SimError::OutOfRange {
+                what: format!("register of width {}", qubits.len()),
+            });
+        }
+        if let Some(q) = qubits.iter().find(|q| q.index() >= self.num_qubits) {
+            return Err(SimError::OutOfRange {
+                what: format!("qubit q{}", q.0),
+            });
+        }
+        let marginals = self.marginals(qubits);
+        let mut v = 0u128;
+        for (i, (q, p1)) in qubits.iter().zip(marginals).enumerate() {
+            if Self::definite_bit(p1, *q)? {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+
+    fn global_phase(&self) -> Option<Angle> {
+        // Only meaningful when the state is (numerically) one basis state
+        // whose amplitude lies on the unit circle at a dyadic angle.
+        let (_, amp) = self.as_basis(DEFINITE_TOL)?;
+        if (amp.norm() - 1.0).abs() > 1e-6 {
+            return None;
+        }
+        let tau = std::f64::consts::TAU;
+        let turns = (amp.im.atan2(amp.re) / tau).rem_euclid(1.0);
+        const LOG2_DENOM: u32 = 24;
+        let scaled = (turns * f64::from(1u32 << LOG2_DENOM)).round();
+        let numerator = (scaled as u128) % (1u128 << LOG2_DENOM);
+        let angle = Angle::from_fraction(numerator, LOG2_DENOM);
+        let back = Complex::cis(angle.radians());
+        if (back - amp).norm() < 1e-6 {
+            Some(angle)
+        } else {
+            None
+        }
     }
 
     fn measure(
@@ -408,11 +538,7 @@ impl Backend for StateVector {
         }
     }
 
-    fn reset(
-        &mut self,
-        qubit: QubitId,
-        draw: &mut dyn FnMut(f64) -> bool,
-    ) -> Result<(), SimError> {
+    fn reset(&mut self, qubit: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> Result<(), SimError> {
         if self.measure_z(qubit, draw) {
             self.apply(&Gate::X(qubit));
         }
@@ -478,7 +604,11 @@ mod tests {
             sv.apply(&Gate::CPhase(q(0), q(1), theta));
             let (idx, amp) = sv.as_basis(1e-12).unwrap();
             assert_eq!(idx, input);
-            let expected = if input == 0b11 { Complex::I } else { Complex::ONE };
+            let expected = if input == 0b11 {
+                Complex::I
+            } else {
+                Complex::ONE
+            };
             assert!((amp - expected).norm() < 1e-12, "input {input:02b}");
         }
     }

@@ -70,6 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         render(&cmp.circuit, &["x0", "x1", "y0", "y1", "t", "c0"])
     );
-    println!("   t ⊕= 1[x > y] with {} Toffolis", cmp.circuit.counts().toffoli);
+    println!(
+        "   t ⊕= 1[x > y] with {} Toffolis",
+        cmp.circuit.counts().toffoli
+    );
     Ok(())
 }

@@ -5,7 +5,7 @@
 //! ```
 
 use mbu_arith::{modular, Uncompute};
-use mbu_sim::BasisTracker;
+use mbu_sim::{BasisTracker, ShotRunner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,14 +46,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.global_phase(),
     );
 
+    // One run is one sample of the MBU coin flips; the paper's costs are
+    // "in expectation". Average a parallel 1000-shot ensemble instead.
+    let ensemble = ShotRunner::new(1000).run(&layout.circuit, || {
+        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+        sim.set_value(layout.x.qubits(), x);
+        sim.set_value(layout.y.qubits(), y);
+        Box::new(sim)
+    })?;
+    let mean = ensemble.mean();
+    let var = ensemble.variance();
+    println!(
+        "  over {} shots : Tof mean={:.2} (analytic {:.2}), variance={:.2}",
+        ensemble.shots(),
+        mean.toffoli,
+        e.toffoli,
+        var.toffoli,
+    );
+
     // The same adder without MBU, for comparison.
-    let plain = modular::modadd_circuit(
-        &modular::ModAddSpec::gidney_cdkpm(Uncompute::Unitary),
-        n,
-        p,
-    )?;
-    let saving = 1.0
-        - layout.circuit.expected_counts().toffoli / plain.circuit.expected_counts().toffoli;
+    let plain =
+        modular::modadd_circuit(&modular::ModAddSpec::gidney_cdkpm(Uncompute::Unitary), n, p)?;
+    let saving =
+        1.0 - layout.circuit.expected_counts().toffoli / plain.circuit.expected_counts().toffoli;
     println!(
         "\nMBU saves {:.1}% of the expected Toffolis over the unitary uncomputation",
         100.0 * saving

@@ -15,7 +15,7 @@ use mbu_arith::{
     mulexp::{self, mod_pow},
     Uncompute,
 };
-use mbu_sim::BasisTracker;
+use mbu_sim::{BasisTracker, ShotRunner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +48,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("  {row}");
 
+    // The "expected Toffoli" number above is an expectation over MBU
+    // measurement outcomes; check it empirically with a parallel ensemble
+    // on one exponent.
+    let e_probe = 5u128;
+    let ensemble = ShotRunner::new(400).run(&layout.circuit, || {
+        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+        sim.set_value(layout.exponent.qubits(), e_probe);
+        sim.set_value(layout.work.qubits(), 1);
+        Box::new(sim)
+    })?;
+    println!(
+        "\n  Monte-Carlo (e={e_probe}, {} shots): Tof mean {:.1}, std dev {:.1}",
+        ensemble.shots(),
+        ensemble.mean().toffoli,
+        ensemble.variance().toffoli.sqrt(),
+    );
+
     // ord_15(7) = 4, and gcd(7^{4/2} ± 1, 15) = {3, 5}: the factors.
     let r = (1..=8u128).find(|r| mod_pow(g, *r, p) == 1).expect("order");
     let half = mod_pow(g, r / 2, p);
@@ -58,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's point: MBU savings compound over the whole ladder.
     println!("\nMBU impact on the full exponentiation ladder (CDKPM architecture):");
-    println!("{:>4} {:>14} {:>14} {:>8}", "n", "Tof (unitary)", "Tof (MBU)", "saved");
+    println!(
+        "{:>4} {:>14} {:>14} {:>8}",
+        "n", "Tof (unitary)", "Tof (MBU)", "saved"
+    );
     for bits in [4usize, 6, 8, 10] {
         let modulus = match bits {
             4 => 13u128,
@@ -66,11 +86,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             8 => 251,
             _ => 1021,
         };
-        let plain =
-            mulexp::modexp_circuit(&ModAddSpec::cdkpm(Uncompute::Unitary), bits, bits, 2, modulus)?
-                .circuit
-                .expected_counts()
-                .toffoli;
+        let plain = mulexp::modexp_circuit(
+            &ModAddSpec::cdkpm(Uncompute::Unitary),
+            bits,
+            bits,
+            2,
+            modulus,
+        )?
+        .circuit
+        .expected_counts()
+        .toffoli;
         let mbu =
             mulexp::modexp_circuit(&ModAddSpec::cdkpm(Uncompute::Mbu), bits, bits, 2, modulus)?
                 .circuit

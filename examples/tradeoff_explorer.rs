@@ -74,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut shown: Vec<&(usize, f64, String)> = pareto.clone();
     shown.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-    println!("--- Pareto-optimal assignments ({} of {}) ---", shown.len(), frontier.len());
+    println!(
+        "--- Pareto-optimal assignments ({} of {}) ---",
+        shown.len(),
+        frontier.len()
+    );
     for (_, _, line) in &shown {
         println!("{line}");
     }
@@ -94,6 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             layout.circuit.expected_counts().toffoli
         );
     }
-    println!("\nThm 3.6's hybrid sits on the frontier: CDKPM's qubit budget, near-Gidney Toffolis.");
+    println!(
+        "\nThm 3.6's hybrid sits on the frontier: CDKPM's qubit budget, near-Gidney Toffolis."
+    );
     Ok(())
 }

@@ -42,11 +42,17 @@ fn table2_plain_adder_counts() {
             );
         }
         // CDKPM is exact.
-        let c = adders::plain_adder(AdderKind::Cdkpm, n).unwrap().circuit.counts();
+        let c = adders::plain_adder(AdderKind::Cdkpm, n)
+            .unwrap()
+            .circuit
+            .counts();
         assert_eq!(c.toffoli, 2 * n as u64);
         assert_eq!(c.cx, 4 * n as u64 + 1);
         // Gidney Toffoli count is exact.
-        let g = adders::plain_adder(AdderKind::Gidney, n).unwrap().circuit.counts();
+        let g = adders::plain_adder(AdderKind::Gidney, n)
+            .unwrap()
+            .circuit
+            .counts();
         assert_eq!(g.toffoli, n as u64);
     }
 }
@@ -128,11 +134,19 @@ fn table6_comparator_counts() {
         }
         // Exact values.
         assert_eq!(
-            compare::comparator(AdderKind::Cdkpm, n).unwrap().circuit.counts().toffoli,
+            compare::comparator(AdderKind::Cdkpm, n)
+                .unwrap()
+                .circuit
+                .counts()
+                .toffoli,
             2 * n as u64
         );
         assert_eq!(
-            compare::comparator(AdderKind::Gidney, n).unwrap().circuit.counts().toffoli,
+            compare::comparator(AdderKind::Gidney, n)
+                .unwrap()
+                .circuit
+                .counts()
+                .toffoli,
             n as u64
         );
     }
@@ -165,7 +179,11 @@ fn table1_toffoli_leading_coefficients() {
         Table1Row::CdkpmGidney,
     ] {
         for mbu in [false, true] {
-            let unc = if mbu { Uncompute::Mbu } else { Uncompute::Unitary };
+            let unc = if mbu {
+                Uncompute::Mbu
+            } else {
+                Uncompute::Unitary
+            };
             let spec = spec_for(row, unc).unwrap();
             let layout = modular::modadd_circuit(&spec, n, p).unwrap();
             let measured = layout.circuit.expected_counts().toffoli;
@@ -233,12 +251,11 @@ fn table1_toffoli_depth_also_improves() {
             .toffoli_depth();
         // With MBU the worst-case depth matches but the *typical* path is
         // shorter: compare the executed depth proxy via expected counts.
-        let mbu_counts =
-            modular::modadd_circuit(&spec_for(row, Uncompute::Mbu).unwrap(), n, p)
-                .unwrap()
-                .circuit
-                .expected_counts()
-                .toffoli;
+        let mbu_counts = modular::modadd_circuit(&spec_for(row, Uncompute::Mbu).unwrap(), n, p)
+            .unwrap()
+            .circuit
+            .expected_counts()
+            .toffoli;
         let plain_counts =
             modular::modadd_circuit(&spec_for(row, Uncompute::Unitary).unwrap(), n, p)
                 .unwrap()
@@ -254,12 +271,8 @@ fn table1_toffoli_depth_also_improves() {
 fn beauregard_structure_counts() {
     // Prop 3.7: 3 QFTs + 3 IQFTs (6(n+1) H gates) and 2 CNOTs.
     for n in [4usize, 8, 12] {
-        let layout = modular::beauregard::modadd_circuit(
-            Uncompute::Unitary,
-            n,
-            (1u128 << n) - 1,
-        )
-        .unwrap();
+        let layout =
+            modular::beauregard::modadd_circuit(Uncompute::Unitary, n, (1u128 << n) - 1).unwrap();
         let c = layout.circuit.counts();
         assert_eq!(c.h, 6 * (n as u64 + 1), "n={n}");
         assert_eq!(c.cx, 2, "n={n}");
@@ -283,7 +296,16 @@ fn gidney_trades_ancillas_for_toffolis() {
     let (q_g, t_g) = get(ModAddSpec::gidney(Uncompute::Unitary));
     let (q_h, t_h) = get(ModAddSpec::gidney_cdkpm(Uncompute::Unitary));
     assert!(q_g > q_c, "Gidney should use more qubits: {q_g} vs {q_c}");
-    assert!(t_g < t_c, "Gidney should use fewer Toffolis: {t_g} vs {t_c}");
-    assert!(t_c > t_h && t_h > t_g, "hybrid in between: {t_c} {t_h} {t_g}");
-    assert!(q_h <= q_c + 2, "hybrid keeps CDKPM-like width: {q_h} vs {q_c}");
+    assert!(
+        t_g < t_c,
+        "Gidney should use fewer Toffolis: {t_g} vs {t_c}"
+    );
+    assert!(
+        t_c > t_h && t_h > t_g,
+        "hybrid in between: {t_c} {t_h} {t_g}"
+    );
+    assert!(
+        q_h <= q_c + 2,
+        "hybrid keeps CDKPM-like width: {q_h} vs {q_c}"
+    );
 }

@@ -7,25 +7,25 @@ use mbu_arith::{
     two_sided, AdderKind, Uncompute,
 };
 use mbu_circuit::Circuit;
-use mbu_sim::{BasisTracker, StateVector};
+use mbu_sim::{BasisTracker, ShotRunner, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Empirical mean of executed Toffoli counts over seeded runs.
+/// Empirical mean of executed Toffoli counts over a seeded shot ensemble.
 fn monte_carlo_toffoli(
     circuit: &Circuit,
-    prepare: impl Fn(&mut BasisTracker),
+    prepare: impl Fn(&mut BasisTracker) + Sync,
     trials: u64,
 ) -> f64 {
-    let mut total = 0u64;
-    for seed in 0..trials {
-        let mut sim = BasisTracker::zeros(circuit.num_qubits());
-        prepare(&mut sim);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ex = sim.run(circuit, &mut rng).unwrap();
-        total += ex.counts.toffoli;
-    }
-    total as f64 / trials as f64
+    ShotRunner::new(trials)
+        .run(circuit, || {
+            let mut sim = BasisTracker::zeros(circuit.num_qubits());
+            prepare(&mut sim);
+            Box::new(sim)
+        })
+        .unwrap()
+        .mean()
+        .toffoli
 }
 
 #[test]
@@ -63,27 +63,34 @@ fn monte_carlo_matches_analytic_expectation_modadd() {
 #[test]
 fn mbu_outcome_statistics_are_uniform() {
     // Lemma 4.1: the X-basis measurement of the flag is a fair coin
-    // regardless of the input.
+    // regardless of the input — stated as an ensemble assertion over the
+    // ShotRunner's aggregated outcome frequencies.
     let n = 6usize;
     let p = 61u128;
     let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
     let layout = modular::modadd_circuit(&spec, n, p).unwrap();
     for (x, y) in [(0u128, 0u128), (60, 60), (30, 31)] {
-        let mut ones = 0u64;
         let trials = 300u64;
-        for seed in 0..trials {
-            let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-            sim.set_value(layout.x.qubits(), x);
-            sim.set_value(layout.y.qubits(), y);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let ex = sim.run(&layout.circuit, &mut rng).unwrap();
-            // The MBU measurement is the last classical bit written.
-            let outcome = ex.classical.last().copied().flatten().unwrap();
-            ones += u64::from(outcome);
-        }
+        let ensemble = ShotRunner::new(trials)
+            .with_master_seed(x as u64 ^ (y as u64).rotate_left(32))
+            .run(&layout.circuit, || {
+                let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                sim.set_value(layout.x.qubits(), x);
+                sim.set_value(layout.y.qubits(), y);
+                Box::new(sim)
+            })
+            .unwrap();
+        // The MBU measurement is the last classical bit written.
+        let flag = ensemble.last_clbit().expect("MBU flag measured");
+        assert_eq!(
+            ensemble.outcome_writes(flag),
+            trials,
+            "flag written every shot"
+        );
+        let freq = ensemble.outcome_frequency(flag).unwrap();
         assert!(
-            (90..=210).contains(&ones),
-            "outcome-1 frequency {ones}/{trials} for ({x},{y})"
+            (0.3..=0.7).contains(&freq),
+            "outcome-1 frequency {freq} for ({x},{y})"
         );
     }
 }
@@ -149,8 +156,8 @@ fn expected_savings_match_theorems_4_3_to_4_5() {
         };
         let plain = modular::modadd_circuit(&plain_spec, n, p).unwrap();
         let with_mbu = modular::modadd_circuit(&mbu_spec, n, p).unwrap();
-        let saving = plain.circuit.expected_counts().toffoli
-            - with_mbu.circuit.expected_counts().toffoli;
+        let saving =
+            plain.circuit.expected_counts().toffoli - with_mbu.circuit.expected_counts().toffoli;
         assert!(
             (saving - expected_saving).abs() <= 2.0,
             "{plain_spec:?}: saving {saving} vs theorem {expected_saving}"
@@ -167,11 +174,17 @@ fn two_sided_comparator_statistics_and_savings() {
     // Functional equality across many random inputs and seeds.
     let mut lcg = 99u128;
     for trial in 0..40u64 {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let x = lcg % (1 << n);
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let y = lcg % (1 << n);
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let z = lcg % (1 << n);
         for layout in [&plain, &with_mbu] {
             let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
@@ -187,8 +200,8 @@ fn two_sided_comparator_statistics_and_savings() {
 
     // Thm 4.13: r = 2·r_COMP + r'_C-COMP → 1.5·r_COMP + r'_C-COMP.
     let r_comp = 2.0 * n as f64;
-    let saving = plain.circuit.expected_counts().toffoli
-        - with_mbu.circuit.expected_counts().toffoli;
+    let saving =
+        plain.circuit.expected_counts().toffoli - with_mbu.circuit.expected_counts().toffoli;
     assert!((saving - r_comp / 2.0).abs() < 1.0, "saving {saving}");
 }
 
@@ -224,31 +237,38 @@ fn monte_carlo_two_sided_quarter_saving() {
 
 #[test]
 fn executed_counts_bifurcate_by_outcome() {
-    // On outcome 0 the correction must not run; on outcome 1 it must.
+    // On outcome 0 the correction must not run; on outcome 1 it must. The
+    // per-shot probe exposes the (outcome, executed-Toffoli) pairs of the
+    // whole ensemble at once.
     let n = 6usize;
     let p = 61u128;
     let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
     let layout = modular::modadd_circuit(&spec, n, p).unwrap();
-    let mut cheap = None;
-    let mut costly = None;
-    for seed in 0..64 {
-        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-        sim.set_value(layout.x.qubits(), 30);
-        sim.set_value(layout.y.qubits(), 40);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ex = sim.run(&layout.circuit, &mut rng).unwrap();
-        let outcome = ex.classical.last().copied().flatten().unwrap();
-        if outcome {
-            costly.get_or_insert(ex.counts.toffoli);
-        } else {
-            cheap.get_or_insert(ex.counts.toffoli);
-        }
-        if let (Some(c), Some(k)) = (cheap, costly) {
-            assert!(k > c, "correction path must cost more: {k} vs {c}");
-            // The gap is exactly the oracle comparator (2n Toffolis).
-            assert_eq!(k - c, 2 * n as u64);
-            return;
-        }
-    }
-    panic!("both outcomes should occur within 64 seeds");
+    let (_, observations) = ShotRunner::new(64)
+        .run_probed(
+            &layout.circuit,
+            || {
+                let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+                sim.set_value(layout.x.qubits(), 30);
+                sim.set_value(layout.y.qubits(), 40);
+                Box::new(sim)
+            },
+            |_, ex| {
+                let outcome = ex.classical.last().copied().flatten().unwrap();
+                (outcome, ex.counts.toffoli)
+            },
+        )
+        .unwrap();
+    let cheap = observations.iter().find(|(o, _)| !o).map(|(_, t)| *t);
+    let costly = observations.iter().find(|(o, _)| *o).map(|(_, t)| *t);
+    let (cheap, costly) = (
+        cheap.expect("outcome 0 should occur within 64 shots"),
+        costly.expect("outcome 1 should occur within 64 shots"),
+    );
+    assert!(
+        costly > cheap,
+        "correction path must cost more: {costly} vs {cheap}"
+    );
+    // The gap is exactly the oracle comparator (2n Toffolis).
+    assert_eq!(costly - cheap, 2 * n as u64);
 }

@@ -114,8 +114,7 @@ fn modadd_const_all_architectures_wide() {
         }
         // Takahashi with each ripple family.
         for kind in [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney] {
-            let layout =
-                modular::modadd_const_takahashi_circuit(kind, unc, n, a, p).unwrap();
+            let layout = modular::modadd_const_takahashi_circuit(kind, unc, n, a, p).unwrap();
             let got = run_tracker(
                 &layout.circuit,
                 &[(layout.x.qubits(), x)],
@@ -141,12 +140,11 @@ fn takahashi_beats_vbe_architecture_on_toffolis() {
             .circuit
             .counts()
             .toffoli;
-        let takahashi =
-            modular::modadd_const_takahashi_circuit(kind, Uncompute::Unitary, n, a, p)
-                .unwrap()
-                .circuit
-                .counts()
-                .toffoli;
+        let takahashi = modular::modadd_const_takahashi_circuit(kind, Uncompute::Unitary, n, a, p)
+            .unwrap()
+            .circuit
+            .counts()
+            .toffoli;
         assert!(
             takahashi < vbe_arch,
             "{kind}: Takahashi {takahashi} !< VBE-arch {vbe_arch}"

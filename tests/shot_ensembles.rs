@@ -1,0 +1,145 @@
+//! Integration tests for the [`ShotRunner`] ensemble engine on the paper's
+//! real circuits: determinism, parallel-equals-serial, backend
+//! polymorphism through the [`Simulator`] trait, and agreement of ensemble
+//! means with the analytic "in expectation" accounting.
+
+use mbu_arith::modular::{self, ModAddSpec};
+use mbu_arith::Uncompute;
+use mbu_sim::{BasisTracker, ShotRunner, Simulator, StateVector};
+
+fn mbu_modadd() -> (modular::ModAdd, u128, u128, u128) {
+    let n = 6usize;
+    let p = 61u128;
+    let layout = modular::modadd_circuit(&ModAddSpec::cdkpm(Uncompute::Mbu), n, p).unwrap();
+    (layout, p, 37, 52)
+}
+
+fn tracker_factory(
+    layout: &modular::ModAdd,
+    x: u128,
+    y: u128,
+) -> impl Fn() -> Box<dyn Simulator> + Sync + '_ {
+    move || {
+        let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
+        sim.set_value(layout.x.qubits(), x);
+        sim.set_value(layout.y.qubits(), y);
+        Box::new(sim)
+    }
+}
+
+#[test]
+fn same_master_seed_reproduces_the_exact_aggregate() {
+    let (layout, _p, x, y) = mbu_modadd();
+    let run = |seed: u64| {
+        ShotRunner::new(400)
+            .with_master_seed(seed)
+            .run(&layout.circuit, tracker_factory(&layout, x, y))
+            .unwrap()
+    };
+    let a = run(2025);
+    let b = run(2025);
+    assert_eq!(a, b, "identical master seeds must agree bit-for-bit");
+
+    let c = run(2026);
+    let flag = a.last_clbit().unwrap();
+    assert_ne!(
+        (a.outcome_ones(flag), a.mean().toffoli),
+        (c.outcome_ones(flag), c.mean().toffoli),
+        "different master seeds should draw different outcome sequences"
+    );
+}
+
+#[test]
+fn parallel_and_serial_ensembles_are_bit_identical() {
+    let (layout, _p, x, y) = mbu_modadd();
+    let serial = ShotRunner::new(1000)
+        .with_threads(1)
+        .run(&layout.circuit, tracker_factory(&layout, x, y))
+        .unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = ShotRunner::new(1000)
+            .with_threads(threads)
+            .run(&layout.circuit, tracker_factory(&layout, x, y))
+            .unwrap();
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+}
+
+#[test]
+fn ensemble_mean_matches_analytic_expectation() {
+    let (layout, _p, x, y) = mbu_modadd();
+    let analytic = layout.circuit.expected_counts();
+    let ensemble = ShotRunner::new(800)
+        .run(&layout.circuit, tracker_factory(&layout, x, y))
+        .unwrap();
+    let mean = ensemble.mean();
+    for (measured, expected, what) in [
+        (mean.toffoli, analytic.toffoli, "toffoli"),
+        (mean.cx, analytic.cx, "cx"),
+        (mean.x, analytic.x, "x"),
+    ] {
+        assert!(
+            (measured - expected).abs() < expected * 0.1 + 1.0,
+            "{what}: measured {measured} vs analytic {expected}"
+        );
+    }
+    // The conditional correction makes the executed Toffoli count
+    // genuinely random: nonzero variance is the MBU signature.
+    assert!(ensemble.variance().toffoli > 0.0);
+}
+
+#[test]
+fn per_shot_probes_check_every_result_value() {
+    let (layout, p, x, y) = mbu_modadd();
+    let (ensemble, sums) = ShotRunner::new(200)
+        .run_probed(&layout.circuit, tracker_factory(&layout, x, y), |sim, _| {
+            sim.value(layout.y.qubits()).unwrap()
+        })
+        .unwrap();
+    assert_eq!(sums.len(), 200);
+    assert!(
+        sums.iter().all(|&s| s == (x + y) % p),
+        "every shot must compute (x + y) mod p"
+    );
+    assert_eq!(ensemble.shots(), 200);
+}
+
+#[test]
+fn state_vector_backend_runs_the_same_ensemble_through_the_trait() {
+    // A small instance, so the exact backend fits: the whole point of the
+    // Simulator seam is that only the factory changes.
+    let n = 3usize;
+    let p = 5u128;
+    let layout = modular::modadd_circuit(&ModAddSpec::cdkpm(Uncompute::Mbu), n, p).unwrap();
+    let (x, y) = (3u128, 4u128);
+
+    let on_tracker = ShotRunner::new(300)
+        .run(&layout.circuit, tracker_factory(&layout, x, y))
+        .unwrap();
+    let on_statevector = ShotRunner::new(300)
+        .run(&layout.circuit, || {
+            let mut sim = StateVector::zeros(layout.circuit.num_qubits()).unwrap();
+            sim.set_value(layout.x.qubits(), x).unwrap();
+            sim.set_value(layout.y.qubits(), y).unwrap();
+            Box::new(sim)
+        })
+        .unwrap();
+
+    // Deterministic counts agree exactly; outcome-dependent ones agree
+    // statistically (the backends draw from independent probability
+    // computations, exact vs symbolic).
+    assert_eq!(on_tracker.shots(), on_statevector.shots());
+    let flag = on_tracker.last_clbit().unwrap();
+    assert_eq!(flag, on_statevector.last_clbit().unwrap());
+    let f_tracker = on_tracker.outcome_frequency(flag).unwrap();
+    let f_sv = on_statevector.outcome_frequency(flag).unwrap();
+    assert!(
+        (f_tracker - 0.5).abs() < 0.15 && (f_sv - 0.5).abs() < 0.15,
+        "Lemma 4.1 fair coin on both backends: {f_tracker} vs {f_sv}"
+    );
+    assert!(
+        (on_tracker.mean().toffoli - on_statevector.mean().toffoli).abs()
+            < on_tracker.mean().toffoli * 0.1 + 1.0,
+        "mean executed Toffolis agree across backends"
+    );
+}

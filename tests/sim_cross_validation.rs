@@ -11,7 +11,7 @@
 
 use mbu_arith::AdderKind;
 use mbu_circuit::{Basis, Circuit, CircuitBuilder, QubitId};
-use mbu_sim::{BasisTracker, StateVector};
+use mbu_sim::{BasisTracker, ShotRunner, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -139,16 +139,20 @@ fn injected_missing_x_in_mbu_correction_is_caught() {
     b.emit_conditional(m, &bad_fix);
     let circuit = b.finish();
 
-    let mut caught = false;
-    for seed in 0..32 {
-        let mut sim = BasisTracker::zeros(2);
-        sim.set_bit(q[0], true);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ex = sim.run(&circuit, &mut rng).unwrap();
-        if ex.outcome(0).unwrap() {
-            caught |= sim.bit(q[1]).unwrap(); // |1⟩ left behind
-        }
-    }
+    let (_, observations) = ShotRunner::new(32)
+        .run_probed(
+            &circuit,
+            || {
+                let mut sim = BasisTracker::zeros(2);
+                sim.set_bit(q[0], true);
+                Box::new(sim)
+            },
+            |sim, ex| (ex.outcome(0).unwrap(), sim.bit(q[1]).unwrap()),
+        )
+        .unwrap();
+    let caught = observations
+        .iter()
+        .any(|(outcome, leftover)| *outcome && *leftover); // |1⟩ left behind
     assert!(caught, "the verification must detect the missing X");
 }
 
@@ -172,17 +176,24 @@ fn injected_missing_phase_fix_is_caught_by_global_phase() {
     b.emit_conditional(m, &bad_fix);
     let circuit = b.finish();
 
-    let mut caught = false;
-    for seed in 0..32 {
-        let mut sim = BasisTracker::zeros(2);
-        sim.set_bit(q[0], true); // g(x) = 1
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ex = sim.run(&circuit, &mut rng).unwrap();
-        assert!(!sim.bit(q[1]).unwrap(), "value looks fine either way");
-        if ex.outcome(0).unwrap() {
-            caught |= !sim.global_phase().is_zero();
-        }
-    }
+    let (_, observations) = ShotRunner::new(32)
+        .run_probed(
+            &circuit,
+            || {
+                let mut sim = BasisTracker::zeros(2);
+                sim.set_bit(q[0], true); // g(x) = 1
+                Box::new(sim)
+            },
+            |sim, ex| {
+                assert!(!sim.bit(q[1]).unwrap(), "value looks fine either way");
+                let phase = sim.global_phase().expect("tracker phase is exact");
+                (ex.outcome(0).unwrap(), phase)
+            },
+        )
+        .unwrap();
+    let caught = observations
+        .iter()
+        .any(|(outcome, phase)| *outcome && !phase.is_zero());
     assert!(caught, "the phase check must detect the skipped kickback");
 }
 
@@ -242,18 +253,24 @@ fn injected_dropped_cz_in_gidney_uncompute_is_caught() {
         adder.circuit.num_clbits(),
         stripped,
     );
-    let mut caught = false;
-    for seed in 0..32 {
-        let mut sim = BasisTracker::zeros(broken.num_qubits());
-        sim.set_value(adder.x.qubits(), 0b1011);
-        sim.set_value(adder.y.qubits(), 0b0110);
-        let mut rng = StdRng::seed_from_u64(seed);
-        sim.run(&broken, &mut rng).unwrap();
-        // Sum is still correct...
-        assert_eq!(sim.value(adder.y.qubits()).unwrap(), 0b1011 + 0b0110);
-        // ...but the phase is damaged whenever an AND uncompute drew 1.
-        caught |= !sim.global_phase().is_zero();
-    }
+    let (_, phases) = ShotRunner::new(32)
+        .run_probed(
+            &broken,
+            || {
+                let mut sim = BasisTracker::zeros(broken.num_qubits());
+                sim.set_value(adder.x.qubits(), 0b1011);
+                sim.set_value(adder.y.qubits(), 0b0110);
+                Box::new(sim)
+            },
+            |sim, _| {
+                // Sum is still correct...
+                assert_eq!(sim.value(adder.y.qubits()).unwrap(), 0b1011 + 0b0110);
+                sim.global_phase().expect("tracker phase is exact")
+            },
+        )
+        .unwrap();
+    // ...but the phase is damaged whenever an AND uncompute drew 1.
+    let caught = phases.iter().any(|phase| !phase.is_zero());
     assert!(caught, "phase tracking must catch the dropped CZ fixups");
 }
 
