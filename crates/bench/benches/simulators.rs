@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mbu_arith::modular::{self, ModAddSpec};
 use mbu_arith::Uncompute;
 use mbu_bench::benchmark_modulus;
-use mbu_sim::{BasisTracker, StateVector};
+use mbu_circuit::CompiledCircuit;
+use mbu_sim::{BasisTracker, KernelMode, Simulator, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -69,6 +70,69 @@ fn tracker_width_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn compiled_vs_interpreted(c: &mut Criterion) {
+    // The engine-acceptance benchmark: compiled execution with stride
+    // kernels vs the interpreted full-scan path, both driving a 16-qubit
+    // state vector through the same MBU modular-addition circuit (CDKPM at
+    // n = 4: 14 circuit qubits, padded onto a 16-qubit state so every gate
+    // sweeps 2^16 amplitudes on the scan path).
+    let mut group = c.benchmark_group("simulators/compiled_vs_interpreted");
+    let n = 4usize;
+    let width = 16usize;
+    let p = benchmark_modulus(n);
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+    let input = StateVector::index_with(&[
+        (layout.x.qubits(), (p - 1) as u64),
+        (layout.y.qubits(), (p - 2) as u64),
+    ]);
+    let lowered = CompiledCircuit::lower(&layout.circuit).unwrap();
+    let optimised = CompiledCircuit::compile(&layout.circuit).unwrap();
+
+    let mut seed = 0u64;
+    group.bench_function("interpreted_scan", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::basis(width, input)
+                .unwrap()
+                .with_kernel_mode(KernelMode::Scan);
+            seed = seed.wrapping_add(1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(sv.run(&layout.circuit, &mut rng).unwrap())
+        })
+    });
+
+    let mut seed = 0u64;
+    group.bench_function("interpreted_stride", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::basis(width, input).unwrap();
+            seed = seed.wrapping_add(1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(sv.run(&layout.circuit, &mut rng).unwrap())
+        })
+    });
+
+    let mut seed = 0u64;
+    group.bench_function("compiled_stride", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::basis(width, input).unwrap();
+            seed = seed.wrapping_add(1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(sv.run_compiled(&lowered, &mut rng).unwrap())
+        })
+    });
+
+    let mut seed = 0u64;
+    group.bench_function("compiled_passes", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::basis(width, input).unwrap();
+            seed = seed.wrapping_add(1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(sv.run_compiled(&optimised, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
 fn shot_runner_ensembles(c: &mut Criterion) {
     // The ensemble engine end to end: per-shot cost of seeded batched
     // execution, serial vs all-core.
@@ -112,6 +176,7 @@ fn short_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = short_config();
-    targets = tracker_vs_statevector, tracker_width_scaling, shot_runner_ensembles
+    targets = tracker_vs_statevector, tracker_width_scaling, compiled_vs_interpreted,
+        shot_runner_ensembles
 }
 criterion_main!(benches);

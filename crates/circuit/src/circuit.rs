@@ -139,6 +139,17 @@ impl Circuit {
         })
     }
 
+    /// Lowers the circuit to a flat instruction stream and runs the exact
+    /// default peephole passes — shorthand for
+    /// [`CompiledCircuit::compile`](crate::CompiledCircuit::compile).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CircuitError`] found by [`validate`](Self::validate).
+    pub fn compile(&self) -> Result<crate::CompiledCircuit, CircuitError> {
+        crate::CompiledCircuit::compile(self)
+    }
+
     /// Validates that every referenced qubit and classical bit is in range
     /// and that no gate reuses a qubit for two operands.
     ///

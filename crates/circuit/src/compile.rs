@@ -1,0 +1,881 @@
+//! Circuit compilation: lowering to a flat instruction stream plus peephole
+//! optimisation passes.
+//!
+//! The interpreted executors walk the [`Op`] tree of a [`Circuit`] on every
+//! run, recursing into [`Op::Conditional`] bodies and re-resolving structure
+//! per shot. For ensemble workloads (thousands of seeded shots of the same
+//! MBU modular adder) that walk is pure overhead. This module lowers a
+//! circuit **once** into a [`CompiledCircuit`]: a contiguous [`Instr`]
+//! stream in which conditional blocks become relative
+//! [`Instr::BranchUnless`] skips, so execution is a single program-counter
+//! loop over a flat slice shared immutably by any number of worker threads.
+//!
+//! The pipeline is `lower → passes → execute`:
+//!
+//! 1. **lower** — [`CompiledCircuit::lower`] validates the circuit and
+//!    flattens nested conditionals into branch instructions. No gate is
+//!    added, removed or reordered: a lowered program executes the exact same
+//!    operation sequence as the interpreted tree walk.
+//! 2. **passes** — [`CompiledCircuit::compile`] (or
+//!    [`CompiledCircuit::with_config`] for explicit [`PassConfig`] control)
+//!    additionally runs peephole passes over straight-line gate segments:
+//!    * *adjacent self-inverse cancellation* — `X·X`, `H·H`, `CX·CX`,
+//!      `CCX·CCX`, … pairs separated only by commuting gates are removed;
+//!    * *rotation merging* — `R(θ₁)·R(θ₂) → R(θ₁+θ₂)` for `Phase`,
+//!      `CPhase` and `CcPhase` on the same qubit set (exact dyadic
+//!      [`Angle`](crate::Angle) arithmetic, so merging never drifts);
+//!    * *identity elimination* — zero-angle rotations left over after
+//!      merging are dropped;
+//!    * *phase-dead elimination before measurement* (off by default, see
+//!      [`PassConfig::phase_dead_before_measure`]) — single-qubit diagonal
+//!      gates whose qubit is next consumed by a `Z`-basis measurement or a
+//!      reset only contribute a global phase to the collapsed branch and
+//!      can be dropped when callers accept global-phase equivalence.
+//!
+//!    Every pass records what it did in [`PassStats`].
+//! 3. **execute** — the `mbu-sim` crate runs compiled programs through
+//!    `Simulator::run_compiled`, and its `ShotRunner` lowers once and
+//!    shares the immutable program across all shot worker threads.
+//!
+//! Passes never cross a *barrier*: measurements, resets, branch
+//! instructions and branch join points all flush the peephole window, so an
+//! optimised program is observationally equivalent to the original on every
+//! control-flow path. For the default passes, equivalence is exact in the
+//! algebra (identical classical records and measurement outcomes;
+//! amplitudes equal up to floating-point re-association, since a cancelled
+//! gate pair skips two rounding steps and a merged rotation evaluates one
+//! `cis` instead of two); with phase-dead elimination enabled, states may
+//! additionally differ by a global phase.
+//!
+//! # Dumping a compiled program
+//!
+//! [`CompiledCircuit`] implements [`fmt::Display`]; the dump lists every
+//! instruction with its program counter, indents guarded blocks, and
+//! renders branches with their join target, which makes mis-lowered control
+//! flow obvious at a glance:
+//!
+//! ```
+//! use mbu_circuit::{Basis, CircuitBuilder, CompiledCircuit};
+//!
+//! let mut b = CircuitBuilder::new();
+//! let q = b.qreg("q", 3);
+//! b.ccx(q[0], q[1], q[2]);
+//! let m = b.measure(q[2], Basis::X);
+//! let (_, fix) = b.record(|b| b.cz(q[0], q[1]));
+//! b.emit_conditional(m, &fix);
+//! let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+//! print!("{compiled}");
+//! // compiled: 3 qubits, 1 clbits, 4 instrs (...)
+//! //     0: CCX q0 q1 q2
+//! //     1: MX q2 -> c0
+//! //     2: unless c0 jump 4
+//! //     3:   CZ q0 q1
+//! assert!(compiled.to_string().contains("unless c0 jump 4"));
+//! ```
+//!
+//! [`PassStats`] implements [`fmt::Display`] too (it is embedded in the
+//! dump header) and exposes per-pass counters as fields.
+
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::counts::GateCounts;
+use crate::error::CircuitError;
+use crate::gate::{Basis, Gate};
+use crate::op::{ClbitId, Op, QubitId};
+
+/// One instruction of a compiled program.
+///
+/// Unlike [`Op`], instructions never nest: conditional blocks are encoded
+/// as a [`Instr::BranchUnless`] guarding a contiguous run of instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// Apply a unitary gate.
+    Gate(Gate),
+    /// Measure `qubit` in `basis`, storing the outcome in `clbit`.
+    Measure {
+        /// The measured qubit.
+        qubit: QubitId,
+        /// Measurement basis.
+        basis: Basis,
+        /// Classical record slot receiving the outcome.
+        clbit: ClbitId,
+    },
+    /// Return `qubit` to `|0⟩` (measure-and-flip semantics).
+    Reset(QubitId),
+    /// Skip the next `skip` instructions unless classical bit `clbit`
+    /// holds 1. Reading an unwritten bit is a runtime error, matching the
+    /// interpreted executor.
+    BranchUnless {
+        /// The controlling classical bit.
+        clbit: ClbitId,
+        /// How many instructions the guarded block spans.
+        skip: u32,
+    },
+}
+
+/// Which peephole passes [`CompiledCircuit::with_config`] runs.
+///
+/// The default configuration ([`PassConfig::default`], used by
+/// [`CompiledCircuit::compile`]) enables every *algebraically exact* pass:
+/// the optimised program produces identical classical records and
+/// measurement outcomes, and amplitudes equal to the unoptimised program's
+/// up to floating-point re-association (removed gates skip their rounding
+/// steps). Only [`CompiledCircuit::lower`] — no passes — is bit-exact.
+/// [`PassConfig::phase_dead_before_measure`] additionally
+/// drops gates that only affect the global phase of post-measurement
+/// states; enable it with [`PassConfig::aggressive`] when global-phase
+/// equivalence is acceptable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PassConfig {
+    /// Cancel adjacent pairs of identical self-inverse gates.
+    pub cancel_self_inverse: bool,
+    /// Merge adjacent rotations on the same qubit set.
+    pub merge_rotations: bool,
+    /// Drop zero-angle rotations.
+    pub remove_identities: bool,
+    /// Drop single-qubit diagonal gates (`Z`, `Phase`) whose qubit is next
+    /// consumed by a `Z`-basis measurement or reset. **Not exact**: the
+    /// post-measurement state may differ by a global phase (measurement
+    /// probabilities and outcomes are untouched).
+    pub phase_dead_before_measure: bool,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        Self {
+            cancel_self_inverse: true,
+            merge_rotations: true,
+            remove_identities: true,
+            phase_dead_before_measure: false,
+        }
+    }
+}
+
+impl PassConfig {
+    /// No passes at all: `with_config` behaves like [`CompiledCircuit::lower`].
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            cancel_self_inverse: false,
+            merge_rotations: false,
+            remove_identities: false,
+            phase_dead_before_measure: false,
+        }
+    }
+
+    /// Every pass, including the global-phase-inexact one.
+    #[must_use]
+    pub fn aggressive() -> Self {
+        Self {
+            phase_dead_before_measure: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any pass is enabled.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.cancel_self_inverse
+            || self.merge_rotations
+            || self.remove_identities
+            || self.phase_dead_before_measure
+    }
+}
+
+/// Per-pass statistics of one compilation.
+///
+/// All counters are in *instructions*: a cancelled pair contributes 2 to
+/// [`PassStats::cancelled`], a merge that folds two rotations into one
+/// contributes 1 to [`PassStats::merged`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PassStats {
+    /// Instructions in the stream right after lowering, before any pass.
+    pub lowered_instrs: usize,
+    /// Gates removed by self-inverse cancellation.
+    pub cancelled: u64,
+    /// Rotations eliminated by merging into a neighbour.
+    pub merged: u64,
+    /// Zero-angle rotations dropped.
+    pub identities_removed: u64,
+    /// Diagonal gates dropped as phase-dead before a measurement/reset.
+    pub phase_dead_removed: u64,
+    /// Instructions in the final program.
+    pub emitted_instrs: usize,
+}
+
+impl PassStats {
+    /// Total instructions removed by all passes.
+    #[must_use]
+    pub fn removed(&self) -> u64 {
+        self.cancelled + self.merged + self.identities_removed + self.phase_dead_removed
+    }
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lowered {} instrs; cancelled {}, merged {}, identities {}, phase-dead {}; emitted {}",
+            self.lowered_instrs,
+            self.cancelled,
+            self.merged,
+            self.identities_removed,
+            self.phase_dead_removed,
+            self.emitted_instrs
+        )
+    }
+}
+
+/// A circuit lowered to a flat, pre-validated instruction stream.
+///
+/// Produced by [`CompiledCircuit::lower`] (no passes),
+/// [`CompiledCircuit::compile`] (exact default passes) or
+/// [`CompiledCircuit::with_config`]. Compilation validates the circuit, so
+/// executors may assume every qubit and classical-bit reference is in
+/// range and every gate has distinct operands.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_circuit::{Basis, CircuitBuilder, CompiledCircuit, Instr};
+///
+/// // Gidney AND-uncompute: measure, then a conditional fix-up block.
+/// let mut b = CircuitBuilder::new();
+/// let q = b.qreg("q", 3);
+/// b.h(q[2]);
+/// let m = b.measure(q[2], Basis::Z);
+/// let (_, fix) = b.record(|b| {
+///     b.cz(q[0], q[1]);
+///     b.x(q[2]);
+/// });
+/// b.emit_conditional(m, &fix);
+/// let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+///
+/// // The conditional became a branch over a contiguous block.
+/// assert!(matches!(
+///     compiled.instrs()[2],
+///     Instr::BranchUnless { skip: 2, .. }
+/// ));
+/// println!("{compiled}"); // dump the program for debugging
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompiledCircuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    instrs: Vec<Instr>,
+    stats: PassStats,
+}
+
+impl CompiledCircuit {
+    /// Lowers `circuit` to a flat instruction stream without running any
+    /// optimisation pass. The lowered program executes the exact operation
+    /// sequence of the interpreted tree walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CircuitError`] found by
+    /// [`Circuit::validate`] — compiled programs are always well-formed.
+    pub fn lower(circuit: &Circuit) -> Result<Self, CircuitError> {
+        Self::with_config(circuit, &PassConfig::none())
+    }
+
+    /// Lowers `circuit` and runs the default (exact) peephole passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CircuitError`] found by [`Circuit::validate`].
+    pub fn compile(circuit: &Circuit) -> Result<Self, CircuitError> {
+        Self::with_config(circuit, &PassConfig::default())
+    }
+
+    /// Lowers `circuit` and runs exactly the passes enabled in `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CircuitError`] found by [`Circuit::validate`].
+    pub fn with_config(circuit: &Circuit, config: &PassConfig) -> Result<Self, CircuitError> {
+        circuit.validate()?;
+        let mut instrs = Vec::new();
+        flatten(circuit.ops(), &mut instrs);
+        let mut stats = PassStats {
+            lowered_instrs: instrs.len(),
+            ..PassStats::default()
+        };
+        if config.any() {
+            instrs = run_passes(instrs, config, &mut stats);
+        }
+        stats.emitted_instrs = instrs.len();
+        Ok(Self {
+            num_qubits: circuit.num_qubits(),
+            num_clbits: circuit.num_clbits(),
+            instrs,
+            stats,
+        })
+    }
+
+    /// The number of qubits of the source circuit.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The number of classical bits of the source circuit.
+    #[must_use]
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The instruction stream, in program order.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// What the peephole passes did to this program.
+    #[must_use]
+    pub fn stats(&self) -> &PassStats {
+        &self.stats
+    }
+
+    /// Worst-case gate counts of the compiled program (guarded blocks at
+    /// full weight), comparable with [`Circuit::counts`] to quantify what
+    /// the passes removed.
+    #[must_use]
+    pub fn counts(&self) -> GateCounts {
+        let mut counts = GateCounts::default();
+        for instr in &self.instrs {
+            match instr {
+                Instr::Gate(g) => counts.record_gate(g),
+                Instr::Measure { basis, .. } => counts.record_measurement(*basis),
+                Instr::Reset(_) => counts.reset += 1,
+                Instr::BranchUnless { .. } => {}
+            }
+        }
+        counts
+    }
+}
+
+impl fmt::Display for CompiledCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "compiled: {} qubits, {} clbits, {} instrs ({})",
+            self.num_qubits,
+            self.num_clbits,
+            self.instrs.len(),
+            self.stats
+        )?;
+        // Indent instructions by their guard depth so conditional bodies
+        // read like the interpreted tree.
+        let mut guard_ends: Vec<usize> = Vec::new();
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            guard_ends.retain(|&end| end > pc);
+            let indent = 2 * guard_ends.len();
+            match instr {
+                Instr::Gate(g) => writeln!(f, "{pc:5}: {:indent$}{g}", "")?,
+                Instr::Measure {
+                    qubit,
+                    basis,
+                    clbit,
+                } => writeln!(f, "{pc:5}: {:indent$}M{basis} {qubit} -> {clbit}", "")?,
+                Instr::Reset(q) => writeln!(f, "{pc:5}: {:indent$}reset {q}", "")?,
+                Instr::BranchUnless { clbit, skip } => {
+                    let target = pc + 1 + *skip as usize;
+                    writeln!(f, "{pc:5}: {:indent$}unless {clbit} jump {target}", "")?;
+                    guard_ends.push(target);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Recursively flattens an op tree into `out`, encoding conditionals as
+/// relative branches over their (contiguous) bodies.
+fn flatten(ops: &[Op], out: &mut Vec<Instr>) {
+    for op in ops {
+        match op {
+            Op::Gate(g) => out.push(Instr::Gate(*g)),
+            Op::Measure {
+                qubit,
+                basis,
+                clbit,
+            } => out.push(Instr::Measure {
+                qubit: *qubit,
+                basis: *basis,
+                clbit: *clbit,
+            }),
+            Op::Reset(q) => out.push(Instr::Reset(*q)),
+            Op::Conditional { clbit, ops } => {
+                let at = out.len();
+                out.push(Instr::BranchUnless {
+                    clbit: *clbit,
+                    skip: 0,
+                });
+                flatten(ops, out);
+                let skip = u32::try_from(out.len() - at - 1)
+                    .expect("conditional body exceeds u32::MAX instructions");
+                out[at] = Instr::BranchUnless {
+                    clbit: *clbit,
+                    skip,
+                };
+            }
+        }
+    }
+}
+
+/// Whether `g` is its own inverse (so an identical adjacent copy cancels).
+fn self_inverse(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::X(_)
+            | Gate::Z(_)
+            | Gate::H(_)
+            | Gate::Cx(..)
+            | Gate::Cz(..)
+            | Gate::Ccx(..)
+            | Gate::Ccz(..)
+            | Gate::Swap(..)
+    )
+}
+
+/// Whether `g` and `h` denote the same unitary, treating operand order of
+/// symmetric gates (`CZ`, `CCZ`, `SWAP`, rotations controlled on a set, the
+/// Toffoli control pair) as irrelevant.
+fn same_unitary(g: &Gate, h: &Gate) -> bool {
+    use Gate::{Ccx, Ccz, Cz, Swap};
+    match (*g, *h) {
+        (Cz(a1, b1), Cz(a2, b2)) | (Swap(a1, b1), Swap(a2, b2)) => {
+            (a1, b1) == (a2, b2) || (a1, b1) == (b2, a2)
+        }
+        (Ccz(a1, b1, c1), Ccz(a2, b2, c2)) => set3(a1, b1, c1) == set3(a2, b2, c2),
+        (Ccx(a1, b1, t1), Ccx(a2, b2, t2)) => {
+            t1 == t2 && ((a1, b1) == (a2, b2) || (a1, b1) == (b2, a2))
+        }
+        _ => g == h,
+    }
+}
+
+/// The three operands as a sorted triple (all-symmetric gates).
+fn set3(a: QubitId, b: QubitId, c: QubitId) -> (QubitId, QubitId, QubitId) {
+    let mut v = [a, b, c];
+    v.sort_unstable();
+    (v[0], v[1], v[2])
+}
+
+/// If `g` and `h` are rotations of the same family on the same qubit set,
+/// the merged rotation (angles added exactly).
+fn merge_rotations(g: &Gate, h: &Gate) -> Option<Gate> {
+    use Gate::{CPhase, CcPhase, Phase};
+    match (*g, *h) {
+        (Phase(q1, a1), Phase(q2, a2)) if q1 == q2 => Some(Phase(q1, a1 + a2)),
+        (CPhase(c1, t1, a1), CPhase(c2, t2, a2))
+            if (c1, t1) == (c2, t2) || (c1, t1) == (t2, c2) =>
+        {
+            Some(CPhase(c1, t1, a1 + a2))
+        }
+        (CcPhase(x1, y1, z1, a1), CcPhase(x2, y2, z2, a2))
+            if set3(x1, y1, z1) == set3(x2, y2, z2) =>
+        {
+            Some(CcPhase(x1, y1, z1, a1 + a2))
+        }
+        _ => None,
+    }
+}
+
+/// A rotation whose angle reduced to zero (the identity).
+fn is_identity(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::Phase(_, a) | Gate::CPhase(_, _, a) | Gate::CcPhase(_, _, _, a) if a.is_zero()
+    )
+}
+
+/// Whether the peephole scan may step over `f` while looking for a partner
+/// of `g`: sound when the two commute, which we certify either by disjoint
+/// qubit support or by both being diagonal.
+fn commutes(f: &Gate, g: &Gate) -> bool {
+    if f.is_diagonal() && g.is_diagonal() {
+        return true;
+    }
+    let mut disjoint = true;
+    f.for_each_qubit(&mut |qf| {
+        g.for_each_qubit(&mut |qg| {
+            if qf == qg {
+                disjoint = false;
+            }
+        });
+    });
+    disjoint
+}
+
+/// Runs the enabled passes over the lowered stream.
+fn run_passes(instrs: Vec<Instr>, config: &PassConfig, stats: &mut PassStats) -> Vec<Instr> {
+    // Branch join points are barriers: a gate after the join executes on
+    // every path, a gate inside the guarded block only sometimes, so the
+    // peephole window must not span the boundary.
+    let mut barrier = vec![false; instrs.len() + 1];
+    for (pc, instr) in instrs.iter().enumerate() {
+        if let Instr::BranchUnless { skip, .. } = instr {
+            barrier[pc + 1 + *skip as usize] = true;
+        }
+    }
+
+    // Slots: None = removed. Process straight-line gate segments.
+    let mut slots: Vec<Option<Instr>> = instrs.into_iter().map(Some).collect();
+    let mut start = 0;
+    for pc in 0..=slots.len() {
+        let is_gate = pc < slots.len() && matches!(slots[pc], Some(Instr::Gate(_)));
+        if !is_gate || barrier[pc] {
+            if pc > start {
+                optimize_segment(&mut slots[start..pc], config, stats);
+            }
+            start = pc + 1;
+            if is_gate && barrier[pc] {
+                start = pc; // the gate at `pc` opens the next segment
+            }
+        }
+    }
+
+    if config.phase_dead_before_measure {
+        eliminate_phase_dead(&mut slots, &barrier, stats);
+    }
+
+    // Compact, recomputing branch skips over the surviving instructions
+    // (branches themselves are never removed, so guarded regions stay
+    // contiguous and only shrink).
+    let mut surviving = vec![0usize; slots.len() + 1];
+    for (i, slot) in slots.iter().enumerate() {
+        surviving[i + 1] = surviving[i] + usize::from(slot.is_some());
+    }
+    let mut out = Vec::with_capacity(surviving[slots.len()]);
+    for (i, slot) in slots.iter().enumerate() {
+        match slot {
+            None => {}
+            Some(Instr::BranchUnless { clbit, skip }) => {
+                let end = i + 1 + *skip as usize;
+                let new_skip = u32::try_from(surviving[end] - surviving[i + 1])
+                    .expect("skip shrank below u32::MAX");
+                out.push(Instr::BranchUnless {
+                    clbit: *clbit,
+                    skip: new_skip,
+                });
+            }
+            Some(instr) => out.push(*instr),
+        }
+    }
+    out
+}
+
+/// Cancellation, merging and identity elimination within one straight-line
+/// run of gates.
+fn optimize_segment(slots: &mut [Option<Instr>], config: &PassConfig, stats: &mut PassStats) {
+    let gate_at = |slot: &Option<Instr>| match slot {
+        Some(Instr::Gate(g)) => Some(*g),
+        _ => None,
+    };
+    for i in 0..slots.len() {
+        let Some(mut g) = gate_at(&slots[i]) else {
+            continue;
+        };
+        // Walk backwards over removed slots and commuting gates, looking
+        // for a cancellation partner or a mergeable rotation.
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let Some(h) = gate_at(&slots[j]) else {
+                continue;
+            };
+            if config.cancel_self_inverse && self_inverse(&g) && same_unitary(&g, &h) {
+                slots[i] = None;
+                slots[j] = None;
+                stats.cancelled += 2;
+                break;
+            }
+            if config.merge_rotations {
+                if let Some(merged) = merge_rotations(&g, &h) {
+                    slots[j] = None;
+                    stats.merged += 1;
+                    g = merged;
+                    slots[i] = Some(Instr::Gate(g));
+                    continue; // keep scanning: more partners may commute up
+                }
+            }
+            if !commutes(&h, &g) {
+                break;
+            }
+        }
+    }
+    if config.remove_identities {
+        for slot in slots.iter_mut() {
+            if let Some(Instr::Gate(g)) = slot {
+                if is_identity(g) {
+                    *slot = None;
+                    stats.identities_removed += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Drops `Z`/`Phase` gates whose qubit is next consumed by a Z-basis
+/// measurement or reset (global-phase-only effect on the collapsed state).
+fn eliminate_phase_dead(slots: &mut [Option<Instr>], barrier: &[bool], stats: &mut PassStats) {
+    for i in 0..slots.len() {
+        let q = match slots[i] {
+            Some(Instr::Gate(Gate::Z(q) | Gate::Phase(q, _))) => q,
+            _ => continue,
+        };
+        // Scan forward for the next operation consuming `q`; stop at any
+        // control-flow boundary. Diagonal gates commute past the candidate,
+        // so they may be stepped over even when they touch `q`.
+        let mut dead = false;
+        for (j, slot) in slots.iter().enumerate().skip(i + 1) {
+            if barrier[j] {
+                break;
+            }
+            match slot {
+                None => continue,
+                Some(Instr::Gate(g)) => {
+                    if g.is_diagonal() {
+                        continue;
+                    }
+                    let mut touches = false;
+                    g.for_each_qubit(&mut |qq| touches |= qq == q);
+                    if touches {
+                        break;
+                    }
+                }
+                Some(Instr::Measure { qubit, basis, .. }) => {
+                    if *qubit == q {
+                        dead = *basis == Basis::Z;
+                        break;
+                    }
+                }
+                Some(Instr::Reset(qubit)) => {
+                    if *qubit == q {
+                        dead = true;
+                        break;
+                    }
+                }
+                Some(Instr::BranchUnless { .. }) => break,
+            }
+        }
+        if dead {
+            slots[i] = None;
+            stats.phase_dead_removed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::Angle;
+    use crate::builder::CircuitBuilder;
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    fn gates(compiled: &CompiledCircuit) -> Vec<Gate> {
+        compiled
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Gate(g) => Some(*g),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lowering_flattens_nested_conditionals() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        let m0 = b.measure(r[0], Basis::Z);
+        let (_, inner) = b.record(|b| b.x(r[1]));
+        let (_, outer) = b.record(|b| {
+            b.z(r[0]);
+            b.emit_conditional(m0, &inner);
+            b.h(r[1]);
+        });
+        b.emit_conditional(m0, &outer);
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        let instrs = compiled.instrs();
+        // Measure, outer branch (skip 4), Z, inner branch (skip 1), X, H.
+        assert_eq!(instrs.len(), 6);
+        assert!(matches!(instrs[1], Instr::BranchUnless { skip: 4, .. }));
+        assert!(matches!(instrs[3], Instr::BranchUnless { skip: 1, .. }));
+        assert_eq!(compiled.counts().x, 1);
+        assert_eq!(compiled.counts().h, 1);
+    }
+
+    #[test]
+    fn lowering_rejects_invalid_circuits() {
+        let c = Circuit::from_ops(1, 0, vec![Op::Gate(Gate::Cx(q(0), q(5)))]);
+        assert!(matches!(
+            CompiledCircuit::lower(&c),
+            Err(CircuitError::QubitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn adjacent_self_inverse_pairs_cancel() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 3);
+        b.x(r[0]);
+        b.x(r[0]);
+        b.h(r[1]);
+        b.ccx(r[0], r[1], r[2]);
+        b.ccx(r[1], r[0], r[2]); // symmetric control pair still cancels
+        b.h(r[1]);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        // Cancellation cascades: once the CCX pair vanishes, the H's become
+        // adjacent and cancel too — the whole segment is the identity.
+        assert_eq!(compiled.counts().total_gates(), 0);
+        assert_eq!(compiled.stats().cancelled, 6);
+    }
+
+    #[test]
+    fn cancellation_reaches_across_commuting_gates() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 3);
+        b.x(r[0]);
+        b.h(r[1]); // disjoint support: scan steps over it
+        b.cz(r[1], r[2]); // disjoint from q0
+        b.x(r[0]);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        assert_eq!(compiled.counts().x, 0);
+        assert_eq!(compiled.counts().h, 1);
+        assert_eq!(compiled.counts().cz, 1);
+    }
+
+    #[test]
+    fn cancellation_blocked_by_shared_support() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.x(r[0]);
+        b.h(r[0]); // same qubit, not diagonal: blocks
+        b.x(r[0]);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        assert_eq!(compiled.counts().x, 2);
+    }
+
+    #[test]
+    fn rotations_merge_exactly_and_identities_vanish() {
+        let t = Angle::turn_over_power_of_two(3);
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.phase(r[0], t);
+        b.cphase(r[0], r[1], t);
+        b.phase(r[0], t); // merges with the first Phase (diagonal commute)
+        b.cphase(r[1], r[0], -t); // merges to zero with the CPhase -> dropped
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        let g = gates(&compiled);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0], Gate::Phase(r[0], t + t));
+        assert_eq!(compiled.stats().merged, 2);
+        assert_eq!(compiled.stats().identities_removed, 1);
+    }
+
+    #[test]
+    fn measurements_are_barriers() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        b.x(r[0]);
+        b.measure(r[0], Basis::Z);
+        b.x(r[0]);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        assert_eq!(compiled.counts().x, 2, "no cancellation across measure");
+    }
+
+    #[test]
+    fn branch_joins_are_barriers() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        let m = b.measure(r[0], Basis::Z);
+        let (_, block) = b.record(|b| b.x(r[0]));
+        b.emit_conditional(m, &block);
+        b.x(r[0]); // runs on every path; must not cancel the guarded X
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        assert_eq!(compiled.counts().x, 2);
+    }
+
+    #[test]
+    fn passes_inside_conditional_bodies_still_run() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        let m = b.measure(r[0], Basis::Z);
+        let (_, block) = b.record(|b| {
+            b.x(r[0]);
+            b.x(r[0]);
+        });
+        b.emit_conditional(m, &block);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        assert_eq!(compiled.counts().x, 0);
+        assert!(matches!(
+            compiled.instrs().last(),
+            Some(Instr::BranchUnless { skip: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn phase_dead_removal_is_opt_in() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.z(r[0]);
+        b.h(r[1]); // other qubit: stepped over
+        b.measure(r[0], Basis::Z);
+        let circuit = b.finish();
+
+        let exact = CompiledCircuit::compile(&circuit).unwrap();
+        assert_eq!(exact.counts().z, 1, "default passes keep the Z");
+
+        let aggressive = CompiledCircuit::with_config(&circuit, &PassConfig::aggressive()).unwrap();
+        assert_eq!(aggressive.counts().z, 0);
+        assert_eq!(aggressive.stats().phase_dead_removed, 1);
+    }
+
+    #[test]
+    fn phase_dead_keeps_gates_feeding_x_measurements() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        b.z(r[0]);
+        b.measure(r[0], Basis::X); // Z flips |+⟩ to |−⟩: not dead
+        let compiled =
+            CompiledCircuit::with_config(&b.finish(), &PassConfig::aggressive()).unwrap();
+        assert_eq!(compiled.counts().z, 1);
+    }
+
+    #[test]
+    fn stats_roundtrip_and_display() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.x(r[0]);
+        b.x(r[0]);
+        b.cx(r[0], r[1]);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        let stats = compiled.stats();
+        assert_eq!(stats.lowered_instrs, 3);
+        assert_eq!(stats.emitted_instrs, 1);
+        assert_eq!(stats.removed(), 2);
+        let dump = compiled.to_string();
+        assert!(dump.contains("CX q0 q1"), "{dump}");
+        assert!(dump.contains("cancelled 2"), "{dump}");
+    }
+
+    #[test]
+    fn display_indents_guarded_blocks() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        let m = b.measure(r[0], Basis::X);
+        let (_, block) = b.record(|b| b.cz(r[0], r[1]));
+        b.emit_conditional(m, &block);
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        let dump = compiled.to_string();
+        assert!(dump.contains("unless c0 jump 3"), "{dump}");
+        assert!(dump.contains("  CZ q0 q1"), "{dump}");
+    }
+}

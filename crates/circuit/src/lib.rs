@@ -20,7 +20,12 @@
 //!   propositions compose (`Q†_ADD` as a subtractor, half-subtractor
 //!   comparators, …);
 //! * an ASCII [`diagram`] renderer regenerating the paper's
-//!   circuit figures.
+//!   circuit figures;
+//! * a compilation layer ([`CompiledCircuit`]): lowering to a flat
+//!   branch-encoded instruction stream plus peephole passes (self-inverse
+//!   cancellation, exact rotation merging, identity and phase-dead
+//!   elimination) with per-pass [`PassStats`] — the program representation
+//!   the simulators' hot paths execute.
 //!
 //! # Examples
 //!
@@ -45,6 +50,7 @@
 mod angle;
 mod builder;
 mod circuit;
+mod compile;
 mod counts;
 mod depth;
 pub mod diagram;
@@ -55,6 +61,7 @@ mod op;
 pub use angle::Angle;
 pub use builder::{CircuitBuilder, OpBlock, Register};
 pub use circuit::Circuit;
+pub use compile::{CompiledCircuit, Instr, PassConfig, PassStats};
 pub use counts::{ExpectedCounts, GateCounts};
 pub use error::CircuitError;
 pub use gate::{Basis, Gate};

@@ -54,6 +54,21 @@ pub enum SimError {
         /// Description of the offending reference.
         what: String,
     },
+    /// A multi-qubit gate named the same qubit for two operands (e.g.
+    /// `CX q3 q3`); no unitary of the gate set is defined there.
+    DuplicateOperand {
+        /// Rendering of the offending gate.
+        gate: String,
+        /// The duplicated qubit index.
+        qubit: u32,
+    },
+    /// A circuit failed structural validation when compiled for execution
+    /// (out-of-range references or duplicate operands found by
+    /// `mbu_circuit::Circuit::validate`).
+    InvalidCircuit {
+        /// The underlying `CircuitError`, rendered.
+        why: String,
+    },
     /// A conditional read a classical bit that no measurement had written.
     UnwrittenClassicalBit {
         /// The offending classical bit index.
@@ -80,6 +95,12 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::OutOfRange { what } => write!(f, "{what} out of range"),
+            SimError::DuplicateOperand { gate, qubit } => {
+                write!(f, "gate {gate} uses qubit q{qubit} for two operands")
+            }
+            SimError::InvalidCircuit { why } => {
+                write!(f, "circuit failed validation: {why}")
+            }
             SimError::UnwrittenClassicalBit { clbit } => {
                 write!(
                     f,

@@ -1,7 +1,11 @@
-//! The shared circuit executor: walks ops, resolves conditionals against the
-//! classical record, and tallies the gates that actually ran.
+//! The shared circuit executors: the interpreted walker over the [`Op`]
+//! tree, and the compiled program-counter loop over a flat
+//! [`CompiledCircuit`](mbu_circuit::CompiledCircuit) instruction stream.
+//! Both resolve conditionals against the classical record and tally the
+//! gates that actually ran, producing identical [`Executed`] records for a
+//! lowered (pass-free) program.
 
-use mbu_circuit::{GateCounts, Op};
+use mbu_circuit::{CompiledCircuit, Gate, GateCounts, Instr, Op};
 use rand::{Rng, RngCore};
 
 use crate::error::SimError;
@@ -88,10 +92,83 @@ pub(crate) fn execute_dyn<S: Simulator + ?Sized>(
     Ok(())
 }
 
+/// Executes a compiled program on `sim`: a single program-counter loop, no
+/// recursion, no tree walk. `BranchUnless` reads the classical record like
+/// the interpreted executor's conditionals (reading an unwritten bit is an
+/// error even when the branch would be taken, matching `execute_dyn`).
+pub(crate) fn execute_compiled<S: Simulator + ?Sized>(
+    sim: &mut S,
+    compiled: &CompiledCircuit,
+    rng: &mut dyn RngCore,
+    executed: &mut Executed,
+) -> Result<(), SimError> {
+    execute_compiled_core(sim, compiled, rng, executed, |s, g| s.apply_gate(g), |_| {})
+}
+
+/// The compiled program-counter loop, parametrised over gate application
+/// (`apply`) and a hook run before every non-unitary instruction
+/// (`before_nonunitary`). Backends with deferred per-gate state — the
+/// state vector's bit-flip frame — route through this with a custom
+/// `apply` and a flush hook, so measurement, reset, branch and
+/// classical-record semantics live in exactly one place.
+pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
+    sim: &mut S,
+    compiled: &CompiledCircuit,
+    rng: &mut dyn RngCore,
+    executed: &mut Executed,
+    mut apply: impl FnMut(&mut S, &Gate) -> Result<(), SimError>,
+    mut before_nonunitary: impl FnMut(&mut S),
+) -> Result<(), SimError> {
+    let instrs = compiled.instrs();
+    let mut pc = 0usize;
+    while let Some(instr) = instrs.get(pc) {
+        match instr {
+            Instr::Gate(g) => {
+                apply(sim, g)?;
+                executed.counts.record_gate(g);
+            }
+            Instr::Measure {
+                qubit,
+                basis,
+                clbit,
+            } => {
+                before_nonunitary(sim);
+                let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
+                let outcome = sim.measure(*qubit, *basis, &mut draw)?;
+                executed.counts.record_measurement(*basis);
+                let idx = clbit.index();
+                if executed.classical.len() <= idx {
+                    executed.classical.resize(idx + 1, None);
+                }
+                executed.classical[idx] = Some(outcome);
+            }
+            Instr::Reset(qubit) => {
+                before_nonunitary(sim);
+                let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
+                sim.reset(*qubit, &mut draw)?;
+                executed.counts.reset += 1;
+            }
+            Instr::BranchUnless { clbit, skip } => {
+                let bit = executed
+                    .classical
+                    .get(clbit.index())
+                    .copied()
+                    .flatten()
+                    .ok_or(SimError::UnwrittenClassicalBit { clbit: clbit.0 })?;
+                if !bit {
+                    pc += *skip as usize;
+                }
+            }
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mbu_circuit::{Angle, Basis, ClbitId, Gate, QubitId};
+    use mbu_circuit::{Angle, Basis, Circuit, ClbitId, Gate, QubitId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -201,6 +278,61 @@ mod tests {
         let mut ex = Executed::default();
         let err = execute_dyn(&mut backend, &ops, &mut rng, &mut ex).unwrap_err();
         assert_eq!(err, SimError::UnwrittenClassicalBit { clbit: 5 });
+    }
+
+    #[test]
+    fn compiled_branches_mirror_interpreted_conditionals() {
+        let ops = vec![
+            Op::Measure {
+                qubit: q(0),
+                basis: Basis::Z,
+                clbit: ClbitId(0),
+            },
+            Op::Conditional {
+                clbit: ClbitId(0),
+                ops: vec![Op::Gate(Gate::X(q(0)))],
+            },
+            Op::Gate(Gate::H(q(1))),
+        ];
+        let circuit = Circuit::from_ops(2, 1, ops);
+        let compiled = CompiledCircuit::lower(&circuit).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+
+        for (outcome, expect_gates) in [(false, 1), (true, 2)] {
+            let mut backend = Scripted {
+                outcomes: vec![outcome],
+                next: 0,
+                gates_seen: 0,
+            };
+            let mut ex = Executed::default();
+            execute_compiled(&mut backend, &compiled, &mut rng, &mut ex).unwrap();
+            assert_eq!(backend.gates_seen, expect_gates, "outcome {outcome}");
+            assert_eq!(ex.outcome(0).unwrap(), outcome);
+            assert_eq!(ex.counts.h, 1);
+        }
+    }
+
+    #[test]
+    fn compiled_branch_on_unwritten_bit_is_an_error() {
+        // Hand-built program: a branch guarding nothing, bit never written.
+        let circuit = Circuit::from_ops(
+            1,
+            1,
+            vec![Op::Conditional {
+                clbit: ClbitId(0),
+                ops: vec![],
+            }],
+        );
+        let compiled = CompiledCircuit::lower(&circuit).unwrap();
+        let mut backend = Scripted {
+            outcomes: vec![],
+            next: 0,
+            gates_seen: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ex = Executed::default();
+        let err = execute_compiled(&mut backend, &compiled, &mut rng, &mut ex).unwrap_err();
+        assert_eq!(err, SimError::UnwrittenClassicalBit { clbit: 0 });
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Stride-based state-vector kernels.
+//!
+//! Every kernel in this module iterates exactly the amplitudes a gate can
+//! move, instead of scanning all `2^n` entries with a per-index branch:
+//!
+//! * 1-qubit gates visit `2^(n-1)` amplitude *pairs* via bit-stride
+//!   iteration (an outer walk over blocks of `2^(t+1)` indices, paired
+//!   halves swapped or butterflied as contiguous slices);
+//! * controlled gates enumerate only the control-satisfied subspace —
+//!   `2^(n-2)` indices for a CNOT, `2^(n-3)` for a Toffoli — as nested
+//!   stride loops whose innermost step hands over a *contiguous run* of
+//!   indices (the bits below the lowest pinned position), so the hot loop
+//!   is a slice-to-slice swap or an in-place slice multiply that the
+//!   compiler vectorises, with a constant pinned-bit offset OR-ed onto
+//!   block bases — no per-index bit arithmetic at all;
+//! * diagonal gates (`Z`, `Phase`, `CZ`, `CCZ`, `CPhase`, `CcPhase`) are
+//!   pure phase sweeps over the all-controls-set subspace: no pairing, no
+//!   swaps, just an in-place complex multiply.
+//!
+//! The kernels assume their qubit indices are in range and distinct; the
+//! [`StateVector`](crate::StateVector) front end validates operands before
+//! dispatching (and exposes an unoptimised full-scan reference path used
+//! for differential testing and benchmarking).
+
+use crate::complex::Complex;
+
+/// Sorts two (position, value) pins by position.
+#[inline]
+fn sort2(a: (usize, usize), b: (usize, usize)) -> [(usize, usize); 2] {
+    if a.0 < b.0 {
+        [a, b]
+    } else {
+        [b, a]
+    }
+}
+
+/// Sorts three (position, value) pins by position.
+#[inline]
+fn sort3(a: (usize, usize), b: (usize, usize), c: (usize, usize)) -> [(usize, usize); 3] {
+    let mut v = [a, b, c];
+    v.sort_unstable_by_key(|p| p.0);
+    v
+}
+
+/// Calls `f(base, run)` for every maximal contiguous run of indices in
+/// `0..len` whose bits at the two pinned positions hold the pinned values.
+/// The runs cover `len / 4` indices; each run spans the free bits below
+/// the lowest pinned position (`run = 2^p0`), so `f` can operate on
+/// `amps[base..base + run]` as a slice.
+#[inline(always)]
+fn for_each_run2(
+    len: usize,
+    a: (usize, usize),
+    b: (usize, usize),
+    mut f: impl FnMut(usize, usize),
+) {
+    let [(p0, v0), (p1, v1)] = sort2(a, b);
+    let m0 = 1usize << p0;
+    let m1 = 1usize << p1;
+    let offset = (v0 << p0) | (v1 << p1);
+    let mut hi = 0;
+    while hi < len {
+        let mut mid = hi;
+        while mid < hi + m1 {
+            f(mid | offset, m0);
+            mid += m0 << 1;
+        }
+        hi += m1 << 1;
+    }
+}
+
+/// Like [`for_each_run2`], for three pinned bits (`len / 8` indices).
+#[inline(always)]
+fn for_each_run3(
+    len: usize,
+    a: (usize, usize),
+    b: (usize, usize),
+    c: (usize, usize),
+    mut f: impl FnMut(usize, usize),
+) {
+    let [(p0, v0), (p1, v1), (p2, v2)] = sort3(a, b, c);
+    let m0 = 1usize << p0;
+    let m1 = 1usize << p1;
+    let m2 = 1usize << p2;
+    let offset = (v0 << p0) | (v1 << p1) | (v2 << p2);
+    let mut hi = 0;
+    while hi < len {
+        let mut mid = hi;
+        while mid < hi + m2 {
+            let mut lo = mid;
+            while lo < mid + m1 {
+                f(lo | offset, m0);
+                lo += m0 << 1;
+            }
+            mid += m1 << 1;
+        }
+        hi += m2 << 1;
+    }
+}
+
+/// Swaps the disjoint runs `amps[base .. base+run]` and
+/// `amps[partner .. partner+run]` slice-to-slice (vectorisable).
+#[inline(always)]
+fn swap_runs(amps: &mut [Complex], base: usize, partner: usize, run: usize) {
+    let (lo_at, hi_at) = if base < partner {
+        (base, partner)
+    } else {
+        (partner, base)
+    };
+    let (lo, hi) = amps.split_at_mut(hi_at);
+    lo[lo_at..lo_at + run].swap_with_slice(&mut hi[..run]);
+}
+
+/// Multiplies the run `amps[base .. base+run]` by `w` in place.
+#[inline(always)]
+fn scale_run(amps: &mut [Complex], base: usize, run: usize, w: Complex) {
+    for a in &mut amps[base..base + run] {
+        *a = *a * w;
+    }
+}
+
+/// X gate: swaps the two halves of every block split on bit `t`.
+pub(crate) fn x(amps: &mut [Complex], t: usize) {
+    let m = 1usize << t;
+    let mut base = 0;
+    while base < amps.len() {
+        let (lo, hi) = amps[base..base + (m << 1)].split_at_mut(m);
+        lo.swap_with_slice(hi);
+        base += m << 1;
+    }
+}
+
+/// Hadamard: butterfly over every pair split on bit `t`.
+pub(crate) fn h(amps: &mut [Complex], t: usize) {
+    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    let m = 1usize << t;
+    let mut base = 0;
+    while base < amps.len() {
+        let (lo, hi) = amps[base..base + (m << 1)].split_at_mut(m);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x = *a;
+            let y = *b;
+            *a = (x + y).scale(FRAC_1_SQRT_2);
+            *b = (x - y).scale(FRAC_1_SQRT_2);
+        }
+        base += m << 1;
+    }
+}
+
+/// Diagonal 1-qubit sweep: multiplies every amplitude whose bit `t` equals
+/// `v` by `w`. `v = 1` is a plain phase gate; `v = 0` is its "anti" form,
+/// which the bit-flip frame of the compiled executor uses to apply phases
+/// on qubits whose storage is X-conjugated.
+pub(crate) fn phase1(amps: &mut [Complex], t: usize, v: usize, w: Complex) {
+    let m = 1usize << t;
+    let mut base = v << t;
+    while base < amps.len() {
+        scale_run(amps, base, m, w);
+        base += m << 1;
+    }
+}
+
+/// Z gate on bit value `v`: negates every amplitude whose bit `t` equals
+/// `v`. A dedicated kernel (rather than `phase1` with `w = −1`) because
+/// complex multiplication by `−1 + 0i` and exact negation differ on signed
+/// zeros, and the stride and scan paths promise bit-identical amplitudes.
+pub(crate) fn z(amps: &mut [Complex], t: usize, v: usize) {
+    let m = 1usize << t;
+    let mut base = v << t;
+    while base < amps.len() {
+        for a in &mut amps[base..base + m] {
+            *a = -*a;
+        }
+        base += m << 1;
+    }
+}
+
+/// CNOT with control active on bit value `vc`: swaps target pairs only in
+/// the control-satisfied quarter of the space.
+pub(crate) fn cx(amps: &mut [Complex], c: usize, vc: usize, t: usize) {
+    let mt = 1usize << t;
+    for_each_run2(amps.len(), (c, vc), (t, 0), |base, run| {
+        swap_runs(amps, base, base | mt, run);
+    });
+}
+
+/// Toffoli with controls active on bit values `v1`/`v2`.
+pub(crate) fn ccx(amps: &mut [Complex], c1: usize, v1: usize, c2: usize, v2: usize, t: usize) {
+    let mt = 1usize << t;
+    for_each_run3(amps.len(), (c1, v1), (c2, v2), (t, 0), |base, run| {
+        swap_runs(amps, base, base | mt, run);
+    });
+}
+
+/// Diagonal 2-qubit sweep: multiplies amplitudes whose bits at `a`/`b`
+/// equal `va`/`vb` by `w`.
+pub(crate) fn phase2(amps: &mut [Complex], a: usize, va: usize, b: usize, vb: usize, w: Complex) {
+    for_each_run2(amps.len(), (a, va), (b, vb), |base, run| {
+        scale_run(amps, base, run, w);
+    });
+}
+
+/// CZ on bit values `va`/`vb`: negates the selected quarter (see [`z`] for
+/// why negation gets its own kernel).
+pub(crate) fn cz(amps: &mut [Complex], a: usize, va: usize, b: usize, vb: usize) {
+    for_each_run2(amps.len(), (a, va), (b, vb), |base, run| {
+        for x in &mut amps[base..base + run] {
+            *x = -*x;
+        }
+    });
+}
+
+/// Diagonal 3-qubit sweep over the selected eighth of the space.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn phase3(
+    amps: &mut [Complex],
+    a: usize,
+    va: usize,
+    b: usize,
+    vb: usize,
+    c: usize,
+    vc: usize,
+    w: Complex,
+) {
+    for_each_run3(amps.len(), (a, va), (b, vb), (c, vc), |base, run| {
+        scale_run(amps, base, run, w);
+    });
+}
+
+/// CCZ on bit values `va`/`vb`/`vc`: negates the selected eighth.
+pub(crate) fn ccz(
+    amps: &mut [Complex],
+    a: usize,
+    va: usize,
+    b: usize,
+    vb: usize,
+    c: usize,
+    vc: usize,
+) {
+    for_each_run3(amps.len(), (a, va), (b, vb), (c, vc), |base, run| {
+        for x in &mut amps[base..base + run] {
+            *x = -*x;
+        }
+    });
+}
+
+/// SWAP: exchanges amplitudes over the `|…1…0…⟩ ↔ |…0…1…⟩` subspace.
+pub(crate) fn swap(amps: &mut [Complex], a: usize, b: usize) {
+    let mask = (1usize << a) | (1usize << b);
+    for_each_run2(amps.len(), (a, 1), (b, 0), |base, run| {
+        swap_runs(amps, base, base ^ mask, run);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indices2(len: usize, a: (usize, usize), b: (usize, usize)) -> Vec<usize> {
+        let mut v = Vec::new();
+        for_each_run2(len, a, b, |base, run| v.extend(base..base + run));
+        v.sort_unstable();
+        v
+    }
+
+    fn indices3(len: usize, a: (usize, usize), b: (usize, usize), c: (usize, usize)) -> Vec<usize> {
+        let mut v = Vec::new();
+        for_each_run3(len, a, b, c, |base, run| v.extend(base..base + run));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn run2_enumerates_the_whole_subspace_once() {
+        // Every index with bit 2 = 1 and bit 0 = 0 in a 4-qubit space,
+        // exactly once — in any pin order.
+        for (a, b) in [((2, 1), (0, 0)), ((0, 0), (2, 1))] {
+            assert_eq!(indices2(16, a, b), vec![0b0100, 0b0110, 0b1100, 0b1110]);
+        }
+    }
+
+    #[test]
+    fn run3_enumerates_the_whole_subspace_once() {
+        // Bits 0 and 3 pinned to 1, bit 1 pinned to 0, in a 5-qubit space:
+        // 2^(5-3) = 4 indices.
+        assert_eq!(
+            indices3(32, (3, 1), (0, 1), (1, 0)),
+            vec![0b01001, 0b01101, 0b11001, 0b11101]
+        );
+    }
+
+    #[test]
+    fn run_iteration_matches_mask_filter_exhaustively() {
+        // Cross-check against the naive definition for every pin layout in
+        // a 6-qubit space.
+        let len = 64usize;
+        for p0 in 0..6 {
+            for p1 in 0..6 {
+                if p0 == p1 {
+                    continue;
+                }
+                for (v0, v1) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    let want: Vec<usize> = (0..len)
+                        .filter(|i| i >> p0 & 1 == v0 && i >> p1 & 1 == v1)
+                        .collect();
+                    assert_eq!(
+                        indices2(len, (p0, v0), (p1, v1)),
+                        want,
+                        "pins ({p0},{v0}) ({p1},{v1})"
+                    );
+                }
+                for p2 in 0..6 {
+                    if p2 == p0 || p2 == p1 {
+                        continue;
+                    }
+                    let want: Vec<usize> = (0..len)
+                        .filter(|i| i >> p0 & 1 == 1 && i >> p1 & 1 == 0 && i >> p2 & 1 == 1)
+                        .collect();
+                    assert_eq!(
+                        indices3(len, (p0, 1), (p1, 0), (p2, 1)),
+                        want,
+                        "pins {p0} {p1} {p2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x_kernel_on_high_bit() {
+        let mut amps = vec![Complex::ZERO; 8];
+        amps[0b001] = Complex::ONE;
+        x(&mut amps, 2);
+        assert_eq!(amps[0b101], Complex::ONE);
+        assert_eq!(amps[0b001], Complex::ZERO);
+    }
+
+    #[test]
+    fn phase_kernels_touch_only_the_pinned_subspace() {
+        let mut amps = vec![Complex::ONE; 16];
+        phase2(&mut amps, 3, 1, 1, 1, Complex::I);
+        for (i, a) in amps.iter().enumerate() {
+            let expect = if i & 0b1010 == 0b1010 {
+                Complex::I
+            } else {
+                Complex::ONE
+            };
+            assert_eq!(*a, expect, "index {i:04b}");
+        }
+    }
+}

@@ -4,9 +4,13 @@
 //! mid-circuit measurement and classically-controlled blocks:
 //!
 //! * [`StateVector`] — exact complex-amplitude simulation of every gate in
-//!   the set. Used to verify the QFT-based (Draper/Beauregard) circuits and
-//!   the *phase* correctness of measurement-based uncomputation on
-//!   superposition inputs. Cost is `O(2^n)` per gate.
+//!   the set, built on stride-based kernels: 1-qubit gates touch `2^(n-1)`
+//!   amplitude pairs, controlled gates iterate only the control-satisfied
+//!   subspace (`2^(n-3)` indices per Toffoli), diagonal gates are pure
+//!   phase sweeps. Used to verify the QFT-based (Draper/Beauregard)
+//!   circuits and the *phase* correctness of measurement-based
+//!   uncomputation on superposition inputs. A full-sweep reference path
+//!   ([`KernelMode::Scan`]) is retained for differential testing.
 //! * [`BasisTracker`] — a phase-tracking computational-basis simulator.
 //!   Each qubit is either in a definite computational state (`Z`-mode) or in
 //!   `|+⟩`/`|−⟩` (`X`-mode), with an exact dyadic global phase. All
@@ -19,10 +23,16 @@
 //! Both backends implement the object-safe [`Simulator`] trait — one API
 //! for gate execution, input preparation (`set_value`) and state readout
 //! (`value` / `bit` / `global_phase`) — and report which gates actually
-//! executed ([`Executed`]). The [`ShotRunner`] builds on that seam: a
-//! seeded, deterministic, multi-threaded ensemble engine that averages
-//! executed counts over many shots, which is how the benchmark harness
-//! measures the paper's "in expectation" MBU costs as Monte-Carlo means.
+//! executed ([`Executed`]). Circuits can run interpreted
+//! ([`Simulator::run`], walking the op tree) or compiled
+//! ([`Simulator::run_compiled`], a program-counter loop over a flat
+//! [`CompiledCircuit`](mbu_circuit::CompiledCircuit) instruction stream —
+//! see the `mbu_circuit::compile` pipeline: lower → passes → execute).
+//! The [`ShotRunner`] builds on that seam: a seeded, deterministic,
+//! multi-threaded ensemble engine that compiles the circuit once, shares
+//! the immutable program across all workers, and averages executed counts
+//! over many shots — how the benchmark harness measures the paper's "in
+//! expectation" MBU costs as Monte-Carlo means.
 //!
 //! # Examples
 //!
@@ -65,6 +75,7 @@ mod basis;
 mod complex;
 mod error;
 mod exec;
+mod kernels;
 mod shots;
 mod simulator;
 mod statevector;
@@ -75,4 +86,4 @@ pub use error::SimError;
 pub use exec::Executed;
 pub use shots::{CountStats, Ensemble, ShotRunner};
 pub use simulator::Simulator;
-pub use statevector::{StateVector, MAX_STATEVECTOR_QUBITS};
+pub use statevector::{KernelMode, StateVector, MAX_STATEVECTOR_QUBITS};

@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 use std::thread;
 
-use mbu_circuit::{Circuit, GateCounts};
+use mbu_circuit::{Circuit, CompiledCircuit, GateCounts, PassConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -83,19 +83,46 @@ pub struct ShotRunner {
     shots: u64,
     master_seed: u64,
     threads: usize,
+    passes: Option<PassConfig>,
 }
 
 impl ShotRunner {
     /// An ensemble of `shots` runs, with the default master seed and one
     /// thread per available CPU.
+    ///
+    /// The worker count can be pinned from the environment: if
+    /// `MBU_SHOT_THREADS` is set to a positive integer, it replaces the
+    /// CPU-count default (still overridable with
+    /// [`with_threads`](Self::with_threads)). CI uses this to run the whole
+    /// test suite at 1, 2 and 8 workers, exercising the
+    /// bit-identical-parallelism guarantee.
     #[must_use]
     pub fn new(shots: u64) -> Self {
-        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = std::env::var("MBU_SHOT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
         Self {
             shots,
             master_seed: 0x4d42_5553_484f_5453, // "MBUSHOTS"
             threads,
+            passes: None,
         }
+    }
+
+    /// Enables peephole passes on the shared compiled program.
+    ///
+    /// By default the runner only *lowers* the circuit (compiling once and
+    /// sharing the immutable program across all workers), which keeps
+    /// executed gate counts identical to the interpreted tree walk. Passes
+    /// change the program, so the per-shot [`Executed`] tallies reflect the
+    /// optimised stream; enable them when measuring physics rather than
+    /// raw gate counts.
+    #[must_use]
+    pub fn with_passes(mut self, config: PassConfig) -> Self {
+        self.passes = Some(config);
+        self
     }
 
     /// Replaces the master seed. Ensembles with equal master seeds, shot
@@ -179,13 +206,24 @@ impl ShotRunner {
             .min(usize::try_from(shots).unwrap_or(usize::MAX))
             .max(1);
 
+        // Compile once; every worker executes the same immutable program
+        // instead of re-walking the op tree per shot.
+        let compiled = match self.passes {
+            None => CompiledCircuit::lower(circuit),
+            Some(config) => CompiledCircuit::with_config(circuit, &config),
+        }
+        .map_err(|e| SimError::InvalidCircuit { why: e.to_string() })?;
+        let compiled = &compiled;
+
         let run_chunk = |range: std::ops::Range<u64>| -> ChunkResult<O> {
             let mut acc = Accumulator::default();
             let mut observations = Vec::with_capacity((range.end - range.start) as usize);
             for shot in range {
                 let mut sim = factory();
                 let mut rng = StdRng::seed_from_u64(self.seed_for_shot(shot));
-                let executed = sim.run(circuit, &mut rng).map_err(|e| (shot, e))?;
+                let executed = sim
+                    .run_compiled(compiled, &mut rng)
+                    .map_err(|e| (shot, e))?;
                 observations.push(probe(sim.as_ref(), &executed));
                 acc.add_shot(&executed);
             }
@@ -596,6 +634,66 @@ mod tests {
             .run(&circuit, factory)
             .unwrap_err();
         assert_eq!(e1, e8);
+    }
+
+    #[test]
+    fn env_var_pins_the_default_thread_count() {
+        // Save and restore the process-global variable so a CI run pinned
+        // via MBU_SHOT_THREADS (the thread-matrix job) keeps its pin for
+        // every later-constructed runner in this binary. Runners built by
+        // concurrently running tests may briefly see the temporary values,
+        // which is harmless: thread count never affects aggregates (see
+        // `parallel_equals_serial_bit_for_bit`).
+        let saved = std::env::var("MBU_SHOT_THREADS").ok();
+        std::env::set_var("MBU_SHOT_THREADS", "3");
+        let pinned = ShotRunner::new(10).threads;
+        std::env::set_var("MBU_SHOT_THREADS", "zero");
+        let fallback = ShotRunner::new(10).threads;
+        match &saved {
+            Some(v) => std::env::set_var("MBU_SHOT_THREADS", v),
+            None => std::env::remove_var("MBU_SHOT_THREADS"),
+        }
+        assert_eq!(pinned, 3);
+        let cpu_default = thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(fallback, cpu_default, "unparsable values fall back");
+    }
+
+    #[test]
+    fn opt_in_passes_shrink_executed_counts() {
+        // X·X cancels under the default passes, so the optimised ensemble
+        // executes no X at all while the lowered one executes two per shot.
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 1);
+        b.x(q[0]);
+        b.x(q[0]);
+        let _ = b.measure(q[0], Basis::Z);
+        let circuit = b.finish();
+        let factory = || Box::new(BasisTracker::zeros(1)) as Box<dyn Simulator>;
+
+        let lowered = ShotRunner::new(50).run(&circuit, factory).unwrap();
+        assert_eq!(lowered.mean().x, 2.0, "lowering preserves counts");
+
+        let optimised = ShotRunner::new(50)
+            .with_passes(mbu_circuit::PassConfig::default())
+            .run(&circuit, factory)
+            .unwrap();
+        assert_eq!(optimised.mean().x, 0.0, "passes cancel the X pair");
+        // Outcomes are untouched either way: the qubit measures 0.
+        assert_eq!(optimised.outcome_ones(0), 0);
+        assert_eq!(lowered.outcome_ones(0), 0);
+    }
+
+    #[test]
+    fn invalid_circuits_fail_at_compile_time_not_per_shot() {
+        use mbu_circuit::{Gate, Op, QubitId};
+        let circuit = Circuit::from_ops(1, 0, vec![Op::Gate(Gate::Cx(QubitId(0), QubitId(5)))]);
+        let err = ShotRunner::new(4)
+            .run(&circuit, || Box::new(BasisTracker::zeros(1)))
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::InvalidCircuit { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

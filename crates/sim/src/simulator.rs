@@ -10,7 +10,7 @@
 //! [`StateVector`](crate::StateVector) — or any future backend (stabilizer,
 //! sharded state vector) that implements the trait.
 
-use mbu_circuit::{Angle, Basis, Circuit, Gate, QubitId};
+use mbu_circuit::{Angle, Basis, Circuit, CompiledCircuit, Gate, QubitId};
 use rand::RngCore;
 
 use crate::error::SimError;
@@ -166,6 +166,39 @@ pub trait Simulator {
         }
         let mut executed = Executed::default();
         exec::execute_dyn(self, circuit.ops(), rng, &mut executed)?;
+        Ok(executed)
+    }
+
+    /// Runs a pre-compiled program: a flat program-counter loop with no
+    /// per-shot tree walk. Compile once with
+    /// [`CompiledCircuit::lower`] (exact operation sequence) or
+    /// [`CompiledCircuit::compile`] (exact peephole passes), then execute
+    /// it any number of times — the program is immutable and freely
+    /// shareable across threads.
+    ///
+    /// For a lowered (pass-free) program this produces bit-identical
+    /// results to [`run`](Simulator::run) given the same `rng` stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfRange`] if the program is wider than the state, or
+    /// any backend error from the executed instructions.
+    fn run_compiled(
+        &mut self,
+        compiled: &CompiledCircuit,
+        rng: &mut dyn RngCore,
+    ) -> Result<Executed, SimError> {
+        if compiled.num_qubits() > self.num_qubits() {
+            return Err(SimError::OutOfRange {
+                what: format!(
+                    "{}-qubit compiled program on {}-qubit state",
+                    compiled.num_qubits(),
+                    self.num_qubits()
+                ),
+            });
+        }
+        let mut executed = Executed::default();
+        exec::execute_compiled(self, compiled, rng, &mut executed)?;
         Ok(executed)
     }
 }

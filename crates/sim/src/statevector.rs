@@ -1,11 +1,12 @@
 //! The exact state-vector backend.
 
-use mbu_circuit::{Angle, Basis, Circuit, Gate, QubitId};
+use mbu_circuit::{Angle, Basis, Circuit, CompiledCircuit, Gate, QubitId};
 use rand::RngCore;
 
 use crate::complex::Complex;
 use crate::error::SimError;
-use crate::exec::Executed;
+use crate::exec::{self, Executed};
+use crate::kernels;
 use crate::simulator::Simulator;
 
 /// Tolerance below which a probability is treated as exactly 0 or 1 when
@@ -16,6 +17,26 @@ const DEFINITE_TOL: f64 = 1e-9;
 pub const MAX_STATEVECTOR_QUBITS: usize = 26;
 
 const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// How the [`StateVector`] applies gates.
+///
+/// The default [`Stride`](KernelMode::Stride) mode uses the bit-stride
+/// kernels of the [`kernels`] module: 1-qubit gates touch `2^(n-1)`
+/// amplitude pairs, controlled gates iterate only the control-satisfied
+/// subspace, diagonal gates are pure phase sweeps.
+/// [`Scan`](KernelMode::Scan) is the unoptimised reference path — a full
+/// `0..2^n` sweep with a per-index branch for every gate — retained for
+/// differential testing and for benchmarking the stride kernels against.
+/// Both modes compute the same amplitudes (the arithmetic per touched
+/// amplitude is identical; only the iteration scheme differs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum KernelMode {
+    /// Stride-based kernels (the default).
+    #[default]
+    Stride,
+    /// Full-amplitude-sweep reference implementation.
+    Scan,
+}
 
 /// An exact state-vector simulator.
 ///
@@ -47,6 +68,7 @@ const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 pub struct StateVector {
     num_qubits: usize,
     amps: Vec<Complex>,
+    mode: KernelMode,
 }
 
 impl StateVector {
@@ -65,7 +87,11 @@ impl StateVector {
         }
         let mut amps = vec![Complex::ZERO; 1 << num_qubits];
         amps[0] = Complex::ONE;
-        Ok(Self { num_qubits, amps })
+        Ok(Self {
+            num_qubits,
+            amps,
+            mode: KernelMode::Stride,
+        })
     }
 
     /// Creates the basis state `|index⟩`.
@@ -102,7 +128,26 @@ impl StateVector {
                 max: MAX_STATEVECTOR_QUBITS,
             });
         }
-        Ok(Self { num_qubits, amps })
+        Ok(Self {
+            num_qubits,
+            amps,
+            mode: KernelMode::Stride,
+        })
+    }
+
+    /// Switches the gate-application path (builder style).
+    ///
+    /// See [`KernelMode`]; the default is the stride kernels.
+    #[must_use]
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active gate-application path.
+    #[must_use]
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Resets the state to `|index⟩`.
@@ -234,8 +279,16 @@ impl StateVector {
     }
 
     /// Applies a single gate.
-    pub fn apply_gate_pub(&mut self, gate: &Gate) {
-        self.apply(gate);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfRange`] if any operand qubit lies outside
+    /// the state, or [`SimError::DuplicateOperand`] if a multi-qubit gate
+    /// names the same qubit twice. Out-of-range gates used to be silently
+    /// ignored (or panic, depending on the gate); they are now rejected
+    /// before touching any amplitude.
+    pub fn apply_gate_pub(&mut self, gate: &Gate) -> Result<(), SimError> {
+        self.apply(gate)
     }
 
     /// Runs an adaptive circuit, sampling measurements from `rng`.
@@ -299,7 +352,172 @@ impl StateVector {
         }
     }
 
-    fn apply(&mut self, gate: &Gate) {
+    /// Rejects gates whose operands are out of range or duplicated.
+    ///
+    /// Kernels (stride and scan alike) assume valid operands: an
+    /// out-of-range mask used to make some gates silently no-ops (`Z`,
+    /// `CZ`, phases: the `i & m != 0` filter never fires) and others panic
+    /// (`X`: `amps.swap` past the end), and a duplicated operand would make
+    /// the pinned-bit expansion enumerate garbage. Validation up front
+    /// turns all of that into a typed error.
+    fn validate_gate(&self, gate: &Gate) -> Result<(), SimError> {
+        let mut seen: [Option<QubitId>; 3] = [None; 3];
+        let mut count = 0usize;
+        let mut oob: Option<QubitId> = None;
+        let mut dup: Option<QubitId> = None;
+        gate.for_each_qubit(&mut |q| {
+            if q.index() >= self.num_qubits {
+                oob.get_or_insert(q);
+            }
+            if seen[..count].contains(&Some(q)) {
+                dup.get_or_insert(q);
+            } else if count < seen.len() {
+                seen[count] = Some(q);
+                count += 1;
+            }
+        });
+        if let Some(q) = oob {
+            return Err(SimError::OutOfRange {
+                what: format!("gate `{gate}` on qubit q{}", q.0),
+            });
+        }
+        if let Some(q) = dup {
+            return Err(SimError::DuplicateOperand {
+                gate: gate.to_string(),
+                qubit: q.0,
+            });
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, gate: &Gate) -> Result<(), SimError> {
+        self.validate_gate(gate)?;
+        match self.mode {
+            KernelMode::Stride => {
+                // Gate-at-a-time use: run the kernel under an empty frame
+                // and materialise immediately (an X gate toggles the local
+                // frame, so the flush performs the physical move).
+                let mut flip = 0usize;
+                self.apply_stride(gate, &mut flip);
+                self.flush_flips(&mut flip);
+            }
+            KernelMode::Scan => self.apply_scan(gate),
+        }
+        Ok(())
+    }
+
+    /// Stride-kernel dispatch: every gate touches only the amplitudes it
+    /// can move (see the [`kernels`] module docs). `flip` is the compiled
+    /// executor's bit-flip frame: bit `q` set means qubit `q`'s storage is
+    /// X-conjugated, so controls and diagonal pins activate on the
+    /// *opposite* bit value, X gates toggle the frame instead of moving
+    /// amplitudes, and H (the only non-permutation, non-diagonal gate)
+    /// first materialises the pending flip on its operand. Gate-at-a-time
+    /// callers hand in a fresh zero frame and flush right after, so the
+    /// frame is an internal detail of batched (compiled) execution.
+    fn apply_stride(&mut self, gate: &Gate, flip: &mut usize) {
+        /// The active bit value for an operand under the frame.
+        fn pin(flip: usize, q: QubitId) -> usize {
+            1 ^ (flip >> q.index() & 1)
+        }
+        match *gate {
+            Gate::X(q) => *flip ^= 1usize << q.index(),
+            Gate::H(q) => {
+                Self::flush_flip_bit(&mut self.amps, flip, q.index());
+                kernels::h(&mut self.amps, q.index());
+            }
+            Gate::Z(q) => kernels::z(&mut self.amps, q.index(), pin(*flip, q)),
+            Gate::Phase(q, theta) => kernels::phase1(
+                &mut self.amps,
+                q.index(),
+                pin(*flip, q),
+                Complex::cis(theta.radians()),
+            ),
+            // A flipped CX/CCX *target* needs no adjustment: X on the
+            // target commutes with the controlled-X itself.
+            Gate::Cx(c, t) => kernels::cx(&mut self.amps, c.index(), pin(*flip, c), t.index()),
+            Gate::Cz(a, b) => kernels::cz(
+                &mut self.amps,
+                a.index(),
+                pin(*flip, a),
+                b.index(),
+                pin(*flip, b),
+            ),
+            Gate::CPhase(c, t, theta) => kernels::phase2(
+                &mut self.amps,
+                c.index(),
+                pin(*flip, c),
+                t.index(),
+                pin(*flip, t),
+                Complex::cis(theta.radians()),
+            ),
+            Gate::Ccx(c1, c2, t) => kernels::ccx(
+                &mut self.amps,
+                c1.index(),
+                pin(*flip, c1),
+                c2.index(),
+                pin(*flip, c2),
+                t.index(),
+            ),
+            Gate::Ccz(a, b, c) => kernels::ccz(
+                &mut self.amps,
+                a.index(),
+                pin(*flip, a),
+                b.index(),
+                pin(*flip, b),
+                c.index(),
+                pin(*flip, c),
+            ),
+            Gate::CcPhase(c1, c2, t, theta) => kernels::phase3(
+                &mut self.amps,
+                c1.index(),
+                pin(*flip, c1),
+                c2.index(),
+                pin(*flip, c2),
+                t.index(),
+                pin(*flip, t),
+                Complex::cis(theta.radians()),
+            ),
+            Gate::Swap(a, b) => {
+                // Physical SWAP conjugated by the frame is SWAP with the
+                // frame bits exchanged.
+                kernels::swap(&mut self.amps, a.index(), b.index());
+                let fa = *flip >> a.index() & 1;
+                let fb = *flip >> b.index() & 1;
+                if fa != fb {
+                    *flip ^= (1usize << a.index()) | (1usize << b.index());
+                }
+            }
+        }
+    }
+
+    /// Materialises the pending frame flip on qubit `q`, if any: one exact
+    /// X kernel (pure amplitude moves, no arithmetic).
+    fn flush_flip_bit(amps: &mut [Complex], flip: &mut usize, q: usize) {
+        if *flip >> q & 1 == 1 {
+            kernels::x(amps, q);
+            *flip &= !(1usize << q);
+        }
+    }
+
+    /// Materialises every pending frame flip. Called before measurements,
+    /// resets and at the end of a compiled run, so observable state is
+    /// always the physical one.
+    fn flush_flips(&mut self, flip: &mut usize) {
+        let mut m = *flip;
+        while m != 0 {
+            let q = m.trailing_zeros() as usize;
+            kernels::x(&mut self.amps, q);
+            m &= m - 1;
+        }
+        *flip = 0;
+    }
+
+    /// Reference implementation: a full `0..2^n` sweep with a per-index
+    /// branch for every gate. Semantically identical to the stride path
+    /// (same per-amplitude arithmetic); kept for differential tests and as
+    /// the baseline the `simulators` bench compares the kernels against.
+    fn apply_scan(&mut self, gate: &Gate) {
         match *gate {
             Gate::X(q) => {
                 let m = 1usize << q.index();
@@ -433,8 +651,61 @@ impl Simulator for StateVector {
     }
 
     fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
-        self.apply(gate);
-        Ok(())
+        self.apply(gate)
+    }
+
+    /// Frame-aware compiled execution: gates stream through the stride
+    /// kernels under a bit-flip frame, so X gates cost one mask toggle and
+    /// every controlled/diagonal gate absorbs pending flips into its pin
+    /// values for free. The frame is materialised (exact amplitude moves)
+    /// before any measurement or reset and at the end of the run, so
+    /// results — amplitudes, outcomes, RNG consumption, executed counts —
+    /// are bit-identical to the interpreted walk of the same lowered
+    /// program. Compiled programs are pre-validated by construction, so
+    /// per-gate operand checks are skipped on this path.
+    fn run_compiled(
+        &mut self,
+        compiled: &CompiledCircuit,
+        rng: &mut dyn RngCore,
+    ) -> Result<Executed, SimError> {
+        if compiled.num_qubits() > self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!(
+                    "{}-qubit compiled program on {}-qubit state",
+                    compiled.num_qubits(),
+                    self.num_qubits()
+                ),
+            });
+        }
+        let mut executed = Executed::default();
+        if self.mode == KernelMode::Scan {
+            // Reference semantics: the generic per-instruction executor.
+            exec::execute_compiled(self, compiled, rng, &mut executed)?;
+            return Ok(executed);
+        }
+        // The frame lives in a `Cell` so the gate-application closure and
+        // the pre-measurement flush hook can both reach it.
+        let flip = std::cell::Cell::new(0usize);
+        exec::execute_compiled_core(
+            self,
+            compiled,
+            rng,
+            &mut executed,
+            |sv, g| {
+                let mut f = flip.get();
+                sv.apply_stride(g, &mut f);
+                flip.set(f);
+                Ok(())
+            },
+            |sv| {
+                let mut f = flip.get();
+                sv.flush_flips(&mut f);
+                flip.set(f);
+            },
+        )?;
+        let mut f = flip.get();
+        self.flush_flips(&mut f);
+        Ok(executed)
     }
 
     fn set_bit(&mut self, q: QubitId, value: bool) -> Result<(), SimError> {
@@ -445,7 +716,7 @@ impl Simulator for StateVector {
         }
         let current = Self::definite_bit(self.prob_one(q), q)?;
         if current != value {
-            self.apply(&Gate::X(q));
+            self.apply(&Gate::X(q))?;
         }
         Ok(())
     }
@@ -462,7 +733,7 @@ impl Simulator for StateVector {
         for (i, (q, p1)) in qubits.iter().zip(marginals).enumerate() {
             let desired = i < 128 && (value >> i) & 1 == 1;
             if Self::definite_bit(p1, *q)? != desired {
-                self.apply(&Gate::X(*q));
+                self.apply(&Gate::X(*q))?;
             }
         }
         Ok(())
@@ -525,22 +796,32 @@ impl Simulator for StateVector {
         basis: Basis,
         draw: &mut dyn FnMut(f64) -> bool,
     ) -> Result<bool, SimError> {
+        if qubit.index() >= self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!("measured qubit q{}", qubit.0),
+            });
+        }
         match basis {
             Basis::Z => Ok(self.measure_z(qubit, draw)),
             Basis::X => {
                 // Measure in X: rotate to Z, measure, rotate back so the
                 // post-measurement state is |+⟩ or |−⟩.
-                self.apply(&Gate::H(qubit));
+                self.apply(&Gate::H(qubit))?;
                 let outcome = self.measure_z(qubit, draw);
-                self.apply(&Gate::H(qubit));
+                self.apply(&Gate::H(qubit))?;
                 Ok(outcome)
             }
         }
     }
 
     fn reset(&mut self, qubit: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> Result<(), SimError> {
+        if qubit.index() >= self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!("reset qubit q{}", qubit.0),
+            });
+        }
         if self.measure_z(qubit, draw) {
-            self.apply(&Gate::X(qubit));
+            self.apply(&Gate::X(qubit))?;
         }
         Ok(())
     }
@@ -566,17 +847,130 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_gates_are_rejected_not_ignored() {
+        // Every gate family, with one operand past the end of a 2-qubit
+        // state. Before validation, Z/CZ/phase gates were silent no-ops and
+        // X-like gates panicked; now all are typed errors and the state is
+        // untouched.
+        let theta = Angle::turn_over_power_of_two(2);
+        let gates = [
+            Gate::X(q(2)),
+            Gate::Z(q(2)),
+            Gate::H(q(2)),
+            Gate::Phase(q(2), theta),
+            Gate::Cx(q(0), q(2)),
+            Gate::Cx(q(2), q(0)),
+            Gate::Cz(q(0), q(7)),
+            Gate::Ccx(q(0), q(1), q(2)),
+            Gate::Ccz(q(2), q(0), q(1)),
+            Gate::CPhase(q(0), q(2), theta),
+            Gate::CcPhase(q(0), q(1), q(2), theta),
+            Gate::Swap(q(1), q(2)),
+        ];
+        for mode in [KernelMode::Stride, KernelMode::Scan] {
+            for gate in &gates {
+                let mut sv = StateVector::basis(2, 0b01).unwrap().with_kernel_mode(mode);
+                let err = sv.apply(gate).unwrap_err();
+                assert!(
+                    matches!(err, SimError::OutOfRange { .. }),
+                    "{gate} ({mode:?}): {err}"
+                );
+                assert_eq!(sv.as_basis(0.0).unwrap().0, 0b01, "state untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_operand_gates_are_rejected() {
+        let theta = Angle::turn_over_power_of_two(3);
+        let gates = [
+            Gate::Cx(q(1), q(1)),
+            Gate::Cz(q(0), q(0)),
+            Gate::Swap(q(1), q(1)),
+            Gate::Ccx(q(0), q(1), q(1)),
+            Gate::Ccx(q(1), q(1), q(0)),
+            Gate::CPhase(q(0), q(0), theta),
+            Gate::CcPhase(q(1), q(0), q(1), theta),
+        ];
+        for gate in &gates {
+            let mut sv = StateVector::zeros(2).unwrap();
+            let err = sv.apply(gate).unwrap_err();
+            assert!(
+                matches!(err, SimError::DuplicateOperand { .. }),
+                "{gate}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_measure_and_reset_are_rejected() {
+        let mut sv = StateVector::zeros(1).unwrap();
+        let mut draw = |_: f64| false;
+        assert!(matches!(
+            sv.measure(q(1), Basis::Z, &mut draw),
+            Err(SimError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            sv.measure(q(4), Basis::X, &mut draw),
+            Err(SimError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            Simulator::reset(&mut sv, q(1), &mut draw),
+            Err(SimError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn stride_and_scan_modes_agree_bit_for_bit() {
+        // A superposed 4-qubit state pushed through every gate family in
+        // both kernel modes must match exactly: the per-amplitude
+        // arithmetic is identical, only the iteration order differs.
+        let theta = Angle::turn_over_power_of_two(3);
+        let program = [
+            Gate::H(q(0)),
+            Gate::H(q(2)),
+            Gate::Cx(q(2), q(1)),
+            Gate::Ccx(q(3), q(0), q(2)),
+            Gate::Phase(q(1), theta),
+            Gate::CPhase(q(3), q(1), theta),
+            Gate::CcPhase(q(1), q(2), q(0), theta),
+            Gate::Z(q(0)),
+            Gate::Cz(q(1), q(3)),
+            Gate::Ccz(q(0), q(2), q(3)),
+            Gate::Swap(q(0), q(3)),
+            Gate::X(q(1)),
+        ];
+        let mut stride = StateVector::basis(4, 0b1010).unwrap();
+        let mut scan = StateVector::basis(4, 0b1010)
+            .unwrap()
+            .with_kernel_mode(KernelMode::Scan);
+        for gate in &program {
+            stride.apply(gate).unwrap();
+            scan.apply(gate).unwrap();
+        }
+        for (i, (a, b)) in stride
+            .amplitudes()
+            .iter()
+            .zip(scan.amplitudes())
+            .enumerate()
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "re of amp {i}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "im of amp {i}");
+        }
+    }
+
+    #[test]
     fn x_flips_a_basis_state() {
         let mut sv = StateVector::basis(3, 0b010).unwrap();
-        sv.apply(&Gate::X(q(2)));
+        sv.apply(&Gate::X(q(2))).unwrap();
         assert_eq!(sv.as_basis(1e-12).unwrap().0, 0b110);
     }
 
     #[test]
     fn h_twice_is_identity() {
         let mut sv = StateVector::basis(1, 1).unwrap();
-        sv.apply(&Gate::H(q(0)));
-        sv.apply(&Gate::H(q(0)));
+        sv.apply(&Gate::H(q(0))).unwrap();
+        sv.apply(&Gate::H(q(0))).unwrap();
         let (idx, amp) = sv.as_basis(1e-12).unwrap();
         assert_eq!(idx, 1);
         assert!((amp - Complex::ONE).norm() < 1e-12);
@@ -586,7 +980,7 @@ mod tests {
     fn toffoli_truth_table() {
         for input in 0u64..8 {
             let mut sv = StateVector::basis(3, input).unwrap();
-            sv.apply(&Gate::Ccx(q(0), q(1), q(2)));
+            sv.apply(&Gate::Ccx(q(0), q(1), q(2))).unwrap();
             let expected = if input & 0b011 == 0b011 {
                 input ^ 0b100
             } else {
@@ -601,7 +995,7 @@ mod tests {
         let theta = Angle::turn_over_power_of_two(2); // i
         for input in 0u64..4 {
             let mut sv = StateVector::basis(2, input).unwrap();
-            sv.apply(&Gate::CPhase(q(0), q(1), theta));
+            sv.apply(&Gate::CPhase(q(0), q(1), theta)).unwrap();
             let (idx, amp) = sv.as_basis(1e-12).unwrap();
             assert_eq!(idx, input);
             let expected = if input == 0b11 {
@@ -616,7 +1010,7 @@ mod tests {
     #[test]
     fn swap_exchanges_bits() {
         let mut sv = StateVector::basis(2, 0b01).unwrap();
-        sv.apply(&Gate::Swap(q(0), q(1)));
+        sv.apply(&Gate::Swap(q(0), q(1))).unwrap();
         assert_eq!(sv.as_basis(1e-12).unwrap().0, 0b10);
     }
 
@@ -676,8 +1070,8 @@ mod tests {
     #[test]
     fn bell_pair_probabilities() {
         let mut sv = StateVector::zeros(2).unwrap();
-        sv.apply(&Gate::H(q(0)));
-        sv.apply(&Gate::Cx(q(0), q(1)));
+        sv.apply(&Gate::H(q(0))).unwrap();
+        sv.apply(&Gate::Cx(q(0), q(1))).unwrap();
         assert!((sv.probability_of(0b00) - 0.5).abs() < 1e-12);
         assert!((sv.probability_of(0b11) - 0.5).abs() < 1e-12);
         assert!(sv.probability_of(0b01) < 1e-12);

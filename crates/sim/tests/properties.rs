@@ -124,7 +124,9 @@ proptest! {
         // must equal the state vector's amplitude argument exactly.
         let mut ops = Vec::new();
         for (a, b, num, denom) in zs {
-            let (qa, qb) = (QubitId(a), QubitId((a + 1 + b) % 4));
+            // Offset 1..=3 keeps the operands distinct (the simulators
+            // reject duplicate-operand gates, matching `Circuit::validate`).
+            let (qa, qb) = (QubitId(a), QubitId((a + 1 + b % 3) % 4));
             ops.push(Op::Gate(Gate::Phase(qa, Angle::from_fraction(num, denom))));
             ops.push(Op::Gate(Gate::CPhase(qa, qb, Angle::from_fraction(num, denom))));
             ops.push(Op::Gate(Gate::Cz(qa, qb)));
@@ -176,7 +178,7 @@ proptest! {
         let mut probe = StateVector::zeros(1).unwrap();
         for op in circuit.ops().iter().take(3) {
             if let Op::Gate(g) = op {
-                probe.apply_gate_pub(g);
+                probe.apply_gate_pub(g).unwrap();
             }
         }
         let p1 = probe.probability_of(1);

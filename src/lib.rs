@@ -8,9 +8,9 @@
 //! | Re-export | Crate | Role |
 //! |---|---|---|
 //! | [`bitstring`] | `mbu-bitstring` | classical reference arithmetic (§1.3, Appendix A) |
-//! | [`circuit`] | `mbu-circuit` | adaptive-circuit IR, builder, resource accounting |
+//! | [`circuit`] | `mbu-circuit` | adaptive-circuit IR, builder, resource accounting, and the [`circuit::CompiledCircuit`] lower → passes → execute pipeline |
 //! | [`arith`] | `mbu-arith` | every adder/comparator/modular construction of the paper |
-//! | [`sim`] | `mbu-sim` | basis tracker + state vector behind the [`sim::Simulator`] trait, and the [`sim::ShotRunner`] ensemble engine |
+//! | [`sim`] | `mbu-sim` | basis tracker + stride-kernel state vector behind the [`sim::Simulator`] trait (interpreted [`sim::Simulator::run`] and compiled [`sim::Simulator::run_compiled`] execution), and the [`sim::ShotRunner`] ensemble engine |
 //! | [`bench`] | `mbu-bench` | table/figure regeneration harness |
 //!
 //! This crate also owns the cross-crate integration tests (`tests/`) and
