@@ -112,6 +112,7 @@ pub fn spec_for_row(row: resources::Table1Row, unc: Uncompute) -> Option<ModAddS
 #[must_use]
 pub fn benchmark_modulus(n: usize) -> u128 {
     match n {
+        3 => 7,
         4 => 13,
         6 => 61,
         8 => 251,
@@ -121,7 +122,7 @@ pub fn benchmark_modulus(n: usize) -> u128 {
         24 => 16_777_213,
         32 => 4_294_967_291,
         48 => 281_474_976_710_597,
-        61 => (1 << 61) - 1,
+        61 => (1u128 << 61) - 1,
         64 => 18_446_744_073_709_551_557,
         _ => panic!("no benchmark modulus tabulated for n = {n}"),
     }

@@ -242,6 +242,21 @@ impl CircuitBuilder {
         }
     }
 
+    /// Empties the free-ancilla pool so subsequent [`ancilla`](Self::ancilla)
+    /// calls allocate fresh qubits instead of recycling released ones.
+    ///
+    /// This models the hardware profile of measurement-based uncomputation:
+    /// a measured garbage qubit is physically released rather than reused in
+    /// place, so each phase of a longer computation works on fresh ancillas
+    /// while the simulator's reclamation pass retires the old ones — the
+    /// circuit is wider on paper, but the *live* width the compiled engine
+    /// simulates stays bounded by one phase. Retired ancillas are not
+    /// counted as in use, so [`ancilla_peak`](Self::ancilla_peak) still
+    /// reports the per-phase concurrent maximum.
+    pub fn retire_ancillas(&mut self) {
+        self.free_ancillas.clear();
+    }
+
     /// Allocates a fresh classical bit.
     pub fn clbit(&mut self) -> ClbitId {
         let id = ClbitId(self.num_clbits as u32);

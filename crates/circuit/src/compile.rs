@@ -30,7 +30,14 @@
 //!      [`PassConfig::phase_dead_before_measure`]) — single-qubit diagonal
 //!      gates whose qubit is next consumed by a `Z`-basis measurement or a
 //!      reset only contribute a global phase to the collapsed branch and
-//!      can be dropped when callers accept global-phase equivalence.
+//!      can be dropped when callers accept global-phase equivalence;
+//!    * *dead-qubit reclamation* (on by default, see
+//!      [`PassConfig::reclaim_dead_qubits`]) — a liveness analysis that
+//!      emits [`Instr::Drop`] for every qubit that was measured or reset
+//!      and is never touched again, so compacting backends (the state
+//!      vector) can release the qubit mid-run and halve their live
+//!      amplitude array per drop — the paper's early-ancilla-release payoff
+//!      made concrete in the execution engine.
 //!
 //!    Every pass records what it did in [`PassStats`].
 //! 3. **execute** — the `mbu-sim` crate runs compiled programs through
@@ -65,12 +72,14 @@
 //! b.emit_conditional(m, &fix);
 //! let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
 //! print!("{compiled}");
-//! // compiled: 3 qubits, 1 clbits, 4 instrs (...)
+//! // compiled: 3 qubits, 1 clbits, 5 instrs (...)
 //! //     0: CCX q0 q1 q2
 //! //     1: MX q2 -> c0
-//! //     2: unless c0 jump 4
-//! //     3:   CZ q0 q1
-//! assert!(compiled.to_string().contains("unless c0 jump 4"));
+//! //     2: drop q2
+//! //     3: unless c0 jump 5
+//! //     4:   CZ q0 q1
+//! assert!(compiled.to_string().contains("unless c0 jump 5"));
+//! assert!(compiled.to_string().contains("drop q2"));
 //! ```
 //!
 //! [`PassStats`] implements [`fmt::Display`] too (it is embedded in the
@@ -112,6 +121,17 @@ pub enum Instr {
         /// How many instructions the guarded block spans.
         skip: u32,
     },
+    /// Reclaim `qubit`: the liveness pass proved no later instruction
+    /// touches it, and the qubit was measured or reset at some point, so a
+    /// backend that stores amplitudes may project the (definite,
+    /// unentangled) qubit out of its state and compact — the
+    /// measurement-based uncomputation payoff of releasing ancillas early.
+    ///
+    /// Semantically a no-op: executors without a compaction story (the
+    /// basis tracker, the full-scan reference path) simply skip it, and
+    /// compacting executors must be observationally invisible — identical
+    /// outcomes, RNG consumption, executed counts and final state.
+    Drop(QubitId),
 }
 
 /// Which peephole passes [`CompiledCircuit::with_config`] runs.
@@ -139,6 +159,11 @@ pub struct PassConfig {
     /// post-measurement state may differ by a global phase (measurement
     /// probabilities and outcomes are untouched).
     pub phase_dead_before_measure: bool,
+    /// Run the liveness analysis that emits [`Instr::Drop`] for qubits
+    /// that were measured (or reset) and are provably never touched again,
+    /// letting compacting backends reclaim them mid-run. Observationally
+    /// invisible (drops are advisory); on by default.
+    pub reclaim_dead_qubits: bool,
 }
 
 impl Default for PassConfig {
@@ -148,6 +173,7 @@ impl Default for PassConfig {
             merge_rotations: true,
             remove_identities: true,
             phase_dead_before_measure: false,
+            reclaim_dead_qubits: true,
         }
     }
 }
@@ -161,6 +187,7 @@ impl PassConfig {
             merge_rotations: false,
             remove_identities: false,
             phase_dead_before_measure: false,
+            reclaim_dead_qubits: false,
         }
     }
 
@@ -173,7 +200,8 @@ impl PassConfig {
         }
     }
 
-    /// Whether any pass is enabled.
+    /// Whether any peephole pass is enabled (the reclamation pass runs
+    /// separately, after the peephole window).
     #[must_use]
     pub fn any(&self) -> bool {
         self.cancel_self_inverse
@@ -200,6 +228,9 @@ pub struct PassStats {
     pub identities_removed: u64,
     /// Diagonal gates dropped as phase-dead before a measurement/reset.
     pub phase_dead_removed: u64,
+    /// Qubits for which the liveness pass emitted an [`Instr::Drop`]:
+    /// measured (or reset) at some point and never touched afterwards.
+    pub dead_qubits_reclaimed: u64,
     /// Instructions in the final program.
     pub emitted_instrs: usize,
 }
@@ -216,12 +247,14 @@ impl fmt::Display for PassStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "lowered {} instrs; cancelled {}, merged {}, identities {}, phase-dead {}; emitted {}",
+            "lowered {} instrs; cancelled {}, merged {}, identities {}, phase-dead {}, \
+             reclaimed {}; emitted {}",
             self.lowered_instrs,
             self.cancelled,
             self.merged,
             self.identities_removed,
             self.phase_dead_removed,
+            self.dead_qubits_reclaimed,
             self.emitted_instrs
         )
     }
@@ -252,11 +285,13 @@ impl fmt::Display for PassStats {
 /// b.emit_conditional(m, &fix);
 /// let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
 ///
-/// // The conditional became a branch over a contiguous block.
+/// // The conditional became a branch over a contiguous block, and the
+/// // measured-then-dead ancilla is released at the join.
 /// assert!(matches!(
 ///     compiled.instrs()[2],
 ///     Instr::BranchUnless { skip: 2, .. }
 /// ));
+/// assert!(matches!(compiled.instrs().last(), Some(Instr::Drop(_))));
 /// println!("{compiled}"); // dump the program for debugging
 /// ```
 #[derive(Clone, PartialEq, Debug)]
@@ -305,6 +340,9 @@ impl CompiledCircuit {
         if config.any() {
             instrs = run_passes(instrs, config, &mut stats);
         }
+        if config.reclaim_dead_qubits {
+            instrs = reclaim_dead_qubits(instrs, circuit.num_qubits(), &mut stats);
+        }
         stats.emitted_instrs = instrs.len();
         Ok(Self {
             num_qubits: circuit.num_qubits(),
@@ -349,10 +387,17 @@ impl CompiledCircuit {
                 Instr::Gate(g) => counts.record_gate(g),
                 Instr::Measure { basis, .. } => counts.record_measurement(*basis),
                 Instr::Reset(_) => counts.reset += 1,
-                Instr::BranchUnless { .. } => {}
+                Instr::BranchUnless { .. } | Instr::Drop(_) => {}
             }
         }
         counts
+    }
+
+    /// Whether the program contains any [`Instr::Drop`] — i.e. whether the
+    /// reclamation pass found dead qubits a compacting backend can release.
+    #[must_use]
+    pub fn reclaims_qubits(&self) -> bool {
+        self.stats.dead_qubits_reclaimed > 0
     }
 }
 
@@ -380,6 +425,7 @@ impl fmt::Display for CompiledCircuit {
                     clbit,
                 } => writeln!(f, "{pc:5}: {:indent$}M{basis} {qubit} -> {clbit}", "")?,
                 Instr::Reset(q) => writeln!(f, "{pc:5}: {:indent$}reset {q}", "")?,
+                Instr::Drop(q) => writeln!(f, "{pc:5}: {:indent$}drop {q}", "")?,
                 Instr::BranchUnless { clbit, skip } => {
                     let target = pc + 1 + *skip as usize;
                     writeln!(f, "{pc:5}: {:indent$}unless {clbit} jump {target}", "")?;
@@ -568,6 +614,88 @@ fn run_passes(instrs: Vec<Instr>, config: &PassConfig, stats: &mut PassStats) ->
     out
 }
 
+/// Liveness analysis for qubit reclamation: for every qubit that is
+/// measured (or reset) at least once and never touched after some program
+/// point, emit an [`Instr::Drop`] at the earliest *top-level* point past
+/// its last reference.
+///
+/// The measured-or-reset requirement is what ties the pass to the paper:
+/// measurement is the compiler-visible signal that a qubit was put through
+/// a collapse (MBU garbage, Gidney AND ancillas, comparison flags), after
+/// which the MBU protocols leave it in a definite product state the
+/// backend can verify and factor out. Dead qubits that were never measured
+/// (e.g. unitarily uncomputed ancillas) get no drop — the compiler has no
+/// evidence they are disentangled, which is exactly the qubit-release
+/// asymmetry between §3's unitary and §4's measurement-based uncomputation.
+///
+/// Drops are only inserted at guard depth 0 so they execute on every
+/// control-flow path, and a top-level insertion point never lies inside a
+/// branch's skip region, so no branch offset needs fixing up.
+fn reclaim_dead_qubits(instrs: Vec<Instr>, num_qubits: usize, stats: &mut PassStats) -> Vec<Instr> {
+    let n = instrs.len();
+    // depth_at[i]: number of guarded regions containing the insertion
+    // point *before* instruction i (i == n is the end of the program),
+    // built as a difference array over branch skip regions.
+    let mut depth_at = vec![0i64; n + 2];
+    for (pc, instr) in instrs.iter().enumerate() {
+        if let Instr::BranchUnless { skip, .. } = instr {
+            let skip = *skip as usize;
+            if skip > 0 {
+                depth_at[pc + 1] += 1;
+                depth_at[pc + 1 + skip] -= 1;
+            }
+        }
+    }
+    for i in 1..=n {
+        depth_at[i] += depth_at[i - 1];
+    }
+
+    let mut last_touch = vec![None::<usize>; num_qubits];
+    let mut collapsed = vec![false; num_qubits];
+    for (pc, instr) in instrs.iter().enumerate() {
+        match instr {
+            Instr::Gate(g) => g.for_each_qubit(&mut |q| last_touch[q.index()] = Some(pc)),
+            Instr::Measure { qubit, .. } => {
+                last_touch[qubit.index()] = Some(pc);
+                collapsed[qubit.index()] = true;
+            }
+            Instr::Reset(q) => {
+                last_touch[q.index()] = Some(pc);
+                collapsed[q.index()] = true;
+            }
+            Instr::BranchUnless { .. } | Instr::Drop(_) => {}
+        }
+    }
+
+    // drops_at[i]: qubits to release immediately before instruction i.
+    let mut drops_at: Vec<Vec<QubitId>> = vec![Vec::new(); n + 1];
+    for q in 0..num_qubits {
+        if !collapsed[q] {
+            continue;
+        }
+        let Some(last) = last_touch[q] else {
+            continue;
+        };
+        let mut at = last + 1;
+        // Branch regions always end within the program, so depth_at[n] is
+        // 0 and this search terminates.
+        while depth_at[at] != 0 {
+            at += 1;
+        }
+        drops_at[at].push(QubitId(u32::try_from(q).expect("qubit id fits u32")));
+        stats.dead_qubits_reclaimed += 1;
+    }
+
+    let extra = stats.dead_qubits_reclaimed as usize;
+    let mut out = Vec::with_capacity(n + extra);
+    for (i, instr) in instrs.into_iter().enumerate() {
+        out.extend(drops_at[i].iter().map(|q| Instr::Drop(*q)));
+        out.push(instr);
+    }
+    out.extend(drops_at[n].iter().map(|q| Instr::Drop(*q)));
+    out
+}
+
 /// Cancellation, merging and identity elimination within one straight-line
 /// run of gates.
 fn optimize_segment(slots: &mut [Option<Instr>], config: &PassConfig, stats: &mut PassStats) {
@@ -659,6 +787,9 @@ fn eliminate_phase_dead(slots: &mut [Option<Instr>], barrier: &[bool], stats: &m
                         break;
                     }
                 }
+                // Drops never move amplitudes; stepping over is safe (and
+                // the reclamation pass runs after this one anyway).
+                Some(Instr::Drop(_)) => continue,
                 Some(Instr::BranchUnless { .. }) => break,
             }
         }
@@ -864,6 +995,116 @@ mod tests {
         let dump = compiled.to_string();
         assert!(dump.contains("CX q0 q1"), "{dump}");
         assert!(dump.contains("cancelled 2"), "{dump}");
+    }
+
+    #[test]
+    fn reclamation_drops_measured_dead_qubits_after_the_join() {
+        // The MBU shape: measure, conditional correction that touches the
+        // qubit again, then dead. The drop must land at the first top-level
+        // point after the correction — never inside the guarded block.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        let m = b.measure(r[1], Basis::Z);
+        let (_, fix) = b.record(|b| b.x(r[1]));
+        b.emit_conditional(m, &fix);
+        b.h(r[0]); // r0 is live to the end and never measured: no drop
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        assert!(compiled.reclaims_qubits());
+        assert_eq!(compiled.stats().dead_qubits_reclaimed, 1);
+        let drop_pc = compiled
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Drop(q) if q.0 == 1))
+            .expect("q1 reclaimed");
+        // Measure(0), branch(1), X(2, guarded), Drop(3), H(4).
+        assert_eq!(drop_pc, 3, "{compiled}");
+        assert!(
+            !compiled
+                .instrs()
+                .iter()
+                .any(|i| matches!(i, Instr::Drop(q) if q.0 == 0)),
+            "unmeasured qubits are never reclaimed"
+        );
+        assert!(compiled.to_string().contains("drop q1"));
+    }
+
+    #[test]
+    fn reclamation_covers_resets_and_respects_later_reuse() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 3);
+        b.reset(r[0]); // reset counts as collapsed
+        b.measure(r[1], Basis::Z);
+        b.cx(r[1], r[2]); // r1 reused after its measurement
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        assert_eq!(compiled.stats().dead_qubits_reclaimed, 2, "{compiled}");
+        let drops: Vec<u32> = compiled
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Drop(q) => Some(q.0),
+                _ => None,
+            })
+            .collect();
+        // r0 right after its reset; r1 only after the CX that reuses it;
+        // r2 never measured, never dropped.
+        assert_eq!(drops, vec![0, 1]);
+        let pc_of = |target: u32| {
+            compiled
+                .instrs()
+                .iter()
+                .position(|i| matches!(i, Instr::Drop(q) if q.0 == target))
+                .unwrap()
+        };
+        assert_eq!(pc_of(0), 1);
+        assert_eq!(pc_of(1), 4, "drop deferred past the reuse");
+    }
+
+    #[test]
+    fn reclamation_is_off_for_lowering_and_opt_out_configs() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 1);
+        b.measure(r[0], Basis::Z);
+        let circuit = b.finish();
+        for compiled in [
+            CompiledCircuit::lower(&circuit).unwrap(),
+            CompiledCircuit::with_config(&circuit, &PassConfig::none()).unwrap(),
+        ] {
+            assert!(!compiled.reclaims_qubits());
+            assert!(!compiled
+                .instrs()
+                .iter()
+                .any(|i| matches!(i, Instr::Drop(_))));
+        }
+        let no_reclaim = PassConfig {
+            reclaim_dead_qubits: false,
+            ..PassConfig::default()
+        };
+        let compiled = CompiledCircuit::with_config(&circuit, &no_reclaim).unwrap();
+        assert_eq!(compiled.stats().dead_qubits_reclaimed, 0);
+    }
+
+    #[test]
+    fn drop_insertion_preserves_branch_targets() {
+        // A drop inserted before a top-level branch must shift the branch
+        // and its whole region together, leaving the rendered jump target
+        // consistent with the region contents.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        let m = b.measure(r[0], Basis::Z);
+        let (_, block) = b.record(|b| b.z(r[1]));
+        b.emit_conditional(m, &block);
+        b.h(r[1]);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        // Measure(0), Drop q0(1), branch(2) skip 1, Z(3), H(4).
+        assert!(matches!(compiled.instrs()[1], Instr::Drop(q) if q.0 == 0));
+        assert!(
+            matches!(compiled.instrs()[2], Instr::BranchUnless { skip: 1, .. }),
+            "{compiled}"
+        );
+        assert!(
+            compiled.to_string().contains("unless c0 jump 4"),
+            "{compiled}"
+        );
     }
 
     #[test]

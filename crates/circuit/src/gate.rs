@@ -99,6 +99,30 @@ impl Gate {
         }
     }
 
+    /// Returns the same gate with every operand qubit replaced by
+    /// `f(qubit)`, preserving the gate family, operand order and angle.
+    ///
+    /// Executors that address storage through a remap table (the state
+    /// vector's qubit-reclamation engine) use this to translate logical
+    /// operands to physical bit positions without special-casing each gate
+    /// family.
+    #[must_use]
+    pub fn map_qubits(&self, mut f: impl FnMut(QubitId) -> QubitId) -> Gate {
+        match *self {
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::Phase(q, a) => Gate::Phase(f(q), a),
+            Gate::Cx(c, t) => Gate::Cx(f(c), f(t)),
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+            Gate::Ccx(c1, c2, t) => Gate::Ccx(f(c1), f(c2), f(t)),
+            Gate::Ccz(a, b, c) => Gate::Ccz(f(a), f(b), f(c)),
+            Gate::CPhase(c, t, a) => Gate::CPhase(f(c), f(t), a),
+            Gate::CcPhase(c1, c2, t, a) => Gate::CcPhase(f(c1), f(c2), f(t), a),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+        }
+    }
+
     /// Whether the gate is diagonal in the computational basis.
     ///
     /// Diagonal gates commute with each other — the property Theorem 2.14
@@ -193,5 +217,29 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert_eq!(Gate::Ccx(q(0), q(1), q(2)).to_string(), "CCX q0 q1 q2");
+    }
+
+    #[test]
+    fn map_qubits_translates_every_operand() {
+        let theta = Angle::turn_over_power_of_two(4);
+        let shift = |q: QubitId| QubitId(q.0 + 10);
+        let gates = [
+            Gate::X(q(0)),
+            Gate::H(q(1)),
+            Gate::Phase(q(2), theta),
+            Gate::Cx(q(0), q(1)),
+            Gate::Ccz(q(0), q(1), q(2)),
+            Gate::CcPhase(q(2), q(1), q(0), theta),
+            Gate::Swap(q(1), q(2)),
+        ];
+        for g in &gates {
+            let mapped = g.map_qubits(shift);
+            let mut orig = Vec::new();
+            g.for_each_qubit(&mut |qq| orig.push(qq.0 + 10));
+            let mut got = Vec::new();
+            mapped.for_each_qubit(&mut |qq| got.push(qq.0));
+            assert_eq!(orig, got, "{g}");
+            assert_eq!(mapped.map_qubits(|qq| QubitId(qq.0 - 10)), *g);
+        }
     }
 }

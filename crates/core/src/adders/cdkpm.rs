@@ -234,7 +234,7 @@ mod tests {
                             yr.qubits().to_vec(),
                         )
                     });
-                    assert_eq!(got, (x + y) % (1 << (n + 1)), "{x}+{y} n={n}");
+                    assert_eq!(got, (x + y) % (1u128 << (n + 1)), "{x}+{y} n={n}");
                     assert!(phase.is_zero());
                 }
             }
@@ -428,7 +428,7 @@ mod tests {
                             yr.qubits().to_vec(),
                         )
                     });
-                    assert_eq!(got, (x + y) % (1 << n));
+                    assert_eq!(got, (x + y) % (1u128 << n));
                 }
             }
         }
@@ -454,7 +454,7 @@ mod tests {
                             yr.qubits().to_vec(),
                         )
                     });
-                    let expected = if ctrl { (x + y) % (1 << n) } else { y };
+                    let expected = if ctrl { (x + y) % (1u128 << n) } else { y };
                     assert_eq!(got, expected);
                 }
             }

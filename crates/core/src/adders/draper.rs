@@ -219,7 +219,7 @@ fn const_angle(a: &BitString, i: usize) -> Angle {
     let mut numerator: u128 = 0;
     for k in 0..=i.min(a.width().saturating_sub(1)) {
         if a.bit(k) {
-            numerator |= 1 << k;
+            numerator |= 1u128 << k;
         }
     }
     Angle::from_fraction(numerator, (i + 1) as u32)
@@ -380,7 +380,7 @@ mod tests {
                     let got = run_basis(&c, &[(xr.qubits(), x), (yr.qubits(), y)], yr.qubits());
                     assert_eq!(
                         u128::from(got),
-                        (u128::from(x) + u128::from(y)) % (1 << (n + 1))
+                        (u128::from(x) + u128::from(y)) % (1u128 << (n + 1))
                     );
                 }
             }
@@ -422,7 +422,7 @@ mod tests {
                 iqft(&mut b, yr.qubits()).unwrap();
                 let c = b.finish();
                 let got = run_basis(&c, &[(yr.qubits(), y)], yr.qubits());
-                assert_eq!(u128::from(got), (a + u128::from(y)) % (1 << (n + 1)));
+                assert_eq!(u128::from(got), (a + u128::from(y)) % (1u128 << (n + 1)));
             }
         }
     }
@@ -464,7 +464,7 @@ mod tests {
                         yr.qubits(),
                     );
                     let expected = if ctrl == 1 {
-                        (x + y) % (1 << (n + 1))
+                        (x + y) % (1u64 << (n + 1))
                     } else {
                         y
                     };

@@ -359,7 +359,7 @@ mod tests {
                         &c,
                         &[(xr.qubits(), x), (yr.qubits(), y)],
                         yr.qubits(),
-                        (x + y) % (1 << (n + 1)),
+                        (x + y) % (1u128 << (n + 1)),
                     );
                 }
             }
@@ -484,7 +484,11 @@ mod tests {
                         let yr = b.qreg("y", n + 1);
                         controlled_add(&mut b, c, xr.qubits(), yr.qubits()).unwrap();
                         let circ = b.finish();
-                        let expected = if ctrl { (x + y) % (1 << (n + 1)) } else { y };
+                        let expected = if ctrl {
+                            (x + y) % (1u128 << (n + 1))
+                        } else {
+                            y
+                        };
                         check_all_seeds(
                             circ.num_qubits(),
                             &circ,

@@ -252,7 +252,7 @@ mod tests {
                     sim.run(&circuit, &mut rng).unwrap();
                     assert_eq!(
                         sim.value(yr.qubits()).unwrap(),
-                        (x + y) % (1 << n),
+                        (x + y) % (1u128 << n),
                         "{x}+{y} mod 2^{n}"
                     );
                 }

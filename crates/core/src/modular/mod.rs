@@ -505,6 +505,47 @@ pub fn modadd_circuit(spec: &ModAddSpec, n: usize, p: u128) -> Result<ModAdd, Ar
     })
 }
 
+/// Builds a chain of `stages` sequential modular additions of `x` into
+/// `y`, retiring the ancilla pool between stages so every stage allocates
+/// *fresh* garbage qubits instead of recycling released ones.
+///
+/// This is the composition profile where measurement-based uncomputation's
+/// qubit savings become simulation savings: with [`Uncompute::Mbu`] each
+/// stage's garbage is measured mid-circuit and never touched again, so the
+/// compiled engine's reclamation pass (`Instr::Drop` in `mbu-circuit`)
+/// lets a compacting backend release stage `k`'s ancillas before stage
+/// `k+1`'s materialise — the live state stays at one stage's width while
+/// the circuit itself is `stages` wide in ancillas. With
+/// [`Uncompute::Unitary`] nothing is measured, no drop is ever emitted,
+/// and the simulator must hold every ancilla to the end — the paper's §3
+/// vs §4 asymmetry, visible as peak memory.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] for `n = 0` or an invalid modulus.
+pub fn modadd_chain_circuit(
+    spec: &ModAddSpec,
+    n: usize,
+    p: u128,
+    stages: usize,
+) -> Result<ModAdd, ArithError> {
+    let p_bits = const_bits("modular adder chain", p, n.max(1))?;
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n + 1);
+    for _ in 0..stages {
+        modadd(&mut b, spec, x.qubits(), y.qubits(), &p_bits)?;
+        b.retire_ancillas();
+    }
+    Ok(ModAdd {
+        circuit: b.finish(),
+        x,
+        y,
+        control: None,
+        p: p_bits,
+    })
+}
+
 /// Builds a standalone controlled modular adder.
 ///
 /// # Errors
@@ -670,6 +711,32 @@ mod tests {
                         assert_eq!(got, (x + y) % p, "{spec:?}: ({x}+{y}) mod {p}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn modadd_chain_accumulates_with_fresh_ancillas() {
+        let n = 3usize;
+        let p = 5u128;
+        for unc in [Uncompute::Unitary, Uncompute::Mbu] {
+            let spec = ModAddSpec::cdkpm(unc);
+            let single = modadd_circuit(&spec, n, p).unwrap();
+            let chain = modadd_chain_circuit(&spec, n, p, 2).unwrap();
+            assert!(
+                chain.circuit.num_qubits() > single.circuit.num_qubits(),
+                "retired pools mean fresh garbage per stage ({unc:?})"
+            );
+            // Two stages accumulate: y → (2x + y) mod p.
+            for seed in 0..6 {
+                let mut sim = BasisTracker::zeros(chain.circuit.num_qubits());
+                sim.set_value(chain.x.qubits(), 3);
+                sim.set_value(chain.y.qubits(), 4);
+                let mut rng = StdRng::seed_from_u64(seed);
+                sim.run(&chain.circuit, &mut rng).unwrap();
+                assert_eq!(sim.value(chain.x.qubits()).unwrap(), 3);
+                assert_eq!(sim.value(chain.y.qubits()).unwrap(), (3 + 3 + 4) % p);
+                assert!(sim.global_phase().is_zero(), "{unc:?} seed {seed}");
             }
         }
     }
@@ -861,7 +928,7 @@ mod tests {
         for kind in [AdderKind::Vbe, AdderKind::Cdkpm, AdderKind::Gidney] {
             for unc in [Uncompute::Unitary, Uncompute::Mbu] {
                 for p in [3u128, 5, 7] {
-                    for x in 0..(2 * p).min(1 << (n + 1)) {
+                    for x in 0..(2 * p).min(1u128 << (n + 1)) {
                         let p_bits = mbu_bitstring::BitString::from_u128(p, n);
                         let mut b = CircuitBuilder::new();
                         let xr = b.qreg("x", n + 1);

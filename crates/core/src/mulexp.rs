@@ -32,7 +32,7 @@ use crate::ArithError;
 /// Panics if `p` is zero or `p ≥ 2^64`.
 #[must_use]
 pub fn mod_mul(a: u128, b: u128, p: u128) -> u128 {
-    assert!(p > 0 && p < (1 << 64), "modulus must be in (0, 2^64)");
+    assert!(p > 0 && p < (1u128 << 64), "modulus must be in (0, 2^64)");
     (a % p) * (b % p) % p
 }
 
@@ -65,7 +65,7 @@ pub fn mod_pow(g: u128, mut e: u128, p: u128) -> u128 {
 ///
 /// Panics if `p` is zero or `p ≥ 2^63`.
 pub fn mod_inverse(a: u128, p: u128) -> Result<u128, ArithError> {
-    assert!(p > 0 && p < (1 << 63), "modulus must be in (0, 2^63)");
+    assert!(p > 0 && p < (1u128 << 63), "modulus must be in (0, 2^63)");
     let (mut old_r, mut r) = (a as i128 % p as i128, p as i128);
     let (mut old_s, mut s) = (1i128, 0i128);
     while r != 0 {
@@ -101,7 +101,7 @@ pub fn modmul_const_accum(
 ) -> Result<(), ArithError> {
     let n = nonempty("modular multiply-accumulate", x)?;
     expect_width("modular multiply-accumulate target", acc, n + 1)?;
-    if p == 0 || (n < 128 && p > (1 << n)) {
+    if p == 0 || (n < 128 && p > (1u128 << n)) {
         return Err(ArithError::ConstantOutOfRange {
             context: "modular multiply-accumulate",
             constraint: "modulus must satisfy 0 < p ≤ 2^n",

@@ -567,6 +567,40 @@ mod tests {
     }
 
     #[test]
+    fn compiled_drops_are_noops_on_the_tracker() {
+        // The compiled reclamation pass emits `Drop` for the measured MBU
+        // garbage; the tracker has per-qubit state (nothing to compact), so
+        // it must execute straight through the drop with the protocol's
+        // invariants intact — which is what keeps cross-validation against
+        // the reclaiming state vector meaningful.
+        use mbu_circuit::CompiledCircuit;
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 3);
+        b.ccx(r[0], r[1], r[2]);
+        b.h(r[2]);
+        let m = b.measure(r[2], Basis::Z);
+        let (_, fix) = b.record(|b| {
+            b.cz(r[0], r[1]);
+            b.x(r[2]);
+        });
+        b.emit_conditional(m, &fix);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        assert!(compiled.reclaims_qubits(), "{compiled}");
+        for seed in 0..16 {
+            let mut t = BasisTracker::zeros(3);
+            t.set_bit(q(0), true);
+            t.set_bit(q(1), true);
+            let mut r = rng(seed);
+            let ex = Simulator::run_compiled(&mut t, &compiled, &mut r).unwrap();
+            assert!(ex.outcome(0).is_ok());
+            assert!(!t.bit(q(2)).unwrap(), "AND ancilla uncomputed");
+            assert!(t.bit(q(0)).unwrap() && t.bit(q(1)).unwrap());
+            assert!(t.global_phase().is_zero(), "seed {seed}");
+            assert_eq!(Simulator::peak_amplitudes(&t), None, "trackers opt out");
+        }
+    }
+
+    #[test]
     fn executed_counts_reflect_taken_branch() {
         let mut b = CircuitBuilder::new();
         let r = b.qreg("q", 1);

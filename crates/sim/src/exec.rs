@@ -102,22 +102,41 @@ pub(crate) fn execute_compiled<S: Simulator + ?Sized>(
     rng: &mut dyn RngCore,
     executed: &mut Executed,
 ) -> Result<(), SimError> {
-    execute_compiled_core(sim, compiled, rng, executed, |s, g| s.apply_gate(g), |_| {})
+    execute_compiled_core(
+        sim,
+        compiled,
+        rng,
+        executed,
+        |s, g| s.apply_gate(g),
+        |_, q| q,
+        |_, _| {},
+    )
 }
 
 /// The compiled program-counter loop, parametrised over gate application
-/// (`apply`) and a hook run before every non-unitary instruction
-/// (`before_nonunitary`). Backends with deferred per-gate state — the
-/// state vector's bit-flip frame — route through this with a custom
-/// `apply` and a flush hook, so measurement, reset, branch and
-/// classical-record semantics live in exactly one place.
+/// (`apply`), a hook run before every non-unitary instruction
+/// (`before_nonunitary`) and a handler for [`Instr::Drop`] (`on_drop`).
+/// Backends with deferred per-gate state — the state vector's bit-flip
+/// frame — route through this with a custom `apply` and a flush hook, so
+/// measurement, reset, branch and classical-record semantics live in
+/// exactly one place.
+///
+/// `before_nonunitary` receives the measured/reset qubit and returns the
+/// qubit the backend call should address: the reclaiming state-vector
+/// executor uses it to translate a logical qubit to its physical bit
+/// position in the compacted amplitude array (and to materialise it first
+/// if it had been factored out). Plain backends return the qubit
+/// unchanged. `on_drop` is the reclamation hook; for backends without a
+/// compaction story a drop is a semantic no-op and the default handler
+/// does nothing.
 pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
     sim: &mut S,
     compiled: &CompiledCircuit,
     rng: &mut dyn RngCore,
     executed: &mut Executed,
     mut apply: impl FnMut(&mut S, &Gate) -> Result<(), SimError>,
-    mut before_nonunitary: impl FnMut(&mut S),
+    mut before_nonunitary: impl FnMut(&mut S, mbu_circuit::QubitId) -> mbu_circuit::QubitId,
+    mut on_drop: impl FnMut(&mut S, mbu_circuit::QubitId),
 ) -> Result<(), SimError> {
     let instrs = compiled.instrs();
     let mut pc = 0usize;
@@ -132,9 +151,9 @@ pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
                 basis,
                 clbit,
             } => {
-                before_nonunitary(sim);
+                let target = before_nonunitary(sim, *qubit);
                 let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
-                let outcome = sim.measure(*qubit, *basis, &mut draw)?;
+                let outcome = sim.measure(target, *basis, &mut draw)?;
                 executed.counts.record_measurement(*basis);
                 let idx = clbit.index();
                 if executed.classical.len() <= idx {
@@ -143,11 +162,12 @@ pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
                 executed.classical[idx] = Some(outcome);
             }
             Instr::Reset(qubit) => {
-                before_nonunitary(sim);
+                let target = before_nonunitary(sim, *qubit);
                 let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
-                sim.reset(*qubit, &mut draw)?;
+                sim.reset(target, &mut draw)?;
                 executed.counts.reset += 1;
             }
+            Instr::Drop(qubit) => on_drop(sim, *qubit),
             Instr::BranchUnless { clbit, skip } => {
                 let bit = executed
                     .classical
@@ -333,6 +353,36 @@ mod tests {
         let mut ex = Executed::default();
         let err = execute_compiled(&mut backend, &compiled, &mut rng, &mut ex).unwrap_err();
         assert_eq!(err, SimError::UnwrittenClassicalBit { clbit: 0 });
+    }
+
+    #[test]
+    fn drops_are_noops_for_generic_backends() {
+        // A measured-then-dead qubit gets an `Instr::Drop` from the default
+        // passes; backends without a compaction story (like this scripted
+        // one, or the basis tracker) must execute straight through it with
+        // identical records and counts.
+        let ops = vec![
+            Op::Measure {
+                qubit: q(0),
+                basis: Basis::Z,
+                clbit: ClbitId(0),
+            },
+            Op::Gate(Gate::H(q(1))),
+        ];
+        let circuit = Circuit::from_ops(2, 1, ops);
+        let compiled = CompiledCircuit::compile(&circuit).unwrap();
+        assert!(compiled.reclaims_qubits(), "{compiled}");
+        let mut backend = Scripted {
+            outcomes: vec![true],
+            next: 0,
+            gates_seen: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ex = Executed::default();
+        execute_compiled(&mut backend, &compiled, &mut rng, &mut ex).unwrap();
+        assert_eq!(backend.gates_seen, 1);
+        assert!(ex.outcome(0).unwrap());
+        assert_eq!(ex.counts.h, 1);
     }
 
     #[test]

@@ -244,6 +244,70 @@ pub(crate) fn ccz(
     });
 }
 
+/// Reclamation kernel: projects bit `p` onto the definite value `keep` and
+/// compacts the array to half its length, so the state no longer
+/// represents the dropped qubit at all.
+///
+/// Pure amplitude moves — the surviving entries are copied bit-for-bit
+/// (`amps[i] ← amps[insert_bit(i, p, keep)]`), never rescaled, so for an
+/// exactly-projected qubit (the post-measurement case reclamation targets)
+/// the compact state is numerically identical to the full one restricted
+/// to its support. The copy runs forward in place: every source index is
+/// at or ahead of its destination.
+pub(crate) fn compact_bit(amps: &mut Vec<Complex>, p: usize, keep: bool) {
+    let half = amps.len() / 2;
+    let low_mask = (1usize << p) - 1;
+    let kept = usize::from(keep) << p;
+    for i in 0..half {
+        let src = ((i & !low_mask) << 1) | kept | (i & low_mask);
+        amps[i] = amps[src];
+    }
+    amps.truncate(half);
+}
+
+/// Reclamation kernel: the exact inverse of [`compact_bit`] — doubles the
+/// state by inserting a fresh bit holding `value` at position `p`, used to
+/// re-materialise a factored-out qubit the moment an instruction touches
+/// it (at its *order-preserving* position, so the live-qubit remap never
+/// accumulates a permutation that would need sorting out at restore time).
+///
+/// Pure moves, backward in place: every destination index is at or ahead
+/// of its source, and vacated sources are zeroed. At the top position with
+/// `value = 0` this degenerates to a plain zero-extension.
+pub(crate) fn expand_bit(amps: &mut Vec<Complex>, p: usize, value: bool) {
+    let old = amps.len();
+    amps.resize(old * 2, Complex::ZERO);
+    let low_mask = (1usize << p) - 1;
+    let vbit = usize::from(value) << p;
+    for i in (0..old).rev() {
+        let dst = ((i & !low_mask) << 1) | vbit | (i & low_mask);
+        if dst != i {
+            amps[dst] = amps[i];
+            amps[i] = Complex::ZERO;
+        }
+    }
+}
+
+/// The probability masses `(mass₀, mass₁)` carried by amplitudes whose bit
+/// `p` is clear / set — the definiteness check a [`compact_bit`] drop is
+/// gated on.
+pub(crate) fn bit_masses(amps: &[Complex], p: usize) -> (f64, f64) {
+    let m = 1usize << p;
+    let mut m0 = 0.0;
+    let mut m1 = 0.0;
+    let mut base = 0;
+    while base < amps.len() {
+        for a in &amps[base..base + m] {
+            m0 += a.norm_sqr();
+        }
+        for a in &amps[base + m..base + (m << 1)] {
+            m1 += a.norm_sqr();
+        }
+        base += m << 1;
+    }
+    (m0, m1)
+}
+
 /// SWAP: exchanges amplitudes over the `|…1…0…⟩ ↔ |…0…1…⟩` subspace.
 pub(crate) fn swap(amps: &mut [Complex], a: usize, b: usize) {
     let mask = (1usize << a) | (1usize << b);
@@ -333,6 +397,86 @@ mod tests {
         x(&mut amps, 2);
         assert_eq!(amps[0b101], Complex::ONE);
         assert_eq!(amps[0b001], Complex::ZERO);
+    }
+
+    #[test]
+    fn compact_and_expand_round_trip() {
+        // A 3-qubit state with bit 1 pinned to 1: dropping bit 1 then
+        // re-inserting it at the same position must reproduce the state
+        // exactly.
+        let mut amps = vec![Complex::ZERO; 8];
+        amps[0b010] = Complex::new(0.6, 0.0);
+        amps[0b111] = Complex::new(0.0, 0.8);
+        let original = amps.clone();
+
+        let (m0, m1) = bit_masses(&amps, 1);
+        assert_eq!(m0, 0.0);
+        assert!((m1 - 1.0).abs() < 1e-12);
+
+        compact_bit(&mut amps, 1, true);
+        assert_eq!(amps.len(), 4);
+        assert_eq!(amps[0b00], Complex::new(0.6, 0.0)); // was |010⟩
+        assert_eq!(amps[0b11], Complex::new(0.0, 0.8)); // was |111⟩
+
+        expand_bit(&mut amps, 1, true);
+        assert_eq!(amps, original);
+    }
+
+    #[test]
+    fn expand_bit_inverts_compact_bit_everywhere() {
+        // Exhaustive over a 4-qubit array and every (position, value):
+        // expand ∘ compact restricted to the kept half is the projector.
+        for p in 0..4usize {
+            for v in [false, true] {
+                let full: Vec<Complex> = (0..16)
+                    .map(|i| Complex::new(f64::from(i + 1), -0.5 * f64::from(i)))
+                    .collect();
+                let projected: Vec<Complex> = (0..16usize)
+                    .map(|i| {
+                        if (i >> p) & 1 == usize::from(v) {
+                            full[i]
+                        } else {
+                            Complex::ZERO
+                        }
+                    })
+                    .collect();
+                let mut amps = full.clone();
+                compact_bit(&mut amps, p, v);
+                expand_bit(&mut amps, p, v);
+                assert_eq!(amps, projected, "p={p} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_bit_is_a_pure_move_for_every_position() {
+        // Exhaustive over a 4-qubit array: compacting position p with kept
+        // value v must gather exactly the matching half, in index order.
+        for p in 0..4usize {
+            for v in [false, true] {
+                let mut amps: Vec<Complex> = (0..16)
+                    .map(|i| Complex::new(f64::from(i), -f64::from(i)))
+                    .collect();
+                let want: Vec<Complex> = (0..16usize)
+                    .filter(|i| (i >> p) & 1 == usize::from(v))
+                    .map(|i| Complex::new(i as f64, -(i as f64)))
+                    .collect();
+                compact_bit(&mut amps, p, v);
+                assert_eq!(amps, want, "p={p} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn expand_zero_and_one_at_the_top() {
+        let mut amps = vec![Complex::ONE];
+        expand_bit(&mut amps, 0, false);
+        assert_eq!(amps, vec![Complex::ONE, Complex::ZERO]);
+        expand_bit(&mut amps, 1, true);
+        assert_eq!(
+            amps,
+            vec![Complex::ZERO, Complex::ZERO, Complex::ONE, Complex::ZERO]
+        );
     }
 
     #[test]

@@ -28,11 +28,19 @@
 //! ([`Simulator::run_compiled`], a program-counter loop over a flat
 //! [`CompiledCircuit`](mbu_circuit::CompiledCircuit) instruction stream —
 //! see the `mbu_circuit::compile` pipeline: lower → passes → execute).
-//! The [`ShotRunner`] builds on that seam: a seeded, deterministic,
-//! multi-threaded ensemble engine that compiles the circuit once, shares
-//! the immutable program across all workers, and averages executed counts
-//! over many shots — how the benchmark harness measures the paper's "in
-//! expectation" MBU costs as Monte-Carlo means.
+//! Compiled programs may carry `Drop` instructions from the compiler's
+//! dead-qubit liveness pass; the state vector executes them by projecting
+//! the measured-and-dead qubit out of a *compacted* amplitude array
+//! (halving the live state per drop and re-materialising factored-out
+//! qubits on first touch), which turns the paper's early-ancilla-release
+//! qubit savings into measured memory savings — see
+//! [`StateVector::with_reclamation`] and
+//! [`Simulator::peak_amplitudes`]. The [`ShotRunner`] builds on that seam:
+//! a seeded, deterministic, multi-threaded ensemble engine that compiles
+//! the circuit once, shares the immutable program across all workers, and
+//! averages executed counts (and peak-memory stats) over many shots — how
+//! the benchmark harness measures the paper's "in expectation" MBU costs
+//! as Monte-Carlo means.
 //!
 //! # Examples
 //!

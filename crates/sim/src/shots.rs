@@ -36,6 +36,34 @@ const NFIELDS: usize = 14;
 /// observations, or the lowest failing shot in the chunk.
 type ChunkResult<O> = Result<(Accumulator, Vec<O>), (u64, SimError)>;
 
+/// Resolves the default worker count from an (injected) `MBU_SHOT_THREADS`
+/// value: a positive integer pins the pool, anything else — including `0`,
+/// which would deadlock a pool, and unparsable garbage — warns once and
+/// falls back to the CPU count.
+///
+/// Taking the value as a parameter (rather than reading the environment
+/// here) keeps the selection policy testable without mutating
+/// process-global state under a parallel test harness.
+fn resolve_threads(env_value: Option<&str>) -> usize {
+    let cpu_default = || thread::available_parallelism().map_or(1, |n| n.get());
+    match env_value {
+        None => cpu_default(),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(threads) if threads >= 1 => threads,
+            _ => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: MBU_SHOT_THREADS={raw:?} is not a positive integer; \
+                         falling back to the CPU count"
+                    );
+                });
+                cpu_default()
+            }
+        },
+    }
+}
+
 /// `GateCounts` flattened into a fixed field order.
 fn count_fields(c: &GateCounts) -> [u64; NFIELDS] {
     [
@@ -95,14 +123,12 @@ impl ShotRunner {
     /// CPU-count default (still overridable with
     /// [`with_threads`](Self::with_threads)). CI uses this to run the whole
     /// test suite at 1, 2 and 8 workers, exercising the
-    /// bit-identical-parallelism guarantee.
+    /// bit-identical-parallelism guarantee. A value of `0` or anything
+    /// unparsable is rejected with a one-time warning and falls back to
+    /// the CPU count — it no longer silently masquerades as "unset".
     #[must_use]
     pub fn new(shots: u64) -> Self {
-        let threads = std::env::var("MBU_SHOT_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()));
+        let threads = resolve_threads(std::env::var("MBU_SHOT_THREADS").ok().as_deref());
         Self {
             shots,
             master_seed: 0x4d42_5553_484f_5453, // "MBUSHOTS"
@@ -225,7 +251,7 @@ impl ShotRunner {
                     .run_compiled(compiled, &mut rng)
                     .map_err(|e| (shot, e))?;
                 observations.push(probe(sim.as_ref(), &executed));
-                acc.add_shot(&executed);
+                acc.add_shot(&executed, sim.peak_amplitudes());
             }
             Ok((acc, observations))
         };
@@ -294,6 +320,9 @@ struct Accumulator {
     clbit_ones: Vec<u64>,
     clbit_writes: Vec<u64>,
     records: BTreeMap<Vec<Option<bool>>, u64>,
+    /// Worst per-shot peak amplitude count, when the backend reports one
+    /// (the state vector's live working set — reclamation's memory story).
+    peak_amps: Option<u64>,
 }
 
 impl Default for Accumulator {
@@ -305,13 +334,17 @@ impl Default for Accumulator {
             clbit_ones: Vec::new(),
             clbit_writes: Vec::new(),
             records: BTreeMap::new(),
+            peak_amps: None,
         }
     }
 }
 
 impl Accumulator {
-    fn add_shot(&mut self, executed: &Executed) {
+    fn add_shot(&mut self, executed: &Executed, peak_amps: Option<u64>) {
         self.shots += 1;
+        if let Some(peak) = peak_amps {
+            self.peak_amps = Some(self.peak_amps.map_or(peak, |m| m.max(peak)));
+        }
         let fields = count_fields(&executed.counts);
         for (i, f) in fields.iter().enumerate() {
             let f = u128::from(*f);
@@ -333,6 +366,9 @@ impl Accumulator {
 
     fn merge(&mut self, other: Accumulator) {
         self.shots += other.shots;
+        if let Some(peak) = other.peak_amps {
+            self.peak_amps = Some(self.peak_amps.map_or(peak, |m| m.max(peak)));
+        }
         for i in 0..NFIELDS {
             self.sum[i] += other.sum[i];
             self.sumsq[i] += other.sumsq[i];
@@ -391,6 +427,20 @@ impl Ensemble {
             let numer = u128::from(n) * self.acc.sumsq[i] - self.acc.sum[i] * self.acc.sum[i];
             numer as f64 / (n as f64 * n as f64)
         }))
+    }
+
+    /// The worst per-shot peak amplitude count across the ensemble, when
+    /// the backend reports one (see `Simulator::peak_amplitudes`): the
+    /// largest working set any shot's compiled execution operated on. With
+    /// qubit reclamation the state vector's peak drops below `2^n`;
+    /// without it (or with `MBU_RECLAIM=0`) this reports the full width.
+    /// Note the caller-held full-width array before the initial compaction
+    /// and after the end-of-run restore is not counted — this measures
+    /// what the engine sweeps, not total allocation. `None` for backends
+    /// that do not track peaks (the basis tracker) or empty ensembles.
+    #[must_use]
+    pub fn peak_amplitudes(&self) -> Option<u64> {
+        self.acc.peak_amps
     }
 
     /// How many shots wrote classical bit `clbit`.
@@ -637,25 +687,91 @@ mod tests {
     }
 
     #[test]
-    fn env_var_pins_the_default_thread_count() {
-        // Save and restore the process-global variable so a CI run pinned
-        // via MBU_SHOT_THREADS (the thread-matrix job) keeps its pin for
-        // every later-constructed runner in this binary. Runners built by
-        // concurrently running tests may briefly see the temporary values,
-        // which is harmless: thread count never affects aggregates (see
-        // `parallel_equals_serial_bit_for_bit`).
-        let saved = std::env::var("MBU_SHOT_THREADS").ok();
-        std::env::set_var("MBU_SHOT_THREADS", "3");
-        let pinned = ShotRunner::new(10).threads;
-        std::env::set_var("MBU_SHOT_THREADS", "zero");
-        let fallback = ShotRunner::new(10).threads;
-        match &saved {
-            Some(v) => std::env::set_var("MBU_SHOT_THREADS", v),
-            None => std::env::remove_var("MBU_SHOT_THREADS"),
-        }
-        assert_eq!(pinned, 3);
+    fn thread_resolution_pins_positive_integers() {
+        // The selection policy is a pure function of the injected value, so
+        // these tests never mutate process-global environment state (which
+        // used to poison concurrently running ShotRunner tests).
+        assert_eq!(resolve_threads(Some("3")), 3);
+        assert_eq!(resolve_threads(Some(" 8 ")), 8, "whitespace tolerated");
+        assert_eq!(resolve_threads(Some("1")), 1);
+    }
+
+    #[test]
+    fn thread_resolution_rejects_zero_and_garbage() {
         let cpu_default = thread::available_parallelism().map_or(1, |n| n.get());
-        assert_eq!(fallback, cpu_default, "unparsable values fall back");
+        assert_eq!(resolve_threads(None), cpu_default);
+        assert_eq!(resolve_threads(Some("0")), cpu_default, "0 would deadlock");
+        assert_eq!(resolve_threads(Some("zero")), cpu_default);
+        assert_eq!(resolve_threads(Some("-2")), cpu_default);
+        assert_eq!(resolve_threads(Some("")), cpu_default);
+    }
+
+    #[test]
+    fn runner_honours_the_resolved_default() {
+        // ShotRunner::new routes through resolve_threads; with_threads
+        // still overrides whatever the environment said.
+        let runner = ShotRunner::new(10).with_threads(5);
+        assert_eq!(runner.threads, 5);
+        assert!(ShotRunner::new(10).threads >= 1);
+    }
+
+    #[test]
+    fn env_pin_is_honoured_when_already_set() {
+        // Guards the actual env-to-runner wiring without mutating the
+        // process environment: in the CI thread matrix MBU_SHOT_THREADS is
+        // set for the whole process, and the runner must have picked it
+        // up. A no-op when the variable is unset or invalid (where
+        // resolve_threads' own tests take over).
+        if let Some(pinned) = std::env::var("MBU_SHOT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+        {
+            assert_eq!(ShotRunner::new(1).threads, pinned);
+        }
+    }
+
+    #[test]
+    fn ensembles_fold_peak_amplitudes_across_shots() {
+        // q0 is measured, dropped, and only then is q1 touched — so the
+        // reclaiming state vector never holds both qubits at once and the
+        // ensemble's peak-memory stat halves, with identical outcomes.
+        use crate::StateVector;
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 2);
+        let _ = b.measure(q[0], Basis::Z);
+        b.h(q[1]);
+        let _ = b.measure(q[1], Basis::Z);
+        let circuit = b.finish();
+        let runner = ShotRunner::new(50).with_passes(mbu_circuit::PassConfig::default());
+        let on = runner
+            .run(&circuit, || {
+                Box::new(StateVector::zeros(2).unwrap().with_reclamation(true))
+            })
+            .unwrap();
+        let off = runner
+            .run(&circuit, || {
+                Box::new(StateVector::zeros(2).unwrap().with_reclamation(false))
+            })
+            .unwrap();
+        assert_eq!(off.peak_amplitudes(), Some(4), "full 2^n without drops");
+        assert_eq!(
+            on.peak_amplitudes(),
+            Some(2),
+            "live set never exceeds one qubit"
+        );
+        assert_eq!(on.outcome_ones(0), off.outcome_ones(0));
+        assert_eq!(on.outcome_ones(1), off.outcome_ones(1));
+        assert_eq!(on.mean(), off.mean());
+
+        let tracker = ShotRunner::new(10)
+            .run(&circuit, || Box::new(BasisTracker::zeros(2)))
+            .unwrap();
+        assert_eq!(
+            tracker.peak_amplitudes(),
+            None,
+            "per-qubit backends opt out"
+        );
     }
 
     #[test]

@@ -139,6 +139,18 @@ pub trait Simulator {
         Ok(v)
     }
 
+    /// The peak number of amplitudes (or analogous state entries) the most
+    /// recent compiled run operated on, when the backend tracks it.
+    ///
+    /// The state vector reports its live working set: the full `2^n` on
+    /// the non-reclaiming engine, the largest compacted array when qubit
+    /// reclamation was active. Backends with per-qubit state (the basis
+    /// tracker) return `None`. The [`ShotRunner`](crate::ShotRunner) folds
+    /// this into per-ensemble peak-memory statistics.
+    fn peak_amplitudes(&self) -> Option<u64> {
+        None
+    }
+
     /// The exact dyadic global phase of the state, when the backend can
     /// produce one.
     ///

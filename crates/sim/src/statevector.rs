@@ -13,6 +13,19 @@ use crate::simulator::Simulator;
 /// reading definite bits out of the state vector.
 const DEFINITE_TOL: f64 = 1e-9;
 
+/// Probability mass the reclamation engine may discard when compacting a
+/// dead qubit out of the state. Post-measurement projections leave exact
+/// zeros on the dead branch; MBU corrections (H·U·H chains) leave
+/// `~1e-17`-amplitude rounding residues (`~1e-34` mass), far below this.
+/// The threshold is deliberately tight — discarded amplitudes stay under
+/// `1e-10`, an order below every equivalence bound the test suite asserts
+/// — because a dead qubit carrying more mass than this on both branches
+/// may be genuinely entangled (e.g. via a tiny controlled rotation after
+/// its measurement) and projecting it away un-renormalised would visibly
+/// change later Born probabilities. Such drops are skipped instead:
+/// reclamation must never change the state it cannot prove separable.
+const RECLAIM_TOL: f64 = 1e-20;
+
 /// Maximum width the state-vector backend accepts (2^26 amplitudes ≈ 1 GiB).
 pub const MAX_STATEVECTOR_QUBITS: usize = 26;
 
@@ -69,6 +82,29 @@ pub struct StateVector {
     num_qubits: usize,
     amps: Vec<Complex>,
     mode: KernelMode,
+    /// Whether compiled runs may execute `Drop` instructions by compacting
+    /// the amplitude array (defaults to on; `MBU_RECLAIM=0` force-disables).
+    reclaim: bool,
+    /// Peak live amplitudes of the most recent compiled run.
+    last_run_peak: Option<usize>,
+}
+
+/// The process-wide reclamation default: on, unless the `MBU_RECLAIM`
+/// environment variable disables it (`0`, `off`, `false`, `no`). The env
+/// var flips the *construction default* only — explicit
+/// `with_reclamation(..)` calls always win — so the CI leg that sets
+/// `MBU_RECLAIM=0` runs every test that doesn't pick an engine explicitly
+/// on the non-compacting path. Read once: `StateVector` construction sits
+/// in `ShotRunner`'s per-shot hot loop, and `std::env::var` takes a
+/// process-global lock.
+fn reclaim_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("MBU_RECLAIM").ok().as_deref().map(str::trim),
+            Some("0" | "off" | "false" | "no")
+        )
+    })
 }
 
 impl StateVector {
@@ -91,6 +127,8 @@ impl StateVector {
             num_qubits,
             amps,
             mode: KernelMode::Stride,
+            reclaim: reclaim_default(),
+            last_run_peak: None,
         })
     }
 
@@ -132,6 +170,8 @@ impl StateVector {
             num_qubits,
             amps,
             mode: KernelMode::Stride,
+            reclaim: reclaim_default(),
+            last_run_peak: None,
         })
     }
 
@@ -148,6 +188,41 @@ impl StateVector {
     #[must_use]
     pub fn kernel_mode(&self) -> KernelMode {
         self.mode
+    }
+
+    /// Enables or disables qubit reclamation for compiled runs (builder
+    /// style).
+    ///
+    /// When enabled (the default, unless the `MBU_RECLAIM` environment
+    /// variable force-disables it) and the compiled program contains
+    /// [`Drop`](mbu_circuit::Instr::Drop) instructions,
+    /// [`run_compiled`](Simulator::run_compiled) executes on a *compacted*
+    /// amplitude array: definite qubits are factored out up front,
+    /// re-materialised the moment an instruction touches them, and dropped
+    /// qubits are projected out for good — each live-set change halves or
+    /// doubles the array. The run is observationally invisible: outcomes,
+    /// RNG consumption, executed counts and the final state match the
+    /// non-reclaiming engine (the final state exactly, up to the
+    /// `≤ 1e-20`-mass rounding residues a drop discards).
+    #[must_use]
+    pub fn with_reclamation(mut self, enabled: bool) -> Self {
+        self.reclaim = enabled;
+        self
+    }
+
+    /// Whether compiled runs may compact dropped qubits out of the state.
+    #[must_use]
+    pub fn reclamation_enabled(&self) -> bool {
+        self.reclaim
+    }
+
+    /// The peak number of live amplitudes the most recent compiled run
+    /// operated on: the full `2^n` for the non-reclaiming engine, the
+    /// largest compacted working set for the reclaiming one. `None` before
+    /// any compiled run.
+    #[must_use]
+    pub fn last_run_peak_amplitudes(&self) -> Option<usize> {
+        self.last_run_peak
     }
 
     /// Resets the state to `|index⟩`.
@@ -629,10 +704,36 @@ impl StateVector {
             .filter(|(i, _)| i & m != 0)
             .map(|(_, a)| a.norm_sqr())
             .sum();
+        // Long gate chains can push the summed mass a few ulps past 1, and
+        // the complementary branch probability `1 − p1` then goes negative
+        // — whose `1/sqrt` renormaliser is NaN and would silently poison
+        // every later amplitude. Clamp before branching on it.
+        let p1 = p1.clamp(0.0, 1.0);
         let outcome = draw(p1);
         let keep_mask_set = outcome;
         let p = if outcome { p1 } else { 1.0 - p1 };
-        let scale = if p > 0.0 { 1.0 / p.sqrt() } else { 0.0 };
+        let scale = if p > 0.0 {
+            1.0 / p.sqrt()
+        } else {
+            // The sampled branch carries no mass by the summed probability
+            // (possible only when the draw callback ignores its argument,
+            // or when every surviving amplitude is so small its square
+            // underflowed). Renormalise from the directly-computed branch
+            // mass when there is any; otherwise leave the survivors as-is
+            // — never produce inf/NaN.
+            let kept: f64 = self
+                .amps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i & m != 0) == keep_mask_set)
+                .map(|(_, a)| a.norm_sqr())
+                .sum();
+            if kept > 0.0 {
+                1.0 / kept.sqrt()
+            } else {
+                1.0
+            }
+        };
         for (i, a) in self.amps.iter_mut().enumerate() {
             let set = i & m != 0;
             if set == keep_mask_set {
@@ -642,6 +743,296 @@ impl StateVector {
             }
         }
         outcome
+    }
+}
+
+/// Whether an index-gather/scatter over the live core (`2^live · live`
+/// bit operations) is cheaper than a per-bit compaction/expansion cascade
+/// over the full array (`≈ 2·2^n` contiguous element moves). True when
+/// the live core is small relative to the full width.
+fn gather_beats_cascade(live: usize, num_qubits: usize) -> bool {
+    (1usize << live).saturating_mul(live.max(1)) <= 1usize << num_qubits
+}
+
+/// The full-width index bits contributed by the factored-out qubits.
+fn virtual_base(slots: &[LiveSlot]) -> usize {
+    let mut base = 0usize;
+    for (q, slot) in slots.iter().enumerate() {
+        if let LiveSlot::Virtual(true) = slot {
+            base |= 1usize << q;
+        }
+    }
+    base
+}
+
+/// Expands compact index `i` to its full-width index: bit `j` of `i`
+/// lands at position `phys[j]`, on top of the virtual-qubit `base`.
+fn scatter_index(base: usize, phys: &[usize], i: usize) -> usize {
+    let mut idx = base;
+    for (j, &q) in phys.iter().enumerate() {
+        idx |= ((i >> j) & 1) << q;
+    }
+    idx
+}
+
+/// Where a logical qubit lives during a reclaiming compiled run.
+#[derive(Clone, Copy, Debug)]
+enum LiveSlot {
+    /// Materialised in the amplitude array at this bit position.
+    Live(usize),
+    /// Factored out of the array while holding this definite bit.
+    Virtual(bool),
+}
+
+/// The live-qubit remap table of one reclaiming compiled run.
+///
+/// The compiled engine's core assumption — `QubitId` equals statevector
+/// bit position — stops holding the moment a drop compacts the array; this
+/// table is the single source of truth that restores it: every instruction
+/// operand is translated through [`LiveMap::ensure_live`] (materialising
+/// factored-out qubits on first touch), and every drop updates the
+/// positions of the survivors.
+#[derive(Debug)]
+struct LiveMap {
+    /// Logical qubit → current location.
+    slots: Vec<LiveSlot>,
+    /// Physical bit position → logical qubit (`len` = live count).
+    phys: Vec<usize>,
+    /// Largest amplitude array the run has operated on so far.
+    peak_amps: usize,
+}
+
+impl LiveMap {
+    /// Factors every exactly-definite qubit out of `amps`, compacting the
+    /// array down to the live core (and releasing the surplus capacity of
+    /// the caller-held full-width allocation when the reduction is big).
+    ///
+    /// Exact by construction: a qubit is virtualised only when every
+    /// amplitude on one of its branches is exactly zero, and each
+    /// [`kernels::compact_bit`] step copies the survivors bit-for-bit.
+    fn compact_definite(num_qubits: usize, amps: &mut Vec<Complex>) -> Self {
+        // One sweep: which bit values ever occur with nonzero amplitude.
+        let mut ones = 0usize;
+        let mut zeros = 0usize;
+        for (i, a) in amps.iter().enumerate() {
+            if *a != Complex::ZERO {
+                ones |= i;
+                zeros |= !i;
+            }
+        }
+        let mut slots = Vec::with_capacity(num_qubits);
+        let mut phys = Vec::new();
+        for q in 0..num_qubits {
+            let seen1 = ones >> q & 1 == 1;
+            let seen0 = zeros >> q & 1 == 1;
+            if seen1 && seen0 {
+                slots.push(LiveSlot::Live(phys.len()));
+                phys.push(q);
+            } else {
+                slots.push(LiveSlot::Virtual(seen1));
+            }
+        }
+        let live = phys.len();
+        if live < num_qubits {
+            if gather_beats_cascade(live, num_qubits) {
+                // Few live qubits: gather the core directly into a fresh
+                // (small) array, releasing the full-width allocation for
+                // the duration of the run.
+                let base = virtual_base(&slots);
+                let mut compact = Vec::with_capacity(1usize << live);
+                for i in 0..1usize << live {
+                    compact.push(amps[scatter_index(base, &phys, i)]);
+                }
+                *amps = compact;
+            } else {
+                // Mostly live: compact virtual positions from the top down
+                // (each step a forward in-place copy over the shrinking
+                // array — under 2·2^n element moves in total).
+                for q in (0..num_qubits).rev() {
+                    if let LiveSlot::Virtual(b) = slots[q] {
+                        kernels::compact_bit(amps, q, b);
+                    }
+                }
+                if amps.len() * 4 <= amps.capacity() {
+                    amps.shrink_to_fit();
+                }
+            }
+        }
+        Self {
+            slots,
+            phys,
+            peak_amps: amps.len(),
+        }
+    }
+
+    /// The physical bit position of logical qubit `q`.
+    ///
+    /// Only valid once `q` is live — callers materialise every operand of
+    /// an instruction (via [`ensure_live`](Self::ensure_live)) *before*
+    /// translating any of them, because a materialisation shifts the
+    /// positions of live qubits above its insertion point.
+    fn position(&self, q: usize) -> usize {
+        match self.slots[q] {
+            LiveSlot::Live(p) => p,
+            LiveSlot::Virtual(_) => unreachable!("operand materialised before translation"),
+        }
+    }
+
+    /// Makes logical qubit `q` live, materialising it first if it had been
+    /// factored out.
+    fn ensure_live(&mut self, amps: &mut Vec<Complex>, q: usize, flip: &mut usize) {
+        if let LiveSlot::Virtual(b) = self.slots[q] {
+            self.materialize(amps, q, b, flip);
+        }
+    }
+
+    /// Re-inserts virtual qubit `q` (holding bit `b`) at its
+    /// *order-preserving* position, doubling the array. Keeping `phys`
+    /// sorted means the remap never accumulates a permutation: physical
+    /// order always mirrors logical order, and the end-of-run restore is
+    /// nothing but materialising the leftover virtual qubits. Live qubits
+    /// above the insertion point shift up by one, as do their pending
+    /// bit-flip frame entries.
+    fn materialize(&mut self, amps: &mut Vec<Complex>, q: usize, b: bool, flip: &mut usize) {
+        let p = self.phys.partition_point(|&lq| lq < q);
+        kernels::expand_bit(amps, p, b);
+        let low = *flip & ((1usize << p) - 1);
+        let high = *flip >> p;
+        *flip = low | (high << (p + 1));
+        self.phys.insert(p, q);
+        self.slots[q] = LiveSlot::Live(p);
+        for j in p + 1..self.phys.len() {
+            self.slots[self.phys[j]] = LiveSlot::Live(j);
+        }
+        self.peak_amps = self.peak_amps.max(amps.len());
+    }
+
+    /// Executes a `Drop`: verifies the qubit is definite (all mass on one
+    /// branch, up to reclamation tolerance), projects, compacts the array
+    /// to half its length and re-indexes the surviving qubits and the
+    /// bit-flip frame. A qubit that cannot be proven definite stays live —
+    /// skipping is always safe because drops are advisory.
+    fn drop_qubit(&mut self, amps: &mut Vec<Complex>, q: usize, flip: &mut usize) {
+        let LiveSlot::Live(p) = self.slots[q] else {
+            // Factored out since the initial compaction and never touched
+            // again: already reclaimed.
+            return;
+        };
+        StateVector::flush_flip_bit(amps, flip, p);
+        let (m0, m1) = kernels::bit_masses(amps, p);
+        let keep = if m0 <= RECLAIM_TOL {
+            true
+        } else if m1 <= RECLAIM_TOL {
+            false
+        } else {
+            // Not provably definite: leave the qubit live.
+            return;
+        };
+        kernels::compact_bit(amps, p, keep);
+        // Close the gap at position `p` in the frame and the remap.
+        let low = *flip & ((1usize << p) - 1);
+        let high = *flip >> (p + 1);
+        *flip = low | (high << p);
+        self.phys.remove(p);
+        for j in p..self.phys.len() {
+            self.slots[self.phys[j]] = LiveSlot::Live(j);
+        }
+        self.slots[q] = LiveSlot::Virtual(keep);
+    }
+
+    /// Re-expands `amps` to the full `2^num_qubits` layout with every
+    /// logical qubit back at its own bit position — virtual qubits
+    /// re-inserted at their recorded definite values — so the external
+    /// `QubitId == bit position` contract holds again after the run.
+    ///
+    /// Because `phys` is kept sorted throughout the run, this is just the
+    /// remaining materialisations: once every qubit is live, position
+    /// equals logical index by construction.
+    fn restore(mut self, amps: &mut Vec<Complex>, num_qubits: usize) {
+        let live = self.phys.len();
+        if live == num_qubits {
+            // `phys` is sorted, so fully-live means identity already.
+            return;
+        }
+        if gather_beats_cascade(live, num_qubits) {
+            // Small live core: scatter it into a fresh full-width array.
+            let base = virtual_base(&self.slots);
+            let mut out = vec![Complex::ZERO; 1usize << num_qubits];
+            for (i, a) in amps.iter().enumerate() {
+                out[scatter_index(base, &self.phys, i)] = *a;
+            }
+            *amps = out;
+            return;
+        }
+        // Flips are flushed before restore; materialisation shifts nothing.
+        let mut no_flips = 0usize;
+        for q in 0..num_qubits {
+            if let LiveSlot::Virtual(b) = self.slots[q] {
+                self.materialize(amps, q, b, &mut no_flips);
+            }
+        }
+        debug_assert_eq!(self.phys.len(), num_qubits);
+        debug_assert!(self.phys.iter().enumerate().all(|(j, &q)| j == q));
+    }
+}
+
+impl StateVector {
+    /// The reclaiming compiled executor: runs the program on a compacted
+    /// amplitude array, materialising qubits on first touch and executing
+    /// `Drop` instructions by projection + compaction, with every operand
+    /// translated through the [`LiveMap`]. Restores the full-width layout
+    /// (and records the peak working set) before returning — reclamation
+    /// is invisible to everything outside the run.
+    fn run_compiled_reclaiming(
+        &mut self,
+        compiled: &CompiledCircuit,
+        rng: &mut dyn RngCore,
+    ) -> Result<Executed, SimError> {
+        let mut executed = Executed::default();
+        let live =
+            std::cell::RefCell::new(LiveMap::compact_definite(self.num_qubits, &mut self.amps));
+        // The bit-flip frame, indexed by *physical* position.
+        let flip = std::cell::Cell::new(0usize);
+        let result = exec::execute_compiled_core(
+            self,
+            compiled,
+            rng,
+            &mut executed,
+            |sv, g| {
+                let mut lm = live.borrow_mut();
+                let mut f = flip.get();
+                // Materialise every operand before translating any: an
+                // insertion shifts the positions of live qubits above it.
+                g.for_each_qubit(&mut |q| lm.ensure_live(&mut sv.amps, q.index(), &mut f));
+                let phys =
+                    g.map_qubits(|q| QubitId(u32::try_from(lm.position(q.index())).unwrap()));
+                drop(lm);
+                sv.apply_stride(&phys, &mut f);
+                flip.set(f);
+                Ok(())
+            },
+            |sv, q| {
+                let mut f = flip.get();
+                sv.flush_flips(&mut f);
+                let mut lm = live.borrow_mut();
+                lm.ensure_live(&mut sv.amps, q.index(), &mut f);
+                flip.set(f);
+                QubitId(u32::try_from(lm.position(q.index())).unwrap())
+            },
+            |sv, q| {
+                let mut lm = live.borrow_mut();
+                let mut f = flip.get();
+                lm.drop_qubit(&mut sv.amps, q.index(), &mut f);
+                flip.set(f);
+            },
+        );
+        let mut f = flip.get();
+        self.flush_flips(&mut f);
+        let lm = live.into_inner();
+        self.last_run_peak = Some(lm.peak_amps);
+        lm.restore(&mut self.amps, self.num_qubits);
+        result?;
+        Ok(executed)
     }
 }
 
@@ -663,6 +1054,10 @@ impl Simulator for StateVector {
     /// are bit-identical to the interpreted walk of the same lowered
     /// program. Compiled programs are pre-validated by construction, so
     /// per-gate operand checks are skipped on this path.
+    ///
+    /// When the program reclaims qubits (it contains `Drop` instructions)
+    /// and reclamation is enabled, execution switches to the compacting
+    /// engine: see [`StateVector::with_reclamation`].
     fn run_compiled(
         &mut self,
         compiled: &CompiledCircuit,
@@ -680,9 +1075,17 @@ impl Simulator for StateVector {
         let mut executed = Executed::default();
         if self.mode == KernelMode::Scan {
             // Reference semantics: the generic per-instruction executor.
+            // Drops are ignored here — the scan path keeps the full array,
+            // which is exactly what makes it a differential baseline for
+            // the reclaiming engine.
+            self.last_run_peak = Some(self.amps.len());
             exec::execute_compiled(self, compiled, rng, &mut executed)?;
             return Ok(executed);
         }
+        if self.reclaim && compiled.reclaims_qubits() {
+            return self.run_compiled_reclaiming(compiled, rng);
+        }
+        self.last_run_peak = Some(self.amps.len());
         // The frame lives in a `Cell` so the gate-application closure and
         // the pre-measurement flush hook can both reach it.
         let flip = std::cell::Cell::new(0usize);
@@ -697,15 +1100,21 @@ impl Simulator for StateVector {
                 flip.set(f);
                 Ok(())
             },
-            |sv| {
+            |sv, q| {
                 let mut f = flip.get();
                 sv.flush_flips(&mut f);
                 flip.set(f);
+                q
             },
+            |_, _| {},
         )?;
         let mut f = flip.get();
         self.flush_flips(&mut f);
         Ok(executed)
+    }
+
+    fn peak_amplitudes(&self) -> Option<u64> {
+        self.last_run_peak.map(|p| p as u64)
     }
 
     fn set_bit(&mut self, q: QubitId, value: bool) -> Result<(), SimError> {
@@ -1034,6 +1443,52 @@ mod tests {
     }
 
     #[test]
+    fn measuring_a_nearly_impossible_branch_renormalises_safely() {
+        // A state with ~1e-16 probability on the 0 branch — the residue
+        // profile long dyadic-rotation chains leave behind. Forcing the
+        // near-impossible outcome must renormalise from the branch's actual
+        // mass instead of zeroing the state (the old `scale = 0` path) or
+        // feeding a negative probability into `1/sqrt`.
+        let mut sv =
+            StateVector::from_amplitudes(vec![Complex::new(1e-8, 0.0), Complex::new(1.0, 0.0)])
+                .unwrap();
+        let mut force_zero = |_: f64| false;
+        let outcome = sv.measure(q(0), Basis::Z, &mut force_zero).unwrap();
+        assert!(!outcome);
+        let a0 = sv.amplitude(0);
+        assert!(a0.re.is_finite() && a0.im.is_finite());
+        assert!((a0.re - 1.0).abs() < 1e-9, "renormalised, got {a0}");
+        assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overfull_probability_sums_clamp_instead_of_going_negative() {
+        // Summed |amp|² can exceed 1 by rounding; the complementary branch
+        // probability must clamp to 0 — unclamped it reaches the draw
+        // callback out of range (the rand shim asserts on that) and makes
+        // the projector's 1/sqrt NaN.
+        let mut sv = StateVector::from_amplitudes(vec![
+            Complex::ZERO,
+            Complex::new(1.0, 0.0),
+            Complex::ZERO,
+            Complex::new(1e-7, 0.0),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut draw = |p: f64| {
+            assert!((0.0..=1.0).contains(&p), "p = {p} escaped the clamp");
+            use rand::Rng;
+            rng.gen_bool(p)
+        };
+        let outcome = sv.measure(q(0), Basis::Z, &mut draw).unwrap();
+        assert!(outcome, "the p ≈ 1 branch");
+        for a in sv.amplitudes() {
+            assert!(a.re.is_finite() && a.im.is_finite());
+        }
+        assert!((sv.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn x_measurement_leaves_plus_or_minus() {
         let mut b = CircuitBuilder::new();
         let r = b.qreg("q", 1);
@@ -1065,6 +1520,136 @@ mod tests {
         let b = StateVector::basis(2, 3).unwrap();
         assert!((a.inner_product(&b)).norm() < 1e-12);
         assert!((a.inner_product(&a) - Complex::ONE).norm() < 1e-12);
+    }
+
+    /// Two sequential Gidney AND compute/MBU-uncompute phases on *fresh*
+    /// ancillas (q2 then q3) — the composition profile where reclamation
+    /// pays: q2 is dropped before q3 is ever touched.
+    fn two_phase_mbu_circuit() -> mbu_circuit::Circuit {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 4);
+        for anc in [r[2], r[3]] {
+            b.ccx(r[0], r[1], anc);
+            b.h(anc);
+            let m = b.measure(anc, Basis::Z);
+            let (_, fix) = b.record(|b| {
+                b.cz(r[0], r[1]);
+                b.x(anc);
+            });
+            b.emit_conditional(m, &fix);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn reclamation_is_observationally_invisible() {
+        let circuit = two_phase_mbu_circuit();
+        let compiled = mbu_circuit::CompiledCircuit::compile(&circuit).unwrap();
+        assert!(compiled.reclaims_qubits(), "{compiled}");
+        for seed in 0..24 {
+            let mut on = StateVector::basis(4, 0b0011)
+                .unwrap()
+                .with_reclamation(true);
+            let mut off = StateVector::basis(4, 0b0011)
+                .unwrap()
+                .with_reclamation(false);
+            let mut rng_on = StdRng::seed_from_u64(seed);
+            let mut rng_off = StdRng::seed_from_u64(seed);
+            let ex_on = on.run_compiled(&compiled, &mut rng_on).unwrap();
+            let ex_off = off.run_compiled(&compiled, &mut rng_off).unwrap();
+            assert_eq!(ex_on, ex_off, "seed {seed}");
+            for (i, (a, b)) in on.amplitudes().iter().zip(off.amplitudes()).enumerate() {
+                assert!((*a - *b).norm() < 1e-12, "seed {seed} amp {i}: {a} vs {b}");
+            }
+            // Both ancillas uncomputed, data preserved.
+            assert_eq!(on.as_basis(1e-9).unwrap().0, 0b0011, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reclamation_halves_the_peak_working_set() {
+        let circuit = two_phase_mbu_circuit();
+        let compiled = mbu_circuit::CompiledCircuit::compile(&circuit).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut on = StateVector::basis(4, 0b0011)
+            .unwrap()
+            .with_reclamation(true);
+        on.run_compiled(&compiled, &mut rng).unwrap();
+        let peak_on = on.last_run_peak_amplitudes().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut off = StateVector::basis(4, 0b0011)
+            .unwrap()
+            .with_reclamation(false);
+        off.run_compiled(&compiled, &mut rng).unwrap();
+        let peak_off = off.last_run_peak_amplitudes().unwrap();
+
+        assert_eq!(peak_off, 1 << 4, "non-reclaiming engine holds 2^n");
+        assert!(
+            peak_on * 2 <= peak_off,
+            "q2 dropped before q3 materialises: peak {peak_on} vs {peak_off}"
+        );
+        assert_eq!(Simulator::peak_amplitudes(&on), Some(peak_on as u64));
+    }
+
+    #[test]
+    fn indefinite_drops_are_skipped_not_projected() {
+        // An X-basis measurement leaves the qubit in |+⟩/|−⟩ — collapsed
+        // from the compiler's viewpoint (a drop is emitted) but not
+        // definite, so the runtime must refuse to project it.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.x(r[1]);
+        let _ = b.measure(r[0], Basis::X);
+        let circuit = b.finish();
+        let compiled = mbu_circuit::CompiledCircuit::compile(&circuit).unwrap();
+        assert!(compiled.reclaims_qubits());
+        for seed in 0..8 {
+            let mut on = StateVector::zeros(2).unwrap().with_reclamation(true);
+            let mut off = StateVector::zeros(2).unwrap().with_reclamation(false);
+            let mut rng_on = StdRng::seed_from_u64(seed);
+            let mut rng_off = StdRng::seed_from_u64(seed);
+            let ex_on = on.run_compiled(&compiled, &mut rng_on).unwrap();
+            let ex_off = off.run_compiled(&compiled, &mut rng_off).unwrap();
+            assert_eq!(ex_on, ex_off);
+            for (i, (a, b)) in on.amplitudes().iter().zip(off.amplitudes()).enumerate() {
+                assert!((*a - *b).norm() < 1e-12, "seed {seed} amp {i}");
+            }
+            // The superposed qubit survived the skipped drop.
+            assert!((on.probability_of(0b10) - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reclamation_restores_untouched_padding_qubits() {
+        // A 2-qubit program on a 4-qubit state prepared at |1001⟩: the
+        // padding qubits are factored out up front and must come back at
+        // their original positions and values.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.x(r[0]);
+        let _ = b.measure(r[1], Basis::Z);
+        let circuit = b.finish();
+        let compiled = mbu_circuit::CompiledCircuit::compile(&circuit).unwrap();
+        assert!(compiled.reclaims_qubits());
+        let mut sv = StateVector::basis(4, 0b1001)
+            .unwrap()
+            .with_reclamation(true);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ex = sv.run_compiled(&compiled, &mut rng).unwrap();
+        assert!(!ex.outcome(0).unwrap());
+        assert_eq!(sv.as_basis(1e-12).unwrap().0, 0b1000, "X flipped q0");
+        assert_eq!(sv.amplitudes().len(), 1 << 4);
+    }
+
+    #[test]
+    fn reclamation_default_honours_builder_override() {
+        let sv = StateVector::zeros(1).unwrap();
+        let off = sv.clone().with_reclamation(false);
+        assert!(!off.reclamation_enabled());
+        let on = off.with_reclamation(true);
+        assert!(on.reclamation_enabled());
+        assert_eq!(sv.last_run_peak_amplitudes(), None, "no compiled run yet");
     }
 
     #[test]
