@@ -37,7 +37,16 @@
 //!      and is never touched again, so compacting backends (the state
 //!      vector) can release the qubit mid-run and halve their live
 //!      amplitude array per drop — the paper's early-ancilla-release payoff
-//!      made concrete in the execution engine.
+//!      made concrete in the execution engine;
+//!    * *gate fusion* (on by default, see
+//!      [`PassConfig::fuse_max_qubits`] and the `MBU_FUSION` environment
+//!      variable) — merges maximal runs of adjacent gates whose combined
+//!      support fits in `k ≤ `[`MAX_FUSED_QUBITS`] qubits into dense
+//!      `2^k × 2^k` [`Instr::Fused`] unitaries ([`FusedUnitary`]), so an
+//!      amplitude backend applies the whole run in **one sweep** over the
+//!      state instead of one sweep per gate. Exact: executors apply the
+//!      block in factored form, with per-amplitude arithmetic identical to
+//!      the unfused stream.
 //!
 //!    Every pass records what it did in [`PassStats`].
 //! 3. **execute** — the `mbu-sim` crate runs compiled programs through
@@ -132,6 +141,211 @@ pub enum Instr {
     /// compacting executors must be observationally invisible — identical
     /// outcomes, RNG consumption, executed counts and final state.
     Drop(QubitId),
+    /// Apply the dense `2^k × 2^k` unitary stored at this index of the
+    /// program's fused-unitary table
+    /// ([`CompiledCircuit::fused_unitaries`]): a run of adjacent gates
+    /// whose combined support fits in `k ≤` [`MAX_FUSED_QUBITS`] qubits,
+    /// merged by the gate-fusion pass so an amplitude backend applies the
+    /// whole run in a **single sweep** over the state instead of one sweep
+    /// per gate.
+    ///
+    /// Executors without a dense kernel replay the block's constituent
+    /// gates one by one ([`FusedUnitary::global_gates`]); either way the
+    /// executed gate tally records every constituent, so fusion is
+    /// invisible in [`Executed`](../mbu_sim/struct.Executed.html)-style
+    /// statistics.
+    Fused(u32),
+}
+
+/// Upper bound on the arity of a fused unitary block (`2^4 × 2^4` dense
+/// matrices at most); [`PassConfig::fuse_max_qubits`] is clamped to this.
+pub const MAX_FUSED_QUBITS: usize = 4;
+
+/// The default fusion window, overridable through the `MBU_FUSION`
+/// environment variable (see [`PassConfig::default`]).
+const DEFAULT_FUSE_QUBITS: usize = 3;
+
+/// A run of adjacent gates merged into one dense unitary instruction.
+///
+/// The block stores its (ascending) global operand qubits and the
+/// constituent gates re-indexed onto *local* operands `q0..qk` (local
+/// qubit `j` is `qubits()[j]`). Keeping the factorisation — rather than
+/// only the dense product matrix — is what lets executors apply the block
+/// with arithmetic *bit-identical* to unfused execution: the dense matrix
+/// is available from [`FusedUnitary::matrix`] for inspection and
+/// verification, while kernels apply the factors to each gathered
+/// `2^k`-amplitude group in one pass over the state.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FusedUnitary {
+    /// Ascending global operand qubits; local qubit `j` ↔ `qubits[j]`.
+    qubits: Vec<QubitId>,
+    /// The constituent gates, operands renamed to local indices.
+    gates: Vec<Gate>,
+}
+
+impl FusedUnitary {
+    /// Builds a block from its sorted support and the original gates.
+    fn build(qubits: Vec<QubitId>, global_gates: &[Gate]) -> Self {
+        debug_assert!(qubits.windows(2).all(|w| w[0] < w[1]), "support sorted");
+        let gates = global_gates
+            .iter()
+            .map(|g| {
+                g.map_qubits(|q| {
+                    let local = qubits
+                        .iter()
+                        .position(|&s| s == q)
+                        .expect("gate operand inside block support");
+                    QubitId(u32::try_from(local).expect("local index fits u32"))
+                })
+            })
+            .collect();
+        Self { qubits, gates }
+    }
+
+    /// The global operand qubits, ascending.
+    #[must_use]
+    pub fn qubits(&self) -> &[QubitId] {
+        &self.qubits
+    }
+
+    /// The block arity `k` (the dense unitary is `2^k × 2^k`).
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// The constituent gates with *local* operands (`q0..qk`), in
+    /// application order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The constituent gates with their original global operands, in
+    /// application order — what executors without a dense kernel replay.
+    pub fn global_gates(&self) -> impl Iterator<Item = Gate> + '_ {
+        self.gates
+            .iter()
+            .map(move |g| g.map_qubits(|lq| self.qubits[lq.index()]))
+    }
+
+    /// The dense `2^k × 2^k` unitary, row-major (`m[r * 2^k + c]` is
+    /// `⟨r|U|c⟩` as `[re, im]`), computed as the ordered product of the
+    /// constituent gates.
+    #[must_use]
+    pub fn matrix(&self) -> Vec<[f64; 2]> {
+        let dim = 1usize << self.num_qubits();
+        let mut m = vec![[0.0f64; 2]; dim * dim];
+        let mut col = vec![[0.0f64; 2]; dim];
+        for c in 0..dim {
+            col.fill([0.0, 0.0]);
+            col[c] = [1.0, 0.0];
+            for g in &self.gates {
+                apply_gate_to_column(&mut col, g);
+            }
+            for r in 0..dim {
+                m[r * dim + c] = col[r];
+            }
+        }
+        m
+    }
+}
+
+/// Applies `g` (local operands) to a dense `2^k`-entry column vector,
+/// using the same per-amplitude formulas as the simulator kernels.
+fn apply_gate_to_column(col: &mut [[f64; 2]], g: &Gate) {
+    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    let cmul = |a: [f64; 2], b: [f64; 2]| [a[0] * b[0] - a[1] * b[1], a[0] * b[1] + a[1] * b[0]];
+    let cis = |theta: f64| [theta.cos(), theta.sin()];
+    let bit = |i: usize, q: QubitId| i >> q.index() & 1 == 1;
+    let len = col.len();
+    match *g {
+        Gate::X(q) => {
+            for i in 0..len {
+                if !bit(i, q) {
+                    col.swap(i, i | 1 << q.index());
+                }
+            }
+        }
+        Gate::Z(q) => {
+            for (i, a) in col.iter_mut().enumerate() {
+                if bit(i, q) {
+                    *a = [-a[0], -a[1]];
+                }
+            }
+        }
+        Gate::H(q) => {
+            let m = 1usize << q.index();
+            for i in 0..len {
+                if i & m == 0 {
+                    let a = col[i];
+                    let b = col[i | m];
+                    col[i] = [(a[0] + b[0]) * FRAC_1_SQRT_2, (a[1] + b[1]) * FRAC_1_SQRT_2];
+                    col[i | m] = [(a[0] - b[0]) * FRAC_1_SQRT_2, (a[1] - b[1]) * FRAC_1_SQRT_2];
+                }
+            }
+        }
+        Gate::Phase(q, theta) => {
+            let w = cis(theta.radians());
+            for (i, a) in col.iter_mut().enumerate() {
+                if bit(i, q) {
+                    *a = cmul(*a, w);
+                }
+            }
+        }
+        Gate::Cx(c, t) => {
+            for i in 0..len {
+                if bit(i, c) && !bit(i, t) {
+                    col.swap(i, i | 1 << t.index());
+                }
+            }
+        }
+        Gate::Cz(a, b) => {
+            for (i, x) in col.iter_mut().enumerate() {
+                if bit(i, a) && bit(i, b) {
+                    *x = [-x[0], -x[1]];
+                }
+            }
+        }
+        Gate::Ccx(c1, c2, t) => {
+            for i in 0..len {
+                if bit(i, c1) && bit(i, c2) && !bit(i, t) {
+                    col.swap(i, i | 1 << t.index());
+                }
+            }
+        }
+        Gate::Ccz(a, b, c) => {
+            for (i, x) in col.iter_mut().enumerate() {
+                if bit(i, a) && bit(i, b) && bit(i, c) {
+                    *x = [-x[0], -x[1]];
+                }
+            }
+        }
+        Gate::CPhase(c, t, theta) => {
+            let w = cis(theta.radians());
+            for (i, a) in col.iter_mut().enumerate() {
+                if bit(i, c) && bit(i, t) {
+                    *a = cmul(*a, w);
+                }
+            }
+        }
+        Gate::CcPhase(c1, c2, t, theta) => {
+            let w = cis(theta.radians());
+            for (i, a) in col.iter_mut().enumerate() {
+                if bit(i, c1) && bit(i, c2) && bit(i, t) {
+                    *a = cmul(*a, w);
+                }
+            }
+        }
+        Gate::Swap(a, b) => {
+            let mask = (1usize << a.index()) | (1usize << b.index());
+            for i in 0..len {
+                if bit(i, a) && !bit(i, b) {
+                    col.swap(i, i ^ mask);
+                }
+            }
+        }
+    }
 }
 
 /// Which peephole passes [`CompiledCircuit::with_config`] runs.
@@ -164,6 +378,33 @@ pub struct PassConfig {
     /// letting compacting backends reclaim them mid-run. Observationally
     /// invisible (drops are advisory); on by default.
     pub reclaim_dead_qubits: bool,
+    /// The gate-fusion window: merge runs of adjacent gates whose combined
+    /// support spans at most this many qubits into one dense
+    /// [`Instr::Fused`] unitary (clamped to [`MAX_FUSED_QUBITS`]; `0`
+    /// disables the pass). Fusion is exact — backends apply the block with
+    /// per-amplitude arithmetic identical to the unfused stream — so it is
+    /// on by default (window 3, covering every gate family in the set),
+    /// unless the `MBU_FUSION` environment variable overrides it: `0`,
+    /// `off`, `false` or `no` disables fusion process-wide, a positive
+    /// integer replaces the window.
+    pub fuse_max_qubits: usize,
+}
+
+/// The process-wide fusion default: window [`DEFAULT_FUSE_QUBITS`] unless
+/// the `MBU_FUSION` environment variable overrides it. Read once (compile
+/// sits in shot-setup paths) and only consulted by
+/// [`PassConfig::default`]; explicit configs always win.
+fn fuse_default() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(
+        || match std::env::var("MBU_FUSION").ok().as_deref().map(str::trim) {
+            Some("off" | "false" | "no") => 0,
+            Some(v) => v
+                .parse::<usize>()
+                .map_or(DEFAULT_FUSE_QUBITS, |k| k.min(MAX_FUSED_QUBITS)),
+            None => DEFAULT_FUSE_QUBITS,
+        },
+    )
 }
 
 impl Default for PassConfig {
@@ -174,6 +415,7 @@ impl Default for PassConfig {
             remove_identities: true,
             phase_dead_before_measure: false,
             reclaim_dead_qubits: true,
+            fuse_max_qubits: fuse_default(),
         }
     }
 }
@@ -188,6 +430,7 @@ impl PassConfig {
             remove_identities: false,
             phase_dead_before_measure: false,
             reclaim_dead_qubits: false,
+            fuse_max_qubits: 0,
         }
     }
 
@@ -231,6 +474,11 @@ pub struct PassStats {
     /// Qubits for which the liveness pass emitted an [`Instr::Drop`]:
     /// measured (or reset) at some point and never touched afterwards.
     pub dead_qubits_reclaimed: u64,
+    /// Dense [`Instr::Fused`] blocks emitted by the gate-fusion pass.
+    pub fused_blocks: u64,
+    /// Gates absorbed into fused blocks (each emitted block absorbs at
+    /// least two).
+    pub fused_gates: u64,
     /// Instructions in the final program.
     pub emitted_instrs: usize,
 }
@@ -248,13 +496,15 @@ impl fmt::Display for PassStats {
         write!(
             f,
             "lowered {} instrs; cancelled {}, merged {}, identities {}, phase-dead {}, \
-             reclaimed {}; emitted {}",
+             reclaimed {}, fused {} gates into {} blocks; emitted {}",
             self.lowered_instrs,
             self.cancelled,
             self.merged,
             self.identities_removed,
             self.phase_dead_removed,
             self.dead_qubits_reclaimed,
+            self.fused_gates,
+            self.fused_blocks,
             self.emitted_instrs
         )
     }
@@ -299,6 +549,8 @@ pub struct CompiledCircuit {
     num_qubits: usize,
     num_clbits: usize,
     instrs: Vec<Instr>,
+    /// Dense unitary blocks referenced by [`Instr::Fused`] indices.
+    fused: Vec<FusedUnitary>,
     stats: PassStats,
 }
 
@@ -340,14 +592,19 @@ impl CompiledCircuit {
         if config.any() {
             instrs = run_passes(instrs, config, &mut stats);
         }
+        let mut fused = Vec::new();
+        if config.fuse_max_qubits > 0 {
+            (instrs, fused) = fuse_gates(instrs, config.fuse_max_qubits, &mut stats);
+        }
         if config.reclaim_dead_qubits {
-            instrs = reclaim_dead_qubits(instrs, circuit.num_qubits(), &mut stats);
+            instrs = reclaim_dead_qubits(instrs, circuit.num_qubits(), &mut stats, &fused);
         }
         stats.emitted_instrs = instrs.len();
         Ok(Self {
             num_qubits: circuit.num_qubits(),
             num_clbits: circuit.num_clbits(),
             instrs,
+            fused,
             stats,
         })
     }
@@ -370,6 +627,13 @@ impl CompiledCircuit {
         &self.instrs
     }
 
+    /// The dense unitary blocks the gate-fusion pass emitted, indexed by
+    /// [`Instr::Fused`] payloads.
+    #[must_use]
+    pub fn fused_unitaries(&self) -> &[FusedUnitary] {
+        &self.fused
+    }
+
     /// What the peephole passes did to this program.
     #[must_use]
     pub fn stats(&self) -> &PassStats {
@@ -387,6 +651,13 @@ impl CompiledCircuit {
                 Instr::Gate(g) => counts.record_gate(g),
                 Instr::Measure { basis, .. } => counts.record_measurement(*basis),
                 Instr::Reset(_) => counts.reset += 1,
+                // A fused block costs exactly its constituents (counts
+                // only tally the gate family, which local renaming keeps).
+                Instr::Fused(idx) => {
+                    for g in self.fused[*idx as usize].gates() {
+                        counts.record_gate(g);
+                    }
+                }
                 Instr::BranchUnless { .. } | Instr::Drop(_) => {}
             }
         }
@@ -426,6 +697,14 @@ impl fmt::Display for CompiledCircuit {
                 } => writeln!(f, "{pc:5}: {:indent$}M{basis} {qubit} -> {clbit}", "")?,
                 Instr::Reset(q) => writeln!(f, "{pc:5}: {:indent$}reset {q}", "")?,
                 Instr::Drop(q) => writeln!(f, "{pc:5}: {:indent$}drop {q}", "")?,
+                Instr::Fused(idx) => {
+                    let fu = &self.fused[*idx as usize];
+                    write!(f, "{pc:5}: {:indent$}fused[{idx}]", "")?;
+                    for q in fu.qubits() {
+                        write!(f, " {q}")?;
+                    }
+                    writeln!(f, " ({} gates)", fu.gates().len())?;
+                }
                 Instr::BranchUnless { clbit, skip } => {
                     let target = pc + 1 + *skip as usize;
                     writeln!(f, "{pc:5}: {:indent$}unless {clbit} jump {target}", "")?;
@@ -588,9 +867,13 @@ fn run_passes(instrs: Vec<Instr>, config: &PassConfig, stats: &mut PassStats) ->
         eliminate_phase_dead(&mut slots, &barrier, stats);
     }
 
-    // Compact, recomputing branch skips over the surviving instructions
-    // (branches themselves are never removed, so guarded regions stay
-    // contiguous and only shrink).
+    compact_slots(&slots)
+}
+
+/// Compacts removed (`None`) slots, recomputing branch skips over the
+/// surviving instructions (branches themselves are never removed, so
+/// guarded regions stay contiguous and only shrink).
+fn compact_slots(slots: &[Option<Instr>]) -> Vec<Instr> {
     let mut surviving = vec![0usize; slots.len() + 1];
     for (i, slot) in slots.iter().enumerate() {
         surviving[i + 1] = surviving[i] + usize::from(slot.is_some());
@@ -614,6 +897,126 @@ fn run_passes(instrs: Vec<Instr>, config: &PassConfig, stats: &mut PassStats) ->
     out
 }
 
+/// The estimated amplitude-array traffic of one unfused kernel sweep for
+/// `g`, in eighths of a full read+write pass: `H` touches every
+/// amplitude, a CNOT or SWAP half of them, a Toffoli a quarter; diagonal
+/// sweeps touch their pinned subspace; `X` is a free bit-flip-frame
+/// toggle in the compiled engine and costs nothing.
+fn fusion_weight(g: &Gate) -> u32 {
+    match g {
+        Gate::X(_) => 0,
+        Gate::H(_) => 8,
+        Gate::Cx(..) | Gate::Swap(..) | Gate::Z(_) | Gate::Phase(..) => 4,
+        Gate::Ccx(..) | Gate::Cz(..) | Gate::CPhase(..) => 2,
+        Gate::Ccz(..) | Gate::CcPhase(..) => 1,
+    }
+}
+
+/// Minimum summed [`fusion_weight`] for a block to be emitted: a fused
+/// block costs one full read+write pass over the array (plus small
+/// per-group overhead), so fusing only pays when the gates it replaces
+/// would have cost measurably more — 12 eighths = 1.5 passes. Below the
+/// bar the gates stay plain (individual subspace sweeps are cheap and
+/// vectorised). An `H`+`CX` pair (1.5 passes) is exactly at the bar — the
+/// Bell/MBU-correction shape fuses.
+const FUSE_MIN_WEIGHT: u32 = 12;
+
+/// The gate-fusion pass: greedily merges maximal runs of adjacent gates
+/// whose combined support fits in `max_qubits ≤ `[`MAX_FUSED_QUBITS`]
+/// qubits into [`Instr::Fused`] blocks (recorded in the returned table),
+/// so an amplitude backend applies the whole run in one sweep.
+///
+/// Like the peephole window, fusion never crosses a barrier (measurement,
+/// reset, drop, branch or branch join), and it never reorders gates —
+/// only contiguous runs merge, so the block's product unitary is exactly
+/// the program's. Blocks that would not save array traffic (summed
+/// [`fusion_weight`] below [`FUSE_MIN_WEIGHT`]) are left unfused; light
+/// gates (diagonals, `X`) ride along inside emitted blocks for free.
+fn fuse_gates(
+    instrs: Vec<Instr>,
+    max_qubits: usize,
+    stats: &mut PassStats,
+) -> (Vec<Instr>, Vec<FusedUnitary>) {
+    let window = max_qubits.min(MAX_FUSED_QUBITS);
+    let mut barrier = vec![false; instrs.len() + 1];
+    for (pc, instr) in instrs.iter().enumerate() {
+        if let Instr::BranchUnless { skip, .. } = instr {
+            barrier[pc + 1 + *skip as usize] = true;
+        }
+    }
+
+    let mut slots: Vec<Option<Instr>> = instrs.into_iter().map(Some).collect();
+    let mut table: Vec<FusedUnitary> = Vec::new();
+    // The open block: member slot indices and their combined support.
+    let mut block: Vec<usize> = Vec::new();
+    let mut support: Vec<QubitId> = Vec::new();
+
+    fn flush(
+        slots: &mut [Option<Instr>],
+        table: &mut Vec<FusedUnitary>,
+        block: &mut Vec<usize>,
+        support: &mut Vec<QubitId>,
+        stats: &mut PassStats,
+    ) {
+        let gate_at = |i: usize| match slots[i] {
+            Some(Instr::Gate(g)) => g,
+            _ => unreachable!("fusion blocks hold gate slots"),
+        };
+        let weight: u32 = block.iter().map(|&i| fusion_weight(&gate_at(i))).sum();
+        if block.len() >= 2 && weight >= FUSE_MIN_WEIGHT {
+            let gates: Vec<Gate> = block.iter().map(|&i| gate_at(i)).collect();
+            support.sort_unstable();
+            let idx = u32::try_from(table.len()).expect("fused table fits u32 indices");
+            table.push(FusedUnitary::build(support.clone(), &gates));
+            slots[block[0]] = Some(Instr::Fused(idx));
+            for &i in &block[1..] {
+                slots[i] = None;
+            }
+            stats.fused_blocks += 1;
+            stats.fused_gates += block.len() as u64;
+        }
+        block.clear();
+        support.clear();
+    }
+
+    for pc in 0..slots.len() {
+        if barrier[pc] {
+            flush(&mut slots, &mut table, &mut block, &mut support, stats);
+        }
+        match slots[pc] {
+            Some(Instr::Gate(g)) => {
+                let mut union = support.clone();
+                g.for_each_qubit(&mut |q| {
+                    if !union.contains(&q) {
+                        union.push(q);
+                    }
+                });
+                if union.len() <= window {
+                    support = union;
+                    block.push(pc);
+                } else {
+                    flush(&mut slots, &mut table, &mut block, &mut support, stats);
+                    g.for_each_qubit(&mut |q| {
+                        if !support.contains(&q) {
+                            support.push(q);
+                        }
+                    });
+                    if support.len() <= window {
+                        block.push(pc);
+                    } else {
+                        // Wider than the window on its own: leave plain.
+                        support.clear();
+                    }
+                }
+            }
+            _ => flush(&mut slots, &mut table, &mut block, &mut support, stats),
+        }
+    }
+    flush(&mut slots, &mut table, &mut block, &mut support, stats);
+
+    (compact_slots(&slots), table)
+}
+
 /// Liveness analysis for qubit reclamation: for every qubit that is
 /// measured (or reset) at least once and never touched after some program
 /// point, emit an [`Instr::Drop`] at the earliest *top-level* point past
@@ -631,7 +1034,12 @@ fn run_passes(instrs: Vec<Instr>, config: &PassConfig, stats: &mut PassStats) ->
 /// Drops are only inserted at guard depth 0 so they execute on every
 /// control-flow path, and a top-level insertion point never lies inside a
 /// branch's skip region, so no branch offset needs fixing up.
-fn reclaim_dead_qubits(instrs: Vec<Instr>, num_qubits: usize, stats: &mut PassStats) -> Vec<Instr> {
+fn reclaim_dead_qubits(
+    instrs: Vec<Instr>,
+    num_qubits: usize,
+    stats: &mut PassStats,
+    fused: &[FusedUnitary],
+) -> Vec<Instr> {
     let n = instrs.len();
     // depth_at[i]: number of guarded regions containing the insertion
     // point *before* instruction i (i == n is the end of the program),
@@ -655,6 +1063,11 @@ fn reclaim_dead_qubits(instrs: Vec<Instr>, num_qubits: usize, stats: &mut PassSt
     for (pc, instr) in instrs.iter().enumerate() {
         match instr {
             Instr::Gate(g) => g.for_each_qubit(&mut |q| last_touch[q.index()] = Some(pc)),
+            Instr::Fused(idx) => {
+                for q in fused[*idx as usize].qubits() {
+                    last_touch[q.index()] = Some(pc);
+                }
+            }
             Instr::Measure { qubit, .. } => {
                 last_touch[qubit.index()] = Some(pc);
                 collapsed[qubit.index()] = true;
@@ -790,7 +1203,8 @@ fn eliminate_phase_dead(slots: &mut [Option<Instr>], barrier: &[bool], stats: &m
                 // Drops never move amplitudes; stepping over is safe (and
                 // the reclamation pass runs after this one anyway).
                 Some(Instr::Drop(_)) => continue,
-                Some(Instr::BranchUnless { .. }) => break,
+                // Fused blocks only appear after this pass; conservative.
+                Some(Instr::Fused(_)) | Some(Instr::BranchUnless { .. }) => break,
             }
         }
         if dead {
@@ -1104,6 +1518,232 @@ mod tests {
         assert!(
             compiled.to_string().contains("unless c0 jump 4"),
             "{compiled}"
+        );
+    }
+
+    /// Default passes with the fusion window pinned on, so these tests
+    /// hold under a `MBU_FUSION=0` environment (the CI leg that disables
+    /// fusion process-wide).
+    fn fused_config() -> PassConfig {
+        PassConfig {
+            fuse_max_qubits: 3,
+            ..PassConfig::default()
+        }
+    }
+
+    /// All gates of `compiled`, fused blocks expanded back to their
+    /// global-operand constituents, in program order.
+    fn effective_gates(compiled: &CompiledCircuit) -> Vec<Gate> {
+        let mut out = Vec::new();
+        for i in compiled.instrs() {
+            match i {
+                Instr::Gate(g) => out.push(*g),
+                Instr::Fused(idx) => {
+                    out.extend(compiled.fused_unitaries()[*idx as usize].global_gates());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fusion_merges_adjacent_overlapping_runs() {
+        // The Gidney-AND compute shape: CCX, H, CX on a 3-qubit support —
+        // one dense block, with the trailing diagonal riding along.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 3);
+        b.ccx(r[0], r[1], r[2]);
+        b.h(r[2]);
+        b.cx(r[0], r[2]);
+        b.cz(r[0], r[1]);
+        let source = b.finish();
+        let compiled = CompiledCircuit::with_config(&source, &fused_config()).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 1, "{compiled}");
+        assert_eq!(compiled.stats().fused_gates, 4);
+        assert_eq!(compiled.instrs().len(), 1);
+        let fu = &compiled.fused_unitaries()[0];
+        assert_eq!(fu.num_qubits(), 3);
+        assert_eq!(fu.qubits(), &[r[0], r[1], r[2]]);
+        // Local operands stay in gate order; global reconstruction round-trips.
+        let globals: Vec<Gate> = fu.global_gates().collect();
+        assert_eq!(
+            globals,
+            vec![
+                Gate::Ccx(r[0], r[1], r[2]),
+                Gate::H(r[2]),
+                Gate::Cx(r[0], r[2]),
+                Gate::Cz(r[0], r[1]),
+            ]
+        );
+        // Worst-case counts are untouched by fusion.
+        assert_eq!(compiled.counts(), source.counts());
+        // And the dump names the block.
+        assert!(compiled.to_string().contains("fused[0] q0 q1 q2 (4 gates)"));
+    }
+
+    #[test]
+    fn fusion_respects_the_qubit_window() {
+        // Two disjoint 2-qubit runs with a 4-qubit combined support: with
+        // the default window of 3 they cannot merge into one block.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 4);
+        b.h(r[0]);
+        b.cx(r[0], r[1]);
+        b.h(r[2]);
+        b.cx(r[2], r[3]);
+        let compiled = CompiledCircuit::with_config(&b.finish(), &fused_config()).unwrap();
+        // Greedy: the first block absorbs H q2 (support {0,1,2} still fits)
+        // but must close before CX q2 q3 would push it to four qubits; the
+        // leftover lone CX stays plain (only one heavy gate).
+        assert_eq!(compiled.stats().fused_blocks, 1, "{compiled}");
+        assert_eq!(compiled.stats().fused_gates, 3);
+        for fu in compiled.fused_unitaries() {
+            assert!(fu.num_qubits() <= 3);
+        }
+        assert_eq!(effective_gates(&compiled).len(), 4, "no gate lost");
+        assert!(
+            matches!(compiled.instrs().last(), Some(Instr::Gate(Gate::Cx(..)))),
+            "{compiled}"
+        );
+    }
+
+    #[test]
+    fn fusion_skips_blocks_that_save_no_sweep() {
+        // Diagonal-only runs (cheap subspace sweeps) and X gates (frame
+        // toggles in the compiled engine) are not worth a dense sweep.
+        let t = Angle::turn_over_power_of_two(4);
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 3);
+        b.cphase(r[0], r[1], t);
+        b.cz(r[1], r[2]);
+        b.x(r[0]);
+        b.ccz(r[0], r[1], r[2]);
+        let compiled = CompiledCircuit::with_config(&b.finish(), &fused_config()).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 0, "{compiled}");
+        assert_eq!(compiled.counts().total_gates(), 4);
+    }
+
+    #[test]
+    fn fusion_stops_at_barriers_and_fixes_branch_targets() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.h(r[0]);
+        b.cx(r[0], r[1]);
+        let m = b.measure(r[0], Basis::Z);
+        let (_, fix) = b.record(|b| {
+            b.h(r[1]);
+            b.cx(r[1], r[0]);
+        });
+        b.emit_conditional(m, &fix);
+        b.h(r[0]);
+        b.cx(r[0], r[1]);
+        let no_reclaim = PassConfig {
+            reclaim_dead_qubits: false,
+            ..fused_config()
+        };
+        let compiled = CompiledCircuit::with_config(&b.finish(), &no_reclaim).unwrap();
+        // Three separate blocks: before the measurement, inside the guarded
+        // body, after the join — never across.
+        assert_eq!(compiled.stats().fused_blocks, 3, "{compiled}");
+        // Fused(0), Measure, Branch(skip 1), Fused(1), Fused(2).
+        assert_eq!(compiled.instrs().len(), 5, "{compiled}");
+        assert!(
+            matches!(compiled.instrs()[2], Instr::BranchUnless { skip: 1, .. }),
+            "{compiled}"
+        );
+        assert_eq!(effective_gates(&compiled).len(), 6);
+    }
+
+    #[test]
+    fn fusion_is_disabled_by_config() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.h(r[0]);
+        b.cx(r[0], r[1]);
+        let circuit = b.finish();
+        let off = PassConfig {
+            fuse_max_qubits: 0,
+            ..PassConfig::default()
+        };
+        let compiled = CompiledCircuit::with_config(&circuit, &off).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 0);
+        assert!(compiled.fused_unitaries().is_empty());
+        assert!(!CompiledCircuit::lower(&circuit)
+            .unwrap()
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::Fused(_))));
+    }
+
+    #[test]
+    fn fusion_window_is_clamped_to_the_dense_limit() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 6);
+        for w in r.qubits().windows(2) {
+            b.h(w[0]);
+            b.cx(w[0], w[1]);
+        }
+        let wide = PassConfig {
+            fuse_max_qubits: 64,
+            ..PassConfig::default()
+        };
+        let compiled = CompiledCircuit::with_config(&b.finish(), &wide).unwrap();
+        assert!(compiled.stats().fused_blocks > 0);
+        for fu in compiled.fused_unitaries() {
+            assert!(fu.num_qubits() <= MAX_FUSED_QUBITS, "{}", fu.num_qubits());
+        }
+    }
+
+    #[test]
+    fn fused_matrix_is_the_ordered_product() {
+        // H then CX (the Bell-pair preparation): the dense 4×4 matrix must
+        // send |00⟩ to (|00⟩ + |11⟩)/√2.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.h(r[0]);
+        b.cx(r[0], r[1]);
+        let compiled = CompiledCircuit::with_config(&b.finish(), &fused_config()).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 1);
+        let m = compiled.fused_unitaries()[0].matrix();
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        // Column 0 (input |00⟩): rows 00 and 11 get 1/√2.
+        assert!((m[0][0] - s).abs() < 1e-15, "{:?}", m[0]);
+        assert!((m[3 * 4][0] - s).abs() < 1e-15);
+        assert!(m[4][0].abs() < 1e-15 && m[2 * 4][0].abs() < 1e-15);
+        // Unitarity: every column has unit norm.
+        for c in 0..4 {
+            let norm: f64 = (0..4)
+                .map(|r| m[r * 4 + c][0].powi(2) + m[r * 4 + c][1].powi(2))
+                .sum();
+            assert!((norm - 1.0).abs() < 1e-12, "column {c}: {norm}");
+        }
+    }
+
+    #[test]
+    fn fused_blocks_participate_in_reclamation_liveness() {
+        // The fused block is the last touch of q1; q0 is measured before
+        // it, so its drop must defer past the block.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        let _ = b.measure(r[0], Basis::Z);
+        b.h(r[1]);
+        b.cx(r[0], r[1]);
+        let compiled = CompiledCircuit::with_config(&b.finish(), &fused_config()).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 1, "{compiled}");
+        let drop_pc = compiled
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Drop(q) if q.0 == 0))
+            .expect("q0 reclaimed");
+        let fused_pc = compiled
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Fused(_)))
+            .unwrap();
+        assert!(
+            drop_pc > fused_pc,
+            "drop deferred past the block: {compiled}"
         );
     }
 

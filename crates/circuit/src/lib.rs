@@ -61,7 +61,7 @@ mod op;
 pub use angle::Angle;
 pub use builder::{CircuitBuilder, OpBlock, Register};
 pub use circuit::Circuit;
-pub use compile::{CompiledCircuit, Instr, PassConfig, PassStats};
+pub use compile::{CompiledCircuit, FusedUnitary, Instr, PassConfig, PassStats, MAX_FUSED_QUBITS};
 pub use counts::{ExpectedCounts, GateCounts};
 pub use error::CircuitError;
 pub use gate::{Basis, Gate};

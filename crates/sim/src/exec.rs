@@ -5,7 +5,7 @@
 //! gates that actually ran, producing identical [`Executed`] records for a
 //! lowered (pass-free) program.
 
-use mbu_circuit::{CompiledCircuit, Gate, GateCounts, Instr, Op};
+use mbu_circuit::{CompiledCircuit, FusedUnitary, Gate, GateCounts, Instr, Op};
 use rand::{Rng, RngCore};
 
 use crate::error::SimError;
@@ -108,34 +108,52 @@ pub(crate) fn execute_compiled<S: Simulator + ?Sized>(
         rng,
         executed,
         |s, g| s.apply_gate(g),
-        |_, q| q,
+        // No dense kernel: replay the block's constituent gates — the
+        // unitary (and, for amplitude backends, every intermediate
+        // rounding step) is exactly the unfused stream's.
+        |s, fu| {
+            for g in fu.global_gates() {
+                s.apply_gate(&g)?;
+            }
+            Ok(())
+        },
+        |_, q| Ok(q),
         |_, _| {},
     )
 }
 
 /// The compiled program-counter loop, parametrised over gate application
-/// (`apply`), a hook run before every non-unitary instruction
-/// (`before_nonunitary`) and a handler for [`Instr::Drop`] (`on_drop`).
-/// Backends with deferred per-gate state — the state vector's bit-flip
-/// frame — route through this with a custom `apply` and a flush hook, so
-/// measurement, reset, branch and classical-record semantics live in
-/// exactly one place.
+/// (`apply`), fused-block application (`apply_fused`), a hook run before
+/// every non-unitary instruction (`before_nonunitary`) and a handler for
+/// [`Instr::Drop`] (`on_drop`). Backends with deferred per-gate state —
+/// the state vector's bit-flip frame — route through this with a custom
+/// `apply` and a flush hook, so measurement, reset, branch and
+/// classical-record semantics live in exactly one place.
 ///
+/// `apply_fused` executes one [`Instr::Fused`] dense block; the executed
+/// tally always records the block's constituent gates here, so fusion is
+/// invisible in [`Executed`] statistics whatever the backend does.
 /// `before_nonunitary` receives the measured/reset qubit and returns the
 /// qubit the backend call should address: the reclaiming state-vector
 /// executor uses it to translate a logical qubit to its physical bit
 /// position in the compacted amplitude array (and to materialise it first
-/// if it had been factored out). Plain backends return the qubit
+/// if it had been factored out) — it is fallible because that translation
+/// can reject malformed positions. Plain backends return the qubit
 /// unchanged. `on_drop` is the reclamation hook; for backends without a
 /// compaction story a drop is a semantic no-op and the default handler
 /// does nothing.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
     sim: &mut S,
     compiled: &CompiledCircuit,
     rng: &mut dyn RngCore,
     executed: &mut Executed,
     mut apply: impl FnMut(&mut S, &Gate) -> Result<(), SimError>,
-    mut before_nonunitary: impl FnMut(&mut S, mbu_circuit::QubitId) -> mbu_circuit::QubitId,
+    mut apply_fused: impl FnMut(&mut S, &FusedUnitary) -> Result<(), SimError>,
+    mut before_nonunitary: impl FnMut(
+        &mut S,
+        mbu_circuit::QubitId,
+    ) -> Result<mbu_circuit::QubitId, SimError>,
     mut on_drop: impl FnMut(&mut S, mbu_circuit::QubitId),
 ) -> Result<(), SimError> {
     let instrs = compiled.instrs();
@@ -146,12 +164,22 @@ pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
                 apply(sim, g)?;
                 executed.counts.record_gate(g);
             }
+            Instr::Fused(idx) => {
+                let fu = &compiled.fused_unitaries()[*idx as usize];
+                apply_fused(sim, fu)?;
+                // Tally the constituents (family-only, so local operand
+                // renaming is irrelevant): executed counts match the
+                // unfused stream exactly.
+                for g in fu.gates() {
+                    executed.counts.record_gate(g);
+                }
+            }
             Instr::Measure {
                 qubit,
                 basis,
                 clbit,
             } => {
-                let target = before_nonunitary(sim, *qubit);
+                let target = before_nonunitary(sim, *qubit)?;
                 let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
                 let outcome = sim.measure(target, *basis, &mut draw)?;
                 executed.counts.record_measurement(*basis);
@@ -162,7 +190,7 @@ pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
                 executed.classical[idx] = Some(outcome);
             }
             Instr::Reset(qubit) => {
-                let target = before_nonunitary(sim, *qubit);
+                let target = before_nonunitary(sim, *qubit)?;
                 let mut draw = |p1: f64| rng.gen_bool(p1.clamp(0.0, 1.0));
                 sim.reset(target, &mut draw)?;
                 executed.counts.reset += 1;

@@ -1,218 +1,335 @@
-//! Stride-based state-vector kernels.
+//! Stride-based state-vector kernels, serial and chunk-parallel.
 //!
-//! Every kernel in this module iterates exactly the amplitudes a gate can
-//! move, instead of scanning all `2^n` entries with a per-index branch:
+//! Every kernel iterates exactly the amplitudes a gate can move, instead
+//! of scanning all `2^n` entries with a per-index branch:
 //!
-//! * 1-qubit gates visit `2^(n-1)` amplitude *pairs* via bit-stride
-//!   iteration (an outer walk over blocks of `2^(t+1)` indices, paired
-//!   halves swapped or butterflied as contiguous slices);
+//! * 1-qubit gates visit `2^(n-1)` amplitude *pairs*;
 //! * controlled gates enumerate only the control-satisfied subspace —
-//!   `2^(n-2)` indices for a CNOT, `2^(n-3)` for a Toffoli — as nested
-//!   stride loops whose innermost step hands over a *contiguous run* of
-//!   indices (the bits below the lowest pinned position), so the hot loop
-//!   is a slice-to-slice swap or an in-place slice multiply that the
-//!   compiler vectorises, with a constant pinned-bit offset OR-ed onto
-//!   block bases — no per-index bit arithmetic at all;
+//!   `2^(n-2)` indices for a CNOT, `2^(n-3)` for a Toffoli;
 //! * diagonal gates (`Z`, `Phase`, `CZ`, `CCZ`, `CPhase`, `CcPhase`) are
-//!   pure phase sweeps over the all-controls-set subspace: no pairing, no
-//!   swaps, just an in-place complex multiply.
+//!   pure phase sweeps over the all-controls-set subspace;
+//! * [`fused`] applies a whole run of gates (a compiled
+//!   [`FusedUnitary`](mbu_circuit::FusedUnitary) block) in **one sweep**:
+//!   each `2^k`-amplitude group is gathered once, pushed through every
+//!   constituent gate locally, and scattered back — the dense-unitary
+//!   action in factored form, chosen over a precomputed mat-vec because it
+//!   performs *exactly* the arithmetic of unfused execution and therefore
+//!   keeps amplitudes bit-identical.
+//!
+//! All of these share one enumeration scheme: a [`Pins`] descriptor names
+//! the bit positions a kernel pins (controls, diagonal selectors, the
+//! cleared target bit) and [`drive`] walks the *touched index space* — the
+//! `len >> pins` indices whose pinned bits match — as maximal contiguous
+//! runs. `drive` is also the parallelism seam: given an
+//! [`AmpPool`](crate::pool::AmpPool), it splits the touched space into
+//! per-thread chunks at **deterministic** boundaries (a pure function of
+//! work size and thread count) and runs the same per-run closure on each
+//! chunk concurrently. Chunks write disjoint amplitudes and every
+//! amplitude is touched exactly once with identical arithmetic, so
+//! parallel execution is bit-identical to serial at any thread count — the
+//! guarantee the shot engine's aggregate determinism rests on.
 //!
 //! The kernels assume their qubit indices are in range and distinct; the
 //! [`StateVector`](crate::StateVector) front end validates operands before
 //! dispatching (and exposes an unoptimised full-scan reference path used
 //! for differential testing and benchmarking).
 
+use mbu_circuit::Gate;
+
 use crate::complex::Complex;
+use crate::pool::AmpPool;
 
-/// Sorts two (position, value) pins by position.
-#[inline]
-fn sort2(a: (usize, usize), b: (usize, usize)) -> [(usize, usize); 2] {
-    if a.0 < b.0 {
-        [a, b]
-    } else {
-        [b, a]
+/// Below this many live amplitudes a parallel sweep costs more in wake-up
+/// latency than it saves; kernels fall back to the serial path. Purely a
+/// scheduling decision — results are bit-identical either way.
+pub(crate) const PAR_MIN_AMPS: usize = 1 << 14;
+
+/// The parallel execution context of one kernel call: `None` runs serial.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct Par<'a> {
+    pool: Option<&'a AmpPool>,
+}
+
+impl<'a> Par<'a> {
+    /// Serial execution.
+    pub(crate) fn serial() -> Self {
+        Self { pool: None }
+    }
+
+    /// Parallel execution over `pool`'s lanes (serial when `None`).
+    pub(crate) fn new(pool: Option<&'a AmpPool>) -> Self {
+        Self { pool }
     }
 }
 
-/// Sorts three (position, value) pins by position.
-#[inline]
-fn sort3(a: (usize, usize), b: (usize, usize), c: (usize, usize)) -> [(usize, usize); 3] {
-    let mut v = [a, b, c];
-    v.sort_unstable_by_key(|p| p.0);
-    v
+/// Up to four pinned bit positions with their required values, sorted.
+#[derive(Clone, Copy)]
+struct Pins {
+    n: usize,
+    pos: [usize; 4],
+    /// OR of `val << pos` over all pins.
+    offset: usize,
 }
 
-/// Calls `f(base, run)` for every maximal contiguous run of indices in
-/// `0..len` whose bits at the two pinned positions hold the pinned values.
-/// The runs cover `len / 4` indices; each run spans the free bits below
-/// the lowest pinned position (`run = 2^p0`), so `f` can operate on
-/// `amps[base..base + run]` as a slice.
-#[inline(always)]
-fn for_each_run2(
-    len: usize,
-    a: (usize, usize),
-    b: (usize, usize),
-    mut f: impl FnMut(usize, usize),
-) {
-    let [(p0, v0), (p1, v1)] = sort2(a, b);
-    let m0 = 1usize << p0;
-    let m1 = 1usize << p1;
-    let offset = (v0 << p0) | (v1 << p1);
-    let mut hi = 0;
-    while hi < len {
-        let mut mid = hi;
-        while mid < hi + m1 {
-            f(mid | offset, m0);
-            mid += m0 << 1;
+impl Pins {
+    fn new(pins: &[(usize, usize)]) -> Self {
+        debug_assert!((1..=4).contains(&pins.len()));
+        let mut pos = [usize::MAX; 4];
+        let mut offset = 0usize;
+        for (i, &(p, v)) in pins.iter().enumerate() {
+            debug_assert!(v <= 1);
+            pos[i] = p;
+            offset |= v << p;
         }
-        hi += m1 << 1;
-    }
-}
-
-/// Like [`for_each_run2`], for three pinned bits (`len / 8` indices).
-#[inline(always)]
-fn for_each_run3(
-    len: usize,
-    a: (usize, usize),
-    b: (usize, usize),
-    c: (usize, usize),
-    mut f: impl FnMut(usize, usize),
-) {
-    let [(p0, v0), (p1, v1), (p2, v2)] = sort3(a, b, c);
-    let m0 = 1usize << p0;
-    let m1 = 1usize << p1;
-    let m2 = 1usize << p2;
-    let offset = (v0 << p0) | (v1 << p1) | (v2 << p2);
-    let mut hi = 0;
-    while hi < len {
-        let mut mid = hi;
-        while mid < hi + m2 {
-            let mut lo = mid;
-            while lo < mid + m1 {
-                f(lo | offset, m0);
-                lo += m0 << 1;
-            }
-            mid += m1 << 1;
+        pos[..pins.len()].sort_unstable();
+        Self {
+            n: pins.len(),
+            pos,
+            offset,
         }
-        hi += m2 << 1;
+    }
+
+    /// How many indices of a `len`-amplitude array match the pins.
+    fn touched(&self, len: usize) -> usize {
+        len >> self.n
+    }
+
+    /// Length of a maximal contiguous run (the free bits below the lowest
+    /// pinned position).
+    fn run_len(&self) -> usize {
+        1usize << self.pos[0]
+    }
+
+    /// Expands touched-space index `u` to its absolute amplitude index:
+    /// `u`'s bits fill the free positions in order, pinned positions take
+    /// their pinned values.
+    fn deposit(&self, u: usize) -> usize {
+        let mut out = 0usize;
+        let mut taken = 0usize; // bits of `u` consumed
+        let mut next = 0usize; // next absolute position to fill
+        for k in 0..self.n {
+            let p = self.pos[k];
+            let width = p - next;
+            out |= ((u >> taken) & ((1usize << width) - 1)) << next;
+            taken += width;
+            next = p + 1;
+        }
+        out | ((u >> taken) << next) | self.offset
     }
 }
 
-/// Swaps the disjoint runs `amps[base .. base+run]` and
-/// `amps[partner .. partner+run]` slice-to-slice (vectorisable).
-#[inline(always)]
-fn swap_runs(amps: &mut [Complex], base: usize, partner: usize, run: usize) {
-    let (lo_at, hi_at) = if base < partner {
-        (base, partner)
-    } else {
-        (partner, base)
+/// A lifetime-erased view of the amplitude array for disjoint-range
+/// concurrent access from `drive` closures.
+pub(crate) struct Shared {
+    ptr: *mut Complex,
+    len: usize,
+}
+
+// SAFETY: every access goes through `Shared::slice`, whose contract makes
+// concurrent callers touch disjoint ranges.
+#[allow(unsafe_code)]
+unsafe impl Sync for Shared {}
+
+impl Shared {
+    /// `amps[start .. start + len]` as an exclusive slice.
+    ///
+    /// # Safety
+    ///
+    /// The range must lie inside the array, and no two concurrently alive
+    /// slices (across all threads of the current `drive` call) may
+    /// overlap. The kernels guarantee this structurally: each run of the
+    /// touched space, and each run's partner range, is disjoint from every
+    /// other run and partner.
+    #[allow(unsafe_code)]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, start: usize, len: usize) -> &mut [Complex] {
+        debug_assert!(start + len <= self.len);
+        // SAFETY: bounds checked above; disjointness is the caller's
+        // contract, so no two live `&mut` alias.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+}
+
+/// Calls `f(shared, base, run)` for every maximal contiguous run of the
+/// pinned subspace (clipped at chunk boundaries), splitting the touched
+/// index space across the pool's lanes when one is supplied and the array
+/// is large enough to pay for the wake-up.
+///
+/// Chunk boundaries depend only on `(touched, lanes)` — never on timing —
+/// and every run (plus whatever partner range `f` derives from it) is
+/// disjoint from every other, so the parallel sweep performs exactly the
+/// serial sweep's writes.
+fn drive(
+    par: Par<'_>,
+    amps: &mut [Complex],
+    pins: &[(usize, usize)],
+    f: impl Fn(&Shared, usize, usize) + Sync,
+) {
+    let pins = Pins::new(pins);
+    let touched = pins.touched(amps.len());
+    if touched == 0 {
+        return;
+    }
+    let shared = Shared {
+        ptr: amps.as_mut_ptr(),
+        len: amps.len(),
     };
-    let (lo, hi) = amps.split_at_mut(hi_at);
-    lo[lo_at..lo_at + run].swap_with_slice(&mut hi[..run]);
+    let run_chunk = |from: usize, to: usize| {
+        let m0 = pins.run_len();
+        let mut u = from;
+        while u < to {
+            let run = (m0 - (u & (m0 - 1))).min(to - u);
+            f(&shared, pins.deposit(u), run);
+            u += run;
+        }
+    };
+    match par.pool {
+        Some(pool) if pool.threads() > 1 && amps.len() >= PAR_MIN_AMPS && touched > 1 => {
+            let chunks = pool.threads().min(touched);
+            let per = touched / chunks;
+            let extra = touched % chunks;
+            pool.run(chunks, &|c| {
+                let from = c * per + c.min(extra);
+                let to = from + per + usize::from(c < extra);
+                run_chunk(from, to);
+            });
+        }
+        _ => run_chunk(0, touched),
+    }
 }
 
 /// Multiplies the run `amps[base .. base+run]` by `w` in place.
 #[inline(always)]
-fn scale_run(amps: &mut [Complex], base: usize, run: usize, w: Complex) {
-    for a in &mut amps[base..base + run] {
+fn scale_run(amps: &mut [Complex], w: Complex) {
+    for a in amps {
         *a = *a * w;
     }
 }
 
-/// X gate: swaps the two halves of every block split on bit `t`.
-pub(crate) fn x(amps: &mut [Complex], t: usize) {
-    let m = 1usize << t;
-    let mut base = 0;
-    while base < amps.len() {
-        let (lo, hi) = amps[base..base + (m << 1)].split_at_mut(m);
-        lo.swap_with_slice(hi);
-        base += m << 1;
+/// Negates the run in place (exact even on signed zeros, unlike a complex
+/// multiply by `−1 + 0i` — the stride and scan paths promise bit-identical
+/// amplitudes).
+#[inline(always)]
+fn negate_run(amps: &mut [Complex]) {
+    for a in amps {
+        *a = -*a;
     }
 }
 
+/// X gate: swaps the two halves of every block split on bit `t`.
+pub(crate) fn x(par: Par<'_>, amps: &mut [Complex], t: usize) {
+    let m = 1usize << t;
+    drive(par, amps, &[(t, 0)], |sh, base, run| {
+        // SAFETY: runs (bit `t` clear) and their partners (bit `t` set)
+        // are pairwise disjoint across the whole sweep.
+        #[allow(unsafe_code)]
+        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base + m, run)) };
+        lo.swap_with_slice(hi);
+    });
+}
+
 /// Hadamard: butterfly over every pair split on bit `t`.
-pub(crate) fn h(amps: &mut [Complex], t: usize) {
+pub(crate) fn h(par: Par<'_>, amps: &mut [Complex], t: usize) {
     const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
     let m = 1usize << t;
-    let mut base = 0;
-    while base < amps.len() {
-        let (lo, hi) = amps[base..base + (m << 1)].split_at_mut(m);
+    drive(par, amps, &[(t, 0)], |sh, base, run| {
+        // SAFETY: as in [`x`]: pair halves are disjoint across the sweep.
+        #[allow(unsafe_code)]
+        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base + m, run)) };
         for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
             let x = *a;
             let y = *b;
             *a = (x + y).scale(FRAC_1_SQRT_2);
             *b = (x - y).scale(FRAC_1_SQRT_2);
         }
-        base += m << 1;
-    }
+    });
 }
 
 /// Diagonal 1-qubit sweep: multiplies every amplitude whose bit `t` equals
 /// `v` by `w`. `v = 1` is a plain phase gate; `v = 0` is its "anti" form,
 /// which the bit-flip frame of the compiled executor uses to apply phases
 /// on qubits whose storage is X-conjugated.
-pub(crate) fn phase1(amps: &mut [Complex], t: usize, v: usize, w: Complex) {
-    let m = 1usize << t;
-    let mut base = v << t;
-    while base < amps.len() {
-        scale_run(amps, base, m, w);
-        base += m << 1;
-    }
+pub(crate) fn phase1(par: Par<'_>, amps: &mut [Complex], t: usize, v: usize, w: Complex) {
+    drive(par, amps, &[(t, v)], |sh, base, run| {
+        // SAFETY: in-place sweep over this run only; runs are disjoint.
+        #[allow(unsafe_code)]
+        scale_run(unsafe { sh.slice(base, run) }, w);
+    });
 }
 
 /// Z gate on bit value `v`: negates every amplitude whose bit `t` equals
-/// `v`. A dedicated kernel (rather than `phase1` with `w = −1`) because
-/// complex multiplication by `−1 + 0i` and exact negation differ on signed
-/// zeros, and the stride and scan paths promise bit-identical amplitudes.
-pub(crate) fn z(amps: &mut [Complex], t: usize, v: usize) {
-    let m = 1usize << t;
-    let mut base = v << t;
-    while base < amps.len() {
-        for a in &mut amps[base..base + m] {
-            *a = -*a;
-        }
-        base += m << 1;
-    }
+/// `v` (see [`negate_run`] for why negation gets its own kernel).
+pub(crate) fn z(par: Par<'_>, amps: &mut [Complex], t: usize, v: usize) {
+    drive(par, amps, &[(t, v)], |sh, base, run| {
+        // SAFETY: in-place sweep over this run only; runs are disjoint.
+        #[allow(unsafe_code)]
+        negate_run(unsafe { sh.slice(base, run) });
+    });
 }
 
 /// CNOT with control active on bit value `vc`: swaps target pairs only in
 /// the control-satisfied quarter of the space.
-pub(crate) fn cx(amps: &mut [Complex], c: usize, vc: usize, t: usize) {
+pub(crate) fn cx(par: Par<'_>, amps: &mut [Complex], c: usize, vc: usize, t: usize) {
     let mt = 1usize << t;
-    for_each_run2(amps.len(), (c, vc), (t, 0), |base, run| {
-        swap_runs(amps, base, base | mt, run);
+    drive(par, amps, &[(c, vc), (t, 0)], |sh, base, run| {
+        // SAFETY: runs (target bit clear) and partners (target bit set,
+        // same control value) are pairwise disjoint across the sweep.
+        #[allow(unsafe_code)]
+        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base | mt, run)) };
+        lo.swap_with_slice(hi);
     });
 }
 
 /// Toffoli with controls active on bit values `v1`/`v2`.
-pub(crate) fn ccx(amps: &mut [Complex], c1: usize, v1: usize, c2: usize, v2: usize, t: usize) {
+pub(crate) fn ccx(
+    par: Par<'_>,
+    amps: &mut [Complex],
+    c1: usize,
+    v1: usize,
+    c2: usize,
+    v2: usize,
+    t: usize,
+) {
     let mt = 1usize << t;
-    for_each_run3(amps.len(), (c1, v1), (c2, v2), (t, 0), |base, run| {
-        swap_runs(amps, base, base | mt, run);
+    drive(par, amps, &[(c1, v1), (c2, v2), (t, 0)], |sh, base, run| {
+        // SAFETY: as in [`cx`].
+        #[allow(unsafe_code)]
+        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base | mt, run)) };
+        lo.swap_with_slice(hi);
     });
 }
 
 /// Diagonal 2-qubit sweep: multiplies amplitudes whose bits at `a`/`b`
 /// equal `va`/`vb` by `w`.
-pub(crate) fn phase2(amps: &mut [Complex], a: usize, va: usize, b: usize, vb: usize, w: Complex) {
-    for_each_run2(amps.len(), (a, va), (b, vb), |base, run| {
-        scale_run(amps, base, run, w);
+pub(crate) fn phase2(
+    par: Par<'_>,
+    amps: &mut [Complex],
+    a: usize,
+    va: usize,
+    b: usize,
+    vb: usize,
+    w: Complex,
+) {
+    drive(par, amps, &[(a, va), (b, vb)], |sh, base, run| {
+        // SAFETY: in-place sweep over this run only; runs are disjoint.
+        #[allow(unsafe_code)]
+        scale_run(unsafe { sh.slice(base, run) }, w);
     });
 }
 
-/// CZ on bit values `va`/`vb`: negates the selected quarter (see [`z`] for
-/// why negation gets its own kernel).
-pub(crate) fn cz(amps: &mut [Complex], a: usize, va: usize, b: usize, vb: usize) {
-    for_each_run2(amps.len(), (a, va), (b, vb), |base, run| {
-        for x in &mut amps[base..base + run] {
-            *x = -*x;
-        }
+/// CZ on bit values `va`/`vb`: negates the selected quarter.
+pub(crate) fn cz(par: Par<'_>, amps: &mut [Complex], a: usize, va: usize, b: usize, vb: usize) {
+    drive(par, amps, &[(a, va), (b, vb)], |sh, base, run| {
+        // SAFETY: in-place sweep over this run only; runs are disjoint.
+        #[allow(unsafe_code)]
+        negate_run(unsafe { sh.slice(base, run) });
     });
 }
 
 /// Diagonal 3-qubit sweep over the selected eighth of the space.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn phase3(
+    par: Par<'_>,
     amps: &mut [Complex],
     a: usize,
     va: usize,
@@ -222,13 +339,17 @@ pub(crate) fn phase3(
     vc: usize,
     w: Complex,
 ) {
-    for_each_run3(amps.len(), (a, va), (b, vb), (c, vc), |base, run| {
-        scale_run(amps, base, run, w);
+    drive(par, amps, &[(a, va), (b, vb), (c, vc)], |sh, base, run| {
+        // SAFETY: in-place sweep over this run only; runs are disjoint.
+        #[allow(unsafe_code)]
+        scale_run(unsafe { sh.slice(base, run) }, w);
     });
 }
 
 /// CCZ on bit values `va`/`vb`/`vc`: negates the selected eighth.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn ccz(
+    par: Par<'_>,
     amps: &mut [Complex],
     a: usize,
     va: usize,
@@ -237,9 +358,236 @@ pub(crate) fn ccz(
     c: usize,
     vc: usize,
 ) {
-    for_each_run3(amps.len(), (a, va), (b, vb), (c, vc), |base, run| {
-        for x in &mut amps[base..base + run] {
-            *x = -*x;
+    drive(par, amps, &[(a, va), (b, vb), (c, vc)], |sh, base, run| {
+        // SAFETY: in-place sweep over this run only; runs are disjoint.
+        #[allow(unsafe_code)]
+        negate_run(unsafe { sh.slice(base, run) });
+    });
+}
+
+/// SWAP: exchanges amplitudes over the `|…1…0…⟩ ↔ |…0…1…⟩` subspace.
+pub(crate) fn swap(par: Par<'_>, amps: &mut [Complex], a: usize, b: usize) {
+    let mask = (1usize << a) | (1usize << b);
+    drive(par, amps, &[(a, 1), (b, 0)], |sh, base, run| {
+        // Run indices carry bits below both swapped positions only, so
+        // `^ mask` maps the run to a contiguous partner range.
+        // SAFETY: runs live in the (a=1, b=0) subspace, partners in
+        // (a=0, b=1): pairwise disjoint across the sweep.
+        #[allow(unsafe_code)]
+        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base ^ mask, run)) };
+        lo.swap_with_slice(hi);
+    });
+}
+
+/// One precompiled local operation of a fused block: the gate's action on
+/// a `2^k`-amplitude group, flattened to explicit index lists so the hot
+/// loop does no gate matching and no per-index mask tests. The arithmetic
+/// per amplitude is exactly the stride kernels' (slice swaps, the H
+/// butterfly formula, `cis` multiplies, exact negation), which is what
+/// keeps [`fused`] bit-identical to unfused execution.
+enum LocalOp {
+    /// Disjoint index pairs to swap (`X`, `CX`, `CCX`, `SWAP`).
+    Swap(Vec<(u8, u8)>),
+    /// Disjoint index pairs to butterfly (`H`).
+    Butterfly(Vec<(u8, u8)>),
+    /// Indices to multiply by the phase (`Phase`, `CPhase`, `CcPhase`).
+    Scale(Vec<u8>, Complex),
+    /// Indices to negate exactly (`Z`, `CZ`, `CCZ`).
+    Negate(Vec<u8>),
+}
+
+/// Flattens a block's local gates into [`LocalOp`]s for `dim = 2^k`
+/// groups.
+fn compile_local_ops(dim: usize, gates: &[Gate]) -> Vec<LocalOp> {
+    let m = |q: mbu_circuit::QubitId| 1usize << q.index();
+    // Index pairs `(i, i | target)` with `controls` all set, target clear.
+    let moved = |controls: usize, target: usize| -> Vec<(u8, u8)> {
+        (0..dim)
+            .filter(|i| i & controls == controls && i & target == 0)
+            .map(|i| (i as u8, (i | target) as u8))
+            .collect()
+    };
+    // Indices with every bit of `mask` set.
+    let selected = |mask: usize| -> Vec<u8> {
+        (0..dim)
+            .filter(|i| i & mask == mask)
+            .map(|i| i as u8)
+            .collect()
+    };
+    gates
+        .iter()
+        .map(|g| match *g {
+            Gate::X(q) => LocalOp::Swap(moved(0, m(q))),
+            Gate::H(q) => LocalOp::Butterfly(moved(0, m(q))),
+            Gate::Cx(c, t) => LocalOp::Swap(moved(m(c), m(t))),
+            Gate::Ccx(c1, c2, t) => LocalOp::Swap(moved(m(c1) | m(c2), m(t))),
+            Gate::Swap(a, b) => LocalOp::Swap(
+                (0..dim)
+                    .filter(|i| i & m(a) != 0 && i & m(b) == 0)
+                    .map(|i| (i as u8, (i ^ m(a) ^ m(b)) as u8))
+                    .collect(),
+            ),
+            Gate::Z(q) => LocalOp::Negate(selected(m(q))),
+            Gate::Cz(a, b) => LocalOp::Negate(selected(m(a) | m(b))),
+            Gate::Ccz(a, b, c) => LocalOp::Negate(selected(m(a) | m(b) | m(c))),
+            Gate::Phase(q, theta) => LocalOp::Scale(selected(m(q)), Complex::cis(theta.radians())),
+            Gate::CPhase(c, t, theta) => {
+                LocalOp::Scale(selected(m(c) | m(t)), Complex::cis(theta.radians()))
+            }
+            Gate::CcPhase(c1, c2, t, theta) => LocalOp::Scale(
+                selected(m(c1) | m(c2) | m(t)),
+                Complex::cis(theta.radians()),
+            ),
+        })
+        .collect()
+}
+
+/// Applies the precompiled ops to one gathered group.
+#[inline(always)]
+fn apply_local_ops(local: &mut [Complex; 16], ops: &[LocalOp]) {
+    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    for op in ops {
+        match op {
+            LocalOp::Swap(pairs) => {
+                for &(a, b) in pairs {
+                    local.swap(a as usize, b as usize);
+                }
+            }
+            LocalOp::Butterfly(pairs) => {
+                for &(a, b) in pairs {
+                    let x = local[a as usize];
+                    let y = local[b as usize];
+                    local[a as usize] = (x + y).scale(FRAC_1_SQRT_2);
+                    local[b as usize] = (x - y).scale(FRAC_1_SQRT_2);
+                }
+            }
+            LocalOp::Scale(sel, w) => {
+                for &i in sel {
+                    local[i as usize] = local[i as usize] * *w;
+                }
+            }
+            LocalOp::Negate(sel) => {
+                for &i in sel {
+                    local[i as usize] = -local[i as usize];
+                }
+            }
+        }
+    }
+}
+
+/// The fused dense-block kernel: applies a compiled fusion block — `gates`
+/// with local operands over the (ascending) physical bit `positions` — in
+/// a single sweep over the state.
+///
+/// Each group of `2^k` amplitudes (one per assignment of the non-block
+/// bits) is gathered into a local register block, pushed through every
+/// constituent gate via [`apply_local`], and scattered back. Groups are
+/// independent, so the sweep parallelises over groups; the local
+/// application performs exactly the arithmetic of unfused kernel
+/// execution, so amplitudes stay bit-identical to the gate-at-a-time path
+/// at any thread count.
+pub(crate) fn fused(par: Par<'_>, amps: &mut [Complex], positions: &[usize], gates: &[Gate]) {
+    let k = positions.len();
+    debug_assert!((1..=4).contains(&k), "fused blocks span 1..=4 qubits");
+    debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    let dim = 1usize << k;
+    // Global offset of local index `j`: its bits spread over `positions`.
+    let mut off = [0usize; 16];
+    for (j, o) in off.iter_mut().enumerate().take(dim) {
+        for (b, &p) in positions.iter().enumerate() {
+            *o |= ((j >> b) & 1) << p;
+        }
+    }
+    let mut pins = [(0usize, 0usize); 4];
+    for (pin, &p) in pins.iter_mut().zip(positions) {
+        *pin = (p, 0);
+    }
+    let ops = compile_local_ops(dim, gates);
+    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    drive(par, amps, &pins[..k], |sh, base, run| {
+        if run >= 8 {
+            // Slice mode: the run's member slices ([base|off[j],
+            // base|off[j]+run) for each local index j) are contiguous, so
+            // every op is a vectorisable slice-to-slice operation and no
+            // amplitude is gathered or scattered at all. Long runs are
+            // processed in cache-sized sub-blocks so the 2^k slices stay
+            // hot across the whole op sequence — the fused sweep then
+            // moves each amplitude through the memory hierarchy once,
+            // however many gates the block holds.
+            const SUB: usize = 1 << 12;
+            let mut sub = 0usize;
+            while sub < run {
+                let sr = (run - sub).min(SUB);
+                // Member slice `j` of this sub-block (no carries: `off`
+                // bits sit above the run's low bits).
+                let member = |j: u8| base + off[j as usize] + sub;
+                for op in &ops {
+                    match op {
+                        LocalOp::Swap(pairs) => {
+                            for &(a, b) in pairs {
+                                // SAFETY: distinct local indices name
+                                // disjoint member slices; runs (and their
+                                // sub-blocks) are pairwise disjoint.
+                                #[allow(unsafe_code)]
+                                let (x, y) =
+                                    unsafe { (sh.slice(member(a), sr), sh.slice(member(b), sr)) };
+                                x.swap_with_slice(y);
+                            }
+                        }
+                        LocalOp::Butterfly(pairs) => {
+                            for &(a, b) in pairs {
+                                // SAFETY: as above.
+                                #[allow(unsafe_code)]
+                                let (x, y) =
+                                    unsafe { (sh.slice(member(a), sr), sh.slice(member(b), sr)) };
+                                for (p, q) in x.iter_mut().zip(y.iter_mut()) {
+                                    let u = *p;
+                                    let v = *q;
+                                    *p = (u + v).scale(FRAC_1_SQRT_2);
+                                    *q = (u - v).scale(FRAC_1_SQRT_2);
+                                }
+                            }
+                        }
+                        LocalOp::Scale(sel, w) => {
+                            for &j in sel {
+                                // SAFETY: as above.
+                                #[allow(unsafe_code)]
+                                scale_run(unsafe { sh.slice(member(j), sr) }, *w);
+                            }
+                        }
+                        LocalOp::Negate(sel) => {
+                            for &j in sel {
+                                // SAFETY: as above.
+                                #[allow(unsafe_code)]
+                                negate_run(unsafe { sh.slice(member(j), sr) });
+                            }
+                        }
+                    }
+                }
+                sub += sr;
+            }
+        } else {
+            // Gather mode for short runs (the block pins low bits): pull
+            // each 2^k group into registers, apply every op, scatter back.
+            #[allow(unsafe_code)]
+            for gbase in base..base + run {
+                let mut local = [Complex::ZERO; 16];
+                for (j, l) in local.iter_mut().enumerate().take(dim) {
+                    // SAFETY: the group's member indices (`gbase | off[j]`)
+                    // are disjoint from every other group's — groups
+                    // differ in the non-block bits — and only this closure
+                    // invocation touches them.
+                    let member = unsafe { sh.slice(gbase | off[j], 1) };
+                    *l = member[0];
+                }
+                apply_local_ops(&mut local, &ops);
+                for (j, l) in local.iter().enumerate().take(dim) {
+                    // SAFETY: as above — group members are touched by
+                    // exactly this invocation.
+                    let member = unsafe { sh.slice(gbase | off[j], 1) };
+                    member[0] = *l;
+                }
+            }
         }
     });
 }
@@ -253,7 +601,9 @@ pub(crate) fn ccz(
 /// exactly-projected qubit (the post-measurement case reclamation targets)
 /// the compact state is numerically identical to the full one restricted
 /// to its support. The copy runs forward in place: every source index is
-/// at or ahead of its destination.
+/// at or ahead of its destination. (Serial by design: successive halves
+/// overlap, so the chunk-disjointness the parallel driver needs does not
+/// hold.)
 pub(crate) fn compact_bit(amps: &mut Vec<Complex>, p: usize, keep: bool) {
     let half = amps.len() / 2;
     let low_mask = (1usize << p) - 1;
@@ -290,7 +640,8 @@ pub(crate) fn expand_bit(amps: &mut Vec<Complex>, p: usize, value: bool) {
 
 /// The probability masses `(mass₀, mass₁)` carried by amplitudes whose bit
 /// `p` is clear / set — the definiteness check a [`compact_bit`] drop is
-/// gated on.
+/// gated on. (A serial reduction: parallel partial sums would re-associate
+/// floating-point addition.)
 pub(crate) fn bit_masses(amps: &[Complex], p: usize) -> (f64, f64) {
     let m = 1usize << p;
     let mut m0 = 0.0;
@@ -308,28 +659,18 @@ pub(crate) fn bit_masses(amps: &[Complex], p: usize) -> (f64, f64) {
     (m0, m1)
 }
 
-/// SWAP: exchanges amplitudes over the `|…1…0…⟩ ↔ |…0…1…⟩` subspace.
-pub(crate) fn swap(amps: &mut [Complex], a: usize, b: usize) {
-    let mask = (1usize << a) | (1usize << b);
-    for_each_run2(amps.len(), (a, 1), (b, 0), |base, run| {
-        swap_runs(amps, base, base ^ mask, run);
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mbu_circuit::QubitId;
 
-    fn indices2(len: usize, a: (usize, usize), b: (usize, usize)) -> Vec<usize> {
-        let mut v = Vec::new();
-        for_each_run2(len, a, b, |base, run| v.extend(base..base + run));
-        v.sort_unstable();
-        v
-    }
-
-    fn indices3(len: usize, a: (usize, usize), b: (usize, usize), c: (usize, usize)) -> Vec<usize> {
-        let mut v = Vec::new();
-        for_each_run3(len, a, b, c, |base, run| v.extend(base..base + run));
+    fn indices(len: usize, pins: &[(usize, usize)]) -> Vec<usize> {
+        let mut amps = vec![Complex::ZERO; len];
+        let v = std::sync::Mutex::new(Vec::new());
+        drive(Par::serial(), &mut amps, pins, |_, base, run| {
+            v.lock().unwrap().extend(base..base + run);
+        });
+        let mut v = v.into_inner().unwrap();
         v.sort_unstable();
         v
     }
@@ -338,8 +679,8 @@ mod tests {
     fn run2_enumerates_the_whole_subspace_once() {
         // Every index with bit 2 = 1 and bit 0 = 0 in a 4-qubit space,
         // exactly once — in any pin order.
-        for (a, b) in [((2, 1), (0, 0)), ((0, 0), (2, 1))] {
-            assert_eq!(indices2(16, a, b), vec![0b0100, 0b0110, 0b1100, 0b1110]);
+        for pins in [[(2, 1), (0, 0)], [(0, 0), (2, 1)]] {
+            assert_eq!(indices(16, &pins), vec![0b0100, 0b0110, 0b1100, 0b1110]);
         }
     }
 
@@ -348,7 +689,7 @@ mod tests {
         // Bits 0 and 3 pinned to 1, bit 1 pinned to 0, in a 5-qubit space:
         // 2^(5-3) = 4 indices.
         assert_eq!(
-            indices3(32, (3, 1), (0, 1), (1, 0)),
+            indices(32, &[(3, 1), (0, 1), (1, 0)]),
             vec![0b01001, 0b01101, 0b11001, 0b11101]
         );
     }
@@ -356,9 +697,13 @@ mod tests {
     #[test]
     fn run_iteration_matches_mask_filter_exhaustively() {
         // Cross-check against the naive definition for every pin layout in
-        // a 6-qubit space.
+        // a 6-qubit space, for 1, 2 and 3 pins.
         let len = 64usize;
         for p0 in 0..6 {
+            for v0 in [0usize, 1] {
+                let want: Vec<usize> = (0..len).filter(|i| i >> p0 & 1 == v0).collect();
+                assert_eq!(indices(len, &[(p0, v0)]), want, "pin ({p0},{v0})");
+            }
             for p1 in 0..6 {
                 if p0 == p1 {
                     continue;
@@ -368,7 +713,7 @@ mod tests {
                         .filter(|i| i >> p0 & 1 == v0 && i >> p1 & 1 == v1)
                         .collect();
                     assert_eq!(
-                        indices2(len, (p0, v0), (p1, v1)),
+                        indices(len, &[(p0, v0), (p1, v1)]),
                         want,
                         "pins ({p0},{v0}) ({p1},{v1})"
                     );
@@ -381,7 +726,7 @@ mod tests {
                         .filter(|i| i >> p0 & 1 == 1 && i >> p1 & 1 == 0 && i >> p2 & 1 == 1)
                         .collect();
                     assert_eq!(
-                        indices3(len, (p0, 1), (p1, 0), (p2, 1)),
+                        indices(len, &[(p0, 1), (p1, 0), (p2, 1)]),
                         want,
                         "pins {p0} {p1} {p2}"
                     );
@@ -391,12 +736,162 @@ mod tests {
     }
 
     #[test]
+    fn four_pins_enumerate_correctly() {
+        let len = 64usize;
+        let want: Vec<usize> = (0..len)
+            .filter(|i| i >> 1 & 1 == 1 && i >> 2 & 1 == 0 && i >> 4 & 1 == 1 && i >> 5 & 1 == 0)
+            .collect();
+        assert_eq!(indices(len, &[(5, 0), (1, 1), (4, 1), (2, 0)]), want);
+    }
+
+    #[test]
     fn x_kernel_on_high_bit() {
         let mut amps = vec![Complex::ZERO; 8];
         amps[0b001] = Complex::ONE;
-        x(&mut amps, 2);
+        x(Par::serial(), &mut amps, 2);
         assert_eq!(amps[0b101], Complex::ONE);
         assert_eq!(amps[0b001], Complex::ZERO);
+    }
+
+    /// A deterministic, non-degenerate test state.
+    fn ramp(len: usize) -> Vec<Complex> {
+        (0..len)
+            .map(|i| Complex::new(1.0 + i as f64, -0.5 * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_serial() {
+        // A pool with several lanes on an array above the parallel
+        // threshold: every kernel family must produce bitwise-identical
+        // amplitudes to its serial run, including high-bit operands where
+        // a run spans a huge contiguous range.
+        let n = 15usize; // 2^15 = 32768 ≥ PAR_MIN_AMPS
+        let len = 1usize << n;
+        let pool = AmpPool::new(4);
+        let par = Par::new(Some(&pool));
+        let w = Complex::cis(0.3);
+        type K = Box<dyn Fn(Par<'_>, &mut Vec<Complex>)>;
+        let kernels: Vec<(&str, K)> = vec![
+            ("x lo", Box::new(|p, a: &mut Vec<Complex>| x(p, a, 0))),
+            (
+                "x hi",
+                Box::new(move |p, a: &mut Vec<Complex>| x(p, a, n - 1)),
+            ),
+            ("h lo", Box::new(|p, a: &mut Vec<Complex>| h(p, a, 1))),
+            (
+                "h hi",
+                Box::new(move |p, a: &mut Vec<Complex>| h(p, a, n - 1)),
+            ),
+            ("z", Box::new(|p, a: &mut Vec<Complex>| z(p, a, 3, 1))),
+            (
+                "phase1",
+                Box::new(move |p, a: &mut Vec<Complex>| phase1(p, a, 2, 0, w)),
+            ),
+            (
+                "cx lo-hi",
+                Box::new(move |p, a: &mut Vec<Complex>| cx(p, a, 0, 1, n - 1)),
+            ),
+            (
+                "cx hi-lo",
+                Box::new(move |p, a: &mut Vec<Complex>| cx(p, a, n - 1, 1, 0)),
+            ),
+            (
+                "ccx",
+                Box::new(move |p, a: &mut Vec<Complex>| ccx(p, a, 2, 1, n - 2, 1, 5)),
+            ),
+            (
+                "cz",
+                Box::new(move |p, a: &mut Vec<Complex>| cz(p, a, 1, 1, n - 1, 1)),
+            ),
+            (
+                "phase2",
+                Box::new(move |p, a: &mut Vec<Complex>| phase2(p, a, 4, 0, 9, 1, w)),
+            ),
+            (
+                "ccz",
+                Box::new(move |p, a: &mut Vec<Complex>| ccz(p, a, 0, 1, 7, 0, n - 1, 1)),
+            ),
+            (
+                "phase3",
+                Box::new(move |p, a: &mut Vec<Complex>| phase3(p, a, 3, 1, 8, 1, 12, 0, w)),
+            ),
+            (
+                "swap",
+                Box::new(move |p, a: &mut Vec<Complex>| swap(p, a, 2, n - 1)),
+            ),
+        ];
+        for (name, kernel) in &kernels {
+            let mut serial = ramp(len);
+            let mut parallel = ramp(len);
+            kernel(Par::serial(), &mut serial);
+            kernel(par, &mut parallel);
+            for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{name}: re of amp {i}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{name}: im of amp {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_equals_sequential_application_bitwise() {
+        // A 3-qubit block on non-contiguous positions of a 15-qubit state,
+        // serial and parallel, against one-gate-at-a-time execution.
+        let q = |i: u32| QubitId(i);
+        let theta = mbu_circuit::Angle::turn_over_power_of_two(3);
+        // Local gates over local operands l0, l1, l2.
+        let gates = vec![
+            Gate::H(q(0)),
+            Gate::Ccx(q(0), q(2), q(1)),
+            Gate::Phase(q(1), theta),
+            Gate::Cx(q(1), q(0)),
+            Gate::X(q(2)),
+            Gate::Cz(q(0), q(2)),
+            Gate::Swap(q(1), q(2)),
+        ];
+        let positions = [1usize, 6, 14];
+        let len = 1usize << 15;
+
+        // Reference: each local gate applied gate-at-a-time with operands
+        // mapped onto the physical positions.
+        let mut reference = ramp(len);
+        for g in &gates {
+            let phys = g.map_qubits(|lq| QubitId(u32::try_from(positions[lq.index()]).unwrap()));
+            match phys {
+                Gate::X(a) => x(Par::serial(), &mut reference, a.index()),
+                Gate::H(a) => h(Par::serial(), &mut reference, a.index()),
+                Gate::Phase(a, t) => phase1(
+                    Par::serial(),
+                    &mut reference,
+                    a.index(),
+                    1,
+                    Complex::cis(t.radians()),
+                ),
+                Gate::Cx(c, t) => cx(Par::serial(), &mut reference, c.index(), 1, t.index()),
+                Gate::Ccx(c1, c2, t) => ccx(
+                    Par::serial(),
+                    &mut reference,
+                    c1.index(),
+                    1,
+                    c2.index(),
+                    1,
+                    t.index(),
+                ),
+                Gate::Cz(a, b) => cz(Par::serial(), &mut reference, a.index(), 1, b.index(), 1),
+                Gate::Swap(a, b) => swap(Par::serial(), &mut reference, a.index(), b.index()),
+                _ => unreachable!(),
+            }
+        }
+
+        let pool = AmpPool::new(3);
+        for par in [Par::serial(), Par::new(Some(&pool))] {
+            let mut fused_amps = ramp(len);
+            fused(par, &mut fused_amps, &positions, &gates);
+            for (i, (a, b)) in reference.iter().zip(&fused_amps).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "re of amp {i}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "im of amp {i}");
+            }
+        }
     }
 
     #[test]
@@ -482,7 +977,7 @@ mod tests {
     #[test]
     fn phase_kernels_touch_only_the_pinned_subspace() {
         let mut amps = vec![Complex::ONE; 16];
-        phase2(&mut amps, 3, 1, 1, 1, Complex::I);
+        phase2(Par::serial(), &mut amps, 3, 1, 1, 1, Complex::I);
         for (i, a) in amps.iter().enumerate() {
             let expect = if i & 0b1010 == 0b1010 {
                 Complex::I

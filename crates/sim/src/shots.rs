@@ -17,6 +17,15 @@
 //!   `u64` gate counts in `u128`), so the fold is associative and
 //!   commutative and the final [`Ensemble`] is **bit-identical** for any
 //!   thread count, including fully serial execution.
+//!
+//! The runner owns **one thread budget** covering both parallelism axes:
+//! shot-level workers and, inside each shot, the state vector's
+//! chunk-parallel amplitude lanes. [`ShotRunner::schedule`] splits the
+//! budget so the product never oversubscribes the machine — many shots run
+//! one-per-core with serial kernels, while a single deep shot hands the
+//! whole budget to the amplitude kernels (whose chunking is itself
+//! bit-deterministic), so aggregates stay identical at every
+//! `(MBU_SHOT_THREADS, MBU_AMP_THREADS)` combination.
 
 use std::collections::BTreeMap;
 use std::thread;
@@ -110,7 +119,12 @@ fn count_fields(c: &GateCounts) -> [u64; NFIELDS] {
 pub struct ShotRunner {
     shots: u64,
     master_seed: u64,
+    /// The total thread budget, split between shot workers and per-shot
+    /// amplitude lanes (see [`ShotRunner::schedule`]).
     threads: usize,
+    /// Pinned per-shot amplitude lanes; `None` lets the scheduler divide
+    /// the budget automatically.
+    amp_threads: Option<usize>,
     passes: Option<PassConfig>,
 }
 
@@ -129,10 +143,15 @@ impl ShotRunner {
     #[must_use]
     pub fn new(shots: u64) -> Self {
         let threads = resolve_threads(std::env::var("MBU_SHOT_THREADS").ok().as_deref());
+        // One resolution policy with the state vector's construction
+        // default: unset = auto-schedule, a positive integer pins, and 0
+        // or garbage warns once and pins serial (never silently "auto").
+        let amp_threads = crate::statevector::amp_threads_env();
         Self {
             shots,
             master_seed: 0x4d42_5553_484f_5453, // "MBUSHOTS"
             threads,
+            amp_threads,
             passes: None,
         }
     }
@@ -159,12 +178,56 @@ impl ShotRunner {
         self
     }
 
-    /// Sets the worker-thread count (clamped to at least 1). The result
+    /// Sets the total thread budget (clamped to at least 1). The result
     /// does not depend on this — only wall-clock time does.
+    ///
+    /// The budget covers **both** parallelism axes: with `S` shots and
+    /// budget `B`, the runner uses `w = min(S, B)` shot workers and hands
+    /// each one `⌊B / w⌋` amplitude lanes (so `w × lanes ≤ B` — the two
+    /// levels never oversubscribe the machine). Many shots therefore get
+    /// pure shot parallelism; few deep shots get amplitude parallelism
+    /// inside each shot. Pin the split explicitly with
+    /// [`with_amp_threads`](Self::with_amp_threads).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Pins the per-shot amplitude lane count instead of letting the
+    /// scheduler derive it from the budget (clamped into `1..=budget`;
+    /// shot workers shrink to keep `workers × lanes ≤ budget`). The
+    /// construction default follows the `MBU_AMP_THREADS` environment
+    /// variable when set, mirroring the state vector's standalone default.
+    ///
+    /// Results are bit-identical for every `(budget, lanes)` combination —
+    /// both parallelism levels guarantee determinism — so this only tunes
+    /// wall-clock time.
+    #[must_use]
+    pub fn with_amp_threads(mut self, amp_threads: usize) -> Self {
+        self.amp_threads = Some(amp_threads.max(1));
+        self
+    }
+
+    /// Splits the thread budget for an ensemble of `shots`: shot workers
+    /// first (each shot needs one), leftover lanes to per-shot amplitude
+    /// parallelism — deep single shots are exactly where the kernels can
+    /// use them, and small states ignore extra lanes anyway (the kernels'
+    /// size threshold). Returns `(shot_workers, amp_lanes)` with
+    /// `shot_workers × amp_lanes ≤ budget`.
+    fn schedule(&self, shots: u64) -> (usize, usize) {
+        let budget = self.threads.max(1);
+        let shot_cap = usize::try_from(shots).unwrap_or(usize::MAX).max(1);
+        match self.amp_threads {
+            Some(lanes) => {
+                let lanes = lanes.clamp(1, budget);
+                ((budget / lanes).max(1).min(shot_cap), lanes)
+            }
+            None => {
+                let workers = budget.min(shot_cap);
+                (workers, (budget / workers).max(1))
+            }
+        }
     }
 
     /// The number of shots this runner executes.
@@ -227,10 +290,7 @@ impl ShotRunner {
         O: Send,
     {
         let shots = self.shots;
-        let workers = self
-            .threads
-            .min(usize::try_from(shots).unwrap_or(usize::MAX))
-            .max(1);
+        let (workers, amp_lanes) = self.schedule(shots);
 
         // Compile once; every worker executes the same immutable program
         // instead of re-walking the op tree per shot.
@@ -246,6 +306,9 @@ impl ShotRunner {
             let mut observations = Vec::with_capacity((range.end - range.start) as usize);
             for shot in range {
                 let mut sim = factory();
+                // Divide the budget: this shot may use the lanes its
+                // worker was allotted (a no-op for per-qubit backends).
+                sim.set_amp_threads(amp_lanes);
                 let mut rng = StdRng::seed_from_u64(self.seed_for_shot(shot));
                 let executed = sim
                     .run_compiled(compiled, &mut rng)
@@ -261,14 +324,19 @@ impl ShotRunner {
         } else {
             // Contiguous chunks; the fold is exact, so the split points
             // cannot affect the aggregate — only probe order matters, and
-            // concatenating contiguous chunks preserves shot order.
+            // concatenating contiguous chunks preserves shot order. Chunks
+            // for shot ranges that ended up empty (shots < workers can
+            // only arise from an explicit `with_amp_threads` squeeze) are
+            // skipped: a worker with nothing to run is never spawned.
             let per = shots / workers as u64;
             let extra = (shots % workers as u64) as usize;
             let mut ranges = Vec::with_capacity(workers);
             let mut start = 0u64;
             for w in 0..workers {
                 let len = per + u64::from(w < extra);
-                ranges.push(start..start + len);
+                if len > 0 {
+                    ranges.push(start..start + len);
+                }
                 start += len;
             }
             thread::scope(|scope| {
@@ -684,6 +752,90 @@ mod tests {
             .run(&circuit, factory)
             .unwrap_err();
         assert_eq!(e1, e8);
+    }
+
+    #[test]
+    fn schedule_prefers_shot_workers_then_amplitude_lanes() {
+        let runner = ShotRunner::new(0).with_threads(8);
+        let mut auto = runner;
+        auto.amp_threads = None; // ignore any ambient MBU_AMP_THREADS pin
+                                 // Many shots: all budget to shot workers, serial kernels.
+        assert_eq!(auto.schedule(100), (8, 1));
+        assert_eq!(auto.schedule(8), (8, 1));
+        // Few shots: leftover budget becomes per-shot amplitude lanes.
+        assert_eq!(auto.schedule(4), (4, 2));
+        assert_eq!(auto.schedule(3), (3, 2), "floor keeps the product ≤ 8");
+        assert_eq!(auto.schedule(1), (1, 8), "single deep shot: all lanes");
+        assert_eq!(auto.schedule(0), (1, 8));
+
+        // Pinned lanes shrink the worker pool so the product fits.
+        let pinned = auto.with_amp_threads(2);
+        assert_eq!(pinned.schedule(100), (4, 2));
+        assert_eq!(pinned.schedule(1), (1, 2));
+        // A pin beyond the budget is clamped, never oversubscribed.
+        assert_eq!(auto.with_amp_threads(64).schedule(10), (1, 8));
+        for (shots, runner) in [(1u64, auto), (5, pinned), (64, auto.with_amp_threads(3))] {
+            let (w, a) = runner.schedule(shots);
+            assert!(w * a <= 8, "{shots} shots: {w}×{a} oversubscribes");
+        }
+    }
+
+    #[test]
+    fn single_shot_with_many_workers_runs_and_matches_serial() {
+        // Regression: shots < budget must not spawn workers for empty
+        // shot ranges, and the lone probe arrives exactly once.
+        let circuit = coin_circuit();
+        let factory = || Box::new(BasisTracker::zeros(1)) as Box<dyn Simulator>;
+        let probe = |_: &dyn Simulator, ex: &Executed| ex.outcome(0).unwrap();
+        let (serial, obs_serial) = ShotRunner::new(1)
+            .with_threads(1)
+            .run_probed(&circuit, factory, probe)
+            .unwrap();
+        let (wide, obs_wide) = ShotRunner::new(1)
+            .with_threads(8)
+            .run_probed(&circuit, factory, probe)
+            .unwrap();
+        assert_eq!(serial, wide);
+        assert_eq!(obs_serial, obs_wide);
+        assert_eq!(obs_wide.len(), 1);
+        // And with the split forced to leave workers > shots in no
+        // configuration: an explicit 1-lane pin at an 8-thread budget.
+        let (pinned, obs_pinned) = ShotRunner::new(1)
+            .with_threads(8)
+            .with_amp_threads(1)
+            .run_probed(&circuit, factory, probe)
+            .unwrap();
+        assert_eq!(serial, pinned);
+        assert_eq!(obs_serial, obs_pinned);
+    }
+
+    #[test]
+    fn aggregates_are_identical_across_budget_splits() {
+        // The same ensemble at every (shot workers × amp lanes) split of
+        // an 8-thread budget, on the state-vector backend: bit-identical.
+        use crate::StateVector;
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 3);
+        b.h(q[0]);
+        b.cx(q[0], q[1]);
+        let _ = b.measure(q[1], Basis::Z);
+        b.ccx(q[0], q[1], q[2]);
+        let _ = b.measure(q[2], Basis::X);
+        let circuit = b.finish();
+        let factory = || Box::new(StateVector::zeros(3).unwrap()) as Box<dyn Simulator>;
+        let base = ShotRunner::new(40)
+            .with_threads(1)
+            .with_amp_threads(1)
+            .run(&circuit, factory)
+            .unwrap();
+        for (threads, lanes) in [(8, 1), (8, 2), (8, 8), (2, 4), (3, 3)] {
+            let split = ShotRunner::new(40)
+                .with_threads(threads)
+                .with_amp_threads(lanes)
+                .run(&circuit, factory)
+                .unwrap();
+            assert_eq!(base, split, "budget {threads}, lanes {lanes}");
+        }
     }
 
     #[test]

@@ -151,6 +151,19 @@ pub trait Simulator {
         None
     }
 
+    /// Requests `threads` intra-state amplitude worker lanes for
+    /// subsequent gate execution, where the backend supports them.
+    ///
+    /// The state vector honours this (its chunk-parallel kernels then
+    /// split each gate's sweep across a persistent worker pool —
+    /// bit-identical results at any lane count); per-qubit backends
+    /// ignore it. The [`ShotRunner`](crate::ShotRunner) calls this on
+    /// every freshly built simulator to divide one thread budget between
+    /// shot-level and amplitude-level parallelism.
+    fn set_amp_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
+
     /// The exact dyadic global phase of the state, when the backend can
     /// produce one.
     ///

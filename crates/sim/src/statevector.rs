@@ -6,7 +6,8 @@ use rand::RngCore;
 use crate::complex::Complex;
 use crate::error::SimError;
 use crate::exec::{self, Executed};
-use crate::kernels;
+use crate::kernels::{self, Par};
+use crate::pool::AmpPool;
 use crate::simulator::Simulator;
 
 /// Tolerance below which a probability is treated as exactly 0 or 1 when
@@ -77,7 +78,7 @@ pub enum KernelMode {
 /// assert!((sim.probability_of(0b00) - 0.5).abs() < 1e-12);
 /// assert!((sim.probability_of(0b11) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct StateVector {
     num_qubits: usize,
     amps: Vec<Complex>,
@@ -87,6 +88,28 @@ pub struct StateVector {
     reclaim: bool,
     /// Peak live amplitudes of the most recent compiled run.
     last_run_peak: Option<usize>,
+    /// Requested intra-state amplitude worker lanes (`MBU_AMP_THREADS`
+    /// construction default; 1 = serial).
+    amp_threads: usize,
+    /// The persistent worker pool, spawned lazily on the first kernel call
+    /// large enough to benefit (never for small states).
+    pool: Option<AmpPool>,
+}
+
+impl Clone for StateVector {
+    fn clone(&self) -> Self {
+        Self {
+            num_qubits: self.num_qubits,
+            amps: self.amps.clone(),
+            mode: self.mode,
+            reclaim: self.reclaim,
+            last_run_peak: self.last_run_peak,
+            amp_threads: self.amp_threads,
+            // Worker pools are per-instance (one in-flight job each); the
+            // clone lazily spawns its own when it first needs one.
+            pool: None,
+        }
+    }
 }
 
 /// The process-wide reclamation default: on, unless the `MBU_RECLAIM`
@@ -105,6 +128,59 @@ fn reclaim_default() -> bool {
             Some("0" | "off" | "false" | "no")
         )
     })
+}
+
+/// The process-wide amplitude-lane construction default: 1 (serial),
+/// unless the `MBU_AMP_THREADS` environment variable pins a positive lane
+/// count. Serial by default because amplitude parallelism only pays on
+/// large states and the [`ShotRunner`](crate::ShotRunner) assigns lanes
+/// itself from its thread budget; unparsable values (and `0`, which has no
+/// meaning for a lane count) warn once and stay serial. Read once, like
+/// [`reclaim_default`]: construction sits in per-shot hot loops.
+/// Resolves an (injected) `MBU_AMP_THREADS` value to a lane pin: `None`
+/// when unset (callers pick their own default — the state vector runs
+/// serial, the [`ShotRunner`](crate::ShotRunner) auto-schedules), a
+/// positive integer pins that many lanes, and `0` or unparsable garbage
+/// warns once and pins **serial** — one policy for every consumer, so an
+/// explicit `MBU_AMP_THREADS=0` can never come back as multi-lane
+/// parallelism through a different code path.
+///
+/// Injected value rather than an env read here so the policy is testable
+/// without mutating process-global state (mirrors
+/// `shots::resolve_threads`).
+fn resolve_amp_threads(env_value: Option<&str>) -> Option<usize> {
+    match env_value {
+        None => None,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(threads) if threads >= 1 => Some(threads),
+            _ => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: MBU_AMP_THREADS={raw:?} is not a positive integer; \
+                         running amplitude kernels serially"
+                    );
+                });
+                Some(1)
+            }
+        },
+    }
+}
+
+/// The process-wide `MBU_AMP_THREADS` pin, resolved through
+/// [`resolve_amp_threads`] and read once (construction sits in per-shot
+/// hot loops, like [`reclaim_default`]).
+pub(crate) fn amp_threads_env() -> Option<usize> {
+    static DEFAULT: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| resolve_amp_threads(std::env::var("MBU_AMP_THREADS").ok().as_deref()))
+}
+
+/// The amplitude-lane construction default: serial unless the environment
+/// pins a lane count. Serial by default because amplitude parallelism
+/// only pays on large states and the [`ShotRunner`](crate::ShotRunner)
+/// assigns lanes itself from its thread budget.
+fn amp_threads_default() -> usize {
+    amp_threads_env().unwrap_or(1)
 }
 
 impl StateVector {
@@ -129,6 +205,8 @@ impl StateVector {
             mode: KernelMode::Stride,
             reclaim: reclaim_default(),
             last_run_peak: None,
+            amp_threads: amp_threads_default(),
+            pool: None,
         })
     }
 
@@ -172,6 +250,8 @@ impl StateVector {
             mode: KernelMode::Stride,
             reclaim: reclaim_default(),
             last_run_peak: None,
+            amp_threads: amp_threads_default(),
+            pool: None,
         })
     }
 
@@ -214,6 +294,42 @@ impl StateVector {
     #[must_use]
     pub fn reclamation_enabled(&self) -> bool {
         self.reclaim
+    }
+
+    /// Sets the number of amplitude worker lanes for gate execution
+    /// (builder style, clamped to at least 1).
+    ///
+    /// With `n > 1` lanes, every stride kernel splits its sweep over the
+    /// amplitude array into `n` chunks at deterministic boundaries and
+    /// executes them on a persistent worker pool (spawned lazily, and only
+    /// once the state is large enough for the sweep to outweigh the
+    /// wake-up — tiny states always run serially). Chunks write disjoint
+    /// amplitudes with unchanged per-amplitude arithmetic, so amplitudes,
+    /// RNG draws and measurement outcomes are **bit-identical** to serial
+    /// execution at any lane count.
+    ///
+    /// The construction default is 1 (serial), or the `MBU_AMP_THREADS`
+    /// environment variable when set; the
+    /// [`ShotRunner`](crate::ShotRunner) overrides it per shot from its
+    /// unified thread budget.
+    #[must_use]
+    pub fn with_amp_threads(mut self, threads: usize) -> Self {
+        Simulator::set_amp_threads(&mut self, threads);
+        self
+    }
+
+    /// The requested amplitude worker lane count (1 = serial).
+    #[must_use]
+    pub fn amp_threads(&self) -> usize {
+        self.amp_threads
+    }
+
+    /// Spawns the worker pool if lanes were requested, none exists yet and
+    /// the state is large enough for parallel sweeps to pay.
+    fn ensure_pool(&mut self) {
+        if self.amp_threads > 1 && self.pool.is_none() && self.amps.len() >= kernels::PAR_MIN_AMPS {
+            self.pool = Some(AmpPool::new(self.amp_threads));
+        }
     }
 
     /// The peak number of live amplitudes the most recent compiled run
@@ -481,6 +597,22 @@ impl StateVector {
         Ok(())
     }
 
+    /// Applies a fused dense block (local `gates` over the physical bit
+    /// `positions` of the current array) in one sweep, flushing pending
+    /// frame flips on the block's qubits first — the block computes in
+    /// physical storage; flips on untouched qubits commute with it (they
+    /// permute group bases, and the block acts identically on every
+    /// group).
+    fn apply_fused_block(&mut self, positions: &[usize], gates: &[Gate], flip: &mut usize) {
+        self.ensure_pool();
+        let Self { amps, pool, .. } = self;
+        let par = Par::new(pool.as_ref());
+        for &p in positions {
+            Self::flush_flip_bit(par, amps, flip, p);
+        }
+        kernels::fused(par, amps, positions, gates);
+    }
+
     /// Stride-kernel dispatch: every gate touches only the amplitudes it
     /// can move (see the [`kernels`] module docs). `flip` is the compiled
     /// executor's bit-flip frame: bit `q` set means qubit `q`'s storage is
@@ -495,31 +627,37 @@ impl StateVector {
         fn pin(flip: usize, q: QubitId) -> usize {
             1 ^ (flip >> q.index() & 1)
         }
+        self.ensure_pool();
+        let Self { amps, pool, .. } = self;
+        let par = Par::new(pool.as_ref());
         match *gate {
             Gate::X(q) => *flip ^= 1usize << q.index(),
             Gate::H(q) => {
-                Self::flush_flip_bit(&mut self.amps, flip, q.index());
-                kernels::h(&mut self.amps, q.index());
+                Self::flush_flip_bit(par, amps, flip, q.index());
+                kernels::h(par, amps, q.index());
             }
-            Gate::Z(q) => kernels::z(&mut self.amps, q.index(), pin(*flip, q)),
+            Gate::Z(q) => kernels::z(par, amps, q.index(), pin(*flip, q)),
             Gate::Phase(q, theta) => kernels::phase1(
-                &mut self.amps,
+                par,
+                amps,
                 q.index(),
                 pin(*flip, q),
                 Complex::cis(theta.radians()),
             ),
             // A flipped CX/CCX *target* needs no adjustment: X on the
             // target commutes with the controlled-X itself.
-            Gate::Cx(c, t) => kernels::cx(&mut self.amps, c.index(), pin(*flip, c), t.index()),
+            Gate::Cx(c, t) => kernels::cx(par, amps, c.index(), pin(*flip, c), t.index()),
             Gate::Cz(a, b) => kernels::cz(
-                &mut self.amps,
+                par,
+                amps,
                 a.index(),
                 pin(*flip, a),
                 b.index(),
                 pin(*flip, b),
             ),
             Gate::CPhase(c, t, theta) => kernels::phase2(
-                &mut self.amps,
+                par,
+                amps,
                 c.index(),
                 pin(*flip, c),
                 t.index(),
@@ -527,7 +665,8 @@ impl StateVector {
                 Complex::cis(theta.radians()),
             ),
             Gate::Ccx(c1, c2, t) => kernels::ccx(
-                &mut self.amps,
+                par,
+                amps,
                 c1.index(),
                 pin(*flip, c1),
                 c2.index(),
@@ -535,7 +674,8 @@ impl StateVector {
                 t.index(),
             ),
             Gate::Ccz(a, b, c) => kernels::ccz(
-                &mut self.amps,
+                par,
+                amps,
                 a.index(),
                 pin(*flip, a),
                 b.index(),
@@ -544,7 +684,8 @@ impl StateVector {
                 pin(*flip, c),
             ),
             Gate::CcPhase(c1, c2, t, theta) => kernels::phase3(
-                &mut self.amps,
+                par,
+                amps,
                 c1.index(),
                 pin(*flip, c1),
                 c2.index(),
@@ -556,7 +697,7 @@ impl StateVector {
             Gate::Swap(a, b) => {
                 // Physical SWAP conjugated by the frame is SWAP with the
                 // frame bits exchanged.
-                kernels::swap(&mut self.amps, a.index(), b.index());
+                kernels::swap(par, amps, a.index(), b.index());
                 let fa = *flip >> a.index() & 1;
                 let fb = *flip >> b.index() & 1;
                 if fa != fb {
@@ -568,9 +709,9 @@ impl StateVector {
 
     /// Materialises the pending frame flip on qubit `q`, if any: one exact
     /// X kernel (pure amplitude moves, no arithmetic).
-    fn flush_flip_bit(amps: &mut [Complex], flip: &mut usize, q: usize) {
+    fn flush_flip_bit(par: Par<'_>, amps: &mut [Complex], flip: &mut usize, q: usize) {
         if *flip >> q & 1 == 1 {
-            kernels::x(amps, q);
+            kernels::x(par, amps, q);
             *flip &= !(1usize << q);
         }
     }
@@ -579,10 +720,13 @@ impl StateVector {
     /// resets and at the end of a compiled run, so observable state is
     /// always the physical one.
     fn flush_flips(&mut self, flip: &mut usize) {
+        self.ensure_pool();
+        let Self { amps, pool, .. } = self;
+        let par = Par::new(pool.as_ref());
         let mut m = *flip;
         while m != 0 {
             let q = m.trailing_zeros() as usize;
-            kernels::x(&mut self.amps, q);
+            kernels::x(par, amps, q);
             m &= m - 1;
         }
         *flip = 0;
@@ -918,7 +1062,7 @@ impl LiveMap {
             // again: already reclaimed.
             return;
         };
-        StateVector::flush_flip_bit(amps, flip, p);
+        StateVector::flush_flip_bit(Par::serial(), amps, flip, p);
         let (m0, m1) = kernels::bit_masses(amps, p);
         let keep = if m0 <= RECLAIM_TOL {
             true
@@ -976,6 +1120,18 @@ impl LiveMap {
     }
 }
 
+/// A physical bit position as a [`QubitId`], as a typed error instead of
+/// a panic when a (malformed) position cannot be encoded — the
+/// drop/compaction path must never bring a worker thread down on bad
+/// input.
+fn physical_qubit(pos: usize) -> Result<QubitId, SimError> {
+    u32::try_from(pos)
+        .map(QubitId)
+        .map_err(|_| SimError::OutOfRange {
+            what: format!("physical qubit position {pos}"),
+        })
+}
+
 impl StateVector {
     /// The reclaiming compiled executor: runs the program on a compacted
     /// amplitude array, materialising qubits on first touch and executing
@@ -1004,10 +1160,39 @@ impl StateVector {
                 // Materialise every operand before translating any: an
                 // insertion shifts the positions of live qubits above it.
                 g.for_each_qubit(&mut |q| lm.ensure_live(&mut sv.amps, q.index(), &mut f));
-                let phys =
-                    g.map_qubits(|q| QubitId(u32::try_from(lm.position(q.index())).unwrap()));
+                let mut bad_position = None;
+                let phys = g.map_qubits(|q| {
+                    let pos = lm.position(q.index());
+                    u32::try_from(pos).map(QubitId).unwrap_or_else(|_| {
+                        bad_position.get_or_insert(pos);
+                        QubitId(0)
+                    })
+                });
                 drop(lm);
+                if let Some(pos) = bad_position {
+                    return physical_qubit(pos).map(|_| ());
+                }
                 sv.apply_stride(&phys, &mut f);
+                flip.set(f);
+                Ok(())
+            },
+            |sv, fu| {
+                let mut lm = live.borrow_mut();
+                let mut f = flip.get();
+                for q in fu.qubits() {
+                    lm.ensure_live(&mut sv.amps, q.index(), &mut f);
+                }
+                let mut positions = [0usize; mbu_circuit::MAX_FUSED_QUBITS];
+                for (slot, q) in positions.iter_mut().zip(fu.qubits()) {
+                    *slot = lm.position(q.index());
+                }
+                drop(lm);
+                let k = fu.num_qubits();
+                // `phys` mirrors logical order, so ascending logical
+                // operands translate to ascending physical positions — the
+                // layout the fused kernel's group enumeration assumes.
+                debug_assert!(positions[..k].windows(2).all(|w| w[0] < w[1]));
+                sv.apply_fused_block(&positions[..k], fu.gates(), &mut f);
                 flip.set(f);
                 Ok(())
             },
@@ -1017,7 +1202,7 @@ impl StateVector {
                 let mut lm = live.borrow_mut();
                 lm.ensure_live(&mut sv.amps, q.index(), &mut f);
                 flip.set(f);
-                QubitId(u32::try_from(lm.position(q.index())).unwrap())
+                physical_qubit(lm.position(q.index()))
             },
             |sv, q| {
                 let mut lm = live.borrow_mut();
@@ -1100,11 +1285,21 @@ impl Simulator for StateVector {
                 flip.set(f);
                 Ok(())
             },
+            |sv, fu| {
+                let mut f = flip.get();
+                let mut positions = [0usize; mbu_circuit::MAX_FUSED_QUBITS];
+                for (slot, q) in positions.iter_mut().zip(fu.qubits()) {
+                    *slot = q.index();
+                }
+                sv.apply_fused_block(&positions[..fu.num_qubits()], fu.gates(), &mut f);
+                flip.set(f);
+                Ok(())
+            },
             |sv, q| {
                 let mut f = flip.get();
                 sv.flush_flips(&mut f);
                 flip.set(f);
-                q
+                Ok(q)
             },
             |_, _| {},
         )?;
@@ -1115,6 +1310,16 @@ impl Simulator for StateVector {
 
     fn peak_amplitudes(&self) -> Option<u64> {
         self.last_run_peak.map(|p| p as u64)
+    }
+
+    fn set_amp_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.amp_threads {
+            self.amp_threads = threads;
+            // Re-spawn lazily at the new lane count (and never spawn at
+            // all for a serial request).
+            self.pool = None;
+        }
     }
 
     fn set_bit(&mut self, q: QubitId, value: bool) -> Result<(), SimError> {
@@ -1640,6 +1845,78 @@ mod tests {
         assert!(!ex.outcome(0).unwrap());
         assert_eq!(sv.as_basis(1e-12).unwrap().0, 0b1000, "X flipped q0");
         assert_eq!(sv.amplitudes().len(), 1 << 4);
+    }
+
+    #[test]
+    fn amp_parallel_compiled_runs_are_bit_identical_to_serial() {
+        // A 15-qubit (32768-amplitude, above the parallel threshold)
+        // adaptive circuit: compiled execution with 4 amplitude lanes
+        // must reproduce the serial run bit for bit — amplitudes,
+        // records, executed counts — with and without fusion.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 15);
+        for i in 0..14 {
+            b.h(r[i]);
+            b.cx(r[i], r[i + 1]);
+        }
+        b.ccx(r[0], r[7], r[14]);
+        let m = b.measure(r[14], Basis::Z);
+        let (_, fix) = b.record(|b| {
+            b.h(r[13]);
+            b.cx(r[13], r[14]);
+        });
+        b.emit_conditional(m, &fix);
+        let circuit = b.finish();
+
+        for fuse in [0usize, 3] {
+            let config = mbu_circuit::PassConfig {
+                fuse_max_qubits: fuse,
+                ..mbu_circuit::PassConfig::default()
+            };
+            let compiled = mbu_circuit::CompiledCircuit::with_config(&circuit, &config).unwrap();
+            let mut serial = StateVector::zeros(15).unwrap().with_amp_threads(1);
+            let mut rng = StdRng::seed_from_u64(5);
+            let ex_serial = serial.run_compiled(&compiled, &mut rng).unwrap();
+            let mut parallel = StateVector::zeros(15).unwrap().with_amp_threads(4);
+            let mut rng = StdRng::seed_from_u64(5);
+            let ex_parallel = parallel.run_compiled(&compiled, &mut rng).unwrap();
+            assert_eq!(ex_serial, ex_parallel, "fuse window {fuse}");
+            for (i, (a, b)) in serial
+                .amplitudes()
+                .iter()
+                .zip(parallel.amplitudes())
+                .enumerate()
+            {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "fuse {fuse}: re amp {i}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "fuse {fuse}: im amp {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn amp_thread_resolution_policy_is_uniform() {
+        // Unset: callers choose (state vector serial, runner auto).
+        assert_eq!(resolve_amp_threads(None), None);
+        // Positive integers pin.
+        assert_eq!(resolve_amp_threads(Some("4")), Some(4));
+        assert_eq!(resolve_amp_threads(Some(" 2 ")), Some(2));
+        // 0 and garbage pin *serial* — never silently auto-parallel.
+        assert_eq!(resolve_amp_threads(Some("0")), Some(1));
+        assert_eq!(resolve_amp_threads(Some("lots")), Some(1));
+        assert_eq!(resolve_amp_threads(Some("-3")), Some(1));
+    }
+
+    #[test]
+    fn amp_threads_builder_and_trait_agree() {
+        let sv = StateVector::zeros(1).unwrap().with_amp_threads(6);
+        assert_eq!(sv.amp_threads(), 6);
+        let mut sv = sv.with_amp_threads(0);
+        assert_eq!(sv.amp_threads(), 1, "clamped to serial");
+        Simulator::set_amp_threads(&mut sv, 3);
+        assert_eq!(sv.amp_threads(), 3);
+        // Clones share configuration but never a pool.
+        let clone = sv.clone();
+        assert_eq!(clone.amp_threads(), 3);
     }
 
     #[test]
