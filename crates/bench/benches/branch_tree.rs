@@ -1,0 +1,184 @@
+//! The `branch_tree` group: branch-sharing ensembles vs per-shot Monte
+//! Carlo on a two-stage MBU modular-adder chain (the acceptance shape,
+//! ≥ 20 qubits).
+//!
+//! The paper's Table-1 workloads are long deterministic arithmetic blocks
+//! with a handful of mid-circuit measurements: an N-shot Monte-Carlo
+//! ensemble re-executes the identical deterministic prefix N times, while
+//! the branch tree executes each unique measurement history exactly once
+//! and replays only cheap RNG draws per shot. On a CDKPM MBU chain (one
+//! flag fork per stage → ≤ 4 histories) the tree costs a few shot-
+//! equivalents however many shots are requested, so the headline speedup
+//! over a 1000-shot ensemble is roughly `1000 / leaves`.
+//!
+//! Before timing, the harness *asserts* the equivalence contract:
+//!
+//! * the sampled branch ensemble is bit-identical to the `ShotRunner`'s
+//!   classical aggregates on the same master seed;
+//! * the exact distribution's expected Toffoli count equals the analytic
+//!   `expected_counts` golden.
+//!
+//! The timed rows then measure one tree build + exact distribution, one
+//! tree build + 1000-shot replay, and a small per-shot ensemble whose
+//! per-shot cost extrapolates (exactly linearly — shots are independent)
+//! to the 1000-shot Monte-Carlo baseline the headline reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbu_arith::modular::{self, ModAdd, ModAddSpec};
+use mbu_arith::Uncompute;
+use mbu_bench::benchmark_modulus;
+use mbu_sim::{
+    BranchEnsemble, Ensemble, ShotRunner, Simulator, StateVector, MAX_STATEVECTOR_QUBITS,
+};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const STAGES: usize = 2;
+const MIN_QUBITS: usize = 20;
+const SHOTS: u64 = 1000;
+/// Shots actually executed for the Monte-Carlo baseline row; the headline
+/// extrapolates linearly (shots are independent and identically costed).
+const MC_SAMPLE_SHOTS: u64 = 8;
+
+/// The smallest Table-1 CDKPM MBU chain with at least [`MIN_QUBITS`]
+/// qubits (`None` if it would not fit the state-vector limit).
+fn acceptance_chain() -> Option<(ModAdd, u128)> {
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    for n in [3usize, 4, 6, 8, 10, 12] {
+        let p = benchmark_modulus(n);
+        let chain = modular::modadd_chain_circuit(&spec, n, p, STAGES).expect("valid chain");
+        let nq = chain.circuit.num_qubits();
+        if nq > MAX_STATEVECTOR_QUBITS {
+            return None;
+        }
+        if nq >= MIN_QUBITS {
+            return Some((chain, p));
+        }
+    }
+    None
+}
+
+fn factory(chain: &ModAdd, p: u128) -> impl Fn() -> Box<dyn Simulator + Send> + Sync + '_ {
+    let nq = chain.circuit.num_qubits();
+    move || {
+        let mut sv = StateVector::zeros(nq).unwrap();
+        sv.set_value(chain.x.qubits(), (p - 1) % p).unwrap();
+        sv.set_value(chain.y.qubits(), (p / 2) % p).unwrap();
+        Box::new(sv) as Box<dyn Simulator + Send>
+    }
+}
+
+/// The classical face of an ensemble (peak-memory stats excluded — the
+/// branch engine deliberately reports none).
+fn classical_view(e: &Ensemble) -> impl PartialEq + std::fmt::Debug {
+    let records: Vec<(Vec<Option<bool>>, u64)> = e
+        .record_frequencies()
+        .map(|(r, n)| (r.to_vec(), n))
+        .collect();
+    (e.shots(), e.mean(), e.variance(), records)
+}
+
+fn branch_tree_vs_monte_carlo(c: &mut Criterion) {
+    let Some((chain, p)) = acceptance_chain() else {
+        eprintln!("  branch_tree: no ≥{MIN_QUBITS}-qubit chain fits the state vector; skipped");
+        return;
+    };
+    let nq = chain.circuit.num_qubits();
+    let make = factory(&chain, p);
+
+    // Equivalence contract before any timing.
+    let small_branch = BranchEnsemble::new(MC_SAMPLE_SHOTS)
+        .run(&chain.circuit, &make)
+        .unwrap();
+    let small_mc = ShotRunner::new(MC_SAMPLE_SHOTS)
+        .run(&chain.circuit, || -> Box<dyn Simulator> { make() })
+        .unwrap();
+    assert_eq!(
+        classical_view(&small_branch),
+        classical_view(&small_mc),
+        "sampled branch trees must be bit-identical to per-shot execution"
+    );
+    let dist = BranchEnsemble::new(0)
+        .distribution(&chain.circuit, &make)
+        .unwrap();
+    let analytic = chain.circuit.expected_counts().toffoli;
+    assert!(
+        (dist.mean_counts().toffoli - analytic).abs() < 1e-6,
+        "exact mode reproduces the analytic expectation"
+    );
+    eprintln!(
+        "  {STAGES}-stage CDKPM MBU chain, {nq} qubits: {} fork(s), {} leaves",
+        dist.fork_nodes(),
+        dist.num_leaves()
+    );
+
+    // Headline: measured tree time vs (extrapolated) 1000-shot MC time.
+    let start = Instant::now();
+    black_box(
+        BranchEnsemble::new(SHOTS)
+            .run(&chain.circuit, &make)
+            .unwrap(),
+    );
+    let branch_time = start.elapsed();
+    let start = Instant::now();
+    black_box(
+        ShotRunner::new(MC_SAMPLE_SHOTS)
+            .with_threads(1)
+            .run(&chain.circuit, || -> Box<dyn Simulator> { make() })
+            .unwrap(),
+    );
+    let mc_per_shot = start.elapsed() / u32::try_from(MC_SAMPLE_SHOTS).unwrap();
+    let mc_time = mc_per_shot * u32::try_from(SHOTS).unwrap();
+    eprintln!(
+        "  {SHOTS}-shot ensemble: branch tree {branch_time:.0?} vs serial Monte Carlo \
+         ~{mc_time:.0?} ({MC_SAMPLE_SHOTS}-shot sample × {SHOTS}/{MC_SAMPLE_SHOTS}): {:.1}x",
+        mc_time.as_secs_f64() / branch_time.as_secs_f64().max(1e-9)
+    );
+
+    let mut group = c.benchmark_group("branch_tree/modadd_chain");
+    group.bench_function("exact_distribution", |b| {
+        b.iter(|| {
+            black_box(
+                BranchEnsemble::new(0)
+                    .distribution(&chain.circuit, &make)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("branch_sampled_1000", |b| {
+        b.iter(|| {
+            black_box(
+                BranchEnsemble::new(SHOTS)
+                    .run(&chain.circuit, &make)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("monte_carlo_per_shot", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(
+                ShotRunner::new(1)
+                    .with_master_seed(seed)
+                    .run(&chain.circuit, || -> Box<dyn Simulator> { make() })
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = branch_tree_vs_monte_carlo
+}
+criterion_main!(benches);

@@ -391,20 +391,22 @@ pub struct PassConfig {
 }
 
 /// The process-wide fusion default: window [`DEFAULT_FUSE_QUBITS`] unless
-/// the `MBU_FUSION` environment variable overrides it. Read once (compile
-/// sits in shot-setup paths) and only consulted by
-/// [`PassConfig::default`]; explicit configs always win.
+/// the `MBU_FUSION` environment variable overrides it, resolved through
+/// the shared [`knobs`](crate::knobs) policy — off tokens disable, integer
+/// values pin (clamped to [`MAX_FUSED_QUBITS`]), and garbage warns once
+/// instead of silently meaning "the default". Read once (compile sits in
+/// shot-setup paths) and only consulted by [`PassConfig::default`];
+/// explicit configs always win.
 fn fuse_default() -> usize {
     static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *DEFAULT.get_or_init(
-        || match std::env::var("MBU_FUSION").ok().as_deref().map(str::trim) {
-            Some("off" | "false" | "no") => 0,
-            Some(v) => v
-                .parse::<usize>()
-                .map_or(DEFAULT_FUSE_QUBITS, |k| k.min(MAX_FUSED_QUBITS)),
-            None => DEFAULT_FUSE_QUBITS,
-        },
-    )
+    *DEFAULT.get_or_init(|| {
+        crate::knobs::window(
+            "MBU_FUSION",
+            std::env::var("MBU_FUSION").ok().as_deref(),
+            DEFAULT_FUSE_QUBITS,
+            MAX_FUSED_QUBITS,
+        )
+    })
 }
 
 impl Default for PassConfig {
@@ -481,6 +483,16 @@ pub struct PassStats {
     pub fused_gates: u64,
     /// Instructions in the final program.
     pub emitted_instrs: usize,
+    /// Deterministic segments in the final program: maximal runs of
+    /// unitary instructions between non-unitary barriers
+    /// (measurement/reset/drop/branch) and branch join points — the units
+    /// the branch-tree execution engine shares across measurement
+    /// histories. See [`CompiledCircuit::segments`].
+    pub segments: usize,
+    /// Non-deterministic instructions (measurements and resets): the
+    /// points where an execution trajectory can fork, bounding the branch
+    /// tree at `2^fork_points` leaves.
+    pub fork_points: usize,
 }
 
 impl PassStats {
@@ -496,7 +508,8 @@ impl fmt::Display for PassStats {
         write!(
             f,
             "lowered {} instrs; cancelled {}, merged {}, identities {}, phase-dead {}, \
-             reclaimed {}, fused {} gates into {} blocks; emitted {}",
+             reclaimed {}, fused {} gates into {} blocks; emitted {} \
+             ({} segments, {} fork points)",
             self.lowered_instrs,
             self.cancelled,
             self.merged,
@@ -505,7 +518,9 @@ impl fmt::Display for PassStats {
             self.dead_qubits_reclaimed,
             self.fused_gates,
             self.fused_blocks,
-            self.emitted_instrs
+            self.emitted_instrs,
+            self.segments,
+            self.fork_points
         )
     }
 }
@@ -600,13 +615,16 @@ impl CompiledCircuit {
             instrs = reclaim_dead_qubits(instrs, circuit.num_qubits(), &mut stats, &fused);
         }
         stats.emitted_instrs = instrs.len();
-        Ok(Self {
+        let mut compiled = Self {
             num_qubits: circuit.num_qubits(),
             num_clbits: circuit.num_clbits(),
             instrs,
             fused,
             stats,
-        })
+        };
+        compiled.stats.segments = compiled.segments().len();
+        compiled.stats.fork_points = compiled.fork_points();
+        Ok(compiled)
     }
 
     /// The number of qubits of the source circuit.
@@ -670,6 +688,77 @@ impl CompiledCircuit {
     pub fn reclaims_qubits(&self) -> bool {
         self.stats.dead_qubits_reclaimed > 0
     }
+
+    /// The deterministic segmentation of the program: maximal runs of
+    /// *unitary* instructions ([`Instr::Gate`] / [`Instr::Fused`]) cut at
+    /// every non-unitary barrier (measurement, reset, drop, branch) and at
+    /// every branch join target.
+    ///
+    /// Two properties make the segmentation the substrate of branch-tree
+    /// execution:
+    ///
+    /// * **determinism** — a segment contains no instruction that consumes
+    ///   randomness or classical state, so its effect on a given input
+    ///   state is a fixed unitary: executing it once per *measurement
+    ///   history* (instead of once per shot) is exact;
+    /// * **alignment** — every program point the executor can land on (the
+    ///   instruction after a barrier, or a branch's join target) is a
+    ///   segment start, so a program-counter walk always enters segments
+    ///   at their beginning and can apply a whole segment without
+    ///   re-dispatching on control flow.
+    #[must_use]
+    pub fn segments(&self) -> Vec<Segment> {
+        let n = self.instrs.len();
+        // Branch join targets cut runs: the instructions before and after
+        // a join execute under different guard conditions.
+        let mut join = vec![false; n + 1];
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            if let Instr::BranchUnless { skip, .. } = instr {
+                join[pc + 1 + *skip as usize] = true;
+            }
+        }
+        let mut segments = Vec::new();
+        let mut start: Option<usize> = None;
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            let unitary = matches!(instr, Instr::Gate(_) | Instr::Fused(_));
+            if join[pc] || !unitary {
+                if let Some(s) = start.take() {
+                    segments.push(Segment { start: s, end: pc });
+                }
+            }
+            if unitary && start.is_none() {
+                start = Some(pc);
+            }
+        }
+        if let Some(s) = start {
+            segments.push(Segment { start: s, end: n });
+        }
+        segments
+    }
+
+    /// How many instructions of the program can fork an execution
+    /// trajectory: measurements and resets (the only instructions that
+    /// consume randomness). Branches and drops are deterministic given the
+    /// classical record, so the branch tree has at most `2^fork_points`
+    /// leaves.
+    #[must_use]
+    pub fn fork_points(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Measure { .. } | Instr::Reset(_)))
+            .count()
+    }
+}
+
+/// One deterministic segment of a compiled program: the instruction range
+/// `start..end` holds only unitary instructions ([`Instr::Gate`] /
+/// [`Instr::Fused`]). Produced by [`CompiledCircuit::segments`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Segment {
+    /// First instruction of the run (inclusive).
+    pub start: usize,
+    /// One past the last instruction of the run (exclusive).
+    pub end: usize,
 }
 
 impl fmt::Display for CompiledCircuit {
@@ -1758,5 +1847,72 @@ mod tests {
         let dump = compiled.to_string();
         assert!(dump.contains("unless c0 jump 3"), "{dump}");
         assert!(dump.contains("  CZ q0 q1"), "{dump}");
+    }
+
+    #[test]
+    fn segmentation_cuts_at_barriers_and_joins() {
+        // H X | MZ | CZ (guarded) || H  — the guarded CZ and the
+        // post-join H sit in different segments even though they are
+        // adjacent unitary instructions.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.h(r[0]);
+        b.x(r[1]);
+        let m = b.measure(r[0], Basis::Z);
+        let (_, block) = b.record(|b| b.cz(r[0], r[1]));
+        b.emit_conditional(m, &block);
+        b.h(r[1]);
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        // Program: 0:H 1:X 2:MZ 3:unless 4:CZ 5:H
+        let segments = compiled.segments();
+        assert_eq!(
+            segments,
+            vec![
+                Segment { start: 0, end: 2 },
+                Segment { start: 4, end: 5 },
+                Segment { start: 5, end: 6 },
+            ]
+        );
+        assert_eq!(compiled.fork_points(), 1);
+        assert_eq!(compiled.stats().segments, 3);
+        assert_eq!(compiled.stats().fork_points, 1);
+        // Every segment holds only unitary instructions.
+        for seg in &segments {
+            for instr in &compiled.instrs()[seg.start..seg.end] {
+                assert!(
+                    matches!(instr, Instr::Gate(_) | Instr::Fused(_)),
+                    "{instr:?} in segment {seg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmentation_counts_resets_and_drops() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.h(r[0]);
+        b.reset(r[0]);
+        b.h(r[0]);
+        let _ = b.measure(r[1], Basis::Z);
+        let compiled = CompiledCircuit::compile(&b.finish()).unwrap();
+        // Reset + measure fork; drops cut segments but never fork.
+        assert_eq!(compiled.fork_points(), 2);
+        assert!(compiled.reclaims_qubits());
+        let segments = compiled.segments();
+        assert!(segments.len() >= 2, "{compiled}");
+        // Drops are not inside any segment.
+        for seg in &segments {
+            for instr in &compiled.instrs()[seg.start..seg.end] {
+                assert!(!matches!(instr, Instr::Drop(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_programs_have_no_segments() {
+        let compiled = CompiledCircuit::lower(&Circuit::from_ops(1, 0, vec![])).unwrap();
+        assert!(compiled.segments().is_empty());
+        assert_eq!(compiled.fork_points(), 0);
     }
 }

@@ -56,12 +56,15 @@ mod depth;
 pub mod diagram;
 mod error;
 mod gate;
+pub mod knobs;
 mod op;
 
 pub use angle::Angle;
 pub use builder::{CircuitBuilder, OpBlock, Register};
 pub use circuit::Circuit;
-pub use compile::{CompiledCircuit, FusedUnitary, Instr, PassConfig, PassStats, MAX_FUSED_QUBITS};
+pub use compile::{
+    CompiledCircuit, FusedUnitary, Instr, PassConfig, PassStats, Segment, MAX_FUSED_QUBITS,
+};
 pub use counts::{ExpectedCounts, GateCounts};
 pub use error::CircuitError;
 pub use gate::{Basis, Gate};

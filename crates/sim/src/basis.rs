@@ -30,7 +30,7 @@ use rand::RngCore;
 
 use crate::error::SimError;
 use crate::exec::Executed;
-use crate::simulator::Simulator;
+use crate::simulator::{Fork, Simulator};
 
 /// Per-qubit state of the tracker.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -387,6 +387,48 @@ impl Simulator for BasisTracker {
         }
         self.qubits[qubit.index()] = Mode::Z(false);
         Ok(())
+    }
+
+    /// Both-branch measurement for the branch-tree engine. Same-basis
+    /// measurements are deterministic for the tracker — it consumes no
+    /// randomness for them (see [`measure`](Simulator::measure)) — so they
+    /// report [`Fork::Definite`]; cross-basis measurements are fair coins
+    /// whose two collapsed children (including the |−⟩-collapse phase
+    /// flip) are produced by cloning the per-qubit mode table.
+    fn measure_fork(&mut self, qubit: QubitId, basis: Basis) -> Result<Option<Fork>, SimError> {
+        let i = qubit.index();
+        if i >= self.qubits.len() {
+            return Err(SimError::OutOfRange {
+                what: format!("measured qubit q{}", qubit.0),
+            });
+        }
+        let split = |zero: &mut Self, one_mode: Mode, flip: bool| {
+            let mut one = zero.clone();
+            one.qubits[i] = one_mode;
+            if flip {
+                one.flip_phase();
+            }
+            Fork::Split {
+                p_one: 0.5,
+                one: Some(Box::new(one)),
+            }
+        };
+        match (basis, self.qubits[i]) {
+            (Basis::Z, Mode::Z(b)) => Ok(Some(Fork::Definite(b))),
+            (Basis::X, Mode::X(s)) => Ok(Some(Fork::Definite(s))),
+            (Basis::Z, Mode::X(s)) => {
+                // (|0⟩ + (−1)^s|1⟩)/√2: outcome 1 picks up the sign.
+                let fork = split(self, Mode::Z(true), s);
+                self.qubits[i] = Mode::Z(false);
+                Ok(Some(fork))
+            }
+            (Basis::X, Mode::Z(b)) => {
+                // |b⟩ = (|+⟩ + (−1)^b|−⟩)/√2: outcome |−⟩ picks up (−1)^b.
+                let fork = split(self, Mode::X(true), b);
+                self.qubits[i] = Mode::X(false);
+                Ok(Some(fork))
+            }
+        }
     }
 }
 

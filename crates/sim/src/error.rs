@@ -74,6 +74,24 @@ pub enum SimError {
         /// The offending classical bit index.
         clbit: u32,
     },
+    /// An ensemble run was requested with zero shots: there is no
+    /// aggregate to report, and every per-shot statistic (means,
+    /// frequencies) would be a division by zero. Raised by the ensemble
+    /// engines instead of returning an `Ensemble` whose accessors could
+    /// only answer `NaN` or a fabricated zero.
+    EmptyEnsemble,
+    /// The branch-tree engine's outcome tree grew past its node budget
+    /// before the program ended. The exact-distribution mode surfaces
+    /// this; the sampled mode falls back to per-shot Monte Carlo instead.
+    BranchBudgetExceeded {
+        /// The configured node budget that was exceeded.
+        budget: usize,
+    },
+    /// The simulator backend does not implement forked (branch-sharing)
+    /// execution — its `measure_fork` declined. The exact-distribution
+    /// mode surfaces this; the sampled mode falls back to per-shot Monte
+    /// Carlo instead.
+    BranchUnsupported,
 }
 
 impl fmt::Display for SimError {
@@ -106,6 +124,18 @@ impl fmt::Display for SimError {
                     f,
                     "classical bit c{clbit} read before any measurement wrote it"
                 )
+            }
+            SimError::EmptyEnsemble => {
+                write!(f, "ensemble run requested with zero shots")
+            }
+            SimError::BranchBudgetExceeded { budget } => {
+                write!(
+                    f,
+                    "branch tree exceeded its {budget}-node budget before the program ended"
+                )
+            }
+            SimError::BranchUnsupported => {
+                write!(f, "backend does not support branch-sharing execution")
             }
         }
     }

@@ -638,6 +638,30 @@ pub(crate) fn expand_bit(amps: &mut Vec<Complex>, p: usize, value: bool) {
     }
 }
 
+/// Branch-tree kernel: the both-branch projection of a Z-basis
+/// measurement on bit `m` (a mask, `1 << q`), in **one sweep** over the
+/// parent state. The parent collapses in place to the outcome-0 branch
+/// (bit-clear amplitudes rescaled by `scale0`, bit-set zeroed) while the
+/// returned array holds the outcome-1 branch (bit-set rescaled by
+/// `scale1`, bit-clear zeroed).
+///
+/// The per-amplitude arithmetic — `a.scale(scale)` on survivors,
+/// `Complex::ZERO` elsewhere — is exactly the projection loop of the
+/// sampling measurement path, so each branch is bit-identical to what a
+/// forced-outcome `measure` would have left behind.
+pub(crate) fn split_bit(amps: &mut [Complex], m: usize, scale0: f64, scale1: f64) -> Vec<Complex> {
+    let mut one = vec![Complex::ZERO; amps.len()];
+    for (i, (a, o)) in amps.iter_mut().zip(one.iter_mut()).enumerate() {
+        if i & m != 0 {
+            *o = a.scale(scale1);
+            *a = Complex::ZERO;
+        } else {
+            *a = a.scale(scale0);
+        }
+    }
+    one
+}
+
 /// The probability masses `(mass₀, mass₁)` carried by amplitudes whose bit
 /// `p` is clear / set — the definiteness check a [`compact_bit`] drop is
 /// gated on. (A serial reduction: parallel partial sums would re-associate

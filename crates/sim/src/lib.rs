@@ -48,7 +48,12 @@
 //! between shot workers and per-shot amplitude lanes, and averages
 //! executed counts (and peak-memory stats) over many shots — how the
 //! benchmark harness measures the paper's "in expectation" MBU costs as
-//! Monte-Carlo means.
+//! Monte-Carlo means. [`BranchEnsemble`] goes one step further: instead
+//! of re-running the deterministic prefix per shot it forks the state at
+//! each measurement ([`Simulator::measure_fork`]), walks the outcome tree
+//! once, and either returns the **exact** outcome distribution (no RNG at
+//! all) or replays the per-shot RNG streams against the tree for
+//! aggregates bit-identical to the [`ShotRunner`]'s.
 //!
 //! # Examples
 //!
@@ -93,6 +98,7 @@
 #![warn(missing_docs)]
 
 mod basis;
+mod branch;
 mod complex;
 mod error;
 mod exec;
@@ -103,9 +109,10 @@ mod simulator;
 mod statevector;
 
 pub use basis::BasisTracker;
+pub use branch::{BranchDistribution, BranchEnsemble, DEFAULT_NODE_BUDGET};
 pub use complex::Complex;
 pub use error::SimError;
 pub use exec::Executed;
 pub use shots::{CountStats, Ensemble, ShotRunner};
-pub use simulator::Simulator;
+pub use simulator::{Fork, Simulator};
 pub use statevector::{KernelMode, StateVector, MAX_STATEVECTOR_QUBITS};

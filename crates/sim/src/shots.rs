@@ -39,42 +39,66 @@ use crate::exec::Executed;
 use crate::simulator::Simulator;
 
 /// Number of tallied operation families (the fields of [`GateCounts`]).
-const NFIELDS: usize = 14;
+pub(crate) const NFIELDS: usize = 14;
 
 /// What one worker chunk produces: its partial fold and its probe
 /// observations, or the lowest failing shot in the chunk.
 type ChunkResult<O> = Result<(Accumulator, Vec<O>), (u64, SimError)>;
 
+/// The default master seed shared by every ensemble engine, so the
+/// branch-tree sampler reproduces the [`ShotRunner`]'s aggregates out of
+/// the box ("MBUSHOTS").
+pub(crate) const DEFAULT_MASTER_SEED: u64 = 0x4d42_5553_484f_5453;
+
 /// Resolves the default worker count from an (injected) `MBU_SHOT_THREADS`
 /// value: a positive integer pins the pool, anything else — including `0`,
-/// which would deadlock a pool, and unparsable garbage — warns once and
-/// falls back to the CPU count.
+/// which would deadlock a pool, and unparsable garbage — warns once (via
+/// the shared [`mbu_circuit::knobs`] resolver) and falls back to the CPU
+/// count.
 ///
 /// Taking the value as a parameter (rather than reading the environment
 /// here) keeps the selection policy testable without mutating
 /// process-global state under a parallel test harness.
-fn resolve_threads(env_value: Option<&str>) -> usize {
-    let cpu_default = || thread::available_parallelism().map_or(1, |n| n.get());
-    match env_value {
-        None => cpu_default(),
-        Some(raw) => match raw.trim().parse::<usize>() {
-            Ok(threads) if threads >= 1 => threads,
-            _ => {
-                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                WARN_ONCE.call_once(|| {
-                    eprintln!(
-                        "warning: MBU_SHOT_THREADS={raw:?} is not a positive integer; \
-                         falling back to the CPU count"
-                    );
-                });
-                cpu_default()
-            }
-        },
+pub(crate) fn resolve_threads(env_value: Option<&str>) -> usize {
+    let cpu = thread::available_parallelism().map_or(1, |n| n.get());
+    mbu_circuit::knobs::positive_count("MBU_SHOT_THREADS", env_value, cpu, "the CPU count")
+        .unwrap_or(cpu)
+}
+
+/// The deterministic per-shot seed: SplitMix64 over `(master_seed, shot)`,
+/// so nearby shots get decorrelated streams. Shared by the [`ShotRunner`]
+/// and the branch-tree sampler — equal master seeds must replay equal
+/// per-shot RNG streams in both engines.
+pub(crate) fn shot_seed(master_seed: u64, shot: u64) -> u64 {
+    let mut z = master_seed.wrapping_add(shot.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Splits a thread budget between work items and per-item amplitude lanes
+/// (see [`ShotRunner::schedule`]): item workers first, leftover lanes to
+/// per-item amplitude parallelism, with an optional explicit lane pin.
+/// Returns `(workers, amp_lanes)` with `workers × amp_lanes ≤ budget`.
+/// Shared by the shot engine (items = shots) and the branch-tree engine
+/// (items = active tree leaves).
+pub(crate) fn split_budget(budget: usize, items: u64, amp_pin: Option<usize>) -> (usize, usize) {
+    let budget = budget.max(1);
+    let item_cap = usize::try_from(items).unwrap_or(usize::MAX).max(1);
+    match amp_pin {
+        Some(lanes) => {
+            let lanes = lanes.clamp(1, budget);
+            ((budget / lanes).max(1).min(item_cap), lanes)
+        }
+        None => {
+            let workers = budget.min(item_cap);
+            (workers, (budget / workers).max(1))
+        }
     }
 }
 
 /// `GateCounts` flattened into a fixed field order.
-fn count_fields(c: &GateCounts) -> [u64; NFIELDS] {
+pub(crate) fn count_fields(c: &GateCounts) -> [u64; NFIELDS] {
     [
         c.x,
         c.z,
@@ -149,7 +173,7 @@ impl ShotRunner {
         let amp_threads = crate::statevector::amp_threads_env();
         Self {
             shots,
-            master_seed: 0x4d42_5553_484f_5453, // "MBUSHOTS"
+            master_seed: DEFAULT_MASTER_SEED,
             threads,
             amp_threads,
             passes: None,
@@ -216,18 +240,7 @@ impl ShotRunner {
     /// size threshold). Returns `(shot_workers, amp_lanes)` with
     /// `shot_workers × amp_lanes ≤ budget`.
     fn schedule(&self, shots: u64) -> (usize, usize) {
-        let budget = self.threads.max(1);
-        let shot_cap = usize::try_from(shots).unwrap_or(usize::MAX).max(1);
-        match self.amp_threads {
-            Some(lanes) => {
-                let lanes = lanes.clamp(1, budget);
-                ((budget / lanes).max(1).min(shot_cap), lanes)
-            }
-            None => {
-                let workers = budget.min(shot_cap);
-                (workers, (budget / workers).max(1))
-            }
-        }
+        split_budget(self.threads, shots, self.amp_threads)
     }
 
     /// The number of shots this runner executes.
@@ -243,12 +256,7 @@ impl ShotRunner {
     /// decorrelated streams.
     #[must_use]
     pub fn seed_for_shot(&self, shot: u64) -> u64 {
-        let mut z = self
-            .master_seed
-            .wrapping_add(shot.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        shot_seed(self.master_seed, shot)
     }
 
     /// Runs the ensemble: `factory` builds one freshly prepared simulator
@@ -258,7 +266,8 @@ impl ShotRunner {
     /// # Errors
     ///
     /// The error of the lowest-indexed failing shot, if any shot fails —
-    /// deterministically, regardless of thread count.
+    /// deterministically, regardless of thread count — or
+    /// [`SimError::EmptyEnsemble`] for a zero-shot run.
     pub fn run<F>(&self, circuit: &Circuit, factory: F) -> Result<Ensemble, SimError>
     where
         F: Fn() -> Box<dyn Simulator> + Sync,
@@ -277,7 +286,10 @@ impl ShotRunner {
     ///
     /// # Errors
     ///
-    /// The error of the lowest-indexed failing shot, if any shot fails.
+    /// The error of the lowest-indexed failing shot, if any shot fails,
+    /// or [`SimError::EmptyEnsemble`] for a zero-shot run — an ensemble
+    /// with no shots has no aggregate, and handing one back would leave
+    /// every frequency accessor dividing by zero.
     pub fn run_probed<F, P, O>(
         &self,
         circuit: &Circuit,
@@ -290,6 +302,9 @@ impl ShotRunner {
         O: Send,
     {
         let shots = self.shots;
+        if shots == 0 {
+            return Err(SimError::EmptyEnsemble);
+        }
         let (workers, amp_lanes) = self.schedule(shots);
 
         // Compile once; every worker executes the same immutable program
@@ -379,9 +394,12 @@ impl ShotRunner {
     }
 }
 
-/// The exact integer fold of many [`Executed`] records.
+/// The exact integer fold of many [`Executed`] records. Crate-visible so
+/// the branch-tree sampler can fold its replayed shots through the same
+/// arithmetic (bit-compatibility with per-shot execution is defined as
+/// equality of this fold).
 #[derive(Clone, PartialEq, Eq, Debug)]
-struct Accumulator {
+pub(crate) struct Accumulator {
     shots: u64,
     sum: [u128; NFIELDS],
     sumsq: [u128; NFIELDS],
@@ -408,7 +426,7 @@ impl Default for Accumulator {
 }
 
 impl Accumulator {
-    fn add_shot(&mut self, executed: &Executed, peak_amps: Option<u64>) {
+    pub(crate) fn add_shot(&mut self, executed: &Executed, peak_amps: Option<u64>) {
         self.shots += 1;
         if let Some(peak) = peak_amps {
             self.peak_amps = Some(self.peak_amps.map_or(peak, |m| m.max(peak)));
@@ -468,6 +486,11 @@ pub struct Ensemble {
 }
 
 impl Ensemble {
+    /// Wraps a finished fold (the branch-tree sampler's construction path).
+    pub(crate) fn from_acc(acc: Accumulator) -> Self {
+        Self { acc }
+    }
+
     /// How many shots were folded in.
     #[must_use]
     pub fn shots(&self) -> u64 {
@@ -594,7 +617,7 @@ pub struct CountStats {
 }
 
 impl CountStats {
-    fn from_fields(f: [f64; NFIELDS]) -> Self {
+    pub(crate) fn from_fields(f: [f64; NFIELDS]) -> Self {
         Self {
             x: f[0],
             z: f[1],
@@ -965,14 +988,23 @@ mod tests {
     }
 
     #[test]
-    fn zero_shots_is_an_empty_ensemble() {
+    fn zero_shot_runs_are_a_typed_error() {
+        // Regression: a zero-shot "ensemble" used to come back as a bag of
+        // silent zeros — `mean()` fabricated 0.0 and any frequency accessor
+        // was a division by zero waiting to happen. It is now a typed
+        // error, raised before any compile or thread-spawn work.
         let circuit = coin_circuit();
-        let ensemble = ShotRunner::new(0)
+        let err = ShotRunner::new(0)
             .run(&circuit, || Box::new(BasisTracker::zeros(1)))
-            .unwrap();
-        assert_eq!(ensemble.shots(), 0);
-        assert_eq!(ensemble.mean().x, 0.0);
-        assert_eq!(ensemble.variance().toffoli, 0.0);
-        assert!(ensemble.outcome_frequency(0).is_none());
+            .unwrap_err();
+        assert_eq!(err, SimError::EmptyEnsemble);
+        let err = ShotRunner::new(0)
+            .run_probed(
+                &circuit,
+                || Box::new(BasisTracker::zeros(1)),
+                |_, ex: &Executed| ex.counts.x,
+            )
+            .unwrap_err();
+        assert_eq!(err, SimError::EmptyEnsemble);
     }
 }

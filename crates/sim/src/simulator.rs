@@ -16,6 +16,36 @@ use rand::RngCore;
 use crate::error::SimError;
 use crate::exec::{self, Executed};
 
+/// The outcome of a forked measurement (see [`Simulator::measure_fork`]).
+///
+/// Forking is the primitive behind branch-tree execution
+/// ([`BranchEnsemble`](crate::BranchEnsemble)): instead of sampling one
+/// outcome, the backend produces *both* post-measurement branches so each
+/// unique measurement history is simulated exactly once.
+pub enum Fork {
+    /// The measurement is deterministic: the state is unchanged and the
+    /// backend would consume **no** randomness for it (e.g. the basis
+    /// tracker measuring a definite bit in its own basis). No branch point
+    /// exists.
+    Definite(bool),
+    /// The measurement consumes a draw: the receiver has collapsed to
+    /// the outcome-`false` branch, `one` holds the outcome-`true` branch,
+    /// and `p_one` is the Born probability of outcome 1 — exactly the
+    /// value the backend would have handed to the sampling callback, so a
+    /// per-shot run can be replayed bit-identically by drawing
+    /// `gen_bool(p_one)` at every `Split` along its path.
+    Split {
+        /// Born probability of outcome 1, as the sampling path computes it.
+        p_one: f64,
+        /// The outcome-`true` branch (renormalised post-measurement
+        /// state). `None` exactly when `p_one == 0.0`: the branch is
+        /// impossible, schedulers prune it without looking, and the
+        /// backend needn't pay an amplitude-array allocation to
+        /// materialise a state nobody can reach.
+        one: Option<Box<dyn Simulator + Send>>,
+    },
+}
+
 /// A quantum-circuit simulation backend.
 ///
 /// Object-safe: harnesses hold `Box<dyn Simulator>` and stay agnostic of
@@ -87,6 +117,30 @@ pub trait Simulator {
     ///
     /// Backend-specific reset failures.
     fn reset(&mut self, qubit: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> Result<(), SimError>;
+
+    /// Forks the state at a measurement instead of sampling it: on
+    /// `Ok(Some(Fork::Split { p_one, one }))` the receiver has become the
+    /// outcome-0 branch, `one` is the outcome-1 branch and `p_one` its
+    /// probability; `Ok(Some(Fork::Definite(b)))` reports a measurement
+    /// that is deterministic for this backend (state untouched, no
+    /// randomness would be consumed). Every branch with nonzero
+    /// probability must be **bit-identical** to what
+    /// [`measure`](Simulator::measure) would leave for the corresponding
+    /// forced outcome, so branch-tree execution can replay per-shot runs
+    /// exactly; a branch with probability exactly 0 is only guaranteed to
+    /// carry (numerically) no mass — schedulers prune it without looking.
+    ///
+    /// The default returns `Ok(None)`: the backend does not support
+    /// branch-sharing execution, and schedulers fall back to per-shot
+    /// Monte Carlo.
+    ///
+    /// # Errors
+    ///
+    /// As [`measure`](Simulator::measure), for backends that do fork.
+    fn measure_fork(&mut self, qubit: QubitId, basis: Basis) -> Result<Option<Fork>, SimError> {
+        let _ = (qubit, basis);
+        Ok(None)
+    }
 
     /// Sets qubit `q` to the computational-basis bit `value`.
     ///

@@ -8,7 +8,7 @@ use crate::error::SimError;
 use crate::exec::{self, Executed};
 use crate::kernels::{self, Par};
 use crate::pool::AmpPool;
-use crate::simulator::Simulator;
+use crate::simulator::{Fork, Simulator};
 
 /// Tolerance below which a probability is treated as exactly 0 or 1 when
 /// reading definite bits out of the state vector.
@@ -113,8 +113,10 @@ impl Clone for StateVector {
 }
 
 /// The process-wide reclamation default: on, unless the `MBU_RECLAIM`
-/// environment variable disables it (`0`, `off`, `false`, `no`). The env
-/// var flips the *construction default* only — explicit
+/// environment variable disables it (`0`, `off`, `false`, `no`), resolved
+/// through the shared [`mbu_circuit::knobs`] policy — unparsable values
+/// warn once and keep the default instead of silently counting as "on".
+/// The env var flips the *construction default* only — explicit
 /// `with_reclamation(..)` calls always win — so the CI leg that sets
 /// `MBU_RECLAIM=0` runs every test that doesn't pick an engine explicitly
 /// on the non-compacting path. Read once: `StateVector` construction sits
@@ -123,9 +125,10 @@ impl Clone for StateVector {
 fn reclaim_default() -> bool {
     static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        !matches!(
-            std::env::var("MBU_RECLAIM").ok().as_deref().map(str::trim),
-            Some("0" | "off" | "false" | "no")
+        mbu_circuit::knobs::switch(
+            "MBU_RECLAIM",
+            std::env::var("MBU_RECLAIM").ok().as_deref(),
+            true,
         )
     })
 }
@@ -147,24 +150,10 @@ fn reclaim_default() -> bool {
 ///
 /// Injected value rather than an env read here so the policy is testable
 /// without mutating process-global state (mirrors
-/// `shots::resolve_threads`).
+/// `shots::resolve_threads`); the parse-and-warn-once policy itself lives
+/// in the shared [`mbu_circuit::knobs`] resolver.
 fn resolve_amp_threads(env_value: Option<&str>) -> Option<usize> {
-    match env_value {
-        None => None,
-        Some(raw) => match raw.trim().parse::<usize>() {
-            Ok(threads) if threads >= 1 => Some(threads),
-            _ => {
-                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                WARN_ONCE.call_once(|| {
-                    eprintln!(
-                        "warning: MBU_AMP_THREADS={raw:?} is not a positive integer; \
-                         running amplitude kernels serially"
-                    );
-                });
-                Some(1)
-            }
-        },
-    }
+    mbu_circuit::knobs::positive_count("MBU_AMP_THREADS", env_value, 1, "serial amplitude kernels")
 }
 
 /// The process-wide `MBU_AMP_THREADS` pin, resolved through
@@ -838,9 +827,14 @@ impl StateVector {
         }
     }
 
-    /// Z-basis measurement: projects and renormalises.
-    fn measure_z(&mut self, q: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> bool {
-        let m = 1usize << q.index();
+    /// The Born probability that the qubit under mask `m` reads 1, clamped
+    /// into `[0, 1]`: long gate chains can push the summed mass a few ulps
+    /// past 1, and the complementary branch probability `1 − p1` then goes
+    /// negative — whose `1/sqrt` renormaliser is NaN and would silently
+    /// poison every later amplitude. The summation order (ascending index)
+    /// is part of the bit-identity contract between the sampling and
+    /// forking measurement paths.
+    fn z_prob_one_of_mask(&self, m: usize) -> f64 {
         let p1: f64 = self
             .amps
             .iter()
@@ -848,18 +842,17 @@ impl StateVector {
             .filter(|(i, _)| i & m != 0)
             .map(|(_, a)| a.norm_sqr())
             .sum();
-        // Long gate chains can push the summed mass a few ulps past 1, and
-        // the complementary branch probability `1 − p1` then goes negative
-        // — whose `1/sqrt` renormaliser is NaN and would silently poison
-        // every later amplitude. Clamp before branching on it.
-        let p1 = p1.clamp(0.0, 1.0);
-        let outcome = draw(p1);
-        let keep_mask_set = outcome;
+        p1.clamp(0.0, 1.0)
+    }
+
+    /// The renormalisation factor for projecting onto branch `outcome` of
+    /// the qubit under mask `m`, given its summed probability `p1`.
+    fn z_branch_scale(&self, m: usize, outcome: bool, p1: f64) -> f64 {
         let p = if outcome { p1 } else { 1.0 - p1 };
-        let scale = if p > 0.0 {
+        if p > 0.0 {
             1.0 / p.sqrt()
         } else {
-            // The sampled branch carries no mass by the summed probability
+            // The branch carries no mass by the summed probability
             // (possible only when the draw callback ignores its argument,
             // or when every surviving amplitude is so small its square
             // underflowed). Renormalise from the directly-computed branch
@@ -869,7 +862,7 @@ impl StateVector {
                 .amps
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| (i & m != 0) == keep_mask_set)
+                .filter(|(i, _)| (i & m != 0) == outcome)
                 .map(|(_, a)| a.norm_sqr())
                 .sum();
             if kept > 0.0 {
@@ -877,16 +870,82 @@ impl StateVector {
             } else {
                 1.0
             }
-        };
+        }
+    }
+
+    /// Z-basis measurement: projects and renormalises.
+    fn measure_z(&mut self, q: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> bool {
+        let m = 1usize << q.index();
+        let p1 = self.z_prob_one_of_mask(m);
+        let outcome = draw(p1);
+        let scale = self.z_branch_scale(m, outcome, p1);
         for (i, a) in self.amps.iter_mut().enumerate() {
-            let set = i & m != 0;
-            if set == keep_mask_set {
+            if (i & m != 0) == outcome {
                 *a = a.scale(scale);
             } else {
                 *a = Complex::ZERO;
             }
         }
         outcome
+    }
+
+    /// A forked child sharing this state's configuration but **never** its
+    /// worker pool: the child starts with `pool: None` and lazily spawns
+    /// its own on first need, exactly like [`Clone`] — the pool's one-job
+    /// protocol assumes a single `&mut` owner, so a pool shared between a
+    /// parent and a forked child running on different threads would race
+    /// its epoch/acknowledge handshake and deadlock.
+    fn child_with_amps(&self, amps: Vec<Complex>) -> Self {
+        Self {
+            num_qubits: self.num_qubits,
+            amps,
+            mode: self.mode,
+            reclaim: self.reclaim,
+            last_run_peak: None,
+            amp_threads: self.amp_threads,
+            pool: None,
+        }
+    }
+
+    /// The both-branch Z measurement behind [`Simulator::measure_fork`]:
+    /// one probability sweep plus one [`kernels::split_bit`] sweep yields
+    /// both renormalised children, each **possible** branch bit-identical
+    /// to a forced-outcome [`measure_z`](Self::measure_z) on a copy of the
+    /// parent. An impossible branch (probability exactly 0) is never
+    /// materialised — the outcome-1 side comes back as `None`, the
+    /// outcome-0 side stays in the receiver with its dead half merely
+    /// zeroed — and its kept-mass fallback sweep is skipped: every
+    /// branch-tree consumer prunes zero-probability children unseen, and
+    /// paying a full child allocation plus two extra sweeps per definite
+    /// measurement would double the traffic of a full-expansion run.
+    fn fork_z(&mut self, q: QubitId) -> Fork {
+        let m = 1usize << q.index();
+        let p1 = self.z_prob_one_of_mask(m);
+        if p1 == 0.0 {
+            // Outcome 0 is certain: its renormaliser is exactly
+            // 1/√(1−0) = 1, so `measure_z(…, false)` would scale the
+            // survivors by 1.0 (a bitwise no-op) and zero the dead half.
+            for (i, a) in self.amps.iter_mut().enumerate() {
+                if i & m != 0 {
+                    *a = Complex::ZERO;
+                }
+            }
+            return Fork::Split {
+                p_one: p1,
+                one: None,
+            };
+        }
+        let scale0 = if p1 == 1.0 {
+            1.0
+        } else {
+            self.z_branch_scale(m, false, p1)
+        };
+        let scale1 = self.z_branch_scale(m, true, p1);
+        let one_amps = kernels::split_bit(&mut self.amps, m, scale0, scale1);
+        Fork::Split {
+            p_one: p1,
+            one: Some(Box::new(self.child_with_amps(one_amps))),
+        }
     }
 }
 
@@ -1428,6 +1487,38 @@ impl Simulator for StateVector {
         }
     }
 
+    /// Both-branch measurement for the branch-tree engine: the receiver
+    /// collapses to the outcome-0 branch, the returned child holds the
+    /// outcome-1 branch. The state vector always reports a
+    /// [`Fork::Split`] — its sampling path consumes one draw per
+    /// measurement even when the outcome is certain, and the fork must
+    /// mirror that so per-shot RNG replay stays bit-identical.
+    fn measure_fork(&mut self, qubit: QubitId, basis: Basis) -> Result<Option<Fork>, SimError> {
+        if qubit.index() >= self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!("measured qubit q{}", qubit.0),
+            });
+        }
+        match basis {
+            Basis::Z => Ok(Some(self.fork_z(qubit))),
+            Basis::X => {
+                // Same H-conjugation as the sampling path, applied to each
+                // branch independently (the branches are product-separate
+                // states once split).
+                self.apply(&Gate::H(qubit))?;
+                let fork = self.fork_z(qubit);
+                self.apply(&Gate::H(qubit))?;
+                let Fork::Split { p_one, mut one } = fork else {
+                    unreachable!("fork_z always splits");
+                };
+                if let Some(one) = one.as_mut() {
+                    one.apply_gate(&Gate::H(qubit))?;
+                }
+                Ok(Some(Fork::Split { p_one, one }))
+            }
+        }
+    }
+
     fn reset(&mut self, qubit: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> Result<(), SimError> {
         if qubit.index() >= self.num_qubits {
             return Err(SimError::OutOfRange {
@@ -1917,6 +2008,90 @@ mod tests {
         // Clones share configuration but never a pool.
         let clone = sv.clone();
         assert_eq!(clone.amp_threads(), 3);
+    }
+
+    /// Drives an H sweep over qubits `1..n` and then captures the Born
+    /// probability an ensuing Z measurement of qubit 1 would draw with —
+    /// a bit-exact observable that works through `dyn Simulator`.
+    fn sweep_and_probe(sim: &mut dyn Simulator, n: usize) -> f64 {
+        for i in 1..n {
+            sim.apply_gate(&Gate::H(q(u32::try_from(i).unwrap())))
+                .unwrap();
+        }
+        let mut captured = f64::NAN;
+        sim.measure(q(1), Basis::Z, &mut |p| {
+            captured = p;
+            false
+        })
+        .unwrap();
+        captured
+    }
+
+    #[test]
+    fn forked_states_never_share_a_worker_pool_across_threads() {
+        // Audit regression for the manual `Clone` / `measure_fork` pair:
+        // the per-state worker pool runs a strict one-job handshake, so a
+        // pool shared between a parent and its forked child would race the
+        // epoch/acknowledge protocol and deadlock the moment both run on
+        // different threads. Build a state big enough to actually spawn
+        // the pool (above `PAR_MIN_AMPS`), fork it, then drive parent and
+        // child concurrently: completing at all is half the assertion, and
+        // both must reproduce a single-threaded reference bit for bit.
+        let n = 15usize;
+        let build = |lanes: usize| {
+            let mut sv = StateVector::zeros(n).unwrap().with_amp_threads(lanes);
+            sv.apply(&Gate::H(q(0))).unwrap();
+            sv.apply(&Gate::Phase(q(0), Angle::turn_over_power_of_two(3)))
+                .unwrap();
+            sv.apply(&Gate::H(q(0))).unwrap();
+            for i in 0..n - 1 {
+                let i = u32::try_from(i).unwrap();
+                sv.apply(&Gate::Cx(q(i), q(i + 1))).unwrap();
+            }
+            sv
+        };
+        let mut parallel = build(4);
+        assert!(parallel.pool.is_some(), "pool spawned above the threshold");
+        let Some(Fork::Split {
+            p_one,
+            one: Some(one),
+        }) = parallel.measure_fork(q(0), Basis::Z).unwrap()
+        else {
+            panic!("a fair coin always splits with a materialised 1-branch");
+        };
+
+        let h_child = std::thread::spawn({
+            let mut sim = one;
+            move || sweep_and_probe(sim.as_mut(), n)
+        });
+        let h_parent = std::thread::spawn(move || {
+            let p = sweep_and_probe(&mut parallel, n);
+            (p, parallel)
+        });
+        let probe_child = h_child.join().unwrap();
+        let (probe_parent, parent) = h_parent.join().unwrap();
+        assert!(parent.pool.is_some(), "parent kept (or re-spawned) a pool");
+
+        // Single-threaded reference of the same fork + sweep.
+        let mut serial = build(1);
+        let Some(Fork::Split {
+            p_one: s_p_one,
+            one: Some(mut s_child),
+        }) = serial.measure_fork(q(0), Basis::Z).unwrap()
+        else {
+            panic!("a fair coin always splits with a materialised 1-branch");
+        };
+        assert_eq!(p_one.to_bits(), s_p_one.to_bits(), "fork probability");
+        assert_eq!(
+            probe_parent.to_bits(),
+            sweep_and_probe(&mut serial, n).to_bits(),
+            "parent branch diverged from serial"
+        );
+        assert_eq!(
+            probe_child.to_bits(),
+            sweep_and_probe(s_child.as_mut(), n).to_bits(),
+            "child branch diverged from serial"
+        );
     }
 
     #[test]

@@ -405,6 +405,59 @@ fn table1_mbu_structural_deltas() {
     }
 }
 
+/// The branch-tree engine's exact mode must *reproduce* the pinned
+/// "in expectation" goldens by direct simulation: walking every
+/// measurement history once (no RNG is consumed — the API takes none) and
+/// weighting executed counts by branch probability gives exactly the
+/// analytic `expected_counts` that `table1_modular_adders_golden` pins
+/// (E[Toffoli] = 254, 223, 116 for the VBE-family architectures).
+///
+/// Gidney-style rows fork once per AND measurement — their trees are
+/// legitimately exponential and covered by the Monte-Carlo fallback — so
+/// this golden runs the single-flag architectures, on the basis tracker
+/// at the table's full n = 16 width.
+#[test]
+fn table1_expected_counts_reproduced_by_branch_tree_exact_mode() {
+    use mbu_sim::{BasisTracker, BranchEnsemble, Simulator};
+
+    let n = 16usize;
+    let p = 65521u128;
+    type SpecFn = fn(Uncompute) -> ModAddSpec;
+    let specs: [(&str, SpecFn, f64, f64); 3] = [
+        ("vbe5", ModAddSpec::vbe5, 254.0, 254.5),
+        ("vbe4", ModAddSpec::vbe4, 223.0, 206.0),
+        ("cdkpm", ModAddSpec::cdkpm, 116.0, 260.5),
+    ];
+    for (name, spec, etof, ecx) in specs {
+        let layout = modular::modadd_circuit(&spec(Uncompute::Mbu), n, p).unwrap();
+        let nq = layout.circuit.num_qubits();
+        let x = layout.x.qubits().to_vec();
+        let y = layout.y.qubits().to_vec();
+        let dist = BranchEnsemble::new(0)
+            .distribution(&layout.circuit, move || {
+                let mut sim = BasisTracker::zeros(nq);
+                sim.set_value(&x, 7);
+                sim.set_value(&y, 9);
+                Box::new(sim) as Box<dyn Simulator + Send>
+            })
+            .unwrap();
+        // One MBU flag measurement: a two-leaf tree, no pruning, weights
+        // exactly ½ — the weighted mean is a dyadic sum and matches the
+        // pinned golden with `==`, like every other expectation here.
+        assert_eq!(dist.fork_nodes(), 1, "{name}: the flag is the only fork");
+        assert_eq!(dist.num_leaves(), 2, "{name}");
+        assert_eq!(dist.pruned_mass(), 0.0, "{name}");
+        let exact = dist.mean_counts();
+        assert_eq!(exact.toffoli, etof, "{name}: exact-mode E[Toffoli]");
+        assert_eq!(exact.cx, ecx, "{name}: exact-mode E[CNOT]");
+        assert_eq!(
+            exact.toffoli,
+            layout.circuit.expected_counts().toffoli,
+            "{name}: simulation agrees with the analytic weighting"
+        );
+    }
+}
+
 #[test]
 fn beauregard_draper_golden() {
     // Prop 3.7 structure at n ∈ {4, 8}: pure QFT arithmetic — no Toffolis,
