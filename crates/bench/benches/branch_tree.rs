@@ -135,6 +135,34 @@ fn branch_tree_vs_monte_carlo(c: &mut Criterion) {
         mc_time.as_secs_f64() / branch_time.as_secs_f64().max(1e-9)
     );
 
+    // Machine-readable trajectory row, so PR-over-PR regressions in
+    // either wall time or peak memory are visible without re-reading
+    // bench logs. Peak memory is the per-shot dense footprint — the
+    // branch engine shares one trajectory, so its peak is the same
+    // state's, paid once instead of per shot.
+    let peak_amps = small_mc
+        .peak_amplitudes()
+        .expect("per-shot dense ensembles report a peak");
+    let json = format!(
+        "{{\n  \"bench\": \"branch_tree\",\n  \
+         \"workload\": \"{STAGES}-stage cdkpm-mbu modadd chain\",\n  \
+         \"units\": {{ \"wall\": \"ms\", \"memory\": \"bytes\" }},\n  \"rows\": [\n    \
+         {{ \"qubits\": {nq}, \"shots\": {SHOTS}, \"leaves\": {leaves}, \
+         \"fork_nodes\": {forks}, \"branch_wall_ms\": {branch:.3}, \
+         \"monte_carlo_wall_ms_extrapolated\": {mc:.3}, \"speedup\": {speedup:.2}, \
+         \"peak_amplitudes_per_shot\": {peak_amps}, \
+         \"peak_bytes_per_shot\": {peak_bytes} }}\n  ]\n}}\n",
+        leaves = dist.num_leaves(),
+        forks = dist.fork_nodes(),
+        branch = branch_time.as_secs_f64() * 1e3,
+        mc = mc_time.as_secs_f64() * 1e3,
+        speedup = mc_time.as_secs_f64() / branch_time.as_secs_f64().max(1e-9),
+        peak_bytes = peak_amps * 16,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_branch_tree.json");
+    std::fs::write(path, json).expect("writable BENCH_branch_tree.json");
+    eprintln!("  wrote {path}");
+
     let mut group = c.benchmark_group("branch_tree/modadd_chain");
     group.bench_function("exact_distribution", |b| {
         b.iter(|| {

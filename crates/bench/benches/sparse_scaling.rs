@@ -1,0 +1,213 @@
+//! The `sparse_scaling` group: the sparse basis-map backend on Table-1
+//! workloads from toy widths to cryptographic ones.
+//!
+//! A dense statevector spends `16 · 2^q` bytes whatever the circuit does;
+//! the paper's modular adders are permutation circuits that occupy a
+//! handful of basis states, so the sparse backend's footprint is
+//! `peak_occupied · (⌈q/64⌉·8 + 16)` bytes — constant-ish while the
+//! register width grows by orders of magnitude. This bench runs the same
+//! CDKPM MBU modular adder at n = 6 … 1024 (22 to 3076 qubits), checks
+//! the modular sum on every run, and records the wall-time/peak-memory
+//! trajectory to `BENCH_sparse.json` at the repo root so PR-over-PR
+//! regressions are visible. The n = 6 row also runs the dense engine for
+//! a direct wall-time comparison; every other width is dense-infeasible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbu_arith::modular::{self, ModAddSpec};
+use mbu_arith::Uncompute;
+use mbu_bench::benchmark_modulus;
+use mbu_circuit::{CircuitBuilder, CompiledCircuit};
+use mbu_sim::{Simulator, SparseVector, StateVector, MAX_STATEVECTOR_QUBITS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SIZES: [usize; 5] = [6, 16, 64, 256, 1024];
+const SEED: u64 = 7;
+/// Wall times are the best of this many runs — benches want the cost of
+/// the work, not of the coldest cache.
+const RUNS: u32 = 3;
+
+struct Row {
+    n: usize,
+    qubits: usize,
+    sparse_wall_ms: f64,
+    peak_occupied: u64,
+    sparse_peak_bytes: u64,
+    dense_wall_ms: Option<f64>,
+}
+
+/// Bytes per occupied sparse entry at `qubits` width: the multi-word
+/// basis key plus one complex amplitude.
+fn entry_bytes(qubits: usize) -> u64 {
+    (qubits.div_ceil(64) * 8 + 16) as u64
+}
+
+/// Runs the n-bit CDKPM MBU modadd on the sparse backend, asserts the
+/// modular sum, and returns (qubits, best wall, occupancy peak).
+fn run_sparse(n: usize) -> (usize, Duration, u64) {
+    let p = benchmark_modulus(n);
+    let (x, y) = (p - 1, p / 2 + 1);
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, p).expect("valid modadd");
+    let nq = layout.circuit.num_qubits();
+    let compiled = CompiledCircuit::compile(&layout.circuit).expect("compiles");
+
+    let mut best = Duration::MAX;
+    let mut peak = 0u64;
+    for _ in 0..RUNS {
+        let mut sp = SparseVector::zeros(nq).unwrap();
+        sp.set_value(layout.x.qubits(), x).unwrap();
+        sp.set_value(layout.y.qubits(), y).unwrap();
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let start = Instant::now();
+        black_box(sp.run_compiled(&compiled, &mut rng).unwrap());
+        best = best.min(start.elapsed());
+        peak = sp.peak_amplitudes().expect("sparse reports a peak");
+        let sum = (x + y) % p;
+        for (i, q) in layout.y.qubits().iter().enumerate() {
+            let want = i < 128 && (sum >> i) & 1 == 1;
+            assert_eq!(sp.bit(*q).unwrap(), want, "n={n}: sum bit {i}");
+        }
+    }
+    (nq, best, peak)
+}
+
+/// The dense reference at the same width, where it fits at all.
+fn run_dense(n: usize) -> Option<Duration> {
+    let p = benchmark_modulus(n);
+    let (x, y) = (p - 1, p / 2 + 1);
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let layout = modular::modadd_circuit(&spec, n, p).expect("valid modadd");
+    let nq = layout.circuit.num_qubits();
+    if nq > MAX_STATEVECTOR_QUBITS {
+        return None;
+    }
+    let compiled = CompiledCircuit::compile(&layout.circuit).expect("compiles");
+    let mut best = Duration::MAX;
+    for _ in 0..RUNS {
+        let mut sv = StateVector::zeros(nq).unwrap();
+        sv.set_value(layout.x.qubits(), x).unwrap();
+        sv.set_value(layout.y.qubits(), y).unwrap();
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let start = Instant::now();
+        black_box(sv.run_compiled(&compiled, &mut rng).unwrap());
+        best = best.min(start.elapsed());
+        assert_eq!(sv.value(layout.y.qubits()).unwrap(), (x + y) % p);
+    }
+    Some(best)
+}
+
+fn write_trajectory(rows: &[Row]) {
+    let mut json = String::from(
+        "{\n  \"bench\": \"sparse_scaling\",\n  \"workload\": \
+         \"cdkpm-mbu modadd, x = p-1, y = p/2+1, seed 7\",\n  \
+         \"units\": { \"wall\": \"ms\", \"memory\": \"bytes\" },\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        // `16 · 2^qubits` overflows anything printable past ~1020 qubits;
+        // log2 keeps the dense footprint comparable at every width.
+        let dense_log2_bytes = r.qubits + 4;
+        let dense_wall = match r.dense_wall_ms {
+            Some(ms) => format!("{ms:.3}"),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{ \"n\": {}, \"qubits\": {}, \"sparse_wall_ms\": {:.3}, \
+             \"peak_occupied\": {}, \"sparse_peak_bytes\": {}, \
+             \"dense_log2_bytes\": {}, \"dense_wall_ms\": {} }}{}",
+            r.n,
+            r.qubits,
+            r.sparse_wall_ms,
+            r.peak_occupied,
+            r.sparse_peak_bytes,
+            dense_log2_bytes,
+            dense_wall,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse.json");
+    std::fs::write(path, json).expect("writable BENCH_sparse.json");
+    eprintln!("  wrote {path}");
+}
+
+fn sparse_scaling(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for n in SIZES {
+        let (nq, wall, peak) = run_sparse(n);
+        let dense_wall_ms = run_dense(n).map(|d| d.as_secs_f64() * 1e3);
+        eprintln!(
+            "  cdkpm-mbu n={n}: {nq} qubits, sparse {wall:.0?} \
+             (peak {peak} states, {} B){}",
+            peak * entry_bytes(nq),
+            match dense_wall_ms {
+                Some(ms) => format!(", dense {ms:.1} ms"),
+                None => ", dense infeasible".to_string(),
+            }
+        );
+        rows.push(Row {
+            n,
+            qubits: nq,
+            sparse_wall_ms: wall.as_secs_f64() * 1e3,
+            peak_occupied: peak,
+            sparse_peak_bytes: peak * entry_bytes(nq),
+            dense_wall_ms,
+        });
+    }
+    write_trajectory(&rows);
+
+    // Criterion rows for the two headline widths, plus the worst-case
+    // fan-out shape: a register of H's keeps the map genuinely sparse
+    // only until measurement, so time a 16-qubit uniform superposition
+    // too — the regime where the dense engine is the right tool.
+    let mut group = c.benchmark_group("sparse_scaling");
+    for n in [64usize, 1024] {
+        group.bench_function(format!("modadd_cdkpm_mbu_{n}"), |b| {
+            let p = benchmark_modulus(n);
+            let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+            let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+            let nq = layout.circuit.num_qubits();
+            let compiled = CompiledCircuit::compile(&layout.circuit).unwrap();
+            b.iter(|| {
+                let mut sp = SparseVector::zeros(nq).unwrap();
+                sp.set_value(layout.x.qubits(), p - 1).unwrap();
+                sp.set_value(layout.y.qubits(), p / 2 + 1).unwrap();
+                let mut rng = StdRng::seed_from_u64(SEED);
+                black_box(sp.run_compiled(&compiled, &mut rng).unwrap())
+            })
+        });
+    }
+    group.bench_function("hadamard_fanout_16", |b| {
+        let mut bld = CircuitBuilder::new();
+        let q = bld.qreg("q", 16);
+        for i in 0..16 {
+            bld.h(q[i]);
+        }
+        let circuit = bld.finish();
+        let compiled = CompiledCircuit::compile(&circuit).unwrap();
+        b.iter(|| {
+            let mut sp = SparseVector::zeros(16).unwrap();
+            let mut rng = StdRng::seed_from_u64(SEED);
+            black_box(sp.run_compiled(&compiled, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = sparse_scaling
+}
+criterion_main!(benches);

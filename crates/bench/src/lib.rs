@@ -106,9 +106,12 @@ pub fn spec_for_row(row: resources::Table1Row, unc: Uncompute) -> Option<ModAddS
 
 /// A prime modulus close to `2^n − 1` for each benchmark width.
 ///
+/// Widths of 127 and beyond all share the Mersenne prime `2^127 − 1`,
+/// the widest prime that still leaves `x + y` representable in `u128`.
+///
 /// # Panics
 ///
-/// Panics for unsupported widths (the harness uses 4–64).
+/// Panics for unsupported widths (the harness uses 4–64 and ≥ 127).
 #[must_use]
 pub fn benchmark_modulus(n: usize) -> u128 {
     match n {
@@ -124,6 +127,11 @@ pub fn benchmark_modulus(n: usize) -> u128 {
         48 => 281_474_976_710_597,
         61 => (1u128 << 61) - 1,
         64 => 18_446_744_073_709_551_557,
+        // The largest prime a `u128` modulus can carry cleanly: the
+        // Mersenne prime 2^127 − 1. Serves every register width past
+        // 128 — the sparse backend runs registers of hundreds of
+        // qubits, but classical reference arithmetic stays in `u128`.
+        127.. => (1u128 << 127) - 1,
         _ => panic!("no benchmark modulus tabulated for n = {n}"),
     }
 }

@@ -121,6 +121,31 @@ pub fn positive_count(
     }
 }
 
+/// Resolves a named-choice knob (`MBU_BACKEND`): unset keeps `default`, a
+/// recognised option (case-insensitive, surrounding whitespace ignored)
+/// pins that option, and anything else warns once and keeps `default` — a
+/// typo like `MBU_BACKEND=spares` can never silently select a backend.
+///
+/// `options` lists every accepted token in canonical (lowercase) form; the
+/// returned value is always one of `options` (or `default`), so callers
+/// can match on it exhaustively.
+#[must_use]
+pub fn choice<'a>(name: &str, raw: Option<&str>, options: &[&'a str], default: &'a str) -> &'a str {
+    match raw {
+        None => default,
+        Some(raw) => {
+            let token = raw.trim().to_ascii_lowercase();
+            match options.iter().find(|opt| **opt == token) {
+                Some(opt) => opt,
+                None => {
+                    warn_invalid(name, raw, default);
+                    default
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +214,33 @@ mod tests {
         assert_eq!(positive_count("MBU_TEST_N", Some("0"), 7, "d"), Some(7));
         assert_eq!(positive_count("MBU_TEST_N", Some("-2"), 7, "d"), Some(7));
         assert_eq!(positive_count("MBU_TEST_N", Some("zero"), 7, "d"), Some(7));
+    }
+
+    #[test]
+    fn choice_matches_case_insensitively_and_falls_back() {
+        const OPTIONS: &[&str] = &["dense", "sparse", "tracker"];
+        assert_eq!(choice("MBU_TEST_CHOICE", None, OPTIONS, "dense"), "dense");
+        assert_eq!(
+            choice("MBU_TEST_CHOICE", Some("sparse"), OPTIONS, "dense"),
+            "sparse"
+        );
+        assert_eq!(
+            choice("MBU_TEST_CHOICE", Some(" TRACKER "), OPTIONS, "dense"),
+            "tracker"
+        );
+        assert_eq!(
+            choice("MBU_TEST_CHOICE", Some("Dense"), OPTIONS, "sparse"),
+            "dense"
+        );
+        assert_eq!(
+            choice("MBU_TEST_CHOICE", Some("spares"), OPTIONS, "dense"),
+            "dense",
+            "garbage keeps the default"
+        );
+        assert_eq!(
+            choice("MBU_TEST_CHOICE", Some(""), OPTIONS, "sparse"),
+            "sparse"
+        );
     }
 
     #[test]

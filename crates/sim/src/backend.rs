@@ -1,0 +1,155 @@
+//! Runtime backend selection: the `MBU_BACKEND` knob.
+//!
+//! Every harness that builds simulators through a factory — the shot
+//! engine, the branch-tree engine, benches, examples — can route
+//! construction through [`BackendKind`] so one environment variable picks
+//! the backend process-wide:
+//!
+//! * `MBU_BACKEND=dense` (default; aliases `statevector`, `sv`) — the
+//!   exact dense-amplitude [`StateVector`];
+//! * `MBU_BACKEND=sparse` — the basis-map [`SparseVector`], identical
+//!   amplitudes at a memory cost of the occupied states only;
+//! * `MBU_BACKEND=tracker` (alias `basis`) — the `O(1)`-per-gate
+//!   [`BasisTracker`], which rejects circuits that leave its fragment.
+//!
+//! Resolution goes through [`mbu_circuit::knobs::choice`]: unknown values
+//! warn once and keep the default rather than silently selecting a
+//! backend. The environment is read once per process ([`from_env`]
+//! caches), matching the other `MBU_*` knobs.
+//!
+//! [`from_env`]: BackendKind::from_env
+
+use std::sync::OnceLock;
+
+use crate::basis::BasisTracker;
+use crate::error::SimError;
+use crate::simulator::Simulator;
+use crate::sparse::SparseVector;
+use crate::statevector::StateVector;
+
+/// The simulator backends a factory can construct, selectable at runtime
+/// via `MBU_BACKEND`.
+///
+/// # Examples
+///
+/// ```
+/// use mbu_sim::BackendKind;
+///
+/// assert_eq!(BackendKind::resolve(None), BackendKind::Dense);
+/// assert_eq!(BackendKind::resolve(Some("sparse")), BackendKind::Sparse);
+/// let sim = BackendKind::Sparse.build(300).unwrap();
+/// assert_eq!(sim.num_qubits(), 300);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendKind {
+    /// The dense-amplitude [`StateVector`] (default).
+    Dense,
+    /// The sparse basis-map [`SparseVector`].
+    Sparse,
+    /// The phase-tracking [`BasisTracker`].
+    Tracker,
+}
+
+impl BackendKind {
+    /// Every token [`resolve`](Self::resolve) accepts, canonical
+    /// (lowercase) spellings.
+    const OPTIONS: &'static [&'static str] =
+        &["dense", "statevector", "sv", "sparse", "tracker", "basis"];
+
+    /// Resolves a raw `MBU_BACKEND` value: unset or unrecognised (the
+    /// latter warns once) selects [`Dense`](Self::Dense).
+    #[must_use]
+    pub fn resolve(raw: Option<&str>) -> Self {
+        match mbu_circuit::knobs::choice("MBU_BACKEND", raw, Self::OPTIONS, "dense") {
+            "sparse" => Self::Sparse,
+            "tracker" | "basis" => Self::Tracker,
+            _ => Self::Dense,
+        }
+    }
+
+    /// The process-wide `MBU_BACKEND` selection, read from the
+    /// environment once and cached (knob resolution sits inside per-shot
+    /// factories).
+    #[must_use]
+    pub fn from_env() -> Self {
+        static CHOSEN: OnceLock<BackendKind> = OnceLock::new();
+        *CHOSEN.get_or_init(|| Self::resolve(std::env::var("MBU_BACKEND").ok().as_deref()))
+    }
+
+    /// The canonical knob token for this backend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dense => "dense",
+            Self::Sparse => "sparse",
+            Self::Tracker => "tracker",
+        }
+    }
+
+    /// Builds a fresh `|0…0⟩` simulator of this kind.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TooManyQubits`] when the width exceeds the backend's
+    /// construction cap (the dense engine caps near 25 qubits, the sparse
+    /// map at [`MAX_SPARSEVECTOR_QUBITS`](crate::MAX_SPARSEVECTOR_QUBITS);
+    /// the tracker has no cap).
+    pub fn build(self, num_qubits: usize) -> Result<Box<dyn Simulator + Send>, SimError> {
+        Ok(match self {
+            Self::Dense => Box::new(StateVector::zeros(num_qubits)?),
+            Self::Sparse => Box::new(SparseVector::zeros(num_qubits)?),
+            Self::Tracker => Box::new(BasisTracker::zeros(num_qubits)),
+        })
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_covers_aliases_case_and_garbage() {
+        for (raw, expect) in [
+            (None, BackendKind::Dense),
+            (Some("dense"), BackendKind::Dense),
+            (Some("statevector"), BackendKind::Dense),
+            (Some(" SV "), BackendKind::Dense),
+            (Some("sparse"), BackendKind::Sparse),
+            (Some("Sparse"), BackendKind::Sparse),
+            (Some("tracker"), BackendKind::Tracker),
+            (Some("basis"), BackendKind::Tracker),
+            (Some("spares"), BackendKind::Dense),
+            (Some(""), BackendKind::Dense),
+        ] {
+            assert_eq!(BackendKind::resolve(raw), expect, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn build_respects_per_backend_width_caps() {
+        // The dense engine refuses what the sparse map takes in stride.
+        assert!(BackendKind::Dense.build(300).is_err());
+        assert_eq!(BackendKind::Sparse.build(300).unwrap().num_qubits(), 300);
+        assert_eq!(
+            BackendKind::Tracker.build(100_000).unwrap().num_qubits(),
+            100_000
+        );
+        assert!(matches!(
+            BackendKind::Sparse.build(crate::MAX_SPARSEVECTOR_QUBITS + 1),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn display_matches_the_knob_tokens() {
+        assert_eq!(BackendKind::Dense.to_string(), "dense");
+        assert_eq!(BackendKind::Sparse.to_string(), "sparse");
+        assert_eq!(BackendKind::Tracker.to_string(), "tracker");
+    }
+}

@@ -25,11 +25,11 @@
 //! paper's circuits never trigger this error is itself checked by the test
 //! suite.
 
-use mbu_circuit::{Angle, Basis, Circuit, Gate, QubitId};
+use mbu_circuit::{Angle, Basis, Circuit, CompiledCircuit, Gate, QubitId};
 use rand::RngCore;
 
 use crate::error::SimError;
-use crate::exec::Executed;
+use crate::exec::{self, Executed};
 use crate::simulator::{Fork, Simulator};
 
 /// Per-qubit state of the tracker.
@@ -65,13 +65,36 @@ enum Mode {
 /// sim.run(&circuit, &mut rng).unwrap();
 /// assert_eq!(sim.bit(q[1]).unwrap(), true);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct BasisTracker {
     qubits: Vec<Mode>,
     /// Global phase as a fraction of a turn: the state carries
     /// `e^{2πi·phase}`.
     phase: Angle,
+    /// How many qubits are currently in X-mode: the tracked product state
+    /// occupies `2^x_count` computational-basis states, the figure the
+    /// amplitude backends call "occupied entries". Maintained
+    /// incrementally by [`set_mode`](Self::set_mode) so occupancy stats
+    /// stay `O(1)` per gate like everything else here.
+    x_count: usize,
+    /// Occupied-state high-water mark since the last compiled-run start
+    /// (saturating at `u64::MAX` — the tracker happily holds more X-mode
+    /// qubits than any counter of states could).
+    peak: u64,
+    /// The high-water mark of the most recent compiled run, once one ran.
+    last_run_peak: Option<u64>,
 }
+
+/// Occupancy statistics are bookkeeping, not state: two trackers are equal
+/// when they hold the same per-qubit modes and global phase, whatever
+/// their high-water marks remember.
+impl PartialEq for BasisTracker {
+    fn eq(&self, other: &Self) -> bool {
+        self.qubits == other.qubits && self.phase == other.phase
+    }
+}
+
+impl Eq for BasisTracker {}
 
 impl BasisTracker {
     /// Creates `|0…0⟩` over `num_qubits` qubits.
@@ -80,7 +103,48 @@ impl BasisTracker {
         Self {
             qubits: vec![Mode::Z(false); num_qubits],
             phase: Angle::ZERO,
+            x_count: 0,
+            peak: 1,
+            last_run_peak: None,
         }
+    }
+
+    /// The number of computational-basis states the tracked product state
+    /// occupies: `2^(X-mode qubits)`, saturating at `u64::MAX`. The same
+    /// quantity the amplitude backends report as occupied entries, so all
+    /// three backends answer [`Simulator::peak_amplitudes`] in one unit.
+    #[must_use]
+    pub fn occupied(&self) -> u64 {
+        u32::try_from(self.x_count)
+            .ok()
+            .and_then(|k| 1u64.checked_shl(k))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// The occupied-state high-water mark of the most recent compiled
+    /// run, or `None` before the first one.
+    #[must_use]
+    pub fn last_run_peak_occupied(&self) -> Option<u64> {
+        self.last_run_peak
+    }
+
+    /// The single mode-write funnel: adjusts the incremental X-mode count
+    /// and the occupancy high-water mark. Every mode transition routes
+    /// through here (a plain `qubits.swap` is exempt — it moves modes
+    /// without changing the census).
+    fn set_mode(&mut self, i: usize, mode: Mode) {
+        match (self.qubits[i], mode) {
+            (Mode::Z(_), Mode::X(_)) => {
+                self.x_count += 1;
+                let occupied = self.occupied();
+                if occupied > self.peak {
+                    self.peak = occupied;
+                }
+            }
+            (Mode::X(_), Mode::Z(_)) => self.x_count -= 1,
+            _ => {}
+        }
+        self.qubits[i] = mode;
     }
 
     /// The number of qubits.
@@ -178,7 +242,7 @@ impl BasisTracker {
     /// Applies an X to `q`: flips a Z-mode bit; on X-mode, `X|−⟩ = −|−⟩`.
     fn apply_x(&mut self, q: QubitId) {
         match self.qubits[q.index()] {
-            Mode::Z(b) => self.qubits[q.index()] = Mode::Z(!b),
+            Mode::Z(b) => self.set_mode(q.index(), Mode::Z(!b)),
             Mode::X(sign) => {
                 if sign {
                     self.flip_phase();
@@ -225,7 +289,7 @@ impl BasisTracker {
                     let Mode::X(sign) = self.qubits[q.index()] else {
                         unreachable!("x_mode only holds X-mode qubits");
                     };
-                    self.qubits[q.index()] = Mode::X(!sign);
+                    self.set_mode(q.index(), Mode::X(!sign));
                     Ok(())
                 } else {
                     Err(SimError::UnsupportedEntanglement {
@@ -256,7 +320,7 @@ impl BasisTracker {
                 self.qubits[controls[0].index()],
                 self.qubits[target.index()],
             ) {
-                self.qubits[controls[0].index()] = Mode::X(sc ^ st);
+                self.set_mode(controls[0].index(), Mode::X(sc ^ st));
                 return Ok(());
             }
         }
@@ -285,10 +349,11 @@ impl BasisTracker {
             Gate::Z(q) => self.apply_phase_on(&[q], Angle::HALF_TURN, gate),
             Gate::H(q) => {
                 // H|0⟩=|+⟩, H|1⟩=|−⟩, H|+⟩=|0⟩, H|−⟩=|1⟩.
-                self.qubits[q.index()] = match self.qubits[q.index()] {
+                let mode = match self.qubits[q.index()] {
                     Mode::Z(b) => Mode::X(b),
                     Mode::X(s) => Mode::Z(s),
                 };
+                self.set_mode(q.index(), mode);
                 Ok(())
             }
             Gate::Phase(q, theta) => self.apply_phase_on(&[q], theta, gate),
@@ -321,7 +386,7 @@ impl Simulator for BasisTracker {
                 what: format!("qubit q{}", q.0),
             });
         }
-        self.qubits[q.index()] = Mode::Z(value);
+        self.set_mode(q.index(), Mode::Z(value));
         Ok(())
     }
 
@@ -358,7 +423,7 @@ impl Simulator for BasisTracker {
                 if s && outcome {
                     self.flip_phase();
                 }
-                self.qubits[i] = Mode::Z(outcome);
+                self.set_mode(i, Mode::Z(outcome));
                 Ok(outcome)
             }
             (Basis::X, Mode::Z(b)) => {
@@ -367,7 +432,7 @@ impl Simulator for BasisTracker {
                 if b && outcome {
                     self.flip_phase();
                 }
-                self.qubits[i] = Mode::X(outcome);
+                self.set_mode(i, Mode::X(outcome));
                 Ok(outcome)
             }
         }
@@ -385,7 +450,7 @@ impl Simulator for BasisTracker {
                 }
             }
         }
-        self.qubits[qubit.index()] = Mode::Z(false);
+        self.set_mode(qubit.index(), Mode::Z(false));
         Ok(())
     }
 
@@ -404,7 +469,8 @@ impl Simulator for BasisTracker {
         }
         let split = |zero: &mut Self, one_mode: Mode, flip: bool| {
             let mut one = zero.clone();
-            one.qubits[i] = one_mode;
+            one.last_run_peak = None;
+            one.set_mode(i, one_mode);
             if flip {
                 one.flip_phase();
             }
@@ -419,16 +485,46 @@ impl Simulator for BasisTracker {
             (Basis::Z, Mode::X(s)) => {
                 // (|0⟩ + (−1)^s|1⟩)/√2: outcome 1 picks up the sign.
                 let fork = split(self, Mode::Z(true), s);
-                self.qubits[i] = Mode::Z(false);
+                self.set_mode(i, Mode::Z(false));
                 Ok(Some(fork))
             }
             (Basis::X, Mode::Z(b)) => {
                 // |b⟩ = (|+⟩ + (−1)^b|−⟩)/√2: outcome |−⟩ picks up (−1)^b.
                 let fork = split(self, Mode::X(true), b);
-                self.qubits[i] = Mode::X(false);
+                self.set_mode(i, Mode::X(false));
                 Ok(Some(fork))
             }
         }
+    }
+
+    fn peak_amplitudes(&self) -> Option<u64> {
+        self.last_run_peak
+    }
+
+    /// Compiled execution with occupancy bookkeeping: the default
+    /// program-counter loop, bracketed by a high-water-mark reset and
+    /// capture so the tracker reports
+    /// [`peak_amplitudes`](Simulator::peak_amplitudes) in the same
+    /// occupied-states unit as the amplitude backends.
+    fn run_compiled(
+        &mut self,
+        compiled: &CompiledCircuit,
+        rng: &mut dyn RngCore,
+    ) -> Result<Executed, SimError> {
+        if compiled.num_qubits() > self.num_qubits() {
+            return Err(SimError::OutOfRange {
+                what: format!(
+                    "{}-qubit compiled program on {}-qubit state",
+                    compiled.num_qubits(),
+                    self.num_qubits()
+                ),
+            });
+        }
+        self.peak = self.occupied();
+        let mut executed = Executed::default();
+        exec::execute_compiled(self, compiled, rng, &mut executed)?;
+        self.last_run_peak = Some(self.peak);
+        Ok(executed)
     }
 }
 
@@ -638,8 +734,58 @@ mod tests {
             assert!(!t.bit(q(2)).unwrap(), "AND ancilla uncomputed");
             assert!(t.bit(q(0)).unwrap() && t.bit(q(1)).unwrap());
             assert!(t.global_phase().is_zero(), "seed {seed}");
-            assert_eq!(Simulator::peak_amplitudes(&t), None, "trackers opt out");
+            assert_eq!(
+                Simulator::peak_amplitudes(&t),
+                Some(2),
+                "the AND ancilla's |±⟩ excursion is the occupancy peak"
+            );
         }
+    }
+
+    #[test]
+    fn occupancy_stats_count_x_mode_qubits() {
+        let mut t = BasisTracker::zeros(300);
+        assert_eq!(t.occupied(), 1);
+        assert_eq!(Simulator::peak_amplitudes(&t), None, "no compiled run yet");
+        for i in 0..70u32 {
+            t.apply(&Gate::H(q(i))).unwrap();
+        }
+        assert_eq!(t.occupied(), u64::MAX, "2^70 saturates the counter");
+        for i in 0..70u32 {
+            t.apply(&Gate::H(q(i))).unwrap();
+        }
+        assert_eq!(t.occupied(), 1, "H is self-inverse in the census too");
+        // Every other transition keeps the census exact: measurement
+        // collapse, reset, set_bit over an X-mode qubit, swap.
+        t.apply(&Gate::H(q(0))).unwrap();
+        t.apply(&Gate::H(q(1))).unwrap();
+        t.apply(&Gate::Swap(q(1), q(2))).unwrap();
+        assert_eq!(t.occupied(), 4);
+        let mut draw = |p: f64| p >= 0.5;
+        t.measure(q(0), Basis::Z, &mut draw).unwrap();
+        assert_eq!(t.occupied(), 2);
+        t.reset(q(2), &mut draw).unwrap();
+        assert_eq!(t.occupied(), 1);
+        t.apply(&Gate::H(q(5))).unwrap();
+        t.set_bit(q(5), false);
+        assert_eq!(t.occupied(), 1);
+    }
+
+    #[test]
+    fn fork_children_inherit_an_exact_census() {
+        let mut t = BasisTracker::zeros(2);
+        t.apply(&Gate::H(q(0))).unwrap();
+        t.apply(&Gate::H(q(1))).unwrap();
+        let Some(Fork::Split { one, .. }) = t.measure_fork(q(0), Basis::Z).unwrap() else {
+            panic!("cross-basis measurement must split");
+        };
+        assert_eq!(t.occupied(), 2, "zero branch collapsed one qubit");
+        let one = one.unwrap();
+        assert_eq!(
+            one.peak_amplitudes(),
+            None,
+            "children report no stale compiled-run peak"
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::pool::AmpPool;
 /// Below this many live amplitudes a parallel sweep costs more in wake-up
 /// latency than it saves; kernels fall back to the serial path. Purely a
 /// scheduling decision — results are bit-identical either way.
-pub(crate) const PAR_MIN_AMPS: usize = 1 << 14;
+pub(crate) const PAR_MIN_AMPS: usize = 1usize << 14;
 
 /// The parallel execution context of one kernel call: `None` runs serial.
 #[derive(Clone, Copy, Default)]
@@ -514,7 +514,7 @@ pub(crate) fn fused(par: Par<'_>, amps: &mut [Complex], positions: &[usize], gat
             // hot across the whole op sequence — the fused sweep then
             // moves each amplitude through the memory hierarchy once,
             // however many gates the block holds.
-            const SUB: usize = 1 << 12;
+            const SUB: usize = 1usize << 12;
             let mut sub = 0usize;
             while sub < run {
                 let sr = (run - sub).min(SUB);
@@ -639,7 +639,7 @@ pub(crate) fn expand_bit(amps: &mut Vec<Complex>, p: usize, value: bool) {
 }
 
 /// Branch-tree kernel: the both-branch projection of a Z-basis
-/// measurement on bit `m` (a mask, `1 << q`), in **one sweep** over the
+/// measurement on bit `m` (a mask, `1u64 << q`), in **one sweep** over the
 /// parent state. The parent collapses in place to the outcome-0 branch
 /// (bit-clear amplitudes rescaled by `scale0`, bit-set zeroed) while the
 /// returned array holds the outcome-1 branch (bit-set rescaled by

@@ -1,6 +1,6 @@
 //! Simulators for adaptive quantum circuits.
 //!
-//! Two backends execute the [`mbu-circuit`](mbu_circuit) IR, including
+//! Three backends execute the [`mbu-circuit`](mbu_circuit) IR, including
 //! mid-circuit measurement and classically-controlled blocks:
 //!
 //! * [`StateVector`] — exact complex-amplitude simulation of every gate in
@@ -11,6 +11,15 @@
 //!   circuits and the *phase* correctness of measurement-based
 //!   uncomputation on superposition inputs. A full-sweep reference path
 //!   ([`KernelMode::Scan`]) is retained for differential testing.
+//! * [`SparseVector`] — exact complex-amplitude simulation over a sorted
+//!   map from occupied basis bitstrings to amplitudes, instead of a dense
+//!   `2^n` array. Permutation gates (X/CX/CCX/SWAP) are `O(occupied)` key
+//!   rewrites, diagonal gates are `O(occupied)` phase multiplies, and only
+//!   `H` fans entries out — so the paper's modular-arithmetic circuits,
+//!   whose occupied set stays tiny on basis inputs, simulate *functionally*
+//!   (amplitudes bitwise identical to the dense engine's) at the
+//!   cryptographic register sizes of Table 1 (n = 64, 256, 1024) where a
+//!   dense amplitude array cannot exist.
 //! * [`BasisTracker`] — a phase-tracking computational-basis simulator.
 //!   Each qubit is either in a definite computational state (`Z`-mode) or in
 //!   `|+⟩`/`|−⟩` (`X`-mode), with an exact dyadic global phase. All
@@ -20,7 +29,7 @@
 //!   like `n = 256` where a state vector is impossible. Operations that
 //!   would create unrepresentable entanglement return a typed error.
 //!
-//! Both backends implement the object-safe [`Simulator`] trait — one API
+//! All backends implement the object-safe [`Simulator`] trait — one API
 //! for gate execution, input preparation (`set_value`) and state readout
 //! (`value` / `bit` / `global_phase`) — and report which gates actually
 //! executed ([`Executed`]). Circuits can run interpreted
@@ -53,7 +62,9 @@
 //! each measurement ([`Simulator::measure_fork`]), walks the outcome tree
 //! once, and either returns the **exact** outcome distribution (no RNG at
 //! all) or replays the per-shot RNG streams against the tree for
-//! aggregates bit-identical to the [`ShotRunner`]'s.
+//! aggregates bit-identical to the [`ShotRunner`]'s. The backend behind
+//! any of those harnesses is selectable at runtime through the
+//! `MBU_BACKEND` knob ([`BackendKind`]).
 //!
 //! # Examples
 //!
@@ -97,6 +108,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod basis;
 mod branch;
 mod complex;
@@ -106,8 +118,10 @@ mod kernels;
 mod pool;
 mod shots;
 mod simulator;
+mod sparse;
 mod statevector;
 
+pub use backend::BackendKind;
 pub use basis::BasisTracker;
 pub use branch::{BranchDistribution, BranchEnsemble, DEFAULT_NODE_BUDGET};
 pub use complex::Complex;
@@ -115,4 +129,5 @@ pub use error::SimError;
 pub use exec::Executed;
 pub use shots::{CountStats, Ensemble, ShotRunner};
 pub use simulator::{Fork, Simulator};
+pub use sparse::{SparseVector, MAX_SPARSEVECTOR_QUBITS};
 pub use statevector::{KernelMode, StateVector, MAX_STATEVECTOR_QUBITS};

@@ -939,13 +939,25 @@ mod tests {
         assert_eq!(on.outcome_ones(1), off.outcome_ones(1));
         assert_eq!(on.mean(), off.mean());
 
+        // The other two backends report the same statistic in occupied
+        // states: q1's |±⟩ excursion is the whole working set.
         let tracker = ShotRunner::new(10)
             .run(&circuit, || Box::new(BasisTracker::zeros(2)))
             .unwrap();
         assert_eq!(
             tracker.peak_amplitudes(),
-            None,
-            "per-qubit backends opt out"
+            Some(2),
+            "tracker censuses X-mode qubits"
+        );
+        let sparse = ShotRunner::new(10)
+            .run(&circuit, || {
+                Box::new(crate::SparseVector::zeros(2).unwrap())
+            })
+            .unwrap();
+        assert_eq!(
+            sparse.peak_amplitudes(),
+            Some(2),
+            "sparse map never materialises the dead half"
         );
     }
 

@@ -187,7 +187,7 @@ pub trait Simulator {
         let mut v = 0u128;
         for (i, q) in qubits.iter().enumerate() {
             if self.bit(*q)? {
-                v |= 1 << i;
+                v |= 1u128 << i;
             }
         }
         Ok(v)

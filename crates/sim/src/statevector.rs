@@ -186,7 +186,7 @@ impl StateVector {
                 max: MAX_STATEVECTOR_QUBITS,
             });
         }
-        let mut amps = vec![Complex::ZERO; 1 << num_qubits];
+        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
         amps[0] = Complex::ONE;
         Ok(Self {
             num_qubits,
@@ -435,7 +435,7 @@ impl StateVector {
         let mut v = 0u64;
         for (i, q) in qubits.iter().enumerate() {
             if (index >> q.index()) & 1 == 1 {
-                v |= 1 << i;
+                v |= 1u64 << i;
             }
         }
         v
@@ -451,7 +451,7 @@ impl StateVector {
         for (qubits, value) in assignments {
             for (i, q) in qubits.iter().enumerate() {
                 if (value >> i) & 1 == 1 {
-                    index |= 1 << q.index();
+                    index |= 1u64 << q.index();
                 }
             }
         }
@@ -1436,7 +1436,7 @@ impl Simulator for StateVector {
         let mut v = 0u128;
         for (i, (q, p1)) in qubits.iter().zip(marginals).enumerate() {
             if Self::definite_bit(p1, *q)? {
-                v |= 1 << i;
+                v |= 1u128 << i;
             }
         }
         Ok(v)
@@ -1806,7 +1806,7 @@ mod tests {
     fn register_value_round_trip() {
         let qubits = [q(1), q(3), q(4)];
         let index = StateVector::index_with(&[(&qubits, 0b101)]);
-        assert_eq!(index, (1 << 1) | (1 << 4));
+        assert_eq!(index, (1u64 << 1) | (1u64 << 4));
         assert_eq!(StateVector::register_value(index, &qubits), 0b101);
     }
 
@@ -1880,7 +1880,7 @@ mod tests {
         off.run_compiled(&compiled, &mut rng).unwrap();
         let peak_off = off.last_run_peak_amplitudes().unwrap();
 
-        assert_eq!(peak_off, 1 << 4, "non-reclaiming engine holds 2^n");
+        assert_eq!(peak_off, 1usize << 4, "non-reclaiming engine holds 2^n");
         assert!(
             peak_on * 2 <= peak_off,
             "q2 dropped before q3 materialises: peak {peak_on} vs {peak_off}"
@@ -1935,7 +1935,7 @@ mod tests {
         let ex = sv.run_compiled(&compiled, &mut rng).unwrap();
         assert!(!ex.outcome(0).unwrap());
         assert_eq!(sv.as_basis(1e-12).unwrap().0, 0b1000, "X flipped q0");
-        assert_eq!(sv.amplitudes().len(), 1 << 4);
+        assert_eq!(sv.amplitudes().len(), 1usize << 4);
     }
 
     #[test]

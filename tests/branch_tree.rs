@@ -277,8 +277,7 @@ fn tracker_chains_run_exact_tables_at_full_width() {
 #[test]
 fn sampled_tracker_chains_match_shot_runner_bitwise() {
     // Two-stage chain on the tracker: sampled branch trees and per-shot
-    // execution must agree as full `Ensemble`s (peak stats are `None` for
-    // the tracker in both engines, so plain equality applies).
+    // execution must agree classically, bit for bit.
     let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
     let chain = modular::modadd_chain_circuit(&spec, 4, 13, 2).unwrap();
     let nq = chain.circuit.num_qubits();
@@ -307,6 +306,15 @@ fn sampled_tracker_chains_match_shot_runner_bitwise() {
                 Box::new(sim)
             })
             .unwrap();
-        assert_eq!(branch, per_shot, "seed {seed}");
+        assert_eq!(
+            classical_view(&branch),
+            classical_view(&per_shot),
+            "seed {seed}"
+        );
+        // Peak occupancy is the one asymmetry: the shot engine censuses
+        // each shot (an MBU garbage qubit is in |±⟩ at the high-water
+        // mark), the shared-trajectory tree has no per-shot state.
+        assert_eq!(branch.peak_amplitudes(), None, "seed {seed}");
+        assert_eq!(per_shot.peak_amplitudes(), Some(2), "seed {seed}");
     }
 }
