@@ -29,8 +29,8 @@ fn mbu_on_off(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(row.label(), tag), &layout, |b, layout| {
                 b.iter(|| {
                     let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                    sim.set_value(layout.x.qubits(), p - 2);
-                    sim.set_value(layout.y.qubits(), p / 3);
+                    sim.set_value(layout.x.qubits(), p - 2).unwrap();
+                    sim.set_value(layout.y.qubits(), p / 3).unwrap();
                     seed = seed.wrapping_add(1);
                     let mut rng = StdRng::seed_from_u64(seed);
                     black_box(sim.run(&layout.circuit, &mut rng).unwrap())
@@ -89,9 +89,9 @@ fn two_sided_comparison(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(tag), &layout, |b, layout| {
             b.iter(|| {
                 let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                sim.set_value(layout.x.qubits(), 1_000_000);
-                sim.set_value(layout.y.qubits(), 500);
-                sim.set_value(layout.z.qubits(), 2_000_000_000);
+                sim.set_value(layout.x.qubits(), 1_000_000).unwrap();
+                sim.set_value(layout.y.qubits(), 500).unwrap();
+                sim.set_value(layout.z.qubits(), 2_000_000_000).unwrap();
                 seed = seed.wrapping_add(1);
                 let mut rng = StdRng::seed_from_u64(seed);
                 black_box(sim.run(&layout.circuit, &mut rng).unwrap())

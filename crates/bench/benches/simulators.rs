@@ -24,8 +24,8 @@ fn tracker_vs_statevector(c: &mut Criterion) {
     group.bench_function("basis_tracker", |b| {
         b.iter(|| {
             let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-            sim.set_value(layout.x.qubits(), p - 1);
-            sim.set_value(layout.y.qubits(), p - 2);
+            sim.set_value(layout.x.qubits(), p - 1).unwrap();
+            sim.set_value(layout.y.qubits(), p - 2).unwrap();
             seed = seed.wrapping_add(1);
             let mut rng = StdRng::seed_from_u64(seed);
             black_box(sim.run(&layout.circuit, &mut rng).unwrap())
@@ -59,8 +59,8 @@ fn tracker_width_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &layout, |b, layout| {
             b.iter(|| {
                 let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                sim.set_value(layout.x.qubits(), p - 1);
-                sim.set_value(layout.y.qubits(), 1);
+                sim.set_value(layout.x.qubits(), p - 1).unwrap();
+                sim.set_value(layout.y.qubits(), 1).unwrap();
                 seed = seed.wrapping_add(1);
                 let mut rng = StdRng::seed_from_u64(seed);
                 black_box(sim.run(&layout.circuit, &mut rng).unwrap())
@@ -153,8 +153,8 @@ fn shot_runner_ensembles(c: &mut Criterion) {
                         .with_threads(workers)
                         .run(&layout.circuit, || {
                             let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                            sim.set_value(layout.x.qubits(), p - 1);
-                            sim.set_value(layout.y.qubits(), p - 2);
+                            sim.set_value(layout.x.qubits(), p - 1).unwrap();
+                            sim.set_value(layout.y.qubits(), p - 2).unwrap();
                             Box::new(sim)
                         })
                         .unwrap();

@@ -129,10 +129,11 @@ fn write_trajectory(rows: &[Row]) {
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]\n}");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse.json");
-    std::fs::write(path, json).expect("writable BENCH_sparse.json");
-    eprintln!("  wrote {path}");
+    mbu_bench::trajectory::append_run(std::path::Path::new(path), &json)
+        .expect("writable BENCH_sparse.json");
+    eprintln!("  appended run to {path}");
 }
 
 fn sparse_scaling(c: &mut Criterion) {

@@ -50,8 +50,8 @@ fn simulation(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(row.label(), tag), &layout, |b, layout| {
                 b.iter(|| {
                     let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                    sim.set_value(layout.x.qubits(), (p - 1) % p);
-                    sim.set_value(layout.y.qubits(), (p / 2) % p);
+                    sim.set_value(layout.x.qubits(), (p - 1) % p).unwrap();
+                    sim.set_value(layout.y.qubits(), (p / 2) % p).unwrap();
                     seed = seed.wrapping_add(1);
                     let mut rng = StdRng::seed_from_u64(seed);
                     black_box(sim.run(&layout.circuit, &mut rng).unwrap())

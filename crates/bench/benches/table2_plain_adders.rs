@@ -38,8 +38,8 @@ fn simulation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(kind), &adder, |b, adder| {
             b.iter(|| {
                 let mut sim = BasisTracker::zeros(adder.circuit.num_qubits());
-                sim.set_value(adder.x.qubits(), x % (1 << n));
-                sim.set_value(adder.y.qubits(), y);
+                sim.set_value(adder.x.qubits(), x % (1 << n)).unwrap();
+                sim.set_value(adder.y.qubits(), y).unwrap();
                 seed = seed.wrapping_add(1);
                 let mut rng = StdRng::seed_from_u64(seed);
                 black_box(sim.run(&adder.circuit, &mut rng).unwrap())

@@ -33,9 +33,9 @@ fn simulation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(kind), &ca, |b, ca| {
             b.iter(|| {
                 let mut sim = BasisTracker::zeros(ca.circuit.num_qubits());
-                sim.set_bit(ca.control, true);
-                sim.set_value(ca.x.qubits(), 0xFFFF_FFFF);
-                sim.set_value(ca.y.qubits(), 0xF0F0_F0F0);
+                sim.set_bit(ca.control, true).unwrap();
+                sim.set_value(ca.x.qubits(), 0xFFFF_FFFF).unwrap();
+                sim.set_value(ca.y.qubits(), 0xF0F0_F0F0).unwrap();
                 seed = seed.wrapping_add(1);
                 let mut rng = StdRng::seed_from_u64(seed);
                 black_box(sim.run(&ca.circuit, &mut rng).unwrap())

@@ -40,7 +40,7 @@ fn hamming_weight_sweep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(tag), &ca, |b, ca| {
             b.iter(|| {
                 let mut sim = BasisTracker::zeros(ca.circuit.num_qubits());
-                sim.set_value(ca.y.qubits(), 0x0F0F_0F0F);
+                sim.set_value(ca.y.qubits(), 0x0F0F_0F0F).unwrap();
                 seed = seed.wrapping_add(1);
                 let mut rng = StdRng::seed_from_u64(seed);
                 black_box(sim.run(&ca.circuit, &mut rng).unwrap())

@@ -39,8 +39,8 @@ fn simulation_both_branches(c: &mut Criterion) {
                 |b, (ca, ctrl)| {
                     b.iter(|| {
                         let mut sim = BasisTracker::zeros(ca.circuit.num_qubits());
-                        sim.set_bit(ca.control, *ctrl);
-                        sim.set_value(ca.y.qubits(), 0x0BAD_F00D);
+                        sim.set_bit(ca.control, *ctrl).unwrap();
+                        sim.set_value(ca.y.qubits(), 0x0BAD_F00D).unwrap();
                         seed = seed.wrapping_add(1);
                         let mut rng = StdRng::seed_from_u64(seed);
                         black_box(sim.run(&ca.circuit, &mut rng).unwrap())

@@ -33,8 +33,8 @@ fn simulation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(kind), &cmp, |b, cmp| {
             b.iter(|| {
                 let mut sim = BasisTracker::zeros(cmp.circuit.num_qubits());
-                sim.set_value(cmp.x.qubits(), 0xF0F0_F0F0);
-                sim.set_value(cmp.y.qubits(), 0x0F0F_0F0F);
+                sim.set_value(cmp.x.qubits(), 0xF0F0_F0F0).unwrap();
+                sim.set_value(cmp.y.qubits(), 0x0F0F_0F0F).unwrap();
                 seed = seed.wrapping_add(1);
                 let mut rng = StdRng::seed_from_u64(seed);
                 black_box(sim.run(&cmp.circuit, &mut rng).unwrap())

@@ -11,6 +11,8 @@
 //!   [`ShotRunner`] ensemble, which validates the analytic expectation
 //!   empirically (and in parallel).
 
+pub mod trajectory;
+
 use mbu_arith::modular::ModAddSpec;
 use mbu_arith::{modular, resources, Uncompute};
 use mbu_circuit::{Circuit, QubitId};
@@ -50,7 +52,8 @@ pub fn monte_carlo_ensemble(
         .run(circuit, || {
             let mut sim = BasisTracker::zeros(circuit.num_qubits());
             for (reg, v) in inputs {
-                sim.set_value(reg, *v);
+                sim.set_value(reg, *v)
+                    .expect("benchmark registers lie inside the circuit width");
             }
             Box::new(sim)
         })

@@ -1,0 +1,211 @@
+//! Append-only bench trajectories: `BENCH_*.json` as a history, not a
+//! snapshot.
+//!
+//! The scaling benches record machine-readable results at the repo root
+//! so PR-over-PR regressions are visible without re-reading bench logs.
+//! Originally each run *overwrote* the file, which destroyed exactly the
+//! trajectory the files exist to show. This module turns every
+//! `BENCH_*.json` into a JSON **array** of run entries, each stamped with
+//! the git commit and a UTC timestamp:
+//!
+//! ```json
+//! [
+//! { "sha": "edf9d33", "unix_time": 1754700000, "utc": "2026-08-09T01:20:00Z",
+//!   "bench": "sparse_scaling", "workload": "…", "units": { … }, "rows": [ … ] },
+//! { "sha": "1a2b3c4", …next run… }
+//! ]
+//! ```
+//!
+//! A pre-existing single-object file (the legacy overwrite format) is
+//! migrated in place on the first append: the old object becomes the
+//! array's first element, tagged `"sha": "pre-trajectory"` since the
+//! commit that produced it is unknowable after the fact.
+//!
+//! Everything here is plain string splicing — the workspace is
+//! dependency-free by design, so there is no JSON parser to lean on. The
+//! splice only relies on the file's first non-whitespace byte (`[` vs
+//! `{`) and its final closing bracket, both of which this module itself
+//! wrote.
+
+use std::io;
+use std::path::Path;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Appends one run entry to the trajectory at `path`.
+///
+/// `body` is the run's JSON object *without* provenance — the same
+/// `{ "bench": …, "workload": …, "units": …, "rows": [ … ] }` shape the
+/// benches always produced. The entry is stamped with the current git
+/// short SHA and UTC time, then spliced into the file's array (creating
+/// or migrating the file as needed).
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading or writing `path`.
+pub fn append_run(path: &Path, body: &str) -> io::Result<()> {
+    let (unix, utc) = utc_now();
+    append_run_at(path, body, &git_short_sha(), unix, &utc)
+}
+
+/// [`append_run`] with explicit provenance, the seam the unit tests use.
+fn append_run_at(path: &Path, body: &str, sha: &str, unix: u64, utc: &str) -> io::Result<()> {
+    let entry = stamp(body, sha, unix, utc);
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, spliced(&existing, &entry))
+}
+
+/// Inserts the provenance keys right after `body`'s opening brace.
+fn stamp(body: &str, sha: &str, unix: u64, utc: &str) -> String {
+    let body = body.trim();
+    let rest = body
+        .strip_prefix('{')
+        .expect("run entries are JSON objects");
+    format!("{{ \"sha\": \"{sha}\", \"unix_time\": {unix}, \"utc\": \"{utc}\",{rest}")
+}
+
+/// The new file contents: `entry` appended to whatever trajectory (or
+/// legacy single run, or nothing) `existing` holds.
+fn spliced(existing: &str, entry: &str) -> String {
+    let trimmed = existing.trim();
+    if trimmed.is_empty() {
+        return format!("[\n{entry}\n]\n");
+    }
+    if trimmed.starts_with('[') {
+        let array_body = trimmed
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .map(str::trim)
+            .unwrap_or("");
+        if array_body.is_empty() {
+            return format!("[\n{entry}\n]\n");
+        }
+        return format!("[\n{array_body},\n{entry}\n]\n");
+    }
+    // Legacy overwrite-format file: one bare run object, provenance
+    // unknown. Keep it as the trajectory's first point.
+    let legacy = stamp(trimmed, "pre-trajectory", 0, "unknown");
+    format!("[\n{legacy},\n{entry}\n]\n")
+}
+
+/// The short SHA of `HEAD`, or `"unknown"` outside a usable git checkout
+/// (benches must record a trajectory point regardless).
+fn git_short_sha() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Current wall time as (unix seconds, `YYYY-MM-DDThh:mm:ssZ`).
+fn utc_now() -> (u64, String) {
+    let unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (unix, format_utc(unix))
+}
+
+/// Renders unix seconds as an ISO-8601 UTC timestamp, via the classic
+/// civil-from-days calendar conversion (Howard Hinnant's algorithm).
+fn format_utc(unix: u64) -> String {
+    let days = unix / 86_400;
+    let secs = unix % 86_400;
+    // Shift the epoch from 1970-01-01 to 0000-03-01 so leap days land at
+    // the end of the year and the month lookup is branch-free.
+    let z = days + 719_468;
+    let era = z / 146_097;
+    let doe = z % 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        secs / 3600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BODY: &str = "{ \"bench\": \"b\", \"rows\": [ { \"n\": 1 } ] }";
+
+    #[test]
+    fn stamp_injects_provenance_first() {
+        let s = stamp(BODY, "abc1234", 42, "1970-01-01T00:00:42Z");
+        assert!(
+            s.starts_with(
+                "{ \"sha\": \"abc1234\", \"unix_time\": 42, \"utc\": \"1970-01-01T00:00:42Z\","
+            ),
+            "{s}"
+        );
+        assert!(s.ends_with("\"rows\": [ { \"n\": 1 } ] }"), "{s}");
+    }
+
+    #[test]
+    fn empty_or_missing_file_becomes_singleton_array() {
+        assert_eq!(spliced("", "{ \"a\": 1 }"), "[\n{ \"a\": 1 }\n]\n");
+        assert_eq!(spliced("  \n", "{ \"a\": 1 }"), "[\n{ \"a\": 1 }\n]\n");
+        assert_eq!(spliced("[\n]\n", "{ \"a\": 1 }"), "[\n{ \"a\": 1 }\n]\n");
+    }
+
+    #[test]
+    fn arrays_grow_in_place() {
+        let once = spliced("", "{ \"a\": 1 }");
+        let twice = spliced(&once, "{ \"a\": 2 }");
+        assert_eq!(twice, "[\n{ \"a\": 1 },\n{ \"a\": 2 }\n]\n");
+        let thrice = spliced(&twice, "{ \"a\": 3 }");
+        assert_eq!(thrice, "[\n{ \"a\": 1 },\n{ \"a\": 2 },\n{ \"a\": 3 }\n]\n");
+    }
+
+    #[test]
+    fn legacy_single_object_is_migrated_and_tagged() {
+        let legacy = "{\n  \"bench\": \"old\",\n  \"rows\": []\n}\n";
+        let grown = spliced(legacy, "{ \"a\": 1 }");
+        assert!(
+            grown.starts_with("[\n{ \"sha\": \"pre-trajectory\","),
+            "{grown}"
+        );
+        assert!(grown.contains("\"bench\": \"old\""), "{grown}");
+        assert!(grown.trim_end().ends_with("{ \"a\": 1 }\n]"), "{grown}");
+    }
+
+    #[test]
+    fn utc_formatting_matches_known_instants() {
+        assert_eq!(format_utc(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29 (leap day) 12:34:56 UTC.
+        assert_eq!(format_utc(951_827_696), "2000-02-29T12:34:56Z");
+        // 2026-08-09 00:00:00 UTC.
+        assert_eq!(format_utc(1_786_233_600), "2026-08-09T00:00:00Z");
+    }
+
+    #[test]
+    fn append_run_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("mbu-trajectory-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_roundtrip.json");
+        let _ = std::fs::remove_file(&path);
+        append_run_at(&path, BODY, "aaa", 1, "1970-01-01T00:00:01Z").unwrap();
+        append_run_at(&path, BODY, "bbb", 2, "1970-01-01T00:00:02Z").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(text.starts_with("[\n{ \"sha\": \"aaa\""), "{text}");
+        assert!(text.contains("{ \"sha\": \"bbb\""), "{text}");
+        assert_eq!(text.matches("\"bench\": \"b\"").count(), 2);
+    }
+}

@@ -141,13 +141,14 @@ pub enum Instr {
     /// compacting executors must be observationally invisible — identical
     /// outcomes, RNG consumption, executed counts and final state.
     Drop(QubitId),
-    /// Apply the dense `2^k × 2^k` unitary stored at this index of the
-    /// program's fused-unitary table
-    /// ([`CompiledCircuit::fused_unitaries`]): a run of adjacent gates
-    /// whose combined support fits in `k ≤` [`MAX_FUSED_QUBITS`] qubits,
-    /// merged by the gate-fusion pass so an amplitude backend applies the
-    /// whole run in a **single sweep** over the state instead of one sweep
-    /// per gate.
+    /// Apply the fused block stored at this index of the program's
+    /// fused-unitary table ([`CompiledCircuit::fused_unitaries`]): a run
+    /// of adjacent gates merged by the gate-fusion pass so an amplitude
+    /// backend applies the whole run in a **single sweep** over the state
+    /// instead of one sweep per gate. Dense blocks span `k ≤`
+    /// [`MAX_FUSED_QUBITS`] qubits (a `2^k × 2^k` unitary); permutation
+    /// blocks ([`FusedUnitary::is_permutation`]) carry no arithmetic and
+    /// may span up to [`MAX_PERM_FUSED_QUBITS`] qubits.
     ///
     /// Executors without a dense kernel replay the block's constituent
     /// gates one by one ([`FusedUnitary::global_gates`]); either way the
@@ -159,7 +160,16 @@ pub enum Instr {
 
 /// Upper bound on the arity of a fused unitary block (`2^4 × 2^4` dense
 /// matrices at most); [`PassConfig::fuse_max_qubits`] is clamped to this.
+/// Permutation-only blocks (see [`FusedUnitary::is_permutation`]) are
+/// exempt — they need no dense matrix and may span up to
+/// [`MAX_PERM_FUSED_QUBITS`] qubits.
 pub const MAX_FUSED_QUBITS: usize = 4;
+
+/// Upper bound on the support of a fused *permutation* block. Executors
+/// apply such blocks through a `2^k`-entry index-remap table, so the cap
+/// bounds table memory (`2^16` entries) and per-execution build time, not
+/// a dense matrix dimension.
+pub const MAX_PERM_FUSED_QUBITS: usize = 16;
 
 /// The default fusion window, overridable through the `MBU_FUSION`
 /// environment variable (see [`PassConfig::default`]).
@@ -229,9 +239,28 @@ impl FusedUnitary {
             .map(move |g| g.map_qubits(|lq| self.qubits[lq.index()]))
     }
 
+    /// Whether every constituent gate is a classical basis-state
+    /// permutation ([`Gate::is_permutation`]).
+    ///
+    /// Such a block's unitary is a `0/1` permutation matrix: it only
+    /// *moves* amplitudes, so executors may apply the composed index map
+    /// in one sweep and still reproduce gate-by-gate execution bit for
+    /// bit. Blocks of this kind may span up to [`MAX_PERM_FUSED_QUBITS`]
+    /// qubits instead of [`MAX_FUSED_QUBITS`].
+    #[must_use]
+    pub fn is_permutation(&self) -> bool {
+        self.gates.iter().all(Gate::is_permutation)
+    }
+
     /// The dense `2^k × 2^k` unitary, row-major (`m[r * 2^k + c]` is
     /// `⟨r|U|c⟩` as `[re, im]`), computed as the ordered product of the
     /// constituent gates.
+    ///
+    /// Inspection/verification aid for *small* blocks: the matrix has
+    /// `4^k` entries, so calling this on a wide permutation block (up to
+    /// [`MAX_PERM_FUSED_QUBITS`] qubits) is prohibitively large — use
+    /// [`FusedUnitary::gates`] or the executors' index-map application
+    /// instead.
     #[must_use]
     pub fn matrix(&self) -> Vec<[f64; 2]> {
         let dim = 1usize << self.num_qubits();
@@ -1001,8 +1030,8 @@ fn fusion_weight(g: &Gate) -> u32 {
     }
 }
 
-/// Minimum summed [`fusion_weight`] for a block to be emitted: a fused
-/// block costs one full read+write pass over the array (plus small
+/// Minimum summed [`fusion_weight`] for a dense block to be emitted: a
+/// fused block costs one full read+write pass over the array (plus small
 /// per-group overhead), so fusing only pays when the gates it replaces
 /// would have cost measurably more — 12 eighths = 1.5 passes. Below the
 /// bar the gates stay plain (individual subspace sweeps are cheap and
@@ -1010,32 +1039,28 @@ fn fusion_weight(g: &Gate) -> u32 {
 /// Bell/MBU-correction shape fuses.
 const FUSE_MIN_WEIGHT: u32 = 12;
 
-/// The gate-fusion pass: greedily merges maximal runs of adjacent gates
-/// whose combined support fits in `max_qubits ≤ `[`MAX_FUSED_QUBITS`]
-/// qubits into [`Instr::Fused`] blocks (recorded in the returned table),
-/// so an amplitude backend applies the whole run in one sweep.
-///
-/// Like the peephole window, fusion never crosses a barrier (measurement,
-/// reset, drop, branch or branch join), and it never reorders gates —
-/// only contiguous runs merge, so the block's product unitary is exactly
-/// the program's. Blocks that would not save array traffic (summed
-/// [`fusion_weight`] below [`FUSE_MIN_WEIGHT`]) are left unfused; light
-/// gates (diagonals, `X`) ride along inside emitted blocks for free.
-fn fuse_gates(
-    instrs: Vec<Instr>,
-    max_qubits: usize,
-    stats: &mut PassStats,
-) -> (Vec<Instr>, Vec<FusedUnitary>) {
-    let window = max_qubits.min(MAX_FUSED_QUBITS);
-    let mut barrier = vec![false; instrs.len() + 1];
-    for (pc, instr) in instrs.iter().enumerate() {
-        if let Instr::BranchUnless { skip, .. } = instr {
-            barrier[pc + 1 + *skip as usize] = true;
-        }
-    }
+/// Minimum summed [`fusion_weight`] for a *permutation* block: applying
+/// the composed index map costs about one sequential write pass plus one
+/// gathered read pass (≈ 2 full passes, 16 eighths) plus the remap-table
+/// build, so the bar sits at 3 passes — a CDKPM `MAJ` ladder of three
+/// `MAJ` cells (weight 30) clears it comfortably, a lone `MAJ` (weight
+/// 10) stays unfused.
+const PERM_FUSE_MIN_WEIGHT: u32 = 24;
 
-    let mut slots: Vec<Option<Instr>> = instrs.into_iter().map(Some).collect();
-    let mut table: Vec<FusedUnitary> = Vec::new();
+/// One greedy fusion sweep over `slots`: merges maximal runs of adjacent
+/// gates accepted by `admit` whose combined support fits in `window`
+/// qubits into [`Instr::Fused`] blocks appended to `table`. Runs never
+/// cross a `barrier[pc]`, a non-gate slot, or a gate `admit` rejects;
+/// blocks below `min_weight` (summed [`fusion_weight`]) are left plain.
+fn greedy_fuse(
+    slots: &mut [Option<Instr>],
+    barrier: &[bool],
+    table: &mut Vec<FusedUnitary>,
+    stats: &mut PassStats,
+    window: usize,
+    min_weight: u32,
+    admit: impl Fn(&Gate) -> bool,
+) {
     // The open block: member slot indices and their combined support.
     let mut block: Vec<usize> = Vec::new();
     let mut support: Vec<QubitId> = Vec::new();
@@ -1046,13 +1071,14 @@ fn fuse_gates(
         block: &mut Vec<usize>,
         support: &mut Vec<QubitId>,
         stats: &mut PassStats,
+        min_weight: u32,
     ) {
         let gate_at = |i: usize| match slots[i] {
             Some(Instr::Gate(g)) => g,
             _ => unreachable!("fusion blocks hold gate slots"),
         };
         let weight: u32 = block.iter().map(|&i| fusion_weight(&gate_at(i))).sum();
-        if block.len() >= 2 && weight >= FUSE_MIN_WEIGHT {
+        if block.len() >= 2 && weight >= min_weight {
             let gates: Vec<Gate> = block.iter().map(|&i| gate_at(i)).collect();
             support.sort_unstable();
             let idx = u32::try_from(table.len()).expect("fused table fits u32 indices");
@@ -1070,10 +1096,10 @@ fn fuse_gates(
 
     for pc in 0..slots.len() {
         if barrier[pc] {
-            flush(&mut slots, &mut table, &mut block, &mut support, stats);
+            flush(slots, table, &mut block, &mut support, stats, min_weight);
         }
         match slots[pc] {
-            Some(Instr::Gate(g)) => {
+            Some(Instr::Gate(g)) if admit(&g) => {
                 let mut union = support.clone();
                 g.for_each_qubit(&mut |q| {
                     if !union.contains(&q) {
@@ -1084,7 +1110,7 @@ fn fuse_gates(
                     support = union;
                     block.push(pc);
                 } else {
-                    flush(&mut slots, &mut table, &mut block, &mut support, stats);
+                    flush(slots, table, &mut block, &mut support, stats, min_weight);
                     g.for_each_qubit(&mut |q| {
                         if !support.contains(&q) {
                             support.push(q);
@@ -1098,10 +1124,64 @@ fn fuse_gates(
                     }
                 }
             }
-            _ => flush(&mut slots, &mut table, &mut block, &mut support, stats),
+            _ => flush(slots, table, &mut block, &mut support, stats, min_weight),
         }
     }
-    flush(&mut slots, &mut table, &mut block, &mut support, stats);
+    flush(slots, table, &mut block, &mut support, stats, min_weight);
+}
+
+/// The gate-fusion pass, two greedy stages over the same stream:
+///
+/// 1. **Permutation runs** — maximal runs of adjacent basis-permutation
+///    gates ([`Gate::is_permutation`]: `X`, `CX`, `CCX`, `SWAP`) whose
+///    combined support fits in [`MAX_PERM_FUSED_QUBITS`] qubits. Adder
+///    ladders (`MAJ`/`UMA` cells) are exactly this shape, and the block's
+///    composed action is a reversible index map executors apply in a
+///    single sweep with zero arithmetic — so the support cap is a table
+///    size, not a dense-matrix arity.
+/// 2. **Dense windows** — the remaining runs of adjacent gates (any
+///    family) whose support fits in `max_qubits ≤` [`MAX_FUSED_QUBITS`]
+///    qubits, applied by backends as gathered local `2^k` groups.
+///
+/// Like the peephole window, fusion never crosses a barrier (measurement,
+/// reset, drop, branch or branch join), and it never reorders gates —
+/// only contiguous runs merge, so each block's product unitary is exactly
+/// the program's. Blocks that would not save array traffic (summed
+/// [`fusion_weight`] below [`PERM_FUSE_MIN_WEIGHT`] /
+/// [`FUSE_MIN_WEIGHT`]) are left unfused; light gates (diagonals in dense
+/// blocks, `X` in either) ride along inside emitted blocks for free.
+fn fuse_gates(
+    instrs: Vec<Instr>,
+    max_qubits: usize,
+    stats: &mut PassStats,
+) -> (Vec<Instr>, Vec<FusedUnitary>) {
+    let mut barrier = vec![false; instrs.len() + 1];
+    for (pc, instr) in instrs.iter().enumerate() {
+        if let Instr::BranchUnless { skip, .. } = instr {
+            barrier[pc + 1 + *skip as usize] = true;
+        }
+    }
+
+    let mut slots: Vec<Option<Instr>> = instrs.into_iter().map(Some).collect();
+    let mut table: Vec<FusedUnitary> = Vec::new();
+    greedy_fuse(
+        &mut slots,
+        &barrier,
+        &mut table,
+        stats,
+        MAX_PERM_FUSED_QUBITS,
+        PERM_FUSE_MIN_WEIGHT,
+        Gate::is_permutation,
+    );
+    greedy_fuse(
+        &mut slots,
+        &barrier,
+        &mut table,
+        stats,
+        max_qubits.min(MAX_FUSED_QUBITS),
+        FUSE_MIN_WEIGHT,
+        |_| true,
+    );
 
     (compact_slots(&slots), table)
 }
@@ -1782,6 +1862,80 @@ mod tests {
         for fu in compiled.fused_unitaries() {
             assert!(fu.num_qubits() <= MAX_FUSED_QUBITS, "{}", fu.num_qubits());
         }
+    }
+
+    #[test]
+    fn permutation_runs_fuse_beyond_the_dense_window() {
+        // A CX ladder across 8 qubits: weight 7 x 4 = 28 clears the
+        // permutation bar, and the 8-qubit support exceeds the dense
+        // arity cap -- only the permutation stage can merge it.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 8);
+        for i in 0..7 {
+            b.cx(r[i], r[i + 1]);
+        }
+        let source = b.finish();
+        let compiled = CompiledCircuit::with_config(&source, &fused_config()).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 1, "{compiled}");
+        assert_eq!(compiled.stats().fused_gates, 7);
+        assert_eq!(compiled.instrs().len(), 1);
+        let fu = &compiled.fused_unitaries()[0];
+        assert!(fu.is_permutation());
+        assert_eq!(fu.num_qubits(), 8);
+        assert!(fu.num_qubits() > MAX_FUSED_QUBITS);
+        // Constituents round-trip in order with global operands.
+        let globals: Vec<Gate> = fu.global_gates().collect();
+        let original: Vec<Gate> = source
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Gate(g) => Some(*g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(globals, original);
+        // Worst-case counts are untouched by fusion.
+        assert_eq!(compiled.counts(), source.counts());
+    }
+
+    #[test]
+    fn light_permutation_runs_stay_plain() {
+        // Five CX over six qubits: weight 20 is under the permutation bar
+        // (24), and no 3-qubit dense window reaches the dense bar (12), so
+        // the stream stays gate-by-gate.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 6);
+        for i in 0..5 {
+            b.cx(r[i], r[i + 1]);
+        }
+        let compiled = CompiledCircuit::with_config(&b.finish(), &fused_config()).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 0, "{compiled}");
+        assert_eq!(compiled.instrs().len(), 5);
+    }
+
+    #[test]
+    fn permutation_runs_split_at_non_permutation_gates() {
+        // An H in the middle of a long CCX/CX ladder: each side fuses on
+        // its own (weights 28), the H stays a plain instruction between
+        // the two permutation blocks.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 8);
+        for i in 0..7 {
+            b.cx(r[i], r[i + 1]);
+        }
+        b.h(r[0]);
+        for i in 0..7 {
+            b.cx(r[i + 1], r[i]);
+        }
+        let compiled = CompiledCircuit::with_config(&b.finish(), &fused_config()).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 2, "{compiled}");
+        assert_eq!(compiled.stats().fused_gates, 14);
+        assert!(compiled
+            .fused_unitaries()
+            .iter()
+            .all(FusedUnitary::is_permutation));
+        assert_eq!(compiled.instrs().len(), 3);
+        assert!(matches!(compiled.instrs()[1], Instr::Gate(Gate::H(_))));
     }
 
     #[test]

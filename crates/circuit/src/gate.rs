@@ -123,6 +123,23 @@ impl Gate {
         }
     }
 
+    /// Whether the gate is a classical permutation of basis states: it
+    /// maps every computational-basis state to another basis state with
+    /// coefficient exactly `1`.
+    ///
+    /// Permutation gates (`X`, `CX`, `CCX`, `SWAP`) move amplitudes
+    /// without any floating-point arithmetic, so any contiguous run of
+    /// them composes into a single reversible index map that executors can
+    /// apply in one sweep with *exactly* the bits of gate-by-gate
+    /// execution — the property the permutation-fusion pass builds on.
+    #[must_use]
+    pub fn is_permutation(&self) -> bool {
+        matches!(
+            self,
+            Gate::X(_) | Gate::Cx(..) | Gate::Ccx(..) | Gate::Swap(..)
+        )
+    }
+
     /// Whether the gate is diagonal in the computational basis.
     ///
     /// Diagonal gates commute with each other — the property Theorem 2.14

@@ -64,6 +64,7 @@ pub use builder::{CircuitBuilder, OpBlock, Register};
 pub use circuit::Circuit;
 pub use compile::{
     CompiledCircuit, FusedUnitary, Instr, PassConfig, PassStats, Segment, MAX_FUSED_QUBITS,
+    MAX_PERM_FUSED_QUBITS,
 };
 pub use counts::{ExpectedCounts, GateCounts};
 pub use error::CircuitError;

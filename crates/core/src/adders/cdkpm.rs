@@ -213,7 +213,7 @@ mod tests {
         circuit.validate().unwrap();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
         for (reg, v) in &inputs {
-            sim.set_value(reg, *v);
+            sim.set_value(reg, *v).unwrap();
         }
         let mut rng = StdRng::seed_from_u64(0);
         sim.run(&circuit, &mut rng).unwrap();
@@ -354,8 +354,8 @@ mod tests {
         compare_gt(&mut b, None, xr.qubits(), yr.qubits(), t).unwrap();
         let circuit = b.finish();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
-        sim.set_value(xr.qubits(), x);
-        sim.set_value(yr.qubits(), y);
+        sim.set_value(xr.qubits(), x).unwrap();
+        sim.set_value(yr.qubits(), y).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         sim.run(&circuit, &mut rng).unwrap();
         assert_eq!(sim.value(xr.qubits()).unwrap(), x);

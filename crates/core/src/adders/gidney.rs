@@ -335,7 +335,7 @@ mod tests {
         for seed in 0..6 {
             let mut sim = BasisTracker::zeros(n_qubits);
             for (reg, v) in inputs {
-                sim.set_value(reg, *v);
+                sim.set_value(reg, *v).unwrap();
             }
             let mut rng = StdRng::seed_from_u64(seed);
             sim.run(circuit, &mut rng).unwrap();
@@ -527,8 +527,8 @@ mod tests {
                 let c = b.finish();
                 for seed in 0..4 {
                     let mut sim = BasisTracker::zeros(c.num_qubits());
-                    sim.set_value(xr.qubits(), x);
-                    sim.set_value(yr.qubits(), y);
+                    sim.set_value(xr.qubits(), x).unwrap();
+                    sim.set_value(yr.qubits(), y).unwrap();
                     let mut rng = StdRng::seed_from_u64(seed);
                     sim.run(&c, &mut rng).unwrap();
                     assert_eq!(sim.bit(t).unwrap(), x > y, "{x}>{y}");
@@ -567,9 +567,9 @@ mod tests {
                     let circ = b.finish();
                     for seed in 0..3 {
                         let mut sim = BasisTracker::zeros(circ.num_qubits());
-                        sim.set_bit(c, ctrl);
-                        sim.set_value(xr.qubits(), x);
-                        sim.set_value(yr.qubits(), y);
+                        sim.set_bit(c, ctrl).unwrap();
+                        sim.set_value(xr.qubits(), x).unwrap();
+                        sim.set_value(yr.qubits(), y).unwrap();
                         let mut rng = StdRng::seed_from_u64(seed);
                         sim.run(&circ, &mut rng).unwrap();
                         assert_eq!(sim.bit(t).unwrap(), ctrl && x > y);

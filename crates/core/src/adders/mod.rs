@@ -546,7 +546,7 @@ mod tests {
         circuit.validate().unwrap();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
         for (reg, v) in inputs {
-            sim.set_value(reg, *v);
+            sim.set_value(reg, *v).unwrap();
         }
         let mut rng = StdRng::seed_from_u64(seed);
         sim.run(circuit, &mut rng).unwrap();

@@ -163,8 +163,8 @@ mod tests {
         let circuit = b.finish();
         circuit.validate().unwrap();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
-        sim.set_value(xr.qubits(), x);
-        sim.set_value(yr.qubits(), y);
+        sim.set_value(xr.qubits(), x).unwrap();
+        sim.set_value(yr.qubits(), y).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         sim.run(&circuit, &mut rng).unwrap();
         assert_eq!(sim.value(xr.qubits()).unwrap(), x, "x preserved");
@@ -206,8 +206,8 @@ mod tests {
         add(&mut b, xr.qubits(), yr.qubits()).unwrap();
         let circuit = b.finish();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
-        sim.set_value(xr.qubits(), x);
-        sim.set_value(yr.qubits(), y);
+        sim.set_value(xr.qubits(), x).unwrap();
+        sim.set_value(yr.qubits(), y).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         sim.run(&circuit, &mut rng).unwrap();
         assert_eq!(sim.value(yr.qubits()).unwrap(), x + y);
@@ -246,8 +246,8 @@ mod tests {
                     wrapping_add(&mut b, xr.qubits(), yr.qubits()).unwrap();
                     let circuit = b.finish();
                     let mut sim = BasisTracker::zeros(circuit.num_qubits());
-                    sim.set_value(xr.qubits(), x);
-                    sim.set_value(yr.qubits(), y);
+                    sim.set_value(xr.qubits(), x).unwrap();
+                    sim.set_value(yr.qubits(), y).unwrap();
                     let mut rng = StdRng::seed_from_u64(0);
                     sim.run(&circuit, &mut rng).unwrap();
                     assert_eq!(
@@ -273,9 +273,9 @@ mod tests {
                     compare_gt(&mut b, None, xr.qubits(), yr.qubits(), t).unwrap();
                     let circuit = b.finish();
                     let mut sim = BasisTracker::zeros(circuit.num_qubits());
-                    sim.set_value(xr.qubits(), x);
-                    sim.set_value(yr.qubits(), y);
-                    sim.set_bit(t, t0);
+                    sim.set_value(xr.qubits(), x).unwrap();
+                    sim.set_value(yr.qubits(), y).unwrap();
+                    sim.set_bit(t, t0).unwrap();
                     let mut rng = StdRng::seed_from_u64(0);
                     sim.run(&circuit, &mut rng).unwrap();
                     assert_eq!(sim.bit(t).unwrap(), t0 ^ (x > y), "{x}>{y}");
@@ -301,9 +301,9 @@ mod tests {
                     compare_gt(&mut b, Some(c), xr.qubits(), yr.qubits(), t).unwrap();
                     let circuit = b.finish();
                     let mut sim = BasisTracker::zeros(circuit.num_qubits());
-                    sim.set_bit(c, ctrl);
-                    sim.set_value(xr.qubits(), x);
-                    sim.set_value(yr.qubits(), y);
+                    sim.set_bit(c, ctrl).unwrap();
+                    sim.set_value(xr.qubits(), x).unwrap();
+                    sim.set_value(yr.qubits(), y).unwrap();
                     let mut rng = StdRng::seed_from_u64(0);
                     sim.run(&circuit, &mut rng).unwrap();
                     assert_eq!(sim.bit(t).unwrap(), ctrl && x > y, "c={ctrl} {x}>{y}");

@@ -283,7 +283,7 @@ mod tests {
         circuit.validate().unwrap();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
         for (reg, v) in inputs {
-            sim.set_value(reg, *v);
+            sim.set_value(reg, *v).unwrap();
         }
         let mut rng = StdRng::seed_from_u64(seed);
         sim.run(circuit, &mut rng).unwrap();
@@ -509,8 +509,8 @@ mod tests {
         compare_gt_full(&mut b, AdderKind::Gidney, xr.qubits(), yr.qubits(), t).unwrap();
         let circ = b.finish();
         let mut sim = BasisTracker::zeros(circ.num_qubits());
-        sim.set_value(xr.qubits(), x);
-        sim.set_value(yr.qubits(), y);
+        sim.set_value(xr.qubits(), x).unwrap();
+        sim.set_value(yr.qubits(), y).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         sim.run(&circ, &mut rng).unwrap();
         assert_eq!(sim.value(yr.qubits()).unwrap(), y);

@@ -86,7 +86,7 @@ mod tests {
         for input in 0..4u128 {
             for seed in 0..8 {
                 let mut sim = BasisTracker::zeros(3);
-                sim.set_value(&[q[0], q[1]], input);
+                sim.set_value(&[q[0], q[1]], input).unwrap();
                 let mut rng = StdRng::seed_from_u64(seed);
                 sim.run(&circuit, &mut rng).unwrap();
                 assert!(!sim.bit(q[2]).unwrap(), "in={input} seed={seed}");
@@ -117,7 +117,7 @@ mod tests {
         let trials = 400u64;
         for seed in 0..trials {
             let mut sim = BasisTracker::zeros(3);
-            sim.set_value(&[q[0], q[1]], 0b11);
+            sim.set_value(&[q[0], q[1]], 0b11).unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             let ex = sim.run(&circuit, &mut rng).unwrap();
             ones += u32::from(ex.outcome(0).unwrap());

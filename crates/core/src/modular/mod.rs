@@ -686,7 +686,7 @@ mod tests {
         circuit.validate().unwrap();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
         for (reg, v) in inputs {
-            sim.set_value(reg, *v);
+            sim.set_value(reg, *v).unwrap();
         }
         let mut rng = StdRng::seed_from_u64(seed as u64);
         sim.run(circuit, &mut rng).unwrap();
@@ -730,8 +730,8 @@ mod tests {
             // Two stages accumulate: y → (2x + y) mod p.
             for seed in 0..6 {
                 let mut sim = BasisTracker::zeros(chain.circuit.num_qubits());
-                sim.set_value(chain.x.qubits(), 3);
-                sim.set_value(chain.y.qubits(), 4);
+                sim.set_value(chain.x.qubits(), 3).unwrap();
+                sim.set_value(chain.y.qubits(), 4).unwrap();
                 let mut rng = StdRng::seed_from_u64(seed);
                 sim.run(&chain.circuit, &mut rng).unwrap();
                 assert_eq!(sim.value(chain.x.qubits()).unwrap(), 3);
@@ -747,8 +747,8 @@ mod tests {
         let layout = modadd_circuit(&spec, 4, 13).unwrap();
         for seed in 0..8 {
             let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-            sim.set_value(layout.x.qubits(), 9);
-            sim.set_value(layout.y.qubits(), 11);
+            sim.set_value(layout.x.qubits(), 9).unwrap();
+            sim.set_value(layout.y.qubits(), 11).unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             sim.run(&layout.circuit, &mut rng).unwrap();
             assert_eq!(sim.value(layout.x.qubits()).unwrap(), 9);
@@ -939,7 +939,7 @@ mod tests {
                         assert_eq!(got, x % p, "{kind} {unc}: {x} mod {p}");
                         // Input preserved.
                         let mut sim = mbu_sim::BasisTracker::zeros(circuit.num_qubits());
-                        sim.set_value(xr.qubits(), x);
+                        sim.set_value(xr.qubits(), x).unwrap();
                         let mut rng = StdRng::seed_from_u64(3);
                         sim.run(&circuit, &mut rng).unwrap();
                         assert_eq!(sim.value(xr.qubits()).unwrap(), x);

@@ -311,7 +311,7 @@ mod tests {
         circuit.validate().unwrap();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
         for (reg, v) in inputs {
-            sim.set_value(reg, *v);
+            sim.set_value(reg, *v).unwrap();
         }
         let mut rng = StdRng::seed_from_u64(seed);
         sim.run(circuit, &mut rng).unwrap();
@@ -384,7 +384,7 @@ mod tests {
         let c = b.finish();
         for seed in 0..4 {
             let mut sim = BasisTracker::zeros(c.num_qubits());
-            sim.set_value(xr.qubits(), 9);
+            sim.set_value(xr.qubits(), 9).unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             sim.run(&c, &mut rng).unwrap();
             assert_eq!(sim.value(xr.qubits()).unwrap(), 5 * 9 % p);

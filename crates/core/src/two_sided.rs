@@ -134,9 +134,9 @@ mod tests {
                             layout.circuit.validate().unwrap();
                             for seed in 0..3 {
                                 let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                                sim.set_value(layout.x.qubits(), x);
-                                sim.set_value(layout.y.qubits(), y);
-                                sim.set_value(layout.z.qubits(), z);
+                                sim.set_value(layout.x.qubits(), x).unwrap();
+                                sim.set_value(layout.y.qubits(), y).unwrap();
+                                sim.set_value(layout.z.qubits(), z).unwrap();
                                 let mut rng = StdRng::seed_from_u64(seed);
                                 sim.run(&layout.circuit, &mut rng).unwrap();
                                 assert_eq!(
@@ -177,9 +177,9 @@ mod tests {
         let layout = in_range_circuit(AdderKind::Cdkpm, Uncompute::Mbu, n).unwrap();
         for (x, y, z) in [(4u128, 4u128, 6u128), (6, 4, 6), (4, 4, 4)] {
             let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-            sim.set_value(layout.x.qubits(), x);
-            sim.set_value(layout.y.qubits(), y);
-            sim.set_value(layout.z.qubits(), z);
+            sim.set_value(layout.x.qubits(), x).unwrap();
+            sim.set_value(layout.y.qubits(), y).unwrap();
+            sim.set_value(layout.z.qubits(), z).unwrap();
             let mut rng = StdRng::seed_from_u64(1);
             sim.run(&layout.circuit, &mut rng).unwrap();
             assert!(!sim.bit(layout.t).unwrap(), "{x} in ({y},{z})");

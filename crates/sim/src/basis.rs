@@ -60,7 +60,7 @@ enum Mode {
 /// let circuit = b.finish();
 ///
 /// let mut sim = BasisTracker::zeros(2);
-/// sim.set_bit(q[0], true);
+/// sim.set_bit(q[0], true).unwrap();
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// sim.run(&circuit, &mut rng).unwrap();
 /// assert_eq!(sim.bit(q[1]).unwrap(), true);
@@ -155,26 +155,28 @@ impl BasisTracker {
 
     /// Sets qubit `q` to the computational-basis bit `value`.
     ///
-    /// Ergonomic front for [`Simulator::set_bit`], which returns a
-    /// `Result` instead.
+    /// Inherent front for [`Simulator::set_bit`]. This used to panic on an
+    /// out-of-range qubit — a reachable crash for any caller preparing
+    /// inputs from external data — and now reports it instead.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `q` is out of range.
-    pub fn set_bit(&mut self, q: QubitId, value: bool) {
-        Simulator::set_bit(self, q, value).expect("qubit out of range");
+    /// Returns [`SimError::OutOfRange`] if `q` is outside the state.
+    pub fn set_bit(&mut self, q: QubitId, value: bool) -> Result<(), SimError> {
+        Simulator::set_bit(self, q, value)
     }
 
     /// Writes the little-endian bits of `value` into `qubits`.
     ///
-    /// Ergonomic front for [`Simulator::set_value`], which returns a
-    /// `Result` instead.
+    /// Inherent front for [`Simulator::set_value`]. This used to panic on
+    /// an out-of-range qubit — a reachable crash for any caller preparing
+    /// inputs from external data — and now reports it instead.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any qubit is out of range.
-    pub fn set_value(&mut self, qubits: &[QubitId], value: u128) {
-        Simulator::set_value(self, qubits, value).expect("qubit out of range");
+    /// Returns [`SimError::OutOfRange`] if any qubit is outside the state.
+    pub fn set_value(&mut self, qubits: &[QubitId], value: u128) -> Result<(), SimError> {
+        Simulator::set_value(self, qubits, value)
     }
 
     /// Reads qubit `q`'s computational bit.
@@ -546,7 +548,7 @@ mod tests {
     #[test]
     fn permutation_gates_track_bits() {
         let mut t = BasisTracker::zeros(3);
-        t.set_value(&[q(0), q(1), q(2)], 0b011);
+        t.set_value(&[q(0), q(1), q(2)], 0b011).unwrap();
         t.apply(&Gate::Ccx(q(0), q(1), q(2))).unwrap();
         assert_eq!(t.value(&[q(0), q(1), q(2)]).unwrap(), 0b111);
         t.apply(&Gate::Cx(q(2), q(0))).unwrap();
@@ -557,7 +559,7 @@ mod tests {
     #[test]
     fn diagonal_gates_accumulate_phase() {
         let mut t = BasisTracker::zeros(2);
-        t.set_value(&[q(0), q(1)], 0b11);
+        t.set_value(&[q(0), q(1)], 0b11).unwrap();
         t.apply(&Gate::Cz(q(0), q(1))).unwrap();
         assert_eq!(t.global_phase(), Angle::HALF_TURN);
         t.apply(&Gate::Cz(q(0), q(1))).unwrap();
@@ -567,8 +569,8 @@ mod tests {
     #[test]
     fn unsatisfied_control_is_identity() {
         let mut t = BasisTracker::zeros(2);
-        t.set_bit(q(0), false);
-        t.set_bit(q(1), true);
+        t.set_bit(q(0), false).unwrap();
+        t.set_bit(q(1), true).unwrap();
         t.apply(&Gate::Cz(q(0), q(1))).unwrap();
         assert!(t.global_phase().is_zero());
         t.apply(&Gate::Cx(q(0), q(1))).unwrap();
@@ -578,7 +580,7 @@ mod tests {
     #[test]
     fn hadamard_toggles_modes() {
         let mut t = BasisTracker::zeros(1);
-        t.set_bit(q(0), true);
+        t.set_bit(q(0), true).unwrap();
         t.apply(&Gate::H(q(0))).unwrap(); // |−⟩
         assert!(t.bit(q(0)).is_err());
         t.apply(&Gate::H(q(0))).unwrap(); // back to |1⟩
@@ -599,13 +601,13 @@ mod tests {
     fn cnot_kickback_on_minus_target() {
         // CX with control |1⟩ and target |−⟩ flips the global phase.
         let mut t = BasisTracker::zeros(2);
-        t.set_bit(q(0), true);
-        t.set_bit(q(1), true);
+        t.set_bit(q(0), true).unwrap();
+        t.set_bit(q(1), true).unwrap();
         t.apply(&Gate::H(q(1))).unwrap(); // |−⟩
         t.apply(&Gate::Cx(q(0), q(1))).unwrap();
         assert_eq!(t.global_phase(), Angle::HALF_TURN);
         // Control |0⟩: no kickback.
-        t.set_bit(q(0), false);
+        t.set_bit(q(0), false).unwrap();
         t.apply(&Gate::Cx(q(0), q(1))).unwrap();
         assert_eq!(t.global_phase(), Angle::HALF_TURN);
     }
@@ -613,12 +615,12 @@ mod tests {
     #[test]
     fn toffoli_kickback_needs_both_controls() {
         let mut t = BasisTracker::zeros(3);
-        t.set_value(&[q(0), q(1)], 0b01);
-        t.set_bit(q(2), true);
+        t.set_value(&[q(0), q(1)], 0b01).unwrap();
+        t.set_bit(q(2), true).unwrap();
         t.apply(&Gate::H(q(2))).unwrap(); // |−⟩
         t.apply(&Gate::Ccx(q(0), q(1), q(2))).unwrap();
         assert!(t.global_phase().is_zero(), "one control unsatisfied");
-        t.set_value(&[q(0), q(1)], 0b11);
+        t.set_value(&[q(0), q(1)], 0b11).unwrap();
         t.apply(&Gate::Ccx(q(0), q(1), q(2))).unwrap();
         assert_eq!(t.global_phase(), Angle::HALF_TURN);
     }
@@ -656,7 +658,7 @@ mod tests {
         // |−⟩ measured in Z: outcome 1 carries amplitude −1/√2 → phase π.
         for seed in 0..16 {
             let mut t = BasisTracker::zeros(1);
-            t.set_bit(q(0), true);
+            t.set_bit(q(0), true).unwrap();
             t.apply(&Gate::H(q(0))).unwrap(); // |−⟩
             let mut r = rng(seed);
             let mut draw = move |p: f64| r.gen_bool(p);
@@ -693,7 +695,7 @@ mod tests {
         let mut seen = [false, false];
         for seed in 0..32 {
             let mut t = BasisTracker::zeros(2);
-            t.set_bit(q(0), true); // g(x) = 1, the interesting branch
+            t.set_bit(q(0), true).unwrap(); // g(x) = 1, the interesting branch
             let ex = t.run(&circuit, &mut rng(seed)).unwrap();
             let outcome = ex.outcome(0).unwrap();
             seen[usize::from(outcome)] = true;
@@ -726,8 +728,8 @@ mod tests {
         assert!(compiled.reclaims_qubits(), "{compiled}");
         for seed in 0..16 {
             let mut t = BasisTracker::zeros(3);
-            t.set_bit(q(0), true);
-            t.set_bit(q(1), true);
+            t.set_bit(q(0), true).unwrap();
+            t.set_bit(q(1), true).unwrap();
             let mut r = rng(seed);
             let ex = Simulator::run_compiled(&mut t, &compiled, &mut r).unwrap();
             assert!(ex.outcome(0).is_ok());
@@ -767,7 +769,7 @@ mod tests {
         t.reset(q(2), &mut draw).unwrap();
         assert_eq!(t.occupied(), 1);
         t.apply(&Gate::H(q(5))).unwrap();
-        t.set_bit(q(5), false);
+        t.set_bit(q(5), false).unwrap();
         assert_eq!(t.occupied(), 1);
     }
 
@@ -820,5 +822,29 @@ mod tests {
         assert_eq!(bits.len(), n);
         assert!(t.value(&qubits[..128]).is_ok());
         assert!(t.value(&qubits).is_err(), "value() limited to 128 bits");
+    }
+
+    #[test]
+    fn set_bit_out_of_range_errors_instead_of_panicking() {
+        // Regression: this used to `.expect("qubit out of range")` and
+        // abort the process on bad input; it now reports a typed error
+        // and leaves the tracker untouched.
+        let mut t = BasisTracker::zeros(3);
+        assert!(matches!(
+            t.set_bit(q(3), true),
+            Err(SimError::OutOfRange { .. })
+        ));
+        assert_eq!(t.value(&[q(0), q(1), q(2)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn set_value_out_of_range_errors_instead_of_panicking() {
+        // Regression twin for the register-wide front: any qubit past the
+        // tracker's width fails the whole write with a typed error.
+        let mut t = BasisTracker::zeros(3);
+        assert!(matches!(
+            t.set_value(&[q(1), q(7)], 3),
+            Err(SimError::OutOfRange { .. })
+        ));
     }
 }

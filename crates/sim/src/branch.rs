@@ -253,10 +253,12 @@ fn advance(
                         }
                         Instr::Fused(idx) => {
                             let fu = &compiled.fused_unitaries()[*idx as usize];
-                            for g in fu.global_gates() {
-                                if let Err(e) = sim.apply_gate(&g) {
-                                    return Advanced::Leaf(Err(e));
-                                }
+                            // One sweep per block on backends with a fused
+                            // kernel (bit-identical to replaying the
+                            // constituents); others replay via the trait
+                            // default.
+                            if let Err(e) = sim.apply_fused(fu) {
+                                return Advanced::Leaf(Err(e));
                             }
                             for g in fu.gates() {
                                 executed.counts.record_gate(g);
@@ -904,6 +906,10 @@ impl BranchDistribution {
         let leaves: Vec<(f64, Executed)> = leaf_order
             .iter()
             .map(|&i| {
+                // Panic triage: both expects guard tree-construction
+                // invariants (`canonical_order` visits each leaf once, and
+                // the walk returns `Err` before building an ensemble when
+                // any leaf failed) — no simulator input reaches them.
                 let leaf = slots[i].take().expect("each leaf linked exactly once");
                 let executed = leaf
                     .result

@@ -92,6 +92,15 @@ pub enum SimError {
     /// mode surfaces this; the sampled mode falls back to per-shot Monte
     /// Carlo instead.
     BranchUnsupported,
+    /// A fused dense-gate block failed the kernel's structural validation
+    /// (span outside 1–4 qubits, non-ascending or out-of-state positions,
+    /// or a gate operand outside the block). Checked in release builds
+    /// too, so a malformed compiled block reports instead of indexing out
+    /// of bounds.
+    InvalidFusedBlock {
+        /// What was malformed about the block descriptor.
+        why: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -136,6 +145,9 @@ impl fmt::Display for SimError {
             }
             SimError::BranchUnsupported => {
                 write!(f, "backend does not support branch-sharing execution")
+            }
+            SimError::InvalidFusedBlock { why } => {
+                write!(f, "malformed fused block: {why}")
             }
         }
     }

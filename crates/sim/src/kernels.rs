@@ -1,4 +1,5 @@
-//! Stride-based state-vector kernels, serial and chunk-parallel.
+//! Stride-based state-vector kernels over SoA storage, serial and
+//! chunk-parallel, with an autovectorized grouped-run fast path.
 //!
 //! Every kernel iterates exactly the amplitudes a gate can move, instead
 //! of scanning all `2^n` entries with a per-index branch:
@@ -19,46 +20,99 @@
 //! All of these share one enumeration scheme: a [`Pins`] descriptor names
 //! the bit positions a kernel pins (controls, diagonal selectors, the
 //! cleared target bit) and [`drive`] walks the *touched index space* — the
-//! `len >> pins` indices whose pinned bits match — as maximal contiguous
-//! runs. `drive` is also the parallelism seam: given an
+//! `len >> pins` indices whose pinned bits match — as contiguous runs.
+//!
+//! # The SIMD path and the scalar reference path
+//!
+//! [`Par`] carries a `simd` switch next to the worker pool. With `simd`
+//! off, `drive` reproduces the original scalar enumeration: one closure
+//! call per maximal run, each run handled as a single span. With `simd`
+//! on, `drive` hands the closure *groups* of consecutive runs — `count`
+//! runs of length `run` spaced `stride = 2·run_len` apart — which is
+//! valid because within a group (bounded by the second-lowest pinned
+//! position) the absolute base address is an affine function of the run
+//! index: `deposit(u + j·run_len) = deposit(u) + j·stride`, no carry ever
+//! crossing the next pinned bit. The concrete kernels turn a group into
+//! one or two long slices walked by `chunks_exact` loops, so the per-run
+//! closure dispatch and bit-deposit arithmetic disappear from the hot
+//! path and the inner loops become straight-line sweeps over the
+//! structure-of-arrays `f64` buffers of [`Amps`] — homogeneous streams
+//! LLVM autovectorizes into full-width packed ops (the span helpers also
+//! process explicit [`LANES`]-wide chunks so the vector shape is stated
+//! in the source, stable Rust only). Both paths perform *identical*
+//! per-amplitude arithmetic in *identical* order, so amplitudes are
+//! bit-identical between them; `MBU_SIMD=0` keeps the scalar path
+//! available as the differential reference and honest benchmark baseline.
+//!
+//! `drive` is also the parallelism seam: given an
 //! [`AmpPool`](crate::pool::AmpPool), it splits the touched space into
 //! per-thread chunks at **deterministic** boundaries (a pure function of
-//! work size and thread count) and runs the same per-run closure on each
-//! chunk concurrently. Chunks write disjoint amplitudes and every
-//! amplitude is touched exactly once with identical arithmetic, so
-//! parallel execution is bit-identical to serial at any thread count — the
-//! guarantee the shot engine's aggregate determinism rests on.
+//! work size and thread count, rounded down to [`LANES`] multiples on the
+//! SIMD path so chunk interiors stay lane-aligned) and runs the same
+//! per-group closure on each chunk concurrently. Chunks write disjoint
+//! amplitudes and every amplitude is touched exactly once with identical
+//! arithmetic, so parallel execution is bit-identical to serial at any
+//! thread count — the guarantee the shot engine's aggregate determinism
+//! rests on.
 //!
 //! The kernels assume their qubit indices are in range and distinct; the
 //! [`StateVector`](crate::StateVector) front end validates operands before
 //! dispatching (and exposes an unoptimised full-scan reference path used
-//! for differential testing and benchmarking).
+//! for differential testing and benchmarking). [`fused`] additionally
+//! validates its caller-supplied block descriptor up front and returns a
+//! typed [`SimError`] instead of trusting `debug_assert!`s that vanish in
+//! release builds.
 
 use mbu_circuit::Gate;
 
 use crate::complex::Complex;
+use crate::error::SimError;
 use crate::pool::AmpPool;
+use crate::soa::Amps;
 
 /// Below this many live amplitudes a parallel sweep costs more in wake-up
 /// latency than it saves; kernels fall back to the serial path. Purely a
 /// scheduling decision — results are bit-identical either way.
 pub(crate) const PAR_MIN_AMPS: usize = 1usize << 14;
 
-/// The parallel execution context of one kernel call: `None` runs serial.
-#[derive(Clone, Copy, Default)]
+/// Amplitudes per explicit vector chunk in the span helpers: one cache
+/// line of `f64`s, and a full AVX-512 register (two AVX2 registers).
+pub(crate) const LANES: usize = 8;
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// The execution context of one kernel call: an optional worker pool and
+/// the SIMD switch (see the module docs for what the switch changes —
+/// enumeration shape only, never arithmetic).
+#[derive(Clone, Copy)]
 pub(crate) struct Par<'a> {
     pool: Option<&'a AmpPool>,
+    simd: bool,
 }
 
 impl<'a> Par<'a> {
-    /// Serial execution.
+    /// Serial execution on the vectorized path.
+    #[cfg(test)]
     pub(crate) fn serial() -> Self {
-        Self { pool: None }
+        Self {
+            pool: None,
+            simd: true,
+        }
     }
 
-    /// Parallel execution over `pool`'s lanes (serial when `None`).
-    pub(crate) fn new(pool: Option<&'a AmpPool>) -> Self {
-        Self { pool }
+    /// Serial execution on the scalar reference path.
+    #[cfg(test)]
+    pub(crate) fn scalar() -> Self {
+        Self {
+            pool: None,
+            simd: false,
+        }
+    }
+
+    /// Execution over `pool`'s lanes (serial when `None`), vectorized or
+    /// scalar per `simd`.
+    pub(crate) fn new(pool: Option<&'a AmpPool>, simd: bool) -> Self {
+        Self { pool, simd }
     }
 }
 
@@ -72,6 +126,10 @@ struct Pins {
 }
 
 impl Pins {
+    /// Invariant (callers are the fixed-arity kernels in this module,
+    /// which all pass 1–4 pins with distinct in-range positions and 0/1
+    /// values; [`fused`] validates its caller-supplied positions before
+    /// building pins): `1 <= pins.len() <= 4`, values in `{0, 1}`.
     fn new(pins: &[(usize, usize)]) -> Self {
         debug_assert!((1..=4).contains(&pins.len()));
         let mut pos = [usize::MAX; 4];
@@ -100,6 +158,20 @@ impl Pins {
         1usize << self.pos[0]
     }
 
+    /// How many consecutive full runs share one affine address formula:
+    /// `deposit(u + j·run_len) = deposit(u) + j·2·run_len` holds while the
+    /// touched-space bits between the lowest and second-lowest pins don't
+    /// wrap, i.e. for groups of `2^(pos[1] - pos[0] - 1)` runs (aligned to
+    /// the group size in run index). `None` means unbounded — with a
+    /// single pin no carry can ever cross a second pinned position.
+    fn group_runs(&self) -> Option<usize> {
+        if self.n == 1 {
+            None
+        } else {
+            Some(1usize << (self.pos[1] - self.pos[0] - 1))
+        }
+    }
+
     /// Expands touched-space index `u` to its absolute amplitude index:
     /// `u`'s bits fill the free positions in order, pinned positions take
     /// their pinned values.
@@ -118,10 +190,11 @@ impl Pins {
     }
 }
 
-/// A lifetime-erased view of the amplitude array for disjoint-range
-/// concurrent access from `drive` closures.
+/// A lifetime-erased view of the SoA component buffers for
+/// disjoint-range concurrent access from `drive` closures.
 pub(crate) struct Shared {
-    ptr: *mut Complex,
+    re: *mut f64,
+    im: *mut f64,
     len: usize,
 }
 
@@ -131,117 +204,313 @@ pub(crate) struct Shared {
 unsafe impl Sync for Shared {}
 
 impl Shared {
-    /// `amps[start .. start + len]` as an exclusive slice.
+    /// The component spans `re[start .. start + len]` /
+    /// `im[start .. start + len]` as exclusive slices.
     ///
     /// # Safety
     ///
-    /// The range must lie inside the array, and no two concurrently alive
-    /// slices (across all threads of the current `drive` call) may
-    /// overlap. The kernels guarantee this structurally: each run of the
-    /// touched space, and each run's partner range, is disjoint from every
-    /// other run and partner.
+    /// No two concurrently alive spans (across all threads of the current
+    /// `drive` call) may overlap. The kernels guarantee this
+    /// structurally: each run of the touched space, and each run's
+    /// partner range, is disjoint from every other run and partner. The
+    /// *bounds* are checked here unconditionally — a checked `assert!`,
+    /// not a `debug_assert!`, so a malformed span can never index out of
+    /// bounds in release builds; the branch is paid once per span, not
+    /// per amplitude.
     #[allow(unsafe_code)]
     #[allow(clippy::mut_from_ref)]
-    unsafe fn slice(&self, start: usize, len: usize) -> &mut [Complex] {
-        debug_assert!(start + len <= self.len);
+    unsafe fn slice(&self, start: usize, len: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(
+            len <= self.len && start <= self.len - len,
+            "kernel span {start}+{len} exceeds {} amplitudes",
+            self.len
+        );
         // SAFETY: bounds checked above; disjointness is the caller's
         // contract, so no two live `&mut` alias.
-        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+        unsafe {
+            (
+                std::slice::from_raw_parts_mut(self.re.add(start), len),
+                std::slice::from_raw_parts_mut(self.im.add(start), len),
+            )
+        }
     }
 }
 
-/// Calls `f(shared, base, run)` for every maximal contiguous run of the
-/// pinned subspace (clipped at chunk boundaries), splitting the touched
-/// index space across the pool's lanes when one is supplied and the array
-/// is large enough to pay for the wake-up.
+/// Calls `f(shared, base, run, stride, count)` for `count` runs of `run`
+/// amplitudes spaced `stride` apart — every touched amplitude exactly
+/// once — splitting the touched index space across the pool's lanes when
+/// one is supplied and the array is large enough to pay for the wake-up.
 ///
-/// Chunk boundaries depend only on `(touched, lanes)` — never on timing —
-/// and every run (plus whatever partner range `f` derives from it) is
-/// disjoint from every other, so the parallel sweep performs exactly the
-/// serial sweep's writes.
+/// On the scalar path `count` is always 1 and runs are maximal (the
+/// original per-run enumeration); on the SIMD path full runs arrive in
+/// affine groups (see [`Pins::group_runs`]), with partial head/tail runs
+/// at chunk boundaries still delivered singly. Chunk boundaries depend
+/// only on `(touched, lanes, simd)` — never on timing — and every run
+/// (plus whatever partner range `f` derives from it) is disjoint from
+/// every other, so the parallel sweep performs exactly the serial sweep's
+/// writes.
 fn drive(
     par: Par<'_>,
-    amps: &mut [Complex],
+    amps: &mut Amps,
     pins: &[(usize, usize)],
-    f: impl Fn(&Shared, usize, usize) + Sync,
+    f: impl Fn(&Shared, usize, usize, usize, usize) + Sync,
 ) {
     let pins = Pins::new(pins);
     let touched = pins.touched(amps.len());
     if touched == 0 {
         return;
     }
-    let shared = Shared {
-        ptr: amps.as_mut_ptr(),
-        len: amps.len(),
+    let len = amps.len();
+    let shared = {
+        let (re, im) = amps.parts_mut();
+        Shared {
+            re: re.as_mut_ptr(),
+            im: im.as_mut_ptr(),
+            len,
+        }
     };
-    let run_chunk = |from: usize, to: usize| {
-        let m0 = pins.run_len();
+    let m0 = pins.run_len();
+    let p0 = m0.trailing_zeros() as usize;
+    let stride = m0 << 1;
+    // The original scalar enumeration: one maximal run per closure call.
+    let scalar_chunk = |from: usize, to: usize| {
         let mut u = from;
         while u < to {
             let run = (m0 - (u & (m0 - 1))).min(to - u);
-            f(&shared, pins.deposit(u), run);
+            f(&shared, pins.deposit(u), run, stride, 1);
             u += run;
         }
     };
+    // Grouped enumeration: one closure call per affine group of runs.
+    let grouped_chunk = |from: usize, to: usize| {
+        let g = pins.group_runs();
+        let mut u = from;
+        if u < to && u & (m0 - 1) != 0 {
+            // Partial head run (a chunk boundary split a run).
+            let run = (m0 - (u & (m0 - 1))).min(to - u);
+            f(&shared, pins.deposit(u), run, stride, 1);
+            u += run;
+        }
+        while u < to {
+            let runs_ahead = (to - u) >> p0;
+            if runs_ahead == 0 {
+                // Partial tail run.
+                f(&shared, pins.deposit(u), to - u, stride, 1);
+                break;
+            }
+            let count = match g {
+                None => runs_ahead,
+                Some(g) => runs_ahead.min(g - ((u >> p0) & (g - 1))),
+            };
+            f(&shared, pins.deposit(u), m0, stride, count);
+            u += count << p0;
+        }
+    };
+    let run_chunk = |from: usize, to: usize| {
+        if par.simd {
+            grouped_chunk(from, to);
+        } else {
+            scalar_chunk(from, to);
+        }
+    };
     match par.pool {
-        Some(pool) if pool.threads() > 1 && amps.len() >= PAR_MIN_AMPS && touched > 1 => {
+        Some(pool) if pool.threads() > 1 && len >= PAR_MIN_AMPS && touched > 1 => {
             let chunks = pool.threads().min(touched);
             let per = touched / chunks;
             let extra = touched % chunks;
-            pool.run(chunks, &|c| {
-                let from = c * per + c.min(extra);
-                let to = from + per + usize::from(c < extra);
-                run_chunk(from, to);
-            });
+            // Interior boundaries round down to lane multiples on the
+            // SIMD path so chunk interiors stay lane-aligned; monotonic
+            // either way, so chunks stay disjoint (possibly empty).
+            let boundary = |c: usize| -> usize {
+                if c == 0 {
+                    return 0;
+                }
+                if c == chunks {
+                    return touched;
+                }
+                let raw = c * per + c.min(extra);
+                if par.simd {
+                    raw & !(LANES - 1)
+                } else {
+                    raw
+                }
+            };
+            pool.run(chunks, &|c| run_chunk(boundary(c), boundary(c + 1)));
         }
         _ => run_chunk(0, touched),
     }
 }
 
-/// Multiplies the run `amps[base .. base+run]` by `w` in place.
+/// Multiplies the spans by `w` in place, in explicit [`LANES`]-wide
+/// chunks plus a scalar tail. Exactly the arithmetic of `Complex`
+/// multiplication, componentwise over the SoA streams.
 #[inline(always)]
-fn scale_run(amps: &mut [Complex], w: Complex) {
-    for a in amps {
-        *a = *a * w;
+fn scale_span(re: &mut [f64], im: &mut [f64], w: Complex) {
+    let (rc, rt) = re.as_chunks_mut::<LANES>();
+    let (ic, it) = im.as_chunks_mut::<LANES>();
+    for (r8, i8) in rc.iter_mut().zip(ic) {
+        for l in 0..LANES {
+            let a = r8[l];
+            let b = i8[l];
+            r8[l] = a * w.re - b * w.im;
+            i8[l] = a * w.im + b * w.re;
+        }
+    }
+    for (r, i) in rt.iter_mut().zip(it) {
+        let a = *r;
+        let b = *i;
+        *r = a * w.re - b * w.im;
+        *i = a * w.im + b * w.re;
     }
 }
 
-/// Negates the run in place (exact even on signed zeros, unlike a complex
-/// multiply by `−1 + 0i` — the stride and scan paths promise bit-identical
-/// amplitudes).
+/// Negates the spans in place (exact even on signed zeros, unlike a
+/// complex multiply by `−1 + 0i` — the stride and scan paths promise
+/// bit-identical amplitudes).
 #[inline(always)]
-fn negate_run(amps: &mut [Complex]) {
-    for a in amps {
-        *a = -*a;
+fn negate_span(re: &mut [f64], im: &mut [f64]) {
+    for v in re.iter_mut() {
+        *v = -*v;
+    }
+    for v in im.iter_mut() {
+        *v = -*v;
+    }
+}
+
+/// The Hadamard butterfly over one component stream:
+/// `lo ← (lo + hi)·√½, hi ← (lo − hi)·√½` — the componentwise image of
+/// `(x + y).scale(√½)` / `(x − y).scale(√½)` on `Complex` pairs.
+#[inline(always)]
+fn butterfly_span(lo: &mut [f64], hi: &mut [f64]) {
+    let (lc, lt) = lo.as_chunks_mut::<LANES>();
+    let (hc, ht) = hi.as_chunks_mut::<LANES>();
+    for (l8, h8) in lc.iter_mut().zip(hc) {
+        for l in 0..LANES {
+            let x = l8[l];
+            let y = h8[l];
+            l8[l] = (x + y) * FRAC_1_SQRT_2;
+            h8[l] = (x - y) * FRAC_1_SQRT_2;
+        }
+    }
+    for (a, b) in lt.iter_mut().zip(ht) {
+        let x = *a;
+        let y = *b;
+        *a = (x + y) * FRAC_1_SQRT_2;
+        *b = (x - y) * FRAC_1_SQRT_2;
+    }
+}
+
+/// Applies `op` to the `run`-long prefix of every `stride`-spaced period
+/// in two equally shaped spans (the merged-group walk: `chunks_exact`
+/// yields the full periods, the remainder is the final `run`-long one).
+macro_rules! for_strided {
+    ($a:expr, $b:expr, $run:expr, $stride:expr, |$x:ident, $y:ident| $body:expr) => {{
+        let mut ia = $a.chunks_exact_mut($stride);
+        let mut ib = $b.chunks_exact_mut($stride);
+        for (ca, cb) in (&mut ia).zip(&mut ib) {
+            let $x = &mut ca[..$run];
+            let $y = &mut cb[..$run];
+            $body
+        }
+        let $x = ia.into_remainder();
+        let $y = ib.into_remainder();
+        $body
+    }};
+}
+
+/// One group of diagonal runs: scales `count` runs from `base` by `w`.
+fn scale_groups(sh: &Shared, base: usize, run: usize, stride: usize, count: usize, w: Complex) {
+    let total = (count - 1) * stride + run;
+    // SAFETY: the group's runs live inside `[base, base + total)`; groups
+    // are pairwise disjoint across the sweep (the untouched gaps between
+    // runs belong to no other group — they carry the opposite pin value).
+    #[allow(unsafe_code)]
+    let (re, im) = unsafe { sh.slice(base, total) };
+    for_strided!(re, im, run, stride, |r, i| scale_span(r, i, w));
+}
+
+/// One group of diagonal runs: negates `count` runs from `base`.
+fn negate_groups(sh: &Shared, base: usize, run: usize, stride: usize, count: usize) {
+    let total = (count - 1) * stride + run;
+    // SAFETY: as in [`scale_groups`].
+    #[allow(unsafe_code)]
+    let (re, im) = unsafe { sh.slice(base, total) };
+    for_strided!(re, im, run, stride, |r, i| negate_span(r, i));
+}
+
+/// One group of pair runs, each run paired with its partner `d` higher
+/// (`d = 1usize << target`), swapped (`op = false`) or butterflied
+/// (`op = true`).
+///
+/// Two geometries, both with structurally disjoint spans:
+///
+/// * **merged** (`run == d`, full runs — the target is the lowest pin):
+///   lo and hi halves alternate, so the group is one contiguous span of
+///   `count · stride` amplitudes split per period;
+/// * **dual-span** otherwise: the group's lo span is at most
+///   `(count−1)·stride + run ≤ 2^pos[1] ≤ d` long (group bound; a lone
+///   partial run is shorter than `d` too), so `[base, base+total)` and
+///   `[base+d, base+d+total)` never overlap.
+fn pair_groups(
+    sh: &Shared,
+    base: usize,
+    d: usize,
+    run: usize,
+    stride: usize,
+    count: usize,
+    butterfly: bool,
+) {
+    if run == d && run << 1 == stride {
+        // SAFETY: merged geometry (see above); groups pairwise disjoint.
+        #[allow(unsafe_code)]
+        let (re, im) = unsafe { sh.slice(base, count * stride) };
+        for (cr, ci) in re.chunks_exact_mut(stride).zip(im.chunks_exact_mut(stride)) {
+            let (lr, hr) = cr.split_at_mut(run);
+            let (li, hi) = ci.split_at_mut(run);
+            if butterfly {
+                butterfly_span(lr, hr);
+                butterfly_span(li, hi);
+            } else {
+                lr.swap_with_slice(hr);
+                li.swap_with_slice(hi);
+            }
+        }
+    } else {
+        let total = (count - 1) * stride + run;
+        debug_assert!(
+            total <= d,
+            "dual-span groups must fit below the partner offset"
+        );
+        // SAFETY: dual-span geometry (see above); lo spans hold the
+        // target-clear subspace, hi spans the target-set one.
+        #[allow(unsafe_code)]
+        let (lr, li) = unsafe { sh.slice(base, total) };
+        // SAFETY: as above — the hi spans sit `d` past the lo spans.
+        #[allow(unsafe_code)]
+        let (hr, hi) = unsafe { sh.slice(base + d, total) };
+        if butterfly {
+            for_strided!(lr, hr, run, stride, |a, b| butterfly_span(a, b));
+            for_strided!(li, hi, run, stride, |a, b| butterfly_span(a, b));
+        } else {
+            for_strided!(lr, hr, run, stride, |a, b| a.swap_with_slice(b));
+            for_strided!(li, hi, run, stride, |a, b| a.swap_with_slice(b));
+        }
     }
 }
 
 /// X gate: swaps the two halves of every block split on bit `t`.
-pub(crate) fn x(par: Par<'_>, amps: &mut [Complex], t: usize) {
+pub(crate) fn x(par: Par<'_>, amps: &mut Amps, t: usize) {
     let m = 1usize << t;
-    drive(par, amps, &[(t, 0)], |sh, base, run| {
-        // SAFETY: runs (bit `t` clear) and their partners (bit `t` set)
-        // are pairwise disjoint across the whole sweep.
-        #[allow(unsafe_code)]
-        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base + m, run)) };
-        lo.swap_with_slice(hi);
+    drive(par, amps, &[(t, 0)], |sh, base, run, stride, count| {
+        pair_groups(sh, base, m, run, stride, count, false);
     });
 }
 
 /// Hadamard: butterfly over every pair split on bit `t`.
-pub(crate) fn h(par: Par<'_>, amps: &mut [Complex], t: usize) {
-    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+pub(crate) fn h(par: Par<'_>, amps: &mut Amps, t: usize) {
     let m = 1usize << t;
-    drive(par, amps, &[(t, 0)], |sh, base, run| {
-        // SAFETY: as in [`x`]: pair halves are disjoint across the sweep.
-        #[allow(unsafe_code)]
-        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base + m, run)) };
-        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-            let x = *a;
-            let y = *b;
-            *a = (x + y).scale(FRAC_1_SQRT_2);
-            *b = (x - y).scale(FRAC_1_SQRT_2);
-        }
+    drive(par, amps, &[(t, 0)], |sh, base, run, stride, count| {
+        pair_groups(sh, base, m, run, stride, count, true);
     });
 }
 
@@ -249,41 +518,38 @@ pub(crate) fn h(par: Par<'_>, amps: &mut [Complex], t: usize) {
 /// `v` by `w`. `v = 1` is a plain phase gate; `v = 0` is its "anti" form,
 /// which the bit-flip frame of the compiled executor uses to apply phases
 /// on qubits whose storage is X-conjugated.
-pub(crate) fn phase1(par: Par<'_>, amps: &mut [Complex], t: usize, v: usize, w: Complex) {
-    drive(par, amps, &[(t, v)], |sh, base, run| {
-        // SAFETY: in-place sweep over this run only; runs are disjoint.
-        #[allow(unsafe_code)]
-        scale_run(unsafe { sh.slice(base, run) }, w);
+pub(crate) fn phase1(par: Par<'_>, amps: &mut Amps, t: usize, v: usize, w: Complex) {
+    drive(par, amps, &[(t, v)], |sh, base, run, stride, count| {
+        scale_groups(sh, base, run, stride, count, w);
     });
 }
 
 /// Z gate on bit value `v`: negates every amplitude whose bit `t` equals
-/// `v` (see [`negate_run`] for why negation gets its own kernel).
-pub(crate) fn z(par: Par<'_>, amps: &mut [Complex], t: usize, v: usize) {
-    drive(par, amps, &[(t, v)], |sh, base, run| {
-        // SAFETY: in-place sweep over this run only; runs are disjoint.
-        #[allow(unsafe_code)]
-        negate_run(unsafe { sh.slice(base, run) });
+/// `v` (see [`negate_span`] for why negation gets its own kernel).
+pub(crate) fn z(par: Par<'_>, amps: &mut Amps, t: usize, v: usize) {
+    drive(par, amps, &[(t, v)], |sh, base, run, stride, count| {
+        negate_groups(sh, base, run, stride, count);
     });
 }
 
 /// CNOT with control active on bit value `vc`: swaps target pairs only in
 /// the control-satisfied quarter of the space.
-pub(crate) fn cx(par: Par<'_>, amps: &mut [Complex], c: usize, vc: usize, t: usize) {
+pub(crate) fn cx(par: Par<'_>, amps: &mut Amps, c: usize, vc: usize, t: usize) {
     let mt = 1usize << t;
-    drive(par, amps, &[(c, vc), (t, 0)], |sh, base, run| {
-        // SAFETY: runs (target bit clear) and partners (target bit set,
-        // same control value) are pairwise disjoint across the sweep.
-        #[allow(unsafe_code)]
-        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base | mt, run)) };
-        lo.swap_with_slice(hi);
-    });
+    drive(
+        par,
+        amps,
+        &[(c, vc), (t, 0)],
+        |sh, base, run, stride, count| {
+            pair_groups(sh, base, mt, run, stride, count, false);
+        },
+    );
 }
 
 /// Toffoli with controls active on bit values `v1`/`v2`.
 pub(crate) fn ccx(
     par: Par<'_>,
-    amps: &mut [Complex],
+    amps: &mut Amps,
     c1: usize,
     v1: usize,
     c2: usize,
@@ -291,46 +557,54 @@ pub(crate) fn ccx(
     t: usize,
 ) {
     let mt = 1usize << t;
-    drive(par, amps, &[(c1, v1), (c2, v2), (t, 0)], |sh, base, run| {
-        // SAFETY: as in [`cx`].
-        #[allow(unsafe_code)]
-        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base | mt, run)) };
-        lo.swap_with_slice(hi);
-    });
+    drive(
+        par,
+        amps,
+        &[(c1, v1), (c2, v2), (t, 0)],
+        |sh, base, run, stride, count| {
+            pair_groups(sh, base, mt, run, stride, count, false);
+        },
+    );
 }
 
 /// Diagonal 2-qubit sweep: multiplies amplitudes whose bits at `a`/`b`
 /// equal `va`/`vb` by `w`.
 pub(crate) fn phase2(
     par: Par<'_>,
-    amps: &mut [Complex],
+    amps: &mut Amps,
     a: usize,
     va: usize,
     b: usize,
     vb: usize,
     w: Complex,
 ) {
-    drive(par, amps, &[(a, va), (b, vb)], |sh, base, run| {
-        // SAFETY: in-place sweep over this run only; runs are disjoint.
-        #[allow(unsafe_code)]
-        scale_run(unsafe { sh.slice(base, run) }, w);
-    });
+    drive(
+        par,
+        amps,
+        &[(a, va), (b, vb)],
+        |sh, base, run, stride, count| {
+            scale_groups(sh, base, run, stride, count, w);
+        },
+    );
 }
 
 /// CZ on bit values `va`/`vb`: negates the selected quarter.
-pub(crate) fn cz(par: Par<'_>, amps: &mut [Complex], a: usize, va: usize, b: usize, vb: usize) {
-    drive(par, amps, &[(a, va), (b, vb)], |sh, base, run| {
-        // SAFETY: in-place sweep over this run only; runs are disjoint.
-        #[allow(unsafe_code)]
-        negate_run(unsafe { sh.slice(base, run) });
-    });
+pub(crate) fn cz(par: Par<'_>, amps: &mut Amps, a: usize, va: usize, b: usize, vb: usize) {
+    drive(
+        par,
+        amps,
+        &[(a, va), (b, vb)],
+        |sh, base, run, stride, count| {
+            negate_groups(sh, base, run, stride, count);
+        },
+    );
 }
 
 /// Diagonal 3-qubit sweep over the selected eighth of the space.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn phase3(
     par: Par<'_>,
-    amps: &mut [Complex],
+    amps: &mut Amps,
     a: usize,
     va: usize,
     b: usize,
@@ -339,18 +613,21 @@ pub(crate) fn phase3(
     vc: usize,
     w: Complex,
 ) {
-    drive(par, amps, &[(a, va), (b, vb), (c, vc)], |sh, base, run| {
-        // SAFETY: in-place sweep over this run only; runs are disjoint.
-        #[allow(unsafe_code)]
-        scale_run(unsafe { sh.slice(base, run) }, w);
-    });
+    drive(
+        par,
+        amps,
+        &[(a, va), (b, vb), (c, vc)],
+        |sh, base, run, stride, count| {
+            scale_groups(sh, base, run, stride, count, w);
+        },
+    );
 }
 
 /// CCZ on bit values `va`/`vb`/`vc`: negates the selected eighth.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn ccz(
     par: Par<'_>,
-    amps: &mut [Complex],
+    amps: &mut Amps,
     a: usize,
     va: usize,
     b: usize,
@@ -358,25 +635,45 @@ pub(crate) fn ccz(
     c: usize,
     vc: usize,
 ) {
-    drive(par, amps, &[(a, va), (b, vb), (c, vc)], |sh, base, run| {
-        // SAFETY: in-place sweep over this run only; runs are disjoint.
-        #[allow(unsafe_code)]
-        negate_run(unsafe { sh.slice(base, run) });
-    });
+    drive(
+        par,
+        amps,
+        &[(a, va), (b, vb), (c, vc)],
+        |sh, base, run, stride, count| {
+            negate_groups(sh, base, run, stride, count);
+        },
+    );
 }
 
 /// SWAP: exchanges amplitudes over the `|…1…0…⟩ ↔ |…0…1…⟩` subspace.
-pub(crate) fn swap(par: Par<'_>, amps: &mut [Complex], a: usize, b: usize) {
+///
+/// The partner offset `base ^ mask` can point *below* `base` (when the
+/// set pin sits above the cleared one), so this kernel keeps a per-run
+/// partner computation instead of the group span walk.
+pub(crate) fn swap(par: Par<'_>, amps: &mut Amps, a: usize, b: usize) {
     let mask = (1usize << a) | (1usize << b);
-    drive(par, amps, &[(a, 1), (b, 0)], |sh, base, run| {
-        // Run indices carry bits below both swapped positions only, so
-        // `^ mask` maps the run to a contiguous partner range.
-        // SAFETY: runs live in the (a=1, b=0) subspace, partners in
-        // (a=0, b=1): pairwise disjoint across the sweep.
-        #[allow(unsafe_code)]
-        let (lo, hi) = unsafe { (sh.slice(base, run), sh.slice(base ^ mask, run)) };
-        lo.swap_with_slice(hi);
-    });
+    drive(
+        par,
+        amps,
+        &[(a, 1), (b, 0)],
+        |sh, base, run, stride, count| {
+            for j in 0..count {
+                let lo = base + j * stride;
+                // Run indices carry bits below both swapped positions only,
+                // so `^ mask` maps the run to a contiguous partner range.
+                // SAFETY: runs live in the (a=1, b=0) subspace, partners in
+                // (a=0, b=1): pairwise disjoint across the sweep.
+                #[allow(unsafe_code)]
+                let (lr, li) = unsafe { sh.slice(lo, run) };
+                // SAFETY: as above — `^ mask` lands in the (a=0, b=1)
+                // subspace, disjoint from every run.
+                #[allow(unsafe_code)]
+                let (hr, hi) = unsafe { sh.slice(lo ^ mask, run) };
+                lr.swap_with_slice(hr);
+                li.swap_with_slice(hi);
+            }
+        },
+    );
 }
 
 /// One precompiled local operation of a fused block: the gate's action on
@@ -442,33 +739,41 @@ fn compile_local_ops(dim: usize, gates: &[Gate]) -> Vec<LocalOp> {
         .collect()
 }
 
-/// Applies the precompiled ops to one gathered group.
+/// Applies the precompiled ops to one gathered group (SoA locals).
 #[inline(always)]
-fn apply_local_ops(local: &mut [Complex; 16], ops: &[LocalOp]) {
-    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+fn apply_local_ops(re: &mut [f64; 16], im: &mut [f64; 16], ops: &[LocalOp]) {
     for op in ops {
         match op {
             LocalOp::Swap(pairs) => {
                 for &(a, b) in pairs {
-                    local.swap(a as usize, b as usize);
+                    re.swap(a as usize, b as usize);
+                    im.swap(a as usize, b as usize);
                 }
             }
             LocalOp::Butterfly(pairs) => {
                 for &(a, b) in pairs {
-                    let x = local[a as usize];
-                    let y = local[b as usize];
-                    local[a as usize] = (x + y).scale(FRAC_1_SQRT_2);
-                    local[b as usize] = (x - y).scale(FRAC_1_SQRT_2);
+                    let (a, b) = (a as usize, b as usize);
+                    let (xr, yr) = (re[a], re[b]);
+                    re[a] = (xr + yr) * FRAC_1_SQRT_2;
+                    re[b] = (xr - yr) * FRAC_1_SQRT_2;
+                    let (xi, yi) = (im[a], im[b]);
+                    im[a] = (xi + yi) * FRAC_1_SQRT_2;
+                    im[b] = (xi - yi) * FRAC_1_SQRT_2;
                 }
             }
             LocalOp::Scale(sel, w) => {
                 for &i in sel {
-                    local[i as usize] = local[i as usize] * *w;
+                    let i = i as usize;
+                    let a = re[i];
+                    let b = im[i];
+                    re[i] = a * w.re - b * w.im;
+                    im[i] = a * w.im + b * w.re;
                 }
             }
             LocalOp::Negate(sel) => {
                 for &i in sel {
-                    local[i as usize] = -local[i as usize];
+                    re[i as usize] = -re[i as usize];
+                    im[i as usize] = -im[i as usize];
                 }
             }
         }
@@ -480,16 +785,59 @@ fn apply_local_ops(local: &mut [Complex; 16], ops: &[LocalOp]) {
 /// a single sweep over the state.
 ///
 /// Each group of `2^k` amplitudes (one per assignment of the non-block
-/// bits) is gathered into a local register block, pushed through every
-/// constituent gate via [`apply_local`], and scattered back. Groups are
-/// independent, so the sweep parallelises over groups; the local
+/// bits) is gathered into local registers, pushed through every
+/// constituent gate via [`apply_local_ops`], and scattered back (long
+/// runs skip the gather entirely and stream the member slices). Groups
+/// are independent, so the sweep parallelises over groups; the local
 /// application performs exactly the arithmetic of unfused kernel
 /// execution, so amplitudes stay bit-identical to the gate-at-a-time path
 /// at any thread count.
-pub(crate) fn fused(par: Par<'_>, amps: &mut [Complex], positions: &[usize], gates: &[Gate]) {
+///
+/// # Errors
+///
+/// The block descriptor is caller-supplied (it crosses the crate boundary
+/// via compiled circuits), so it is validated up front — in release
+/// builds too — instead of trusted: a block spanning 0 or more than 4
+/// qubits, non-ascending positions, a position outside the state, or a
+/// gate operand outside the block returns
+/// [`SimError::InvalidFusedBlock`] and leaves the state untouched.
+pub(crate) fn fused(
+    par: Par<'_>,
+    amps: &mut Amps,
+    positions: &[usize],
+    gates: &[Gate],
+) -> Result<(), SimError> {
+    let invalid = |why: String| SimError::InvalidFusedBlock { why };
     let k = positions.len();
-    debug_assert!((1..=4).contains(&k), "fused blocks span 1..=4 qubits");
-    debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    if !(1..=4).contains(&k) {
+        return Err(invalid(format!(
+            "block spans {k} qubits (supported: 1..=4)"
+        )));
+    }
+    if !positions.windows(2).all(|w| w[0] < w[1]) {
+        return Err(invalid(format!(
+            "block positions {positions:?} are not strictly ascending"
+        )));
+    }
+    if !amps.len().is_power_of_two() || positions[k - 1] >= amps.len().trailing_zeros() as usize {
+        return Err(invalid(format!(
+            "block position {} outside a {}-amplitude state",
+            positions[k - 1],
+            amps.len()
+        )));
+    }
+    for g in gates {
+        let mut in_block = true;
+        let _ = g.map_qubits(|q| {
+            in_block &= q.index() < k;
+            q
+        });
+        if !in_block {
+            return Err(invalid(format!(
+                "gate {g:?} has an operand outside the {k}-qubit block"
+            )));
+        }
+    }
     let dim = 1usize << k;
     // Global offset of local index `j`: its bits spread over `positions`.
     let mut off = [0usize; 16];
@@ -503,93 +851,302 @@ pub(crate) fn fused(par: Par<'_>, amps: &mut [Complex], positions: &[usize], gat
         *pin = (p, 0);
     }
     let ops = compile_local_ops(dim, gates);
-    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
-    drive(par, amps, &pins[..k], |sh, base, run| {
-        if run >= 8 {
-            // Slice mode: the run's member slices ([base|off[j],
-            // base|off[j]+run) for each local index j) are contiguous, so
-            // every op is a vectorisable slice-to-slice operation and no
-            // amplitude is gathered or scattered at all. Long runs are
-            // processed in cache-sized sub-blocks so the 2^k slices stay
-            // hot across the whole op sequence — the fused sweep then
-            // moves each amplitude through the memory hierarchy once,
-            // however many gates the block holds.
-            const SUB: usize = 1usize << 12;
-            let mut sub = 0usize;
-            while sub < run {
-                let sr = (run - sub).min(SUB);
-                // Member slice `j` of this sub-block (no carries: `off`
-                // bits sit above the run's low bits).
-                let member = |j: u8| base + off[j as usize] + sub;
-                for op in &ops {
-                    match op {
-                        LocalOp::Swap(pairs) => {
-                            for &(a, b) in pairs {
-                                // SAFETY: distinct local indices name
-                                // disjoint member slices; runs (and their
-                                // sub-blocks) are pairwise disjoint.
-                                #[allow(unsafe_code)]
-                                let (x, y) =
-                                    unsafe { (sh.slice(member(a), sr), sh.slice(member(b), sr)) };
-                                x.swap_with_slice(y);
+    drive(par, amps, &pins[..k], |sh, base, run, stride, count| {
+        for j in 0..count {
+            let rb = base + j * stride;
+            if run >= 8 {
+                // Slice mode: the run's member slices ([rb+off[j],
+                // rb+off[j]+run) for each local index j) are contiguous,
+                // so every op is a vectorisable span-to-span operation
+                // and no amplitude is gathered or scattered at all. Long
+                // runs are processed in cache-sized sub-blocks so the 2^k
+                // slices stay hot across the whole op sequence — the
+                // fused sweep then moves each amplitude through the
+                // memory hierarchy once, however many gates the block
+                // holds.
+                const SUB: usize = 1usize << 12;
+                let mut sub = 0usize;
+                while sub < run {
+                    let sr = (run - sub).min(SUB);
+                    // Member slice `j` of this sub-block (no carries:
+                    // `off` bits sit above the run's low bits, and the
+                    // group stride stays below the next pinned bit).
+                    let member = |j: u8| rb + off[j as usize] + sub;
+                    for op in &ops {
+                        match op {
+                            LocalOp::Swap(pairs) => {
+                                for &(a, b) in pairs {
+                                    // SAFETY: distinct local indices name
+                                    // disjoint member slices; runs (and
+                                    // their sub-blocks) are pairwise
+                                    // disjoint.
+                                    #[allow(unsafe_code)]
+                                    let (ar, ai) = unsafe { sh.slice(member(a), sr) };
+                                    // SAFETY: as above, member `b`.
+                                    #[allow(unsafe_code)]
+                                    let (br, bi) = unsafe { sh.slice(member(b), sr) };
+                                    ar.swap_with_slice(br);
+                                    ai.swap_with_slice(bi);
+                                }
                             }
-                        }
-                        LocalOp::Butterfly(pairs) => {
-                            for &(a, b) in pairs {
-                                // SAFETY: as above.
-                                #[allow(unsafe_code)]
-                                let (x, y) =
-                                    unsafe { (sh.slice(member(a), sr), sh.slice(member(b), sr)) };
-                                for (p, q) in x.iter_mut().zip(y.iter_mut()) {
-                                    let u = *p;
-                                    let v = *q;
-                                    *p = (u + v).scale(FRAC_1_SQRT_2);
-                                    *q = (u - v).scale(FRAC_1_SQRT_2);
+                            LocalOp::Butterfly(pairs) => {
+                                for &(a, b) in pairs {
+                                    // SAFETY: as above.
+                                    #[allow(unsafe_code)]
+                                    let (ar, ai) = unsafe { sh.slice(member(a), sr) };
+                                    // SAFETY: as above, member `b`.
+                                    #[allow(unsafe_code)]
+                                    let (br, bi) = unsafe { sh.slice(member(b), sr) };
+                                    butterfly_span(ar, br);
+                                    butterfly_span(ai, bi);
+                                }
+                            }
+                            LocalOp::Scale(sel, w) => {
+                                for &jj in sel {
+                                    // SAFETY: as above.
+                                    #[allow(unsafe_code)]
+                                    let (r, i) = unsafe { sh.slice(member(jj), sr) };
+                                    scale_span(r, i, *w);
+                                }
+                            }
+                            LocalOp::Negate(sel) => {
+                                for &jj in sel {
+                                    // SAFETY: as above.
+                                    #[allow(unsafe_code)]
+                                    let (r, i) = unsafe { sh.slice(member(jj), sr) };
+                                    negate_span(r, i);
                                 }
                             }
                         }
-                        LocalOp::Scale(sel, w) => {
-                            for &j in sel {
-                                // SAFETY: as above.
-                                #[allow(unsafe_code)]
-                                scale_run(unsafe { sh.slice(member(j), sr) }, *w);
-                            }
-                        }
-                        LocalOp::Negate(sel) => {
-                            for &j in sel {
-                                // SAFETY: as above.
-                                #[allow(unsafe_code)]
-                                negate_run(unsafe { sh.slice(member(j), sr) });
-                            }
-                        }
                     }
+                    sub += sr;
                 }
-                sub += sr;
-            }
-        } else {
-            // Gather mode for short runs (the block pins low bits): pull
-            // each 2^k group into registers, apply every op, scatter back.
-            #[allow(unsafe_code)]
-            for gbase in base..base + run {
-                let mut local = [Complex::ZERO; 16];
-                for (j, l) in local.iter_mut().enumerate().take(dim) {
-                    // SAFETY: the group's member indices (`gbase | off[j]`)
-                    // are disjoint from every other group's — groups
-                    // differ in the non-block bits — and only this closure
-                    // invocation touches them.
-                    let member = unsafe { sh.slice(gbase | off[j], 1) };
-                    *l = member[0];
-                }
-                apply_local_ops(&mut local, &ops);
-                for (j, l) in local.iter().enumerate().take(dim) {
-                    // SAFETY: as above — group members are touched by
-                    // exactly this invocation.
-                    let member = unsafe { sh.slice(gbase | off[j], 1) };
-                    member[0] = *l;
+            } else {
+                // Gather mode for short runs (the block pins low bits):
+                // pull each 2^k group into SoA locals, apply every op,
+                // scatter back.
+                #[allow(unsafe_code)]
+                for gbase in rb..rb + run {
+                    let mut lre = [0.0f64; 16];
+                    let mut lim = [0.0f64; 16];
+                    for (jj, &o) in off.iter().enumerate().take(dim) {
+                        // SAFETY: the group's member indices
+                        // (`gbase | off[jj]`) are disjoint from every
+                        // other group's — groups differ in the non-block
+                        // bits — and only this closure invocation touches
+                        // them.
+                        let (r, i) = unsafe { sh.slice(gbase | o, 1) };
+                        lre[jj] = r[0];
+                        lim[jj] = i[0];
+                    }
+                    apply_local_ops(&mut lre, &mut lim, &ops);
+                    for (jj, &o) in off.iter().enumerate().take(dim) {
+                        // SAFETY: as above — group members are touched by
+                        // exactly this invocation.
+                        let (r, i) = unsafe { sh.slice(gbase | o, 1) };
+                        r[0] = lre[jj];
+                        i[0] = lim[jj];
+                    }
                 }
             }
         }
     });
+    Ok(())
+}
+
+/// A maximal run of consecutive pinned bit positions, shared by the
+/// extract/spread bit-field walks of the permutation kernel: support bits
+/// `shift..shift+width` of a local pattern live at absolute bits
+/// `start..start+width`.
+struct BitSeg {
+    start: usize,
+    shift: usize,
+    mask: usize,
+}
+
+/// Decomposes ascending `positions` into maximal contiguous segments.
+fn bit_segments(positions: &[usize]) -> Vec<BitSeg> {
+    let mut segs = Vec::new();
+    let mut k0 = 0usize;
+    while k0 < positions.len() {
+        let mut k1 = k0 + 1;
+        while k1 < positions.len() && positions[k1] == positions[k1 - 1] + 1 {
+            k1 += 1;
+        }
+        segs.push(BitSeg {
+            start: positions[k0],
+            shift: k0,
+            mask: (1usize << (k1 - k0)) - 1,
+        });
+        k0 = k1;
+    }
+    segs
+}
+
+/// The fused permutation-block kernel: applies a compiled fusion block
+/// whose gates are all classical basis permutations (`X`, `CX`, `CCX`,
+/// `SWAP`; see `Gate::is_permutation`) — `gates` with local operands over
+/// the (ascending) physical bit `positions` — in a single sweep, however
+/// many gates the block holds.
+///
+/// The block's composed action factorises as `identity` on the non-block
+/// bits times a permutation `G` of the `2^k` block-bit patterns, so the
+/// kernel precomputes the *inverse* local map as a `2^k`-entry table of
+/// already-deposited bit patterns and streams the state once:
+/// `new[j] = old[(j & !support) | table[extract(j)]]` — sequential writes
+/// into `scratch`, gathered reads from `amps`, then the buffers swap.
+/// Every amplitude is **moved**, never recombined: zero floating-point
+/// arithmetic, so the sweep is bit-identical to gate-by-gate execution by
+/// construction, at any thread count (destination chunks are disjoint and
+/// the source is read-only).
+///
+/// `scratch` is the caller's reusable destination buffer (resized here as
+/// needed); on success it holds the *previous* amplitudes.
+///
+/// # Errors
+///
+/// The block descriptor is caller-supplied, so it is validated up front —
+/// in release builds too — instead of trusted: a block spanning 0 or more
+/// than [`mbu_circuit::MAX_PERM_FUSED_QUBITS`] qubits, non-ascending
+/// positions, a position outside the state, a gate operand outside the
+/// block, or a non-permutation gate returns
+/// [`SimError::InvalidFusedBlock`] and leaves the state untouched.
+pub(crate) fn permute(
+    par: Par<'_>,
+    amps: &mut Amps,
+    scratch: &mut Amps,
+    positions: &[usize],
+    gates: &[Gate],
+) -> Result<(), SimError> {
+    let invalid = |why: String| SimError::InvalidFusedBlock { why };
+    let k = positions.len();
+    if !(1..=mbu_circuit::MAX_PERM_FUSED_QUBITS).contains(&k) {
+        return Err(invalid(format!(
+            "permutation block spans {k} qubits (supported: 1..={})",
+            mbu_circuit::MAX_PERM_FUSED_QUBITS
+        )));
+    }
+    if !positions.windows(2).all(|w| w[0] < w[1]) {
+        return Err(invalid(format!(
+            "block positions {positions:?} are not strictly ascending"
+        )));
+    }
+    if !amps.len().is_power_of_two() || positions[k - 1] >= amps.len().trailing_zeros() as usize {
+        return Err(invalid(format!(
+            "block position {} outside a {}-amplitude state",
+            positions[k - 1],
+            amps.len()
+        )));
+    }
+    for g in gates {
+        if !g.is_permutation() {
+            return Err(invalid(format!("gate {g:?} is not a basis permutation")));
+        }
+        let mut in_block = true;
+        let _ = g.map_qubits(|q| {
+            in_block &= q.index() < k;
+            q
+        });
+        if !in_block {
+            return Err(invalid(format!(
+                "gate {g:?} has an operand outside the {k}-qubit block"
+            )));
+        }
+    }
+
+    let segs = bit_segments(positions);
+    let support: usize = segs.iter().map(|s| s.mask << s.start).sum();
+    let extract = |j: usize| -> usize {
+        segs.iter()
+            .map(|s| ((j >> s.start) & s.mask) << s.shift)
+            .sum()
+    };
+    let spread = |v: usize| -> usize {
+        segs.iter()
+            .map(|s| ((v >> s.shift) & s.mask) << s.start)
+            .sum()
+    };
+    // Inverse local map, deposited: `table[v]` is the support-bit pattern
+    // of the source index feeding destination pattern `v`. All block
+    // gates are self-inverse, so `G⁻¹` is the gates applied in reverse
+    // order, each acting classically on the local bit pattern.
+    let dim = 1usize << k;
+    let table: Vec<usize> = (0..dim)
+        .map(|v| {
+            let mut w = v;
+            for g in gates.iter().rev() {
+                let m = |q: mbu_circuit::QubitId| q.index();
+                match *g {
+                    Gate::X(t) => w ^= 1usize << m(t),
+                    Gate::Cx(c, t) => w ^= ((w >> m(c)) & 1) << m(t),
+                    Gate::Ccx(c1, c2, t) => w ^= ((w >> m(c1)) & (w >> m(c2)) & 1) << m(t),
+                    Gate::Swap(a, b) => {
+                        let x = ((w >> m(a)) ^ (w >> m(b))) & 1;
+                        w ^= (x << m(a)) | (x << m(b));
+                    }
+                    _ => unreachable!("validated: permutation gates only"),
+                }
+            }
+            spread(w)
+        })
+        .collect();
+
+    let len = amps.len();
+    scratch.resize_zeroed(len);
+    let (sre, sim) = amps.parts();
+    let shared = {
+        let (re, im) = scratch.parts_mut();
+        Shared {
+            re: re.as_mut_ptr(),
+            im: im.as_mut_ptr(),
+            len,
+        }
+    };
+    // Below the lowest pinned bit, source and destination indices advance
+    // in lockstep, so whole runs copy as spans.
+    let run_len = 1usize << positions[0];
+    let sweep = |from: usize, to: usize| {
+        // SAFETY: destination ranges are disjoint across chunks, and the
+        // source buffer is only read.
+        #[allow(unsafe_code)]
+        let (dre, dim_) = unsafe { shared.slice(from, to - from) };
+        if run_len >= LANES {
+            let mut j = from;
+            while j < to {
+                let n = (run_len - (j & (run_len - 1))).min(to - j);
+                let i = (j & !support) | table[extract(j)];
+                dre[j - from..j - from + n].copy_from_slice(&sre[i..i + n]);
+                dim_[j - from..j - from + n].copy_from_slice(&sim[i..i + n]);
+                j += n;
+            }
+        } else {
+            for j in from..to {
+                let i = (j & !support) | table[extract(j)];
+                dre[j - from] = sre[i];
+                dim_[j - from] = sim[i];
+            }
+        }
+    };
+    match par.pool {
+        Some(pool) if pool.threads() > 1 && len >= PAR_MIN_AMPS => {
+            let chunks = pool.threads().min(len);
+            let per = len / chunks;
+            let extra = len % chunks;
+            let boundary = |c: usize| -> usize {
+                if c == 0 {
+                    0
+                } else if c == chunks {
+                    len
+                } else {
+                    (c * per + c.min(extra)) & !(LANES - 1)
+                }
+            };
+            pool.run(chunks, &|c| sweep(boundary(c), boundary(c + 1)));
+        }
+        _ => sweep(0, len),
+    }
+    std::mem::swap(amps, scratch);
+    Ok(())
 }
 
 /// Reclamation kernel: projects bit `p` onto the definite value `keep` and
@@ -604,13 +1161,17 @@ pub(crate) fn fused(par: Par<'_>, amps: &mut [Complex], positions: &[usize], gat
 /// at or ahead of its destination. (Serial by design: successive halves
 /// overlap, so the chunk-disjointness the parallel driver needs does not
 /// hold.)
-pub(crate) fn compact_bit(amps: &mut Vec<Complex>, p: usize, keep: bool) {
+pub(crate) fn compact_bit(amps: &mut Amps, p: usize, keep: bool) {
     let half = amps.len() / 2;
     let low_mask = (1usize << p) - 1;
     let kept = usize::from(keep) << p;
-    for i in 0..half {
-        let src = ((i & !low_mask) << 1) | kept | (i & low_mask);
-        amps[i] = amps[src];
+    {
+        let (re, im) = amps.parts_mut();
+        for i in 0..half {
+            let src = ((i & !low_mask) << 1) | kept | (i & low_mask);
+            re[i] = re[src];
+            im[i] = im[src];
+        }
     }
     amps.truncate(half);
 }
@@ -624,59 +1185,132 @@ pub(crate) fn compact_bit(amps: &mut Vec<Complex>, p: usize, keep: bool) {
 /// Pure moves, backward in place: every destination index is at or ahead
 /// of its source, and vacated sources are zeroed. At the top position with
 /// `value = 0` this degenerates to a plain zero-extension.
-pub(crate) fn expand_bit(amps: &mut Vec<Complex>, p: usize, value: bool) {
+pub(crate) fn expand_bit(amps: &mut Amps, p: usize, value: bool) {
     let old = amps.len();
-    amps.resize(old * 2, Complex::ZERO);
+    amps.resize_zeroed(old * 2);
     let low_mask = (1usize << p) - 1;
     let vbit = usize::from(value) << p;
+    let (re, im) = amps.parts_mut();
     for i in (0..old).rev() {
         let dst = ((i & !low_mask) << 1) | vbit | (i & low_mask);
         if dst != i {
-            amps[dst] = amps[i];
-            amps[i] = Complex::ZERO;
+            re[dst] = re[i];
+            re[i] = 0.0;
+            im[dst] = im[i];
+            im[i] = 0.0;
         }
     }
 }
 
 /// Branch-tree kernel: the both-branch projection of a Z-basis
-/// measurement on bit `m` (a mask, `1u64 << q`), in **one sweep** over the
+/// measurement on bit mask `m` (`1usize << p`), in **one sweep** over the
 /// parent state. The parent collapses in place to the outcome-0 branch
 /// (bit-clear amplitudes rescaled by `scale0`, bit-set zeroed) while the
 /// returned array holds the outcome-1 branch (bit-set rescaled by
 /// `scale1`, bit-clear zeroed).
 ///
-/// The per-amplitude arithmetic — `a.scale(scale)` on survivors,
-/// `Complex::ZERO` elsewhere — is exactly the projection loop of the
-/// sampling measurement path, so each branch is bit-identical to what a
-/// forced-outcome `measure` would have left behind.
-pub(crate) fn split_bit(amps: &mut [Complex], m: usize, scale0: f64, scale1: f64) -> Vec<Complex> {
-    let mut one = vec![Complex::ZERO; amps.len()];
-    for (i, (a, o)) in amps.iter_mut().zip(one.iter_mut()).enumerate() {
-        if i & m != 0 {
-            *o = a.scale(scale1);
-            *a = Complex::ZERO;
-        } else {
-            *a = a.scale(scale0);
+/// The per-amplitude arithmetic — componentwise rescale on survivors,
+/// exact zeros elsewhere, in ascending index order — is exactly the
+/// projection loop of the sampling measurement path, so each branch is
+/// bit-identical to what a forced-outcome `measure` would have left
+/// behind.
+pub(crate) fn split_bit(amps: &mut Amps, m: usize, scale0: f64, scale1: f64) -> Amps {
+    let mut one = Amps::zeroed(amps.len());
+    {
+        let (ore, oim) = one.parts_mut();
+        let (re, im) = amps.parts_mut();
+        let mut base = 0usize;
+        while base < re.len() {
+            for i in base..base + m {
+                re[i] *= scale0;
+                im[i] *= scale0;
+            }
+            for i in base + m..base + (m << 1) {
+                ore[i] = re[i] * scale1;
+                oim[i] = im[i] * scale1;
+                re[i] = 0.0;
+                im[i] = 0.0;
+            }
+            base += m << 1;
         }
     }
     one
+}
+
+/// Measurement kernel: projects bit `p` onto `outcome`, rescaling the
+/// surviving amplitudes by `scale` (componentwise, exactly
+/// `a.scale(scale)`) and zeroing the rest — one block-structured sweep,
+/// identical arithmetic and order to a per-index
+/// `if bit matches { rescale } else { zero }` scan.
+pub(crate) fn project_bit(amps: &mut Amps, p: usize, outcome: bool, scale: f64) {
+    let m = 1usize << p;
+    let (re, im) = amps.parts_mut();
+    let mut base = 0usize;
+    while base < re.len() {
+        let (keep, kill) = if outcome {
+            (base + m, base)
+        } else {
+            (base, base + m)
+        };
+        for i in keep..keep + m {
+            re[i] *= scale;
+            im[i] *= scale;
+        }
+        re[kill..kill + m].fill(0.0);
+        im[kill..kill + m].fill(0.0);
+        base += m << 1;
+    }
+}
+
+/// Projection without renormalisation: zeroes every amplitude whose bit
+/// `p` is set and leaves the rest **bitwise untouched** (no multiply by
+/// 1.0 — survivors keep their exact representation). Used when the
+/// discarded branch already carries zero probability mass.
+pub(crate) fn zero_where_bit(amps: &mut Amps, p: usize) {
+    let m = 1usize << p;
+    let (re, im) = amps.parts_mut();
+    let mut base = 0usize;
+    while base < re.len() {
+        re[base + m..base + (m << 1)].fill(0.0);
+        im[base + m..base + (m << 1)].fill(0.0);
+        base += m << 1;
+    }
+}
+
+/// The probability mass carried by amplitudes whose bit `p` is set — a
+/// serial reduction in ascending index order, identical to a filtered
+/// per-index `norm_sqr` sum (parallel or reordered partial sums would
+/// re-associate floating-point addition).
+pub(crate) fn prob_of_set_bit(amps: &Amps, p: usize) -> f64 {
+    let m = 1usize << p;
+    let (re, im) = amps.parts();
+    let mut mass = 0.0;
+    let mut base = 0usize;
+    while base < re.len() {
+        for i in base + m..base + (m << 1) {
+            mass += re[i] * re[i] + im[i] * im[i];
+        }
+        base += m << 1;
+    }
+    mass
 }
 
 /// The probability masses `(mass₀, mass₁)` carried by amplitudes whose bit
 /// `p` is clear / set — the definiteness check a [`compact_bit`] drop is
 /// gated on. (A serial reduction: parallel partial sums would re-associate
 /// floating-point addition.)
-pub(crate) fn bit_masses(amps: &[Complex], p: usize) -> (f64, f64) {
+pub(crate) fn bit_masses(amps: &Amps, p: usize) -> (f64, f64) {
     let m = 1usize << p;
+    let (re, im) = amps.parts();
     let mut m0 = 0.0;
     let mut m1 = 0.0;
-    let mut base = 0;
-    while base < amps.len() {
-        for a in &amps[base..base + m] {
-            m0 += a.norm_sqr();
+    let mut base = 0usize;
+    while base < re.len() {
+        for i in base..base + m {
+            m0 += re[i] * re[i] + im[i] * im[i];
         }
-        for a in &amps[base + m..base + (m << 1)] {
-            m1 += a.norm_sqr();
+        for i in base + m..base + (m << 1) {
+            m1 += re[i] * re[i] + im[i] * im[i];
         }
         base += m << 1;
     }
@@ -688,15 +1322,29 @@ mod tests {
     use super::*;
     use mbu_circuit::QubitId;
 
-    fn indices(len: usize, pins: &[(usize, usize)]) -> Vec<usize> {
-        let mut amps = vec![Complex::ZERO; len];
+    /// Expands one enumeration of `drive` into sorted absolute indices,
+    /// asserting no index is delivered twice.
+    fn indices_with(par: Par<'_>, len: usize, pins: &[(usize, usize)]) -> Vec<usize> {
+        let mut amps = Amps::zeroed(len);
         let v = std::sync::Mutex::new(Vec::new());
-        drive(Par::serial(), &mut amps, pins, |_, base, run| {
-            v.lock().unwrap().extend(base..base + run);
+        drive(par, &mut amps, pins, |_, base, run, stride, count| {
+            let mut v = v.lock().unwrap();
+            for j in 0..count {
+                v.extend(base + j * stride..base + j * stride + run);
+            }
         });
         let mut v = v.into_inner().unwrap();
         v.sort_unstable();
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "duplicate index");
         v
+    }
+
+    /// Both enumeration strategies must visit the same index set.
+    fn indices(len: usize, pins: &[(usize, usize)]) -> Vec<usize> {
+        let grouped = indices_with(Par::serial(), len, pins);
+        let scalar = indices_with(Par::scalar(), len, pins);
+        assert_eq!(grouped, scalar, "simd and scalar enumerations diverge");
+        grouped
     }
 
     #[test]
@@ -721,7 +1369,8 @@ mod tests {
     #[test]
     fn run_iteration_matches_mask_filter_exhaustively() {
         // Cross-check against the naive definition for every pin layout in
-        // a 6-qubit space, for 1, 2 and 3 pins.
+        // a 6-qubit space, for 1, 2 and 3 pins — on both enumeration
+        // strategies (the `indices` helper asserts they agree).
         let len = 64usize;
         for p0 in 0..6 {
             for v0 in [0usize, 1] {
@@ -770,89 +1419,156 @@ mod tests {
 
     #[test]
     fn x_kernel_on_high_bit() {
-        let mut amps = vec![Complex::ZERO; 8];
-        amps[0b001] = Complex::ONE;
+        let mut amps = Amps::zeroed(8);
+        amps.set(0b001, Complex::ONE);
         x(Par::serial(), &mut amps, 2);
-        assert_eq!(amps[0b101], Complex::ONE);
-        assert_eq!(amps[0b001], Complex::ZERO);
+        assert_eq!(amps.get(0b101), Complex::ONE);
+        assert_eq!(amps.get(0b001), Complex::ZERO);
     }
 
     /// A deterministic, non-degenerate test state.
-    fn ramp(len: usize) -> Vec<Complex> {
-        (0..len)
-            .map(|i| Complex::new(1.0 + i as f64, -0.5 * i as f64))
-            .collect()
+    fn ramp(len: usize) -> Amps {
+        Amps::from_complex(
+            &(0..len)
+                .map(|i| Complex::new(1.0 + i as f64, -0.5 * i as f64))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn assert_bit_identical(a: &Amps, b: &Amps, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: lengths");
+        for i in 0..a.len() {
+            let (x, y) = (a.get(i), b.get(i));
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re of amp {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im of amp {i}");
+        }
+    }
+
+    type Kernel = Box<dyn Fn(Par<'_>, &mut Amps)>;
+
+    /// Every kernel family over an `n`-qubit state (requires `n ≥ 10`):
+    /// low-bit, high-bit and mixed operands, so runs of length 1 up to
+    /// half the array all occur.
+    fn kernel_suite(n: usize) -> Vec<(&'static str, Kernel)> {
+        assert!(n >= 10);
+        let w = Complex::cis(0.3);
+        type K = Kernel;
+        let kernels: Vec<(&'static str, K)> = vec![
+            ("x lo", Box::new(|p, a: &mut Amps| x(p, a, 0))),
+            ("x hi", Box::new(move |p, a: &mut Amps| x(p, a, n - 1))),
+            ("h lo", Box::new(|p, a: &mut Amps| h(p, a, 1))),
+            ("h hi", Box::new(move |p, a: &mut Amps| h(p, a, n - 1))),
+            ("z", Box::new(|p, a: &mut Amps| z(p, a, 3, 1))),
+            (
+                "phase1",
+                Box::new(move |p, a: &mut Amps| phase1(p, a, 2, 0, w)),
+            ),
+            (
+                "cx lo-hi",
+                Box::new(move |p, a: &mut Amps| cx(p, a, 0, 1, n - 1)),
+            ),
+            (
+                "cx hi-lo",
+                Box::new(move |p, a: &mut Amps| cx(p, a, n - 1, 1, 0)),
+            ),
+            ("cx adjacent", Box::new(|p, a: &mut Amps| cx(p, a, 0, 1, 1))),
+            (
+                "ccx",
+                Box::new(move |p, a: &mut Amps| ccx(p, a, 2, 1, n - 2, 1, 5)),
+            ),
+            (
+                "ccx lo target",
+                Box::new(move |p, a: &mut Amps| ccx(p, a, 4, 1, n - 1, 0, 0)),
+            ),
+            (
+                "cz",
+                Box::new(move |p, a: &mut Amps| cz(p, a, 1, 1, n - 1, 1)),
+            ),
+            (
+                "phase2",
+                Box::new(move |p, a: &mut Amps| phase2(p, a, 4, 0, 9, 1, w)),
+            ),
+            (
+                "ccz",
+                Box::new(move |p, a: &mut Amps| ccz(p, a, 0, 1, 7, 0, n - 1, 1)),
+            ),
+            (
+                "phase3",
+                Box::new(move |p, a: &mut Amps| phase3(p, a, 3, 1, 8, 1, n - 2, 0, w)),
+            ),
+            (
+                "swap",
+                Box::new(move |p, a: &mut Amps| swap(p, a, 2, n - 1)),
+            ),
+            (
+                "swap adjacent",
+                Box::new(|p, a: &mut Amps| swap(p, a, 7, 8)),
+            ),
+            (
+                "swap high-low",
+                Box::new(move |p, a: &mut Amps| swap(p, a, n - 1, 0)),
+            ),
+        ];
+        kernels
     }
 
     #[test]
     fn parallel_kernels_are_bit_identical_to_serial() {
         // A pool with several lanes on an array above the parallel
         // threshold: every kernel family must produce bitwise-identical
-        // amplitudes to its serial run, including high-bit operands where
-        // a run spans a huge contiguous range.
+        // amplitudes across scalar-serial, simd-serial, simd-parallel and
+        // scalar-parallel runs, including high-bit operands where a run
+        // spans a huge contiguous range.
         let n = 15usize; // 2^15 = 32768 ≥ PAR_MIN_AMPS
         let len = 1usize << n;
         let pool = AmpPool::new(4);
-        let par = Par::new(Some(&pool));
-        let w = Complex::cis(0.3);
-        type K = Box<dyn Fn(Par<'_>, &mut Vec<Complex>)>;
-        let kernels: Vec<(&str, K)> = vec![
-            ("x lo", Box::new(|p, a: &mut Vec<Complex>| x(p, a, 0))),
-            (
-                "x hi",
-                Box::new(move |p, a: &mut Vec<Complex>| x(p, a, n - 1)),
-            ),
-            ("h lo", Box::new(|p, a: &mut Vec<Complex>| h(p, a, 1))),
-            (
-                "h hi",
-                Box::new(move |p, a: &mut Vec<Complex>| h(p, a, n - 1)),
-            ),
-            ("z", Box::new(|p, a: &mut Vec<Complex>| z(p, a, 3, 1))),
-            (
-                "phase1",
-                Box::new(move |p, a: &mut Vec<Complex>| phase1(p, a, 2, 0, w)),
-            ),
-            (
-                "cx lo-hi",
-                Box::new(move |p, a: &mut Vec<Complex>| cx(p, a, 0, 1, n - 1)),
-            ),
-            (
-                "cx hi-lo",
-                Box::new(move |p, a: &mut Vec<Complex>| cx(p, a, n - 1, 1, 0)),
-            ),
-            (
-                "ccx",
-                Box::new(move |p, a: &mut Vec<Complex>| ccx(p, a, 2, 1, n - 2, 1, 5)),
-            ),
-            (
-                "cz",
-                Box::new(move |p, a: &mut Vec<Complex>| cz(p, a, 1, 1, n - 1, 1)),
-            ),
-            (
-                "phase2",
-                Box::new(move |p, a: &mut Vec<Complex>| phase2(p, a, 4, 0, 9, 1, w)),
-            ),
-            (
-                "ccz",
-                Box::new(move |p, a: &mut Vec<Complex>| ccz(p, a, 0, 1, 7, 0, n - 1, 1)),
-            ),
-            (
-                "phase3",
-                Box::new(move |p, a: &mut Vec<Complex>| phase3(p, a, 3, 1, 8, 1, 12, 0, w)),
-            ),
-            (
-                "swap",
-                Box::new(move |p, a: &mut Vec<Complex>| swap(p, a, 2, n - 1)),
-            ),
-        ];
-        for (name, kernel) in &kernels {
-            let mut serial = ramp(len);
-            let mut parallel = ramp(len);
-            kernel(Par::serial(), &mut serial);
-            kernel(par, &mut parallel);
-            for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
-                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{name}: re of amp {i}");
-                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{name}: im of amp {i}");
+        for (name, kernel) in &kernel_suite(n) {
+            let mut scalar = ramp(len);
+            kernel(Par::scalar(), &mut scalar);
+            for (mode, par) in [
+                ("simd serial", Par::serial()),
+                ("simd parallel", Par::new(Some(&pool), true)),
+                ("scalar parallel", Par::new(Some(&pool), false)),
+            ] {
+                let mut got = ramp(len);
+                kernel(par, &mut got);
+                assert_bit_identical(&scalar, &got, &format!("{name} [{mode}]"));
+            }
+        }
+    }
+
+    #[test]
+    fn simd_matches_scalar_on_tiny_states() {
+        // States smaller than one lane chunk must take the span helpers'
+        // scalar tails and still agree bitwise with the scalar path.
+        let w = Complex::cis(1.1);
+        type K = Box<dyn Fn(Par<'_>, &mut Amps)>;
+        for n in [2usize, 3] {
+            let len = 1usize << n;
+            let kernels: Vec<(&'static str, K)> = vec![
+                ("x", Box::new(|p, a: &mut Amps| x(p, a, 0))),
+                ("h", Box::new(|p, a: &mut Amps| h(p, a, 0))),
+                ("z", Box::new(|p, a: &mut Amps| z(p, a, 1, 1))),
+                (
+                    "phase1",
+                    Box::new(move |p, a: &mut Amps| phase1(p, a, 0, 1, w)),
+                ),
+                ("cx", Box::new(move |p, a: &mut Amps| cx(p, a, 0, 1, n - 1))),
+                (
+                    "cz",
+                    Box::new(move |p, a: &mut Amps| cz(p, a, 0, 1, n - 1, 1)),
+                ),
+                (
+                    "swap",
+                    Box::new(move |p, a: &mut Amps| swap(p, a, 0, n - 1)),
+                ),
+            ];
+            for (name, kernel) in &kernels {
+                let mut scalar = ramp(len);
+                let mut simd = ramp(len);
+                kernel(Par::scalar(), &mut scalar);
+                kernel(Par::serial(), &mut simd);
+                assert_bit_identical(&scalar, &simd, &format!("{name} @ len {len}"));
             }
         }
     }
@@ -877,23 +1593,23 @@ mod tests {
         let len = 1usize << 15;
 
         // Reference: each local gate applied gate-at-a-time with operands
-        // mapped onto the physical positions.
+        // mapped onto the physical positions, on the scalar path.
         let mut reference = ramp(len);
         for g in &gates {
             let phys = g.map_qubits(|lq| QubitId(u32::try_from(positions[lq.index()]).unwrap()));
             match phys {
-                Gate::X(a) => x(Par::serial(), &mut reference, a.index()),
-                Gate::H(a) => h(Par::serial(), &mut reference, a.index()),
+                Gate::X(a) => x(Par::scalar(), &mut reference, a.index()),
+                Gate::H(a) => h(Par::scalar(), &mut reference, a.index()),
                 Gate::Phase(a, t) => phase1(
-                    Par::serial(),
+                    Par::scalar(),
                     &mut reference,
                     a.index(),
                     1,
                     Complex::cis(t.radians()),
                 ),
-                Gate::Cx(c, t) => cx(Par::serial(), &mut reference, c.index(), 1, t.index()),
+                Gate::Cx(c, t) => cx(Par::scalar(), &mut reference, c.index(), 1, t.index()),
                 Gate::Ccx(c1, c2, t) => ccx(
-                    Par::serial(),
+                    Par::scalar(),
                     &mut reference,
                     c1.index(),
                     1,
@@ -901,21 +1617,75 @@ mod tests {
                     1,
                     t.index(),
                 ),
-                Gate::Cz(a, b) => cz(Par::serial(), &mut reference, a.index(), 1, b.index(), 1),
-                Gate::Swap(a, b) => swap(Par::serial(), &mut reference, a.index(), b.index()),
+                Gate::Cz(a, b) => cz(Par::scalar(), &mut reference, a.index(), 1, b.index(), 1),
+                Gate::Swap(a, b) => swap(Par::scalar(), &mut reference, a.index(), b.index()),
                 _ => unreachable!(),
             }
         }
 
         let pool = AmpPool::new(3);
-        for par in [Par::serial(), Par::new(Some(&pool))] {
+        for par in [
+            Par::scalar(),
+            Par::serial(),
+            Par::new(Some(&pool), true),
+            Par::new(Some(&pool), false),
+        ] {
             let mut fused_amps = ramp(len);
-            fused(par, &mut fused_amps, &positions, &gates);
-            for (i, (a, b)) in reference.iter().zip(&fused_amps).enumerate() {
-                assert_eq!(a.re.to_bits(), b.re.to_bits(), "re of amp {i}");
-                assert_eq!(a.im.to_bits(), b.im.to_bits(), "im of amp {i}");
+            fused(par, &mut fused_amps, &positions, &gates).unwrap();
+            assert_bit_identical(&reference, &fused_amps, "fused");
+        }
+    }
+
+    #[test]
+    fn fused_gather_mode_agrees_with_slice_mode_geometry() {
+        // Low positions force gather mode (runs of 1–2); the same block on
+        // shifted-up positions runs slice mode. Both against the unfused
+        // reference on a small state.
+        let q = |i: u32| QubitId(i);
+        let gates = vec![Gate::H(q(0)), Gate::Cx(q(0), q(1)), Gate::Z(q(1))];
+        for positions in [[0usize, 1], [5, 7]] {
+            let len = 1usize << 9;
+            let mut reference = ramp(len);
+            h(Par::scalar(), &mut reference, positions[0]);
+            cx(Par::scalar(), &mut reference, positions[0], 1, positions[1]);
+            z(Par::scalar(), &mut reference, positions[1], 1);
+            for par in [Par::scalar(), Par::serial()] {
+                let mut got = ramp(len);
+                fused(par, &mut got, &positions, &gates).unwrap();
+                assert_bit_identical(&reference, &got, &format!("positions {positions:?}"));
             }
         }
+    }
+
+    #[test]
+    fn fused_rejects_malformed_blocks_in_release_builds_too() {
+        // Regression for the release-vanishing `debug_assert!` guards:
+        // each malformed descriptor must come back as a typed error (and
+        // leave the state untouched), never index out of bounds.
+        let q = |i: u32| QubitId(i);
+        let pristine = ramp(16);
+        let expect_invalid = |positions: &[usize], gates: &[Gate], what: &str| {
+            let mut amps = ramp(16);
+            let err = fused(Par::serial(), &mut amps, positions, gates).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidFusedBlock { .. }),
+                "{what}: got {err:?}"
+            );
+            assert_bit_identical(&pristine, &amps, what);
+        };
+        expect_invalid(&[], &[], "empty block");
+        expect_invalid(&[0, 1, 2, 3, 4], &[], "five-qubit block");
+        expect_invalid(&[2, 1], &[Gate::X(q(0))], "descending positions");
+        expect_invalid(&[1, 1], &[Gate::X(q(0))], "duplicate positions");
+        expect_invalid(&[0, 4], &[Gate::X(q(0))], "position beyond the state");
+        expect_invalid(
+            &[0, 1],
+            &[Gate::Cx(q(0), q(2))],
+            "gate operand outside the block",
+        );
+        // The in-range shapes still work.
+        let mut amps = ramp(16);
+        fused(Par::serial(), &mut amps, &[0, 3], &[Gate::X(q(1))]).unwrap();
     }
 
     #[test]
@@ -923,10 +1693,10 @@ mod tests {
         // A 3-qubit state with bit 1 pinned to 1: dropping bit 1 then
         // re-inserting it at the same position must reproduce the state
         // exactly.
-        let mut amps = vec![Complex::ZERO; 8];
-        amps[0b010] = Complex::new(0.6, 0.0);
-        amps[0b111] = Complex::new(0.0, 0.8);
-        let original = amps.clone();
+        let mut amps = Amps::zeroed(8);
+        amps.set(0b010, Complex::new(0.6, 0.0));
+        amps.set(0b111, Complex::new(0.0, 0.8));
+        let original = amps.to_vec();
 
         let (m0, m1) = bit_masses(&amps, 1);
         assert_eq!(m0, 0.0);
@@ -934,11 +1704,11 @@ mod tests {
 
         compact_bit(&mut amps, 1, true);
         assert_eq!(amps.len(), 4);
-        assert_eq!(amps[0b00], Complex::new(0.6, 0.0)); // was |010⟩
-        assert_eq!(amps[0b11], Complex::new(0.0, 0.8)); // was |111⟩
+        assert_eq!(amps.get(0b00), Complex::new(0.6, 0.0)); // was |010⟩
+        assert_eq!(amps.get(0b11), Complex::new(0.0, 0.8)); // was |111⟩
 
         expand_bit(&mut amps, 1, true);
-        assert_eq!(amps, original);
+        assert_eq!(amps.to_vec(), original);
     }
 
     #[test]
@@ -959,10 +1729,10 @@ mod tests {
                         }
                     })
                     .collect();
-                let mut amps = full.clone();
+                let mut amps = Amps::from_complex(&full);
                 compact_bit(&mut amps, p, v);
                 expand_bit(&mut amps, p, v);
-                assert_eq!(amps, projected, "p={p} v={v}");
+                assert_eq!(amps.to_vec(), projected, "p={p} v={v}");
             }
         }
     }
@@ -973,36 +1743,38 @@ mod tests {
         // value v must gather exactly the matching half, in index order.
         for p in 0..4usize {
             for v in [false, true] {
-                let mut amps: Vec<Complex> = (0..16)
-                    .map(|i| Complex::new(f64::from(i), -f64::from(i)))
-                    .collect();
+                let mut amps = Amps::from_complex(
+                    &(0..16)
+                        .map(|i| Complex::new(f64::from(i), -f64::from(i)))
+                        .collect::<Vec<_>>(),
+                );
                 let want: Vec<Complex> = (0..16usize)
                     .filter(|i| (i >> p) & 1 == usize::from(v))
                     .map(|i| Complex::new(i as f64, -(i as f64)))
                     .collect();
                 compact_bit(&mut amps, p, v);
-                assert_eq!(amps, want, "p={p} v={v}");
+                assert_eq!(amps.to_vec(), want, "p={p} v={v}");
             }
         }
     }
 
     #[test]
     fn expand_zero_and_one_at_the_top() {
-        let mut amps = vec![Complex::ONE];
+        let mut amps = Amps::from_complex(&[Complex::ONE]);
         expand_bit(&mut amps, 0, false);
-        assert_eq!(amps, vec![Complex::ONE, Complex::ZERO]);
+        assert_eq!(amps.to_vec(), vec![Complex::ONE, Complex::ZERO]);
         expand_bit(&mut amps, 1, true);
         assert_eq!(
-            amps,
+            amps.to_vec(),
             vec![Complex::ZERO, Complex::ZERO, Complex::ONE, Complex::ZERO]
         );
     }
 
     #[test]
     fn phase_kernels_touch_only_the_pinned_subspace() {
-        let mut amps = vec![Complex::ONE; 16];
+        let mut amps = Amps::from_complex(&[Complex::ONE; 16]);
         phase2(Par::serial(), &mut amps, 3, 1, 1, 1, Complex::I);
-        for (i, a) in amps.iter().enumerate() {
+        for (i, a) in amps.to_vec().iter().enumerate() {
             let expect = if i & 0b1010 == 0b1010 {
                 Complex::I
             } else {
@@ -1010,5 +1782,210 @@ mod tests {
             };
             assert_eq!(*a, expect, "index {i:04b}");
         }
+    }
+
+    #[test]
+    fn measurement_sweeps_match_their_per_index_definitions() {
+        // project_bit / zero_where_bit / split_bit / prob_of_set_bit /
+        // bit_masses against the naive per-index loops they replace, for
+        // every bit of a 4-qubit ramp.
+        let len = 16usize;
+        let state: Vec<Complex> = (0..len)
+            .map(|i| Complex::new(0.3 + i as f64, 1.0 - 0.25 * i as f64))
+            .collect();
+        for p in 0..4usize {
+            let m = 1usize << p;
+            // prob_of_set_bit: ascending filtered sum.
+            let amps = Amps::from_complex(&state);
+            let mut want = 0.0;
+            for (i, a) in state.iter().enumerate() {
+                if i & m != 0 {
+                    want += a.norm_sqr();
+                }
+            }
+            assert_eq!(
+                prob_of_set_bit(&amps, p).to_bits(),
+                want.to_bits(),
+                "prob p={p}"
+            );
+
+            // bit_masses: block-interleaved sums (same as the seed order).
+            let (m0, m1) = bit_masses(&amps, p);
+            assert!((m0 + m1 - state.iter().map(|a| a.norm_sqr()).sum::<f64>()).abs() < 1e-9);
+
+            // project_bit.
+            for outcome in [false, true] {
+                let scale = 1.25;
+                let mut amps = Amps::from_complex(&state);
+                project_bit(&mut amps, p, outcome, scale);
+                for (i, a) in state.iter().enumerate() {
+                    let want = if (i & m != 0) == outcome {
+                        a.scale(scale)
+                    } else {
+                        Complex::ZERO
+                    };
+                    assert_eq!(amps.get(i), want, "project p={p} outcome={outcome} i={i}");
+                }
+            }
+
+            // zero_where_bit leaves survivors bitwise untouched.
+            let mut amps = Amps::from_complex(&state);
+            zero_where_bit(&mut amps, p);
+            for (i, a) in state.iter().enumerate() {
+                if i & m != 0 {
+                    assert_eq!(amps.get(i), Complex::ZERO, "zeroed p={p} i={i}");
+                } else {
+                    assert_eq!(amps.get(i).re.to_bits(), a.re.to_bits(), "kept p={p} i={i}");
+                    assert_eq!(amps.get(i).im.to_bits(), a.im.to_bits(), "kept p={p} i={i}");
+                }
+            }
+
+            // split_bit.
+            let mut zero_branch = Amps::from_complex(&state);
+            let one_branch = split_bit(&mut zero_branch, m, 0.5, 2.0);
+            for (i, a) in state.iter().enumerate() {
+                if i & m != 0 {
+                    assert_eq!(one_branch.get(i), a.scale(2.0), "one branch i={i}");
+                    assert_eq!(zero_branch.get(i), Complex::ZERO, "zero branch i={i}");
+                } else {
+                    assert_eq!(zero_branch.get(i), a.scale(0.5), "zero branch i={i}");
+                    assert_eq!(one_branch.get(i), Complex::ZERO, "one branch i={i}");
+                }
+            }
+        }
+    }
+
+    /// Reference: a permutation gate's classical action on a basis index
+    /// with *global* operands.
+    fn perm_image(i: usize, g: &Gate) -> usize {
+        let m = |q: QubitId| q.index();
+        let mut i = i;
+        match *g {
+            Gate::X(t) => i ^= 1usize << m(t),
+            Gate::Cx(c, t) => i ^= ((i >> m(c)) & 1) << m(t),
+            Gate::Ccx(c1, c2, t) => i ^= ((i >> m(c1)) & (i >> m(c2)) & 1) << m(t),
+            Gate::Swap(a, b) => {
+                let x = ((i >> m(a)) ^ (i >> m(b))) & 1;
+                i ^= (x << m(a)) | (x << m(b));
+            }
+            _ => unreachable!("permutation gates only"),
+        }
+        i
+    }
+
+    /// `permute` against the naive per-index definition, across gate
+    /// sequences whose support (6 qubits) exceeds the dense-fusion arity,
+    /// with non-contiguous positions so the extract/spread segment walk is
+    /// exercised, serial and pooled.
+    #[test]
+    fn permute_matches_naive_index_map() {
+        let n = 9usize;
+        let len = 1usize << n;
+        // Local gates over 6 block qubits mapped to scattered positions.
+        let positions = [0usize, 1, 3, 4, 5, 7];
+        let q = |i: usize| QubitId(u32::try_from(i).unwrap());
+        let gates = vec![
+            Gate::Cx(q(0), q(3)),
+            Gate::Ccx(q(1), q(2), q(0)),
+            Gate::X(q(4)),
+            Gate::Swap(q(2), q(5)),
+            Gate::Cx(q(5), q(1)),
+            Gate::Ccx(q(3), q(4), q(2)),
+            Gate::X(q(0)),
+            Gate::Swap(q(0), q(3)),
+        ];
+        // The same gates with global operands, for the reference walk.
+        let global: Vec<Gate> = gates
+            .iter()
+            .map(|g| g.map_qubits(|lq| q(positions[lq.index()])))
+            .collect();
+        let mut want = vec![Complex::ZERO; len];
+        let src = ramp(len);
+        for i in 0..len {
+            let mut j = i;
+            for g in &global {
+                j = perm_image(j, g);
+            }
+            want[j] = src.get(i);
+        }
+        let want = Amps::from_complex(&want);
+
+        for simd in [false, true] {
+            let mut amps = ramp(len);
+            let mut scratch = Amps::zeroed(0);
+            let par = Par { pool: None, simd };
+            permute(par, &mut amps, &mut scratch, &positions, &gates).unwrap();
+            assert_bit_identical(&amps, &want, "serial permute");
+            // Old amplitudes land in the swapped-out scratch.
+            assert_bit_identical(&scratch, &ramp(len), "swapped-out source");
+        }
+    }
+
+    /// Pooled permutation sweeps are bit-identical to serial ones, above
+    /// the parallel threshold and with a contiguous low-bit support (the
+    /// span-copy fast path).
+    #[test]
+    fn permute_parallel_matches_serial() {
+        let n = 15usize; // 2^15 = 32768 ≥ PAR_MIN_AMPS
+        let len = 1usize << n;
+        let q = |i: usize| QubitId(u32::try_from(i).unwrap());
+        // Support on high bits so runs are long (span-copy path).
+        let positions = [9usize, 10, 11, 12];
+        let gates = vec![
+            Gate::Cx(q(0), q(2)),
+            Gate::Ccx(q(1), q(3), q(0)),
+            Gate::Swap(q(1), q(2)),
+            Gate::X(q(3)),
+        ];
+        let mut serial = ramp(len);
+        let mut scratch = Amps::zeroed(0);
+        permute(Par::serial(), &mut serial, &mut scratch, &positions, &gates).unwrap();
+
+        let pool = AmpPool::new(4);
+        let mut parallel = ramp(len);
+        let mut pscratch = Amps::zeroed(0);
+        let par = Par {
+            pool: Some(&pool),
+            simd: true,
+        };
+        permute(par, &mut parallel, &mut pscratch, &positions, &gates).unwrap();
+        assert_bit_identical(&parallel, &serial, "pooled permute");
+    }
+
+    /// Malformed permutation blocks are rejected with a typed error — in
+    /// release builds too — leaving the state untouched.
+    #[test]
+    fn permute_rejects_malformed_blocks() {
+        let q = |i: usize| QubitId(u32::try_from(i).unwrap());
+        let check = |positions: &[usize], gates: &[Gate]| {
+            let before = ramp(16);
+            let mut amps = ramp(16);
+            let mut scratch = Amps::zeroed(0);
+            let err = permute(Par::serial(), &mut amps, &mut scratch, positions, gates);
+            assert!(
+                matches!(err, Err(SimError::InvalidFusedBlock { .. })),
+                "expected rejection for positions {positions:?}"
+            );
+            assert_bit_identical(&amps, &before, "state untouched after rejection");
+        };
+        let cx = [Gate::Cx(q(0), q(1))];
+        // Empty block.
+        check(&[], &cx);
+        // Non-ascending positions.
+        check(&[2, 1], &cx);
+        // Position outside the 4-qubit state.
+        check(&[1, 4], &cx);
+        // Operand outside the block.
+        check(&[0, 1], &[Gate::Cx(q(0), q(2))]);
+        // Non-permutation gate.
+        check(&[0, 1], &[Gate::H(q(0)), Gate::Cx(q(0), q(1))]);
+        // Wider than the remap-table cap.
+        let wide: Vec<usize> = (0..17).collect();
+        let mut amps = Amps::zeroed(1usize << 18);
+        let mut scratch = Amps::zeroed(0);
+        assert!(matches!(
+            permute(Par::serial(), &mut amps, &mut scratch, &wide, &cx),
+            Err(SimError::InvalidFusedBlock { .. })
+        ));
     }
 }

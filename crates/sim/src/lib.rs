@@ -50,7 +50,13 @@
 //! (bit-identical to unfused execution), and every kernel sweep can split
 //! across a persistent per-state worker pool
 //! ([`StateVector::with_amp_threads`] / `MBU_AMP_THREADS`) with
-//! deterministic chunking — bit-identical results at any lane count. The
+//! deterministic chunking — bit-identical results at any lane count.
+//! Amplitudes live in cache-line-aligned structure-of-arrays re/im
+//! buffers, and the kernels walk them as grouped strided spans whose
+//! inner loops autovectorize (explicit 8-wide lane chunks, stable Rust);
+//! [`StateVector::with_simd`] / `MBU_SIMD` selects between that vectorized
+//! enumeration and the scalar reference enumeration, with amplitudes
+//! bit-identical either way. The
 //! [`ShotRunner`] builds on those seams: a seeded, deterministic,
 //! multi-threaded ensemble engine that compiles the circuit once, shares
 //! the immutable program across all workers, divides one thread budget
@@ -91,8 +97,8 @@
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let mut sim = BasisTracker::zeros(3);
-//! sim.set_bit(q[0], true);
-//! sim.set_bit(q[1], true);
+//! sim.set_bit(q[0], true).unwrap();
+//! sim.set_bit(q[1], true).unwrap();
 //! // The AND ancilla must end in |0⟩ with no residual phase,
 //! // whatever the measurement outcome.
 //! sim.run(&circuit, &mut rng).unwrap();
@@ -118,6 +124,7 @@ mod kernels;
 mod pool;
 mod shots;
 mod simulator;
+mod soa;
 mod sparse;
 mod statevector;
 

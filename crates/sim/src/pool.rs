@@ -76,6 +76,14 @@ unsafe impl Send for TaskPtr {}
 impl AmpPool {
     /// A pool executing with `threads` total lanes: `threads − 1` spawned
     /// workers plus the calling thread.
+    ///
+    /// Panic triage: the `expect`s in this module are deliberate. Spawn
+    /// failure means the OS refused a thread — no caller input reaches
+    /// that — and every `expect("pool lock")` fires only on mutex
+    /// poisoning, i.e. after a worker already panicked, which `run`
+    /// re-raises on the calling thread anyway. Converting them to
+    /// `SimError`s would thread fallibility through every gate kernel for
+    /// states that are unreachable without a prior abort-worthy bug.
     pub(crate) fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {

@@ -97,6 +97,27 @@ pub trait Simulator {
     /// fragment.
     fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError>;
 
+    /// Applies one compiled fusion block
+    /// ([`mbu_circuit::FusedUnitary`]).
+    ///
+    /// The default replays the block's constituent gates through
+    /// [`apply_gate`](Simulator::apply_gate) — bitwise the unfused
+    /// stream, since fusion never reorders gates. Amplitude backends
+    /// override it with a single-sweep kernel that produces bit-identical
+    /// amplitudes; either way the caller tallies the constituents, so the
+    /// choice is invisible in executed-gate statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply_gate`](Simulator::apply_gate), plus backend-specific
+    /// block validation (e.g. [`SimError::InvalidFusedBlock`]).
+    fn apply_fused(&mut self, block: &mbu_circuit::FusedUnitary) -> Result<(), SimError> {
+        for g in block.global_gates() {
+            self.apply_gate(&g)?;
+        }
+        Ok(())
+    }
+
     /// Measures `qubit` in `basis`; `draw(p1)` must return `true` with
     /// probability `p1` (the backend computes the Born probability of
     /// outcome 1).

@@ -9,6 +9,7 @@ use crate::exec::{self, Executed};
 use crate::kernels::{self, Par};
 use crate::pool::AmpPool;
 use crate::simulator::{Fork, Simulator};
+use crate::soa::Amps;
 
 /// Tolerance below which a probability is treated as exactly 0 or 1 when
 /// reading definite bits out of the state vector.
@@ -81,11 +82,15 @@ pub enum KernelMode {
 #[derive(Debug)]
 pub struct StateVector {
     num_qubits: usize,
-    amps: Vec<Complex>,
+    amps: Amps,
     mode: KernelMode,
     /// Whether compiled runs may execute `Drop` instructions by compacting
     /// the amplitude array (defaults to on; `MBU_RECLAIM=0` force-disables).
     reclaim: bool,
+    /// Whether stride kernels use the vectorized grouped enumeration
+    /// (defaults to on; `MBU_SIMD=0` force-disables). Bit-identity either
+    /// way — the switch changes iteration shape only, never arithmetic.
+    simd: bool,
     /// Peak live amplitudes of the most recent compiled run.
     last_run_peak: Option<usize>,
     /// Requested intra-state amplitude worker lanes (`MBU_AMP_THREADS`
@@ -94,6 +99,11 @@ pub struct StateVector {
     /// The persistent worker pool, spawned lazily on the first kernel call
     /// large enough to benefit (never for small states).
     pool: Option<AmpPool>,
+    /// Reusable destination buffer for permutation-block sweeps
+    /// ([`kernels::permute`] streams `amps` into it and swaps), allocated
+    /// on first need and kept across blocks so a deep shot pays the
+    /// allocation once.
+    scratch: Option<Amps>,
 }
 
 impl Clone for StateVector {
@@ -103,11 +113,15 @@ impl Clone for StateVector {
             amps: self.amps.clone(),
             mode: self.mode,
             reclaim: self.reclaim,
+            simd: self.simd,
             last_run_peak: self.last_run_peak,
             amp_threads: self.amp_threads,
             // Worker pools are per-instance (one in-flight job each); the
-            // clone lazily spawns its own when it first needs one.
+            // clone lazily spawns its own when it first needs one. The
+            // permutation scratch buffer is pure scratch — reallocated on
+            // first need rather than copied.
             pool: None,
+            scratch: None,
         }
     }
 }
@@ -131,6 +145,27 @@ fn reclaim_default() -> bool {
             true,
         )
     })
+}
+
+/// Resolves an (injected) `MBU_SIMD` value: the vectorized grouped
+/// enumeration is on unless the variable disables it (`0`, `off`,
+/// `false`, `no`), through the same shared [`mbu_circuit::knobs`] policy
+/// as `MBU_RECLAIM` — unparsable values warn once and keep the default.
+/// Injected rather than read here so the policy is testable without
+/// mutating process-global state.
+fn resolve_simd(env_value: Option<&str>) -> bool {
+    mbu_circuit::knobs::switch("MBU_SIMD", env_value, true)
+}
+
+/// The process-wide SIMD construction default. Like [`reclaim_default`],
+/// the env var flips the *construction default* only — explicit
+/// [`StateVector::with_simd`] calls always win, which is also how the
+/// benches pit the two enumerations against each other inside one
+/// process — and it is read once because construction sits in per-shot
+/// hot loops.
+fn simd_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| resolve_simd(std::env::var("MBU_SIMD").ok().as_deref()))
 }
 
 /// The process-wide amplitude-lane construction default: 1 (serial),
@@ -186,16 +221,18 @@ impl StateVector {
                 max: MAX_STATEVECTOR_QUBITS,
             });
         }
-        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
-        amps[0] = Complex::ONE;
+        let mut amps = Amps::zeroed(1usize << num_qubits);
+        amps.set(0, Complex::ONE);
         Ok(Self {
             num_qubits,
             amps,
             mode: KernelMode::Stride,
             reclaim: reclaim_default(),
+            simd: simd_default(),
             last_run_peak: None,
             amp_threads: amp_threads_default(),
             pool: None,
+            scratch: None,
         })
     }
 
@@ -235,12 +272,14 @@ impl StateVector {
         }
         Ok(Self {
             num_qubits,
-            amps,
+            amps: Amps::from_complex(&amps),
             mode: KernelMode::Stride,
             reclaim: reclaim_default(),
+            simd: simd_default(),
             last_run_peak: None,
             amp_threads: amp_threads_default(),
             pool: None,
+            scratch: None,
         })
     }
 
@@ -283,6 +322,32 @@ impl StateVector {
     #[must_use]
     pub fn reclamation_enabled(&self) -> bool {
         self.reclaim
+    }
+
+    /// Enables or disables the vectorized kernel enumeration (builder
+    /// style).
+    ///
+    /// When enabled (the default, unless the `MBU_SIMD` environment
+    /// variable force-disables it), the stride kernels walk the amplitude
+    /// array as *groups* of consecutive strided runs and hand each span to
+    /// explicit 8-wide lane loops over the structure-of-arrays re/im
+    /// buffers — the autovectorizable shape. When disabled, they fall back
+    /// to the original run-at-a-time scalar enumeration. Amplitudes, RNG
+    /// draws, outcomes and executed counts are **bit-identical** either
+    /// way: the switch changes iteration shape only, never the
+    /// per-amplitude arithmetic or its order — it exists so the scalar
+    /// path stays an honest in-process A/B baseline (and a CI leg) for
+    /// the vectorized one.
+    #[must_use]
+    pub fn with_simd(mut self, enabled: bool) -> Self {
+        self.simd = enabled;
+        self
+    }
+
+    /// Whether stride kernels use the vectorized grouped enumeration.
+    #[must_use]
+    pub fn simd_enabled(&self) -> bool {
+        self.simd
     }
 
     /// Sets the number of amplitude worker lanes for gate execution
@@ -341,8 +406,8 @@ impl StateVector {
                 what: format!("basis index {index}"),
             });
         }
-        self.amps.fill(Complex::ZERO);
-        self.amps[index as usize] = Complex::ONE;
+        self.amps.fill_zero();
+        self.amps.set(index as usize, Complex::ONE);
         Ok(())
     }
 
@@ -359,13 +424,19 @@ impl StateVector {
     /// Panics if `index ≥ 2^num_qubits`.
     #[must_use]
     pub fn amplitude(&self, index: u64) -> Complex {
-        self.amps[index as usize]
+        self.amps.get(index as usize)
     }
 
     /// All amplitudes, indexed by basis state.
+    ///
+    /// Amplitudes are stored internally as structure-of-arrays re/im
+    /// buffers (see the crate docs), so this materialises a fresh
+    /// interleaved vector — an `O(2^n)` copy. Component values round-trip
+    /// bit-exactly; hot paths wanting single entries should use
+    /// [`amplitude`](Self::amplitude).
     #[must_use]
-    pub fn amplitudes(&self) -> &[Complex] {
-        &self.amps
+    pub fn amplitudes(&self) -> Vec<Complex> {
+        self.amps.to_vec()
     }
 
     /// The probability of observing basis state `index`.
@@ -375,7 +446,7 @@ impl StateVector {
     /// Panics if `index ≥ 2^num_qubits`.
     #[must_use]
     pub fn probability_of(&self, index: u64) -> f64 {
-        self.amps[index as usize].norm_sqr()
+        self.amps.get(index as usize).norm_sqr()
     }
 
     /// The 2-norm of the state (1 for any normalised state).
@@ -394,7 +465,7 @@ impl StateVector {
         assert_eq!(self.num_qubits, other.num_qubits, "width mismatch");
         let mut acc = Complex::ZERO;
         for (a, b) in self.amps.iter().zip(other.amps.iter()) {
-            acc += a.conj() * *b;
+            acc += a.conj() * b;
         }
         acc
     }
@@ -420,7 +491,7 @@ impl StateVector {
             .map(|(_, a)| a.norm_sqr())
             .sum();
         if leaked <= tol {
-            Some((best as u64, self.amps[best]))
+            Some((best as u64, self.amps.get(best)))
         } else {
             None
         }
@@ -490,14 +561,10 @@ impl StateVector {
     }
 
     /// The probability that qubit `q` reads 1 in the computational basis.
+    /// One block-structured kernel sweep, summing in ascending index order
+    /// exactly like the per-index filtered scan it replaced.
     fn prob_one(&self, q: QubitId) -> f64 {
-        let m = 1usize << q.index();
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & m != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        kernels::prob_of_set_bit(&self.amps, q.index())
     }
 
     /// The per-qubit probabilities of reading 1, for all of `qubits`, in a
@@ -592,14 +659,42 @@ impl StateVector {
     /// physical storage; flips on untouched qubits commute with it (they
     /// permute group bases, and the block acts identically on every
     /// group).
-    fn apply_fused_block(&mut self, positions: &[usize], gates: &[Gate], flip: &mut usize) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFusedBlock`] when the descriptor fails
+    /// the kernel's structural validation (checked in release builds too);
+    /// the flips are only flushed once the positions are known to be
+    /// in-range, so a rejected block leaves the amplitudes untouched.
+    fn apply_fused_block(
+        &mut self,
+        positions: &[usize],
+        gates: &[Gate],
+        flip: &mut usize,
+    ) -> Result<(), SimError> {
         self.ensure_pool();
-        let Self { amps, pool, .. } = self;
-        let par = Par::new(pool.as_ref());
-        for &p in positions {
-            Self::flush_flip_bit(par, amps, flip, p);
+        let Self {
+            amps,
+            pool,
+            simd,
+            scratch,
+            ..
+        } = self;
+        let par = Par::new(pool.as_ref(), *simd);
+        let width = amps.len().trailing_zeros() as usize;
+        if positions.iter().all(|&p| p < width) {
+            for &p in positions {
+                Self::flush_flip_bit(par, amps, flip, p);
+            }
         }
-        kernels::fused(par, amps, positions, gates);
+        if positions.len() > mbu_circuit::MAX_FUSED_QUBITS {
+            // Wider than the dense-kernel arity: only permutation blocks
+            // compile to this shape, applied as one index-remap sweep.
+            let buf = scratch.get_or_insert_with(|| Amps::zeroed(0));
+            kernels::permute(par, amps, buf, positions, gates)
+        } else {
+            kernels::fused(par, amps, positions, gates)
+        }
     }
 
     /// Stride-kernel dispatch: every gate touches only the amplitudes it
@@ -617,8 +712,10 @@ impl StateVector {
             1 ^ (flip >> q.index() & 1)
         }
         self.ensure_pool();
-        let Self { amps, pool, .. } = self;
-        let par = Par::new(pool.as_ref());
+        let Self {
+            amps, pool, simd, ..
+        } = self;
+        let par = Par::new(pool.as_ref(), *simd);
         match *gate {
             Gate::X(q) => *flip ^= 1usize << q.index(),
             Gate::H(q) => {
@@ -698,7 +795,7 @@ impl StateVector {
 
     /// Materialises the pending frame flip on qubit `q`, if any: one exact
     /// X kernel (pure amplitude moves, no arithmetic).
-    fn flush_flip_bit(par: Par<'_>, amps: &mut [Complex], flip: &mut usize, q: usize) {
+    fn flush_flip_bit(par: Par<'_>, amps: &mut Amps, flip: &mut usize, q: usize) {
         if *flip >> q & 1 == 1 {
             kernels::x(par, amps, q);
             *flip &= !(1usize << q);
@@ -710,8 +807,10 @@ impl StateVector {
     /// always the physical one.
     fn flush_flips(&mut self, flip: &mut usize) {
         self.ensure_pool();
-        let Self { amps, pool, .. } = self;
-        let par = Par::new(pool.as_ref());
+        let Self {
+            amps, pool, simd, ..
+        } = self;
+        let par = Par::new(pool.as_ref(), *simd);
         let mut m = *flip;
         while m != 0 {
             let q = m.trailing_zeros() as usize;
@@ -739,7 +838,7 @@ impl StateVector {
                 let m = 1usize << q.index();
                 for i in 0..self.amps.len() {
                     if i & m != 0 {
-                        self.amps[i] = -self.amps[i];
+                        self.amps.set(i, -self.amps.get(i));
                     }
                 }
             }
@@ -747,10 +846,10 @@ impl StateVector {
                 let m = 1usize << q.index();
                 for i in 0..self.amps.len() {
                     if i & m == 0 {
-                        let a = self.amps[i];
-                        let b = self.amps[i | m];
-                        self.amps[i] = (a + b).scale(FRAC_1_SQRT_2);
-                        self.amps[i | m] = (a - b).scale(FRAC_1_SQRT_2);
+                        let a = self.amps.get(i);
+                        let b = self.amps.get(i | m);
+                        self.amps.set(i, (a + b).scale(FRAC_1_SQRT_2));
+                        self.amps.set(i | m, (a - b).scale(FRAC_1_SQRT_2));
                     }
                 }
             }
@@ -759,7 +858,7 @@ impl StateVector {
                 let w = Complex::cis(theta.radians());
                 for i in 0..self.amps.len() {
                     if i & m != 0 {
-                        self.amps[i] = self.amps[i] * w;
+                        self.amps.set(i, self.amps.get(i) * w);
                     }
                 }
             }
@@ -776,7 +875,7 @@ impl StateVector {
                 let m = (1usize << a.index()) | (1usize << b.index());
                 for i in 0..self.amps.len() {
                     if i & m == m {
-                        self.amps[i] = -self.amps[i];
+                        self.amps.set(i, -self.amps.get(i));
                     }
                 }
             }
@@ -793,7 +892,7 @@ impl StateVector {
                 let m = (1usize << a.index()) | (1usize << b.index()) | (1usize << c.index());
                 for i in 0..self.amps.len() {
                     if i & m == m {
-                        self.amps[i] = -self.amps[i];
+                        self.amps.set(i, -self.amps.get(i));
                     }
                 }
             }
@@ -802,7 +901,7 @@ impl StateVector {
                 let w = Complex::cis(theta.radians());
                 for i in 0..self.amps.len() {
                     if i & m == m {
-                        self.amps[i] = self.amps[i] * w;
+                        self.amps.set(i, self.amps.get(i) * w);
                     }
                 }
             }
@@ -811,7 +910,7 @@ impl StateVector {
                 let w = Complex::cis(theta.radians());
                 for i in 0..self.amps.len() {
                     if i & m == m {
-                        self.amps[i] = self.amps[i] * w;
+                        self.amps.set(i, self.amps.get(i) * w);
                     }
                 }
             }
@@ -827,30 +926,23 @@ impl StateVector {
         }
     }
 
-    /// The Born probability that the qubit under mask `m` reads 1, clamped
+    /// The Born probability that the qubit at bit `p` reads 1, clamped
     /// into `[0, 1]`: long gate chains can push the summed mass a few ulps
     /// past 1, and the complementary branch probability `1 − p1` then goes
     /// negative — whose `1/sqrt` renormaliser is NaN and would silently
     /// poison every later amplitude. The summation order (ascending index)
     /// is part of the bit-identity contract between the sampling and
     /// forking measurement paths.
-    fn z_prob_one_of_mask(&self, m: usize) -> f64 {
-        let p1: f64 = self
-            .amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & m != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum();
-        p1.clamp(0.0, 1.0)
+    fn z_prob_one(&self, p: usize) -> f64 {
+        kernels::prob_of_set_bit(&self.amps, p).clamp(0.0, 1.0)
     }
 
     /// The renormalisation factor for projecting onto branch `outcome` of
-    /// the qubit under mask `m`, given its summed probability `p1`.
-    fn z_branch_scale(&self, m: usize, outcome: bool, p1: f64) -> f64 {
-        let p = if outcome { p1 } else { 1.0 - p1 };
-        if p > 0.0 {
-            1.0 / p.sqrt()
+    /// the qubit at bit position `p`, given its summed probability `p1`.
+    fn z_branch_scale(&self, p: usize, outcome: bool, p1: f64) -> f64 {
+        let prob = if outcome { p1 } else { 1.0 - p1 };
+        if prob > 0.0 {
+            1.0 / prob.sqrt()
         } else {
             // The branch carries no mass by the summed probability
             // (possible only when the draw callback ignores its argument,
@@ -858,13 +950,8 @@ impl StateVector {
             // underflowed). Renormalise from the directly-computed branch
             // mass when there is any; otherwise leave the survivors as-is
             // — never produce inf/NaN.
-            let kept: f64 = self
-                .amps
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| (i & m != 0) == outcome)
-                .map(|(_, a)| a.norm_sqr())
-                .sum();
+            let (m0, m1) = kernels::bit_masses(&self.amps, p);
+            let kept = if outcome { m1 } else { m0 };
             if kept > 0.0 {
                 1.0 / kept.sqrt()
             } else {
@@ -875,17 +962,11 @@ impl StateVector {
 
     /// Z-basis measurement: projects and renormalises.
     fn measure_z(&mut self, q: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> bool {
-        let m = 1usize << q.index();
-        let p1 = self.z_prob_one_of_mask(m);
+        let p = q.index();
+        let p1 = self.z_prob_one(p);
         let outcome = draw(p1);
-        let scale = self.z_branch_scale(m, outcome, p1);
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if (i & m != 0) == outcome {
-                *a = a.scale(scale);
-            } else {
-                *a = Complex::ZERO;
-            }
-        }
+        let scale = self.z_branch_scale(p, outcome, p1);
+        kernels::project_bit(&mut self.amps, p, outcome, scale);
         outcome
     }
 
@@ -895,15 +976,17 @@ impl StateVector {
     /// protocol assumes a single `&mut` owner, so a pool shared between a
     /// parent and a forked child running on different threads would race
     /// its epoch/acknowledge handshake and deadlock.
-    fn child_with_amps(&self, amps: Vec<Complex>) -> Self {
+    fn child_with_amps(&self, amps: Amps) -> Self {
         Self {
             num_qubits: self.num_qubits,
             amps,
             mode: self.mode,
             reclaim: self.reclaim,
+            simd: self.simd,
             last_run_peak: None,
             amp_threads: self.amp_threads,
             pool: None,
+            scratch: None,
         }
     }
 
@@ -919,17 +1002,13 @@ impl StateVector {
     /// paying a full child allocation plus two extra sweeps per definite
     /// measurement would double the traffic of a full-expansion run.
     fn fork_z(&mut self, q: QubitId) -> Fork {
-        let m = 1usize << q.index();
-        let p1 = self.z_prob_one_of_mask(m);
+        let p = q.index();
+        let p1 = self.z_prob_one(p);
         if p1 == 0.0 {
             // Outcome 0 is certain: its renormaliser is exactly
             // 1/√(1−0) = 1, so `measure_z(…, false)` would scale the
             // survivors by 1.0 (a bitwise no-op) and zero the dead half.
-            for (i, a) in self.amps.iter_mut().enumerate() {
-                if i & m != 0 {
-                    *a = Complex::ZERO;
-                }
-            }
+            kernels::zero_where_bit(&mut self.amps, p);
             return Fork::Split {
                 p_one: p1,
                 one: None,
@@ -938,10 +1017,10 @@ impl StateVector {
         let scale0 = if p1 == 1.0 {
             1.0
         } else {
-            self.z_branch_scale(m, false, p1)
+            self.z_branch_scale(p, false, p1)
         };
-        let scale1 = self.z_branch_scale(m, true, p1);
-        let one_amps = kernels::split_bit(&mut self.amps, m, scale0, scale1);
+        let scale1 = self.z_branch_scale(p, true, p1);
+        let one_amps = kernels::split_bit(&mut self.amps, 1usize << p, scale0, scale1);
         Fork::Split {
             p_one: p1,
             one: Some(Box::new(self.child_with_amps(one_amps))),
@@ -1013,12 +1092,12 @@ impl LiveMap {
     /// Exact by construction: a qubit is virtualised only when every
     /// amplitude on one of its branches is exactly zero, and each
     /// [`kernels::compact_bit`] step copies the survivors bit-for-bit.
-    fn compact_definite(num_qubits: usize, amps: &mut Vec<Complex>) -> Self {
+    fn compact_definite(num_qubits: usize, amps: &mut Amps) -> Self {
         // One sweep: which bit values ever occur with nonzero amplitude.
         let mut ones = 0usize;
         let mut zeros = 0usize;
         for (i, a) in amps.iter().enumerate() {
-            if *a != Complex::ZERO {
+            if a != Complex::ZERO {
                 ones |= i;
                 zeros |= !i;
             }
@@ -1042,9 +1121,9 @@ impl LiveMap {
                 // (small) array, releasing the full-width allocation for
                 // the duration of the run.
                 let base = virtual_base(&slots);
-                let mut compact = Vec::with_capacity(1usize << live);
+                let mut compact = Amps::zeroed(1usize << live);
                 for i in 0..1usize << live {
-                    compact.push(amps[scatter_index(base, &phys, i)]);
+                    compact.set(i, amps.get(scatter_index(base, &phys, i)));
                 }
                 *amps = compact;
             } else {
@@ -1083,7 +1162,7 @@ impl LiveMap {
 
     /// Makes logical qubit `q` live, materialising it first if it had been
     /// factored out.
-    fn ensure_live(&mut self, amps: &mut Vec<Complex>, q: usize, flip: &mut usize) {
+    fn ensure_live(&mut self, amps: &mut Amps, q: usize, flip: &mut usize) {
         if let LiveSlot::Virtual(b) = self.slots[q] {
             self.materialize(amps, q, b, flip);
         }
@@ -1096,7 +1175,7 @@ impl LiveMap {
     /// nothing but materialising the leftover virtual qubits. Live qubits
     /// above the insertion point shift up by one, as do their pending
     /// bit-flip frame entries.
-    fn materialize(&mut self, amps: &mut Vec<Complex>, q: usize, b: bool, flip: &mut usize) {
+    fn materialize(&mut self, amps: &mut Amps, q: usize, b: bool, flip: &mut usize) {
         let p = self.phys.partition_point(|&lq| lq < q);
         kernels::expand_bit(amps, p, b);
         let low = *flip & ((1usize << p) - 1);
@@ -1115,13 +1194,13 @@ impl LiveMap {
     /// to half its length and re-indexes the surviving qubits and the
     /// bit-flip frame. A qubit that cannot be proven definite stays live —
     /// skipping is always safe because drops are advisory.
-    fn drop_qubit(&mut self, amps: &mut Vec<Complex>, q: usize, flip: &mut usize) {
+    fn drop_qubit(&mut self, amps: &mut Amps, q: usize, flip: &mut usize, simd: bool) {
         let LiveSlot::Live(p) = self.slots[q] else {
             // Factored out since the initial compaction and never touched
             // again: already reclaimed.
             return;
         };
-        StateVector::flush_flip_bit(Par::serial(), amps, flip, p);
+        StateVector::flush_flip_bit(Par::new(None, simd), amps, flip, p);
         let (m0, m1) = kernels::bit_masses(amps, p);
         let keep = if m0 <= RECLAIM_TOL {
             true
@@ -1151,7 +1230,7 @@ impl LiveMap {
     /// Because `phys` is kept sorted throughout the run, this is just the
     /// remaining materialisations: once every qubit is live, position
     /// equals logical index by construction.
-    fn restore(mut self, amps: &mut Vec<Complex>, num_qubits: usize) {
+    fn restore(mut self, amps: &mut Amps, num_qubits: usize) {
         let live = self.phys.len();
         if live == num_qubits {
             // `phys` is sorted, so fully-live means identity already.
@@ -1160,9 +1239,9 @@ impl LiveMap {
         if gather_beats_cascade(live, num_qubits) {
             // Small live core: scatter it into a fresh full-width array.
             let base = virtual_base(&self.slots);
-            let mut out = vec![Complex::ZERO; 1usize << num_qubits];
+            let mut out = Amps::zeroed(1usize << num_qubits);
             for (i, a) in amps.iter().enumerate() {
-                out[scatter_index(base, &self.phys, i)] = *a;
+                out.set(scatter_index(base, &self.phys, i), a);
             }
             *amps = out;
             return;
@@ -1241,19 +1320,16 @@ impl StateVector {
                 for q in fu.qubits() {
                     lm.ensure_live(&mut sv.amps, q.index(), &mut f);
                 }
-                let mut positions = [0usize; mbu_circuit::MAX_FUSED_QUBITS];
-                for (slot, q) in positions.iter_mut().zip(fu.qubits()) {
-                    *slot = lm.position(q.index());
-                }
+                let positions: Vec<usize> =
+                    fu.qubits().iter().map(|q| lm.position(q.index())).collect();
                 drop(lm);
-                let k = fu.num_qubits();
                 // `phys` mirrors logical order, so ascending logical
                 // operands translate to ascending physical positions — the
-                // layout the fused kernel's group enumeration assumes.
-                debug_assert!(positions[..k].windows(2).all(|w| w[0] < w[1]));
-                sv.apply_fused_block(&positions[..k], fu.gates(), &mut f);
+                // layout the fused kernels' group enumeration assumes.
+                debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+                let applied = sv.apply_fused_block(&positions, fu.gates(), &mut f);
                 flip.set(f);
-                Ok(())
+                applied
             },
             |sv, q| {
                 let mut f = flip.get();
@@ -1266,7 +1342,8 @@ impl StateVector {
             |sv, q| {
                 let mut lm = live.borrow_mut();
                 let mut f = flip.get();
-                lm.drop_qubit(&mut sv.amps, q.index(), &mut f);
+                let simd = sv.simd;
+                lm.drop_qubit(&mut sv.amps, q.index(), &mut f, simd);
                 flip.set(f);
             },
         );
@@ -1287,6 +1364,32 @@ impl Simulator for StateVector {
 
     fn apply_gate(&mut self, gate: &Gate) -> Result<(), SimError> {
         self.apply(gate)
+    }
+
+    /// Single-sweep fused-block application for gate-at-a-time callers
+    /// (the branch-tree engine's deterministic segments): dense blocks go
+    /// through the gather kernel, wide permutation blocks through the
+    /// index-remap kernel — bit-identical to replaying the constituents.
+    /// The scan reference path keeps replaying gate by gate.
+    fn apply_fused(&mut self, block: &mbu_circuit::FusedUnitary) -> Result<(), SimError> {
+        if self.mode == KernelMode::Scan {
+            for g in block.global_gates() {
+                self.apply_gate(&g)?;
+            }
+            return Ok(());
+        }
+        if let Some(q) = block.qubits().iter().find(|q| q.index() >= self.num_qubits) {
+            return Err(SimError::OutOfRange {
+                what: format!("fused-block qubit {}", q.0),
+            });
+        }
+        // Gate-at-a-time use runs under an empty frame (like `apply`);
+        // blocks hold only frame-free gates, so nothing accrues to flush.
+        let mut flip = 0usize;
+        let positions: Vec<usize> = block.qubits().iter().map(|q| q.index()).collect();
+        self.apply_fused_block(&positions, block.gates(), &mut flip)?;
+        debug_assert_eq!(flip, 0, "fused blocks leave no pending frame flips");
+        Ok(())
     }
 
     /// Frame-aware compiled execution: gates stream through the stride
@@ -1346,13 +1449,10 @@ impl Simulator for StateVector {
             },
             |sv, fu| {
                 let mut f = flip.get();
-                let mut positions = [0usize; mbu_circuit::MAX_FUSED_QUBITS];
-                for (slot, q) in positions.iter_mut().zip(fu.qubits()) {
-                    *slot = q.index();
-                }
-                sv.apply_fused_block(&positions[..fu.num_qubits()], fu.gates(), &mut f);
+                let positions: Vec<usize> = fu.qubits().iter().map(|q| q.index()).collect();
+                let applied = sv.apply_fused_block(&positions, fu.gates(), &mut f);
                 flip.set(f);
-                Ok(())
+                applied
             },
             |sv, q| {
                 let mut f = flip.get();
@@ -1653,12 +1753,9 @@ mod tests {
             stride.apply(gate).unwrap();
             scan.apply(gate).unwrap();
         }
-        for (i, (a, b)) in stride
-            .amplitudes()
-            .iter()
-            .zip(scan.amplitudes())
-            .enumerate()
-        {
+        let stride_amps = stride.amplitudes();
+        let scan_amps = scan.amplitudes();
+        for (i, (a, b)) in stride_amps.iter().zip(&scan_amps).enumerate() {
             assert_eq!(a.re.to_bits(), b.re.to_bits(), "re of amp {i}");
             assert_eq!(a.im.to_bits(), b.im.to_bits(), "im of amp {i}");
         }
@@ -1854,7 +1951,9 @@ mod tests {
             let ex_on = on.run_compiled(&compiled, &mut rng_on).unwrap();
             let ex_off = off.run_compiled(&compiled, &mut rng_off).unwrap();
             assert_eq!(ex_on, ex_off, "seed {seed}");
-            for (i, (a, b)) in on.amplitudes().iter().zip(off.amplitudes()).enumerate() {
+            let amps_on = on.amplitudes();
+            let amps_off = off.amplitudes();
+            for (i, (a, b)) in amps_on.iter().zip(&amps_off).enumerate() {
                 assert!((*a - *b).norm() < 1e-12, "seed {seed} amp {i}: {a} vs {b}");
             }
             // Both ancillas uncomputed, data preserved.
@@ -1908,7 +2007,9 @@ mod tests {
             let ex_on = on.run_compiled(&compiled, &mut rng_on).unwrap();
             let ex_off = off.run_compiled(&compiled, &mut rng_off).unwrap();
             assert_eq!(ex_on, ex_off);
-            for (i, (a, b)) in on.amplitudes().iter().zip(off.amplitudes()).enumerate() {
+            let amps_on = on.amplitudes();
+            let amps_off = off.amplitudes();
+            for (i, (a, b)) in amps_on.iter().zip(&amps_off).enumerate() {
                 assert!((*a - *b).norm() < 1e-12, "seed {seed} amp {i}");
             }
             // The superposed qubit survived the skipped drop.
@@ -1972,12 +2073,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(5);
             let ex_parallel = parallel.run_compiled(&compiled, &mut rng).unwrap();
             assert_eq!(ex_serial, ex_parallel, "fuse window {fuse}");
-            for (i, (a, b)) in serial
-                .amplitudes()
-                .iter()
-                .zip(parallel.amplitudes())
-                .enumerate()
-            {
+            let amps_serial = serial.amplitudes();
+            let amps_parallel = parallel.amplitudes();
+            for (i, (a, b)) in amps_serial.iter().zip(&amps_parallel).enumerate() {
                 assert_eq!(a.re.to_bits(), b.re.to_bits(), "fuse {fuse}: re amp {i}");
                 assert_eq!(a.im.to_bits(), b.im.to_bits(), "fuse {fuse}: im amp {i}");
             }
@@ -2092,6 +2190,60 @@ mod tests {
             sweep_and_probe(s_child.as_mut(), n).to_bits(),
             "child branch diverged from serial"
         );
+    }
+
+    #[test]
+    fn simd_knob_resolution_policy() {
+        // Unset and garbage keep the vectorized default; explicit
+        // disablers turn it off.
+        assert!(resolve_simd(None));
+        assert!(resolve_simd(Some("1")));
+        assert!(resolve_simd(Some("definitely")));
+        assert!(!resolve_simd(Some("0")));
+        assert!(!resolve_simd(Some("off")));
+        assert!(!resolve_simd(Some("false")));
+    }
+
+    #[test]
+    fn simd_builder_override_and_propagation() {
+        let sv = StateVector::zeros(2).unwrap().with_simd(false);
+        assert!(!sv.simd_enabled());
+        assert!(!sv.clone().simd_enabled(), "clones keep the setting");
+        let sv = sv.with_simd(true);
+        assert!(sv.simd_enabled());
+    }
+
+    #[test]
+    fn scalar_enumeration_matches_vectorized_bit_for_bit() {
+        // The same gate program under both enumerations, amplitudes
+        // compared exactly — the contract every equivalence suite in this
+        // PR rides on, asserted here at its source.
+        let theta = Angle::turn_over_power_of_two(3);
+        let program = [
+            Gate::H(q(0)),
+            Gate::H(q(3)),
+            Gate::Cx(q(3), q(1)),
+            Gate::Ccx(q(0), q(1), q(4)),
+            Gate::Phase(q(1), theta),
+            Gate::CPhase(q(4), q(1), theta),
+            Gate::CcPhase(q(1), q(2), q(0), theta),
+            Gate::Cz(q(1), q(4)),
+            Gate::Swap(q(0), q(4)),
+            Gate::X(q(2)),
+            Gate::H(q(2)),
+        ];
+        let mut vec = StateVector::basis(5, 0b10110).unwrap().with_simd(true);
+        let mut sca = StateVector::basis(5, 0b10110).unwrap().with_simd(false);
+        for gate in &program {
+            vec.apply(gate).unwrap();
+            sca.apply(gate).unwrap();
+        }
+        let va = vec.amplitudes();
+        let sa = sca.amplitudes();
+        for (i, (a, b)) in va.iter().zip(&sa).enumerate() {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "re of amp {i}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "im of amp {i}");
+        }
     }
 
     #[test]

@@ -108,7 +108,7 @@ proptest! {
 
         let mut tracker = BasisTracker::zeros(6);
         let all: Vec<QubitId> = (0..6).map(QubitId).collect();
-        tracker.set_value(&all, u128::from(input));
+        tracker.set_value(&all, u128::from(input)).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         tracker.run(&circuit, &mut rng).unwrap();
         prop_assert_eq!(tracker.value(&all).unwrap(), u128::from(sv_out));
@@ -141,7 +141,7 @@ proptest! {
 
         let mut tracker = BasisTracker::zeros(4);
         let all: Vec<QubitId> = (0..4).map(QubitId).collect();
-        tracker.set_value(&all, u128::from(input));
+        tracker.set_value(&all, u128::from(input)).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         tracker.run(&circuit, &mut rng).unwrap();
         let expected = Complex::cis(tracker.global_phase().radians());

@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (xq, yq) = (layout.x.qubits().to_vec(), layout.y.qubits().to_vec());
         let factory = move || {
             let mut sim = BasisTracker::zeros(nq);
-            sim.set_value(&xq, x);
-            sim.set_value(&yq, y);
+            sim.set_value(&xq, x).unwrap();
+            sim.set_value(&yq, y).unwrap();
             Box::new(sim) as Box<dyn Simulator + Send>
         };
 
@@ -49,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Sampled, for contrast: a seeded 1000-shot Monte-Carlo ensemble.
         let mc = ShotRunner::new(1000).run(&layout.circuit, || {
             let mut sim = BasisTracker::zeros(nq);
-            sim.set_value(layout.x.qubits(), x);
-            sim.set_value(layout.y.qubits(), y);
+            sim.set_value(layout.x.qubits(), x).unwrap();
+            sim.set_value(layout.y.qubits(), y).unwrap();
             Box::new(sim)
         })?;
 
@@ -74,8 +74,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (xq, yq) = (layout.x.qubits().to_vec(), layout.y.qubits().to_vec());
     let dist = BranchEnsemble::new(0).distribution(&layout.circuit, move || {
         let mut sim = BasisTracker::zeros(nq);
-        sim.set_value(&xq, x);
-        sim.set_value(&yq, y);
+        sim.set_value(&xq, x).unwrap();
+        sim.set_value(&yq, y).unwrap();
         Box::new(sim) as Box<dyn Simulator + Send>
     })?;
     println!("\ncdkpm-mbu measurement records (exact probabilities):");

@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulate: 40000 + 30000 mod 65521 = 4479.
     let (x, y) = (40_000u128, 30_000u128);
     let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-    sim.set_value(layout.x.qubits(), x);
-    sim.set_value(layout.y.qubits(), y);
+    sim.set_value(layout.x.qubits(), x).unwrap();
+    sim.set_value(layout.y.qubits(), y).unwrap();
     let mut rng = StdRng::seed_from_u64(2025);
     let executed = sim.run(&layout.circuit, &mut rng)?;
 
@@ -50,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "in expectation". Average a parallel 1000-shot ensemble instead.
     let ensemble = ShotRunner::new(1000).run(&layout.circuit, || {
         let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-        sim.set_value(layout.x.qubits(), x);
-        sim.set_value(layout.y.qubits(), y);
+        sim.set_value(layout.x.qubits(), x).unwrap();
+        sim.set_value(layout.y.qubits(), y).unwrap();
         Box::new(sim)
     })?;
     let mean = ensemble.mean();

@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut row = String::new();
     for e in 0..(1u128 << k) {
         let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-        sim.set_value(layout.exponent.qubits(), e);
-        sim.set_value(layout.work.qubits(), 1);
+        sim.set_value(layout.exponent.qubits(), e).unwrap();
+        sim.set_value(layout.work.qubits(), 1).unwrap();
         let mut rng = StdRng::seed_from_u64(e as u64);
         sim.run(&layout.circuit, &mut rng)?;
         let v = sim.value(layout.work.qubits())?;
@@ -54,8 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e_probe = 5u128;
     let ensemble = ShotRunner::new(400).run(&layout.circuit, || {
         let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-        sim.set_value(layout.exponent.qubits(), e_probe);
-        sim.set_value(layout.work.qubits(), 1);
+        sim.set_value(layout.exponent.qubits(), e_probe).unwrap();
+        sim.set_value(layout.work.qubits(), 1).unwrap();
         Box::new(sim)
     })?;
     println!(

@@ -21,7 +21,7 @@ fn run_tracker(
     circuit.validate().expect("circuit must validate");
     let mut sim = BasisTracker::zeros(circuit.num_qubits());
     for (reg, v) in inputs {
-        sim.set_value(reg, *v);
+        sim.set_value(reg, *v).unwrap();
     }
     let mut rng = StdRng::seed_from_u64(seed);
     sim.run(circuit, &mut rng)
@@ -68,11 +68,11 @@ fn add_sub_round_trip_at_width_200() {
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
         // x = alternating bits, y = every third bit.
         for (i, q) in xr.iter().enumerate() {
-            sim.set_bit(q, i % 2 == 0);
+            sim.set_bit(q, i % 2 == 0).unwrap();
         }
         let y_bits: Vec<bool> = (0..=n).map(|i| i % 3 == 1).collect();
         for (i, q) in yr.iter().enumerate() {
-            sim.set_bit(q, y_bits[i]);
+            sim.set_bit(q, y_bits[i]).unwrap();
         }
         let mut rng = StdRng::seed_from_u64(17);
         sim.run(&circuit, &mut rng).unwrap();
@@ -349,7 +349,7 @@ proptest! {
         adders::sub(&mut b, AdderKind::Gidney, xr.qubits(), yr.qubits()).unwrap();
         let circuit = b.finish();
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
-        sim.set_value(xr.qubits(), x);
+        sim.set_value(xr.qubits(), x).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         sim.run(&circuit, &mut rng).unwrap();
         for q in ((2 * n + 1) as u32..circuit.num_qubits() as u32).map(QubitId) {

@@ -251,8 +251,8 @@ fn tracker_chains_run_exact_tables_at_full_width() {
     let dist = BranchEnsemble::new(0)
         .distribution(&layout.circuit, move || {
             let mut sim = BasisTracker::zeros(nq);
-            sim.set_value(&x, 7);
-            sim.set_value(&y, 9);
+            sim.set_value(&x, 7).unwrap();
+            sim.set_value(&y, 9).unwrap();
             Box::new(sim) as Box<dyn Simulator + Send>
         })
         .unwrap();
@@ -287,8 +287,8 @@ fn sampled_tracker_chains_match_shot_runner_bitwise() {
         let (x, y) = (x.clone(), y.clone());
         move || {
             let mut sim = BasisTracker::zeros(nq);
-            sim.set_value(&x, 7);
-            sim.set_value(&y, 11);
+            sim.set_value(&x, 7).unwrap();
+            sim.set_value(&y, 11).unwrap();
             Box::new(sim) as Box<dyn Simulator + Send>
         }
     };
@@ -301,8 +301,8 @@ fn sampled_tracker_chains_match_shot_runner_bitwise() {
             .with_master_seed(seed)
             .run(&chain.circuit, || {
                 let mut sim = BasisTracker::zeros(nq);
-                sim.set_value(&x, 7);
-                sim.set_value(&y, 11);
+                sim.set_value(&x, 7).unwrap();
+                sim.set_value(&y, 11).unwrap();
                 Box::new(sim)
             })
             .unwrap();

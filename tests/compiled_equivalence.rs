@@ -118,7 +118,7 @@ fn max_amp_diff(a: &StateVector, b: &StateVector) -> f64 {
     a.amplitudes()
         .iter()
         .zip(b.amplitudes())
-        .map(|(x, y)| (*x - *y).norm())
+        .map(|(x, y)| (*x - y).norm())
         .fold(0.0, f64::max)
 }
 
@@ -192,8 +192,8 @@ proptest! {
             for (j, (x, y)) in sv_i.amplitudes().iter().zip(sv_c.amplitudes()).enumerate() {
                 let rotated = phase * *x;
                 prop_assert!(
-                    (rotated - *y).norm() < 1e-9,
-                    "amp {}: {} vs {} (phase {})", j, rotated, *y, phase
+                    (rotated - y).norm() < 1e-9,
+                    "amp {}: {} vs {} (phase {})", j, rotated, y, phase
                 );
             }
         }
@@ -267,8 +267,8 @@ fn shotrunner_with_passes_matches_interpreted_distribution() {
     let layout = modular::modadd_circuit(&spec, 4, 13).unwrap();
     let factory = || {
         let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-        sim.set_value(layout.x.qubits(), 7);
-        sim.set_value(layout.y.qubits(), 9);
+        sim.set_value(layout.x.qubits(), 7).unwrap();
+        sim.set_value(layout.y.qubits(), 9).unwrap();
         Box::new(sim) as Box<dyn Simulator>
     };
     let plain = ShotRunner::new(400).run(&layout.circuit, factory).unwrap();

@@ -436,8 +436,8 @@ fn table1_expected_counts_reproduced_by_branch_tree_exact_mode() {
         let dist = BranchEnsemble::new(0)
             .distribution(&layout.circuit, move || {
                 let mut sim = BasisTracker::zeros(nq);
-                sim.set_value(&x, 7);
-                sim.set_value(&y, 9);
+                sim.set_value(&x, 7).unwrap();
+                sim.set_value(&y, 9).unwrap();
                 Box::new(sim) as Box<dyn Simulator + Send>
             })
             .unwrap();

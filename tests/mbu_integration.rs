@@ -47,8 +47,8 @@ fn monte_carlo_matches_analytic_expectation_modadd() {
         let measured = monte_carlo_toffoli(
             &layout.circuit,
             |sim| {
-                sim.set_value(layout.x.qubits(), 200);
-                sim.set_value(layout.y.qubits(), 123);
+                sim.set_value(layout.x.qubits(), 200).unwrap();
+                sim.set_value(layout.y.qubits(), 123).unwrap();
             },
             trials,
         );
@@ -75,8 +75,8 @@ fn mbu_outcome_statistics_are_uniform() {
             .with_master_seed(x as u64 ^ (y as u64).rotate_left(32))
             .run(&layout.circuit, || {
                 let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                sim.set_value(layout.x.qubits(), x);
-                sim.set_value(layout.y.qubits(), y);
+                sim.set_value(layout.x.qubits(), x).unwrap();
+                sim.set_value(layout.y.qubits(), y).unwrap();
                 Box::new(sim)
             })
             .unwrap();
@@ -188,9 +188,9 @@ fn two_sided_comparator_statistics_and_savings() {
         let z = lcg % (1 << n);
         for layout in [&plain, &with_mbu] {
             let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-            sim.set_value(layout.x.qubits(), x);
-            sim.set_value(layout.y.qubits(), y);
-            sim.set_value(layout.z.qubits(), z);
+            sim.set_value(layout.x.qubits(), x).unwrap();
+            sim.set_value(layout.y.qubits(), y).unwrap();
+            sim.set_value(layout.z.qubits(), z).unwrap();
             let mut rng = StdRng::seed_from_u64(trial);
             sim.run(&layout.circuit, &mut rng).unwrap();
             assert_eq!(sim.bit(layout.t).unwrap(), y < x && x < z);
@@ -219,9 +219,9 @@ fn monte_carlo_two_sided_quarter_saving() {
         let yq = layout.y.qubits().to_vec();
         let zq = layout.z.qubits().to_vec();
         move |sim: &mut BasisTracker| {
-            sim.set_value(&xq, x);
-            sim.set_value(&yq, y);
-            sim.set_value(&zq, z);
+            sim.set_value(&xq, x).unwrap();
+            sim.set_value(&yq, y).unwrap();
+            sim.set_value(&zq, z).unwrap();
         }
     };
     let t_plain = monte_carlo_toffoli(&plain.circuit, prep(&plain), trials);
@@ -249,8 +249,8 @@ fn executed_counts_bifurcate_by_outcome() {
             &layout.circuit,
             || {
                 let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-                sim.set_value(layout.x.qubits(), 30);
-                sim.set_value(layout.y.qubits(), 40);
+                sim.set_value(layout.x.qubits(), 30).unwrap();
+                sim.set_value(layout.y.qubits(), 40).unwrap();
                 Box::new(sim)
             },
             |_, ex| {

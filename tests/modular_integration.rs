@@ -20,7 +20,7 @@ fn run_tracker(
     circuit.validate().expect("circuit must validate");
     let mut sim = BasisTracker::zeros(circuit.num_qubits());
     for (reg, v) in inputs {
-        sim.set_value(reg, *v);
+        sim.set_value(reg, *v).unwrap();
     }
     let mut rng = StdRng::seed_from_u64(seed);
     sim.run(circuit, &mut rng).expect("supported circuit");

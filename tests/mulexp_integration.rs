@@ -21,7 +21,7 @@ fn run_tracker(
     circuit.validate().unwrap();
     let mut sim = BasisTracker::zeros(circuit.num_qubits());
     for (reg, v) in inputs {
-        sim.set_value(reg, *v);
+        sim.set_value(reg, *v).unwrap();
     }
     let mut rng = StdRng::seed_from_u64(seed);
     sim.run(circuit, &mut rng).unwrap();
@@ -129,8 +129,8 @@ fn accumulate_version_keeps_x_intact() {
     let circuit = b.finish();
     for seed in 0..4 {
         let mut sim = BasisTracker::zeros(circuit.num_qubits());
-        sim.set_value(xr.qubits(), 19);
-        sim.set_value(acc.qubits(), 5);
+        sim.set_value(xr.qubits(), 19).unwrap();
+        sim.set_value(acc.qubits(), 5).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         sim.run(&circuit, &mut rng).unwrap();
         assert_eq!(sim.value(xr.qubits()).unwrap(), 19);

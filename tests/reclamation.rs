@@ -83,7 +83,9 @@ proptest! {
         prop_assert_eq!(&ex_on, &ex_off);
         // Identical state, up to the exactly-zero / residue mass a drop
         // discards.
-        for (i, (a, b)) in sv_on.amplitudes().iter().zip(sv_off.amplitudes()).enumerate() {
+        let amps_on = sv_on.amplitudes();
+        let amps_off = sv_off.amplitudes();
+        for (i, (a, b)) in amps_on.iter().zip(&amps_off).enumerate() {
             prop_assert!((*a - *b).norm() < 1e-9, "amp {}: {} vs {}", i, a, b);
         }
         // Both compute the paper's modular sum.

@@ -21,8 +21,8 @@ fn tracker_factory(
 ) -> impl Fn() -> Box<dyn Simulator> + Sync + '_ {
     move || {
         let mut sim = BasisTracker::zeros(layout.circuit.num_qubits());
-        sim.set_value(layout.x.qubits(), x);
-        sim.set_value(layout.y.qubits(), y);
+        sim.set_value(layout.x.qubits(), x).unwrap();
+        sim.set_value(layout.y.qubits(), y).unwrap();
         Box::new(sim)
     }
 }

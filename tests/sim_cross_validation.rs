@@ -90,10 +90,12 @@ fn tracker_and_statevector_agree_on_random_circuits() {
         let input = (seed * 37) % (1 << num_qubits);
 
         let mut tracker = BasisTracker::zeros(width);
-        tracker.set_value(
-            &(0..num_qubits as u32).map(QubitId).collect::<Vec<_>>(),
-            u128::from(input),
-        );
+        tracker
+            .set_value(
+                &(0..num_qubits as u32).map(QubitId).collect::<Vec<_>>(),
+                u128::from(input),
+            )
+            .unwrap();
         let mut rng_a = StdRng::seed_from_u64(seed ^ 0xABCD);
         tracker.run(&circuit, &mut rng_a).unwrap();
 
@@ -144,7 +146,7 @@ fn injected_missing_x_in_mbu_correction_is_caught() {
             &circuit,
             || {
                 let mut sim = BasisTracker::zeros(2);
-                sim.set_bit(q[0], true);
+                sim.set_bit(q[0], true).unwrap();
                 Box::new(sim)
             },
             |sim, ex| (ex.outcome(0).unwrap(), sim.bit(q[1]).unwrap()),
@@ -181,7 +183,7 @@ fn injected_missing_phase_fix_is_caught_by_global_phase() {
             &circuit,
             || {
                 let mut sim = BasisTracker::zeros(2);
-                sim.set_bit(q[0], true); // g(x) = 1
+                sim.set_bit(q[0], true).unwrap(); // g(x) = 1
                 Box::new(sim)
             },
             |sim, ex| {
@@ -258,8 +260,8 @@ fn injected_dropped_cz_in_gidney_uncompute_is_caught() {
             &broken,
             || {
                 let mut sim = BasisTracker::zeros(broken.num_qubits());
-                sim.set_value(adder.x.qubits(), 0b1011);
-                sim.set_value(adder.y.qubits(), 0b0110);
+                sim.set_value(adder.x.qubits(), 0b1011).unwrap();
+                sim.set_value(adder.y.qubits(), 0b0110).unwrap();
                 Box::new(sim)
             },
             |sim, _| {
@@ -285,8 +287,8 @@ fn two_backends_agree_on_a_full_mbu_modular_adder() {
     for seed in 0..24u64 {
         let (x, y) = ((seed as u128 * 5) % p, (seed as u128 * 7 + 3) % p);
         let mut tracker = BasisTracker::zeros(layout.circuit.num_qubits());
-        tracker.set_value(layout.x.qubits(), x);
-        tracker.set_value(layout.y.qubits(), y);
+        tracker.set_value(layout.x.qubits(), x).unwrap();
+        tracker.set_value(layout.y.qubits(), y).unwrap();
         let mut rng_a = StdRng::seed_from_u64(seed);
         tracker.run(&layout.circuit, &mut rng_a).unwrap();
 

@@ -1,0 +1,248 @@
+//! Observational invisibility of the SoA/SIMD amplitude kernels.
+//!
+//! `MBU_SIMD` (and the [`StateVector::with_simd`] builder) switches the
+//! dense engine between lane-grouped SoA enumeration and the seed's
+//! per-amplitude scalar walk. The switch reorders *iteration*, never
+//! arithmetic: every per-amplitude operation keeps its exact sequence of
+//! floating-point steps, and every reduction keeps ascending-index
+//! order. So SIMD on vs off must be **bit-identical** — amplitudes, RNG
+//! consumption, classical records, executed counts and ensemble
+//! aggregates — across kernel modes, fusion on/off, reclamation on/off
+//! and amplitude-lane counts, on the paper's random MBU modular adders.
+//!
+//! The second proptest drives tiny adaptive circuits (1–3 qubits, 2–8
+//! amplitudes) where whole states are shorter than one 8-wide lane
+//! group, plus mid-circuit measurement and reset: the remainder-handling
+//! edge the wide modadds never hit. Reclamation in the first proptest
+//! covers the post-`Drop` compacted lengths.
+
+use mbu_arith::{
+    modular::{self, ModAddSpec},
+    Uncompute,
+};
+use mbu_circuit::{Angle, Basis, Circuit, ClbitId, CompiledCircuit, Gate, Op, PassConfig, QubitId};
+use mbu_sim::{Ensemble, KernelMode, ShotRunner, Simulator, StateVector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn arch_spec(arch: u8, unc: Uncompute) -> ModAddSpec {
+    match arch % 3 {
+        0 => ModAddSpec::cdkpm(unc),
+        1 => ModAddSpec::gidney(unc),
+        _ => ModAddSpec::gidney_cdkpm(unc),
+    }
+}
+
+fn passes(fuse: usize) -> PassConfig {
+    PassConfig {
+        fuse_max_qubits: fuse,
+        ..PassConfig::default()
+    }
+}
+
+/// Asserts bit-identical state and draws between a finished SIMD run and
+/// its scalar twin.
+fn assert_bit_identical(
+    label: &str,
+    sv_simd: &StateVector,
+    sv_scalar: &StateVector,
+    rng_simd: &mut StdRng,
+    rng_scalar: &mut StdRng,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        rng_simd.next_u64(),
+        rng_scalar.next_u64(),
+        "{}: RNG streams diverged",
+        label
+    );
+    let amps_simd = sv_simd.amplitudes();
+    let amps_scalar = sv_scalar.amplitudes();
+    prop_assert_eq!(amps_simd.len(), amps_scalar.len(), "{}: lengths", label);
+    for (i, (a, b)) in amps_simd.iter().zip(&amps_scalar).enumerate() {
+        prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "{}: re of amp {}", label, i);
+        prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "{}: im of amp {}", label, i);
+    }
+    Ok(())
+}
+
+proptest! {
+    // Each case simulates an up-to-18-qubit modadd 16 times (2 kernel
+    // modes × fused/unfused × reclamation on/off × SIMD on/off).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn simd_switch_is_bit_invisible_on_mbu_modadds(
+        n in 2usize..=4,
+        pk in 0u128..1_000_000,
+        xk in 0u128..1_000_000,
+        yk in 0u128..1_000_000,
+        arch in 0u8..3,
+        lane_pick in 0usize..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let lanes = [1usize, 4][lane_pick];
+        let pmax = (1u128 << n) - 1;
+        let p = 2 + pk % (pmax - 1);
+        let x = xk % p;
+        let y = yk % p;
+        let spec = arch_spec(arch, Uncompute::Mbu);
+        let layout = modular::modadd_circuit(&spec, n, p).unwrap();
+        let nq = layout.circuit.num_qubits();
+        let input = StateVector::index_with(&[
+            (layout.x.qubits(), u64::try_from(x).unwrap()),
+            (layout.y.qubits(), u64::try_from(y).unwrap()),
+        ]);
+
+        for fuse in [0usize, 3] {
+            let compiled =
+                CompiledCircuit::with_config(&layout.circuit, &passes(fuse)).unwrap();
+            for mode in [KernelMode::Stride, KernelMode::Scan] {
+                for reclaim in [true, false] {
+                    let label = format!("fuse={fuse} {mode:?} reclaim={reclaim} lanes={lanes}");
+                    let build = |simd: bool| {
+                        StateVector::basis(nq, input)
+                            .unwrap()
+                            .with_kernel_mode(mode)
+                            .with_reclamation(reclaim)
+                            .with_amp_threads(lanes)
+                            .with_simd(simd)
+                    };
+
+                    let mut sv_simd = build(true);
+                    let mut rng_simd = StdRng::seed_from_u64(seed);
+                    let ex_simd = sv_simd.run_compiled(&compiled, &mut rng_simd).unwrap();
+
+                    let mut sv_scalar = build(false);
+                    let mut rng_scalar = StdRng::seed_from_u64(seed);
+                    let ex_scalar =
+                        sv_scalar.run_compiled(&compiled, &mut rng_scalar).unwrap();
+
+                    prop_assert_eq!(&ex_simd, &ex_scalar, "{}", &label);
+                    assert_bit_identical(
+                        &label,
+                        &sv_simd,
+                        &sv_scalar,
+                        &mut rng_simd,
+                        &mut rng_scalar,
+                    )?;
+                    // Both still compute the paper's modular sum.
+                    prop_assert_eq!(sv_simd.value(layout.x.qubits()).unwrap(), x);
+                    prop_assert_eq!(sv_simd.value(layout.y.qubits()).unwrap(), (x + y) % p);
+                }
+            }
+        }
+    }
+}
+
+/// Builds a tiny adaptive circuit over `nq` qubits from raw specs: every
+/// gate family, Z/X measurements and resets.
+fn tiny_circuit(nq: usize, specs: &[(u8, u32, u32, u32)]) -> Circuit {
+    let nqu = u32::try_from(nq).unwrap();
+    let mut ops = Vec::new();
+    let mut next_clbit = 0u32;
+    for &(kind, a, b, c) in specs {
+        let qa = QubitId(a % nqu);
+        let qb = QubitId((qa.0 + 1 + b % nqu.max(2).saturating_sub(1)) % nqu.max(2));
+        let theta = Angle::from_fraction(u128::from(c % 16), 2);
+        match kind % 12 {
+            0 => ops.push(Op::Gate(Gate::X(qa))),
+            1 => ops.push(Op::Gate(Gate::Z(qa))),
+            2 => ops.push(Op::Gate(Gate::H(qa))),
+            3 => ops.push(Op::Gate(Gate::Phase(qa, theta))),
+            4 | 5 if nq >= 2 && qa != qb => ops.push(Op::Gate(if kind % 12 == 4 {
+                Gate::Cx(qa, qb)
+            } else {
+                Gate::Cz(qa, qb)
+            })),
+            6 if nq >= 2 && qa != qb => ops.push(Op::Gate(Gate::Swap(qa, qb))),
+            7 if nq >= 2 && qa != qb => ops.push(Op::Gate(Gate::CPhase(qa, qb, theta))),
+            8 | 9 => {
+                let clbit = ClbitId(next_clbit);
+                next_clbit += 1;
+                ops.push(Op::Measure {
+                    qubit: qa,
+                    basis: if kind % 12 == 8 { Basis::Z } else { Basis::X },
+                    clbit,
+                });
+            }
+            10 => ops.push(Op::Reset(qa)),
+            _ => ops.push(Op::Gate(Gate::H(qa))),
+        }
+    }
+    Circuit::from_ops(nq, next_clbit as usize, ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whole states below one lane group: 1–3 qubits is 2–8 amplitudes,
+    /// so the SoA kernels run nothing but their remainder paths here.
+    #[test]
+    fn simd_switch_is_bit_invisible_below_one_lane_group(
+        nq in 1usize..=3,
+        specs in collection::vec((0u8..12, 0u32..8, 0u32..8, 0u32..16), 0..24usize),
+        seed in 0u64..u64::MAX,
+    ) {
+        let circuit = tiny_circuit(nq, &specs);
+
+        let mut sv_simd = StateVector::zeros(nq).unwrap().with_simd(true);
+        let mut rng_simd = StdRng::seed_from_u64(seed);
+        let ex_simd = sv_simd.run(&circuit, &mut rng_simd).unwrap();
+
+        let mut sv_scalar = StateVector::zeros(nq).unwrap().with_simd(false);
+        let mut rng_scalar = StdRng::seed_from_u64(seed);
+        let ex_scalar = sv_scalar.run(&circuit, &mut rng_scalar).unwrap();
+
+        prop_assert_eq!(&ex_simd, &ex_scalar);
+        assert_bit_identical(
+            "tiny",
+            &sv_simd,
+            &sv_scalar,
+            &mut rng_simd,
+            &mut rng_scalar,
+        )?;
+    }
+}
+
+/// The classical face of an ensemble (peak-memory stats excluded).
+fn classical_view(e: &Ensemble) -> impl PartialEq + std::fmt::Debug {
+    let records: Vec<(Vec<Option<bool>>, u64)> = e
+        .record_frequencies()
+        .map(|(r, n)| (r.to_vec(), n))
+        .collect();
+    (e.shots(), e.mean(), e.variance(), records)
+}
+
+#[test]
+fn ensemble_aggregates_survive_the_simd_switch() {
+    // A 2-stage MBU modadd chain under the shot engine: aggregates from
+    // factories differing only in `with_simd` must be bit-identical.
+    let spec = ModAddSpec::cdkpm(Uncompute::Mbu);
+    let chain = modular::modadd_chain_circuit(&spec, 2, 3, 2).unwrap();
+    let nq = chain.circuit.num_qubits();
+    let factory = |simd: bool| {
+        let chain = &chain;
+        move || {
+            let mut sv = StateVector::zeros(nq).unwrap().with_simd(simd);
+            sv.set_value(chain.x.qubits(), 2).unwrap();
+            sv.set_value(chain.y.qubits(), 1).unwrap();
+            Box::new(sv) as Box<dyn Simulator>
+        }
+    };
+
+    let on = ShotRunner::new(48)
+        .run(&chain.circuit, factory(true))
+        .unwrap();
+    let off = ShotRunner::new(48)
+        .run(&chain.circuit, factory(false))
+        .unwrap();
+    assert_eq!(classical_view(&on), classical_view(&off));
+    for clbit in 0..on.num_clbits() {
+        assert_eq!(
+            on.outcome_frequency(clbit),
+            off.outcome_frequency(clbit),
+            "clbit {clbit}"
+        );
+    }
+}
