@@ -522,6 +522,15 @@ pub struct PassStats {
     /// points where an execution trajectory can fork, bounding the branch
     /// tree at `2^fork_points` leaves.
     pub fork_points: usize,
+    /// Segments the representation planner maps to the dense amplitude
+    /// array at the default thresholds
+    /// ([`DEFAULT_AUTO_DENSE_QUBITS`](crate::DEFAULT_AUTO_DENSE_QUBITS),
+    /// [`DEFAULT_AUTO_SPARSITY`](crate::DEFAULT_AUTO_SPARSITY)); see
+    /// [`CompiledCircuit::representation_plan`].
+    pub planned_dense: usize,
+    /// Segments the representation planner maps to the sparse key→amplitude
+    /// map at the default thresholds.
+    pub planned_sparse: usize,
 }
 
 impl PassStats {
@@ -538,7 +547,7 @@ impl fmt::Display for PassStats {
             f,
             "lowered {} instrs; cancelled {}, merged {}, identities {}, phase-dead {}, \
              reclaimed {}, fused {} gates into {} blocks; emitted {} \
-             ({} segments, {} fork points)",
+             ({} segments, {} fork points; planned {} dense / {} sparse)",
             self.lowered_instrs,
             self.cancelled,
             self.merged,
@@ -549,7 +558,9 @@ impl fmt::Display for PassStats {
             self.fused_blocks,
             self.emitted_instrs,
             self.segments,
-            self.fork_points
+            self.fork_points,
+            self.planned_dense,
+            self.planned_sparse
         )
     }
 }
@@ -653,6 +664,15 @@ impl CompiledCircuit {
         };
         compiled.stats.segments = compiled.segments().len();
         compiled.stats.fork_points = compiled.fork_points();
+        let plan = compiled.representation_plan(
+            crate::plan::DEFAULT_AUTO_DENSE_QUBITS,
+            crate::plan::DEFAULT_AUTO_SPARSITY,
+        );
+        compiled.stats.planned_dense = plan
+            .iter()
+            .filter(|r| matches!(r, crate::plan::PlannedRepr::Dense))
+            .count();
+        compiled.stats.planned_sparse = plan.len() - compiled.stats.planned_dense;
         Ok(compiled)
     }
 
@@ -829,6 +849,17 @@ impl fmt::Display for CompiledCircuit {
                     guard_ends.push(target);
                 }
             }
+        }
+        // The representation planner's view of the program, one row per
+        // deterministic segment, at the default thresholds.
+        for (i, profile) in self.segment_profiles().iter().enumerate() {
+            let repr = crate::plan::plan_segment(
+                self.num_qubits,
+                profile,
+                crate::plan::DEFAULT_AUTO_DENSE_QUBITS,
+                crate::plan::DEFAULT_AUTO_SPARSITY,
+            );
+            writeln!(f, "segment[{i}]: {profile} \u{2192} {repr}")?;
         }
         Ok(())
     }

@@ -17,16 +17,30 @@
 use std::collections::BTreeSet;
 use std::sync::Mutex;
 
+/// Emits `message` to stderr exactly once per process for each distinct
+/// `key`; later calls with the same key stay silent. The channel behind
+/// [`warn_invalid`], also usable directly for advisory diagnostics that
+/// are not parse failures — e.g. a knob combination that is legal but
+/// defeats its own purpose (`MBU_BACKEND=auto` on a circuit too small for
+/// planning to pay). Key the call by the *condition*, not the message, so
+/// a hot loop hitting the condition every shot warns once.
+pub fn warn_once(key: &str, message: &str) {
+    static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+    let mut warned = WARNED.lock().expect("knob warning registry");
+    if warned.insert(key.to_string()) {
+        eprintln!("warning: {message}");
+    }
+}
+
 /// Warns exactly once per knob name that `raw` was not understood and which
 /// fallback the knob resolved to. Later invalid values of the *same* knob
 /// stay silent (the process-wide setting has already been reported);
 /// different knobs each get their own warning.
 pub fn warn_invalid(name: &str, raw: &str, fallback: &str) {
-    static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
-    let mut warned = WARNED.lock().expect("knob warning registry");
-    if warned.insert(name.to_string()) {
-        eprintln!("warning: {name}={raw:?} is not a valid value; falling back to {fallback}");
-    }
+    warn_once(
+        name,
+        &format!("{name}={raw:?} is not a valid value; falling back to {fallback}"),
+    );
 }
 
 /// The canonical boolean tokens: `1`/`on`/`true`/`yes` and

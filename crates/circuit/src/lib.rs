@@ -58,6 +58,7 @@ mod error;
 mod gate;
 pub mod knobs;
 mod op;
+mod plan;
 
 pub use angle::Angle;
 pub use builder::{CircuitBuilder, OpBlock, Register};
@@ -70,3 +71,6 @@ pub use counts::{ExpectedCounts, GateCounts};
 pub use error::CircuitError;
 pub use gate::{Basis, Gate};
 pub use op::{ClbitId, Op, QubitId};
+pub use plan::{
+    plan_segment, PlannedRepr, SegmentProfile, DEFAULT_AUTO_DENSE_QUBITS, DEFAULT_AUTO_SPARSITY,
+};

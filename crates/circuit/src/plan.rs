@@ -1,0 +1,384 @@
+//! Segment classification and per-segment representation planning.
+//!
+//! The [`CompiledCircuit::segments`] decomposition already identifies the
+//! deterministic unitary runs of a program; this module labels each run
+//! with the *structural facts* a simulation engine needs to pick a state
+//! representation for it:
+//!
+//! * **permutation-only** — every gate is a classical basis permutation
+//!   ([`Gate::is_permutation`]), so the segment moves amplitudes without
+//!   arithmetic and never grows the occupied set;
+//! * **diagonal-only** — every gate is diagonal
+//!   ([`Gate::is_diagonal`]), so the segment only rotates phases in
+//!   place;
+//! * **H count** — the number of Hadamards, the only gate in the set
+//!   that can grow the occupied set (each `H` at most doubles it);
+//! * **support width** — how many distinct qubits the segment touches;
+//! * **occupancy ceiling** — an upper bound (as a power of two) on the
+//!   number of simultaneously nonzero amplitudes *after* the segment,
+//!   threaded across segments: `|0…0⟩` starts at one occupied entry,
+//!   each Hadamard at most doubles the set, permutation and diagonal
+//!   gates preserve it exactly (the sparse backend culls exact zeros, so
+//!   its occupied set *is* the nonzero support), and each measurement or
+//!   reset between segments collapses one qubit and halves the bound.
+//!
+//! [`CompiledCircuit::representation_plan`] turns the profiles into a
+//! per-segment dense/sparse decision: a segment predicted to stay under
+//! the sparsity threshold runs cheaper on the sparse map, a segment whose
+//! occupied set approaches `2^n` wants the flat dense array (provided the
+//! state fits a dense allocation at all). The `mbu-sim` crate's hybrid
+//! backend (`MBU_BACKEND=auto`) consumes the same profiles at run time —
+//! seeded with the *live* occupancy instead of the static prediction —
+//! and converts representations at segment boundaries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::compile::{CompiledCircuit, Instr, Segment};
+use crate::gate::Gate;
+
+/// Default cap on the register width for which the planner will consider
+/// a dense representation at all: a dense phase allocates `2^n` amplitude
+/// slots, and past this width (16 MiB of complex amplitudes at 24
+/// qubits) converting to dense cannot pay for itself. Overridable at run
+/// time through the `MBU_AUTO_DENSE_QUBITS` environment knob.
+pub const DEFAULT_AUTO_DENSE_QUBITS: usize = 24;
+
+/// Default occupancy threshold separating "sparse is cheaper" from
+/// "dense is cheaper": a segment whose predicted occupied set stays at or
+/// under this many entries is planned sparse. Overridable at run time
+/// through the `MBU_AUTO_SPARSITY` environment knob.
+pub const DEFAULT_AUTO_SPARSITY: u64 = 4096;
+
+/// Structural facts about one deterministic segment of a compiled
+/// program. Produced by [`CompiledCircuit::segment_profiles`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SegmentProfile {
+    /// The instruction range the facts describe.
+    pub segment: Segment,
+    /// Every gate is a classical basis permutation (`X`/`CX`/`CCX`/
+    /// `SWAP`): the segment moves amplitudes with no arithmetic and the
+    /// occupied set neither grows nor shrinks.
+    pub perm_only: bool,
+    /// Every gate is diagonal in the computational basis: the segment
+    /// rotates phases in place and the occupied set is untouched.
+    pub diag_only: bool,
+    /// Number of Hadamard gates — the only occupancy-growing gate in the
+    /// set (each at most doubles the occupied set).
+    pub h_count: u32,
+    /// Number of distinct qubits the segment touches.
+    pub support_width: usize,
+    /// Upper bound on the occupied-set size after the segment, as a
+    /// power-of-two exponent (capped at the register width). Threaded
+    /// across segments from the `|0…0⟩` start, with measurements and
+    /// resets between segments each halving the bound.
+    pub occ_ceiling_log2: u32,
+}
+
+impl SegmentProfile {
+    /// The occupancy ceiling as an entry count (`u64::MAX` when the
+    /// exponent exceeds 63 bits).
+    #[must_use]
+    pub fn predicted_entries(&self) -> u64 {
+        if self.occ_ceiling_log2 >= 63 {
+            u64::MAX
+        } else {
+            1u64 << self.occ_ceiling_log2
+        }
+    }
+}
+
+impl fmt::Display for SegmentProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pcs {}..{}, ", self.segment.start, self.segment.end)?;
+        if self.perm_only {
+            write!(f, "perm-only")?;
+        } else if self.diag_only {
+            write!(f, "diag-only")?;
+        } else if self.h_count > 0 {
+            write!(f, "h\u{d7}{}", self.h_count)?;
+        } else {
+            write!(f, "mixed")?;
+        }
+        write!(f, ", support {}, ", self.support_width)?;
+        if self.occ_ceiling_log2 <= 16 {
+            write!(f, "occ\u{2264}{}", 1u64 << self.occ_ceiling_log2)
+        } else {
+            write!(f, "occ\u{2264}2^{}", self.occ_ceiling_log2)
+        }
+    }
+}
+
+/// The representation the planner picked for one segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlannedRepr {
+    /// Flat `2^n` amplitude array: cheapest once the occupied set is a
+    /// sizable fraction of the space (contiguous sweeps, SIMD kernels).
+    Dense,
+    /// Sorted key→amplitude map holding only nonzero entries: cheapest
+    /// while the occupied set stays small, and the only option past the
+    /// dense width cap.
+    Sparse,
+}
+
+impl fmt::Display for PlannedRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannedRepr::Dense => write!(f, "dense"),
+            PlannedRepr::Sparse => write!(f, "sparse"),
+        }
+    }
+}
+
+/// The dense/sparse decision for one segment, given the register width
+/// and the planner thresholds: dense if and only if the state fits a
+/// dense allocation (`num_qubits <= dense_qubit_cap`) *and* the
+/// predicted occupied set outgrows `sparsity_threshold` entries.
+#[must_use]
+pub fn plan_segment(
+    num_qubits: usize,
+    profile: &SegmentProfile,
+    dense_qubit_cap: usize,
+    sparsity_threshold: u64,
+) -> PlannedRepr {
+    if num_qubits <= dense_qubit_cap && profile.predicted_entries() > sparsity_threshold {
+        PlannedRepr::Dense
+    } else {
+        PlannedRepr::Sparse
+    }
+}
+
+impl CompiledCircuit {
+    /// Classifies every deterministic segment of the program (see
+    /// [`CompiledCircuit::segments`]) with the structural facts of
+    /// [`SegmentProfile`], threading the occupancy ceiling across
+    /// segments from the `|0…0⟩` start state.
+    ///
+    /// The occupancy thread is a *bound*, not an estimate: Hadamards at
+    /// most double the occupied set, permutations and diagonals preserve
+    /// it exactly. The one heuristic step is the between-segment
+    /// collapse — a measurement or reset halves the bound (exact for a
+    /// qubit in an even superposition, an over-estimate of the reduction
+    /// for a definite qubit) — which can under-predict occupancy for
+    /// states biased toward definite outcomes; planners using the ceiling
+    /// re-check against *live* occupancy at run time.
+    #[must_use]
+    pub fn segment_profiles(&self) -> Vec<SegmentProfile> {
+        let instrs = self.instrs();
+        let fused = self.fused_unitaries();
+        let width_log2 = u32::try_from(self.num_qubits()).unwrap_or(u32::MAX);
+        let mut profiles = Vec::new();
+        let mut occ_log2: u32 = 0;
+        let mut cursor = 0usize;
+        for segment in self.segments() {
+            for instr in &instrs[cursor..segment.start] {
+                if matches!(instr, Instr::Measure { .. } | Instr::Reset(_)) {
+                    occ_log2 = occ_log2.saturating_sub(1);
+                }
+            }
+            let mut perm_only = true;
+            let mut diag_only = true;
+            let mut h_count = 0u32;
+            let mut support = BTreeSet::new();
+            let mut classify = |g: &Gate, support: &mut BTreeSet<u32>| {
+                perm_only &= g.is_permutation();
+                diag_only &= g.is_diagonal();
+                h_count += u32::from(matches!(g, Gate::H(_)));
+                g.for_each_qubit(&mut |q| {
+                    support.insert(q.0);
+                });
+            };
+            for instr in &instrs[segment.start..segment.end] {
+                match instr {
+                    Instr::Gate(g) => classify(g, &mut support),
+                    Instr::Fused(idx) => {
+                        let fu = &fused[*idx as usize];
+                        // Classify by the (operand-independent) gate
+                        // families; take support from the block's global
+                        // qubits, not the local constituents.
+                        let mut scratch = BTreeSet::new();
+                        for g in fu.gates() {
+                            classify(g, &mut scratch);
+                        }
+                        for q in fu.qubits() {
+                            support.insert(q.0);
+                        }
+                    }
+                    // Segments hold only unitary instructions.
+                    _ => debug_assert!(false, "non-unitary instr inside a segment"),
+                }
+            }
+            occ_log2 = occ_log2.saturating_add(h_count).min(width_log2);
+            profiles.push(SegmentProfile {
+                segment,
+                perm_only,
+                diag_only,
+                h_count,
+                support_width: support.len(),
+                occ_ceiling_log2: occ_log2,
+            });
+            cursor = segment.end;
+        }
+        profiles
+    }
+
+    /// The per-segment dense/sparse plan at the given thresholds (see
+    /// [`plan_segment`]). Positions correspond to
+    /// [`CompiledCircuit::segments`] /
+    /// [`CompiledCircuit::segment_profiles`] order.
+    #[must_use]
+    pub fn representation_plan(
+        &self,
+        dense_qubit_cap: usize,
+        sparsity_threshold: u64,
+    ) -> Vec<PlannedRepr> {
+        self.segment_profiles()
+            .iter()
+            .map(|p| plan_segment(self.num_qubits(), p, dense_qubit_cap, sparsity_threshold))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::compile::PassConfig;
+    use crate::gate::Basis;
+
+    #[test]
+    fn profiles_classify_and_thread_occupancy() {
+        // Program (lowered): 0:H 1:X 2:MZ 3:unless 4:CZ 5:H — three
+        // segments, one measurement between the first two.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.h(r[0]);
+        b.x(r[1]);
+        let m = b.measure(r[0], Basis::Z);
+        let (_, block) = b.record(|b| b.cz(r[0], r[1]));
+        b.emit_conditional(m, &block);
+        b.h(r[1]);
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        let profiles = compiled.segment_profiles();
+        assert_eq!(profiles.len(), 3, "{compiled}");
+
+        // H X: one Hadamard doubles the single |00⟩ entry.
+        assert!(!profiles[0].perm_only);
+        assert!(!profiles[0].diag_only);
+        assert_eq!(profiles[0].h_count, 1);
+        assert_eq!(profiles[0].support_width, 2);
+        assert_eq!(profiles[0].occ_ceiling_log2, 1);
+        assert_eq!(profiles[0].predicted_entries(), 2);
+
+        // The measurement halves the bound; the guarded CZ is diagonal.
+        assert!(profiles[1].diag_only);
+        assert!(!profiles[1].perm_only);
+        assert_eq!(profiles[1].h_count, 0);
+        assert_eq!(profiles[1].occ_ceiling_log2, 0);
+
+        // The post-join H doubles it again.
+        assert_eq!(profiles[2].h_count, 1);
+        assert_eq!(profiles[2].occ_ceiling_log2, 1);
+    }
+
+    #[test]
+    fn occupancy_ceiling_caps_at_register_width() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        for _ in 0..5 {
+            b.h(r[0]);
+            b.h(r[1]);
+        }
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        let profiles = compiled.segment_profiles();
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].h_count, 10);
+        assert_eq!(profiles[0].occ_ceiling_log2, 2, "capped at 2 qubits");
+        assert_eq!(profiles[0].predicted_entries(), 4);
+    }
+
+    #[test]
+    fn fused_blocks_classify_by_their_constituents() {
+        // A CX ladder across 8 qubits fuses into one permutation block
+        // (see the compile-layer fusion tests); the profile must see
+        // through the block to classify the segment permutation-only and
+        // take support from the block's global operands.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 8);
+        for i in 0..7 {
+            b.cx(r[i], r[i + 1]);
+        }
+        let fused_on = PassConfig {
+            fuse_max_qubits: 3,
+            ..PassConfig::default()
+        };
+        let compiled = CompiledCircuit::with_config(&b.finish(), &fused_on).unwrap();
+        assert_eq!(compiled.stats().fused_blocks, 1, "{compiled}");
+        let profiles = compiled.segment_profiles();
+        assert_eq!(profiles.len(), 1);
+        assert!(profiles[0].perm_only);
+        assert!(!profiles[0].diag_only);
+        assert_eq!(profiles[0].h_count, 0);
+        assert_eq!(profiles[0].support_width, 8);
+        // Permutations never grow the single |0…0⟩ entry.
+        assert_eq!(profiles[0].occ_ceiling_log2, 0);
+    }
+
+    #[test]
+    fn plan_switches_on_width_cap_and_sparsity_threshold() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 3);
+        b.h(r[0]);
+        b.h(r[1]);
+        b.h(r[2]);
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        let profiles = compiled.segment_profiles();
+        assert_eq!(profiles[0].predicted_entries(), 8);
+
+        // Occupancy above threshold and width under cap: dense.
+        assert_eq!(
+            compiled.representation_plan(24, 4),
+            vec![PlannedRepr::Dense]
+        );
+        // Threshold at/above the prediction: sparse.
+        assert_eq!(
+            compiled.representation_plan(24, 8),
+            vec![PlannedRepr::Sparse]
+        );
+        // Register wider than the dense cap: sparse regardless.
+        assert_eq!(
+            compiled.representation_plan(2, 0),
+            vec![PlannedRepr::Sparse]
+        );
+    }
+
+    #[test]
+    fn default_thresholds_plan_mbu_shapes_sparse() {
+        // A low-occupancy MBU-style shape: a lone H into a permutation
+        // ladder stays at two occupied entries — far under the default
+        // 4096-entry sparsity bar, so every segment plans sparse.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 8);
+        b.h(r[0]);
+        for i in 0..7 {
+            b.cx(r[i], r[i + 1]);
+        }
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        let plan = compiled.representation_plan(DEFAULT_AUTO_DENSE_QUBITS, DEFAULT_AUTO_SPARSITY);
+        assert!(plan.iter().all(|r| *r == PlannedRepr::Sparse), "{plan:?}");
+    }
+
+    #[test]
+    fn display_renders_profile_facts() {
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 2);
+        b.x(r[0]);
+        b.cx(r[0], r[1]);
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        let p = compiled.segment_profiles()[0];
+        let s = p.to_string();
+        assert!(s.contains("perm-only"), "{s}");
+        assert!(s.contains("support 2"), "{s}");
+        assert!(s.contains("occ\u{2264}1"), "{s}");
+    }
+}

@@ -10,7 +10,10 @@
 //! * `MBU_BACKEND=sparse` — the basis-map [`SparseVector`], identical
 //!   amplitudes at a memory cost of the occupied states only;
 //! * `MBU_BACKEND=tracker` (alias `basis`) — the `O(1)`-per-gate
-//!   [`BasisTracker`], which rejects circuits that leave its fragment.
+//!   [`BasisTracker`], which rejects circuits that leave its fragment;
+//! * `MBU_BACKEND=auto` (alias `hybrid`) — the planning
+//!   [`HybridState`], which starts sparse and switches dense↔sparse at
+//!   compiled-segment boundaries, bit-identical to the best fixed choice.
 //!
 //! Resolution goes through [`mbu_circuit::knobs::choice`]: unknown values
 //! warn once and keep the default rather than silently selecting a
@@ -23,6 +26,7 @@ use std::sync::OnceLock;
 
 use crate::basis::BasisTracker;
 use crate::error::SimError;
+use crate::hybrid::HybridState;
 use crate::simulator::Simulator;
 use crate::sparse::SparseVector;
 use crate::statevector::StateVector;
@@ -48,13 +52,23 @@ pub enum BackendKind {
     Sparse,
     /// The phase-tracking [`BasisTracker`].
     Tracker,
+    /// The planning dense↔sparse [`HybridState`].
+    Auto,
 }
 
 impl BackendKind {
     /// Every token [`resolve`](Self::resolve) accepts, canonical
     /// (lowercase) spellings.
-    const OPTIONS: &'static [&'static str] =
-        &["dense", "statevector", "sv", "sparse", "tracker", "basis"];
+    const OPTIONS: &'static [&'static str] = &[
+        "dense",
+        "statevector",
+        "sv",
+        "sparse",
+        "tracker",
+        "basis",
+        "auto",
+        "hybrid",
+    ];
 
     /// Resolves a raw `MBU_BACKEND` value: unset or unrecognised (the
     /// latter warns once) selects [`Dense`](Self::Dense).
@@ -63,6 +77,7 @@ impl BackendKind {
         match mbu_circuit::knobs::choice("MBU_BACKEND", raw, Self::OPTIONS, "dense") {
             "sparse" => Self::Sparse,
             "tracker" | "basis" => Self::Tracker,
+            "auto" | "hybrid" => Self::Auto,
             _ => Self::Dense,
         }
     }
@@ -83,6 +98,7 @@ impl BackendKind {
             Self::Dense => "dense",
             Self::Sparse => "sparse",
             Self::Tracker => "tracker",
+            Self::Auto => "auto",
         }
     }
 
@@ -92,13 +108,15 @@ impl BackendKind {
     ///
     /// [`SimError::TooManyQubits`] when the width exceeds the backend's
     /// construction cap (the dense engine caps near 25 qubits, the sparse
-    /// map at [`MAX_SPARSEVECTOR_QUBITS`](crate::MAX_SPARSEVECTOR_QUBITS);
+    /// map and the hybrid at
+    /// [`MAX_SPARSEVECTOR_QUBITS`](crate::MAX_SPARSEVECTOR_QUBITS);
     /// the tracker has no cap).
     pub fn build(self, num_qubits: usize) -> Result<Box<dyn Simulator + Send>, SimError> {
         Ok(match self {
             Self::Dense => Box::new(StateVector::zeros(num_qubits)?),
             Self::Sparse => Box::new(SparseVector::zeros(num_qubits)?),
             Self::Tracker => Box::new(BasisTracker::zeros(num_qubits)),
+            Self::Auto => Box::new(HybridState::zeros(num_qubits)?),
         })
     }
 }
@@ -124,6 +142,8 @@ mod tests {
             (Some("Sparse"), BackendKind::Sparse),
             (Some("tracker"), BackendKind::Tracker),
             (Some("basis"), BackendKind::Tracker),
+            (Some("auto"), BackendKind::Auto),
+            (Some(" Hybrid "), BackendKind::Auto),
             (Some("spares"), BackendKind::Dense),
             (Some(""), BackendKind::Dense),
         ] {
@@ -133,9 +153,12 @@ mod tests {
 
     #[test]
     fn build_respects_per_backend_width_caps() {
-        // The dense engine refuses what the sparse map takes in stride.
+        // The dense engine refuses what the sparse map takes in stride;
+        // the hybrid starts sparse, so it takes the same widths (its
+        // planner just never promotes past the dense cap).
         assert!(BackendKind::Dense.build(300).is_err());
         assert_eq!(BackendKind::Sparse.build(300).unwrap().num_qubits(), 300);
+        assert_eq!(BackendKind::Auto.build(300).unwrap().num_qubits(), 300);
         assert_eq!(
             BackendKind::Tracker.build(100_000).unwrap().num_qubits(),
             100_000
@@ -151,5 +174,6 @@ mod tests {
         assert_eq!(BackendKind::Dense.to_string(), "dense");
         assert_eq!(BackendKind::Sparse.to_string(), "sparse");
         assert_eq!(BackendKind::Tracker.to_string(), "tracker");
+        assert_eq!(BackendKind::Auto.to_string(), "auto");
     }
 }

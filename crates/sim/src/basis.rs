@@ -32,9 +32,11 @@ use crate::error::SimError;
 use crate::exec::{self, Executed};
 use crate::simulator::{Fork, Simulator};
 
-/// Per-qubit state of the tracker.
+/// Per-qubit state of the tracker. Crate-visible so the state-conversion
+/// module can enumerate the tracked product state into an amplitude
+/// representation without round-tripping through gate applications.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Mode {
+pub(crate) enum Mode {
     /// `|0⟩` (false) or `|1⟩` (true).
     Z(bool),
     /// `|+⟩` (false) or `|−⟩` (true).
@@ -151,6 +153,11 @@ impl BasisTracker {
     #[must_use]
     pub fn num_qubits(&self) -> usize {
         self.qubits.len()
+    }
+
+    /// The per-qubit mode table, for the state-conversion module.
+    pub(crate) fn modes(&self) -> &[Mode] {
+        &self.qubits
     }
 
     /// Sets qubit `q` to the computational-basis bit `value`.
@@ -503,6 +510,14 @@ impl Simulator for BasisTracker {
         self.last_run_peak
     }
 
+    /// The occupied-state high-water mark since construction (or since the
+    /// most recent compiled-run start, which resets it) — live occupancy
+    /// in the same unit the amplitude backends use, available even for
+    /// gate-at-a-time callers like the branch-tree engine.
+    fn occupancy_peak(&self) -> Option<u64> {
+        Some(self.peak)
+    }
+
     /// Compiled execution with occupancy bookkeeping: the default
     /// program-counter loop, bracketed by a high-water-mark reset and
     /// capture so the tracker reports
@@ -513,15 +528,7 @@ impl Simulator for BasisTracker {
         compiled: &CompiledCircuit,
         rng: &mut dyn RngCore,
     ) -> Result<Executed, SimError> {
-        if compiled.num_qubits() > self.num_qubits() {
-            return Err(SimError::OutOfRange {
-                what: format!(
-                    "{}-qubit compiled program on {}-qubit state",
-                    compiled.num_qubits(),
-                    self.num_qubits()
-                ),
-            });
-        }
+        exec::check_width(compiled.num_qubits(), self.num_qubits())?;
         self.peak = self.occupied();
         let mut executed = Executed::default();
         exec::execute_compiled(self, compiled, rng, &mut executed)?;

@@ -113,6 +113,11 @@ struct LeafNode {
     /// What the trajectory executed, or the error it died on (the same
     /// error a per-shot run of this history reports).
     result: Result<Executed, SimError>,
+    /// The trajectory's occupancy high-water mark
+    /// ([`Simulator::occupancy_peak`]), when the backend reports one — so
+    /// sampled-mode ensembles can fold the same worst-case peak statistic
+    /// per-shot execution reports, instead of losing it to sharing.
+    peak: Option<u64>,
 }
 
 /// The fully built outcome tree.
@@ -241,8 +246,15 @@ fn advance(
     while let Some(instr) = instrs.get(pc) {
         match instr {
             Instr::Gate(_) | Instr::Fused(_) => {
-                // A whole deterministic segment in one go.
+                // A whole deterministic segment in one go. Announce the
+                // segment first: planning backends (the hybrid) re-decide
+                // their representation here, exactly as their compiled
+                // loop would at this segment start — so forked branches
+                // keep making per-branch representation choices.
                 let end = run_end[pc];
+                if let Err(e) = sim.plan_segment(compiled, pc, end) {
+                    return Advanced::Leaf(Err(e));
+                }
                 while pc < end {
                     match &instrs[pc] {
                         Instr::Gate(g) => {
@@ -634,12 +646,16 @@ impl BranchEnsemble {
             let items: Vec<Work> = frontier.split_off(frontier.len() - take);
             let (workers, lanes) = split_budget(self.threads, items.len() as u64, self.amp_threads);
             let results = run_round(items, workers, lanes, compiled, run_end, self.eps);
-            for (slot, weight, advanced) in results {
+            for (slot, weight, advanced, peak) in results {
                 match advanced {
                     Advanced::Unsupported => return Err(SimError::BranchUnsupported),
                     Advanced::Leaf(result) => {
                         let i = tree.leaves.len();
-                        tree.leaves.push(LeafNode { weight, result });
+                        tree.leaves.push(LeafNode {
+                            weight,
+                            result,
+                            peak,
+                        });
                         tree.set(slot, Link::Leaf(i));
                     }
                     Advanced::Fork(step) => {
@@ -724,9 +740,15 @@ impl BranchEnsemble {
     /// classical aggregates (records, outcome counts, executed-count
     /// means/variances) are **bit-identical** to a
     /// [`ShotRunner`](crate::ShotRunner) with the same master seed,
-    /// circuit and passes. (Peak-memory statistics are the one exception:
-    /// shared-trajectory execution has no per-shot peak, so
-    /// [`Ensemble::peak_amplitudes`] is `None` here.)
+    /// circuit and passes. Peak-memory statistics survive the sharing:
+    /// each leaf records its trajectory's occupancy high-water mark
+    /// ([`Simulator::occupancy_peak`]), so [`Ensemble::peak_amplitudes`]
+    /// is the worst peak over the leaves the replayed shots actually
+    /// landed in — `Some` wherever the backend reports occupancy, like
+    /// per-shot execution. (A reclaiming dense backend is the one place
+    /// the *value* can differ: tree mode never drops qubits mid-segment,
+    /// so it reports the full array where a reclaiming per-shot run
+    /// reports the compacted live set.)
     ///
     /// Falls back to per-shot Monte Carlo — delegating to an equivalently
     /// configured `ShotRunner`, still bit-identical — when the backend
@@ -770,7 +792,7 @@ impl BranchEnsemble {
                     }
                     Link::Leaf(i) => {
                         match &tree.leaves[i].result {
-                            Ok(executed) => acc.add_shot(executed, None),
+                            Ok(executed) => acc.add_shot(executed, tree.leaves[i].peak),
                             Err(e) => {
                                 if first_error.is_none() {
                                     first_error = Some(e.clone());
@@ -787,7 +809,7 @@ impl BranchEnsemble {
                         let mut sim = factory();
                         let mut rng = StdRng::seed_from_u64(seed);
                         match sim.run_compiled(&compiled, &mut rng) {
-                            Ok(executed) => acc.add_shot(&executed, None),
+                            Ok(executed) => acc.add_shot(&executed, sim.peak_amplitudes()),
                             Err(e) => {
                                 if first_error.is_none() {
                                     first_error = Some(e);
@@ -827,7 +849,10 @@ impl BranchEnsemble {
 
 /// Executes one frontier round: `workers` scoped threads over contiguous
 /// item chunks, every item's state pinned to `lanes` amplitude lanes.
-/// Results come back in item order regardless of scheduling.
+/// Results come back in item order regardless of scheduling. The fourth
+/// tuple field is the state's occupancy peak after the advance —
+/// meaningful for leaves (a forked item's receiver state has moved into a
+/// child seed, leaving the reporting-nothing placeholder behind).
 fn run_round(
     items: Vec<Work>,
     workers: usize,
@@ -835,8 +860,8 @@ fn run_round(
     compiled: &CompiledCircuit,
     run_end: &[usize],
     eps: f64,
-) -> Vec<(Slot, f64, Advanced)> {
-    let advance_item = |mut work: Work| -> (Slot, f64, Advanced) {
+) -> Vec<(Slot, f64, Advanced, Option<u64>)> {
+    let advance_item = |mut work: Work| -> (Slot, f64, Advanced, Option<u64>) {
         work.sim.set_amp_threads(lanes);
         let advanced = advance(
             compiled,
@@ -846,7 +871,7 @@ fn run_round(
             &mut work.executed,
             eps,
         );
-        (work.slot, work.weight, advanced)
+        (work.slot, work.weight, advanced, work.sim.occupancy_peak())
     };
     if workers <= 1 || items.len() <= 1 {
         return items.into_iter().map(advance_item).collect();
@@ -1046,10 +1071,10 @@ mod tests {
         move || Box::new(BasisTracker::zeros(n))
     }
 
-    /// The classical face of an ensemble — everything except the
-    /// peak-memory statistic, which shared-trajectory execution
-    /// documentedly reports as `None` where per-shot execution reports a
-    /// number.
+    /// The classical face of an ensemble: the aggregates the bit-identity
+    /// contract covers (shots, count moments, records). Peak-memory stats
+    /// are asserted separately — they match on these workloads too, but
+    /// through leaf occupancy peaks rather than shot-by-shot identity.
     fn classical_face(e: &crate::Ensemble) -> impl PartialEq + std::fmt::Debug {
         let records: Vec<(Vec<Option<bool>>, u64)> = e
             .record_frequencies()
@@ -1095,9 +1120,10 @@ mod tests {
                 classical_face(&per_shot),
                 "seed {seed}"
             );
-            // Peak stats are the documented exception: no per-shot state
-            // in tree mode, a per-shot census in the shot engine.
-            assert_eq!(branch.peak_amplitudes(), None, "seed {seed}");
+            // Peak stats survive the sharing: leaves record occupancy
+            // peaks, so the tree reports the same worst case the per-shot
+            // census does.
+            assert_eq!(branch.peak_amplitudes(), Some(2), "seed {seed}");
             assert_eq!(per_shot.peak_amplitudes(), Some(2), "seed {seed}");
         }
     }
@@ -1128,6 +1154,31 @@ mod tests {
             .unwrap();
         assert_eq!(classical_face(&branch), classical_face(&per_shot));
         assert_eq!(per_shot.peak_amplitudes(), Some(1), "all-definite run");
+        assert_eq!(branch.peak_amplitudes(), Some(1), "all-definite tree");
+    }
+
+    #[test]
+    fn shared_trajectory_ensembles_report_peak_occupancy() {
+        // Regression: tree-mode ensembles used to report `None` for the
+        // peak stat on every backend. Each backend that tracks occupancy
+        // must now surface the same `Some` the shot engine reports.
+        let circuit = coin_circuit();
+        let tracker = BranchEnsemble::new(50)
+            .run(&circuit, tracker_factory(1))
+            .unwrap();
+        assert_eq!(tracker.peak_amplitudes(), Some(2), "|±⟩ excursion");
+        let dense = BranchEnsemble::new(50)
+            .run(&circuit, || {
+                Box::new(StateVector::zeros(1).unwrap()) as Box<dyn Simulator + Send>
+            })
+            .unwrap();
+        assert_eq!(dense.peak_amplitudes(), Some(2), "full 1-qubit array");
+        let sparse = BranchEnsemble::new(50)
+            .run(&circuit, || {
+                Box::new(crate::SparseVector::zeros(1).unwrap()) as Box<dyn Simulator + Send>
+            })
+            .unwrap();
+        assert_eq!(sparse.peak_amplitudes(), Some(2), "both entries occupied");
     }
 
     #[test]

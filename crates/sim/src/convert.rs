@@ -1,0 +1,321 @@
+//! Lossless state conversion between simulator representations.
+//!
+//! The hybrid planner ([`HybridState`](crate::HybridState)) switches a
+//! running state between the dense amplitude array and the sparse basis
+//! map at segment boundaries; these conversions are its seams. Both
+//! amplitude-level conversions are **bit-exact**: no arithmetic is
+//! performed on any amplitude — entries are moved, never recomputed — so
+//! a state converted dense→sparse→dense compares bitwise equal to the
+//! original on its nonzero support, and a run that hops representations
+//! produces amplitudes bit-identical to the best single-representation
+//! run. The one canonicalisation is the sign of exact zeros: dense
+//! diagonal sweeps may leave `-0.0` on unoccupied indices, culling treats
+//! it as the zero it is, and re-materialisation writes `+0.0` back.
+//!
+//! * [`sparse_to_dense`] scatters the occupied entries into a freshly
+//!   zeroed `2^n` array (fails above the dense width cap);
+//! * [`dense_to_sparse`] culls exact zeros in ascending index order —
+//!   ascending index *is* ascending key order, so the map invariant holds
+//!   by construction and the occupied set equals the dense array's
+//!   nonzero support exactly (the sparse engine's own culling rule);
+//! * [`tracker_to_sparse`] enumerates the [`BasisTracker`]'s tensor-product
+//!   state (`2^(X-mode qubits)` entries) into the map, so a tracker run
+//!   that is about to leave the Toffoli fragment can be resumed on an
+//!   amplitude backend instead of erroring out.
+
+use crate::basis::{BasisTracker, Mode};
+use crate::complex::Complex;
+use crate::error::SimError;
+use crate::simulator::Simulator;
+use crate::sparse::SparseVector;
+use crate::statevector::{StateVector, MAX_STATEVECTOR_QUBITS};
+
+/// Widest tracker state [`tracker_to_sparse`] will enumerate: `2^20`
+/// occupied entries (~32 MiB of keys+amplitudes at one key word). The
+/// tracker itself is `O(1)` per gate at any superposition width; the cap
+/// only bounds what a *conversion out of it* may materialise.
+pub const MAX_TRACKER_ENUM_XMODE: usize = 20;
+
+/// Converts a sparse basis map into the dense amplitude array holding the
+/// same state: every occupied entry lands at its basis index, every other
+/// index is an exact zero. Amplitudes are moved bitwise — no arithmetic.
+///
+/// The dense state is built with the process-default kernel mode,
+/// SIMD/reclamation switches and amplitude-lane count, exactly like
+/// [`StateVector::zeros`] — so a converted state behaves like a natively
+/// constructed one.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyQubits`] when the sparse state is wider
+/// than [`MAX_STATEVECTOR_QUBITS`] (the `2^n` array cannot exist).
+pub fn sparse_to_dense(sparse: &SparseVector) -> Result<StateVector, SimError> {
+    let n = Simulator::num_qubits(sparse);
+    if n > MAX_STATEVECTOR_QUBITS {
+        return Err(SimError::TooManyQubits {
+            requested: n,
+            max: MAX_STATEVECTOR_QUBITS,
+        });
+    }
+    // ≤ 26 qubits fits one key word; wider keys were rejected above.
+    let words = sparse.key_words();
+    let mut amps = vec![Complex::ZERO; 1usize << n];
+    for (e, &a) in sparse.raw_amps().iter().enumerate() {
+        let index = sparse.raw_keys()[e * words];
+        amps[usize::try_from(index).map_err(|_| SimError::OutOfRange {
+            what: format!("sparse key {index} in a {n}-qubit state"),
+        })?] = a;
+    }
+    StateVector::from_amplitudes(amps)
+}
+
+/// Converts a dense amplitude array into the sparse basis map holding the
+/// same state: exact zeros are culled (the sparse engine's own occupancy
+/// rule, so the occupied set equals the dense nonzero support), everything
+/// else is moved bitwise in ascending index order — which *is* ascending
+/// key order, so the map's sort invariant holds by construction.
+pub fn dense_to_sparse(dense: &StateVector) -> SparseVector {
+    let n = dense.num_qubits();
+    let mut keys = Vec::new();
+    let mut amps = Vec::new();
+    for (i, a) in dense.amplitudes().into_iter().enumerate() {
+        if a.re != 0.0 || a.im != 0.0 {
+            keys.push(i as u64);
+            amps.push(a);
+        }
+    }
+    SparseVector::from_sorted_entries(n, keys, amps)
+}
+
+/// Converts a [`BasisTracker`]'s product state into the sparse basis map:
+/// one entry per assignment of the X-mode qubits, each with amplitude
+/// `(±1)·(1/√2)^k · e^{2πi·phase}` (`k` = X-mode count, sign from the
+/// `|−⟩` factors on set bits).
+///
+/// The amplitude of each entry is computed by chained `1/√2` multiplies in
+/// ascending qubit order — the same expression an `H` cascade evaluates —
+/// but the tracker performs no amplitude arithmetic of its own, so unlike
+/// the dense↔sparse pair this conversion defines the amplitudes rather
+/// than moving existing bits.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyQubits`] when more than
+/// [`MAX_TRACKER_ENUM_XMODE`] qubits are in X-mode (the enumeration would
+/// materialise more than `2^20` entries).
+pub fn tracker_to_sparse(tracker: &BasisTracker) -> Result<SparseVector, SimError> {
+    let modes = tracker.modes();
+    let n = modes.len();
+    // The X-mode qubits, ascending, plus the definite-bit base key.
+    let words = n.div_ceil(64).max(1);
+    let mut base = vec![0u64; words];
+    let mut x_qubits: Vec<(usize, bool)> = Vec::new();
+    for (q, mode) in modes.iter().enumerate() {
+        match *mode {
+            Mode::Z(true) => base[q / 64] |= 1u64 << (q % 64),
+            Mode::Z(false) => {}
+            Mode::X(sign) => x_qubits.push((q, sign)),
+        }
+    }
+    if x_qubits.len() > MAX_TRACKER_ENUM_XMODE {
+        return Err(SimError::TooManyQubits {
+            requested: x_qubits.len(),
+            max: MAX_TRACKER_ENUM_XMODE,
+        });
+    }
+    let phase = Complex::cis(tracker.global_phase().radians());
+    let mut magnitude = phase;
+    for _ in &x_qubits {
+        magnitude = magnitude.scale(std::f64::consts::FRAC_1_SQRT_2);
+    }
+    let entries = 1usize << x_qubits.len();
+    let mut keys = Vec::with_capacity(entries * words);
+    let mut amps = Vec::with_capacity(entries);
+    // Scattering counter bit `j` into the ascending X-mode position
+    // `x_qubits[j]` is monotonic in the counter, so the emitted keys are
+    // already ascending — no sort needed.
+    for assignment in 0..entries {
+        let mut key = base.clone();
+        let mut negate = false;
+        for (j, &(q, sign)) in x_qubits.iter().enumerate() {
+            if assignment >> j & 1 == 1 {
+                key[q / 64] |= 1u64 << (q % 64);
+                negate ^= sign;
+            }
+        }
+        keys.extend_from_slice(&key);
+        amps.push(if negate { -magnitude } else { magnitude });
+    }
+    Ok(SparseVector::from_sorted_entries(n, keys, amps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_circuit::{Basis, CircuitBuilder, Gate, QubitId};
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn q(i: u32) -> QubitId {
+        QubitId(i)
+    }
+
+    /// An entangled, phase-rich 5-qubit state driven on both
+    /// representations in lockstep.
+    fn lockstep_pair() -> (StateVector, SparseVector) {
+        let mut dense = StateVector::zeros(5).unwrap();
+        let mut sparse = SparseVector::zeros(5).unwrap();
+        let theta = mbu_circuit::Angle::turn_over_power_of_two(3);
+        let program = [
+            Gate::H(q(0)),
+            Gate::Cx(q(0), q(1)),
+            Gate::H(q(3)),
+            Gate::CcPhase(q(0), q(3), q(1), theta),
+            Gate::Ccx(q(0), q(1), q(4)),
+            Gate::Phase(q(3), theta),
+            Gate::Swap(q(2), q(4)),
+        ];
+        for g in &program {
+            dense.apply_gate_pub(g).unwrap();
+            Simulator::apply_gate(&mut sparse, g).unwrap();
+        }
+        (dense, sparse)
+    }
+
+    #[test]
+    fn dense_round_trip_is_bitwise_identity() {
+        let (dense, _) = lockstep_pair();
+        let back = sparse_to_dense(&dense_to_sparse(&dense)).unwrap();
+        let a = dense.amplitudes();
+        let b = back.amplitudes();
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "re of amp {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "im of amp {i}");
+        }
+    }
+
+    #[test]
+    fn sparse_round_trip_preserves_entries_and_order() {
+        let (_, sparse) = lockstep_pair();
+        let back = dense_to_sparse(&sparse_to_dense(&sparse).unwrap());
+        assert_eq!(back.occupied(), sparse.occupied());
+        assert_eq!(back.raw_keys(), sparse.raw_keys());
+        for (i, (x, y)) in sparse.raw_amps().iter().zip(back.raw_amps()).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "re of entry {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "im of entry {i}");
+        }
+    }
+
+    #[test]
+    fn conversion_crosses_representations_losslessly() {
+        // Dense and sparse runs of the same program are bit-identical
+        // (the sparse backend's contract); converting either way lands
+        // exactly on the other's state.
+        let (dense, sparse) = lockstep_pair();
+        let converted = dense_to_sparse(&dense);
+        assert_eq!(converted.occupied(), sparse.occupied());
+        assert_eq!(converted.raw_keys(), sparse.raw_keys());
+        for (i, (x, y)) in converted
+            .raw_amps()
+            .iter()
+            .zip(sparse.raw_amps())
+            .enumerate()
+        {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "re of entry {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "im of entry {i}");
+        }
+    }
+
+    #[test]
+    fn converted_states_keep_running_identically() {
+        // Convert mid-computation, run the suffix on both representations
+        // with cloned RNGs: outcomes and final amplitudes must agree
+        // bitwise — the property the hybrid planner's switches rest on.
+        let (mut dense, _) = lockstep_pair();
+        let mut hopped = sparse_to_dense(&dense_to_sparse(&dense)).unwrap();
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 5);
+        b.h(r[2]);
+        b.ccx(r[0], r[2], r[3]);
+        let _ = b.measure(r[3], Basis::Z);
+        b.cx(r[3], r[4]);
+        let circuit = b.finish();
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let ex_a = dense.run(&circuit, &mut rng_a).unwrap();
+        let ex_b = hopped.run(&circuit, &mut rng_b).unwrap();
+        assert_eq!(ex_a, ex_b);
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG positions agree");
+        for (i, (x, y)) in dense
+            .amplitudes()
+            .iter()
+            .zip(&hopped.amplitudes())
+            .enumerate()
+        {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "re of amp {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "im of amp {i}");
+        }
+    }
+
+    #[test]
+    fn oversized_sparse_states_are_rejected() {
+        let wide = SparseVector::zeros(300).unwrap();
+        assert!(matches!(
+            sparse_to_dense(&wide),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn tracker_enumeration_matches_a_real_h_cascade() {
+        // |110⟩ → H on q1 (|−⟩ factor) and H on q2: four entries whose
+        // amplitudes the sparse engine computed by actual H arithmetic.
+        let mut tracker = BasisTracker::zeros(3);
+        tracker.set_bit(q(1), true).unwrap();
+        tracker.set_bit(q(2), true).unwrap();
+        let mut reference = SparseVector::zeros(3).unwrap();
+        Simulator::set_bit(&mut reference, q(1), true).unwrap();
+        Simulator::set_bit(&mut reference, q(2), true).unwrap();
+        for g in [Gate::H(q(1)), Gate::H(q(2))] {
+            Simulator::apply_gate(&mut tracker, &g).unwrap();
+            Simulator::apply_gate(&mut reference, &g).unwrap();
+        }
+        let converted = tracker_to_sparse(&tracker).unwrap();
+        assert_eq!(converted.occupied(), reference.occupied());
+        assert_eq!(converted.raw_keys(), reference.raw_keys());
+        for (i, (x, y)) in converted
+            .raw_amps()
+            .iter()
+            .zip(reference.raw_amps())
+            .enumerate()
+        {
+            assert!((*x - *y).norm() < 1e-15, "entry {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tracker_enumeration_carries_the_global_phase() {
+        let mut tracker = BasisTracker::zeros(2);
+        tracker.set_bit(q(0), true).unwrap();
+        // Z on |1⟩ contributes a global π phase; then superpose q1.
+        Simulator::apply_gate(&mut tracker, &Gate::Z(q(0))).unwrap();
+        Simulator::apply_gate(&mut tracker, &Gate::H(q(1))).unwrap();
+        let converted = tracker_to_sparse(&tracker).unwrap();
+        assert_eq!(converted.occupied(), 2);
+        for e in converted.raw_amps() {
+            assert!(e.re < 0.0, "π global phase negates every entry: {e}");
+        }
+    }
+
+    #[test]
+    fn tracker_enumeration_width_cap() {
+        let mut tracker = BasisTracker::zeros(64);
+        for i in 0..(MAX_TRACKER_ENUM_XMODE as u32 + 1) {
+            Simulator::apply_gate(&mut tracker, &Gate::H(q(i))).unwrap();
+        }
+        assert!(matches!(
+            tracker_to_sparse(&tracker),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+}

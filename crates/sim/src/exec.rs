@@ -41,6 +41,18 @@ impl Executed {
     }
 }
 
+/// The shared width guard: every `run_compiled` entry point rejects a
+/// program wider than the state with the same [`SimError::OutOfRange`]
+/// message, so backends cannot drift apart in what they report.
+pub(crate) fn check_width(program_qubits: usize, state_qubits: usize) -> Result<(), SimError> {
+    if program_qubits > state_qubits {
+        return Err(SimError::OutOfRange {
+            what: format!("{program_qubits}-qubit compiled program on {state_qubits}-qubit state"),
+        });
+    }
+    Ok(())
+}
+
 /// Executes `ops` on `sim`, recording outcomes and executed counts.
 ///
 /// Works through the object-safe [`Simulator`] surface so one executor
@@ -119,13 +131,14 @@ pub(crate) fn execute_compiled<S: Simulator + ?Sized>(
         },
         |_, q| Ok(q),
         |_, _| {},
+        |_, _| Ok(()),
     )
 }
 
 /// The compiled program-counter loop, parametrised over gate application
 /// (`apply`), fused-block application (`apply_fused`), a hook run before
-/// every non-unitary instruction (`before_nonunitary`) and a handler for
-/// [`Instr::Drop`] (`on_drop`). Backends with deferred per-gate state —
+/// every non-unitary instruction (`before_nonunitary`), a handler for
+/// [`Instr::Drop`] (`on_drop`) and a per-instruction hook (`at_pc`). Backends with deferred per-gate state —
 /// the state vector's bit-flip frame — route through this with a custom
 /// `apply` and a flush hook, so measurement, reset, branch and
 /// classical-record semantics live in exactly one place.
@@ -142,6 +155,13 @@ pub(crate) fn execute_compiled<S: Simulator + ?Sized>(
 /// unchanged. `on_drop` is the reclamation hook; for backends without a
 /// compaction story a drop is a semantic no-op and the default handler
 /// does nothing.
+///
+/// `at_pc` fires at the top of every loop iteration, before the
+/// instruction at `pc` dispatches. Because every program point the loop
+/// can land on after a barrier or branch is a segment start (see
+/// `CompiledCircuit::segments`), a backend that re-plans its state
+/// representation per segment (the hybrid auto backend) keys a
+/// segment-start table on the hook's `pc`; everyone else passes a no-op.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
     sim: &mut S,
@@ -155,10 +175,12 @@ pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
         mbu_circuit::QubitId,
     ) -> Result<mbu_circuit::QubitId, SimError>,
     mut on_drop: impl FnMut(&mut S, mbu_circuit::QubitId),
+    mut at_pc: impl FnMut(&mut S, usize) -> Result<(), SimError>,
 ) -> Result<(), SimError> {
     let instrs = compiled.instrs();
     let mut pc = 0usize;
     while let Some(instr) = instrs.get(pc) {
+        at_pc(sim, pc)?;
         match instr {
             Instr::Gate(g) => {
                 apply(sim, g)?;

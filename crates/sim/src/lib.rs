@@ -1,7 +1,9 @@
 //! Simulators for adaptive quantum circuits.
 //!
-//! Three backends execute the [`mbu-circuit`](mbu_circuit) IR, including
-//! mid-circuit measurement and classically-controlled blocks:
+//! Three exact backends execute the [`mbu-circuit`](mbu_circuit) IR,
+//! including mid-circuit measurement and classically-controlled blocks —
+//! plus a fourth, [`HybridState`] (`MBU_BACKEND=auto`), that hops between
+//! the first two mid-run via a per-segment planner (see below):
 //!
 //! * [`StateVector`] — exact complex-amplitude simulation of every gate in
 //!   the set, built on stride-based kernels: 1-qubit gates touch `2^(n-1)`
@@ -70,7 +72,12 @@
 //! all) or replays the per-shot RNG streams against the tree for
 //! aggregates bit-identical to the [`ShotRunner`]'s. The backend behind
 //! any of those harnesses is selectable at runtime through the
-//! `MBU_BACKEND` knob ([`BackendKind`]).
+//! `MBU_BACKEND` knob ([`BackendKind`]) — including `auto`, the
+//! [`HybridState`] planner that starts sparse and converts dense↔sparse
+//! at compiled-segment boundaries using the compiler's structural
+//! segment profiles ([`mbu_circuit::SegmentProfile`]). The lossless
+//! conversions it rides on are public ([`sparse_to_dense`],
+//! [`dense_to_sparse`], [`tracker_to_sparse`]).
 //!
 //! # Examples
 //!
@@ -118,8 +125,10 @@ mod backend;
 mod basis;
 mod branch;
 mod complex;
+mod convert;
 mod error;
 mod exec;
+mod hybrid;
 mod kernels;
 mod pool;
 mod shots;
@@ -132,8 +141,10 @@ pub use backend::BackendKind;
 pub use basis::BasisTracker;
 pub use branch::{BranchDistribution, BranchEnsemble, DEFAULT_NODE_BUDGET};
 pub use complex::Complex;
+pub use convert::{dense_to_sparse, sparse_to_dense, tracker_to_sparse, MAX_TRACKER_ENUM_XMODE};
 pub use error::SimError;
 pub use exec::Executed;
+pub use hybrid::HybridState;
 pub use shots::{CountStats, Ensemble, ShotRunner};
 pub use simulator::{Fork, Simulator};
 pub use sparse::{SparseVector, MAX_SPARSEVECTOR_QUBITS};

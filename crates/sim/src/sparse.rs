@@ -50,7 +50,7 @@ use rand::RngCore;
 use crate::complex::Complex;
 use crate::error::SimError;
 use crate::exec::{self, Executed};
-use crate::simulator::{Fork, Simulator};
+use crate::simulator::{ConcreteFork, Fork, Simulator};
 
 /// Construction cap for [`SparseVector::zeros`]: wide enough for every
 /// Table-1 architecture at n = 1024 (the 5n-qubit VBE-family layouts land
@@ -207,6 +207,60 @@ impl SparseVector {
 
     fn key(&self, e: usize) -> &[u64] {
         &self.keys[e * self.words..(e + 1) * self.words]
+    }
+
+    /// Builds a map directly from pre-sorted raw storage: `keys` holds
+    /// `amps.len() · ⌈num_qubits/64⌉` little-endian words, entries sorted
+    /// ascending, pairwise distinct, with no exact-zero amplitude — the
+    /// representation-conversion seam (`crate::convert`). The peak
+    /// counter starts at the entry count, like a fresh construction.
+    pub(crate) fn from_sorted_entries(
+        num_qubits: usize,
+        keys: Vec<u64>,
+        amps: Vec<Complex>,
+    ) -> Self {
+        let words = num_qubits.div_ceil(64).max(1);
+        debug_assert_eq!(keys.len(), amps.len() * words);
+        debug_assert!((1..amps.len()).all(|e| cmp_keys(
+            &keys[(e - 1) * words..e * words],
+            &keys[e * words..(e + 1) * words]
+        ) == std::cmp::Ordering::Less));
+        debug_assert!(!amps.iter().any(|a| is_zero(*a)));
+        let peak = amps.len() as u64;
+        Self {
+            num_qubits,
+            words,
+            keys,
+            amps,
+            peak_entries: peak,
+            last_run_peak: None,
+        }
+    }
+
+    /// Raw key storage (`occupied · key_words` words, ascending entries).
+    pub(crate) fn raw_keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Raw amplitude storage, parallel to [`raw_keys`](Self::raw_keys).
+    pub(crate) fn raw_amps(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Key width in 64-bit words.
+    pub(crate) fn key_words(&self) -> usize {
+        self.words
+    }
+
+    /// The occupied-entry high-water mark since the last reset.
+    pub(crate) fn peak_entries(&self) -> u64 {
+        self.peak_entries
+    }
+
+    /// Restarts the high-water mark at the current occupancy (a compiled
+    /// run is beginning).
+    pub(crate) fn reset_peak(&mut self) {
+        self.peak_entries = self.amps.len() as u64;
     }
 
     /// Binary search for `key` among the sorted entries.
@@ -538,18 +592,18 @@ impl SparseVector {
 
     /// The both-branch Z measurement behind
     /// [`measure_fork`](Simulator::measure_fork). A definite outcome
-    /// (`p₁` exactly `0.0` or `1.0`) reports [`Fork::Definite`] — the
-    /// sampling path consumes no randomness for it — after dropping the
-    /// impossible half's (numerically massless) entries, so the surviving
-    /// state is bitwise what [`measure_z`](Self::measure_z) leaves. A
-    /// genuine split scales both halves with the dense `split_bit`
-    /// arithmetic.
-    fn fork_z(&mut self, q: QubitId) -> Fork {
+    /// (`p₁` exactly `0.0` or `1.0`) reports
+    /// [`ConcreteFork::Definite`] — the sampling path consumes no
+    /// randomness for it — after dropping the impossible half's
+    /// (numerically massless) entries, so the surviving state is bitwise
+    /// what [`measure_z`](Self::measure_z) leaves. A genuine split scales
+    /// both halves with the dense `split_bit` arithmetic.
+    fn fork_z(&mut self, q: QubitId) -> ConcreteFork<SparseVector> {
         let p1 = self.z_prob_one(q);
         if p1 == 0.0 || p1 == 1.0 {
             let outcome = p1 == 1.0;
             self.project(q, outcome, self.z_branch_scale(q, outcome, p1));
-            return Fork::Definite(outcome);
+            return ConcreteFork::Definite(outcome);
         }
         let scale0 = self.z_branch_scale(q, false, p1);
         let scale1 = self.z_branch_scale(q, true, p1);
@@ -558,9 +612,41 @@ impl SparseVector {
         self.project(q, false, scale0);
         one.project(q, true, scale1);
         one.note_peak();
-        Fork::Split {
+        ConcreteFork::Split {
             p_one: p1,
-            one: Some(Box::new(one)),
+            one: Some(one),
+        }
+    }
+
+    /// The typed fork behind [`measure_fork`](Simulator::measure_fork):
+    /// same semantics, but the outcome-1 branch keeps its concrete
+    /// `SparseVector` type so wrapper backends can re-wrap it.
+    pub(crate) fn fork_concrete(
+        &mut self,
+        qubit: QubitId,
+        basis: Basis,
+    ) -> Result<ConcreteFork<SparseVector>, SimError> {
+        if qubit.index() >= self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!("measured qubit q{}", qubit.0),
+            });
+        }
+        match basis {
+            Basis::Z => Ok(self.fork_z(qubit)),
+            Basis::X => {
+                self.apply(&Gate::H(qubit))?;
+                let fork = self.fork_z(qubit);
+                self.apply(&Gate::H(qubit))?;
+                match fork {
+                    ConcreteFork::Definite(b) => Ok(ConcreteFork::Definite(b)),
+                    ConcreteFork::Split { p_one, mut one } => {
+                        if let Some(one) = one.as_mut() {
+                            one.apply(&Gate::H(qubit))?;
+                        }
+                        Ok(ConcreteFork::Split { p_one, one })
+                    }
+                }
+            }
         }
     }
 
@@ -672,28 +758,11 @@ impl Simulator for SparseVector {
     }
 
     fn measure_fork(&mut self, qubit: QubitId, basis: Basis) -> Result<Option<Fork>, SimError> {
-        if qubit.index() >= self.num_qubits {
-            return Err(SimError::OutOfRange {
-                what: format!("measured qubit q{}", qubit.0),
-            });
-        }
-        match basis {
-            Basis::Z => Ok(Some(self.fork_z(qubit))),
-            Basis::X => {
-                self.apply(&Gate::H(qubit))?;
-                let fork = self.fork_z(qubit);
-                self.apply(&Gate::H(qubit))?;
-                match fork {
-                    Fork::Definite(b) => Ok(Some(Fork::Definite(b))),
-                    Fork::Split { p_one, mut one } => {
-                        if let Some(one) = one.as_mut() {
-                            one.apply_gate(&Gate::H(qubit))?;
-                        }
-                        Ok(Some(Fork::Split { p_one, one }))
-                    }
-                }
-            }
-        }
+        Ok(Some(self.fork_concrete(qubit, basis)?.into_fork()))
+    }
+
+    fn occupancy_peak(&self) -> Option<u64> {
+        Some(self.peak_entries)
     }
 
     fn reset(&mut self, qubit: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> Result<(), SimError> {
@@ -723,15 +792,7 @@ impl Simulator for SparseVector {
         compiled: &CompiledCircuit,
         rng: &mut dyn RngCore,
     ) -> Result<Executed, SimError> {
-        if compiled.num_qubits() > self.num_qubits {
-            return Err(SimError::OutOfRange {
-                what: format!(
-                    "{}-qubit compiled program on {}-qubit state",
-                    compiled.num_qubits(),
-                    self.num_qubits
-                ),
-            });
-        }
+        exec::check_width(compiled.num_qubits(), self.num_qubits)?;
         self.peak_entries = self.amps.len() as u64;
         let mut executed = Executed::default();
         exec::execute_compiled_core(
@@ -748,6 +809,7 @@ impl Simulator for SparseVector {
             },
             |_, q| Ok(q),
             |_, _| {},
+            |_, _| Ok(()),
         )?;
         self.last_run_peak = Some(self.peak_entries);
         Ok(executed)

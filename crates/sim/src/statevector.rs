@@ -8,7 +8,7 @@ use crate::error::SimError;
 use crate::exec::{self, Executed};
 use crate::kernels::{self, Par};
 use crate::pool::AmpPool;
-use crate::simulator::{Fork, Simulator};
+use crate::simulator::{ConcreteFork, Fork, Simulator};
 use crate::soa::Amps;
 
 /// Tolerance below which a probability is treated as exactly 0 or 1 when
@@ -163,7 +163,7 @@ fn resolve_simd(env_value: Option<&str>) -> bool {
 /// benches pit the two enumerations against each other inside one
 /// process — and it is read once because construction sits in per-shot
 /// hot loops.
-fn simd_default() -> bool {
+pub(crate) fn simd_default() -> bool {
     static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| resolve_simd(std::env::var("MBU_SIMD").ok().as_deref()))
 }
@@ -990,6 +990,24 @@ impl StateVector {
         }
     }
 
+    /// Counts amplitudes that are not exactly zero, giving up as soon as
+    /// the count exceeds `bound` (returning `None`) so the hybrid planner
+    /// can probe "is this state sparse enough to demote?" without paying a
+    /// full `O(2^n)` sweep on dense states — the common case stops at the
+    /// first `bound + 1` occupied entries.
+    pub(crate) fn nonzero_count_capped(&self, bound: u64) -> Option<u64> {
+        let mut count = 0u64;
+        for a in self.amps.iter() {
+            if a != Complex::ZERO {
+                count += 1;
+                if count > bound {
+                    return None;
+                }
+            }
+        }
+        Some(count)
+    }
+
     /// The both-branch Z measurement behind [`Simulator::measure_fork`]:
     /// one probability sweep plus one [`kernels::split_bit`] sweep yields
     /// both renormalised children, each **possible** branch bit-identical
@@ -1001,7 +1019,7 @@ impl StateVector {
     /// branch-tree consumer prunes zero-probability children unseen, and
     /// paying a full child allocation plus two extra sweeps per definite
     /// measurement would double the traffic of a full-expansion run.
-    fn fork_z(&mut self, q: QubitId) -> Fork {
+    fn fork_z(&mut self, q: QubitId) -> ConcreteFork<Self> {
         let p = q.index();
         let p1 = self.z_prob_one(p);
         if p1 == 0.0 {
@@ -1009,7 +1027,7 @@ impl StateVector {
             // 1/√(1−0) = 1, so `measure_z(…, false)` would scale the
             // survivors by 1.0 (a bitwise no-op) and zero the dead half.
             kernels::zero_where_bit(&mut self.amps, p);
-            return Fork::Split {
+            return ConcreteFork::Split {
                 p_one: p1,
                 one: None,
             };
@@ -1021,9 +1039,46 @@ impl StateVector {
         };
         let scale1 = self.z_branch_scale(p, true, p1);
         let one_amps = kernels::split_bit(&mut self.amps, 1usize << p, scale0, scale1);
-        Fork::Split {
+        ConcreteFork::Split {
             p_one: p1,
-            one: Some(Box::new(self.child_with_amps(one_amps))),
+            one: Some(self.child_with_amps(one_amps)),
+        }
+    }
+
+    /// [`measure_fork`](Simulator::measure_fork) with the child still a
+    /// concrete `StateVector` instead of a boxed trait object, so wrapper
+    /// backends (the hybrid planner) can re-wrap both branches in their own
+    /// type. The state vector always reports a split — its sampling path
+    /// consumes one draw per measurement even when the outcome is certain,
+    /// and the fork must mirror that so per-shot RNG replay stays
+    /// bit-identical.
+    pub(crate) fn fork_concrete(
+        &mut self,
+        qubit: QubitId,
+        basis: Basis,
+    ) -> Result<ConcreteFork<Self>, SimError> {
+        if qubit.index() >= self.num_qubits {
+            return Err(SimError::OutOfRange {
+                what: format!("measured qubit q{}", qubit.0),
+            });
+        }
+        match basis {
+            Basis::Z => Ok(self.fork_z(qubit)),
+            Basis::X => {
+                // Same H-conjugation as the sampling path, applied to each
+                // branch independently (the branches are product-separate
+                // states once split).
+                self.apply(&Gate::H(qubit))?;
+                let fork = self.fork_z(qubit);
+                self.apply(&Gate::H(qubit))?;
+                let ConcreteFork::Split { p_one, mut one } = fork else {
+                    unreachable!("fork_z always splits");
+                };
+                if let Some(one) = one.as_mut() {
+                    one.apply(&Gate::H(qubit))?;
+                }
+                Ok(ConcreteFork::Split { p_one, one })
+            }
         }
     }
 }
@@ -1346,6 +1401,7 @@ impl StateVector {
                 lm.drop_qubit(&mut sv.amps, q.index(), &mut f, simd);
                 flip.set(f);
             },
+            |_, _| Ok(()),
         );
         let mut f = flip.get();
         self.flush_flips(&mut f);
@@ -1410,15 +1466,7 @@ impl Simulator for StateVector {
         compiled: &CompiledCircuit,
         rng: &mut dyn RngCore,
     ) -> Result<Executed, SimError> {
-        if compiled.num_qubits() > self.num_qubits {
-            return Err(SimError::OutOfRange {
-                what: format!(
-                    "{}-qubit compiled program on {}-qubit state",
-                    compiled.num_qubits(),
-                    self.num_qubits()
-                ),
-            });
-        }
+        exec::check_width(compiled.num_qubits(), self.num_qubits)?;
         let mut executed = Executed::default();
         if self.mode == KernelMode::Scan {
             // Reference semantics: the generic per-instruction executor.
@@ -1461,6 +1509,7 @@ impl Simulator for StateVector {
                 Ok(q)
             },
             |_, _| {},
+            |_, _| Ok(()),
         )?;
         let mut f = flip.get();
         self.flush_flips(&mut f);
@@ -1469,6 +1518,15 @@ impl Simulator for StateVector {
 
     fn peak_amplitudes(&self) -> Option<u64> {
         self.last_run_peak.map(|p| p as u64)
+    }
+
+    /// The dense working set *is* the amplitude array: every entry is
+    /// materialised whether or not it carries mass, so the occupancy a
+    /// branch-tree leaf or hybrid planner should account for is its
+    /// current length (compacted mid-run under reclamation, `2^n`
+    /// otherwise).
+    fn occupancy_peak(&self) -> Option<u64> {
+        Some(self.amps.len() as u64)
     }
 
     fn set_amp_threads(&mut self, threads: usize) {
@@ -1590,33 +1648,9 @@ impl Simulator for StateVector {
     /// Both-branch measurement for the branch-tree engine: the receiver
     /// collapses to the outcome-0 branch, the returned child holds the
     /// outcome-1 branch. The state vector always reports a
-    /// [`Fork::Split`] — its sampling path consumes one draw per
-    /// measurement even when the outcome is certain, and the fork must
-    /// mirror that so per-shot RNG replay stays bit-identical.
+    /// [`Fork::Split`] — see [`fork_concrete`](Self::fork_concrete).
     fn measure_fork(&mut self, qubit: QubitId, basis: Basis) -> Result<Option<Fork>, SimError> {
-        if qubit.index() >= self.num_qubits {
-            return Err(SimError::OutOfRange {
-                what: format!("measured qubit q{}", qubit.0),
-            });
-        }
-        match basis {
-            Basis::Z => Ok(Some(self.fork_z(qubit))),
-            Basis::X => {
-                // Same H-conjugation as the sampling path, applied to each
-                // branch independently (the branches are product-separate
-                // states once split).
-                self.apply(&Gate::H(qubit))?;
-                let fork = self.fork_z(qubit);
-                self.apply(&Gate::H(qubit))?;
-                let Fork::Split { p_one, mut one } = fork else {
-                    unreachable!("fork_z always splits");
-                };
-                if let Some(one) = one.as_mut() {
-                    one.apply_gate(&Gate::H(qubit))?;
-                }
-                Ok(Some(Fork::Split { p_one, one }))
-            }
-        }
+        Ok(Some(self.fork_concrete(qubit, basis)?.into_fork()))
     }
 
     fn reset(&mut self, qubit: QubitId, draw: &mut dyn FnMut(f64) -> bool) -> Result<(), SimError> {

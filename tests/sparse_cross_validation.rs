@@ -389,9 +389,10 @@ fn branch_sampled_mode_matches_the_shot_runner_on_sparse() {
             "clbit {clbit}"
         );
     }
-    // Shared-trajectory execution has no per-shot peak; the per-shot
-    // engine reports the sparse occupancy high-water mark.
-    assert_eq!(branch.peak_amplitudes(), None);
+    // Shared-trajectory execution reports peaks too, via each leaf's
+    // occupancy high-water mark — the same census the per-shot engine
+    // takes on the sparse map.
+    assert!(branch.peak_amplitudes().is_some());
     assert!(per_shot.peak_amplitudes().is_some());
 }
 
