@@ -1,0 +1,206 @@
+//! The `phase_shootout` group: all four plain-adder families on the
+//! phase-accumulator backend versus the sparse basis map.
+//!
+//! The Toffoli-family adders (VBE / CDKPM / Gidney) are permutation
+//! circuits — O(occupied) on either backend, a fair fight. The Draper
+//! adder is the wall: its QFT interior fans the sparse map out to `2^n`
+//! Fourier-basis entries, so past toy widths the map is exponential
+//! while the phase backend's dyadic accumulators keep occupancy at
+//! exactly 1 and execute each of the ~n²/2 controlled rotations as one
+//! exact angle addition. This bench runs `|x⟩|y⟩ ↦ |x⟩|x+y⟩` for every
+//! family at n = 8 … 1024, checks the sum bit-for-bit on every run, and
+//! appends the wall-time/occupancy trajectory to `BENCH_phase.json` at
+//! the repo root. Circuits run interpreted on both backends — identical
+//! treatment, and at millions of rotations the compile passes would
+//! otherwise dominate the measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbu_arith::{adders, AdderKind};
+use mbu_sim::{PhaseAccumulator, Simulator, SparseVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SIZES: [usize; 4] = [8, 64, 256, 1024];
+const SEED: u64 = 7;
+/// Wall times are the best of this many runs.
+const RUNS: u32 = 3;
+/// The sparse map holds `2^(n+1)` Fourier-basis entries inside a Draper
+/// adder at width n; past this width the sparse leg is recorded as
+/// infeasible rather than simulated (n = 16 already means 131k entries
+/// per rotation sweep).
+const MAX_SPARSE_DRAPER: usize = 8;
+
+const FAMILIES: [AdderKind; 4] = [
+    AdderKind::Vbe,
+    AdderKind::Cdkpm,
+    AdderKind::Gidney,
+    AdderKind::Draper,
+];
+
+struct Row {
+    family: &'static str,
+    n: usize,
+    qubits: usize,
+    phase_wall_ms: f64,
+    phase_peak: u64,
+    sparse_wall_ms: Option<f64>,
+    sparse_peak: Option<u64>,
+}
+
+fn family_tag(kind: AdderKind) -> &'static str {
+    match kind {
+        AdderKind::Vbe => "vbe",
+        AdderKind::Cdkpm => "cdkpm",
+        AdderKind::Gidney => "gidney",
+        AdderKind::Draper => "draper",
+    }
+}
+
+/// Adder inputs at width `n`, kept under 128 bits so the classical
+/// reference sum stays in `u128` (registers may be far wider).
+fn inputs(n: usize) -> (u128, u128) {
+    let bits = n.min(126);
+    let x = (1u128 << bits) - 5;
+    let y = (1u128 << (bits - 1)) + 3;
+    (x, y)
+}
+
+/// Runs `layout`'s circuit on `sim`, timing the run and asserting the
+/// plain-adder sum bit by bit; returns (best wall, occupancy peak).
+fn time_adder(
+    layout: &adders::PlainAdder,
+    mut fresh: impl FnMut() -> Box<dyn Simulator>,
+) -> (Duration, u64) {
+    let n = layout.x.qubits().len();
+    let (x, y) = inputs(n);
+    let want = x + y;
+    let mut best = Duration::MAX;
+    let mut peak = 0u64;
+    for _ in 0..RUNS {
+        let mut sim = fresh();
+        sim.set_value(layout.x.qubits(), x).unwrap();
+        sim.set_value(layout.y.qubits(), y).unwrap();
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let start = Instant::now();
+        black_box(sim.run(&layout.circuit, &mut rng).unwrap());
+        best = best.min(start.elapsed());
+        peak = sim.occupancy_peak().expect("both backends report a peak");
+        for (i, q) in layout.y.qubits().iter().enumerate() {
+            let w = i < 128 && (want >> i) & 1 == 1;
+            assert_eq!(sim.bit(*q).unwrap(), w, "n={n}: sum bit {i}");
+        }
+    }
+    (best, peak)
+}
+
+fn write_trajectory(rows: &[Row]) {
+    let mut json = String::from(
+        "{\n  \"bench\": \"phase_shootout\",\n  \"workload\": \
+         \"plain adder |x>|y> -> |x>|x+y>, four families, phase vs sparse, \
+         interpreted, seed 7\",\n  \
+         \"units\": { \"wall\": \"ms\", \"peak\": \"occupied branches\" },\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sparse_wall = match r.sparse_wall_ms {
+            Some(ms) => format!("{ms:.3}"),
+            None => "null".to_string(),
+        };
+        let sparse_peak = match r.sparse_peak {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{ \"family\": \"{}\", \"n\": {}, \"qubits\": {}, \
+             \"phase_wall_ms\": {:.3}, \"phase_peak\": {}, \
+             \"sparse_wall_ms\": {}, \"sparse_peak\": {} }}{}",
+            r.family,
+            r.n,
+            r.qubits,
+            r.phase_wall_ms,
+            r.phase_peak,
+            sparse_wall,
+            sparse_peak,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phase.json");
+    mbu_bench::trajectory::append_run(std::path::Path::new(path), &json)
+        .expect("writable BENCH_phase.json");
+    eprintln!("  appended run to {path}");
+}
+
+fn phase_shootout(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for n in SIZES {
+        for kind in FAMILIES {
+            let layout = adders::plain_adder(kind, n).expect("valid adder");
+            let nq = layout.circuit.num_qubits();
+            let (phase_wall, phase_peak) = time_adder(&layout, || {
+                Box::new(PhaseAccumulator::zeros(nq).unwrap()) as Box<dyn Simulator>
+            });
+            let sparse = (kind != AdderKind::Draper || n <= MAX_SPARSE_DRAPER).then(|| {
+                time_adder(&layout, || {
+                    Box::new(SparseVector::zeros(nq).unwrap()) as Box<dyn Simulator>
+                })
+            });
+            let tag = family_tag(kind);
+            eprintln!(
+                "  {tag} n={n}: {nq} qubits, phase {phase_wall:.0?} \
+                 (peak {phase_peak}){}",
+                match sparse {
+                    Some((w, p)) => format!(", sparse {w:.0?} (peak {p})"),
+                    None => ", sparse infeasible (2^n Fourier fan-out)".to_string(),
+                }
+            );
+            rows.push(Row {
+                family: tag,
+                n,
+                qubits: nq,
+                phase_wall_ms: phase_wall.as_secs_f64() * 1e3,
+                phase_peak,
+                sparse_wall_ms: sparse.map(|(w, _)| w.as_secs_f64() * 1e3),
+                sparse_peak: sparse.map(|(_, p)| p),
+            });
+        }
+    }
+    write_trajectory(&rows);
+
+    // Criterion rows for the headline wall: the Draper adder where only
+    // the phase backend is in the race, plus the n = 8 head-to-head.
+    let mut group = c.benchmark_group("phase_shootout");
+    for n in [8usize, 256] {
+        let layout = adders::plain_adder(AdderKind::Draper, n).unwrap();
+        let nq = layout.circuit.num_qubits();
+        let (x, y) = inputs(n);
+        group.bench_function(format!("draper_phase_{n}"), |b| {
+            b.iter(|| {
+                let mut sim = PhaseAccumulator::zeros(nq).unwrap();
+                sim.set_value(layout.x.qubits(), x).unwrap();
+                sim.set_value(layout.y.qubits(), y).unwrap();
+                let mut rng = StdRng::seed_from_u64(SEED);
+                black_box(Simulator::run(&mut sim, &layout.circuit, &mut rng).unwrap())
+            })
+        });
+    }
+    let layout = adders::plain_adder(AdderKind::Draper, 8).unwrap();
+    let nq = layout.circuit.num_qubits();
+    let (x, y) = inputs(8);
+    group.bench_function("draper_sparse_8", |b| {
+        b.iter(|| {
+            let mut sim = SparseVector::zeros(nq).unwrap();
+            sim.set_value(layout.x.qubits(), x).unwrap();
+            sim.set_value(layout.y.qubits(), y).unwrap();
+            let mut rng = StdRng::seed_from_u64(SEED);
+            black_box(Simulator::run(&mut sim, &layout.circuit, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, phase_shootout);
+criterion_main!(benches);

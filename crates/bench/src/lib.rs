@@ -139,8 +139,11 @@ pub fn benchmark_modulus(n: usize) -> u128 {
     }
 }
 
-/// Builds a modular adder for a Table-1 architecture row; `None` for the
-/// Draper rows.
+/// Builds a modular adder for a Table-1 architecture row.
+///
+/// The ripple rows go through their [`ModAddSpec`] presets; the Draper
+/// rows build the Beauregard QFT modular adder — all-diagonal interior,
+/// the phase-accumulator backend's native workload.
 ///
 /// # Panics
 ///
@@ -152,8 +155,11 @@ pub fn build_row_circuit(
     n: usize,
     p: u128,
 ) -> Option<modular::ModAdd> {
-    let spec = spec_for_row(row, unc)?;
-    Some(modular::modadd_circuit(&spec, n, p).expect("valid parameters"))
+    let layout = match spec_for_row(row, unc) {
+        Some(spec) => modular::modadd_circuit(&spec, n, p),
+        None => modular::beauregard::modadd_circuit(unc, n, p),
+    };
+    Some(layout.expect("valid parameters"))
 }
 
 /// Formats `value` with one decimal when fractional, none otherwise.
@@ -200,5 +206,27 @@ mod tests {
     fn fmt_count_renders_integers_plainly() {
         assert_eq!(fmt_count(12.0), "12");
         assert_eq!(fmt_count(3.5), "3.50");
+    }
+
+    #[test]
+    fn draper_row_builds_beauregard_and_runs_on_the_phase_backend() {
+        use mbu_sim::{PhaseAccumulator, Simulator};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let (n, p) = (4usize, benchmark_modulus(4));
+        let layout = build_row_circuit(Table1Row::Draper, Uncompute::Mbu, n, p).unwrap();
+        // QFT arithmetic throughout: no Toffolis anywhere in the row.
+        assert_eq!(layout.circuit.counts().toffoli, 0);
+
+        let (x, y) = (p - 1, p / 2 + 1);
+        let mut sim = PhaseAccumulator::zeros(layout.circuit.num_qubits()).unwrap();
+        sim.set_value(layout.x.qubits(), x).unwrap();
+        sim.set_value(layout.y.qubits(), y).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        sim.run(&layout.circuit, &mut rng).unwrap();
+        assert_eq!(sim.value(layout.x.qubits()).unwrap(), x);
+        assert_eq!(sim.value(layout.y.qubits()).unwrap(), (x + y) % p);
+        assert_eq!(sim.occupied(), 1);
     }
 }

@@ -531,6 +531,10 @@ pub struct PassStats {
     /// Segments the representation planner maps to the sparse key→amplitude
     /// map at the default thresholds.
     pub planned_sparse: usize,
+    /// Segments the representation planner maps to the phase-accumulator
+    /// representation at the default thresholds (diagonal-heavy blow-ups
+    /// past the dense width cap).
+    pub planned_phase: usize,
 }
 
 impl PassStats {
@@ -547,7 +551,7 @@ impl fmt::Display for PassStats {
             f,
             "lowered {} instrs; cancelled {}, merged {}, identities {}, phase-dead {}, \
              reclaimed {}, fused {} gates into {} blocks; emitted {} \
-             ({} segments, {} fork points; planned {} dense / {} sparse)",
+             ({} segments, {} fork points; planned {} dense / {} sparse / {} phase)",
             self.lowered_instrs,
             self.cancelled,
             self.merged,
@@ -560,7 +564,8 @@ impl fmt::Display for PassStats {
             self.segments,
             self.fork_points,
             self.planned_dense,
-            self.planned_sparse
+            self.planned_sparse,
+            self.planned_phase
         )
     }
 }
@@ -664,15 +669,17 @@ impl CompiledCircuit {
         };
         compiled.stats.segments = compiled.segments().len();
         compiled.stats.fork_points = compiled.fork_points();
-        let plan = compiled.representation_plan(
-            crate::plan::DEFAULT_AUTO_DENSE_QUBITS,
-            crate::plan::DEFAULT_AUTO_SPARSITY,
-        );
+        let plan = compiled.representation_plan(&crate::plan::PlanConfig::default());
         compiled.stats.planned_dense = plan
             .iter()
             .filter(|r| matches!(r, crate::plan::PlannedRepr::Dense))
             .count();
-        compiled.stats.planned_sparse = plan.len() - compiled.stats.planned_dense;
+        compiled.stats.planned_phase = plan
+            .iter()
+            .filter(|r| matches!(r, crate::plan::PlannedRepr::Phase))
+            .count();
+        compiled.stats.planned_sparse =
+            plan.len() - compiled.stats.planned_dense - compiled.stats.planned_phase;
         Ok(compiled)
     }
 
@@ -856,8 +863,7 @@ impl fmt::Display for CompiledCircuit {
             let repr = crate::plan::plan_segment(
                 self.num_qubits,
                 profile,
-                crate::plan::DEFAULT_AUTO_DENSE_QUBITS,
-                crate::plan::DEFAULT_AUTO_SPARSITY,
+                &crate::plan::PlanConfig::default(),
             );
             writeln!(f, "segment[{i}]: {profile} \u{2192} {repr}")?;
         }
@@ -939,20 +945,22 @@ fn set3(a: QubitId, b: QubitId, c: QubitId) -> (QubitId, QubitId, QubitId) {
 }
 
 /// If `g` and `h` are rotations of the same family on the same qubit set,
-/// the merged rotation (angles added exactly).
+/// the merged rotation (angles added exactly). Pairs whose exact sum does
+/// not fit the dyadic representation (see [`Angle::checked_add`]) are left
+/// unmerged rather than approximated.
 fn merge_rotations(g: &Gate, h: &Gate) -> Option<Gate> {
     use Gate::{CPhase, CcPhase, Phase};
     match (*g, *h) {
-        (Phase(q1, a1), Phase(q2, a2)) if q1 == q2 => Some(Phase(q1, a1 + a2)),
+        (Phase(q1, a1), Phase(q2, a2)) if q1 == q2 => a1.checked_add(a2).map(|a| Phase(q1, a)),
         (CPhase(c1, t1, a1), CPhase(c2, t2, a2))
             if (c1, t1) == (c2, t2) || (c1, t1) == (t2, c2) =>
         {
-            Some(CPhase(c1, t1, a1 + a2))
+            a1.checked_add(a2).map(|a| CPhase(c1, t1, a))
         }
         (CcPhase(x1, y1, z1, a1), CcPhase(x2, y2, z2, a2))
             if set3(x1, y1, z1) == set3(x2, y2, z2) =>
         {
-            Some(CcPhase(x1, y1, z1, a1 + a2))
+            a1.checked_add(a2).map(|a| CcPhase(x1, y1, z1, a))
         }
         _ => None,
     }

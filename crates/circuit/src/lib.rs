@@ -72,5 +72,6 @@ pub use error::CircuitError;
 pub use gate::{Basis, Gate};
 pub use op::{ClbitId, Op, QubitId};
 pub use plan::{
-    plan_segment, PlannedRepr, SegmentProfile, DEFAULT_AUTO_DENSE_QUBITS, DEFAULT_AUTO_SPARSITY,
+    plan_segment, PlanConfig, PlannedRepr, SegmentProfile, DEFAULT_AUTO_DENSE_QUBITS,
+    DEFAULT_AUTO_PHASE_DIAG, DEFAULT_AUTO_SPARSITY,
 };

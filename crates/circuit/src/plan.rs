@@ -23,13 +23,17 @@
 //!   reset between segments collapses one qubit and halves the bound.
 //!
 //! [`CompiledCircuit::representation_plan`] turns the profiles into a
-//! per-segment dense/sparse decision: a segment predicted to stay under
-//! the sparsity threshold runs cheaper on the sparse map, a segment whose
-//! occupied set approaches `2^n` wants the flat dense array (provided the
-//! state fits a dense allocation at all). The `mbu-sim` crate's hybrid
-//! backend (`MBU_BACKEND=auto`) consumes the same profiles at run time —
-//! seeded with the *live* occupancy instead of the static prediction —
-//! and converts representations at segment boundaries.
+//! per-segment three-way decision ([`PlannedRepr`]): a segment predicted
+//! to stay under the sparsity threshold runs cheaper on the sparse map; a
+//! segment whose occupied set approaches `2^n` wants the flat dense array
+//! (provided the state fits a dense allocation at all); and a
+//! diagonal-heavy segment whose occupied set outgrows the sparse sweet
+//! spot past the dense cap — the interior of a QFT adder — wants the
+//! phase-accumulator representation, where diagonal gates are O(occupied)
+//! exact angle additions. The `mbu-sim` crate's hybrid backend
+//! (`MBU_BACKEND=auto`) consumes the same profiles at run time — seeded
+//! with the *live* occupancy instead of the static prediction — and
+//! converts representations at segment boundaries.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -50,6 +54,59 @@ pub const DEFAULT_AUTO_DENSE_QUBITS: usize = 24;
 /// through the `MBU_AUTO_SPARSITY` environment knob.
 pub const DEFAULT_AUTO_SPARSITY: u64 = 4096;
 
+/// Default minimum number of diagonal gates for a segment to be worth the
+/// phase-accumulator representation: below this the conversion round-trip
+/// costs more than the diagonal fast path saves. Overridable at run time
+/// through the `MBU_AUTO_PHASE_DIAG` environment knob.
+pub const DEFAULT_AUTO_PHASE_DIAG: u32 = 8;
+
+/// Thresholds steering the three-way representation choice of
+/// [`plan_segment`]. The compile-time dump plans with [`Default`] (all
+/// three representations on the table); the run-time hybrid backend
+/// rebuilds a config from the `MBU_AUTO_*` environment knobs, where the
+/// phase arm is opt-in via `MBU_AUTO_PHASE`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlanConfig {
+    /// Widest register for which a dense `2^n` allocation is considered
+    /// (see [`DEFAULT_AUTO_DENSE_QUBITS`]).
+    pub dense_qubit_cap: usize,
+    /// Occupied-set size at or under which sparse is presumed cheaper
+    /// (see [`DEFAULT_AUTO_SPARSITY`]).
+    pub sparsity_threshold: u64,
+    /// Whether the phase-accumulator representation may be planned at
+    /// all.
+    pub phase_enabled: bool,
+    /// Minimum diagonal-gate count for a phase plan (see
+    /// [`DEFAULT_AUTO_PHASE_DIAG`]).
+    pub phase_diag_min: u32,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        Self {
+            dense_qubit_cap: DEFAULT_AUTO_DENSE_QUBITS,
+            sparsity_threshold: DEFAULT_AUTO_SPARSITY,
+            phase_enabled: true,
+            phase_diag_min: DEFAULT_AUTO_PHASE_DIAG,
+        }
+    }
+}
+
+impl PlanConfig {
+    /// A two-way (dense/sparse) config at the given thresholds — the
+    /// pre-phase planner's behaviour, used where the phase arm is not
+    /// wanted.
+    #[must_use]
+    pub fn dense_sparse(dense_qubit_cap: usize, sparsity_threshold: u64) -> Self {
+        Self {
+            dense_qubit_cap,
+            sparsity_threshold,
+            phase_enabled: false,
+            phase_diag_min: DEFAULT_AUTO_PHASE_DIAG,
+        }
+    }
+}
+
 /// Structural facts about one deterministic segment of a compiled
 /// program. Produced by [`CompiledCircuit::segment_profiles`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -66,6 +123,10 @@ pub struct SegmentProfile {
     /// Number of Hadamard gates — the only occupancy-growing gate in the
     /// set (each at most doubles the occupied set).
     pub h_count: u32,
+    /// Number of diagonal gates (`Z`/`Phase`/`CZ`/`CCZ`/`CPhase`/
+    /// `CCPhase`) — the gates a phase-accumulator representation executes
+    /// as O(occupied) exact angle additions with no amplitude sweep.
+    pub diag_count: u32,
     /// Number of distinct qubits the segment touches.
     pub support_width: usize,
     /// Upper bound on the occupied-set size after the segment, as a
@@ -97,6 +158,9 @@ impl fmt::Display for SegmentProfile {
             write!(f, "diag-only")?;
         } else if self.h_count > 0 {
             write!(f, "h\u{d7}{}", self.h_count)?;
+            if self.diag_count > 0 {
+                write!(f, "+diag\u{d7}{}", self.diag_count)?;
+            }
         } else {
             write!(f, "mixed")?;
         }
@@ -116,9 +180,13 @@ pub enum PlannedRepr {
     /// sizable fraction of the space (contiguous sweeps, SIMD kernels).
     Dense,
     /// Sorted key→amplitude map holding only nonzero entries: cheapest
-    /// while the occupied set stays small, and the only option past the
-    /// dense width cap.
+    /// while the occupied set stays small.
     Sparse,
+    /// Occupied basis branches with per-register classical dyadic phase
+    /// accumulators: diagonal gates become O(occupied) exact angle
+    /// additions, so QFT-adder interiors run without amplitude sweeps
+    /// even where a dense allocation is impossible.
+    Phase,
 }
 
 impl fmt::Display for PlannedRepr {
@@ -126,23 +194,35 @@ impl fmt::Display for PlannedRepr {
         match self {
             PlannedRepr::Dense => write!(f, "dense"),
             PlannedRepr::Sparse => write!(f, "sparse"),
+            PlannedRepr::Phase => write!(f, "phase"),
         }
     }
 }
 
-/// The dense/sparse decision for one segment, given the register width
-/// and the planner thresholds: dense if and only if the state fits a
-/// dense allocation (`num_qubits <= dense_qubit_cap`) *and* the
-/// predicted occupied set outgrows `sparsity_threshold` entries.
+/// The three-way representation decision for one segment, given the
+/// register width and the planner thresholds:
+///
+/// 1. **Dense** when the state fits a dense allocation
+///    (`num_qubits ≤ dense_qubit_cap`) *and* the predicted occupied set
+///    outgrows `sparsity_threshold` entries — flat sweeps beat map
+///    updates once occupancy is a sizable fraction of `2^n`;
+/// 2. otherwise **Phase** when the phase arm is enabled, the predicted
+///    occupied set still outgrows the sparsity threshold (the blow-up a
+///    sparse map cannot absorb past the dense cap comes from Fourier-basis
+///    fan-out), and the segment carries at least `phase_diag_min`
+///    diagonal gates to amortise the conversion;
+/// 3. otherwise **Sparse**.
 #[must_use]
 pub fn plan_segment(
     num_qubits: usize,
     profile: &SegmentProfile,
-    dense_qubit_cap: usize,
-    sparsity_threshold: u64,
+    config: &PlanConfig,
 ) -> PlannedRepr {
-    if num_qubits <= dense_qubit_cap && profile.predicted_entries() > sparsity_threshold {
+    let outgrows = profile.predicted_entries() > config.sparsity_threshold;
+    if num_qubits <= config.dense_qubit_cap && outgrows {
         PlannedRepr::Dense
+    } else if config.phase_enabled && outgrows && profile.diag_count >= config.phase_diag_min {
+        PlannedRepr::Phase
     } else {
         PlannedRepr::Sparse
     }
@@ -179,11 +259,13 @@ impl CompiledCircuit {
             let mut perm_only = true;
             let mut diag_only = true;
             let mut h_count = 0u32;
+            let mut diag_count = 0u32;
             let mut support = BTreeSet::new();
             let mut classify = |g: &Gate, support: &mut BTreeSet<u32>| {
                 perm_only &= g.is_permutation();
                 diag_only &= g.is_diagonal();
                 h_count += u32::from(matches!(g, Gate::H(_)));
+                diag_count += u32::from(g.is_diagonal());
                 g.for_each_qubit(&mut |q| {
                     support.insert(q.0);
                 });
@@ -214,6 +296,7 @@ impl CompiledCircuit {
                 perm_only,
                 diag_only,
                 h_count,
+                diag_count,
                 support_width: support.len(),
                 occ_ceiling_log2: occ_log2,
             });
@@ -222,19 +305,15 @@ impl CompiledCircuit {
         profiles
     }
 
-    /// The per-segment dense/sparse plan at the given thresholds (see
-    /// [`plan_segment`]). Positions correspond to
+    /// The per-segment dense/sparse/phase plan at the given thresholds
+    /// (see [`plan_segment`]). Positions correspond to
     /// [`CompiledCircuit::segments`] /
     /// [`CompiledCircuit::segment_profiles`] order.
     #[must_use]
-    pub fn representation_plan(
-        &self,
-        dense_qubit_cap: usize,
-        sparsity_threshold: u64,
-    ) -> Vec<PlannedRepr> {
+    pub fn representation_plan(&self, config: &PlanConfig) -> Vec<PlannedRepr> {
         self.segment_profiles()
             .iter()
-            .map(|p| plan_segment(self.num_qubits(), p, dense_qubit_cap, sparsity_threshold))
+            .map(|p| plan_segment(self.num_qubits(), p, config))
             .collect()
     }
 }
@@ -270,10 +349,13 @@ mod tests {
         assert_eq!(profiles[0].occ_ceiling_log2, 1);
         assert_eq!(profiles[0].predicted_entries(), 2);
 
+        assert_eq!(profiles[0].diag_count, 0);
+
         // The measurement halves the bound; the guarded CZ is diagonal.
         assert!(profiles[1].diag_only);
         assert!(!profiles[1].perm_only);
         assert_eq!(profiles[1].h_count, 0);
+        assert_eq!(profiles[1].diag_count, 1);
         assert_eq!(profiles[1].occ_ceiling_log2, 0);
 
         // The post-join H doubles it again.
@@ -337,17 +419,74 @@ mod tests {
 
         // Occupancy above threshold and width under cap: dense.
         assert_eq!(
-            compiled.representation_plan(24, 4),
+            compiled.representation_plan(&PlanConfig::dense_sparse(24, 4)),
             vec![PlannedRepr::Dense]
         );
         // Threshold at/above the prediction: sparse.
         assert_eq!(
-            compiled.representation_plan(24, 8),
+            compiled.representation_plan(&PlanConfig::dense_sparse(24, 8)),
             vec![PlannedRepr::Sparse]
         );
         // Register wider than the dense cap: sparse regardless.
         assert_eq!(
-            compiled.representation_plan(2, 0),
+            compiled.representation_plan(&PlanConfig::dense_sparse(2, 0)),
+            vec![PlannedRepr::Sparse]
+        );
+    }
+
+    #[test]
+    fn diagonal_heavy_blowups_past_the_dense_cap_plan_phase() {
+        // A QFT-adder-shaped segment: H fan-out into a diagonal rotation
+        // cascade. Past the dense cap with occupancy over the sparsity
+        // threshold, the planner picks the phase representation — but
+        // only when the phase arm is enabled and the segment is diagonal-
+        // heavy enough to amortise the conversion.
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("q", 6);
+        for i in 0..6 {
+            b.h(r[i]);
+        }
+        for i in 0..5 {
+            b.cphase(r[i], r[i + 1], crate::Angle::turn_over_power_of_two(2));
+        }
+        let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
+        let profiles = compiled.segment_profiles();
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].diag_count, 5);
+        assert_eq!(profiles[0].predicted_entries(), 64);
+
+        let phase_on = PlanConfig {
+            dense_qubit_cap: 2,
+            sparsity_threshold: 4,
+            phase_enabled: true,
+            phase_diag_min: 5,
+        };
+        assert_eq!(
+            compiled.representation_plan(&phase_on),
+            vec![PlannedRepr::Phase]
+        );
+        // Dense still wins while the register fits the cap.
+        assert_eq!(
+            compiled.representation_plan(&PlanConfig {
+                dense_qubit_cap: 24,
+                ..phase_on
+            }),
+            vec![PlannedRepr::Dense]
+        );
+        // Too few diagonals to amortise the conversion: sparse.
+        assert_eq!(
+            compiled.representation_plan(&PlanConfig {
+                phase_diag_min: 6,
+                ..phase_on
+            }),
+            vec![PlannedRepr::Sparse]
+        );
+        // Phase arm disabled: the pre-phase two-way behaviour.
+        assert_eq!(
+            compiled.representation_plan(&PlanConfig {
+                phase_enabled: false,
+                ..phase_on
+            }),
             vec![PlannedRepr::Sparse]
         );
     }
@@ -364,7 +503,7 @@ mod tests {
             b.cx(r[i], r[i + 1]);
         }
         let compiled = CompiledCircuit::lower(&b.finish()).unwrap();
-        let plan = compiled.representation_plan(DEFAULT_AUTO_DENSE_QUBITS, DEFAULT_AUTO_SPARSITY);
+        let plan = compiled.representation_plan(&PlanConfig::default());
         assert!(plan.iter().all(|r| *r == PlannedRepr::Sparse), "{plan:?}");
     }
 

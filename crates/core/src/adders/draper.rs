@@ -14,15 +14,17 @@ use mbu_circuit::{Angle, Basis, CircuitBuilder, QubitId};
 use crate::util::{expect_width, nonempty};
 use crate::ArithError;
 
-/// Largest Fourier-register width: rotation denominators are `2^{m}` and
-/// stored exactly in a `u128`-backed [`Angle`].
-pub const MAX_DRAPER_WIDTH: usize = 126;
+/// Largest Fourier-register width. [`Angle`] stores rotation denominators
+/// exactly at any depth (the QFT only needs numerator-1 fractions), so this
+/// is a sanity cap against pathological register sizes, not a precision
+/// limit; it matches the sparse backend's qubit ceiling.
+pub const MAX_DRAPER_WIDTH: usize = 16_384;
 
 fn check_width(context: &'static str, m: usize) -> Result<(), ArithError> {
     if m > MAX_DRAPER_WIDTH {
         return Err(ArithError::ConstantOutOfRange {
             context,
-            constraint: "Draper circuits support widths up to 126 bits",
+            constraint: "Draper circuits support widths up to 16384 bits",
         });
     }
     Ok(())
@@ -165,7 +167,9 @@ pub fn phi_add_const(
     let m = nonempty("ΦADD(a)", y_phi)?;
     check_width("ΦADD(a)", m)?;
     for (i, &target) in y_phi.iter().enumerate() {
-        b.phase(target, sign.apply(const_angle(a, i)));
+        for theta in const_angles(a, i) {
+            b.phase(target, sign.apply(theta));
+        }
     }
     Ok(())
 }
@@ -186,7 +190,9 @@ pub fn c_phi_add_const(
     let m = nonempty("C-ΦADD(a)", y_phi)?;
     check_width("C-ΦADD(a)", m)?;
     for (i, &target) in y_phi.iter().enumerate() {
-        b.cphase(control, target, sign.apply(const_angle(a, i)));
+        for theta in const_angles(a, i) {
+            b.cphase(control, target, sign.apply(theta));
+        }
     }
     Ok(())
 }
@@ -208,21 +214,42 @@ pub fn cc_phi_add_const(
     let m = nonempty("CC-ΦADD(a)", y_phi)?;
     check_width("CC-ΦADD(a)", m)?;
     for (i, &target) in y_phi.iter().enumerate() {
-        b.ccphase(c1, c2, target, sign.apply(const_angle(a, i)));
+        for theta in const_angles(a, i) {
+            b.ccphase(c1, c2, target, sign.apply(theta));
+        }
     }
     Ok(())
 }
 
-/// The merged rotation angle `U_{a,i}` of Equation (7):
-/// `2π · (a mod 2^{i+1}) / 2^{i+1}`.
-fn const_angle(a: &BitString, i: usize) -> Angle {
-    let mut numerator: u128 = 0;
-    for k in 0..=i.min(a.width().saturating_sub(1)) {
-        if a.bit(k) {
-            numerator |= 1u128 << k;
+/// The rotation angles implementing `U_{a,i}` of Equation (7):
+/// `2π · (a mod 2^{i+1}) / 2^{i+1}` on target `i`. When the merged
+/// numerator fits an [`Angle`]'s `u128` (every constant bit `k ≤ 127`),
+/// this is the paper's single merged rotation; past that width the merge
+/// would overflow, so the addend falls back to one exact `θ_{i−k+1}`
+/// rotation per set bit of `a` (still zero ancillas, and the compile-time
+/// merge pass re-fuses whatever pairs fit).
+fn const_angles(a: &BitString, i: usize) -> Vec<Angle> {
+    let top = i.min(a.width().saturating_sub(1));
+    if top <= 127 {
+        let mut numerator: u128 = 0;
+        for k in 0..=top {
+            if a.bit(k) {
+                numerator |= 1u128 << k;
+            }
         }
+        return vec![Angle::from_fraction(numerator, (i + 1) as u32)];
     }
-    Angle::from_fraction(numerator, (i + 1) as u32)
+    let angles: Vec<Angle> = (0..=top)
+        .filter(|&k| a.bit(k))
+        .map(|k| Angle::turn_over_power_of_two((i - k + 1) as u32))
+        .collect();
+    if angles.is_empty() {
+        // Keep the merged form's floor of one rotation per target so an
+        // all-zero constant emits the same circuit shape either side of
+        // the width cutoff.
+        return vec![Angle::ZERO];
+    }
+    angles
 }
 
 /// Whether a Fourier-basis operation adds or subtracts.
@@ -558,5 +585,54 @@ mod tests {
             qft(&mut b, r.qubits()),
             Err(ArithError::ConstantOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn wide_registers_build_with_exact_deep_angles() {
+        // Widths past the old u128-angle ceiling: the QFT emits numerator-1
+        // rotations down to 2π/2^200, all exact.
+        let m = 200usize;
+        let mut b = CircuitBuilder::new();
+        let r = b.qreg("r", m);
+        qft(&mut b, r.qubits()).unwrap();
+        iqft(&mut b, r.qubits()).unwrap();
+        let counts = b.finish().counts();
+        assert_eq!(counts.cphase as usize, m * (m - 1)); // both directions
+        assert_eq!(counts.h as usize, 2 * m);
+    }
+
+    #[test]
+    fn wide_constant_rotations_split_per_set_bit() {
+        // A 160-bit constant with bits {0, 150} set: targets i ≤ 127 use
+        // the single merged rotation of Equation (7); deeper targets fall
+        // back to one rotation per set bit below them.
+        let mut a = BitString::zeros(160);
+        a.set_bit(0, true);
+        a.set_bit(150, true);
+        let mut b = CircuitBuilder::new();
+        let yr = b.qreg("y", 160);
+        phi_add_const(&mut b, &a, yr.qubits(), Sign::Plus).unwrap();
+        let counts = b.finish().counts();
+        // Targets 0..=127: 1 rotation each. Targets 128..=149: only bit 0
+        // contributes (1 rotation). Targets 150..=159: bits 0 and 150 (2).
+        assert_eq!(counts.phase as usize, 128 + 22 + 2 * 10);
+    }
+
+    #[test]
+    fn wide_constant_addition_validates() {
+        // 130-bit register, constant 2^129 + 1: past the u128 merged-angle
+        // ceiling the circuit still builds and validates. (Functional
+        // checks at this width live in the phase backend's tests — a
+        // 130-qubit Fourier register is exponential for dense/sparse.)
+        let m = 130usize;
+        let mut a = BitString::zeros(m);
+        a.set_bit(0, true);
+        a.set_bit(m - 1, true);
+        let mut b = CircuitBuilder::new();
+        let yr = b.qreg("y", m);
+        qft(&mut b, yr.qubits()).unwrap();
+        phi_add_const(&mut b, &a, yr.qubits(), Sign::Plus).unwrap();
+        iqft(&mut b, yr.qubits()).unwrap();
+        b.finish().validate().unwrap();
     }
 }

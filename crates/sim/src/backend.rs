@@ -9,6 +9,10 @@
 //!   exact dense-amplitude [`StateVector`];
 //! * `MBU_BACKEND=sparse` — the basis-map [`SparseVector`], identical
 //!   amplitudes at a memory cost of the occupied states only;
+//! * `MBU_BACKEND=phase` — the Fourier-basis
+//!   [`PhaseAccumulator`](crate::PhaseAccumulator), exact dyadic phase
+//!   arithmetic on occupied branches: QFT-adder interiors run with no
+//!   amplitude sweeps at any width the sparse map accepts;
 //! * `MBU_BACKEND=tracker` (alias `basis`) — the `O(1)`-per-gate
 //!   [`BasisTracker`], which rejects circuits that leave its fragment;
 //! * `MBU_BACKEND=auto` (alias `hybrid`) — the planning
@@ -27,6 +31,7 @@ use std::sync::OnceLock;
 use crate::basis::BasisTracker;
 use crate::error::SimError;
 use crate::hybrid::HybridState;
+use crate::phase::PhaseAccumulator;
 use crate::simulator::Simulator;
 use crate::sparse::SparseVector;
 use crate::statevector::StateVector;
@@ -50,6 +55,8 @@ pub enum BackendKind {
     Dense,
     /// The sparse basis-map [`SparseVector`].
     Sparse,
+    /// The Fourier-basis [`PhaseAccumulator`].
+    Phase,
     /// The phase-tracking [`BasisTracker`].
     Tracker,
     /// The planning dense↔sparse [`HybridState`].
@@ -64,6 +71,7 @@ impl BackendKind {
         "statevector",
         "sv",
         "sparse",
+        "phase",
         "tracker",
         "basis",
         "auto",
@@ -76,6 +84,7 @@ impl BackendKind {
     pub fn resolve(raw: Option<&str>) -> Self {
         match mbu_circuit::knobs::choice("MBU_BACKEND", raw, Self::OPTIONS, "dense") {
             "sparse" => Self::Sparse,
+            "phase" => Self::Phase,
             "tracker" | "basis" => Self::Tracker,
             "auto" | "hybrid" => Self::Auto,
             _ => Self::Dense,
@@ -97,6 +106,7 @@ impl BackendKind {
         match self {
             Self::Dense => "dense",
             Self::Sparse => "sparse",
+            Self::Phase => "phase",
             Self::Tracker => "tracker",
             Self::Auto => "auto",
         }
@@ -107,14 +117,15 @@ impl BackendKind {
     /// # Errors
     ///
     /// [`SimError::TooManyQubits`] when the width exceeds the backend's
-    /// construction cap (the dense engine caps near 25 qubits, the sparse
-    /// map and the hybrid at
+    /// construction cap (the dense engine caps near 25 qubits; the sparse
+    /// map, the phase accumulator and the hybrid at
     /// [`MAX_SPARSEVECTOR_QUBITS`](crate::MAX_SPARSEVECTOR_QUBITS);
     /// the tracker has no cap).
     pub fn build(self, num_qubits: usize) -> Result<Box<dyn Simulator + Send>, SimError> {
         Ok(match self {
             Self::Dense => Box::new(StateVector::zeros(num_qubits)?),
             Self::Sparse => Box::new(SparseVector::zeros(num_qubits)?),
+            Self::Phase => Box::new(PhaseAccumulator::zeros(num_qubits)?),
             Self::Tracker => Box::new(BasisTracker::zeros(num_qubits)),
             Self::Auto => Box::new(HybridState::zeros(num_qubits)?),
         })
@@ -140,6 +151,8 @@ mod tests {
             (Some(" SV "), BackendKind::Dense),
             (Some("sparse"), BackendKind::Sparse),
             (Some("Sparse"), BackendKind::Sparse),
+            (Some("phase"), BackendKind::Phase),
+            (Some(" Phase "), BackendKind::Phase),
             (Some("tracker"), BackendKind::Tracker),
             (Some("basis"), BackendKind::Tracker),
             (Some("auto"), BackendKind::Auto),
@@ -158,6 +171,7 @@ mod tests {
         // planner just never promotes past the dense cap).
         assert!(BackendKind::Dense.build(300).is_err());
         assert_eq!(BackendKind::Sparse.build(300).unwrap().num_qubits(), 300);
+        assert_eq!(BackendKind::Phase.build(300).unwrap().num_qubits(), 300);
         assert_eq!(BackendKind::Auto.build(300).unwrap().num_qubits(), 300);
         assert_eq!(
             BackendKind::Tracker.build(100_000).unwrap().num_qubits(),
@@ -173,6 +187,7 @@ mod tests {
     fn display_matches_the_knob_tokens() {
         assert_eq!(BackendKind::Dense.to_string(), "dense");
         assert_eq!(BackendKind::Sparse.to_string(), "sparse");
+        assert_eq!(BackendKind::Phase.to_string(), "phase");
         assert_eq!(BackendKind::Tracker.to_string(), "tracker");
         assert_eq!(BackendKind::Auto.to_string(), "auto");
     }

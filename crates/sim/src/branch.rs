@@ -1179,6 +1179,49 @@ mod tests {
             })
             .unwrap();
         assert_eq!(sparse.peak_amplitudes(), Some(2), "both entries occupied");
+        let phase = BranchEnsemble::new(50)
+            .run(&circuit, || {
+                Box::new(crate::PhaseAccumulator::zeros(1).unwrap()) as Box<dyn Simulator + Send>
+            })
+            .unwrap();
+        assert_eq!(phase.peak_amplitudes(), Some(2), "both branches occupied");
+    }
+
+    #[test]
+    fn phase_leaves_census_occupied_branches_not_the_hilbert_space() {
+        // Regression for the phase-representation census: a branch tree
+        // over [`crate::PhaseAccumulator`] leaves must aggregate the
+        // *occupied-branch* peak (2 here — one coin), not the dense
+        // dimension 2^100 (which doesn't even fit the `u64` the stat rides
+        // in). The width is far past every dense cap, so a wrong
+        // aggregation path would either overflow or refuse outright.
+        let mut b = CircuitBuilder::new();
+        let q = b.qreg("q", 100);
+        b.h(q[0]);
+        // A diagonal tail in Fourier mode: phases fold into the branch
+        // accumulators without any occupancy growth.
+        for i in 1..40 {
+            b.cx(q[0], q[i]);
+        }
+        let _ = b.measure(q[0], Basis::Z);
+        let circuit = b.finish();
+        let tree = BranchEnsemble::new(32)
+            .run(&circuit, || {
+                Box::new(crate::PhaseAccumulator::zeros(100).unwrap()) as Box<dyn Simulator + Send>
+            })
+            .unwrap();
+        assert_eq!(tree.peak_amplitudes(), Some(2), "occupied census, not 2^n");
+        let dist = BranchEnsemble::new(0)
+            .distribution(&circuit, || {
+                Box::new(crate::PhaseAccumulator::zeros(100).unwrap()) as Box<dyn Simulator + Send>
+            })
+            .unwrap();
+        assert_eq!(dist.num_leaves(), 2);
+        assert_eq!(dist.fork_nodes(), 1);
+        // `(√½)²` in floats, not exactly ½ — the phase backend's branch
+        // weights are amplitude norms like every amplitude backend's.
+        let p0 = dist.outcome_frequency(0).unwrap();
+        assert!((p0 - 0.5).abs() < 1e-12, "got {p0}");
     }
 
     #[test]

@@ -21,11 +21,23 @@
 //! * [`tracker_to_sparse`] enumerates the [`BasisTracker`]'s tensor-product
 //!   state (`2^(X-mode qubits)` entries) into the map, so a tracker run
 //!   that is about to leave the Toffoli fragment can be resumed on an
-//!   amplitude backend instead of erroring out.
+//!   amplitude backend instead of erroring out;
+//! * [`sparse_to_phase`] lifts the map into the phase-accumulator
+//!   representation ([`PhaseAccumulator`]) losslessly — every entry
+//!   becomes an all-Z branch with its amplitude moved bitwise — so a
+//!   diagonal-heavy segment can run on exact dyadic phase arithmetic;
+//! * [`phase_to_sparse`] enumerates a phase-accumulator state back into
+//!   the map (`2^(Fourier qubits)` entries per branch, like the tracker
+//!   conversion), with each entry's phase evaluated from the *exact*
+//!   dyadic accumulators in a single `cis`. A state that never left
+//!   Z-mode converts back bitwise — the round trip is the identity;
+//! * [`dense_to_phase`] / [`phase_to_dense`] compose the above through
+//!   the sparse map.
 
 use crate::basis::{BasisTracker, Mode};
 use crate::complex::Complex;
 use crate::error::SimError;
+use crate::phase::{Branch, Dyadic, PhaseAccumulator};
 use crate::simulator::Simulator;
 use crate::sparse::SparseVector;
 use crate::statevector::{StateVector, MAX_STATEVECTOR_QUBITS};
@@ -147,6 +159,129 @@ pub fn tracker_to_sparse(tracker: &BasisTracker) -> Result<SparseVector, SimErro
         amps.push(if negate { -magnitude } else { magnitude });
     }
     Ok(SparseVector::from_sorted_entries(n, keys, amps))
+}
+
+/// Widest Fourier-mode register [`phase_to_sparse`] will enumerate: each
+/// occupied branch expands into `2^f` map entries over `f` Fourier
+/// qubits, and past `2^20` the enumeration defeats the point of having
+/// left the amplitude representation.
+pub const MAX_PHASE_ENUM_FOURIER: usize = 20;
+
+/// Lifts a sparse basis map into the phase-accumulator representation.
+///
+/// Lossless and bitwise: every occupied entry becomes one all-Z branch
+/// whose amplitude is moved untouched, with zero phase accumulators. The
+/// map's ascending-key invariant is the branch invariant, so no sorting
+/// happens. This is the cheap direction — the hybrid planner takes it on
+/// entry to a diagonal-heavy segment.
+pub fn sparse_to_phase(sparse: &SparseVector) -> PhaseAccumulator {
+    let n = Simulator::num_qubits(sparse);
+    let words = sparse.key_words();
+    let branches = sparse
+        .raw_amps()
+        .iter()
+        .enumerate()
+        .map(|(e, &amp)| Branch {
+            key: sparse.raw_keys()[e * words..(e + 1) * words].to_vec(),
+            amp,
+            phase: Dyadic::zero(),
+            phis: Vec::new(),
+        })
+        .collect();
+    PhaseAccumulator::from_parts(n, Vec::new(), branches)
+}
+
+/// Enumerates a phase-accumulator state into the sparse basis map.
+///
+/// Each branch expands into `2^f` entries over the `f` Fourier-mode
+/// qubits. An entry's phase is the **exact** dyadic sum of the branch
+/// phase and the selected qubits' accumulators, evaluated in a single
+/// `cis` — no per-gate rounding survives from the diagonal segment, which
+/// is precisely what the phase representation buys. The magnitude is the
+/// `H`-cascade's chained `1/√2` products (the [`tracker_to_sparse`]
+/// convention). A state with no Fourier qubits converts back bitwise, so
+/// `sparse → phase → sparse` around an all-Z segment is the identity.
+///
+/// Exact zeros are culled on the way out (the map's occupancy rule), and
+/// any `-0.0` produced by the phase arithmetic is canonicalised to `+0.0`
+/// so keys-plus-amplitudes compare bitwise across conversion paths.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyQubits`] when more than
+/// [`MAX_PHASE_ENUM_FOURIER`] qubits are in Fourier mode.
+pub fn phase_to_sparse(phase: &PhaseAccumulator) -> Result<SparseVector, SimError> {
+    let n = Simulator::num_qubits(phase);
+    let fourier = phase.fourier_list();
+    let f = fourier.len();
+    if f > MAX_PHASE_ENUM_FOURIER {
+        return Err(SimError::TooManyQubits {
+            requested: f,
+            max: MAX_PHASE_ENUM_FOURIER,
+        });
+    }
+    let words = n.div_ceil(64).max(1);
+    let mut entries: Vec<(Vec<u64>, Complex)> = Vec::with_capacity(phase.raw_branches().len() << f);
+    for branch in phase.raw_branches() {
+        let mut magnitude = branch.amp;
+        for _ in 0..f {
+            magnitude = magnitude.scale(std::f64::consts::FRAC_1_SQRT_2);
+        }
+        for assignment in 0..(1usize << f) {
+            let mut key = branch.key.clone();
+            let mut turns = branch.phase.clone();
+            for (j, &q) in fourier.iter().enumerate() {
+                if assignment >> j & 1 == 1 {
+                    key[q as usize / 64] |= 1u64 << (q as usize % 64);
+                    turns.add_assign(&branch.phis[j]);
+                }
+            }
+            let mut amp = if turns.is_zero() {
+                magnitude
+            } else {
+                magnitude * turns.cis()
+            };
+            if amp.re == 0.0 && amp.im == 0.0 {
+                continue;
+            }
+            // Canonicalise exact-zero components: diagonal arithmetic may
+            // leave `-0.0`, which breaks bitwise comparisons downstream.
+            if amp.re == 0.0 {
+                amp.re = 0.0;
+            }
+            if amp.im == 0.0 {
+                amp.im = 0.0;
+            }
+            entries.push((key, amp));
+        }
+    }
+    // Branch keys are ascending and Fourier bit patterns expand each
+    // branch into a contiguous block, but blocks from different branches
+    // can interleave once Fourier bits are set — sort globally.
+    entries.sort_by(|a, b| a.0.iter().rev().cmp(b.0.iter().rev()));
+    let mut keys = Vec::with_capacity(entries.len() * words);
+    let mut amps = Vec::with_capacity(entries.len());
+    for (key, amp) in entries {
+        keys.extend_from_slice(&key);
+        amps.push(amp);
+    }
+    Ok(SparseVector::from_sorted_entries(n, keys, amps))
+}
+
+/// Converts a dense amplitude array into the phase-accumulator
+/// representation (through the sparse map; both legs lossless).
+pub fn dense_to_phase(dense: &StateVector) -> PhaseAccumulator {
+    sparse_to_phase(&dense_to_sparse(dense))
+}
+
+/// Converts a phase-accumulator state into the dense amplitude array
+/// (through the sparse map).
+///
+/// # Errors
+///
+/// As [`phase_to_sparse`] and [`sparse_to_dense`].
+pub fn phase_to_dense(phase: &PhaseAccumulator) -> Result<StateVector, SimError> {
+    sparse_to_dense(&phase_to_sparse(phase)?)
 }
 
 #[cfg(test)]
@@ -305,6 +440,89 @@ mod tests {
         for e in converted.raw_amps() {
             assert!(e.re < 0.0, "π global phase negates every entry: {e}");
         }
+    }
+
+    #[test]
+    fn sparse_phase_round_trip_is_bitwise_identity() {
+        // A state that never enters Fourier mode must survive
+        // sparse → phase → sparse with identical keys and amplitude bits.
+        let (_, sparse) = lockstep_pair();
+        let lifted = sparse_to_phase(&sparse);
+        assert_eq!(lifted.occupied(), sparse.occupied());
+        assert_eq!(lifted.fourier_width(), 0);
+        let back = phase_to_sparse(&lifted).unwrap();
+        assert_eq!(back.occupied(), sparse.occupied());
+        assert_eq!(back.raw_keys(), sparse.raw_keys());
+        for (i, (x, y)) in sparse.raw_amps().iter().zip(back.raw_amps()).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "re of entry {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "im of entry {i}");
+        }
+    }
+
+    #[test]
+    fn phase_enumeration_matches_a_real_sparse_run() {
+        // Drive the same diagonal-heavy program on the sparse engine and
+        // the phase engine; enumerating the phase state must agree with
+        // the sparse amplitudes to float accuracy (the phase side did its
+        // rotations exactly, the sparse side in f64 — both within 1e-12
+        // of the true value on this short program).
+        let theta = mbu_circuit::Angle::turn_over_power_of_two(3);
+        let program = [
+            Gate::H(q(0)),
+            Gate::H(q(2)),
+            Gate::CPhase(q(0), q(2), theta),
+            Gate::Phase(q(0), theta),
+            Gate::X(q(1)),
+            Gate::Cz(q(1), q(2)),
+        ];
+        let mut sparse = SparseVector::zeros(3).unwrap();
+        let mut phase = PhaseAccumulator::zeros(3).unwrap();
+        for g in &program {
+            Simulator::apply_gate(&mut sparse, g).unwrap();
+            Simulator::apply_gate(&mut phase, g).unwrap();
+        }
+        // The CPhase saw both operands in Fourier mode and materialised
+        // one (a two-Fourier-operand diagonal does not factorise); the
+        // other stays an exact accumulator.
+        assert_eq!(phase.fourier_width(), 1);
+        let converted = phase_to_sparse(&phase).unwrap();
+        assert_eq!(converted.occupied(), sparse.occupied());
+        assert_eq!(converted.raw_keys(), sparse.raw_keys());
+        for (i, (x, y)) in converted
+            .raw_amps()
+            .iter()
+            .zip(sparse.raw_amps())
+            .enumerate()
+        {
+            assert!((*x - *y).norm() < 1e-12, "entry {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dense_phase_composition_round_trips() {
+        let (dense, _) = lockstep_pair();
+        let back = phase_to_dense(&dense_to_phase(&dense)).unwrap();
+        for (i, (x, y)) in dense
+            .amplitudes()
+            .iter()
+            .zip(&back.amplitudes())
+            .enumerate()
+        {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "re of amp {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "im of amp {i}");
+        }
+    }
+
+    #[test]
+    fn phase_enumeration_width_cap() {
+        let mut phase = PhaseAccumulator::zeros(64).unwrap();
+        for i in 0..(MAX_PHASE_ENUM_FOURIER as u32 + 1) {
+            Simulator::apply_gate(&mut phase, &Gate::H(q(i))).unwrap();
+        }
+        assert!(matches!(
+            phase_to_sparse(&phase),
+            Err(SimError::TooManyQubits { .. })
+        ));
     }
 
     #[test]

@@ -22,6 +22,16 @@
 //!   (amplitudes bitwise identical to the dense engine's) at the
 //!   cryptographic register sizes of Table 1 (n = 64, 256, 1024) where a
 //!   dense amplitude array cannot exist.
+//! * [`PhaseAccumulator`] — a Fourier-basis phase-accumulator backend
+//!   (`MBU_BACKEND=phase`). Each occupied basis branch carries a basis key
+//!   plus exact arbitrary-precision dyadic phase accumulators for its
+//!   Fourier-mode qubits, so the entire interior of a QFT adder —
+//!   `H` promotion, `Rz`/`Phase`/`CPhase`/`CCPhase` rotations, `H`
+//!   collapse — executes as O(occupied) exact angle additions with no
+//!   amplitude sweeps. Draper/Beauregard additions run end-to-end at
+//!   n = 256 or 1024 where the dense array cannot allocate and the sparse
+//!   map would fan out to `2^n` Fourier-basis entries; gates outside the
+//!   diagonal fragment fall back through lossless materialisation.
 //! * [`BasisTracker`] — a phase-tracking computational-basis simulator.
 //!   Each qubit is either in a definite computational state (`Z`-mode) or in
 //!   `|+⟩`/`|−⟩` (`X`-mode), with an exact dyadic global phase. All
@@ -77,7 +87,9 @@
 //! at compiled-segment boundaries using the compiler's structural
 //! segment profiles ([`mbu_circuit::SegmentProfile`]). The lossless
 //! conversions it rides on are public ([`sparse_to_dense`],
-//! [`dense_to_sparse`], [`tracker_to_sparse`]).
+//! [`dense_to_sparse`], [`tracker_to_sparse`], and the phase-accumulator
+//! seams [`sparse_to_phase`] / [`phase_to_sparse`] /
+//! [`dense_to_phase`] / [`phase_to_dense`]).
 //!
 //! # Examples
 //!
@@ -130,6 +142,7 @@ mod error;
 mod exec;
 mod hybrid;
 mod kernels;
+mod phase;
 mod pool;
 mod shots;
 mod simulator;
@@ -141,10 +154,14 @@ pub use backend::BackendKind;
 pub use basis::BasisTracker;
 pub use branch::{BranchDistribution, BranchEnsemble, DEFAULT_NODE_BUDGET};
 pub use complex::Complex;
-pub use convert::{dense_to_sparse, sparse_to_dense, tracker_to_sparse, MAX_TRACKER_ENUM_XMODE};
+pub use convert::{
+    dense_to_phase, dense_to_sparse, phase_to_dense, phase_to_sparse, sparse_to_dense,
+    sparse_to_phase, tracker_to_sparse, MAX_PHASE_ENUM_FOURIER, MAX_TRACKER_ENUM_XMODE,
+};
 pub use error::SimError;
 pub use exec::Executed;
 pub use hybrid::HybridState;
+pub use phase::{PhaseAccumulator, MAX_PHASE_BRANCHES};
 pub use shots::{CountStats, Ensemble, ShotRunner};
 pub use simulator::{Fork, Simulator};
 pub use sparse::{SparseVector, MAX_SPARSEVECTOR_QUBITS};

@@ -599,6 +599,172 @@ fn table1_mbu_counts_at_scale_golden() {
     }
 }
 
+/// The QFT-arithmetic rows of Table 1 at benchmark scale: exact
+/// fingerprints of the Beauregard modular adder at n = 256 and 1024 —
+/// the widths the phase backend simulates end-to-end below. The rotation
+/// budget is the story: millions of controlled phase rotations and not a
+/// single Toffoli, which is why these rows are unreachable for the dense
+/// engine and exponential for the sparse map, but O(occupied) bookkeeping
+/// for the phase accumulator.
+#[test]
+fn beauregard_counts_at_scale_golden() {
+    for (n, unitary, mbu) in [
+        (
+            256usize,
+            Golden {
+                tag: "beauregard256",
+                q: 514,
+                tof: 0,
+                cx: 2,
+                cz: 0,
+                x: 2,
+                h: 1542,
+                cphase: 313_343,
+                mz: 0,
+                mx: 0,
+                reset: 0,
+                etof: 0.0,
+                ecx: 2.0,
+            },
+            Golden {
+                tag: "beauregard256-mbu",
+                q: 514,
+                tof: 0,
+                cx: 2,
+                cz: 0,
+                x: 3,
+                h: 2059,
+                cphase: 379_135,
+                mz: 1,
+                mx: 0,
+                reset: 0,
+                etof: 0.0,
+                ecx: 1.5,
+            },
+        ),
+        (
+            1024,
+            Golden {
+                tag: "beauregard1024",
+                q: 2050,
+                tof: 0,
+                cx: 2,
+                cz: 0,
+                x: 2,
+                h: 6150,
+                cphase: 4_840_319,
+                mz: 0,
+                mx: 0,
+                reset: 0,
+                etof: 0.0,
+                ecx: 2.0,
+            },
+            Golden {
+                tag: "beauregard1024-mbu",
+                q: 2050,
+                tof: 0,
+                cx: 2,
+                cz: 0,
+                x: 3,
+                h: 8203,
+                cphase: 5_889_919,
+                mz: 1,
+                mx: 0,
+                reset: 0,
+                etof: 0.0,
+                ecx: 1.5,
+            },
+        ),
+    ] {
+        let p = mbu_bench::benchmark_modulus(n);
+        let u = modular::beauregard::modadd_circuit(Uncompute::Unitary, n, p).unwrap();
+        check(&u.circuit, &unitary);
+        assert_eq!(u.circuit.num_qubits(), 2 * n + 2, "Table 1: 2n+2 qubits");
+        let m = modular::beauregard::modadd_circuit(Uncompute::Mbu, n, p).unwrap();
+        check(&m.circuit, &mbu);
+    }
+}
+
+/// And the phase backend *runs* those circuits. The Draper wrapping adder
+/// at n = 1024 (2048 qubits, ~1.6M controlled rotations) and the
+/// Beauregard MBU modular adder at n = 256 and 1024 execute end-to-end on
+/// [`PhaseAccumulator`] and reproduce the exact sums bit for bit, with the
+/// occupied-branch peak pinned at 1–2: the QFT interior is pure dyadic
+/// phase bookkeeping, so occupancy never grows at all. (The circuits run
+/// interpreted — at these instruction counts the compile passes, not the
+/// simulation, would dominate a debug-profile test run.)
+#[test]
+fn draper_beauregard_functional_at_scale_on_phase() {
+    use mbu_arith::adders::draper;
+    use mbu_circuit::CircuitBuilder;
+    use mbu_sim::{PhaseAccumulator, Simulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Draper wrapping add, n = 1024: |x⟩|y⟩ → |x⟩|(x + y) mod 2^1024⟩.
+    let n = 1024usize;
+    let mut b = CircuitBuilder::new();
+    let x = b.qreg("x", n);
+    let y = b.qreg("y", n);
+    draper::wrapping_add(&mut b, x.qubits(), y.qubits()).unwrap();
+    let circuit = b.finish();
+    let c = circuit.counts();
+    assert_eq!(circuit.num_qubits(), 2048, "draper-wrap-1024: qubits");
+    assert_eq!(c.h, 2048, "draper-wrap-1024: H (QFT + IQFT)");
+    assert_eq!(c.cphase, 1_572_352, "draper-wrap-1024: C-R rotations");
+    assert_eq!(c.toffoli, 0, "draper-wrap-1024: no Toffolis at all");
+    let xv = (1u128 << 127) - 5;
+    let yv = (1u128 << 126) + 3;
+    let mut sim = PhaseAccumulator::zeros(circuit.num_qubits()).unwrap();
+    sim.set_value(x.qubits(), xv).unwrap();
+    sim.set_value(y.qubits(), yv).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    Simulator::run(&mut sim, &circuit, &mut rng).unwrap();
+    let want = xv + yv; // both < 2^127: no wrap in a 1024-bit register
+    for (i, q) in y.qubits().iter().enumerate() {
+        let w = i < 128 && (want >> i) & 1 == 1;
+        assert_eq!(sim.bit(*q).unwrap(), w, "draper-wrap-1024: sum bit {i}");
+    }
+    assert_eq!(sim.occupied(), 1, "draper-wrap-1024: basis in, basis out");
+    assert_eq!(
+        sim.occupancy_peak(),
+        Some(1),
+        "draper-wrap-1024: no fan-out"
+    );
+
+    // Beauregard MBU modular adder at n = 256 and 1024.
+    for n in [256usize, 1024] {
+        let p = mbu_bench::benchmark_modulus(n);
+        let xv = p - 1;
+        let yv = p / 2 + 1;
+        let layout = modular::beauregard::modadd_circuit(Uncompute::Mbu, n, p).unwrap();
+        let mut sim = PhaseAccumulator::zeros(layout.circuit.num_qubits()).unwrap();
+        sim.set_value(layout.x.qubits(), xv).unwrap();
+        sim.set_value(layout.y.qubits(), yv).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        Simulator::run(&mut sim, &layout.circuit, &mut rng).unwrap();
+        let sum = (xv + yv) % p;
+        for (i, q) in layout.x.qubits().iter().enumerate() {
+            let w = i < 128 && (xv >> i) & 1 == 1;
+            assert_eq!(sim.bit(*q).unwrap(), w, "beauregard-{n}: x bit {i}");
+        }
+        for (i, q) in layout.y.qubits().iter().enumerate() {
+            let w = i < 128 && (sum >> i) & 1 == 1;
+            assert_eq!(sim.bit(*q).unwrap(), w, "beauregard-{n}: sum bit {i}");
+        }
+        assert_eq!(
+            sim.occupied(),
+            1,
+            "beauregard-{n}: MBU leaves a basis state"
+        );
+        assert_eq!(
+            sim.occupancy_peak(),
+            Some(2),
+            "beauregard-{n}: the MBU flag is the only fan-out"
+        );
+    }
+}
+
 /// The counts above are not just structural claims: the sparse backend
 /// *runs* the Table-1 circuits at n = 64, 256 and 1024 and reproduces the
 /// paper's modular sum bit for bit. A dense statevector at these widths

@@ -16,13 +16,14 @@
 use std::collections::BTreeMap;
 
 use mbu_arith::{
+    adders::draper,
     modular::{self, ModAddSpec},
     Uncompute,
 };
 use mbu_circuit::{Basis, CircuitBuilder, CompiledCircuit, PassConfig};
 use mbu_sim::{
-    BackendKind, BasisTracker, BranchDistribution, BranchEnsemble, Ensemble, KernelMode,
-    ShotRunner, Simulator, SparseVector, StateVector,
+    phase_to_dense, BackendKind, BasisTracker, BranchDistribution, BranchEnsemble, Ensemble,
+    KernelMode, PhaseAccumulator, ShotRunner, Simulator, SparseVector, StateVector,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -212,6 +213,109 @@ proptest! {
         sv.run_compiled(&compiled, &mut rng_sv).unwrap();
         prop_assert_eq!(sv.value(layout.x.qubits()).unwrap(), x);
         prop_assert_eq!(sv.value(layout.y.qubits()).unwrap(), (x + y) % p);
+    }
+}
+
+proptest! {
+    // The phase backend's native workload: random Draper wrapping
+    // adders, where the QFT interior is pure dyadic bookkeeping. On
+    // basis inputs every backend must land on the exact wrapped sum with
+    // a single occupied branch; on a superposed control, the phase
+    // backend's enumerated amplitudes must agree with the dense engine's
+    // to floating-point accuracy (the dyadic accumulators evaluate each
+    // total phase in one `cis`, where the sweeping engines multiply
+    // rotation by rotation — same state, different rounding paths).
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn draper_adders_agree_across_phase_sparse_and_dense(
+        n in 2usize..=4,
+        xk in 0u128..16,
+        yk in 0u128..16,
+        superpose in proptest::bool::ANY,
+    ) {
+        let (x, y) = (xk % (1 << n), yk % (1 << n));
+        let mut b = CircuitBuilder::new();
+        let xr = b.qreg("x", n);
+        let yr = b.qreg("y", n);
+        if superpose {
+            b.h(xr[0]);
+        }
+        draper::wrapping_add(&mut b, xr.qubits(), yr.qubits()).unwrap();
+        let circuit = b.finish();
+        let nq = circuit.num_qubits();
+        let compiled = CompiledCircuit::compile(&circuit).unwrap();
+
+        let mut ph = PhaseAccumulator::zeros(nq).unwrap();
+        let mut sp = SparseVector::zeros(nq).unwrap();
+        let mut sv = StateVector::zeros(nq).unwrap();
+        for sim in [&mut ph as &mut dyn Simulator, &mut sp, &mut sv] {
+            sim.set_value(xr.qubits(), x).unwrap();
+            sim.set_value(yr.qubits(), y).unwrap();
+        }
+        for (name, sim) in [
+            ("phase", &mut ph as &mut dyn Simulator),
+            ("sparse", &mut sp),
+            ("dense", &mut sv),
+        ] {
+            let mut rng = StdRng::seed_from_u64(1);
+            sim.run_compiled(&compiled, &mut rng).unwrap();
+            if !superpose {
+                prop_assert_eq!(
+                    sim.value(yr.qubits()).unwrap(),
+                    (x + y) % (1 << n),
+                    "{}", name
+                );
+                prop_assert_eq!(sim.value(xr.qubits()).unwrap(), x, "{}", name);
+            }
+        }
+        if !superpose {
+            prop_assert_eq!(ph.occupied(), 1);
+        }
+        // Amplitude-level agreement, superposed or not.
+        let ph_amps = phase_to_dense(&ph).unwrap().amplitudes();
+        let sv_amps = sv.amplitudes();
+        for (i, (a, d)) in ph_amps.iter().zip(&sv_amps).enumerate() {
+            prop_assert!(
+                (a.re - d.re).abs() < 1e-12 && (a.im - d.im).abs() < 1e-12,
+                "amp {}: phase {:?} vs dense {:?}", i, a, d
+            );
+        }
+    }
+}
+
+proptest! {
+    // The Beauregard MBU modular adder measures mid-circuit (the MBU
+    // flag), so trajectories may differ draw by draw — but the paper's
+    // functional claim is trajectory-independent: |x⟩|y⟩ → |x⟩|(x+y) mod
+    // p⟩ with everything else collapsed, on the phase backend exactly as
+    // on the sparse map.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn beauregard_mbu_agrees_functionally_on_phase(
+        n in 2usize..=3,
+        pk in 0u128..1_000_000,
+        xk in 0u128..1_000_000,
+        yk in 0u128..1_000_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let pmax = (1u128 << n) - 1;
+        let p = 2 + pk % (pmax - 1);
+        let x = xk % p;
+        let y = yk % p;
+        let layout = modular::beauregard::modadd_circuit(Uncompute::Mbu, n, p).unwrap();
+        let nq = layout.circuit.num_qubits();
+        let compiled = CompiledCircuit::compile(&layout.circuit).unwrap();
+
+        let mut ph = PhaseAccumulator::zeros(nq).unwrap();
+        ph.set_value(layout.x.qubits(), x).unwrap();
+        ph.set_value(layout.y.qubits(), y).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ph.run_compiled(&compiled, &mut rng).unwrap();
+        prop_assert_eq!(ph.value(layout.x.qubits()).unwrap(), x);
+        prop_assert_eq!(ph.value(layout.y.qubits()).unwrap(), (x + y) % p);
+        prop_assert_eq!(ph.occupied(), 1, "MBU leaves a basis state");
     }
 }
 
