@@ -1,0 +1,146 @@
+//! The `static_verify` group: what the static-analysis gate costs.
+//!
+//! The verifier's pitch is "prove every pass safe without running it" —
+//! which only holds up if the proof is cheap next to what it replaces.
+//! This bench times the two layers on the paper's Table-1 workloads at
+//! n = 64: the Layer-1 validator (`CompiledCircuit::verify`, the check
+//! the `MBU_VERIFY=1` admission gate runs per program) and the Layer-2
+//! symbolic equivalence proof against the plain lowering
+//! (`check_equivalence`, the per-pass certification run). For scale, the
+//! wall of one seeded sparse-backend *simulation* of the same circuit
+//! rides along — the cost the symbolic proof avoids while covering every
+//! input instead of one. Walls and verdicts go to `BENCH_verify.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbu_arith::{resources::Table1Row, Uncompute};
+use mbu_bench::{benchmark_modulus, build_row_circuit};
+use mbu_circuit::CompiledCircuit;
+use mbu_sim::{PhaseAccumulator, Simulator, SparseVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const N: usize = 64;
+const SEED: u64 = 11;
+/// Walls are the best of this many runs per row.
+const RUNS: u32 = 3;
+
+struct Row {
+    row: &'static str,
+    instrs: usize,
+    validate_ms: f64,
+    equivalence_ms: f64,
+    simulate_ms: f64,
+    verdict: String,
+}
+
+fn best_of<T>(runs: u32, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = black_box(f());
+        best = best.min(start.elapsed());
+        last = Some(out);
+    }
+    (best, last.expect("runs >= 1"))
+}
+
+fn measure(name: &'static str, row: Table1Row) -> Row {
+    let p = benchmark_modulus(N);
+    let layout = build_row_circuit(row, Uncompute::Mbu, N, p).expect("tabulated row");
+    let lowered = CompiledCircuit::lower(&layout.circuit).expect("lowers");
+    let compiled = CompiledCircuit::compile(&layout.circuit).expect("compiles");
+
+    let (validate_wall, checked) = best_of(RUNS, || compiled.verify());
+    checked.expect("a fresh compile validates clean");
+
+    let (equiv_wall, verdict) =
+        best_of(RUNS, || mbu_circuit::check_equivalence(&lowered, &compiled));
+    assert!(
+        verdict.is_equal(),
+        "{name}: the pass pipeline must prove equal, got {verdict}"
+    );
+
+    // One functional run on basis inputs: the dynamic cost that a
+    // single-input differential test would pay per seed. Each row gets
+    // its natural scaling backend — the sparse basis map for the ripple
+    // rows, the Fourier-basis phase accumulator for Draper (whose QFT
+    // fan-out would otherwise materialise 2^65 sparse entries).
+    let (sim_wall, _) = best_of(RUNS, || {
+        let nq = layout.circuit.num_qubits();
+        let mut sim: Box<dyn Simulator> = match row {
+            Table1Row::Draper | Table1Row::DraperExpect => {
+                Box::new(PhaseAccumulator::zeros(nq).unwrap())
+            }
+            _ => Box::new(SparseVector::zeros(nq).unwrap()),
+        };
+        sim.set_value(layout.x.qubits(), p - 1).unwrap();
+        sim.set_value(layout.y.qubits(), p / 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(SEED);
+        sim.run_compiled(&compiled, &mut rng).unwrap()
+    });
+
+    eprintln!(
+        "  {name:<12} {:>6} instrs: validate {validate_wall:.1?}, \
+         equivalence {equiv_wall:.1?}, simulate {sim_wall:.1?}",
+        compiled.instrs().len()
+    );
+    Row {
+        row: name,
+        instrs: compiled.instrs().len(),
+        validate_ms: validate_wall.as_secs_f64() * 1e3,
+        equivalence_ms: equiv_wall.as_secs_f64() * 1e3,
+        simulate_ms: sim_wall.as_secs_f64() * 1e3,
+        verdict: verdict.to_string(),
+    }
+}
+
+fn write_trajectory(rows: &[Row]) {
+    let mut json = String::from(
+        "{\n  \"bench\": \"static_verify\",\n  \"workload\": \
+         \"Table-1 MBU modadd rows at n=64: Layer-1 validate + Layer-2 \
+         symbolic equivalence vs one sparse simulation\",\n  \
+         \"units\": { \"wall\": \"ms\" },\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"row\": \"{}\", \"instrs\": {}, \"validate_ms\": {:.3}, \
+             \"equivalence_ms\": {:.3}, \"simulate_ms\": {:.3}, \"verdict\": \"{}\" }}{}",
+            r.row,
+            r.instrs,
+            r.validate_ms,
+            r.equivalence_ms,
+            r.simulate_ms,
+            r.verdict,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_verify.json");
+    mbu_bench::trajectory::append_run(std::path::Path::new(path), &json)
+        .expect("writable BENCH_verify.json");
+    eprintln!("  appended run to {path}");
+}
+
+fn static_verify(c: &mut Criterion) {
+    let rows = [
+        ("vbe5", Table1Row::Vbe5),
+        ("cdkpm", Table1Row::Cdkpm),
+        ("gidney", Table1Row::Gidney),
+        ("draper", Table1Row::Draper),
+    ];
+    let measured: Vec<Row> = rows.iter().map(|&(name, row)| measure(name, row)).collect();
+    write_trajectory(&measured);
+
+    // Keep a criterion handle so `cargo bench` filters behave uniformly
+    // across the suite.
+    let group = c.benchmark_group("static_verify");
+    group.finish();
+}
+
+criterion_group!(benches, static_verify);
+criterion_main!(benches);

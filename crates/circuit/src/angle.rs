@@ -254,6 +254,34 @@ impl Angle {
             }
         }
     }
+
+    /// The exact difference `self − rhs` mod a full turn, under the same
+    /// representability conditions as [`Angle::checked_add`].
+    #[must_use]
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        self.checked_add(-rhs)
+    }
+
+    /// Whether the angle, as a fraction of a turn in `[0, 1)`, is at
+    /// least half a turn (`π` radians). The static verifier's symbolic
+    /// ring folds such phases through `e^{iθ} = −e^{i(θ−π)}` to keep its
+    /// term keys canonical.
+    #[must_use]
+    pub fn is_at_least_half_turn(&self) -> bool {
+        if self.numerator == 0 {
+            false
+        } else if self.negated {
+            // Complement form 1 − x: x = num/2^d with num < 2^128 and
+            // d > 128 forces x < 1/2, so the value exceeds half a turn.
+            true
+        } else if self.log2_denom == 0 || self.log2_denom > 128 {
+            // Denominator 1 holds only zero; past 2^128 the (non-negated)
+            // numerator is below 2^{d−1}.
+            false
+        } else {
+            self.numerator >> (self.log2_denom - 1) != 0
+        }
+    }
 }
 
 use std::ops::Neg;
@@ -413,6 +441,38 @@ mod tests {
         assert_eq!(neg.numerator(), u128::MAX);
         assert_eq!(neg.log2_denom(), 128);
         assert_eq!(a + neg, Angle::ZERO);
+    }
+
+    #[test]
+    fn half_turn_threshold_is_exact() {
+        assert!(!Angle::ZERO.is_at_least_half_turn());
+        assert!(Angle::HALF_TURN.is_at_least_half_turn());
+        assert!(!Angle::turn_over_power_of_two(2).is_at_least_half_turn());
+        assert!(Angle::from_fraction(3, 2).is_at_least_half_turn());
+        // One ulp under half a turn at the 128-bit boundary.
+        assert!(!Angle::from_fraction((1u128 << 127) - 1, 128).is_at_least_half_turn());
+        assert!(Angle::from_fraction(1u128 << 127, 128).is_at_least_half_turn());
+        // Deep positive angles are tiny; deep negated ones are complements.
+        assert!(!Angle::turn_over_power_of_two(1025).is_at_least_half_turn());
+        assert!((-Angle::turn_over_power_of_two(1025)).is_at_least_half_turn());
+    }
+
+    #[test]
+    fn checked_sub_folds_past_half_turn() {
+        // 3/4 − 1/2 = 1/4 of a turn, exactly.
+        assert_eq!(
+            Angle::from_fraction(3, 2).checked_sub(Angle::HALF_TURN),
+            Some(Angle::turn_over_power_of_two(2))
+        );
+        assert_eq!(
+            Angle::HALF_TURN.checked_sub(Angle::HALF_TURN),
+            Some(Angle::ZERO)
+        );
+        // A deep complement angle cannot shift π onto its denominator.
+        assert_eq!(
+            (-Angle::turn_over_power_of_two(1025)).checked_sub(Angle::HALF_TURN),
+            None
+        );
     }
 
     #[test]

@@ -212,6 +212,14 @@ impl FusedUnitary {
         Self { qubits, gates }
     }
 
+    /// Test-only raw constructor for the static verifier's negative
+    /// tests: builds a block *without* the well-formedness invariants the
+    /// fusion pass guarantees (sorted support, in-range local operands).
+    #[cfg(test)]
+    pub(crate) fn raw(qubits: Vec<QubitId>, gates: Vec<Gate>) -> Self {
+        Self { qubits, gates }
+    }
+
     /// The global operand qubits, ascending.
     #[must_use]
     pub fn qubits(&self) -> &[QubitId] {
@@ -535,6 +543,16 @@ pub struct PassStats {
     /// representation at the default thresholds (diagonal-heavy blow-ups
     /// past the dense width cap).
     pub planned_phase: usize,
+    /// Whether the careful-profile static verifier ran clean on the
+    /// final program (see `mbu_circuit::verify`): every pass stage passed
+    /// the well-formedness validator and the finished program passed the
+    /// stats/plan coherence checks.
+    pub verified: bool,
+    /// Whether static verification was compiled out (release builds
+    /// without debug assertions). Exactly one of
+    /// [`verified`](PassStats::verified) and `verify_skipped` is set for
+    /// a successful compile.
+    pub verify_skipped: bool,
 }
 
 impl PassStats {
@@ -566,7 +584,13 @@ impl fmt::Display for PassStats {
             self.planned_dense,
             self.planned_sparse,
             self.planned_phase
-        )
+        )?;
+        if self.verified {
+            write!(f, "; verified")?;
+        } else if self.verify_skipped {
+            write!(f, "; verify skipped")?;
+        }
+        Ok(())
     }
 }
 
@@ -643,21 +667,32 @@ impl CompiledCircuit {
     /// Returns the first [`CircuitError`] found by [`Circuit::validate`].
     pub fn with_config(circuit: &Circuit, config: &PassConfig) -> Result<Self, CircuitError> {
         circuit.validate()?;
+        // Under the careful profile (debug assertions on) every pipeline
+        // stage is gated by the static verifier: a pass that emits a
+        // malformed stream fails the compile at that pass, not at
+        // execution time. `expect_valid_stage` is a no-op in plain
+        // release builds.
+        let nq = circuit.num_qubits();
+        let nc = circuit.num_clbits();
         let mut instrs = Vec::new();
         flatten(circuit.ops(), &mut instrs);
+        crate::verify::expect_valid_stage("lower", nq, nc, &instrs, &[])?;
         let mut stats = PassStats {
             lowered_instrs: instrs.len(),
             ..PassStats::default()
         };
         if config.any() {
             instrs = run_passes(instrs, config, &mut stats);
+            crate::verify::expect_valid_stage("peephole", nq, nc, &instrs, &[])?;
         }
         let mut fused = Vec::new();
         if config.fuse_max_qubits > 0 {
             (instrs, fused) = fuse_gates(instrs, config.fuse_max_qubits, &mut stats);
+            crate::verify::expect_valid_stage("fusion", nq, nc, &instrs, &fused)?;
         }
         if config.reclaim_dead_qubits {
             instrs = reclaim_dead_qubits(instrs, circuit.num_qubits(), &mut stats, &fused);
+            crate::verify::expect_valid_stage("reclamation", nq, nc, &instrs, &fused)?;
         }
         stats.emitted_instrs = instrs.len();
         let mut compiled = Self {
@@ -680,6 +715,22 @@ impl CompiledCircuit {
             .count();
         compiled.stats.planned_sparse =
             plan.len() - compiled.stats.planned_dense - compiled.stats.planned_phase;
+        // Final gate: with the stats now describing the finished program,
+        // run the full validator (stream + stats + plan coherence).
+        if cfg!(debug_assertions) {
+            if let Some(finding) = crate::verify::validate_compiled(&compiled)
+                .into_iter()
+                .next()
+            {
+                return Err(CircuitError::VerificationFailed {
+                    pass: "finalise",
+                    finding: finding.to_string(),
+                });
+            }
+            compiled.stats.verified = true;
+        } else {
+            compiled.stats.verify_skipped = true;
+        }
         Ok(compiled)
     }
 

@@ -44,6 +44,16 @@ pub enum CircuitError {
         /// The duplicated qubit index.
         qubit: u32,
     },
+    /// The careful-profile static verifier found a malformed instruction
+    /// stream after a compiler pass (see `mbu_circuit::verify`). This is
+    /// always a compiler bug, never a property of the input circuit: the
+    /// pass named in `pass` emitted a program that fails well-formedness.
+    VerificationFailed {
+        /// Which pipeline stage produced the rejected stream.
+        pass: &'static str,
+        /// The first finding, rendered for display.
+        finding: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -64,6 +74,9 @@ impl fmt::Display for CircuitError {
             ),
             CircuitError::DuplicateOperand { qubit } => {
                 write!(f, "gate uses qubit q{qubit} for more than one operand")
+            }
+            CircuitError::VerificationFailed { pass, finding } => {
+                write!(f, "static verification failed after {pass}: {finding}")
             }
         }
     }

@@ -25,7 +25,11 @@
 //!   branch-encoded instruction stream plus peephole passes (self-inverse
 //!   cancellation, exact rotation merging, identity and phase-dead
 //!   elimination) with per-pass [`PassStats`] — the program representation
-//!   the simulators' hot paths execute.
+//!   the simulators' hot paths execute;
+//! * a static verification layer ([`verify`]): a linear IR
+//!   [validator](verify::validate) run after every pass under the careful
+//!   profile, and a [symbolic equivalence checker](verify::check_equivalence)
+//!   proving pass pipelines semantics-preserving without simulation.
 //!
 //! # Examples
 //!
@@ -59,6 +63,7 @@ mod gate;
 pub mod knobs;
 mod op;
 mod plan;
+pub mod verify;
 
 pub use angle::Angle;
 pub use builder::{CircuitBuilder, OpBlock, Register};
@@ -74,4 +79,8 @@ pub use op::{ClbitId, Op, QubitId};
 pub use plan::{
     plan_segment, PlanConfig, PlannedRepr, SegmentProfile, DEFAULT_AUTO_DENSE_QUBITS,
     DEFAULT_AUTO_PHASE_DIAG, DEFAULT_AUTO_SPARSITY,
+};
+pub use verify::{
+    check_equivalence, check_equivalence_with, validate, validate_compiled, EquivOptions,
+    Equivalence, Finding, ProgramView, VerifyError,
 };

@@ -147,6 +147,19 @@ impl SegmentProfile {
             1u64 << self.occ_ceiling_log2
         }
     }
+
+    /// Whether the segment has the structure the phase-accumulator
+    /// representation is for: a predicted occupied set past the sparse
+    /// sweet spot *and* enough diagonal gates to amortise the conversion
+    /// round-trip. [`plan_segment`] plans `Phase` only for such segments
+    /// (when the phase arm is enabled and the dense arm declined), and the
+    /// static verifier re-derives the same predicate from its own segment
+    /// walk to certify plan coherence.
+    #[must_use]
+    pub fn phase_suitable(&self, config: &PlanConfig) -> bool {
+        self.predicted_entries() > config.sparsity_threshold
+            && self.diag_count >= config.phase_diag_min
+    }
 }
 
 impl fmt::Display for SegmentProfile {
@@ -221,7 +234,7 @@ pub fn plan_segment(
     let outgrows = profile.predicted_entries() > config.sparsity_threshold;
     if num_qubits <= config.dense_qubit_cap && outgrows {
         PlannedRepr::Dense
-    } else if config.phase_enabled && outgrows && profile.diag_count >= config.phase_diag_min {
+    } else if config.phase_enabled && profile.phase_suitable(config) {
         PlannedRepr::Phase
     } else {
         PlannedRepr::Sparse

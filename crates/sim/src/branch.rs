@@ -1104,6 +1104,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn sampled_mode_is_bit_identical_to_per_shot_execution() {
         let circuit = coin_circuit();
         for seed in [0u64, 7, 99] {
@@ -1158,6 +1159,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn shared_trajectory_ensembles_report_peak_occupancy() {
         // Regression: tree-mode ensembles used to report `None` for the
         // peak stat on every backend. Each backend that tracks occupancy
@@ -1188,6 +1190,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn phase_leaves_census_occupied_branches_not_the_hilbert_space() {
         // Regression for the phase-representation census: a branch tree
         // over [`crate::PhaseAccumulator`] leaves must aggregate the
@@ -1225,6 +1228,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn state_vector_trees_match_tracker_trees() {
         let circuit = coin_circuit();
         let sv_dist = BranchEnsemble::new(0)
@@ -1238,6 +1242,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn resets_fork_and_rejoin_with_identical_records() {
         // H then reset: the reset forks (the qubit is superposed) but
         // writes no classical bit, so both histories share the record.
@@ -1272,6 +1277,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn node_budget_is_a_typed_error_exactly_and_a_fallback_when_sampling() {
         let circuit = coin_circuit();
         let tight = BranchEnsemble::new(100).with_node_budget(1);
@@ -1289,6 +1295,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn backends_without_fork_support_fall_back() {
         /// A backend that answers everything but declines to fork.
         struct NoFork;
@@ -1368,6 +1375,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn parallel_tree_builds_match_serial_ones() {
         // Three forks → up to 8 leaves: enough frontier width to schedule
         // real worker rounds. The distribution must be identical at any
@@ -1401,6 +1409,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn exact_aggregates_are_bit_identical_across_thread_budgets() {
         // Non-dyadic fork probabilities (cos²(π/8) from an H·R·H
         // sandwich): summing leaf weights in build-schedule order would

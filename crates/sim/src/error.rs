@@ -101,6 +101,14 @@ pub enum SimError {
         /// What was malformed about the block descriptor.
         why: String,
     },
+    /// The `MBU_VERIFY=1` admission gate rejected a compiled program: the
+    /// static verifier (`mbu_circuit::verify`) found it malformed, so the
+    /// executor refused to start rather than risk undefined behaviour on
+    /// a miscompiled stream.
+    VerificationRejected {
+        /// The verifier's report, rendered.
+        why: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -136,6 +144,12 @@ impl fmt::Display for SimError {
             }
             SimError::EmptyEnsemble => {
                 write!(f, "ensemble run requested with zero shots")
+            }
+            SimError::VerificationRejected { why } => {
+                write!(
+                    f,
+                    "program rejected by the MBU_VERIFY admission gate: {why}"
+                )
             }
             SimError::BranchBudgetExceeded { budget } => {
                 write!(

@@ -5,11 +5,42 @@
 //! gates that actually ran, producing identical [`Executed`] records for a
 //! lowered (pass-free) program.
 
-use mbu_circuit::{CompiledCircuit, FusedUnitary, Gate, GateCounts, Instr, Op};
+use std::sync::OnceLock;
+
+use mbu_circuit::{knobs, CompiledCircuit, FusedUnitary, Gate, GateCounts, Instr, Op};
 use rand::{Rng, RngCore};
 
 use crate::error::SimError;
 use crate::simulator::Simulator;
+
+/// Whether the `MBU_VERIFY` admission gate is on: executors then run the
+/// static verifier (`mbu_circuit::verify`) on every compiled program
+/// before the first instruction and refuse malformed streams with
+/// [`SimError::VerificationRejected`]. Off by default — programs from
+/// this workspace's compiler were already verified under the careful
+/// profile; the knob is for streams of unknown provenance (or for
+/// belt-and-braces release runs, where compile-time verification is
+/// compiled out). Resolved once per process.
+fn verify_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        knobs::switch(
+            "MBU_VERIFY",
+            std::env::var("MBU_VERIFY").ok().as_deref(),
+            false,
+        )
+    })
+}
+
+/// Runs the admission gate on `compiled` when `MBU_VERIFY` is on.
+pub(crate) fn admit_compiled(compiled: &CompiledCircuit) -> Result<(), SimError> {
+    if verify_enabled() {
+        compiled
+            .verify()
+            .map_err(|e| SimError::VerificationRejected { why: e.to_string() })?;
+    }
+    Ok(())
+}
 
 /// What a simulation run actually did.
 ///
@@ -177,6 +208,7 @@ pub(crate) fn execute_compiled_core<S: Simulator + ?Sized>(
     mut on_drop: impl FnMut(&mut S, mbu_circuit::QubitId),
     mut at_pc: impl FnMut(&mut S, usize) -> Result<(), SimError>,
 ) -> Result<(), SimError> {
+    admit_compiled(compiled)?;
     let instrs = compiled.instrs();
     let mut pc = 0usize;
     while let Some(instr) = instrs.get(pc) {

@@ -250,6 +250,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn sequential_jobs_reuse_the_same_workers() {
         let pool = AmpPool::new(3);
         let total = AtomicUsize::new(0);

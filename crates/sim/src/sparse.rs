@@ -116,6 +116,10 @@ pub struct SparseVector {
 }
 
 /// Ascending numeric comparison of two equal-width little-endian keys.
+// The key helpers and the binary search below address the packed key
+// words of every occupied entry; a wrapped index would silently read the
+// wrong entry's key, so their arithmetic must be visibly in-bounds.
+#[deny(clippy::arithmetic_side_effects)]
 fn cmp_keys(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
     for (wa, wb) in a.iter().rev().zip(b.iter().rev()) {
         match wa.cmp(wb) {
@@ -134,6 +138,7 @@ fn is_zero(a: Complex) -> bool {
 }
 
 /// The (word, mask) address of qubit `q` inside a key.
+#[deny(clippy::arithmetic_side_effects)]
 fn bit_addr(q: QubitId) -> (usize, u64) {
     (q.index() / 64, 1u64 << (q.index() % 64))
 }
@@ -264,15 +269,19 @@ impl SparseVector {
     }
 
     /// Binary search for `key` among the sorted entries.
+    #[deny(clippy::arithmetic_side_effects)]
     fn find(&self, key: &[u64]) -> Result<usize, usize> {
         let words = self.words;
         let n = self.amps.len();
         let mut lo = 0usize;
         let mut hi = n;
         while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            match cmp_keys(&self.keys[mid * words..(mid + 1) * words], key) {
-                std::cmp::Ordering::Less => lo = mid + 1,
+            // `mid < n` and `keys.len() == n·words` (both live in memory,
+            // so neither product nor successor can wrap).
+            let mid = usize::midpoint(lo, hi);
+            let base = mid.saturating_mul(words);
+            match cmp_keys(&self.keys[base..base.saturating_add(words)], key) {
+                std::cmp::Ordering::Less => lo = mid.saturating_add(1),
                 std::cmp::Ordering::Greater => hi = mid,
                 std::cmp::Ordering::Equal => return Ok(mid),
             }

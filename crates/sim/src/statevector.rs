@@ -2074,6 +2074,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn amp_parallel_compiled_runs_are_bit_identical_to_serial() {
         // A 15-qubit (32768-amplitude, above the parallel threshold)
         // adaptive circuit: compiled execution with 4 amplitude lanes
@@ -2160,6 +2161,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // oversized for the miri CI leg
     fn forked_states_never_share_a_worker_pool_across_threads() {
         // Audit regression for the manual `Clone` / `measure_fork` pair:
         // the per-state worker pool runs a strict one-job handshake, so a

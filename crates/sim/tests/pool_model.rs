@@ -1,0 +1,391 @@
+//! Exhaustive concurrency model of the `AmpPool` condvar protocol.
+//!
+//! `crates/sim/src/pool.rs` implements a persistent worker pool with a
+//! hand-rolled epoch/acknowledge handshake: the caller publishes a job
+//! under the mutex (bump `epoch`, set `pending`, `notify_all` the work
+//! condvar), runs chunk 0 itself, then blocks on the done condvar until
+//! `pending == 0`; each worker grabs one job per epoch, runs its fixed
+//! chunk, and decrements `pending`. The soundness of the pool's `unsafe`
+//! lifetime erasure hangs on one liveness-and-ordering property: **the
+//! caller's `run` must not return while any worker can still dereference
+//! the task pointer of its job** — and on the protocol never deadlocking.
+//!
+//! Plain unit tests can only sample interleavings. This harness instead
+//! model-checks the protocol the way a `loom`-style tool would (the
+//! workspace has no such dependency, so the model is self-contained):
+//! every lock-protected region of pool.rs is transcribed as one atomic
+//! transition of a small state machine, condition variables are modelled
+//! with explicit waiter sets (so *lost wakeups* are representable: a
+//! notify with nobody in the waitset is a no-op, exactly like the real
+//! thing), and a DFS enumerates **every** reachable interleaving,
+//! checking in each:
+//!
+//! * no deadlock: whenever no thread can step, every caller has finished
+//!   (parked workers awaiting a next epoch are fine);
+//! * exactly-once chunks: each published job's chunks 0..n each ran
+//!   exactly once, attributed to the correct epoch;
+//! * borrow safety: when a caller's barrier releases, no worker is still
+//!   inside the chunk closure of that caller's epoch (`pending` is
+//!   decremented only *after* the closure returns, so this is the
+//!   model-level statement of "the erased borrow is dead before `run`
+//!   returns");
+//! * counter sanity: `pending` never goes negative (the real `usize`
+//!   would underflow-panic).
+//!
+//! The model covers the single-owner protocol (one and two sequential
+//! jobs, the latter exercising the epoch filter that stops a worker from
+//! running one job twice) — and then deliberately breaks the contract by
+//! running **two concurrent callers on one pool**, the exact misuse
+//! `StateVector::child_with_amps` documents as the reason a forked child
+//! never inherits its parent's pool: the model proves the protocol has
+//! an interleaving that deadlocks or corrupts the handshake under a
+//! second caller, so the "fresh pool per fork" rule is load-bearing, not
+//! superstition.
+//!
+//! Not modelled: worker panics (`catch_unwind` makes them equivalent to
+//! a normal chunk completion with a flag set) and pool shutdown (the
+//! `Drop` path takes the lock after every `run` barrier has drained, so
+//! it cannot interleave with a job).
+
+use std::collections::HashSet;
+
+/// Epoch indices are tiny (at most two jobs per scenario).
+const MAX_EPOCHS: usize = 4;
+/// Chunk indices: chunk 0 is the caller's, workers own 1..THREADS.
+const MAX_CHUNKS: usize = 4;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Worker {
+    /// Inside the lock, about to evaluate the wait predicate
+    /// (`epoch != seen && job.is_some()`).
+    Check { seen: u8 },
+    /// Parked in the work condvar's waitset; only a notify can move it
+    /// back to `Check`.
+    Wait { seen: u8 },
+    /// Outside the lock, executing its chunk of the job grabbed at
+    /// `epoch` — the window in which it holds the erased task pointer.
+    Run { seen: u8, chunks: u8 },
+    /// About to re-enter the lock and decrement `pending`.
+    Ack { seen: u8 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Caller {
+    /// About to publish job `job` of its schedule.
+    Publish { job: u8 },
+    /// Outside the lock, executing chunk 0 of the epoch it published.
+    RunChunk0 { job: u8, epoch: u8 },
+    /// Inside the lock, about to evaluate the barrier predicate
+    /// (`pending == 0`).
+    CheckDone { job: u8, epoch: u8 },
+    /// Parked in the done condvar's waitset.
+    WaitDone { job: u8, epoch: u8 },
+    /// Every job of its schedule has completed.
+    Done,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Model {
+    epoch: u8,
+    /// `Some(chunks)` while a job is published (pool.rs `State::job`).
+    job: Option<u8>,
+    /// Signed so the model can *observe* the underflow the real `usize`
+    /// would panic on.
+    pending: i8,
+    workers: Vec<Worker>,
+    callers: Vec<Caller>,
+    /// `runs[epoch][chunk]`: how many times that chunk of that epoch ran.
+    runs: [[u8; MAX_CHUNKS]; MAX_EPOCHS],
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Violation {
+    Deadlock,
+    PendingUnderflow,
+    ChunkRanTwice,
+    JobIncomplete,
+    BorrowOutlivedBarrier,
+}
+
+/// Per-caller job schedule: each entry is a chunk count to publish.
+struct Scenario {
+    workers: usize,
+    schedules: Vec<Vec<u8>>,
+}
+
+impl Model {
+    fn initial(s: &Scenario) -> Self {
+        Self {
+            epoch: 0,
+            job: None,
+            pending: 0,
+            workers: vec![Worker::Check { seen: 0 }; s.workers],
+            callers: s
+                .schedules
+                .iter()
+                .map(|_| Caller::Publish { job: 0 })
+                .collect(),
+            runs: [[0; MAX_CHUNKS]; MAX_EPOCHS],
+        }
+    }
+
+    fn record_run(&mut self, epoch: u8, chunk: u8) -> Result<(), Violation> {
+        let slot = &mut self.runs[epoch as usize - 1][chunk as usize];
+        *slot += 1;
+        if *slot > 1 {
+            return Err(Violation::ChunkRanTwice);
+        }
+        Ok(())
+    }
+
+    /// Whether any thread can take a step (a parked thread cannot).
+    fn runnable(&self) -> Vec<usize> {
+        let mut ids = Vec::new();
+        for (w, state) in self.workers.iter().enumerate() {
+            if !matches!(state, Worker::Wait { .. }) {
+                ids.push(w);
+            }
+        }
+        for (c, state) in self.callers.iter().enumerate() {
+            if !matches!(state, Caller::WaitDone { .. } | Caller::Done) {
+                ids.push(self.workers.len() + c);
+            }
+        }
+        ids
+    }
+
+    /// `notify_all` on the work condvar: every parked worker re-checks.
+    fn notify_all_work(&mut self) {
+        for w in &mut self.workers {
+            if let Worker::Wait { seen } = *w {
+                *w = Worker::Check { seen };
+            }
+        }
+    }
+
+    /// `notify_one` on the done condvar wakes a *single* waiter. The
+    /// model branches over which one, returning every successor state.
+    fn notify_one_done(&self) -> Vec<Model> {
+        let waiters: Vec<usize> = self
+            .callers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, Caller::WaitDone { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            // Lost notification — exactly the real condvar's behaviour.
+            return vec![self.clone()];
+        }
+        waiters
+            .into_iter()
+            .map(|i| {
+                let mut next = self.clone();
+                if let Caller::WaitDone { job, epoch } = next.callers[i] {
+                    next.callers[i] = Caller::CheckDone { job, epoch };
+                }
+                next
+            })
+            .collect()
+    }
+
+    /// Applies one atomic transition of thread `id`, returning every
+    /// successor state (several when a notify choice branches).
+    fn step(&self, id: usize, scenario: &Scenario) -> Result<Vec<Model>, Violation> {
+        let mut next = self.clone();
+        if id < self.workers.len() {
+            let w = id;
+            match next.workers[w] {
+                Worker::Check { seen } => {
+                    if next.epoch != seen {
+                        if let Some(chunks) = next.job {
+                            next.workers[w] = Worker::Run {
+                                seen: next.epoch,
+                                chunks,
+                            };
+                            return Ok(vec![next]);
+                        }
+                    }
+                    next.workers[w] = Worker::Wait { seen };
+                    Ok(vec![next])
+                }
+                Worker::Wait { .. } => unreachable!("parked workers are not runnable"),
+                Worker::Run { seen, chunks } => {
+                    // Worker `w` owns chunk `w + 1` (chunk 0 is the
+                    // caller's); indices past the job's width skip.
+                    let chunk = (w + 1) as u8;
+                    if chunk < chunks {
+                        next.record_run(seen, chunk)?;
+                    }
+                    next.workers[w] = Worker::Ack { seen };
+                    Ok(vec![next])
+                }
+                Worker::Ack { seen } => {
+                    next.pending -= 1;
+                    if next.pending < 0 {
+                        return Err(Violation::PendingUnderflow);
+                    }
+                    next.workers[w] = Worker::Check { seen };
+                    if next.pending == 0 {
+                        return Ok(next.notify_one_done());
+                    }
+                    Ok(vec![next])
+                }
+            }
+        } else {
+            let c = id - self.workers.len();
+            match next.callers[c] {
+                Caller::Publish { job } => {
+                    let chunks = scenario.schedules[c][job as usize];
+                    next.job = Some(chunks);
+                    next.epoch += 1;
+                    next.pending = next.workers.len() as i8;
+                    let epoch = next.epoch;
+                    next.notify_all_work();
+                    next.callers[c] = Caller::RunChunk0 { job, epoch };
+                    Ok(vec![next])
+                }
+                Caller::RunChunk0 { job, epoch } => {
+                    next.record_run(epoch, 0)?;
+                    next.callers[c] = Caller::CheckDone { job, epoch };
+                    Ok(vec![next])
+                }
+                Caller::CheckDone { job, epoch } => {
+                    if next.pending > 0 {
+                        next.callers[c] = Caller::WaitDone { job, epoch };
+                        return Ok(vec![next]);
+                    }
+                    // Barrier released: `run` is about to return and the
+                    // erased borrow dies. No worker may still be inside
+                    // this epoch's closure.
+                    let dangling = next
+                        .workers
+                        .iter()
+                        .any(|w| matches!(w, Worker::Run { seen, .. } if *seen == epoch));
+                    if dangling {
+                        return Err(Violation::BorrowOutlivedBarrier);
+                    }
+                    next.job = None;
+                    let published = scenario.schedules[c][job as usize];
+                    for chunk in 0..published {
+                        if next.runs[epoch as usize - 1][chunk as usize] != 1 {
+                            return Err(Violation::JobIncomplete);
+                        }
+                    }
+                    let nj = job + 1;
+                    next.callers[c] = if (nj as usize) < scenario.schedules[c].len() {
+                        Caller::Publish { job: nj }
+                    } else {
+                        Caller::Done
+                    };
+                    Ok(vec![next])
+                }
+                Caller::WaitDone { .. } => unreachable!("parked callers are not runnable"),
+                Caller::Done => unreachable!("finished callers are not runnable"),
+            }
+        }
+    }
+}
+
+/// DFS over every interleaving. Returns the set of violations reachable
+/// from the initial state (empty = the protocol is correct under this
+/// scenario for every schedule of steps).
+fn explore(scenario: &Scenario) -> Vec<Violation> {
+    let mut seen: HashSet<Model> = HashSet::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut stack = vec![Model::initial(scenario)];
+    let note = |v: Violation, violations: &mut Vec<Violation>| {
+        if !violations.contains(&v) {
+            violations.push(v);
+        }
+    };
+    while let Some(state) = stack.pop() {
+        if !seen.insert(state.clone()) {
+            continue;
+        }
+        let runnable = state.runnable();
+        if runnable.is_empty() {
+            // Quiescent: legal only once every caller has finished
+            // (workers parked for a next epoch that never comes are the
+            // expected idle configuration).
+            if !state.callers.iter().all(|c| matches!(c, Caller::Done)) {
+                note(Violation::Deadlock, &mut violations);
+            }
+            continue;
+        }
+        for id in runnable {
+            match state.step(id, scenario) {
+                Ok(successors) => stack.extend(successors),
+                Err(v) => note(v, &mut violations),
+            }
+        }
+    }
+    violations
+}
+
+#[test]
+fn single_job_protocol_is_safe_under_every_interleaving() {
+    for workers in 1..=3 {
+        for chunks in 1..=(workers + 1) {
+            let scenario = Scenario {
+                workers,
+                schedules: vec![vec![chunks as u8]],
+            };
+            assert_eq!(
+                explore(&scenario),
+                Vec::new(),
+                "{workers} workers, {chunks} chunks"
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_jobs_never_rerun_or_deadlock() {
+    // Two back-to-back jobs from one owner: the epoch filter must stop a
+    // worker from running job 1 twice, and a worker that parks *after*
+    // job 2 is published must still be woken (no lost-wakeup deadlock).
+    for workers in 1..=2 {
+        let full = (workers + 1) as u8;
+        let scenario = Scenario {
+            workers,
+            schedules: vec![vec![full, full]],
+        };
+        assert_eq!(explore(&scenario), Vec::new(), "{workers} workers");
+    }
+}
+
+#[test]
+fn narrow_then_full_job_skips_and_completes() {
+    // A 2-chunk job on a 3-lane pool leaves worker 2 acknowledging
+    // without running; the next full-width job must still reach it.
+    let scenario = Scenario {
+        workers: 2,
+        schedules: vec![vec![2, 3]],
+    };
+    assert_eq!(explore(&scenario), Vec::new());
+}
+
+#[test]
+fn two_concurrent_callers_break_the_protocol() {
+    // The misuse `StateVector::child_with_amps` exists to prevent: a
+    // forked child sharing its parent's pool means two `run` calls racing
+    // one epoch/pending handshake. The model proves the contract is
+    // load-bearing: some interleaving deadlocks a caller or corrupts the
+    // pending counter (the real `usize` would underflow-panic).
+    let scenario = Scenario {
+        workers: 2,
+        schedules: vec![vec![3], vec![3]],
+    };
+    let violations = explore(&scenario);
+    assert!(
+        !violations.is_empty(),
+        "a shared pool across two concurrent callers must be unsound"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::Deadlock | Violation::PendingUnderflow)),
+        "expected a deadlock or pending underflow, found {violations:?}"
+    );
+}
